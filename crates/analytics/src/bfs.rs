@@ -1,0 +1,88 @@
+//! Breadth-First Search (Figure 10).
+//!
+//! The paper's methodology: insert the whole dataset, pick a number of nodes
+//! with the largest total degree, BFS from each of them, and report the nodes
+//! (and their count) in traversal order.
+
+use crate::subgraph::top_degree_nodes;
+use graph_api::{DynamicGraph, NodeId};
+use std::collections::{HashSet, VecDeque};
+
+/// BFS from `source`; returns the visited nodes in traversal order
+/// (including the source).
+pub fn bfs<G: DynamicGraph + ?Sized>(graph: &G, source: NodeId) -> Vec<NodeId> {
+    let mut order = Vec::new();
+    let mut visited = HashSet::new();
+    let mut queue = VecDeque::new();
+    visited.insert(source);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        graph.for_each_successor(u, &mut |v| {
+            if visited.insert(v) {
+                queue.push_back(v);
+            }
+        });
+    }
+    order
+}
+
+/// Runs BFS from each of the `sources` top-total-degree nodes (the paper's
+/// Figure 10 workload) and returns, per source, the number of nodes reached.
+pub fn bfs_from_top_degree<G: DynamicGraph + ?Sized>(graph: &G, sources: usize) -> Vec<usize> {
+    top_degree_nodes(graph, sources).into_iter().map(|s| bfs(graph, s).len()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_baselines::AdjacencyListGraph;
+
+    fn chain_and_branch() -> AdjacencyListGraph {
+        // 0 → 1 → 2 → 3 and 1 → 4, plus an unreachable island 10 → 11.
+        let mut g = AdjacencyListGraph::new();
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (1, 4), (10, 11)] {
+            g.insert_edge(u, v);
+        }
+        g
+    }
+
+    #[test]
+    fn visits_reachable_nodes_in_level_order() {
+        let g = chain_and_branch();
+        let order = bfs(&g, 0);
+        assert_eq!(order[0], 0);
+        assert_eq!(order[1], 1);
+        assert_eq!(order.len(), 5);
+        // Level 2 contains {2, 4} in either order, level 3 is {3}.
+        assert!(order[2..4].contains(&2) && order[2..4].contains(&4));
+        assert_eq!(order[4], 3);
+        assert!(!order.contains(&10));
+    }
+
+    #[test]
+    fn unreachable_source_visits_only_itself() {
+        let g = chain_and_branch();
+        assert_eq!(bfs(&g, 3), vec![3]);
+        assert_eq!(bfs(&g, 42), vec![42]);
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let mut g = AdjacencyListGraph::new();
+        g.insert_edge(1, 2);
+        g.insert_edge(2, 3);
+        g.insert_edge(3, 1);
+        let order = bfs(&g, 1);
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn top_degree_driver_reports_reach_counts() {
+        let g = chain_and_branch();
+        let reached = bfs_from_top_degree(&g, 2);
+        assert_eq!(reached.len(), 2);
+        // Node 1 has the largest total degree (1 in + 2 out) and reaches 4 nodes.
+        assert_eq!(reached[0], 4);
+    }
+}

@@ -1,0 +1,109 @@
+//! Top-degree node selection and subgraph extraction — the common
+//! preprocessing step of the paper's analytics methodology (§ V-E): "select a
+//! specific number of nodes with the largest total degree (the sum of
+//! out-degree and in-degree) to extract subgraphs".
+
+use graph_api::{DynamicGraph, NodeId};
+use std::collections::{HashMap, HashSet};
+
+/// Total degree (out + in) of every node reachable as a source or destination.
+///
+/// Storage schemes only index out-neighbours, so in-degrees are recovered by a
+/// single pass over all edges — the same thing the paper's driver has to do.
+pub fn total_degrees<G: DynamicGraph + ?Sized>(graph: &G) -> HashMap<NodeId, usize> {
+    let mut degree: HashMap<NodeId, usize> = HashMap::new();
+    for u in graph.nodes() {
+        let mut out = 0usize;
+        graph.for_each_successor(u, &mut |v| {
+            out += 1;
+            *degree.entry(v).or_insert(0) += 1;
+        });
+        *degree.entry(u).or_insert(0) += out;
+    }
+    degree
+}
+
+/// The `k` nodes with the largest total degree, in descending degree order.
+/// Ties break towards the smaller node id so results are deterministic.
+pub fn top_degree_nodes<G: DynamicGraph + ?Sized>(graph: &G, k: usize) -> Vec<NodeId> {
+    let degrees = total_degrees(graph);
+    let mut nodes: Vec<(NodeId, usize)> = degrees.into_iter().collect();
+    nodes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    nodes.into_iter().take(k).map(|(n, _)| n).collect()
+}
+
+/// Extracts the subgraph induced by `nodes` as an edge list: every stored edge
+/// whose endpoints are both selected.
+pub fn extract_subgraph<G: DynamicGraph + ?Sized>(
+    graph: &G,
+    nodes: &[NodeId],
+) -> Vec<(NodeId, NodeId)> {
+    let selected: HashSet<NodeId> = nodes.iter().copied().collect();
+    let mut edges = Vec::new();
+    for &u in nodes {
+        graph.for_each_successor(u, &mut |v| {
+            if selected.contains(&v) {
+                edges.push((u, v));
+            }
+        });
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_baselines::AdjacencyListGraph;
+
+    fn star_plus_path() -> AdjacencyListGraph {
+        // Node 1 is a hub with 10 out-edges; node 2 receives 3 in-edges.
+        let mut g = AdjacencyListGraph::new();
+        for v in 10..20u64 {
+            g.insert_edge(1, v);
+        }
+        g.insert_edge(10, 2);
+        g.insert_edge(11, 2);
+        g.insert_edge(12, 2);
+        g
+    }
+
+    #[test]
+    fn total_degree_counts_both_directions() {
+        let g = star_plus_path();
+        let d = total_degrees(&g);
+        assert_eq!(d[&1], 10);
+        // 10 has in-degree 1 (from the hub) and out-degree 1 (to 2).
+        assert_eq!(d[&10], 2);
+        assert_eq!(d[&2], 3);
+        assert_eq!(d[&19], 1);
+    }
+
+    #[test]
+    fn top_degree_selects_hubs_first() {
+        let g = star_plus_path();
+        let top = top_degree_nodes(&g, 2);
+        assert_eq!(top[0], 1);
+        assert_eq!(top[1], 2);
+        // Requesting more nodes than exist returns everything.
+        assert_eq!(top_degree_nodes(&g, 100).len(), total_degrees(&g).len());
+    }
+
+    #[test]
+    fn subgraph_keeps_only_internal_edges() {
+        let g = star_plus_path();
+        let edges = extract_subgraph(&g, &[1, 10, 11, 2]);
+        let set: std::collections::BTreeSet<_> = edges.into_iter().collect();
+        assert!(set.contains(&(1, 10)));
+        assert!(set.contains(&(10, 2)));
+        assert!(set.contains(&(11, 2)));
+        assert!(!set.iter().any(|&(_, v)| v == 19), "edge to unselected node leaked");
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_results() {
+        let g = AdjacencyListGraph::new();
+        assert!(total_degrees(&g).is_empty());
+        assert!(top_degree_nodes(&g, 5).is_empty());
+        assert!(extract_subgraph(&g, &[1, 2]).is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! The plain adjacency list — the "traditional" baseline § I starts from.
+//!
+//! One `Vec` of neighbours per source node, indexed by a `HashMap`. Easy to
+//! edit, but pointer-heavy: every vertex owns a separate heap allocation and
+//! edge queries are linear in the degree.
+
+use graph_api::{DynamicGraph, GraphScheme, MemoryFootprint, NodeId};
+use std::collections::HashMap;
+
+/// A plain adjacency-list graph.
+#[derive(Debug, Clone, Default)]
+pub struct AdjacencyListGraph {
+    adjacency: HashMap<NodeId, Vec<NodeId>>,
+    edges: usize,
+}
+
+impl AdjacencyListGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MemoryFootprint for AdjacencyListGraph {
+    fn memory_bytes(&self) -> usize {
+        let map_bytes = self.adjacency.capacity()
+            * (std::mem::size_of::<NodeId>() + std::mem::size_of::<Vec<NodeId>>() + 8);
+        let list_bytes: usize = self
+            .adjacency
+            .values()
+            .map(|v| v.capacity() * std::mem::size_of::<NodeId>())
+            .sum();
+        std::mem::size_of::<Self>() + map_bytes + list_bytes
+    }
+}
+
+impl DynamicGraph for AdjacencyListGraph {
+    fn insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        let list = self.adjacency.entry(u).or_default();
+        if list.contains(&v) {
+            return false;
+        }
+        list.push(v);
+        self.edges += 1;
+        true
+    }
+
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adjacency.get(&u).is_some_and(|list| list.contains(&v))
+    }
+
+    fn delete_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        let Some(list) = self.adjacency.get_mut(&u) else {
+            return false;
+        };
+        let Some(idx) = list.iter().position(|&x| x == v) else {
+            return false;
+        };
+        list.swap_remove(idx);
+        self.edges -= 1;
+        true
+    }
+
+    fn successors(&self, u: NodeId) -> Vec<NodeId> {
+        self.adjacency.get(&u).cloned().unwrap_or_default()
+    }
+
+    fn for_each_successor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
+        if let Some(list) = self.adjacency.get(&u) {
+            for &v in list {
+                f(v);
+            }
+        }
+    }
+
+    fn out_degree(&self, u: NodeId) -> usize {
+        self.adjacency.get(&u).map_or(0, Vec::len)
+    }
+
+    fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    fn nodes(&self) -> Vec<NodeId> {
+        self.adjacency.keys().copied().collect()
+    }
+
+    fn scheme(&self) -> GraphScheme {
+        GraphScheme::AdjacencyList
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_query_delete_roundtrip() {
+        let mut g = AdjacencyListGraph::new();
+        assert!(g.insert_edge(1, 2));
+        assert!(!g.insert_edge(1, 2));
+        assert!(g.insert_edge(1, 3));
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(2, 1));
+        assert_eq!(g.out_degree(1), 2);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.delete_edge(1, 2));
+        assert!(!g.delete_edge(1, 2));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.successors(1), vec![3]);
+    }
+
+    #[test]
+    fn node_accounting() {
+        let mut g = AdjacencyListGraph::new();
+        g.insert_edge(1, 2);
+        g.insert_edge(3, 4);
+        g.insert_edge(3, 5);
+        assert_eq!(g.node_count(), 2);
+        let mut nodes = g.nodes();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![1, 3]);
+        assert_eq!(g.scheme(), GraphScheme::AdjacencyList);
+        assert!(g.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn for_each_successor_matches_successors() {
+        let mut g = AdjacencyListGraph::new();
+        for v in 0..20u64 {
+            g.insert_edge(9, v);
+        }
+        let mut seen = Vec::new();
+        g.for_each_successor(9, &mut |v| seen.push(v));
+        seen.sort_unstable();
+        let mut expected = g.successors(9);
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+    }
+}

@@ -1,0 +1,168 @@
+//! Static Compressed Sparse Row (CSR) — the other classic layout § I starts
+//! from. It is built once from an edge list, is extremely compact and fast to
+//! traverse, but cannot be updated without a full rebuild, which is exactly
+//! the limitation PCSR (and, differently, CuckooGraph) address.
+
+use graph_api::{MemoryFootprint, NodeId};
+use std::collections::HashMap;
+
+/// A static CSR representation of a directed graph.
+#[derive(Debug, Clone, Default)]
+pub struct CsrGraph {
+    /// Dense index of each known node (sources and destinations).
+    node_index: HashMap<NodeId, usize>,
+    /// The node at each dense index.
+    node_ids: Vec<NodeId>,
+    /// `offsets[i]..offsets[i + 1]` is the neighbour range of dense node `i`.
+    offsets: Vec<usize>,
+    /// Concatenated, per-source-sorted neighbour ids.
+    neighbors: Vec<NodeId>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR from an edge list. Duplicate edges are kept once.
+    pub fn from_edges(edges: &[(NodeId, NodeId)]) -> Self {
+        let mut dedup: Vec<(NodeId, NodeId)> = edges.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+
+        let mut node_index = HashMap::new();
+        let mut node_ids = Vec::new();
+        let intern = |id: NodeId, node_index: &mut HashMap<NodeId, usize>,
+                          node_ids: &mut Vec<NodeId>| {
+            *node_index.entry(id).or_insert_with(|| {
+                node_ids.push(id);
+                node_ids.len() - 1
+            })
+        };
+        for &(u, v) in &dedup {
+            intern(u, &mut node_index, &mut node_ids);
+            intern(v, &mut node_index, &mut node_ids);
+        }
+
+        let n = node_ids.len();
+        let mut degree = vec![0usize; n];
+        for &(u, _) in &dedup {
+            degree[node_index[&u]] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        for d in &degree {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0 as NodeId; dedup.len()];
+        for &(u, v) in &dedup {
+            let ui = node_index[&u];
+            neighbors[cursor[ui]] = v;
+            cursor[ui] += 1;
+        }
+        Self { node_index, node_ids, offsets, neighbors }
+    }
+
+    /// Rebuilds the CSR with one additional edge — the expensive operation
+    /// dynamic workloads cannot afford, reproduced here so the ablation bench
+    /// can show why CSR alone is not a dynamic-graph answer.
+    pub fn with_edge(&self, u: NodeId, v: NodeId) -> Self {
+        let mut edges = self.edges();
+        edges.push((u, v));
+        Self::from_edges(&edges)
+    }
+
+    /// Number of distinct nodes (sources and destinations).
+    pub fn node_count(&self) -> usize {
+        self.node_ids.len()
+    }
+
+    /// Number of stored edges.
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// True if edge `⟨u, v⟩` is stored.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.successors(u).binary_search(&v).is_ok()
+    }
+
+    /// Neighbour slice of `u` (sorted ascending), empty if unknown.
+    pub fn successors(&self, u: NodeId) -> &[NodeId] {
+        match self.node_index.get(&u) {
+            None => &[],
+            Some(&i) => &self.neighbors[self.offsets[i]..self.offsets[i + 1]],
+        }
+    }
+
+    /// Out-degree of `u`.
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.successors(u).len()
+    }
+
+    /// Every stored edge, sorted.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::with_capacity(self.neighbors.len());
+        for (i, &u) in self.node_ids.iter().enumerate() {
+            for &v in &self.neighbors[self.offsets[i]..self.offsets[i + 1]] {
+                out.push((u, v));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+impl MemoryFootprint for CsrGraph {
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.node_index.capacity() * (std::mem::size_of::<(NodeId, usize)>() + 8)
+            + self.node_ids.capacity() * std::mem::size_of::<NodeId>()
+            + self.offsets.capacity() * std::mem::size_of::<usize>()
+            + self.neighbors.capacity() * std::mem::size_of::<NodeId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_from_edge_list_and_answers_queries() {
+        let g = CsrGraph::from_edges(&[(1, 2), (1, 3), (2, 3), (1, 2)]);
+        assert_eq!(g.edge_count(), 3, "duplicates must be folded");
+        assert_eq!(g.node_count(), 3);
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(3, 2));
+        assert_eq!(g.successors(1), &[2, 3]);
+        assert_eq!(g.out_degree(2), 1);
+        assert_eq!(g.out_degree(99), 0);
+    }
+
+    #[test]
+    fn update_requires_full_rebuild() {
+        let g = CsrGraph::from_edges(&[(1, 2)]);
+        let g2 = g.with_edge(3, 4);
+        assert!(!g.has_edge(3, 4));
+        assert!(g2.has_edge(3, 4));
+        assert_eq!(g2.edge_count(), 2);
+        assert_eq!(g2.edges(), vec![(1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn memory_is_compact_relative_to_edges() {
+        let edges: Vec<(u64, u64)> = (0..10_000u64).map(|i| (i % 100, i)).collect();
+        let g = CsrGraph::from_edges(&edges);
+        assert_eq!(g.edge_count(), 10_000);
+        // CSR stores each edge once (8 bytes) plus offsets — comfortably under
+        // 64 bytes/edge even with the node index included.
+        assert!(g.memory_bytes() < 10_000 * 64);
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let g = CsrGraph::from_edges(&[]);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.node_count(), 0);
+        assert!(g.successors(1).is_empty());
+        assert!(g.edges().is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! Criterion micro-benchmark for the DENYLIST ablation (Figure 5):
+//! CuckooGraph with the denylists enabled vs the expand-on-every-failure
+//! fallback, on a CAIDA-like workload.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use cuckoograph::{CuckooGraph, CuckooGraphConfig};
+use graph_api::DynamicGraph;
+use graph_datasets::{generate, DatasetKind};
+
+const SCALE: f64 = 0.0005;
+const SEED: u64 = 0x1CDE_2025;
+
+fn bench_denylist_ablation(c: &mut Criterion) {
+    let edges = generate(DatasetKind::Caida, SCALE, SEED).distinct_edges();
+
+    let mut group = c.benchmark_group("fig5_denylist_ablation_insert");
+    for (label, use_dl) in [("with_denylist", true), ("denylist_free", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &use_dl, |b, &use_dl| {
+            let config = CuckooGraphConfig::default().with_denylist(use_dl);
+            b.iter_batched(
+                || config.clone(),
+                |config| {
+                    let mut g = CuckooGraph::with_config(config);
+                    for &(u, v) in &edges {
+                        g.insert_edge(u, v);
+                    }
+                    g
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig5_denylist_ablation_query");
+    for (label, use_dl) in [("with_denylist", true), ("denylist_free", false)] {
+        let mut graph =
+            CuckooGraph::with_config(CuckooGraphConfig::default().with_denylist(use_dl));
+        for &(u, v) in &edges {
+            graph.insert_edge(u, v);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(label), &use_dl, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &(u, v) in &edges {
+                    if graph.has_edge(u, v) {
+                        hits += 1;
+                    }
+                }
+                hits
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = ablation;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_denylist_ablation
+}
+criterion_main!(ablation);

@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks for the graph analytics tasks (Figures 10–16):
+//! each task runs over every scheme on a NotreDame-like subgraph, exercising
+//! the successor-query and edge-query paths the paper's analysis attributes
+//! the differences to.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph_analytics as analytics;
+use graph_api::DynamicGraph;
+use graph_bench::SchemeKind;
+use graph_datasets::{generate, DatasetKind};
+
+const SCALE: f64 = 0.0005;
+const SEED: u64 = 0x1CDE_2025;
+const SUBGRAPH_NODES: usize = 32;
+
+fn populated(scheme: SchemeKind, edges: &[(u64, u64)]) -> Box<dyn DynamicGraph> {
+    let mut graph = scheme.build();
+    for &(u, v) in edges {
+        graph.insert_edge(u, v);
+    }
+    graph
+}
+
+fn bench_task(
+    c: &mut Criterion,
+    group_name: &str,
+    run: impl Fn(&dyn DynamicGraph, &[u64]) -> usize,
+) {
+    let edges = generate(DatasetKind::NotreDame, SCALE, SEED).distinct_edges();
+    let mut group = c.benchmark_group(group_name);
+    for scheme in SchemeKind::paper_lineup() {
+        let graph = populated(scheme, &edges);
+        let nodes = analytics::top_degree_nodes(graph.as_ref(), SUBGRAPH_NODES);
+        group.bench_with_input(BenchmarkId::from_parameter(scheme.label()), &scheme, |b, _| {
+            b.iter(|| run(graph.as_ref(), &nodes));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    bench_task(c, "fig10_bfs", |g, nodes| {
+        nodes.iter().take(8).map(|&n| analytics::bfs(g, n).len()).sum()
+    });
+}
+
+fn bench_sssp(c: &mut Criterion) {
+    bench_task(c, "fig11_sssp", |g, nodes| {
+        nodes.iter().take(8).map(|&n| analytics::dijkstra(g, n).len()).sum()
+    });
+}
+
+fn bench_triangle(c: &mut Criterion) {
+    bench_task(c, "fig12_triangle_counting", |g, nodes| {
+        nodes.iter().take(8).map(|&n| analytics::triangles_containing(g, n)).sum()
+    });
+}
+
+fn bench_cc(c: &mut Criterion) {
+    bench_task(c, "fig13_connected_components", |g, nodes| {
+        analytics::connected_components(g, nodes).count
+    });
+}
+
+fn bench_pagerank(c: &mut Criterion) {
+    bench_task(c, "fig14_pagerank", |g, nodes| {
+        analytics::pagerank(g, nodes, &analytics::PageRankConfig::default()).len()
+    });
+}
+
+fn bench_betweenness(c: &mut Criterion) {
+    bench_task(c, "fig15_betweenness", |g, nodes| {
+        analytics::betweenness_centrality(g, nodes).len()
+    });
+}
+
+fn bench_lcc(c: &mut Criterion) {
+    bench_task(c, "fig16_lcc", |g, nodes| {
+        analytics::local_clustering_coefficients(g, nodes).len()
+    });
+}
+
+criterion_group! {
+    name = analytics_benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_bfs, bench_sssp, bench_triangle, bench_cc, bench_pagerank,
+              bench_betweenness, bench_lcc
+}
+criterion_main!(analytics_benches);

@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks for the database integrations:
+//!
+//! * Figure 17 — CuckooGraph behind the Redis-like command path, compared
+//!   with the bare data structure, showing that command dispatch dominates;
+//! * Figure 18 — the Neo4j-like property graph answering edge queries by
+//!   adjacency-chain scanning vs through the CuckooGraph index.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use cuckoograph::WeightedCuckooGraph;
+use graph_api::WeightedDynamicGraph;
+use graph_datasets::{generate, DatasetKind};
+use graphdb::PropertyGraph;
+use kvstore::{CuckooGraphModule, Server};
+
+const SCALE: f64 = 0.0003;
+const SEED: u64 = 0x1CDE_2025;
+
+fn bench_kvstore_paths(c: &mut Criterion) {
+    let raw = generate(DatasetKind::Caida, SCALE, SEED).raw_edges;
+
+    let mut group = c.benchmark_group("fig17_insert_path");
+    group.throughput(criterion::Throughput::Elements(raw.len() as u64));
+    group.bench_function(BenchmarkId::from_parameter("bare_cuckoograph"), |b| {
+        b.iter_batched(
+            WeightedCuckooGraph::new,
+            |mut g| {
+                for &(u, v) in &raw {
+                    g.insert_weighted(u, v, 1);
+                }
+                g
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function(BenchmarkId::from_parameter("through_command_path"), |b| {
+        b.iter_batched(
+            || {
+                let mut server = Server::new();
+                server.load_module(Box::new(CuckooGraphModule::new()));
+                server
+            },
+            |mut server| {
+                for &(u, v) in &raw {
+                    let cmd = vec![
+                        "graph.insert".to_string(),
+                        "g".to_string(),
+                        u.to_string(),
+                        v.to_string(),
+                    ];
+                    server.execute(&cmd);
+                }
+                server
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_graphdb_query_paths(c: &mut Criterion) {
+    let raw = generate(DatasetKind::Caida, SCALE, SEED).raw_edges;
+    let dedup: Vec<(u64, u64)> = {
+        let mut seen = std::collections::HashSet::new();
+        raw.iter().copied().filter(|e| seen.insert(*e)).collect()
+    };
+
+    let mut scan_db = PropertyGraph::new();
+    let mut indexed_db = PropertyGraph::with_cuckoo_index();
+    for &(u, v) in &raw {
+        scan_db.create_relationship(u, v, "FLOW");
+        indexed_db.create_relationship(u, v, "FLOW");
+    }
+
+    let mut group = c.benchmark_group("fig18_edge_query");
+    group.throughput(criterion::Throughput::Elements(dedup.len() as u64));
+    group.bench_function(BenchmarkId::from_parameter("neo4j_scan"), |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for &(u, v) in &dedup {
+                let (matches, _) = scan_db.relationships_between_scan(u, v);
+                found += usize::from(!matches.is_empty());
+            }
+            found
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("cuckoograph_index"), |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for &(u, v) in &dedup {
+                let (matches, _) = indexed_db.relationships_between(u, v);
+                found += usize::from(!matches.is_empty());
+            }
+            found
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = integrations;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_kvstore_paths, bench_graphdb_query_paths
+}
+criterion_main!(integrations);

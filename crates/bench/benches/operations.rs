@@ -1,0 +1,132 @@
+//! Criterion micro-benchmarks for the basic tasks (Figures 6–9): insertion,
+//! query and deletion throughput of every scheme, plus a memory-per-edge
+//! measurement, on CAIDA-like and NotreDame-like workloads.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use graph_bench::SchemeKind;
+use graph_datasets::{generate, DatasetKind};
+
+const SCALE: f64 = 0.0003;
+const SEED: u64 = 0x1CDE_2025;
+
+fn schemes() -> [SchemeKind; 5] {
+    SchemeKind::paper_lineup()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    for kind in [DatasetKind::Caida, DatasetKind::NotreDame] {
+        let edges = generate(kind, SCALE, SEED).distinct_edges();
+        let mut group = c.benchmark_group(format!("fig6_insert_{}", kind.name()));
+        group.throughput(criterion::Throughput::Elements(edges.len() as u64));
+        for scheme in schemes() {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(scheme.label()),
+                &scheme,
+                |b, &scheme| {
+                    b.iter_batched(
+                        || scheme.build(),
+                        |mut graph| {
+                            for &(u, v) in &edges {
+                                graph.insert_edge(u, v);
+                            }
+                            graph
+                        },
+                        BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn bench_query(c: &mut Criterion) {
+    for kind in [DatasetKind::Caida, DatasetKind::NotreDame] {
+        let edges = generate(kind, SCALE, SEED).distinct_edges();
+        let mut group = c.benchmark_group(format!("fig7_query_{}", kind.name()));
+        group.throughput(criterion::Throughput::Elements(edges.len() as u64));
+        for scheme in schemes() {
+            let mut graph = scheme.build();
+            for &(u, v) in &edges {
+                graph.insert_edge(u, v);
+            }
+            group.bench_with_input(
+                BenchmarkId::from_parameter(scheme.label()),
+                &scheme,
+                |b, _| {
+                    b.iter(|| {
+                        let mut hits = 0usize;
+                        for &(u, v) in &edges {
+                            if graph.has_edge(u, v) {
+                                hits += 1;
+                            }
+                        }
+                        hits
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn bench_delete(c: &mut Criterion) {
+    let edges = generate(DatasetKind::Caida, SCALE, SEED).distinct_edges();
+    let mut group = c.benchmark_group("fig8_delete_CAIDA");
+    group.throughput(criterion::Throughput::Elements(edges.len() as u64));
+    for scheme in schemes() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                b.iter_batched(
+                    || {
+                        let mut graph = scheme.build();
+                        for &(u, v) in &edges {
+                            graph.insert_edge(u, v);
+                        }
+                        graph
+                    },
+                    |mut graph| {
+                        for &(u, v) in &edges {
+                            graph.delete_edge(u, v);
+                        }
+                        graph
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figure 9 companion: not a timing benchmark but a quick per-scheme memory
+/// report printed once so `cargo bench` output carries the space comparison.
+fn bench_memory_report(c: &mut Criterion) {
+    let edges = generate(DatasetKind::Caida, SCALE, SEED).distinct_edges();
+    let mut group = c.benchmark_group("fig9_memory_per_edge_bytes");
+    for scheme in schemes() {
+        let mut graph = scheme.build();
+        for &(u, v) in &edges {
+            graph.insert_edge(u, v);
+        }
+        let per_edge = graph.memory_bytes() as f64 / edges.len() as f64;
+        println!("fig9 memory: {:12} {:8.1} bytes/edge", scheme.label(), per_edge);
+        // Keep Criterion happy with a trivial measured closure.
+        group.bench_function(BenchmarkId::from_parameter(scheme.label()), |b| {
+            b.iter(|| graph.memory_bytes())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = operations;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_insert, bench_query, bench_delete, bench_memory_report
+}
+criterion_main!(operations);

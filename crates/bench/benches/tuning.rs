@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks for the parameter studies (Figures 2–4):
+//! CuckooGraph insertion and query throughput as `d`, `G` and `T` vary, on a
+//! CAIDA-like workload.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use cuckoograph::{CuckooGraph, CuckooGraphConfig};
+use graph_api::DynamicGraph;
+use graph_datasets::{generate, DatasetKind};
+
+const SCALE: f64 = 0.0005;
+const SEED: u64 = 0x1CDE_2025;
+
+fn workload() -> Vec<(u64, u64)> {
+    generate(DatasetKind::Caida, SCALE, SEED).distinct_edges()
+}
+
+fn insert_all(config: CuckooGraphConfig, edges: &[(u64, u64)]) -> CuckooGraph {
+    let mut g = CuckooGraph::with_config(config);
+    for &(u, v) in edges {
+        g.insert_edge(u, v);
+    }
+    g
+}
+
+fn bench_tuning_d(c: &mut Criterion) {
+    let edges = workload();
+    let mut group = c.benchmark_group("fig2_tuning_d_insert");
+    for d in [4usize, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            let config = CuckooGraphConfig::default().with_cells_per_bucket(d);
+            b.iter_batched(
+                || config.clone(),
+                |config| insert_all(config, &edges),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_tuning_g(c: &mut Criterion) {
+    let edges = workload();
+    let mut group = c.benchmark_group("fig3_tuning_g_insert");
+    for g_value in [0.8f64, 0.85, 0.9, 0.95] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(g_value),
+            &g_value,
+            |b, &g_value| {
+                let config = CuckooGraphConfig::default().with_expand_threshold(g_value);
+                b.iter_batched(
+                    || config.clone(),
+                    |config| insert_all(config, &edges),
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_tuning_t_query(c: &mut Criterion) {
+    let edges = workload();
+    let mut group = c.benchmark_group("fig4_tuning_t_query");
+    for t in [50usize, 150, 250, 350] {
+        let config = CuckooGraphConfig::default().with_max_kicks(t);
+        let graph = insert_all(config, &edges);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &(u, v) in &edges {
+                    if graph.has_edge(u, v) {
+                        hits += 1;
+                    }
+                }
+                hits
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = tuning;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_tuning_d, bench_tuning_g, bench_tuning_t_query
+}
+criterion_main!(tuning);

@@ -1,0 +1,54 @@
+//! `reproduce` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p graph-bench --release --bin reproduce -- list
+//! cargo run -p graph-bench --release --bin reproduce -- fig6
+//! cargo run -p graph-bench --release --bin reproduce -- all
+//! REPRO_SCALE=0.02 cargo run -p graph-bench --release --bin reproduce -- fig9
+//! ```
+//!
+//! The optional `REPRO_SCALE` environment variable sets the fraction of the
+//! published dataset sizes to synthesise (default 0.002 so a full `all` run
+//! finishes in minutes on a laptop).
+
+use graph_bench::{default_scale, Experiment};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = default_scale();
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        print_help();
+        return;
+    }
+    match args[0].as_str() {
+        "list" => {
+            for e in Experiment::all() {
+                println!("{:10}  {}", e.id(), e.description());
+            }
+        }
+        "all" => {
+            eprintln!("# running every experiment at scale {scale}");
+            for e in Experiment::all() {
+                eprintln!("# running {} ...", e.id());
+                println!("{}", e.run(scale).render());
+            }
+        }
+        id => match Experiment::from_id(id) {
+            Some(e) => println!("{}", e.run(scale).render()),
+            None => {
+                eprintln!("unknown experiment '{id}'");
+                print_help();
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn print_help() {
+    println!("usage: reproduce <list|all|EXPERIMENT_ID>");
+    println!("experiment ids:");
+    for e in Experiment::all() {
+        println!("  {:10}  {}", e.id(), e.description());
+    }
+    println!("\nenvironment: REPRO_SCALE=<fraction of published dataset sizes> (default 0.002)");
+}

@@ -1,0 +1,980 @@
+//! One experiment per table and figure of the evaluation section.
+//!
+//! Every experiment returns an [`ExperimentReport`] containing one or more
+//! printable tables whose rows mirror the series plotted in the paper, so
+//! `cargo run -p graph-bench --release --bin reproduce -- all` regenerates the
+//! whole evaluation in text form.
+
+use crate::schemes::SchemeKind;
+use crate::workload::{memory_curve, run_deletes, run_inserts, run_queries};
+use crate::HARNESS_SEED;
+use cuckoograph::chain::{ChainParams, TableChain};
+use cuckoograph::{CuckooGraph, CuckooGraphConfig};
+use graph_analytics as analytics;
+use graph_api::{DynamicGraph, MemoryFootprint, NodeId};
+use graph_datasets::{compute_stats, generate, DatasetKind};
+use graphdb::PropertyGraph;
+use kvstore::{CuckooGraphModule, Reply, Server};
+use std::time::Instant;
+
+/// A printable table of results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportTable {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted as strings).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ReportTable {
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                } else {
+                    widths.push(cell.len());
+                }
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The result of running one experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentReport {
+    /// Experiment id (e.g. `"fig6"`).
+    pub id: String,
+    /// Result tables.
+    pub tables: Vec<ReportTable>,
+    /// Free-form notes (expected shape vs the paper, caveats).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Renders the whole report.
+    pub fn render(&self) -> String {
+        let mut out = format!("=== {} ===\n", self.id);
+        for table in &self.tables {
+            out.push_str(&table.render());
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+}
+
+/// Every table/figure of the evaluation section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Experiment {
+    /// Table II: the S-CHT chain transformation rule.
+    Table2,
+    /// Table III: complexity comparison.
+    Table3,
+    /// Table IV: dataset statistics.
+    Table4,
+    /// § IV-A: average placements per inserted item (Theorem 1 validation).
+    Theorem1,
+    /// Figure 2: effect of `d`.
+    Fig2,
+    /// Figure 3: effect of `G`.
+    Fig3,
+    /// Figure 4: effect of `T`.
+    Fig4,
+    /// Figure 5: DENYLIST ablation.
+    Fig5,
+    /// Figure 6: insertion throughput.
+    Fig6,
+    /// Figure 7: query throughput.
+    Fig7,
+    /// Figure 8: deletion throughput.
+    Fig8,
+    /// Figure 9: memory usage curves.
+    Fig9,
+    /// Figure 10: BFS running time.
+    Fig10,
+    /// Figure 11: SSSP running time.
+    Fig11,
+    /// Figure 12: Triangle Counting running time.
+    Fig12,
+    /// Figure 13: Connected Components running time.
+    Fig13,
+    /// Figure 14: PageRank running time.
+    Fig14,
+    /// Figure 15: Betweenness Centrality running time.
+    Fig15,
+    /// Figure 16: Local Clustering Coefficient running time.
+    Fig16,
+    /// Figure 17: CuckooGraph on the Redis-like store.
+    Fig17,
+    /// Figure 18: Neo4j-like store with and without CuckooGraph.
+    Fig18,
+}
+
+impl Experiment {
+    /// Every experiment, in paper order.
+    pub fn all() -> Vec<Experiment> {
+        use Experiment::*;
+        vec![
+            Table2, Table3, Table4, Theorem1, Fig2, Fig3, Fig4, Fig5, Fig6, Fig7, Fig8, Fig9,
+            Fig10, Fig11, Fig12, Fig13, Fig14, Fig15, Fig16, Fig17, Fig18,
+        ]
+    }
+
+    /// Stable textual id used on the command line.
+    pub fn id(self) -> &'static str {
+        match self {
+            Experiment::Table2 => "table2",
+            Experiment::Table3 => "table3",
+            Experiment::Table4 => "table4",
+            Experiment::Theorem1 => "theorem1",
+            Experiment::Fig2 => "fig2",
+            Experiment::Fig3 => "fig3",
+            Experiment::Fig4 => "fig4",
+            Experiment::Fig5 => "fig5",
+            Experiment::Fig6 => "fig6",
+            Experiment::Fig7 => "fig7",
+            Experiment::Fig8 => "fig8",
+            Experiment::Fig9 => "fig9",
+            Experiment::Fig10 => "fig10",
+            Experiment::Fig11 => "fig11",
+            Experiment::Fig12 => "fig12",
+            Experiment::Fig13 => "fig13",
+            Experiment::Fig14 => "fig14",
+            Experiment::Fig15 => "fig15",
+            Experiment::Fig16 => "fig16",
+            Experiment::Fig17 => "fig17",
+            Experiment::Fig18 => "fig18",
+        }
+    }
+
+    /// Finds an experiment by id.
+    pub fn from_id(id: &str) -> Option<Experiment> {
+        Experiment::all().into_iter().find(|e| e.id() == id)
+    }
+
+    /// One-line description used by `reproduce list`.
+    pub fn description(self) -> &'static str {
+        match self {
+            Experiment::Table2 => "S-CHT chain transformation rule (lengths per expansion)",
+            Experiment::Table3 => "complexity comparison across schemes",
+            Experiment::Table4 => "dataset statistics (synthetic stand-ins vs published)",
+            Experiment::Theorem1 => "average placements per inserted item (Theorem 1)",
+            Experiment::Fig2 => "parameter study: cells per bucket d",
+            Experiment::Fig3 => "parameter study: expansion threshold G",
+            Experiment::Fig4 => "parameter study: kick budget T",
+            Experiment::Fig5 => "DENYLIST ablation",
+            Experiment::Fig6 => "insertion throughput across schemes and datasets",
+            Experiment::Fig7 => "query throughput across schemes and datasets",
+            Experiment::Fig8 => "deletion throughput across schemes and datasets",
+            Experiment::Fig9 => "memory usage while inserting deduplicated edges",
+            Experiment::Fig10 => "BFS running time",
+            Experiment::Fig11 => "SSSP (Dijkstra) running time",
+            Experiment::Fig12 => "Triangle Counting running time",
+            Experiment::Fig13 => "Connected Components running time",
+            Experiment::Fig14 => "PageRank running time",
+            Experiment::Fig15 => "Betweenness Centrality running time",
+            Experiment::Fig16 => "Local Clustering Coefficient running time",
+            Experiment::Fig17 => "CuckooGraph behind the Redis-like command path",
+            Experiment::Fig18 => "Neo4j-like store with vs without the CuckooGraph index",
+        }
+    }
+
+    /// Runs the experiment at the given dataset scale.
+    pub fn run(self, scale: f64) -> ExperimentReport {
+        match self {
+            Experiment::Table2 => table2(),
+            Experiment::Table3 => table3(),
+            Experiment::Table4 => table4(scale),
+            Experiment::Theorem1 => theorem1(scale),
+            Experiment::Fig2 => tuning_d(scale),
+            Experiment::Fig3 => tuning_g(scale),
+            Experiment::Fig4 => tuning_t(scale),
+            Experiment::Fig5 => ablation_denylist(scale),
+            Experiment::Fig6 => ops_throughput(scale, Operation::Insert),
+            Experiment::Fig7 => ops_throughput(scale, Operation::Query),
+            Experiment::Fig8 => ops_throughput(scale, Operation::Delete),
+            Experiment::Fig9 => memory_usage(scale),
+            Experiment::Fig10 => analytics_task(scale, Task::Bfs),
+            Experiment::Fig11 => analytics_task(scale, Task::Sssp),
+            Experiment::Fig12 => analytics_task(scale, Task::TriangleCounting),
+            Experiment::Fig13 => analytics_task(scale, Task::ConnectedComponents),
+            Experiment::Fig14 => analytics_task(scale, Task::PageRank),
+            Experiment::Fig15 => analytics_task(scale, Task::Betweenness),
+            Experiment::Fig16 => analytics_task(scale, Task::Lcc),
+            Experiment::Fig17 => kvstore_throughput(scale),
+            Experiment::Fig18 => graphdb_comparison(scale),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// helpers
+// ---------------------------------------------------------------------------
+
+fn fmt(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.1}")
+    } else if v >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn datasets_for_ops() -> [DatasetKind; 7] {
+    DatasetKind::all()
+}
+
+/// A smaller dataset lineup for the quadratic-ish analytics tasks, so the
+/// default scale finishes quickly; the full lineup is used when `REPRO_SCALE`
+/// selects a larger run.
+fn datasets_for_analytics() -> [DatasetKind; 7] {
+    DatasetKind::all()
+}
+
+fn distinct_edges(kind: DatasetKind, scale: f64) -> Vec<(NodeId, NodeId)> {
+    generate(kind, scale, HARNESS_SEED).distinct_edges()
+}
+
+// ---------------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------------
+
+fn table2() -> ExperimentReport {
+    let params = ChainParams {
+        cells_per_bucket: 8,
+        r: 3,
+        expand_threshold: 0.9,
+        contract_threshold: 0.5,
+        max_kicks: 250,
+        base_len: 8,
+    };
+    let mut chain: TableChain<NodeId> = TableChain::new(params, HARNESS_SEED);
+    let mut rng = cuckoograph::rng::KickRng::new(HARNESS_SEED);
+    let mut placements = 0u64;
+    let mut rows = Vec::new();
+    let n = params.base_len;
+    for step in 0..8 {
+        let lengths = chain.table_lengths();
+        let cell = |i: usize| {
+            lengths
+                .get(i)
+                .map(|&l| match (l % n == 0, l / n) {
+                    (true, 1) => "n".to_string(),
+                    (true, multiple) => format!("{multiple}n"),
+                    (false, _) => format!("n/{}", n / l),
+                })
+                .unwrap_or_else(|| "null".to_string())
+        };
+        rows.push(vec![step.to_string(), cell(0), cell(1), cell(2)]);
+        chain.expand(&mut rng, &mut placements);
+    }
+    ExperimentReport {
+        id: "table2".into(),
+        tables: vec![ReportTable {
+            title: "Table II — transformation rule for R = 3 (lengths after each expansion)"
+                .into(),
+            headers: vec!["# LR > G".into(), "1st S-CHT".into(), "2nd S-CHT".into(), "3rd S-CHT".into()],
+            rows,
+        }],
+        notes: vec!["Matches Table II of the paper row by row.".into()],
+    }
+}
+
+fn table3() -> ExperimentReport {
+    let rows = vec![
+        vec!["LiveGraph".into(), "O(1)".into(), "O(deg(v))".into(), "O(|E|)".into()],
+        vec!["Spruce".into(), "O(|E|/|V|)".into(), "O(log(|E|/|V|))".into(), "O(|E|)".into()],
+        vec!["Sortledton".into(), "O(log|E|)".into(), "O(log|E|)".into(), "O(|E|)".into()],
+        vec!["WBI".into(), "O(1)".into(), "O(|E|/K^2)".into(), "O(K^2+|E|)".into()],
+        vec!["CuckooGraph (Ours)".into(), "O(1)".into(), "O(1)".into(), "O(|E|)".into()],
+    ];
+    ExperimentReport {
+        id: "table3".into(),
+        tables: vec![ReportTable {
+            title: "Table III — amortised time and space complexity".into(),
+            headers: vec![
+                "Algorithm".into(),
+                "Insert edge".into(),
+                "Query edge".into(),
+                "Space".into(),
+            ],
+            rows,
+        }],
+        notes: vec![
+            "Analytic table; the O(1) insert/query bound for CuckooGraph assumes Theorem 1 \
+             holds and T is a constant."
+                .into(),
+        ],
+    }
+}
+
+fn table4(scale: f64) -> ExperimentReport {
+    let mut rows = Vec::new();
+    for kind in DatasetKind::all() {
+        let published = kind.profile();
+        let ds = generate(kind, scale, HARNESS_SEED);
+        let stats = compute_stats(&ds.raw_edges);
+        rows.push(vec![
+            published.name.to_string(),
+            if published.weighted { "yes" } else { "no" }.to_string(),
+            stats.nodes.to_string(),
+            stats.raw_edges.to_string(),
+            stats.distinct_edges.to_string(),
+            fmt(stats.avg_degree),
+            stats.max_degree.to_string(),
+            format!("{:.2e}", stats.density),
+            format!("{:.2e}", published.density),
+        ]);
+    }
+    ExperimentReport {
+        id: "table4".into(),
+        tables: vec![ReportTable {
+            title: format!("Table IV — synthetic dataset statistics at scale {scale}"),
+            headers: vec![
+                "Dataset".into(),
+                "Weighted?".into(),
+                "Nodes".into(),
+                "Edges".into(),
+                "Edges (dedup)".into(),
+                "Avg deg".into(),
+                "Max deg".into(),
+                "Density".into(),
+                "Published density".into(),
+            ],
+            rows,
+        }],
+        notes: vec![
+            "Synthetic stand-ins: node/edge counts are the published values times the scale \
+             factor; duplicate ratios, degree skew and density follow Table IV."
+                .into(),
+        ],
+    }
+}
+
+fn theorem1(scale: f64) -> ExperimentReport {
+    // The paper inserts NotreDame into a CuckooGraph grown from the minimum
+    // size and reports ≈1.017 (L-CHT) and ≈1.006 (S-CHT) placements per item.
+    let edges = distinct_edges(DatasetKind::NotreDame, (scale * 5.0).min(1.0));
+    let mut graph = CuckooGraph::new();
+    for &(u, v) in &edges {
+        graph.insert_edge(u, v);
+    }
+    let stats = graph.stats();
+    let table = ReportTable {
+        title: "§ IV-A — average number of placements per inserted item (NotreDame-like)".into(),
+        headers: vec!["Structure".into(), "Items".into(), "Placements".into(), "Avg/item".into()],
+        rows: vec![
+            vec![
+                "L-CHT".into(),
+                stats.lcht_items.to_string(),
+                stats.lcht_placements.to_string(),
+                fmt(stats.avg_lcht_placements_per_item()),
+            ],
+            vec![
+                "S-CHT".into(),
+                stats.scht_items.to_string(),
+                stats.scht_placements.to_string(),
+                fmt(stats.avg_scht_placements_per_item()),
+            ],
+        ],
+    };
+    ExperimentReport {
+        id: "theorem1".into(),
+        tables: vec![table],
+        notes: vec![
+            format!(
+                "Paper reports ≈1.017 (L-CHT) and ≈1.006 (S-CHT) on the full 1.5M-edge \
+                 NotreDame; this run used {} edges. Both averages must sit far below T = 250.",
+                edges.len()
+            ),
+            format!("insertion failures routed to denylists: {}", stats.insertion_failures),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parameter studies (Figures 2–4) and ablation (Figure 5)
+// ---------------------------------------------------------------------------
+
+fn tuning_run(config: CuckooGraphConfig, edges: &[(NodeId, NodeId)]) -> (f64, f64, f64) {
+    let mut graph = CuckooGraph::with_config(config);
+    let insert = run_inserts(&mut graph, edges);
+    let (query, _) = run_queries(&graph, edges);
+    (insert, query, graph.memory_mb())
+}
+
+fn tuning_table(
+    title: String,
+    parameter: &str,
+    values: &[(String, CuckooGraphConfig)],
+    scale: f64,
+) -> ExperimentReport {
+    let edges = distinct_edges(DatasetKind::Caida, scale);
+    let mut rows = Vec::new();
+    for (label, config) in values {
+        let (insert, query, memory) = tuning_run(config.clone(), &edges);
+        rows.push(vec![label.clone(), fmt(insert), fmt(query), fmt(memory)]);
+    }
+    ExperimentReport {
+        id: String::new(),
+        tables: vec![ReportTable {
+            title,
+            headers: vec![
+                parameter.to_string(),
+                "Insert (Mops)".into(),
+                "Query (Mops)".into(),
+                "Memory (MB)".into(),
+            ],
+            rows,
+        }],
+        notes: vec![format!("CAIDA-like deduplicated stream, {} edges.", edges.len())],
+    }
+}
+
+fn tuning_d(scale: f64) -> ExperimentReport {
+    let values: Vec<(String, CuckooGraphConfig)> = [4usize, 8, 16, 32]
+        .iter()
+        .map(|&d| (format!("d={d}"), CuckooGraphConfig::default().with_cells_per_bucket(d)))
+        .collect();
+    let mut report =
+        tuning_table("Figure 2 — effect of cells per bucket d".into(), "d", &values, scale);
+    report.id = "fig2".into();
+    report.notes.push("Paper picks d = 8 (fastest insertion, near-least memory).".into());
+    report
+}
+
+fn tuning_g(scale: f64) -> ExperimentReport {
+    let values: Vec<(String, CuckooGraphConfig)> = [0.8f64, 0.85, 0.9, 0.95]
+        .iter()
+        .map(|&g| (format!("G={g}"), CuckooGraphConfig::default().with_expand_threshold(g)))
+        .collect();
+    let mut report =
+        tuning_table("Figure 3 — effect of expansion threshold G".into(), "G", &values, scale);
+    report.id = "fig3".into();
+    report.notes.push("Paper picks G = 0.9 (larger G → less memory, similar speed).".into());
+    report
+}
+
+fn tuning_t(scale: f64) -> ExperimentReport {
+    let values: Vec<(String, CuckooGraphConfig)> = [50usize, 150, 250, 350]
+        .iter()
+        .map(|&t| (format!("T={t}"), CuckooGraphConfig::default().with_max_kicks(t)))
+        .collect();
+    let mut report =
+        tuning_table("Figure 4 — effect of kick budget T".into(), "T", &values, scale);
+    report.id = "fig4".into();
+    report
+        .notes
+        .push("Paper picks T = 250; T barely affects memory and only mildly affects speed.".into());
+    report
+}
+
+fn ablation_denylist(scale: f64) -> ExperimentReport {
+    let edges = distinct_edges(DatasetKind::Caida, scale);
+    let mut rows = Vec::new();
+    for (label, use_dl) in [("Ours (DL)", true), ("Ours (DL-free)", false)] {
+        let config = CuckooGraphConfig::default().with_denylist(use_dl);
+        let mut graph = CuckooGraph::with_config(config);
+        let insert = run_inserts(&mut graph, &edges);
+        let (query, _) = run_queries(&graph, &edges);
+        rows.push(vec![
+            label.to_string(),
+            fmt(insert),
+            fmt(query),
+            fmt(graph.memory_mb()),
+            graph.stats().insertion_failures.to_string(),
+        ]);
+    }
+    ExperimentReport {
+        id: "fig5".into(),
+        tables: vec![ReportTable {
+            title: "Figure 5 — DENYLIST ablation (CAIDA-like)".into(),
+            headers: vec![
+                "Variant".into(),
+                "Insert (Mops)".into(),
+                "Query (Mops)".into(),
+                "Memory (MB)".into(),
+                "Kick failures".into(),
+            ],
+            rows,
+        }],
+        notes: vec![
+            "Paper: DL gives ≈1.11× insertion and ≈1.12× query speedup for ≈4 KB extra memory \
+             (DL-free expands on every failure instead)."
+                .into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Basic tasks (Figures 6–9)
+// ---------------------------------------------------------------------------
+
+/// Which basic operation a throughput experiment measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Operation {
+    Insert,
+    Query,
+    Delete,
+}
+
+fn ops_throughput(scale: f64, operation: Operation) -> ExperimentReport {
+    let (id, title) = match operation {
+        Operation::Insert => ("fig6", "Figure 6 — insertion throughput (Mops)"),
+        Operation::Query => ("fig7", "Figure 7 — query throughput (Mops)"),
+        Operation::Delete => ("fig8", "Figure 8 — deletion throughput (Mops)"),
+    };
+    let mut headers = vec!["Dataset".to_string()];
+    headers.extend(SchemeKind::paper_lineup().iter().map(|s| s.label().to_string()));
+    let mut rows = Vec::new();
+    for kind in datasets_for_ops() {
+        let dataset = generate(kind, scale, HARNESS_SEED);
+        let raw = &dataset.raw_edges;
+        let dedup = dataset.distinct_edges();
+        let mut row = vec![kind.name().to_string()];
+        for scheme in SchemeKind::paper_lineup() {
+            let mut graph = scheme.build();
+            let value = match operation {
+                Operation::Insert => run_inserts(graph.as_mut(), raw),
+                Operation::Query => {
+                    run_inserts(graph.as_mut(), raw);
+                    run_queries(graph.as_ref(), raw).0
+                }
+                Operation::Delete => {
+                    run_inserts(graph.as_mut(), raw);
+                    run_deletes(graph.as_mut(), &dedup)
+                }
+            };
+            row.push(fmt(value));
+        }
+        rows.push(row);
+    }
+    ExperimentReport {
+        id: id.into(),
+        tables: vec![ReportTable { title: title.into(), headers, rows }],
+        notes: vec![
+            "Expected shape (paper): Ours fastest on almost every dataset; Sortledton the \
+             closest on insertion; Spruce competitive on some queries; WBI and LiveGraph \
+             slowest overall."
+                .into(),
+        ],
+    }
+}
+
+fn memory_usage(scale: f64) -> ExperimentReport {
+    let mut tables = Vec::new();
+    for kind in datasets_for_ops() {
+        let dedup = distinct_edges(kind, scale);
+        let mut headers = vec!["Scheme".to_string()];
+        headers.extend(["25%", "50%", "75%", "100%"].iter().map(|s| format!("{s} (MB)")));
+        let mut rows = Vec::new();
+        for scheme in SchemeKind::paper_lineup() {
+            let mut graph = scheme.build();
+            let curve = memory_curve(graph.as_mut(), &dedup, 4);
+            let mut row = vec![scheme.label().to_string()];
+            for point in &curve {
+                row.push(fmt(point.1));
+            }
+            while row.len() < headers.len() {
+                row.push("-".into());
+            }
+            rows.push(row);
+        }
+        tables.push(ReportTable {
+            title: format!(
+                "Figure 9 — memory usage while inserting {} deduplicated edges ({})",
+                dedup.len(),
+                kind.name()
+            ),
+            headers,
+            rows,
+        });
+    }
+    ExperimentReport {
+        id: "fig9".into(),
+        tables,
+        notes: vec![
+            "Expected shape (paper): Ours uses the least memory on every dataset \
+             (on average 1.47× less than Spruce, 5.92× less than LiveGraph)."
+                .into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graph analytics tasks (Figures 10–16)
+// ---------------------------------------------------------------------------
+
+/// Which analytics task a running-time experiment measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Task {
+    Bfs,
+    Sssp,
+    TriangleCounting,
+    ConnectedComponents,
+    PageRank,
+    Betweenness,
+    Lcc,
+}
+
+impl Task {
+    fn id_title(self) -> (&'static str, &'static str) {
+        match self {
+            Task::Bfs => ("fig10", "Figure 10 — BFS running time (s)"),
+            Task::Sssp => ("fig11", "Figure 11 — SSSP running time (s)"),
+            Task::TriangleCounting => ("fig12", "Figure 12 — Triangle Counting running time (s)"),
+            Task::ConnectedComponents => {
+                ("fig13", "Figure 13 — Connected Components running time (s)")
+            }
+            Task::PageRank => ("fig14", "Figure 14 — PageRank running time (s)"),
+            Task::Betweenness => ("fig15", "Figure 15 — Betweenness Centrality running time (s)"),
+            Task::Lcc => ("fig16", "Figure 16 — Local Clustering Coefficient running time (s)"),
+        }
+    }
+
+    /// Runs the task against one populated graph and returns the elapsed
+    /// seconds, following the § V-E methodology for that task.
+    fn run(self, graph: &dyn DynamicGraph) -> f64 {
+        // Subgraph parameters: the paper selects "a specific number" of
+        // top-total-degree nodes; the harness uses a fixed budget so every
+        // scheme does identical algorithmic work.
+        const SUBGRAPH_NODES: usize = 48;
+        const BFS_SOURCES: usize = 8;
+        const SSSP_SOURCES: usize = 10;
+        const TC_NODES: usize = 16;
+        let start = Instant::now();
+        match self {
+            Task::Bfs => {
+                let reached = analytics::bfs_from_top_degree(graph, BFS_SOURCES);
+                std::hint::black_box(reached);
+            }
+            Task::Sssp => {
+                let counts = analytics::sssp_from_top_degree(graph, SSSP_SOURCES);
+                std::hint::black_box(counts);
+            }
+            Task::TriangleCounting => {
+                let nodes = analytics::top_degree_nodes(graph, TC_NODES);
+                let total: usize =
+                    nodes.iter().map(|&n| analytics::triangles_containing(graph, n)).sum();
+                std::hint::black_box(total);
+            }
+            Task::ConnectedComponents => {
+                let nodes = analytics::top_degree_nodes(graph, SUBGRAPH_NODES);
+                std::hint::black_box(analytics::connected_components(graph, &nodes).count);
+            }
+            Task::PageRank => {
+                let nodes = analytics::top_degree_nodes(graph, SUBGRAPH_NODES);
+                let pr =
+                    analytics::pagerank(graph, &nodes, &analytics::PageRankConfig::default());
+                std::hint::black_box(pr.len());
+            }
+            Task::Betweenness => {
+                let nodes = analytics::top_degree_nodes(graph, SUBGRAPH_NODES);
+                std::hint::black_box(analytics::betweenness_centrality(graph, &nodes).len());
+            }
+            Task::Lcc => {
+                let nodes = analytics::top_degree_nodes(graph, SUBGRAPH_NODES);
+                std::hint::black_box(
+                    analytics::local_clustering_coefficients(graph, &nodes).len(),
+                );
+            }
+        }
+        start.elapsed().as_secs_f64()
+    }
+}
+
+fn analytics_task(scale: f64, task: Task) -> ExperimentReport {
+    let (id, title) = task.id_title();
+    let mut headers = vec!["Dataset".to_string()];
+    headers.extend(SchemeKind::paper_lineup().iter().map(|s| s.label().to_string()));
+    let mut rows = Vec::new();
+    for kind in datasets_for_analytics() {
+        let dedup = distinct_edges(kind, scale);
+        let mut row = vec![kind.name().to_string()];
+        for scheme in SchemeKind::paper_lineup() {
+            let mut graph = scheme.build();
+            for &(u, v) in &dedup {
+                graph.insert_edge(u, v);
+            }
+            row.push(format!("{:.5}", task.run(graph.as_ref())));
+        }
+        rows.push(row);
+    }
+    ExperimentReport {
+        id: id.into(),
+        tables: vec![ReportTable { title: title.into(), headers, rows }],
+        notes: vec![
+            "Expected shape (paper): Ours fastest on SSSP/TC/BC/LCC, roughly tied with Spruce \
+             on BFS/CC/PR; WBI slowest wherever successor queries dominate."
+                .into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integrations (Figures 17–18)
+// ---------------------------------------------------------------------------
+
+fn kvstore_throughput(scale: f64) -> ExperimentReport {
+    let mut rows = Vec::new();
+    for kind in [DatasetKind::Caida, DatasetKind::StackOverflow] {
+        let dataset = generate(kind, scale, HARNESS_SEED);
+        let raw = &dataset.raw_edges;
+        let dedup = dataset.distinct_edges();
+
+        let mut server = Server::new();
+        server.load_module(Box::new(CuckooGraphModule::new()));
+        let key = "g".to_string();
+
+        // Insertion through the command path.
+        let start = Instant::now();
+        for &(u, v) in raw {
+            let cmd = vec![
+                "graph.insert".to_string(),
+                key.clone(),
+                u.to_string(),
+                v.to_string(),
+            ];
+            server.execute(&cmd);
+        }
+        let insert = raw.len() as f64 / start.elapsed().as_secs_f64() / 1e6;
+
+        // Query through the command path.
+        let start = Instant::now();
+        let mut hits = 0usize;
+        for &(u, v) in &dedup {
+            let cmd =
+                vec!["graph.query".to_string(), key.clone(), u.to_string(), v.to_string()];
+            if matches!(server.execute(&cmd), Reply::Integer(w) if w > 0) {
+                hits += 1;
+            }
+        }
+        let query = dedup.len() as f64 / start.elapsed().as_secs_f64() / 1e6;
+        assert_eq!(hits, dedup.len(), "command-path queries must find every inserted edge");
+
+        // Deletion through the command path.
+        let start = Instant::now();
+        for &(u, v) in &dedup {
+            let cmd = vec!["graph.del".to_string(), key.clone(), u.to_string(), v.to_string()];
+            server.execute(&cmd);
+        }
+        let delete = dedup.len() as f64 / start.elapsed().as_secs_f64() / 1e6;
+
+        // Native SET baseline ("Redis benchmark" reference point).
+        let start = Instant::now();
+        let probe = 10_000usize.min(raw.len());
+        for i in 0..probe {
+            server.execute(&["set".to_string(), format!("k{i}"), "v".to_string()]);
+        }
+        let native = probe as f64 / start.elapsed().as_secs_f64() / 1e6;
+
+        rows.push(vec![
+            kind.name().to_string(),
+            fmt(insert),
+            fmt(query),
+            fmt(delete),
+            fmt(native),
+        ]);
+    }
+    ExperimentReport {
+        id: "fig17".into(),
+        tables: vec![ReportTable {
+            title: "Figure 17 — CuckooGraph module throughput through the command path (Mops)"
+                .into(),
+            headers: vec![
+                "Dataset".into(),
+                "Insert".into(),
+                "Query".into(),
+                "Delete".into(),
+                "Native SET (reference)".into(),
+            ],
+            rows,
+        }],
+        notes: vec![
+            "Expected shape (paper): module throughput is an order of magnitude below the bare \
+             data structure and sits near the store's native command throughput — dispatch \
+             dominates, CuckooGraph itself adds little."
+                .into(),
+        ],
+    }
+}
+
+fn graphdb_comparison(scale: f64) -> ExperimentReport {
+    // The paper inserts the first 1M CAIDA edges; scale that budget down.
+    let dataset = generate(DatasetKind::Caida, scale, HARNESS_SEED);
+    let budget = dataset.raw_edges.len().min(1_000_000);
+    let raw = &dataset.raw_edges[..budget];
+    let dedup: Vec<(NodeId, NodeId)> = {
+        let mut seen = std::collections::HashSet::new();
+        raw.iter().copied().filter(|e| seen.insert(*e)).collect()
+    };
+
+    let mut rows = Vec::new();
+    for (label, with_index) in [("Ours+Neo4j", true), ("Neo4j", false)] {
+        let mut db =
+            if with_index { PropertyGraph::with_cuckoo_index() } else { PropertyGraph::new() };
+        let start = Instant::now();
+        for &(u, v) in raw {
+            db.create_relationship(u, v, "FLOW");
+        }
+        let insert_s = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let mut found = 0usize;
+        let mut scanned = 0usize;
+        for &(u, v) in &dedup {
+            let (matches, cost) = db.relationships_between(u, v);
+            found += usize::from(!matches.is_empty());
+            scanned += cost.relationships_scanned;
+        }
+        let query_s = start.elapsed().as_secs_f64();
+        assert_eq!(found, dedup.len());
+        rows.push(vec![
+            label.to_string(),
+            format!("{insert_s:.4}"),
+            format!("{query_s:.4}"),
+            scanned.to_string(),
+        ]);
+    }
+    ExperimentReport {
+        id: "fig18".into(),
+        tables: vec![ReportTable {
+            title: format!(
+                "Figure 18 — property-graph store with vs without the CuckooGraph index \
+                 ({} raw edges, {} distinct queries)",
+                raw.len(),
+                dedup.len()
+            ),
+            headers: vec![
+                "Variant".into(),
+                "Insertion time (s)".into(),
+                "Query time (s)".into(),
+                "Relationship records touched".into(),
+            ],
+            rows,
+        }],
+        notes: vec![
+            "Expected shape (paper): insertion time is nearly identical (the index adds a \
+             small constant per edge); query time with the index is orders of magnitude lower \
+             because the adjacency-list scan touches every relationship of the source node."
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEST_SCALE: f64 = 0.0005;
+
+    #[test]
+    fn table2_reproduces_the_published_rows() {
+        let report = table2();
+        let rows = &report.tables[0].rows;
+        assert_eq!(rows[0][1..], ["n", "null", "null"].map(String::from));
+        assert_eq!(rows[1][1..], ["n", "n/2", "null"].map(String::from));
+        assert_eq!(rows[3][1..], ["2n", "n", "null"].map(String::from));
+        assert_eq!(rows[7][1..], ["8n", "4n", "null"].map(String::from));
+    }
+
+    #[test]
+    fn table4_produces_a_row_per_dataset() {
+        let report = table4(TEST_SCALE);
+        assert_eq!(report.tables[0].rows.len(), 7);
+        assert!(report.render().contains("CAIDA"));
+    }
+
+    #[test]
+    fn theorem1_average_is_far_below_the_kick_budget() {
+        let report = theorem1(TEST_SCALE);
+        let avg: f64 = report.tables[0].rows[0][3].parse().unwrap();
+        assert!(avg >= 1.0 && avg < 50.0, "avg placements {avg}");
+    }
+
+    #[test]
+    fn tuning_and_ablation_produce_expected_rows() {
+        let fig2 = tuning_d(TEST_SCALE);
+        assert_eq!(fig2.tables[0].rows.len(), 4);
+        let fig5 = ablation_denylist(TEST_SCALE);
+        assert_eq!(fig5.tables[0].rows.len(), 2);
+        // Both variants store everything: memory within 2× of each other.
+        let dl: f64 = fig5.tables[0].rows[0][3].parse().unwrap();
+        let free: f64 = fig5.tables[0].rows[1][3].parse().unwrap();
+        assert!(dl <= free * 2.0 && free <= dl * 2.0);
+    }
+
+    #[test]
+    fn throughput_experiment_covers_every_scheme_and_dataset() {
+        let report = ops_throughput(TEST_SCALE, Operation::Insert);
+        assert_eq!(report.tables[0].rows.len(), 7);
+        assert_eq!(report.tables[0].headers.len(), 6);
+        for row in &report.tables[0].rows {
+            for cell in &row[1..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!(v > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn graphdb_comparison_shows_the_index_win() {
+        let report = graphdb_comparison(TEST_SCALE);
+        let rows = &report.tables[0].rows;
+        let indexed_touched: usize = rows[0][3].parse().unwrap();
+        let scan_touched: usize = rows[1][3].parse().unwrap();
+        assert!(
+            scan_touched > indexed_touched,
+            "scan path should touch more records ({scan_touched} vs {indexed_touched})"
+        );
+    }
+
+    #[test]
+    fn experiment_ids_roundtrip() {
+        for e in Experiment::all() {
+            assert_eq!(Experiment::from_id(e.id()), Some(e));
+            assert!(!e.description().is_empty());
+        }
+        assert_eq!(Experiment::from_id("nope"), None);
+    }
+
+    #[test]
+    fn report_rendering_contains_headers_and_rows() {
+        let table = ReportTable {
+            title: "T".into(),
+            headers: vec!["a".into(), "b".into()],
+            rows: vec![vec!["1".into(), "2".into()]],
+        };
+        let rendered = table.render();
+        assert!(rendered.contains("## T"));
+        assert!(rendered.contains('a'));
+        assert!(rendered.contains('1'));
+    }
+}

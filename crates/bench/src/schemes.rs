@@ -1,0 +1,99 @@
+//! Construction of every storage scheme the paper compares, behind the shared
+//! [`DynamicGraph`] trait.
+
+use cuckoograph::{CuckooGraph, CuckooGraphConfig};
+use graph_api::DynamicGraph;
+use graph_baselines::{
+    AdjacencyListGraph, LiveGraphStore, PcsrGraph, SortledtonGraph, SpruceGraph, WindBellIndex,
+};
+
+/// The schemes that appear in Figures 6–16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeKind {
+    /// CuckooGraph with the paper's default parameters.
+    CuckooGraph,
+    /// LiveGraph-like baseline.
+    LiveGraph,
+    /// Spruce-like baseline (the closest competitor).
+    Spruce,
+    /// Sortledton-like baseline.
+    Sortledton,
+    /// Wind-Bell Index baseline.
+    Wbi,
+    /// Plain adjacency list (extra reference point, not in the paper).
+    AdjacencyList,
+    /// PCSR (PMA-backed CSR; related-work reference point).
+    Pcsr,
+}
+
+impl SchemeKind {
+    /// The five schemes of the paper's figures, in the order they are plotted.
+    pub fn paper_lineup() -> [SchemeKind; 5] {
+        [
+            SchemeKind::LiveGraph,
+            SchemeKind::Spruce,
+            SchemeKind::Sortledton,
+            SchemeKind::CuckooGraph,
+            SchemeKind::Wbi,
+        ]
+    }
+
+    /// Label used in the report tables (matches the paper's legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemeKind::CuckooGraph => "Ours",
+            SchemeKind::LiveGraph => "LiveGraph",
+            SchemeKind::Spruce => "Spruce",
+            SchemeKind::Sortledton => "Sortledton",
+            SchemeKind::Wbi => "WBI",
+            SchemeKind::AdjacencyList => "AdjList",
+            SchemeKind::Pcsr => "PCSR",
+        }
+    }
+
+    /// Builds a fresh instance of the scheme.
+    pub fn build(self) -> Box<dyn DynamicGraph> {
+        match self {
+            SchemeKind::CuckooGraph => Box::new(CuckooGraph::new()),
+            SchemeKind::LiveGraph => Box::new(LiveGraphStore::new()),
+            SchemeKind::Spruce => Box::new(SpruceGraph::new()),
+            SchemeKind::Sortledton => Box::new(SortledtonGraph::new()),
+            SchemeKind::Wbi => Box::new(WindBellIndex::new()),
+            SchemeKind::AdjacencyList => Box::new(AdjacencyListGraph::new()),
+            SchemeKind::Pcsr => Box::new(PcsrGraph::new()),
+        }
+    }
+
+    /// Builds a CuckooGraph with a custom configuration (parameter studies).
+    pub fn build_cuckoo_with(config: CuckooGraphConfig) -> Box<dyn DynamicGraph> {
+        Box::new(CuckooGraph::with_config(config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineup_matches_the_paper() {
+        let labels: Vec<_> = SchemeKind::paper_lineup().iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["LiveGraph", "Spruce", "Sortledton", "Ours", "WBI"]);
+    }
+
+    #[test]
+    fn every_scheme_builds_and_accepts_edges() {
+        for kind in [
+            SchemeKind::CuckooGraph,
+            SchemeKind::LiveGraph,
+            SchemeKind::Spruce,
+            SchemeKind::Sortledton,
+            SchemeKind::Wbi,
+            SchemeKind::AdjacencyList,
+            SchemeKind::Pcsr,
+        ] {
+            let mut g = kind.build();
+            assert!(g.insert_edge(1, 2), "{}", kind.label());
+            assert!(g.has_edge(1, 2), "{}", kind.label());
+        }
+    }
+}

@@ -1,0 +1,499 @@
+//! L-CHT cells: Part 1 (the source node `u`) plus the transformable Part 2.
+//!
+//! Part 2 starts as up to `2R` inline **small slots** (or `R` for the weighted
+//! variant) that hold neighbour payloads directly. Once the degree exceeds the
+//! inline capacity the slots "merge in pairs" into pointer slots: concretely,
+//! the payloads move into an S-CHT chain ([`TableChain`]) owned by the cell,
+//! which then grows and shrinks per the TRANSFORMATION rule. A chain that
+//! shrinks back to the inline capacity collapses into small slots again.
+
+use crate::chain::{ChainInsert, ChainParams, TableChain};
+use crate::hash::splitmix64;
+use crate::payload::Payload;
+use crate::rng::KickRng;
+use graph_api::NodeId;
+
+/// Everything a cell needs to know to manage its Part 2. Borrowed from the
+/// engine on every call so cells stay small.
+#[derive(Debug, Clone, Copy)]
+pub struct CellCtx {
+    /// Inline capacity of Part 2 before it transforms (`2R` basic, `R` weighted).
+    pub small_slots: usize,
+    /// Parameters of the S-CHT chain the cell transforms into.
+    pub chain: ChainParams,
+    /// Base seed; per-cell chains derive their hash seeds from it and `u`.
+    pub seed: u64,
+}
+
+/// Result of placing a neighbour payload into a cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NeighborInsert<P> {
+    /// The payload found a home. `expanded` reports whether the S-CHT chain
+    /// changed shape while absorbing it, which tells the engine to drain the
+    /// matching S-DL entries back in (§ III-A2, step 3).
+    Stored {
+        /// True if the chain enabled a table or merged during this insertion.
+        expanded: bool,
+    },
+    /// The kick-out budget was exhausted; the payload is handed back so the
+    /// engine can park it in the S-DL or force an expansion.
+    Failed(P),
+}
+
+/// Result of removing a neighbour payload from a cell.
+#[derive(Debug)]
+pub struct NeighborRemove<P> {
+    /// The removed payload, if the neighbour was present.
+    pub removed: Option<P>,
+    /// Payloads that lost their slot while the chain contracted and could not
+    /// be re-placed; the engine parks them in the S-DL so nothing is lost.
+    pub displaced: Vec<P>,
+    /// True if the chain contracted or collapsed back to small slots.
+    pub contracted: bool,
+}
+
+/// Part 2 of a cell: inline small slots or an S-CHT chain.
+#[derive(Debug, Clone)]
+enum Part2<P> {
+    /// Inline neighbour storage (degree ≤ `2R`).
+    Small(Vec<P>),
+    /// Degree outgrew the inline slots: neighbours live in an S-CHT chain.
+    Chain(Box<TableChain<P>>),
+}
+
+/// One L-CHT cell: the node `u` plus its transformable neighbour storage.
+#[derive(Debug, Clone)]
+pub struct Cell<P> {
+    u: NodeId,
+    part2: Part2<P>,
+}
+
+impl<P: Payload> Cell<P> {
+    /// Creates an empty cell for node `u`.
+    pub fn new(u: NodeId) -> Self {
+        Self { u, part2: Part2::Small(Vec::new()) }
+    }
+
+    /// The node stored in Part 1.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.u
+    }
+
+    /// Current degree (neighbours stored in this cell; S-DL entries for `u`
+    /// are tracked by the engine).
+    pub fn degree(&self) -> usize {
+        match &self.part2 {
+            Part2::Small(slots) => slots.len(),
+            Part2::Chain(chain) => chain.count(),
+        }
+    }
+
+    /// True if Part 2 has transformed into an S-CHT chain.
+    pub fn is_transformed(&self) -> bool {
+        matches!(self.part2, Part2::Chain(_))
+    }
+
+    /// Number of S-CHT tables hanging off this cell (0 while inline).
+    pub fn scht_tables(&self) -> usize {
+        match &self.part2 {
+            Part2::Small(_) => 0,
+            Part2::Chain(chain) => chain.table_count(),
+        }
+    }
+
+    /// Total S-CHT slot capacity of this cell (0 while inline).
+    pub fn scht_slots(&self) -> usize {
+        match &self.part2 {
+            Part2::Small(_) => 0,
+            Part2::Chain(chain) => chain.capacity(),
+        }
+    }
+
+    /// Looks up the payload stored for neighbour `v`.
+    pub fn get(&self, v: NodeId) -> Option<&P> {
+        match &self.part2 {
+            Part2::Small(slots) => slots.iter().find(|p| p.key() == v),
+            Part2::Chain(chain) => chain.get(v),
+        }
+    }
+
+    /// Mutable lookup of the payload stored for neighbour `v`.
+    pub fn get_mut(&mut self, v: NodeId) -> Option<&mut P> {
+        match &mut self.part2 {
+            Part2::Small(slots) => slots.iter_mut().find(|p| p.key() == v),
+            Part2::Chain(chain) => chain.get_mut(v),
+        }
+    }
+
+    /// True if neighbour `v` is stored in this cell.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.get(v).is_some()
+    }
+
+    /// Calls `f` for every neighbour payload in this cell.
+    pub fn for_each(&self, mut f: impl FnMut(&P)) {
+        match &self.part2 {
+            Part2::Small(slots) => {
+                for p in slots {
+                    f(p);
+                }
+            }
+            Part2::Chain(chain) => chain.for_each(f),
+        }
+    }
+
+    /// The neighbour ids stored in this cell.
+    pub fn neighbors(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.degree());
+        self.for_each(|p| out.push(p.key()));
+        out
+    }
+
+    fn chain_seed(ctx: &CellCtx, u: NodeId) -> u64 {
+        splitmix64(ctx.seed ^ u.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Inserts a neighbour payload whose key is **not** already present
+    /// (callers use [`Cell::get_mut`] for updates). Handles the small-slot →
+    /// chain TRANSFORMATION and chain growth.
+    pub fn insert(
+        &mut self,
+        payload: P,
+        ctx: &CellCtx,
+        rng: &mut KickRng,
+        placements: &mut u64,
+    ) -> NeighborInsert<P> {
+        debug_assert!(!self.contains(payload.key()), "insert of duplicate neighbour");
+        match &mut self.part2 {
+            Part2::Small(slots) => {
+                if slots.len() < ctx.small_slots {
+                    slots.push(payload);
+                    return NeighborInsert::Stored { expanded: false };
+                }
+                // TRANSFORMATION: 2R small slots merge into pointer slots and
+                // every stored v moves into the freshly enabled 1st S-CHT.
+                // Already-stored neighbours must never be lost, so they are
+                // placed with the forced path (which expands the chain as
+                // needed); only the *new* payload may be reported as failed,
+                // so the caller's denylist accounting stays simple.
+                let mut chain =
+                    TableChain::new(ctx.chain, Self::chain_seed(ctx, self.u));
+                for existing in slots.drain(..) {
+                    chain.insert_forced(existing, rng, placements);
+                }
+                let result = match chain.insert(payload, rng, placements) {
+                    ChainInsert::Stored => NeighborInsert::Stored { expanded: true },
+                    ChainInsert::Failed(p) => NeighborInsert::Failed(p),
+                };
+                self.part2 = Part2::Chain(Box::new(chain));
+                result
+            }
+            Part2::Chain(chain) => {
+                let before = chain.expansions();
+                match chain.insert(payload, rng, placements) {
+                    ChainInsert::Stored => {
+                        NeighborInsert::Stored { expanded: chain.expansions() > before }
+                    }
+                    ChainInsert::Failed(p) => NeighborInsert::Failed(p),
+                }
+            }
+        }
+    }
+
+    /// Forces one expansion step of Part 2: an inline cell transforms into a
+    /// chain immediately, a chained cell grows its chain by one step. Returns
+    /// payloads displaced by a merge that could not be re-placed. Used by the
+    /// engine when the S-DL is full or disabled.
+    pub fn force_expand(
+        &mut self,
+        ctx: &CellCtx,
+        rng: &mut KickRng,
+        placements: &mut u64,
+    ) -> Vec<P> {
+        match &mut self.part2 {
+            Part2::Small(slots) => {
+                let mut chain = TableChain::new(ctx.chain, Self::chain_seed(ctx, self.u));
+                for existing in slots.drain(..) {
+                    chain.insert_forced(existing, rng, placements);
+                }
+                self.part2 = Part2::Chain(Box::new(chain));
+                Vec::new()
+            }
+            Part2::Chain(chain) => chain.expand(rng, placements),
+        }
+    }
+
+    /// Re-inserts payloads drained from the S-DL after an expansion. Payloads
+    /// that still cannot be placed are handed back (the engine re-parks them).
+    pub fn reinsert_batch(
+        &mut self,
+        items: Vec<P>,
+        ctx: &CellCtx,
+        rng: &mut KickRng,
+        placements: &mut u64,
+    ) -> Vec<P> {
+        let mut rejected = Vec::new();
+        for item in items {
+            if self.contains(item.key()) {
+                // Should not happen (the engine checks before parking), but a
+                // duplicate must never corrupt the cuckoo invariant.
+                continue;
+            }
+            match self.insert(item, ctx, rng, placements) {
+                NeighborInsert::Stored { .. } => {}
+                NeighborInsert::Failed(p) => rejected.push(p),
+            }
+        }
+        rejected
+    }
+
+    /// Removes neighbour `v`, applying the reverse TRANSFORMATION when the
+    /// chain's loading rate drops below `Λ` and collapsing back to inline
+    /// small slots when everything fits again.
+    pub fn remove(
+        &mut self,
+        v: NodeId,
+        ctx: &CellCtx,
+        rng: &mut KickRng,
+        placements: &mut u64,
+    ) -> NeighborRemove<P> {
+        match &mut self.part2 {
+            Part2::Small(slots) => {
+                let removed = slots
+                    .iter()
+                    .position(|p| p.key() == v)
+                    .map(|idx| slots.swap_remove(idx));
+                NeighborRemove { removed, displaced: Vec::new(), contracted: false }
+            }
+            Part2::Chain(chain) => {
+                let removed = chain.remove(v);
+                if removed.is_none() {
+                    return NeighborRemove { removed, displaced: Vec::new(), contracted: false };
+                }
+                let contracted;
+                let mut displaced = Vec::new();
+                // Collapse back to inline slots once everything fits again —
+                // the end state of the reverse transformation.
+                if chain.count() <= ctx.small_slots {
+                    let items = chain.drain_reset();
+                    self.part2 = Part2::Small(items);
+                    contracted = true;
+                } else {
+                    let before = chain.contractions();
+                    displaced = chain.maybe_contract(rng, placements);
+                    contracted = chain.contractions() > before;
+                }
+                NeighborRemove { removed, displaced, contracted }
+            }
+        }
+    }
+
+    /// Heap bytes owned by Part 2 (inline slot buffer or the whole chain).
+    pub fn part2_bytes(&self) -> usize {
+        match &self.part2 {
+            Part2::Small(slots) => {
+                slots.capacity() * std::mem::size_of::<P>()
+                    + slots.iter().map(Payload::heap_bytes).sum::<usize>()
+            }
+            Part2::Chain(chain) => std::mem::size_of::<TableChain<P>>() + chain.memory_bytes(),
+        }
+    }
+}
+
+impl<P: Payload> Payload for Cell<P> {
+    #[inline]
+    fn key(&self) -> NodeId {
+        self.u
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.part2_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::WeightedSlot;
+
+    fn ctx() -> CellCtx {
+        CellCtx {
+            small_slots: 6, // 2R with R = 3
+            chain: ChainParams {
+                cells_per_bucket: 4,
+                r: 3,
+                expand_threshold: 0.9,
+                contract_threshold: 0.5,
+                max_kicks: 100,
+                base_len: 8,
+            },
+            seed: 0xfeed,
+        }
+    }
+
+    #[test]
+    fn small_slots_hold_up_to_capacity_inline() {
+        let ctx = ctx();
+        let mut cell: Cell<NodeId> = Cell::new(42);
+        let mut rng = KickRng::new(1);
+        let mut p = 0;
+        for v in 0..6u64 {
+            assert_eq!(cell.insert(v, &ctx, &mut rng, &mut p), NeighborInsert::Stored {
+                expanded: false
+            });
+        }
+        assert_eq!(cell.degree(), 6);
+        assert!(!cell.is_transformed());
+        assert_eq!(cell.scht_tables(), 0);
+        for v in 0..6u64 {
+            assert!(cell.contains(v));
+        }
+    }
+
+    #[test]
+    fn seventh_neighbor_triggers_transformation() {
+        let ctx = ctx();
+        let mut cell: Cell<NodeId> = Cell::new(42);
+        let mut rng = KickRng::new(2);
+        let mut p = 0;
+        for v in 0..6u64 {
+            cell.insert(v, &ctx, &mut rng, &mut p);
+        }
+        // The 7th neighbour exceeds 2R = 6: all v move into the 1st S-CHT.
+        let res = cell.insert(6, &ctx, &mut rng, &mut p);
+        assert_eq!(res, NeighborInsert::Stored { expanded: true });
+        assert!(cell.is_transformed());
+        assert_eq!(cell.scht_tables(), 1);
+        assert_eq!(cell.degree(), 7);
+        for v in 0..7u64 {
+            assert!(cell.contains(v), "lost {v} during transformation");
+        }
+    }
+
+    /// Mimics the engine's fallback when an insertion exceeds the kick budget
+    /// and no denylist is available: force an expansion and retry.
+    fn insert_with_fallback(
+        cell: &mut Cell<NodeId>,
+        v: NodeId,
+        ctx: &CellCtx,
+        rng: &mut KickRng,
+        p: &mut u64,
+    ) -> bool {
+        let mut pending = v;
+        let mut expanded_any = false;
+        loop {
+            match cell.insert(pending, ctx, rng, p) {
+                NeighborInsert::Stored { expanded } => return expanded_any || expanded,
+                NeighborInsert::Failed(back) => {
+                    let displaced = cell.force_expand(ctx, rng, p);
+                    assert!(displaced.is_empty(), "forced expansion displaced items");
+                    expanded_any = true;
+                    pending = back;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_degree_grows_the_chain() {
+        let ctx = ctx();
+        let mut cell: Cell<NodeId> = Cell::new(1);
+        let mut rng = KickRng::new(3);
+        let mut p = 0;
+        let mut expansions = 0;
+        for v in 0..500u64 {
+            if insert_with_fallback(&mut cell, v, &ctx, &mut rng, &mut p) {
+                expansions += 1;
+            }
+        }
+        assert!(expansions > 1, "chain never grew");
+        assert_eq!(cell.degree(), 500);
+        assert!(cell.scht_slots() >= 500);
+        let mut neighbors = cell.neighbors();
+        neighbors.sort_unstable();
+        assert_eq!(neighbors, (0..500u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remove_from_small_slots() {
+        let ctx = ctx();
+        let mut cell: Cell<NodeId> = Cell::new(1);
+        let mut rng = KickRng::new(4);
+        let mut p = 0;
+        for v in 0..4u64 {
+            cell.insert(v, &ctx, &mut rng, &mut p);
+        }
+        let r = cell.remove(2, &ctx, &mut rng, &mut p);
+        assert_eq!(r.removed, Some(2));
+        assert!(!r.contracted);
+        assert!(!cell.contains(2));
+        assert_eq!(cell.degree(), 3);
+        let missing = cell.remove(99, &ctx, &mut rng, &mut p);
+        assert_eq!(missing.removed, None);
+    }
+
+    #[test]
+    fn deletions_collapse_chain_back_to_small_slots() {
+        let ctx = ctx();
+        let mut cell: Cell<NodeId> = Cell::new(1);
+        let mut rng = KickRng::new(5);
+        let mut p = 0;
+        for v in 0..60u64 {
+            insert_with_fallback(&mut cell, v, &ctx, &mut rng, &mut p);
+        }
+        assert!(cell.is_transformed());
+        for v in 0..56u64 {
+            let r = cell.remove(v, &ctx, &mut rng, &mut p);
+            assert_eq!(r.removed, Some(v));
+            // Displaced payloads must be re-offered to the cell so nothing is lost.
+            let displaced = r.displaced;
+            let rejected = cell.reinsert_batch(displaced, &ctx, &mut rng, &mut p);
+            assert!(rejected.is_empty());
+        }
+        assert!(!cell.is_transformed(), "chain should collapse back to inline slots");
+        assert_eq!(cell.degree(), 4);
+        for v in 56..60u64 {
+            assert!(cell.contains(v));
+        }
+    }
+
+    #[test]
+    fn weighted_payloads_update_in_place() {
+        let ctx = CellCtx { small_slots: 3, ..ctx() };
+        let mut cell: Cell<WeightedSlot> = Cell::new(9);
+        let mut rng = KickRng::new(6);
+        let mut p = 0;
+        cell.insert(WeightedSlot { v: 5, w: 1 }, &ctx, &mut rng, &mut p);
+        cell.get_mut(5).unwrap().w += 4;
+        assert_eq!(cell.get(5).unwrap().w, 5);
+    }
+
+    #[test]
+    fn cell_reports_heap_bytes() {
+        let ctx = ctx();
+        let mut cell: Cell<NodeId> = Cell::new(1);
+        let mut rng = KickRng::new(7);
+        let mut p = 0;
+        let empty = cell.part2_bytes();
+        for v in 0..100u64 {
+            cell.insert(v, &ctx, &mut rng, &mut p);
+        }
+        assert!(cell.part2_bytes() > empty);
+        // Payload trait implementation mirrors part2_bytes.
+        assert_eq!(cell.heap_bytes(), cell.part2_bytes());
+        assert_eq!(cell.key(), 1);
+    }
+
+    #[test]
+    fn reinsert_batch_skips_duplicates() {
+        let ctx = ctx();
+        let mut cell: Cell<NodeId> = Cell::new(1);
+        let mut rng = KickRng::new(8);
+        let mut p = 0;
+        cell.insert(10, &ctx, &mut rng, &mut p);
+        let rejected = cell.reinsert_batch(vec![10, 11, 12], &ctx, &mut rng, &mut p);
+        assert!(rejected.is_empty());
+        assert_eq!(cell.degree(), 3);
+    }
+}

@@ -1,0 +1,600 @@
+//! Table chains implementing the TRANSFORMATION rule (Table II).
+//!
+//! A [`TableChain`] is an ordered group of cuckoo hash tables that expands and
+//! contracts following the rule illustrated by Table II of the paper:
+//!
+//! * the chain starts with a single table of length `n`;
+//! * whenever the loading rate of the most recently enabled table reaches the
+//!   threshold `G` and fewer than `R` tables exist, an **extra** table is
+//!   enabled (length `n/2` in round 0, `2^(k-1)·n` in round `k`);
+//! * when the `R`-th table also reaches `G`, all tables are **merged** into a
+//!   new first table of length `2^(k+1)·n` and a fresh second table of length
+//!   `2^k·n` is enabled;
+//! * after a deletion that drops the chain's **overall** loading rate below
+//!   `Λ`, the chain removes its last table (redistributing its contents) or,
+//!   when only one table is left, halves that table.
+//!
+//! The same chain type backs both the S-CHT chains hanging off an L-CHT cell
+//! and the L-CHT chain itself (whose payloads are whole cells), as described
+//! in § III-A1: "such rules can also be applied to L-CHT".
+
+use crate::payload::Payload;
+use crate::rng::KickRng;
+use crate::scht::CuckooTable;
+
+/// Parameters a chain needs to drive the transformation rule. A borrowed view
+/// of [`crate::CuckooGraphConfig`] so the chain does not own a config copy.
+#[derive(Debug, Clone, Copy)]
+pub struct ChainParams {
+    /// `d` — cells per bucket in every table of the chain.
+    pub cells_per_bucket: usize,
+    /// `R` — maximum number of tables in the chain.
+    pub r: usize,
+    /// `G` — per-table loading-rate threshold that enables the next table.
+    pub expand_threshold: f64,
+    /// `Λ` — overall loading-rate threshold that triggers contraction.
+    pub contract_threshold: f64,
+    /// `T` — kick-out budget per insertion.
+    pub max_kicks: usize,
+    /// `n` — length of the first table in round 0.
+    pub base_len: usize,
+}
+
+/// What happened while placing an item into the chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainInsert<T> {
+    /// The item found a slot.
+    Stored,
+    /// The kick-out walk exceeded `T`; the homeless item is handed back so the
+    /// caller can park it in a denylist or force an expansion.
+    Failed(T),
+}
+
+/// An expandable/contractible group of cuckoo tables (an "S-CHT chain", or the
+/// L-CHT chain when `T` is a cell type).
+#[derive(Debug, Clone)]
+pub struct TableChain<T> {
+    tables: Vec<CuckooTable<T>>,
+    /// Number of merges performed so far (the `k` in `2^k · n`).
+    round: u32,
+    params: ChainParams,
+    /// Seed stream for newly created tables, advanced on every allocation so
+    /// re-built tables pick fresh hash functions.
+    seed: u64,
+    /// Cumulative expansions (extra tables enabled or merges performed).
+    expansions: u64,
+    /// Cumulative contractions (tables removed or halved).
+    contractions: u64,
+}
+
+impl<T: Payload> TableChain<T> {
+    /// Creates a chain with a single table of length `params.base_len`.
+    pub fn new(params: ChainParams, seed: u64) -> Self {
+        let mut chain = Self {
+            tables: Vec::with_capacity(params.r),
+            round: 0,
+            params,
+            seed,
+            expansions: 0,
+            contractions: 0,
+        };
+        let t = chain.alloc_table(params.base_len.max(1));
+        chain.tables.push(t);
+        chain
+    }
+
+    fn alloc_table(&mut self, len: usize) -> CuckooTable<T> {
+        self.seed = crate::hash::splitmix64(self.seed ^ 0xa5a5_5a5a_dead_beef);
+        CuckooTable::new(len, self.params.cells_per_bucket, self.seed)
+    }
+
+    /// Length the first table has in the current round.
+    fn first_len(&self) -> usize {
+        self.params.base_len.max(1) << self.round
+    }
+
+    /// Length a newly enabled extra table has in the current round
+    /// (`n/2` in round 0, `2^(k-1)·n` afterwards).
+    fn extra_len(&self) -> usize {
+        if self.round == 0 {
+            (self.params.base_len / 2).max(1)
+        } else {
+            (self.params.base_len << (self.round - 1)).max(1)
+        }
+    }
+
+    /// Number of tables currently enabled.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Lengths (bucket counts of the larger array) of every enabled table, in
+    /// chain order — used by the Table II reproduction test and harness.
+    pub fn table_lengths(&self) -> Vec<usize> {
+        self.tables.iter().map(|t| t.len_buckets()).collect()
+    }
+
+    /// Total number of stored items across the chain.
+    pub fn count(&self) -> usize {
+        self.tables.iter().map(|t| t.count()).sum()
+    }
+
+    /// Total slot capacity across the chain.
+    pub fn capacity(&self) -> usize {
+        self.tables.iter().map(|t| t.capacity()).sum()
+    }
+
+    /// True if the chain stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Overall loading rate of the chain.
+    pub fn overall_loading_rate(&self) -> f64 {
+        let cap = self.capacity();
+        if cap == 0 {
+            0.0
+        } else {
+            self.count() as f64 / cap as f64
+        }
+    }
+
+    /// Loading rate of the most recently enabled table — the quantity the
+    /// expansion rule watches.
+    pub fn last_loading_rate(&self) -> f64 {
+        self.tables.last().map(CuckooTable::loading_rate).unwrap_or(0.0)
+    }
+
+    /// Number of expansions performed (extra tables enabled plus merges).
+    pub fn expansions(&self) -> u64 {
+        self.expansions
+    }
+
+    /// Number of contractions performed.
+    pub fn contractions(&self) -> u64 {
+        self.contractions
+    }
+
+    /// Looks up the item keyed by `key` anywhere in the chain.
+    pub fn get(&self, key: graph_api::NodeId) -> Option<&T> {
+        self.tables.iter().find_map(|t| t.get(key))
+    }
+
+    /// Mutable lookup across the chain.
+    pub fn get_mut(&mut self, key: graph_api::NodeId) -> Option<&mut T> {
+        self.tables.iter_mut().find_map(|t| t.get_mut(key))
+    }
+
+    /// True if an item with `key` is stored in any table of the chain.
+    pub fn contains(&self, key: graph_api::NodeId) -> bool {
+        self.tables.iter().any(|t| t.contains(key))
+    }
+
+    /// Removes and returns the item keyed by `key`.
+    pub fn remove(&mut self, key: graph_api::NodeId) -> Option<T> {
+        self.tables.iter_mut().find_map(|t| t.remove(key))
+    }
+
+    /// Calls `f` for every stored item.
+    pub fn for_each(&self, mut f: impl FnMut(&T)) {
+        for t in &self.tables {
+            t.for_each(&mut f);
+        }
+    }
+
+    /// Iterates over every stored item.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.tables.iter().flat_map(|t| t.iter())
+    }
+
+    /// Removes and returns everything, leaving a single empty table of the
+    /// base length (round reset to 0).
+    pub fn drain_reset(&mut self) -> Vec<T> {
+        let mut items = Vec::with_capacity(self.count());
+        for t in &mut self.tables {
+            items.append(&mut t.drain());
+        }
+        self.round = 0;
+        let base = self.params.base_len.max(1);
+        let fresh = self.alloc_table(base);
+        self.tables.clear();
+        self.tables.push(fresh);
+        items
+    }
+
+    /// Bytes occupied by every table of the chain (slot arrays plus stored
+    /// items' heap data).
+    pub fn memory_bytes(&self) -> usize {
+        self.tables.iter().map(|t| t.memory_bytes()).sum()
+    }
+
+    /// Applies the expansion rule if the most recently enabled table has
+    /// reached the threshold `G`. Returns `true` if the chain changed shape.
+    ///
+    /// `placements` counts slot writes performed while re-distributing items
+    /// during a merge (feeding the Theorem 1 counters).
+    pub fn maybe_expand(&mut self, rng: &mut KickRng, placements: &mut u64) -> bool {
+        if self.last_loading_rate() < self.params.expand_threshold {
+            return false;
+        }
+        self.expand(rng, placements);
+        true
+    }
+
+    /// Unconditionally performs one expansion step: enable an extra table, or
+    /// merge everything into the next round when `R` tables already exist.
+    /// Returns items that could not be re-placed during a merge (extremely
+    /// rare; the caller parks them in a denylist).
+    pub fn expand(&mut self, rng: &mut KickRng, placements: &mut u64) -> Vec<T> {
+        self.expansions += 1;
+        if self.tables.len() < self.params.r {
+            let len = self.extra_len();
+            let t = self.alloc_table(len);
+            self.tables.push(t);
+            return Vec::new();
+        }
+
+        // Merge: gather everything, rebuild as round k+1 with two tables.
+        let mut items = Vec::with_capacity(self.count());
+        for t in &mut self.tables {
+            items.append(&mut t.drain());
+        }
+        self.round += 1;
+        let first = self.alloc_table(self.first_len());
+        let second = self.alloc_table(self.extra_len());
+        self.tables.clear();
+        self.tables.push(first);
+        self.tables.push(second);
+
+        let mut homeless = Vec::new();
+        for item in items {
+            if let ChainInsert::Failed(item) = self.insert_rebuild(item, rng, placements) {
+                homeless.push(item);
+            }
+        }
+        homeless
+    }
+
+    /// Applies the reverse-transformation rule after a deletion: when the
+    /// overall loading rate of the chain drops below `Λ`, the last table is
+    /// removed (its items redistributed) or — if it is the only one — halved.
+    /// Returns items that could not be re-placed (parked by the caller).
+    pub fn maybe_contract(&mut self, rng: &mut KickRng, placements: &mut u64) -> Vec<T> {
+        if self.overall_loading_rate() >= self.params.contract_threshold {
+            return Vec::new();
+        }
+        // Never shrink below the base geometry.
+        if self.tables.len() == 1 && self.tables[0].len_buckets() <= self.params.base_len.max(1) {
+            return Vec::new();
+        }
+        self.contract(rng, placements)
+    }
+
+    /// Unconditionally performs one contraction step.
+    pub fn contract(&mut self, rng: &mut KickRng, placements: &mut u64) -> Vec<T> {
+        self.contractions += 1;
+        let mut homeless = Vec::new();
+        if self.tables.len() >= 2 {
+            // Delete the last table and move its residents into the others.
+            let mut removed = self.tables.pop().expect("len >= 2");
+            // Dropping back to a single table from round k means the chain
+            // re-enters the "k, no extras" row of Table II; the round value is
+            // unchanged because the first table keeps its length.
+            for item in removed.drain() {
+                if let ChainInsert::Failed(item) = self.insert_rebuild(item, rng, placements) {
+                    homeless.push(item);
+                }
+            }
+        } else {
+            // Single table: compress to half of the original length.
+            let old_len = self.tables[0].len_buckets();
+            let new_len = (old_len / 2).max(self.params.base_len.max(1).min(old_len));
+            if new_len == old_len {
+                return homeless;
+            }
+            if self.round > 0 {
+                self.round -= 1;
+            }
+            let items = self.tables[0].drain();
+            let fresh = self.alloc_table(new_len);
+            self.tables[0] = fresh;
+            for item in items {
+                if let ChainInsert::Failed(item) = self.insert_rebuild(item, rng, placements) {
+                    homeless.push(item);
+                }
+            }
+        }
+        homeless
+    }
+
+    /// Inserts `item`, expanding beforehand if the most recently enabled table
+    /// has reached `G` (the paper checks the threshold "before the current v
+    /// arrives"). On kick-out failure the homeless item is handed back.
+    pub fn insert(&mut self, item: T, rng: &mut KickRng, placements: &mut u64) -> ChainInsert<T> {
+        // The expansion rule is checked first, so a table is never pushed past
+        // its threshold by the incoming item.
+        if self.last_loading_rate() >= self.params.expand_threshold {
+            let mut leftovers = self.expand(rng, placements);
+            // Items displaced by a merge must never be lost. With realistic
+            // parameters the freshly merged tables absorb them immediately;
+            // under adversarial settings (tiny d, tiny kick budget) keep
+            // expanding until every displaced item finds a slot — capacity
+            // grows on every round, so this terminates.
+            while !leftovers.is_empty() {
+                let mut still_homeless = Vec::new();
+                for left in leftovers {
+                    if let ChainInsert::Failed(l) = self.insert_rebuild(left, rng, placements) {
+                        still_homeless.push(l);
+                    }
+                }
+                if still_homeless.is_empty() {
+                    break;
+                }
+                leftovers = self.expand(rng, placements);
+                leftovers.append(&mut still_homeless);
+            }
+        }
+        self.insert_no_expand(item, rng, placements)
+    }
+
+    /// Inserts without consulting the expansion rule. Following the paper's
+    /// Example 2, new items are placed in the **most recently enabled** table
+    /// only (older tables sit at their threshold and are not disturbed); a
+    /// kick-out failure is handed to the caller, which parks the item in a
+    /// denylist or forces an expansion.
+    pub fn insert_no_expand(
+        &mut self,
+        item: T,
+        rng: &mut KickRng,
+        placements: &mut u64,
+    ) -> ChainInsert<T> {
+        let max_kicks = self.params.max_kicks;
+        let last = self.tables.len() - 1;
+        match self.tables[last].insert(item, rng, max_kicks, placements) {
+            Ok(()) => ChainInsert::Stored,
+            Err(bounced) => ChainInsert::Failed(bounced),
+        }
+    }
+
+    /// Stores `item` unconditionally, expanding the chain as many times as it
+    /// takes (each round strictly grows capacity, so the loop terminates).
+    /// Used on internal redistribution paths where losing an item is not an
+    /// option and no denylist is available.
+    pub fn insert_forced(&mut self, item: T, rng: &mut KickRng, placements: &mut u64) {
+        let mut pending = vec![item];
+        loop {
+            let mut still_homeless = Vec::new();
+            for it in pending {
+                if let ChainInsert::Failed(f) = self.insert_rebuild(it, rng, placements) {
+                    still_homeless.push(f);
+                }
+            }
+            if still_homeless.is_empty() {
+                return;
+            }
+            let mut displaced = self.expand(rng, placements);
+            still_homeless.append(&mut displaced);
+            pending = still_homeless;
+        }
+    }
+
+    /// Insertion path used while redistributing items during a merge or a
+    /// contraction: the largest (first) table is tried first so the bulk of
+    /// the items land there, then the later tables.
+    fn insert_rebuild(
+        &mut self,
+        item: T,
+        rng: &mut KickRng,
+        placements: &mut u64,
+    ) -> ChainInsert<T> {
+        let max_kicks = self.params.max_kicks;
+        let mut pending = item;
+        for idx in 0..self.tables.len() {
+            match self.tables[idx].insert(pending, rng, max_kicks, placements) {
+                Ok(()) => return ChainInsert::Stored,
+                Err(bounced) => pending = bounced,
+            }
+        }
+        ChainInsert::Failed(pending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_api::NodeId;
+
+    fn params() -> ChainParams {
+        ChainParams {
+            cells_per_bucket: 4,
+            r: 3,
+            expand_threshold: 0.9,
+            contract_threshold: 0.5,
+            max_kicks: 100,
+            base_len: 8,
+        }
+    }
+
+    fn chain() -> TableChain<NodeId> {
+        TableChain::new(params(), 0x1111)
+    }
+
+    #[test]
+    fn starts_with_single_base_table() {
+        let c = chain();
+        assert_eq!(c.table_count(), 1);
+        assert_eq!(c.table_lengths(), vec![8]);
+        assert!(c.is_empty());
+        assert_eq!(c.overall_loading_rate(), 0.0);
+    }
+
+    /// Reproduces the length sequence of Table II for R = 3: the lengths of
+    /// the enabled tables after each expansion follow
+    /// `[n] → [n, n/2] → [n, n/2, n/2] → [2n, n] → [2n, n, n] → [4n, 2n] → ...`
+    #[test]
+    fn table_ii_rule() {
+        let mut c = chain();
+        let mut rng = KickRng::new(1);
+        let mut p = 0;
+        let n = 8usize;
+        let expected: Vec<Vec<usize>> = vec![
+            vec![n],
+            vec![n, n / 2],
+            vec![n, n / 2, n / 2],
+            vec![2 * n, n],
+            vec![2 * n, n, n],
+            vec![4 * n, 2 * n],
+            vec![4 * n, 2 * n, 2 * n],
+            vec![8 * n, 4 * n],
+        ];
+        assert_eq!(c.table_lengths(), expected[0]);
+        for step in 1..expected.len() {
+            c.expand(&mut rng, &mut p);
+            assert_eq!(c.table_lengths(), expected[step], "after {step} expansions");
+        }
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut c = chain();
+        let mut rng = KickRng::new(2);
+        let mut p = 0;
+        for v in 0..200u64 {
+            assert_eq!(c.insert(v, &mut rng, &mut p), ChainInsert::Stored);
+        }
+        assert_eq!(c.count(), 200);
+        for v in 0..200u64 {
+            assert!(c.contains(v));
+            assert_eq!(c.get(v), Some(&v));
+        }
+        assert!(!c.contains(999));
+        assert_eq!(c.remove(13), Some(13));
+        assert_eq!(c.remove(13), None);
+        assert_eq!(c.count(), 199);
+    }
+
+    #[test]
+    fn expansion_is_triggered_by_loading_rate() {
+        let mut c = chain();
+        let mut rng = KickRng::new(3);
+        let mut p = 0;
+        // Insert far more items than one base table holds; the chain must have
+        // expanded at least once and kept everything reachable.
+        for v in 0..1000u64 {
+            assert_eq!(c.insert(v, &mut rng, &mut p), ChainInsert::Stored);
+        }
+        assert!(c.expansions() > 0);
+        assert!(c.table_count() >= 1);
+        for v in 0..1000u64 {
+            assert!(c.contains(v), "lost {v} across expansions");
+        }
+        // No table is loaded beyond the threshold by more than one item's
+        // worth of slack (the incoming item itself).
+        assert!(c.last_loading_rate() <= 0.95);
+    }
+
+    #[test]
+    fn contraction_removes_or_halves_tables() {
+        let mut c = chain();
+        let mut rng = KickRng::new(4);
+        let mut p = 0;
+        for v in 0..1000u64 {
+            c.insert(v, &mut rng, &mut p);
+        }
+        let grown_capacity = c.capacity();
+        // Delete most items, invoking the reverse-transformation rule after
+        // each deletion as the engine does.
+        for v in 0..950u64 {
+            assert!(c.remove(v).is_some());
+            let homeless = c.maybe_contract(&mut rng, &mut p);
+            for item in homeless {
+                // Re-inserting leftovers must succeed eventually.
+                assert_eq!(c.insert(item, &mut rng, &mut p), ChainInsert::Stored);
+            }
+        }
+        assert!(c.contractions() > 0, "chain never contracted");
+        assert!(c.capacity() < grown_capacity, "capacity did not shrink");
+        for v in 950..1000u64 {
+            assert!(c.contains(v), "lost survivor {v} during contraction");
+        }
+    }
+
+    #[test]
+    fn contraction_stops_at_base_geometry() {
+        let mut c = chain();
+        let mut rng = KickRng::new(5);
+        let mut p = 0;
+        // Empty chain: repeated contraction attempts must be no-ops once the
+        // base geometry is reached.
+        for _ in 0..10 {
+            let homeless = c.maybe_contract(&mut rng, &mut p);
+            assert!(homeless.is_empty());
+        }
+        assert_eq!(c.table_lengths(), vec![8]);
+    }
+
+    #[test]
+    fn drain_reset_returns_everything_and_resets_shape() {
+        let mut c = chain();
+        let mut rng = KickRng::new(6);
+        let mut p = 0;
+        for v in 0..500u64 {
+            c.insert(v, &mut rng, &mut p);
+        }
+        let mut items = c.drain_reset();
+        items.sort_unstable();
+        assert_eq!(items.len(), 500);
+        assert_eq!(items, (0..500u64).collect::<Vec<_>>());
+        assert_eq!(c.table_count(), 1);
+        assert_eq!(c.table_lengths(), vec![8]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn failed_insert_hands_back_item() {
+        // A chain with r = 1 and a minuscule kick budget cannot absorb many
+        // colliding items without expanding; insert_no_expand must hand the
+        // homeless item back instead of losing it.
+        let p = ChainParams { r: 1, max_kicks: 1, base_len: 1, ..params() };
+        let mut c: TableChain<NodeId> = TableChain::new(p, 7);
+        let mut rng = KickRng::new(7);
+        let mut pl = 0;
+        let mut failed = 0;
+        for v in 0..64u64 {
+            if let ChainInsert::Failed(_homeless) = c.insert_no_expand(v, &mut rng, &mut pl) {
+                // The homeless item is not necessarily `v` itself: a resident
+                // evicted during the walk can end up without a slot instead.
+                failed += 1;
+            }
+        }
+        assert!(failed > 0);
+        assert_eq!(c.count() + failed, 64);
+    }
+
+    #[test]
+    fn memory_grows_with_expansion() {
+        let mut c = chain();
+        let mut rng = KickRng::new(8);
+        let mut p = 0;
+        let before = c.memory_bytes();
+        for v in 0..500u64 {
+            c.insert(v, &mut rng, &mut p);
+        }
+        assert!(c.memory_bytes() > before);
+    }
+
+    #[test]
+    fn iter_and_for_each_agree() {
+        let mut c = chain();
+        let mut rng = KickRng::new(9);
+        let mut p = 0;
+        for v in 0..100u64 {
+            c.insert(v, &mut rng, &mut p);
+        }
+        let from_iter: u64 = c.iter().copied().sum();
+        let mut from_each = 0u64;
+        c.for_each(|&v| from_each += v);
+        assert_eq!(from_iter, from_each);
+        assert_eq!(from_iter, (0..100u64).sum());
+    }
+}

@@ -1,0 +1,261 @@
+//! DENYLIST (§ III-A2): bounded vectors that absorb cuckoo insertion failures.
+//!
+//! CuckooGraph keeps two denylists:
+//!
+//! * **S-DL** — each unit is a complete graph item `⟨u, v⟩` (the payload keeps
+//!   whatever the variant stores for `v`). It receives neighbour entries whose
+//!   S-CHT insertion exceeded the kick-out budget `T`.
+//! * **L-DL** — each unit mirrors an L-CHT *cell* (node `u` plus its entire
+//!   Part 2), so that when a node is evicted past the budget its S-CHT chain
+//!   never has to be copied or moved.
+//!
+//! Whenever a table expands, the matching entries are drained back into the
+//! fresh (and therefore lightly loaded) table.
+
+use crate::payload::Payload;
+use graph_api::NodeId;
+
+/// The small denylist (S-DL): failed `⟨u, v⟩` insertions.
+#[derive(Debug, Clone)]
+pub struct SmallDenylist<P> {
+    entries: Vec<(NodeId, P)>,
+    capacity: usize,
+}
+
+impl<P: Payload> SmallDenylist<P> {
+    /// Creates an S-DL with the given capacity limit (0 disables it).
+    pub fn new(capacity: usize) -> Self {
+        Self { entries: Vec::new(), capacity }
+    }
+
+    /// Attempts to record a failed insertion. When the size limit has been
+    /// reached the payload is handed back so the caller can fall back to
+    /// expanding the table instead.
+    pub fn push(&mut self, u: NodeId, payload: P) -> Result<(), P> {
+        if self.entries.len() >= self.capacity {
+            return Err(payload);
+        }
+        self.entries.push((u, payload));
+        Ok(())
+    }
+
+    /// Records an entry unconditionally, ignoring the capacity limit. Used as
+    /// a last-resort safety valve on internal redistribution paths so no item
+    /// is ever lost; in practice it is hit only under adversarial geometry.
+    pub fn push_forced(&mut self, u: NodeId, payload: P) {
+        self.entries.push((u, payload));
+    }
+
+    /// Looks up the payload stored for `⟨u, v⟩`.
+    pub fn get(&self, u: NodeId, v: NodeId) -> Option<&P> {
+        self.entries.iter().find(|(eu, p)| *eu == u && p.key() == v).map(|(_, p)| p)
+    }
+
+    /// Mutable lookup of the payload stored for `⟨u, v⟩`.
+    pub fn get_mut(&mut self, u: NodeId, v: NodeId) -> Option<&mut P> {
+        self.entries.iter_mut().find(|(eu, p)| *eu == u && p.key() == v).map(|(_, p)| p)
+    }
+
+    /// Removes and returns the payload stored for `⟨u, v⟩`.
+    pub fn remove(&mut self, u: NodeId, v: NodeId) -> Option<P> {
+        let idx = self.entries.iter().position(|(eu, p)| *eu == u && p.key() == v)?;
+        Some(self.entries.swap_remove(idx).1)
+    }
+
+    /// Drains every entry whose source node is `u` — called when `u`'s S-CHT
+    /// chain expands so the "qualified v" can move into the new table.
+    pub fn drain_for(&mut self, u: NodeId) -> Vec<P> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.entries.len() {
+            if self.entries[i].0 == u {
+                out.push(self.entries.swap_remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Calls `f` for every entry whose source node is `u`.
+    pub fn for_each_of(&self, u: NodeId, mut f: impl FnMut(&P)) {
+        for (eu, p) in &self.entries {
+            if *eu == u {
+                f(p);
+            }
+        }
+    }
+
+    /// Number of entries whose source node is `u`.
+    pub fn count_for(&self, u: NodeId) -> usize {
+        self.entries.iter().filter(|(eu, _)| *eu == u).count()
+    }
+
+    /// Total number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all `(u, payload)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = &(NodeId, P)> {
+        self.entries.iter()
+    }
+
+    /// Bytes occupied by the denylist buffer and its payload heap data.
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(NodeId, P)>()
+            + self.entries.iter().map(|(_, p)| p.heap_bytes()).sum::<usize>()
+    }
+}
+
+/// The large denylist (L-DL): whole evicted cells. Generic over the cell type
+/// to avoid a dependency cycle with the `cell` module.
+#[derive(Debug, Clone)]
+pub struct LargeDenylist<C> {
+    cells: Vec<C>,
+    capacity: usize,
+}
+
+impl<C> LargeDenylist<C> {
+    /// Creates an L-DL with the given capacity limit.
+    pub fn new(capacity: usize) -> Self {
+        Self { cells: Vec::new(), capacity }
+    }
+
+    /// Attempts to record an evicted cell; on overflow the cell is handed back
+    /// so the caller can expand the L-CHT instead.
+    pub fn push(&mut self, cell: C) -> Result<(), C> {
+        if self.cells.len() >= self.capacity {
+            return Err(cell);
+        }
+        self.cells.push(cell);
+        Ok(())
+    }
+
+    /// Records a cell unconditionally, ignoring the capacity limit (last-resort
+    /// safety valve so no node is ever lost).
+    pub fn push_forced(&mut self, cell: C) {
+        self.cells.push(cell);
+    }
+
+    /// Finds a cell by predicate.
+    pub fn find(&self, mut pred: impl FnMut(&C) -> bool) -> Option<&C> {
+        self.cells.iter().find(|c| pred(c))
+    }
+
+    /// Finds a cell mutably by predicate.
+    pub fn find_mut(&mut self, mut pred: impl FnMut(&C) -> bool) -> Option<&mut C> {
+        self.cells.iter_mut().find(|c| pred(c))
+    }
+
+    /// Removes and returns the first cell matching the predicate.
+    pub fn remove_if(&mut self, mut pred: impl FnMut(&C) -> bool) -> Option<C> {
+        let idx = self.cells.iter().position(|c| pred(c))?;
+        Some(self.cells.swap_remove(idx))
+    }
+
+    /// Removes and returns every stored cell (used when the L-CHT expands).
+    pub fn drain_all(&mut self) -> Vec<C> {
+        std::mem::take(&mut self.cells)
+    }
+
+    /// Number of stored cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when no cells are stored.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Iterates over stored cells.
+    pub fn iter(&self) -> impl Iterator<Item = &C> {
+        self.cells.iter()
+    }
+
+    /// Bytes occupied by the vector buffer (per-cell heap data is added by the
+    /// caller, which knows the cell layout).
+    pub fn buffer_bytes(&self) -> usize {
+        self.cells.capacity() * std::mem::size_of::<C>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::WeightedSlot;
+
+    #[test]
+    fn small_denylist_push_get_remove() {
+        let mut dl: SmallDenylist<NodeId> = SmallDenylist::new(4);
+        assert!(dl.push(1, 10).is_ok());
+        assert!(dl.push(1, 11).is_ok());
+        assert!(dl.push(2, 20).is_ok());
+        assert_eq!(dl.len(), 3);
+        assert_eq!(dl.get(1, 10), Some(&10));
+        assert_eq!(dl.get(1, 99), None);
+        assert_eq!(dl.remove(1, 11), Some(11));
+        assert_eq!(dl.len(), 2);
+        assert_eq!(dl.remove(1, 11), None);
+    }
+
+    #[test]
+    fn small_denylist_respects_capacity() {
+        let mut dl: SmallDenylist<NodeId> = SmallDenylist::new(2);
+        assert!(dl.push(1, 1).is_ok());
+        assert!(dl.push(1, 2).is_ok());
+        assert_eq!(dl.push(1, 3), Err(3), "third push must be rejected");
+        assert_eq!(dl.len(), 2);
+        dl.push_forced(1, 3);
+        assert_eq!(dl.len(), 3);
+    }
+
+    #[test]
+    fn drain_for_extracts_only_matching_source() {
+        let mut dl: SmallDenylist<NodeId> = SmallDenylist::new(16);
+        dl.push(7, 1).unwrap();
+        dl.push(8, 2).unwrap();
+        dl.push(7, 3).unwrap();
+        let mut drained = dl.drain_for(7);
+        drained.sort_unstable();
+        assert_eq!(drained, vec![1, 3]);
+        assert_eq!(dl.len(), 1);
+        assert_eq!(dl.count_for(8), 1);
+    }
+
+    #[test]
+    fn small_denylist_get_mut_updates_in_place() {
+        let mut dl: SmallDenylist<WeightedSlot> = SmallDenylist::new(8);
+        dl.push(1, WeightedSlot { v: 5, w: 1 }).unwrap();
+        dl.get_mut(1, 5).unwrap().w += 3;
+        assert_eq!(dl.get(1, 5).unwrap().w, 4);
+    }
+
+    #[test]
+    fn large_denylist_basic_flow() {
+        let mut dl: LargeDenylist<(NodeId, Vec<NodeId>)> = LargeDenylist::new(2);
+        assert!(dl.push((1, vec![10, 11])).is_ok());
+        assert!(dl.push((2, vec![])).is_ok());
+        assert!(dl.push((3, vec![])).is_err());
+        assert!(dl.find(|c| c.0 == 2).is_some());
+        dl.find_mut(|c| c.0 == 1).unwrap().1.push(12);
+        assert_eq!(dl.remove_if(|c| c.0 == 1).unwrap().1, vec![10, 11, 12]);
+        assert_eq!(dl.drain_all().len(), 1);
+        assert!(dl.is_empty());
+    }
+
+    #[test]
+    fn memory_is_tracked() {
+        let mut dl: SmallDenylist<NodeId> = SmallDenylist::new(128);
+        for i in 0..10 {
+            dl.push(1, i).unwrap();
+        }
+        assert!(dl.memory_bytes() >= 10 * std::mem::size_of::<(NodeId, NodeId)>());
+    }
+}

@@ -1,0 +1,45 @@
+//! Error types for the CuckooGraph crate.
+
+use std::fmt;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, CuckooGraphError>;
+
+/// Errors surfaced by CuckooGraph's fallible APIs.
+///
+/// The graph operations themselves (insert / query / delete) are total: an
+/// insertion that loses every kick-out loop lands in a denylist, and a full
+/// denylist forces an expansion, so user-visible operations never fail.
+/// Errors are reserved for configuration problems and persistence helpers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CuckooGraphError {
+    /// The supplied [`crate::CuckooGraphConfig`] violates a structural
+    /// constraint; the message names the offending field.
+    InvalidConfig(&'static str),
+    /// A serialized snapshot could not be decoded.
+    CorruptSnapshot(String),
+}
+
+impl fmt::Display for CuckooGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CuckooGraphError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CuckooGraphError::CorruptSnapshot(msg) => write!(f, "corrupt snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CuckooGraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_cause() {
+        let e = CuckooGraphError::InvalidConfig("r must be > 0");
+        assert!(e.to_string().contains("r must be > 0"));
+        let e = CuckooGraphError::CorruptSnapshot("truncated".into());
+        assert!(e.to_string().contains("truncated"));
+    }
+}

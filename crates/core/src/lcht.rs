@@ -1,0 +1,343 @@
+//! The L-CHT: the node-level cuckoo structure plus its denylist.
+//!
+//! [`NodeTable`] owns the chain of large cuckoo hash tables whose payloads are
+//! whole [`Cell`]s (Part 1 = `u`, Part 2 = the neighbour storage), and the
+//! L-DL that absorbs cells evicted past the kick budget. Because the L-DL unit
+//! is an entire cell, an evicted node's S-CHT chain never has to be copied —
+//! exactly the property § III-A2 calls out.
+
+use crate::cell::Cell;
+use crate::chain::{ChainInsert, ChainParams, TableChain};
+use crate::denylist::LargeDenylist;
+use crate::payload::Payload;
+use crate::rng::KickRng;
+use graph_api::NodeId;
+
+/// Counters the node table feeds back to the engine's [`crate::StructureStats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeTableCounters {
+    /// Cell placements performed (initial, kick-out, and expansion re-inserts).
+    pub placements: u64,
+    /// Distinct nodes whose insertion was requested.
+    pub items: u64,
+    /// Insertions that exceeded the kick budget and fell back to the L-DL.
+    pub failures: u64,
+}
+
+/// The L-CHT chain plus its L-DL.
+#[derive(Debug, Clone)]
+pub struct NodeTable<P> {
+    chain: TableChain<Cell<P>>,
+    denylist: LargeDenylist<Cell<P>>,
+    use_denylist: bool,
+    counters: NodeTableCounters,
+}
+
+impl<P: Payload> NodeTable<P> {
+    /// Creates an empty node table.
+    pub fn new(
+        params: ChainParams,
+        seed: u64,
+        denylist_capacity: usize,
+        use_denylist: bool,
+    ) -> Self {
+        Self {
+            chain: TableChain::new(params, seed),
+            denylist: LargeDenylist::new(denylist_capacity),
+            use_denylist,
+            counters: NodeTableCounters::default(),
+        }
+    }
+
+    /// Number of distinct nodes stored (chain plus denylist).
+    pub fn node_count(&self) -> usize {
+        self.chain.count() + self.denylist.len()
+    }
+
+    /// Counter snapshot for stats reporting.
+    pub fn counters(&self) -> NodeTableCounters {
+        self.counters
+    }
+
+    /// Number of L-CHT tables currently enabled.
+    pub fn table_count(&self) -> usize {
+        self.chain.table_count()
+    }
+
+    /// Total cell capacity across the L-CHT chain.
+    pub fn cell_capacity(&self) -> usize {
+        self.chain.capacity()
+    }
+
+    /// Entries currently parked in the L-DL.
+    pub fn denylist_len(&self) -> usize {
+        self.denylist.len()
+    }
+
+    /// Expansions performed by the L-CHT chain.
+    pub fn expansions(&self) -> u64 {
+        self.chain.expansions()
+    }
+
+    /// Contractions performed by the L-CHT chain.
+    pub fn contractions(&self) -> u64 {
+        self.chain.contractions()
+    }
+
+    /// Looks up the cell for node `u` (chain first, then the L-DL — the same
+    /// order the paper's query procedure uses).
+    pub fn get(&self, u: NodeId) -> Option<&Cell<P>> {
+        self.chain.get(u).or_else(|| self.denylist.find(|c| c.node() == u))
+    }
+
+    /// Mutable lookup of the cell for node `u`.
+    pub fn get_mut(&mut self, u: NodeId) -> Option<&mut Cell<P>> {
+        if self.chain.contains(u) {
+            return self.chain.get_mut(u);
+        }
+        self.denylist.find_mut(|c| c.node() == u)
+    }
+
+    /// True if node `u` has a cell.
+    pub fn contains(&self, u: NodeId) -> bool {
+        self.chain.contains(u) || self.denylist.find(|c| c.node() == u).is_some()
+    }
+
+    /// Returns a mutable reference to the cell for `u`, creating it if needed.
+    /// The creation path implements the insertion Step 2 of § III-A3: place the
+    /// new cell, kicking residents as needed; route the final homeless cell to
+    /// the L-DL; force an expansion when denylists are disabled or full.
+    pub fn ensure(&mut self, u: NodeId, rng: &mut KickRng) -> &mut Cell<P> {
+        if !self.contains(u) {
+            self.counters.items += 1;
+            self.insert_cell(Cell::new(u), rng);
+        }
+        self.get_mut(u).expect("cell was just ensured")
+    }
+
+    /// Inserts a cell (new or drained from the L-DL), handling expansion and
+    /// denylist fallback so the operation always succeeds.
+    fn insert_cell(&mut self, cell: Cell<P>, rng: &mut KickRng) {
+        // The chain consults the expansion rule itself; when it expands we
+        // first give parked cells a chance to move back in.
+        let expansions_before = self.chain.expansions();
+        match self.chain.insert(cell, rng, &mut self.counters.placements) {
+            ChainInsert::Stored => {}
+            ChainInsert::Failed(cell) => {
+                self.counters.failures += 1;
+                if self.use_denylist {
+                    match self.denylist.push(cell) {
+                        Ok(()) => {}
+                        Err(cell) => {
+                            // Denylist full: expand and retry; the larger table
+                            // accepts the cell with overwhelming probability.
+                            self.force_expand_and_insert(cell, rng);
+                        }
+                    }
+                } else {
+                    self.force_expand_and_insert(cell, rng);
+                }
+            }
+        }
+        if self.chain.expansions() > expansions_before {
+            self.drain_denylist(rng);
+        }
+    }
+
+    fn force_expand_and_insert(&mut self, cell: Cell<P>, rng: &mut KickRng) {
+        let mut pending = cell;
+        loop {
+            let leftovers = self.chain.expand(rng, &mut self.counters.placements);
+            for cell in leftovers {
+                // Cells displaced by the merge go to the denylist regardless of
+                // the capacity limit — nothing may be dropped.
+                self.denylist.push_forced(cell);
+            }
+            match self.chain.insert_no_expand(pending, rng, &mut self.counters.placements) {
+                ChainInsert::Stored => break,
+                ChainInsert::Failed(cell) => pending = cell,
+            }
+        }
+        self.drain_denylist(rng);
+    }
+
+    /// Moves every parked cell back into the (recently expanded) chain;
+    /// anything that still cannot be placed is re-parked.
+    fn drain_denylist(&mut self, rng: &mut KickRng) {
+        if self.denylist.is_empty() {
+            return;
+        }
+        let parked = self.denylist.drain_all();
+        for cell in parked {
+            match self.chain.insert_no_expand(cell, rng, &mut self.counters.placements) {
+                ChainInsert::Stored => {}
+                ChainInsert::Failed(cell) => self.denylist.push_forced(cell),
+            }
+        }
+    }
+
+    /// Calls `f` for every stored cell (chain and denylist).
+    pub fn for_each(&self, mut f: impl FnMut(&Cell<P>)) {
+        self.chain.for_each(&mut f);
+        for cell in self.denylist.iter() {
+            f(cell);
+        }
+    }
+
+    /// Every stored node id.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.node_count());
+        self.for_each(|c| out.push(c.node()));
+        out
+    }
+
+    /// Bytes held by the L-CHT chain, its cells' Part 2, and the L-DL buffer.
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = self.chain.memory_bytes() + self.denylist.buffer_bytes();
+        for cell in self.denylist.iter() {
+            bytes += cell.part2_bytes();
+        }
+        bytes
+    }
+
+    /// Applies the reverse-transformation rule to the L-CHT chain (used after
+    /// bulk deletions); cells displaced by a contraction go to the L-DL.
+    pub fn maybe_contract(&mut self, rng: &mut KickRng) {
+        let displaced = self.chain.maybe_contract(rng, &mut self.counters.placements);
+        for cell in displaced {
+            self.denylist.push_forced(cell);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ChainParams {
+        ChainParams {
+            cells_per_bucket: 8,
+            r: 3,
+            expand_threshold: 0.9,
+            contract_threshold: 0.5,
+            max_kicks: 100,
+            base_len: 4,
+        }
+    }
+
+    fn table() -> NodeTable<NodeId> {
+        NodeTable::new(params(), 0x77, 64, true)
+    }
+
+    #[test]
+    fn ensure_creates_each_node_once() {
+        let mut t = table();
+        let mut rng = KickRng::new(1);
+        for u in 0..100u64 {
+            t.ensure(u, &mut rng);
+        }
+        // Second pass must not create duplicates.
+        for u in 0..100u64 {
+            t.ensure(u, &mut rng);
+        }
+        assert_eq!(t.node_count(), 100);
+        assert_eq!(t.counters().items, 100);
+        for u in 0..100u64 {
+            assert!(t.contains(u));
+            assert_eq!(t.get(u).unwrap().node(), u);
+        }
+        assert!(!t.contains(1000));
+    }
+
+    #[test]
+    fn growth_keeps_all_nodes_reachable() {
+        let mut t = table();
+        let mut rng = KickRng::new(2);
+        for u in 0..5_000u64 {
+            t.ensure(u, &mut rng);
+        }
+        assert_eq!(t.node_count(), 5_000);
+        assert!(t.expansions() > 0, "L-CHT never expanded");
+        for u in (0..5_000u64).step_by(97) {
+            assert!(t.contains(u), "lost node {u}");
+        }
+    }
+
+    #[test]
+    fn denylist_absorbs_failures_without_losing_nodes() {
+        // A tiny kick budget causes frequent failures; every node must still
+        // be reachable afterwards (via the chain or the L-DL).
+        let p = ChainParams { max_kicks: 2, base_len: 2, ..params() };
+        let mut t: NodeTable<NodeId> = NodeTable::new(p, 5, 1024, true);
+        let mut rng = KickRng::new(3);
+        for u in 0..2_000u64 {
+            t.ensure(u, &mut rng);
+        }
+        assert_eq!(t.node_count(), 2_000);
+        for u in 0..2_000u64 {
+            assert!(t.contains(u), "node {u} was lost");
+        }
+    }
+
+    #[test]
+    fn denylist_disabled_forces_expansion() {
+        let p = ChainParams { max_kicks: 2, base_len: 2, ..params() };
+        let mut t: NodeTable<NodeId> = NodeTable::new(p, 5, 0, false);
+        let mut rng = KickRng::new(4);
+        for u in 0..1_000u64 {
+            t.ensure(u, &mut rng);
+        }
+        assert_eq!(t.node_count(), 1_000);
+        assert_eq!(t.denylist_len(), 0, "denylist must stay unused when disabled");
+        for u in 0..1_000u64 {
+            assert!(t.contains(u));
+        }
+    }
+
+    #[test]
+    fn cells_keep_their_neighbors_through_node_evictions() {
+        let mut t = table();
+        let mut rng = KickRng::new(5);
+        let ctx = crate::cell::CellCtx { small_slots: 6, chain: params(), seed: 1 };
+        let mut placements = 0u64;
+        // Give node 7 some neighbours, then insert many more nodes to force
+        // kick-outs and expansions around it.
+        {
+            let cell = t.ensure(7, &mut rng);
+            for v in 0..20u64 {
+                cell.insert(v, &ctx, &mut rng, &mut placements);
+            }
+        }
+        for u in 1_000..6_000u64 {
+            t.ensure(u, &mut rng);
+        }
+        let cell = t.get(7).expect("node 7 must survive");
+        assert_eq!(cell.degree(), 20);
+        let mut nbrs = cell.neighbors();
+        nbrs.sort_unstable();
+        assert_eq!(nbrs, (0..20u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn memory_bytes_grow_with_nodes() {
+        let mut t = table();
+        let mut rng = KickRng::new(6);
+        let before = t.memory_bytes();
+        for u in 0..1_000u64 {
+            t.ensure(u, &mut rng);
+        }
+        assert!(t.memory_bytes() > before);
+    }
+
+    #[test]
+    fn nodes_lists_every_source() {
+        let mut t = table();
+        let mut rng = KickRng::new(7);
+        for u in [5u64, 9, 200, 3] {
+            t.ensure(u, &mut rng);
+        }
+        let mut nodes = t.nodes();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![3, 5, 9, 200]);
+    }
+}

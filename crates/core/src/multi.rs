@@ -1,0 +1,197 @@
+//! The multi-edge adaptation of CuckooGraph used by the Neo4j integration
+//! (§ V-G): property-graph databases allow several parallel edges between the
+//! same node pair, so the per-pair weight counter is replaced by a list of
+//! edge identifiers and the query interface returns an iterator over them.
+
+use crate::config::CuckooGraphConfig;
+use crate::engine::Engine;
+use crate::payload::MultiSlot;
+use graph_api::{MemoryFootprint, NodeId};
+
+/// Identifier of a concrete (parallel) edge, assigned by the caller — the
+/// graph database hands its relationship ids straight through.
+pub type EdgeId = u64;
+
+/// CuckooGraph adapted for multi-edges (parallel relationships).
+///
+/// ```
+/// use cuckoograph::MultiEdgeCuckooGraph;
+///
+/// let mut g = MultiEdgeCuckooGraph::new();
+/// g.add_edge(1, 2, 100);
+/// g.add_edge(1, 2, 101); // a second, parallel relationship
+/// let ids: Vec<_> = g.edges_between(1, 2).collect();
+/// assert_eq!(ids, vec![100, 101]);
+/// assert!(g.remove_edge(1, 2, 100));
+/// assert_eq!(g.edge_multiplicity(1, 2), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiEdgeCuckooGraph {
+    engine: Engine<MultiSlot>,
+    total_edges: usize,
+}
+
+impl MultiEdgeCuckooGraph {
+    /// Creates a multi-edge graph with the paper's default parameters.
+    pub fn new() -> Self {
+        Self::with_config(CuckooGraphConfig::default())
+    }
+
+    /// Creates a multi-edge graph with a custom configuration.
+    pub fn with_config(config: CuckooGraphConfig) -> Self {
+        // Like the weighted version, each slot carries extra information, so
+        // the inline capacity is R rather than 2R.
+        let small_slots = config.weighted_small_slots();
+        Self { engine: Engine::new(config, small_slots), total_edges: 0 }
+    }
+
+    /// Registers the parallel edge `edge_id` between `u` and `v`. Duplicate
+    /// registrations of the same id are ignored.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, edge_id: EdgeId) -> bool {
+        if let Some(slot) = self.engine.get_mut(u, v) {
+            if slot.edges.contains(&edge_id) {
+                return false;
+            }
+            slot.edges.push(edge_id);
+            self.total_edges += 1;
+            return true;
+        }
+        self.engine.insert_new(u, MultiSlot { v, edges: vec![edge_id] });
+        self.total_edges += 1;
+        true
+    }
+
+    /// True if at least one edge connects `u` to `v`.
+    pub fn has_any_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.engine.contains(u, v)
+    }
+
+    /// Number of parallel edges between `u` and `v`.
+    pub fn edge_multiplicity(&self, u: NodeId, v: NodeId) -> usize {
+        self.engine.get(u, v).map_or(0, |slot| slot.edges.len())
+    }
+
+    /// Iterates over the identifiers of every parallel edge `u → v` — the O(1)
+    /// lookup the Neo4j integration exposes instead of scanning `u`'s whole
+    /// adjacency list.
+    pub fn edges_between(&self, u: NodeId, v: NodeId) -> impl Iterator<Item = EdgeId> + '_ {
+        self.engine
+            .get(u, v)
+            .map(|slot| slot.edges.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .copied()
+    }
+
+    /// Removes the concrete edge `edge_id` between `u` and `v`; when it was
+    /// the last parallel edge the pair entry is removed entirely.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId, edge_id: EdgeId) -> bool {
+        let now_empty = match self.engine.get_mut(u, v) {
+            None => return false,
+            Some(slot) => {
+                let Some(idx) = slot.edges.iter().position(|&e| e == edge_id) else {
+                    return false;
+                };
+                slot.edges.swap_remove(idx);
+                slot.edges.is_empty()
+            }
+        };
+        self.total_edges -= 1;
+        if now_empty {
+            self.engine.remove(u, v);
+        }
+        true
+    }
+
+    /// Total number of concrete (parallel) edges stored.
+    pub fn total_edge_count(&self) -> usize {
+        self.total_edges
+    }
+
+    /// Number of distinct `⟨u, v⟩` pairs stored.
+    pub fn pair_count(&self) -> usize {
+        self.engine.edge_count()
+    }
+
+    /// Number of distinct source nodes.
+    pub fn node_count(&self) -> usize {
+        self.engine.node_count()
+    }
+
+    /// Out-neighbours of `u` (distinct destinations).
+    pub fn successors(&self, u: NodeId) -> Vec<NodeId> {
+        self.engine.successors(u)
+    }
+}
+
+impl Default for MultiEdgeCuckooGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemoryFootprint for MultiEdgeCuckooGraph {
+    fn memory_bytes(&self) -> usize {
+        self.engine.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_edges_are_kept_separately() {
+        let mut g = MultiEdgeCuckooGraph::new();
+        assert!(g.add_edge(1, 2, 10));
+        assert!(g.add_edge(1, 2, 11));
+        assert!(g.add_edge(1, 2, 12));
+        assert!(!g.add_edge(1, 2, 10), "duplicate id must be ignored");
+        assert_eq!(g.edge_multiplicity(1, 2), 3);
+        assert_eq!(g.total_edge_count(), 3);
+        assert_eq!(g.pair_count(), 1);
+        let ids: Vec<_> = g.edges_between(1, 2).collect();
+        assert_eq!(ids, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn removing_last_parallel_edge_clears_the_pair() {
+        let mut g = MultiEdgeCuckooGraph::new();
+        g.add_edge(1, 2, 10);
+        g.add_edge(1, 2, 11);
+        assert!(g.remove_edge(1, 2, 10));
+        assert!(g.has_any_edge(1, 2));
+        assert!(g.remove_edge(1, 2, 11));
+        assert!(!g.has_any_edge(1, 2));
+        assert!(!g.remove_edge(1, 2, 11));
+        assert_eq!(g.total_edge_count(), 0);
+        assert_eq!(g.pair_count(), 0);
+    }
+
+    #[test]
+    fn iterator_is_empty_for_unknown_pairs() {
+        let g = MultiEdgeCuckooGraph::new();
+        assert_eq!(g.edges_between(5, 6).count(), 0);
+        assert_eq!(g.edge_multiplicity(5, 6), 0);
+    }
+
+    #[test]
+    fn many_pairs_and_parallel_edges_round_trip() {
+        let mut g = MultiEdgeCuckooGraph::new();
+        let mut next_id = 0u64;
+        for u in 0..100u64 {
+            for v in 0..20u64 {
+                for _ in 0..3 {
+                    g.add_edge(u, v, next_id);
+                    next_id += 1;
+                }
+            }
+        }
+        assert_eq!(g.total_edge_count(), 100 * 20 * 3);
+        assert_eq!(g.pair_count(), 100 * 20);
+        assert_eq!(g.node_count(), 100);
+        assert_eq!(g.edge_multiplicity(42, 7), 3);
+        assert_eq!(g.successors(3).len(), 20);
+        assert!(g.memory_bytes() > 0);
+    }
+}

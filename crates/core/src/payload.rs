@@ -1,0 +1,99 @@
+//! Neighbour-slot payloads.
+//!
+//! The three public graph variants store different information per neighbour
+//! `v` of a node `u`:
+//!
+//! * basic version — just `v` ([`NodeId`]);
+//! * extended / weighted version — `⟨v, w⟩` ([`WeightedSlot`]);
+//! * multi-edge (Neo4j) version — `v` plus a list of edge identifiers
+//!   ([`MultiSlot`]).
+//!
+//! The storage engine (`engine`, `lcht`, `scht`, `chain`, `cell`) is generic
+//! over a [`Payload`], so the TRANSFORMATION and DENYLIST machinery is written
+//! once and shared by all three variants.
+
+use graph_api::NodeId;
+
+/// A value stored in a small slot or an S-CHT slot, keyed by the neighbour id.
+pub trait Payload: Clone {
+    /// The neighbour node `v` this payload describes. Used as the cuckoo key.
+    fn key(&self) -> NodeId;
+
+    /// Heap bytes owned by the payload beyond its inline size (0 for plain
+    /// values). Used for memory-usage reporting (Figure 9).
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Basic version payload: the neighbour id itself.
+impl Payload for NodeId {
+    #[inline]
+    fn key(&self) -> NodeId {
+        *self
+    }
+}
+
+/// Extended-version payload: neighbour plus multiplicity (§ III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightedSlot {
+    /// Neighbour node.
+    pub v: NodeId,
+    /// Weight — the number of times `⟨u, v⟩` has been inserted (or an
+    /// application-defined accumulated value).
+    pub w: u64,
+}
+
+impl Payload for WeightedSlot {
+    #[inline]
+    fn key(&self) -> NodeId {
+        self.v
+    }
+}
+
+/// Multi-edge payload used by the Neo4j integration (§ V-G): the per-pair
+/// weight counter is replaced by the list of concrete parallel edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiSlot {
+    /// Neighbour node.
+    pub v: NodeId,
+    /// Identifiers of every parallel edge `u → v`.
+    pub edges: Vec<u64>,
+}
+
+impl Payload for MultiSlot {
+    #[inline]
+    fn key(&self) -> NodeId {
+        self.v
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.edges.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_payload_is_its_own_key() {
+        let v: NodeId = 77;
+        assert_eq!(v.key(), 77);
+        assert_eq!(v.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn weighted_slot_keys_on_v() {
+        let s = WeightedSlot { v: 5, w: 10 };
+        assert_eq!(s.key(), 5);
+        assert_eq!(s.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn multi_slot_counts_edge_list_heap() {
+        let s = MultiSlot { v: 9, edges: Vec::with_capacity(4) };
+        assert_eq!(s.key(), 9);
+        assert_eq!(s.heap_bytes(), 32);
+    }
+}

@@ -1,0 +1,82 @@
+//! A tiny deterministic pseudo-random generator for kick-victim selection.
+//!
+//! Cuckoo hashing "randomly selects one of the stored items to kick out"
+//! (§ II-C). The choice only needs to be cheap and well spread, not
+//! cryptographic, so an xorshift64* keeps the hot path free of external
+//! dependencies and makes runs reproducible for a fixed seed.
+
+/// xorshift64* generator.
+#[derive(Debug, Clone)]
+pub struct KickRng {
+    state: u64,
+}
+
+impl KickRng {
+    /// Creates a generator from a seed. A zero seed is remapped to a fixed
+    /// non-zero constant because xorshift has an all-zero fixed point.
+    pub fn new(seed: u64) -> Self {
+        Self { state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed } }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    #[inline]
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// A coin flip.
+    #[inline]
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut a = KickRng::new(0);
+        let mut b = KickRng::new(0);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), 0);
+    }
+
+    #[test]
+    fn values_stay_below_bound() {
+        let mut rng = KickRng::new(42);
+        for _ in 0..10_000 {
+            assert!(rng.next_below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn all_residues_are_reachable() {
+        let mut rng = KickRng::new(7);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.next_below(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn coin_flip_is_roughly_fair() {
+        let mut rng = KickRng::new(99);
+        let heads = (0..10_000).filter(|_| rng.next_bool()).count();
+        assert!((4_000..6_000).contains(&heads), "heads={heads}");
+    }
+}

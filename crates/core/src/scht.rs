@@ -1,0 +1,443 @@
+//! The cuckoo hash table underlying both the S-CHTs and the L-CHTs.
+//!
+//! A [`CuckooTable`] follows the structure described in § II-C and § III-A1 of
+//! the paper: two bucket arrays with a 2:1 bucket-count ratio, each associated
+//! with an independently seeded Bob Hash function, and `d` cells (slots) per
+//! bucket. Insertions use the classic random-walk kick-out procedure bounded
+//! by `T` loops; a loss is reported back to the caller, which routes the item
+//! to a DENYLIST or triggers a TRANSFORMATION.
+//!
+//! The same generic table stores either neighbour payloads (S-CHT: keyed by
+//! `v`) or whole L-CHT cells (keyed by `u`), because both implement
+//! [`Payload`].
+
+use crate::hash::HashPair;
+use crate::payload::Payload;
+use crate::rng::KickRng;
+use graph_api::NodeId;
+
+/// The "length" of a table is the number of buckets in its larger array
+/// (footnote 3 in the paper). The smaller array holds half as many buckets.
+#[inline]
+fn secondary_buckets(len: usize) -> usize {
+    (len / 2).max(1)
+}
+
+/// A two-array, multi-slot cuckoo hash table.
+#[derive(Debug, Clone)]
+pub struct CuckooTable<T> {
+    /// Flat slot storage for array 0: `buckets0 * d` entries.
+    slots0: Vec<Option<T>>,
+    /// Flat slot storage for array 1: `buckets1 * d` entries.
+    slots1: Vec<Option<T>>,
+    buckets0: usize,
+    buckets1: usize,
+    d: usize,
+    hashes: HashPair,
+    count: usize,
+}
+
+impl<T: Payload> CuckooTable<T> {
+    /// Creates an empty table of the given length (`len` buckets in array 0,
+    /// `len/2` in array 1) with `d` slots per bucket, hashing with the seeds
+    /// derived from `seed`.
+    pub fn new(len: usize, d: usize, seed: u64) -> Self {
+        let len = len.max(1);
+        let buckets1 = secondary_buckets(len);
+        Self {
+            slots0: vec_none(len * d),
+            slots1: vec_none(buckets1 * d),
+            buckets0: len,
+            buckets1,
+            d,
+            hashes: HashPair::from_seed(seed),
+            count: 0,
+        }
+    }
+
+    /// Length of the table (buckets in the larger array).
+    pub fn len_buckets(&self) -> usize {
+        self.buckets0
+    }
+
+    /// Slots per bucket (`d`).
+    pub fn cells_per_bucket(&self) -> usize {
+        self.d
+    }
+
+    /// Total number of slots across both arrays.
+    pub fn capacity(&self) -> usize {
+        (self.buckets0 + self.buckets1) * self.d
+    }
+
+    /// Number of stored items.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// True when no items are stored.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Loading rate `LR = count / capacity`.
+    pub fn loading_rate(&self) -> f64 {
+        self.count as f64 / self.capacity() as f64
+    }
+
+    #[inline]
+    fn bucket_index(&self, key: NodeId, array: usize) -> usize {
+        let buckets = if array == 0 { self.buckets0 } else { self.buckets1 };
+        self.hashes.bucket(key, array, buckets)
+    }
+
+    #[inline]
+    fn slots(&self, array: usize) -> &[Option<T>] {
+        if array == 0 {
+            &self.slots0
+        } else {
+            &self.slots1
+        }
+    }
+
+    #[inline]
+    fn slots_mut(&mut self, array: usize) -> &mut Vec<Option<T>> {
+        if array == 0 {
+            &mut self.slots0
+        } else {
+            &mut self.slots1
+        }
+    }
+
+    /// Returns the `(array, flat_index)` coordinates of `key` if present.
+    fn locate(&self, key: NodeId) -> Option<(usize, usize)> {
+        for array in 0..2 {
+            let bucket = self.bucket_index(key, array);
+            let base = bucket * self.d;
+            let slots = self.slots(array);
+            for i in base..base + self.d {
+                if let Some(item) = &slots[i] {
+                    if item.key() == key {
+                        return Some((array, i));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns a reference to the item with the given key, if stored.
+    pub fn get(&self, key: NodeId) -> Option<&T> {
+        let (array, i) = self.locate(key)?;
+        self.slots(array)[i].as_ref()
+    }
+
+    /// Returns a mutable reference to the item with the given key, if stored.
+    pub fn get_mut(&mut self, key: NodeId) -> Option<&mut T> {
+        let (array, i) = self.locate(key)?;
+        self.slots_mut(array)[i].as_mut()
+    }
+
+    /// True if an item with the given key is stored.
+    pub fn contains(&self, key: NodeId) -> bool {
+        self.locate(key).is_some()
+    }
+
+    /// Removes and returns the item with the given key.
+    pub fn remove(&mut self, key: NodeId) -> Option<T> {
+        let (array, i) = self.locate(key)?;
+        let item = self.slots_mut(array)[i].take();
+        if item.is_some() {
+            self.count -= 1;
+        }
+        item
+    }
+
+    /// Tries to place `item` in an empty slot of one of its two candidate
+    /// buckets, without evicting anything. Returns the item back on failure.
+    fn try_place_direct(&mut self, item: T, placements: &mut u64) -> Result<(), T> {
+        let key = item.key();
+        for array in 0..2 {
+            let bucket = self.bucket_index(key, array);
+            let base = bucket * self.d;
+            let d = self.d;
+            let slots = self.slots_mut(array);
+            for i in base..base + d {
+                if slots[i].is_none() {
+                    slots[i] = Some(item);
+                    self.count += 1;
+                    *placements += 1;
+                    return Ok(());
+                }
+            }
+        }
+        Err(item)
+    }
+
+    /// Inserts `item`, assuming its key is not already present (callers use
+    /// [`CuckooTable::get_mut`] for updates). Performs up to `max_kicks`
+    /// random-walk evictions. On failure the currently homeless item is
+    /// returned so the caller can route it to a denylist.
+    ///
+    /// `placements` is incremented once per slot write, feeding the
+    /// Theorem 1 validation counters (§ IV-A).
+    pub fn insert(
+        &mut self,
+        item: T,
+        rng: &mut KickRng,
+        max_kicks: usize,
+        placements: &mut u64,
+    ) -> Result<(), T> {
+        debug_assert!(!self.contains(item.key()), "insert of duplicate key");
+        let mut cur = match self.try_place_direct(item, placements) {
+            Ok(()) => return Ok(()),
+            Err(item) => item,
+        };
+
+        // Both candidate buckets are full: start the kick-out walk. We evict a
+        // random resident of one candidate bucket, settle the newcomer there,
+        // and continue with the evictee in its *other* candidate bucket.
+        let mut array = if rng.next_bool() { 1 } else { 0 };
+        for _ in 0..max_kicks {
+            let bucket = self.bucket_index(cur.key(), array);
+            let base = bucket * self.d;
+            let d = self.d;
+
+            // If an empty slot opened up (possible after earlier evictions),
+            // settle immediately.
+            {
+                let slots = self.slots_mut(array);
+                if let Some(i) = (base..base + d).find(|&i| slots[i].is_none()) {
+                    slots[i] = Some(cur);
+                    self.count += 1;
+                    *placements += 1;
+                    return Ok(());
+                }
+            }
+
+            // Evict a random resident and take its place.
+            let victim_slot = base + rng.next_below(d);
+            let slots = self.slots_mut(array);
+            let victim = slots[victim_slot].replace(cur).expect("victim slot was occupied");
+            *placements += 1;
+            cur = victim;
+
+            // The victim's alternative bucket lives in the other array.
+            array = 1 - array;
+        }
+        // The walk exceeded T loops: report the homeless item. Note `count` is
+        // unchanged for it (it never found a slot); all swapped residents are
+        // still stored.
+        Err(cur)
+    }
+
+    /// Calls `f` for every stored item.
+    pub fn for_each(&self, mut f: impl FnMut(&T)) {
+        for slot in self.slots0.iter().chain(self.slots1.iter()) {
+            if let Some(item) = slot {
+                f(item);
+            }
+        }
+    }
+
+    /// Iterates over stored items.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.slots0.iter().chain(self.slots1.iter()).filter_map(|s| s.as_ref())
+    }
+
+    /// Removes and returns all stored items, leaving the table empty.
+    pub fn drain(&mut self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.count);
+        for slot in self.slots0.iter_mut().chain(self.slots1.iter_mut()) {
+            if let Some(item) = slot.take() {
+                out.push(item);
+            }
+        }
+        self.count = 0;
+        out
+    }
+
+    /// Bytes occupied by the two slot arrays plus the heap data owned by the
+    /// stored items.
+    pub fn memory_bytes(&self) -> usize {
+        let slot_size = std::mem::size_of::<Option<T>>();
+        let mut bytes = (self.slots0.capacity() + self.slots1.capacity()) * slot_size;
+        for item in self.iter() {
+            bytes += item.heap_bytes();
+        }
+        bytes
+    }
+}
+
+fn vec_none<T>(n: usize) -> Vec<Option<T>> {
+    let mut v = Vec::with_capacity(n);
+    v.resize_with(n, || None);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(len: usize, d: usize) -> CuckooTable<NodeId> {
+        CuckooTable::new(len, d, 0x1234)
+    }
+
+    #[test]
+    fn geometry_follows_two_to_one_ratio() {
+        let t = table(8, 4);
+        assert_eq!(t.len_buckets(), 8);
+        assert_eq!(t.capacity(), (8 + 4) * 4);
+        assert_eq!(t.cells_per_bucket(), 4);
+        // A length-1 table still has one bucket in each array.
+        let t1 = table(1, 2);
+        assert_eq!(t1.capacity(), 4);
+    }
+
+    #[test]
+    fn insert_then_get_roundtrip() {
+        let mut t = table(8, 4);
+        let mut rng = KickRng::new(1);
+        let mut placements = 0;
+        for v in 0..20u64 {
+            t.insert(v, &mut rng, 50, &mut placements).unwrap();
+        }
+        assert_eq!(t.count(), 20);
+        for v in 0..20u64 {
+            assert_eq!(t.get(v), Some(&v));
+            assert!(t.contains(v));
+        }
+        assert!(!t.contains(99));
+        assert!(placements >= 20);
+    }
+
+    #[test]
+    fn remove_frees_slots() {
+        let mut t = table(4, 4);
+        let mut rng = KickRng::new(2);
+        let mut p = 0;
+        for v in 0..10u64 {
+            t.insert(v, &mut rng, 50, &mut p).unwrap();
+        }
+        assert_eq!(t.remove(3), Some(3));
+        assert_eq!(t.remove(3), None);
+        assert!(!t.contains(3));
+        assert_eq!(t.count(), 9);
+        // The freed slot is reusable.
+        t.insert(100, &mut rng, 50, &mut p).unwrap();
+        assert!(t.contains(100));
+    }
+
+    #[test]
+    fn loading_rate_tracks_count() {
+        let mut t = table(4, 2);
+        let mut rng = KickRng::new(3);
+        let mut p = 0;
+        assert_eq!(t.loading_rate(), 0.0);
+        t.insert(1, &mut rng, 50, &mut p).unwrap();
+        assert!((t.loading_rate() - 1.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insertion_failure_returns_homeless_item() {
+        // Tiny table (capacity 3*1=3... len=1,d=1 => capacity 2) filled beyond
+        // capacity must eventually fail and hand an item back.
+        let mut t = table(1, 1);
+        let mut rng = KickRng::new(4);
+        let mut p = 0;
+        let mut failed = Vec::new();
+        for v in 0..10u64 {
+            if let Err(item) = t.insert(v, &mut rng, 8, &mut p) {
+                failed.push(item);
+            }
+        }
+        assert_eq!(t.count() + failed.len(), 10);
+        assert!(!failed.is_empty());
+        // Everything that did not fail is still retrievable.
+        let stored: Vec<_> = t.iter().copied().collect();
+        for v in stored {
+            assert!(t.contains(v));
+        }
+    }
+
+    #[test]
+    fn kick_out_preserves_all_settled_items() {
+        // Fill to a high load factor; every successfully inserted key must
+        // remain findable even after many evictions.
+        let mut t = table(16, 4);
+        let mut rng = KickRng::new(5);
+        let mut p = 0;
+        let mut ok = Vec::new();
+        for v in 0..90u64 {
+            if t.insert(v, &mut rng, 200, &mut p).is_ok() {
+                ok.push(v);
+            }
+        }
+        for v in &ok {
+            assert!(t.contains(*v), "lost key {v} after kick-outs");
+        }
+        assert_eq!(t.count(), ok.len());
+    }
+
+    #[test]
+    fn drain_empties_the_table() {
+        let mut t = table(8, 4);
+        let mut rng = KickRng::new(6);
+        let mut p = 0;
+        for v in 0..30u64 {
+            t.insert(v, &mut rng, 100, &mut p).unwrap();
+        }
+        let mut items = t.drain();
+        items.sort_unstable();
+        assert_eq!(items, (0..30u64).collect::<Vec<_>>());
+        assert_eq!(t.count(), 0);
+        assert!(t.is_empty());
+        assert!(!t.contains(5));
+    }
+
+    #[test]
+    fn memory_bytes_reflects_capacity() {
+        let t = table(8, 4);
+        let expected = (8 * 4 + 4 * 4) * std::mem::size_of::<Option<NodeId>>();
+        assert_eq!(t.memory_bytes(), expected);
+    }
+
+    #[test]
+    fn for_each_visits_every_item() {
+        let mut t = table(8, 4);
+        let mut rng = KickRng::new(7);
+        let mut p = 0;
+        for v in 0..25u64 {
+            t.insert(v, &mut rng, 100, &mut p).unwrap();
+        }
+        let mut sum = 0u64;
+        let mut n = 0;
+        t.for_each(|&v| {
+            sum += v;
+            n += 1;
+        });
+        assert_eq!(n, 25);
+        assert_eq!(sum, (0..25).sum());
+    }
+
+    #[test]
+    fn high_load_factor_is_achievable_with_d8() {
+        // With d = 8 (the paper's default) a cuckoo table sustains > 90% load.
+        let mut t = table(16, 8);
+        let mut rng = KickRng::new(8);
+        let mut p = 0;
+        let capacity = t.capacity();
+        let target = (capacity as f64 * 0.95) as u64;
+        let mut inserted = 0;
+        for v in 0..target {
+            if t.insert(v, &mut rng, 250, &mut p).is_ok() {
+                inserted += 1;
+            }
+        }
+        assert!(
+            inserted as f64 >= capacity as f64 * 0.9,
+            "only reached {} of {capacity}",
+            inserted
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! Synthetic dataset generation matched to the Table IV profiles.
+//!
+//! For each dataset the generator produces a raw edge stream whose scaled
+//! statistics follow the published row: node count, distinct-edge count,
+//! duplicate ratio, degree skew (power-law with a matched maximum degree) and
+//! density. The scale factor shrinks node and edge counts proportionally so
+//! laptop-sized runs finish quickly; `scale = 1.0` reproduces the full counts.
+
+use crate::profile::{DatasetKind, DatasetProfile};
+use graph_api::NodeId;
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// A generated dataset: the raw (possibly duplicated) edge stream plus the
+/// profile it was derived from.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Which Table IV row this dataset imitates.
+    pub kind: DatasetKind,
+    /// The scale factor the generator was called with.
+    pub scale: f64,
+    /// The raw edge stream in arrival order (contains duplicates for the
+    /// weighted datasets, exactly like the originals).
+    pub raw_edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Dataset {
+    /// The distinct edges of the stream, in first-arrival order.
+    pub fn distinct_edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut seen = HashSet::with_capacity(self.raw_edges.len());
+        let mut out = Vec::new();
+        for &e in &self.raw_edges {
+            if seen.insert(e) {
+                out.push(e);
+            }
+        }
+        out
+    }
+
+    /// The published profile of the imitated dataset.
+    pub fn profile(&self) -> DatasetProfile {
+        self.kind.profile()
+    }
+
+    /// Dataset name (as used in the figures).
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+}
+
+/// Generates a dataset imitating `kind` at the given `scale` (fraction of the
+/// published node/edge counts; clamped so even tiny scales stay non-empty).
+pub fn generate(kind: DatasetKind, scale: f64, seed: u64) -> Dataset {
+    let profile = kind.profile();
+    let mut rng = StdRng::seed_from_u64(seed ^ (kind as u64).wrapping_mul(0x9e37_79b9));
+    let raw_edges = match kind {
+        DatasetKind::DenseGraph => generate_dense(&profile, scale, &mut rng),
+        DatasetKind::SparseGraph => generate_regular(&profile, scale, &mut rng),
+        _ => generate_power_law(&profile, scale, &mut rng),
+    };
+    Dataset { kind, scale, raw_edges }
+}
+
+/// Scaled target counts, never below small floors so tests stay meaningful.
+fn scaled_counts(profile: &DatasetProfile, scale: f64) -> (u64, u64, u64) {
+    let nodes = ((profile.nodes as f64 * scale).ceil() as u64).max(64);
+    let distinct = ((profile.distinct_edges as f64 * scale).ceil() as u64).max(128);
+    let raw = ((profile.raw_edges as f64 * scale).ceil() as u64).max(distinct);
+    (nodes, distinct, raw)
+}
+
+/// Power-law datasets (CAIDA, NotreDame, StackOverflow, WikiTalk, Weibo):
+/// source nodes draw their out-degree from a Zipf-like distribution whose tail
+/// is capped at the scaled maximum degree; destinations are drawn from a
+/// second skewed distribution so in-degrees are also uneven.
+fn generate_power_law(profile: &DatasetProfile, scale: f64, rng: &mut StdRng) -> Vec<(u64, u64)> {
+    let (nodes, distinct_target, raw_target) = scaled_counts(profile, scale);
+    let max_degree = ((profile.max_degree as f64 * scale).ceil() as u64)
+        .clamp(8, nodes.saturating_sub(1).max(8));
+
+    // Zipf-ish node popularity: weight(i) ∝ 1 / (i + 1)^alpha. Popular nodes
+    // get most of the edges, reproducing the skew the paper highlights
+    // ("mostly low-degree nodes and a few high-degree nodes").
+    let alpha = 0.8f64;
+    let popularity: Vec<f64> =
+        (0..nodes).map(|i| 1.0 / ((i + 1) as f64).powf(alpha)).collect();
+    let pick = WeightedIndex::new(&popularity).expect("non-empty weights");
+
+    let mut distinct: HashSet<(u64, u64)> = HashSet::with_capacity(distinct_target as usize);
+    let mut stream: Vec<(u64, u64)> = Vec::with_capacity(raw_target as usize);
+    let mut degree = vec![0u64; nodes as usize];
+
+    // Give the most popular node a guaranteed hub degree close to the scaled
+    // maximum so the Max. Deg. column is reproduced, not left to chance.
+    let hub = 0u64;
+    let hub_target = max_degree.min(nodes - 1);
+    let mut v = 1u64;
+    while (degree[hub as usize]) < hub_target && v < nodes {
+        if distinct.insert((hub, v)) {
+            stream.push((hub, v));
+            degree[hub as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        v += 1;
+    }
+
+    // Fill the remaining distinct edges with skewed endpoints.
+    let mut attempts = 0u64;
+    let max_attempts = distinct_target * 30;
+    while (distinct.len() as u64) < distinct_target && attempts < max_attempts {
+        attempts += 1;
+        let u = pick.sample(rng) as u64;
+        let w = pick.sample(rng) as u64;
+        if u == w {
+            continue;
+        }
+        if distinct.insert((u, w)) {
+            stream.push((u, w));
+            degree[u as usize] += 1;
+            degree[w as usize] += 1;
+        }
+    }
+
+    // Weighted datasets: replay already-present edges (skewed towards popular
+    // sources) until the raw stream length matches the duplicate ratio.
+    if profile.weighted {
+        // `stream` currently holds exactly the distinct edges in insertion
+        // order (a deterministic order, unlike iterating the HashSet).
+        let existing: Vec<(u64, u64)> = stream.clone();
+        while (stream.len() as u64) < raw_target {
+            let &(u, w) = existing.choose(rng).expect("non-empty edge set");
+            stream.push((u, w));
+        }
+    }
+
+    stream.shuffle(rng);
+    stream
+}
+
+/// DenseGraph: a small node set with ~90% of all possible directed edges. The
+/// node count scales with √scale so the edge count scales linearly.
+fn generate_dense(profile: &DatasetProfile, scale: f64, rng: &mut StdRng) -> Vec<(u64, u64)> {
+    let nodes = ((profile.nodes as f64 * scale.sqrt()).ceil() as u64).max(24);
+    let mut stream = Vec::new();
+    for u in 0..nodes {
+        for v in 0..nodes {
+            if u != v && rng.gen_bool(profile.density.min(1.0)) {
+                stream.push((u, v));
+            }
+        }
+    }
+    stream.shuffle(rng);
+    stream
+}
+
+/// SparseGraph: every node has exactly `avg_degree` out-edges to distinct
+/// targets (the paper's synthetic sparse graph has constant degree 6).
+fn generate_regular(profile: &DatasetProfile, scale: f64, rng: &mut StdRng) -> Vec<(u64, u64)> {
+    let (nodes, _, _) = scaled_counts(profile, scale);
+    let degree = profile.avg_degree.round() as u64;
+    let mut stream = Vec::with_capacity((nodes * degree) as usize);
+    for u in 0..nodes {
+        let mut targets = HashSet::with_capacity(degree as usize);
+        while (targets.len() as u64) < degree.min(nodes - 1) {
+            let v = rng.gen_range(0..nodes);
+            if v != u && targets.insert(v) {
+                stream.push((u, v));
+            }
+        }
+    }
+    stream.shuffle(rng);
+    stream
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::compute_stats;
+
+    #[test]
+    fn caida_like_stream_has_heavy_duplication() {
+        let ds = generate(DatasetKind::Caida, 0.003, 1);
+        let stats = compute_stats(&ds.raw_edges);
+        let published = DatasetKind::Caida.profile();
+        let published_ratio = published.raw_edges as f64 / published.distinct_edges as f64;
+        let generated_ratio = stats.raw_edges as f64 / stats.distinct_edges as f64;
+        assert!(
+            (generated_ratio - published_ratio).abs() / published_ratio < 0.25,
+            "duplicate ratio {generated_ratio} vs published {published_ratio}"
+        );
+    }
+
+    #[test]
+    fn notredame_like_stream_matches_average_degree() {
+        let ds = generate(DatasetKind::NotreDame, 0.01, 2);
+        let stats = compute_stats(&ds.raw_edges);
+        let published = DatasetKind::NotreDame.profile();
+        assert!(
+            (stats.avg_degree - published.avg_degree).abs() / published.avg_degree < 0.35,
+            "avg degree {} vs published {}",
+            stats.avg_degree,
+            published.avg_degree
+        );
+        assert_eq!(stats.raw_edges, stats.distinct_edges);
+    }
+
+    #[test]
+    fn power_law_datasets_have_a_dominant_hub() {
+        let ds = generate(DatasetKind::WikiTalk, 0.002, 3);
+        let stats = compute_stats(&ds.raw_edges);
+        // The hub's degree dwarfs the average, as in the published Max. Deg.
+        assert!(stats.max_degree as f64 > 20.0 * stats.avg_degree);
+    }
+
+    #[test]
+    fn dense_graph_is_dense_and_sparse_graph_is_regular() {
+        let dense = generate(DatasetKind::DenseGraph, 0.0005, 4);
+        let dstats = compute_stats(&dense.raw_edges);
+        assert!(dstats.density > 0.7, "density {}", dstats.density);
+
+        let sparse = generate(DatasetKind::SparseGraph, 0.0005, 5);
+        let sstats = compute_stats(&sparse.raw_edges);
+        assert!((sstats.avg_degree - 6.0).abs() < 1.0, "avg {}", sstats.avg_degree);
+        assert!(sstats.density < 1e-2);
+    }
+
+    #[test]
+    fn distinct_edges_preserve_first_arrival_order_and_content() {
+        let ds = generate(DatasetKind::StackOverflow, 0.001, 6);
+        let distinct = ds.distinct_edges();
+        let as_set: HashSet<_> = distinct.iter().copied().collect();
+        let stream_set: HashSet<_> = ds.raw_edges.iter().copied().collect();
+        assert_eq!(as_set, stream_set);
+        assert_eq!(as_set.len(), distinct.len(), "distinct_edges returned duplicates");
+    }
+
+    #[test]
+    fn profile_and_name_pass_through() {
+        let ds = generate(DatasetKind::Weibo, 0.0001, 7);
+        assert_eq!(ds.name(), "Weibo");
+        assert_eq!(ds.profile().nodes, 58_660_000);
+        assert!(ds.scale > 0.0);
+    }
+}

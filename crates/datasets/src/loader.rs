@@ -1,0 +1,84 @@
+//! SNAP-style edge-list loading, so the real datasets (NotreDame, WikiTalk,
+//! StackOverflow, ...) can be dropped in when they are available locally.
+//!
+//! The format is the one used by the SNAP repository the paper links to:
+//! whitespace-separated `source destination [extra columns]` lines, with `#`
+//! comment lines. Extra columns (e.g. the timestamp of the StackOverflow
+//! temporal network) are ignored.
+
+use graph_api::NodeId;
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+
+/// Parses SNAP edge-list text into an edge stream. Malformed lines are
+/// reported with their line number.
+pub fn parse_snap_edge_list<R: Read>(reader: R) -> std::io::Result<Vec<(NodeId, NodeId)>> {
+    let reader = BufReader::new(reader);
+    let mut edges = Vec::new();
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let parse = |field: Option<&str>| -> Option<NodeId> { field?.parse().ok() };
+        match (parse(fields.next()), parse(fields.next())) {
+            (Some(u), Some(v)) => edges.push((u, v)),
+            _ => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("malformed edge on line {}: {trimmed:?}", line_no + 1),
+                ))
+            }
+        }
+    }
+    Ok(edges)
+}
+
+/// Loads a SNAP edge-list file from disk.
+pub fn load_snap_edge_list<P: AsRef<Path>>(path: P) -> std::io::Result<Vec<(NodeId, NodeId)>> {
+    let file = std::fs::File::open(path)?;
+    parse_snap_edge_list(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_edges_and_skips_comments() {
+        let text = "# Directed graph\n# Nodes: 3 Edges: 3\n0\t1\n1 2\n2 0 1356130000\n";
+        let edges = parse_snap_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn blank_lines_and_percent_comments_are_ignored() {
+        let text = "% konect header\n\n5 6\n\n";
+        let edges = parse_snap_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(edges, vec![(5, 6)]);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_position() {
+        let text = "0 1\nnot-a-node 2\n";
+        let err = parse_snap_edge_list(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn file_roundtrip_via_tempfile() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("cuckoograph_test_edges.txt");
+        std::fs::write(&path, "# test\n1 2\n3 4\n").unwrap();
+        let edges = load_snap_edge_list(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(edges, vec![(1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(load_snap_edge_list("/nonexistent/path/to/edges.txt").is_err());
+    }
+}

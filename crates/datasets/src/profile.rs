@@ -1,0 +1,196 @@
+//! Published statistics of the evaluation datasets (Table IV of the paper).
+
+/// The seven datasets of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// CAIDA anonymised IP traces: edges are (source IP, destination IP) per
+    /// flow, heavily duplicated.
+    Caida,
+    /// University of Notre Dame web graph: pages and hyperlinks.
+    NotreDame,
+    /// Stack Overflow user-interaction temporal network.
+    StackOverflow,
+    /// English Wikipedia talk-page interactions.
+    WikiTalk,
+    /// Sina Weibo follower interactions.
+    Weibo,
+    /// Synthetic dense graph (density 0.9) from the paper.
+    DenseGraph,
+    /// Synthetic sparse graph (constant degree 6) from the paper.
+    SparseGraph,
+}
+
+/// The Table IV row for one dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetProfile {
+    /// Dataset name as printed in the paper.
+    pub name: &'static str,
+    /// Whether the raw stream contains duplicate edges ("Weighted?" column).
+    pub weighted: bool,
+    /// Number of distinct nodes.
+    pub nodes: u64,
+    /// Number of raw edges (stream items).
+    pub raw_edges: u64,
+    /// Number of distinct edges after deduplication.
+    pub distinct_edges: u64,
+    /// Average degree (distinct edges / nodes).
+    pub avg_degree: f64,
+    /// Maximum total degree.
+    pub max_degree: u64,
+    /// Edge density `|E| / (|V|·(|V|−1))`.
+    pub density: f64,
+}
+
+impl DatasetKind {
+    /// All seven datasets in the order the paper's figures use.
+    pub fn all() -> [DatasetKind; 7] {
+        [
+            DatasetKind::Caida,
+            DatasetKind::NotreDame,
+            DatasetKind::StackOverflow,
+            DatasetKind::WikiTalk,
+            DatasetKind::Weibo,
+            DatasetKind::DenseGraph,
+            DatasetKind::SparseGraph,
+        ]
+    }
+
+    /// The published Table IV statistics of this dataset.
+    pub fn profile(self) -> DatasetProfile {
+        match self {
+            DatasetKind::Caida => DatasetProfile {
+                name: "CAIDA",
+                weighted: true,
+                nodes: 510_000,
+                raw_edges: 27_120_000,
+                distinct_edges: 850_000,
+                avg_degree: 1.66,
+                max_degree: 17_950,
+                density: 3.26e-6,
+            },
+            DatasetKind::NotreDame => DatasetProfile {
+                name: "NotreDame",
+                weighted: false,
+                nodes: 330_000,
+                raw_edges: 1_500_000,
+                distinct_edges: 1_500_000,
+                avg_degree: 4.60,
+                max_degree: 10_721,
+                density: 1.41e-5,
+            },
+            DatasetKind::StackOverflow => DatasetProfile {
+                name: "StackOverflow",
+                weighted: true,
+                nodes: 2_600_000,
+                raw_edges: 63_500_000,
+                distinct_edges: 36_230_000,
+                avg_degree: 13.92,
+                max_degree: 60_406,
+                density: 5.35e-6,
+            },
+            DatasetKind::WikiTalk => DatasetProfile {
+                name: "WikiTalk",
+                weighted: true,
+                nodes: 2_990_000,
+                raw_edges: 24_980_000,
+                distinct_edges: 9_380_000,
+                avg_degree: 3.14,
+                max_degree: 146_311,
+                density: 1.05e-6,
+            },
+            DatasetKind::Weibo => DatasetProfile {
+                name: "Weibo",
+                weighted: false,
+                nodes: 58_660_000,
+                raw_edges: 261_320_000,
+                distinct_edges: 261_320_000,
+                avg_degree: 4.46,
+                max_degree: 278_491,
+                density: 7.60e-8,
+            },
+            DatasetKind::DenseGraph => DatasetProfile {
+                name: "DenseGraph",
+                weighted: false,
+                nodes: 8_000,
+                raw_edges: 57_590_000,
+                distinct_edges: 57_590_000,
+                avg_degree: 7_199.16,
+                max_degree: 14_537,
+                density: 0.90,
+            },
+            DatasetKind::SparseGraph => DatasetProfile {
+                name: "SparseGraph",
+                weighted: false,
+                nodes: 5_000_000,
+                raw_edges: 30_000_000,
+                distinct_edges: 30_000_000,
+                avg_degree: 6.0,
+                max_degree: 6,
+                density: 1.20e-6,
+            },
+        }
+    }
+
+    /// The dataset name as printed in the paper's figures.
+    pub fn name(self) -> &'static str {
+        self.profile().name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_has_seven_rows() {
+        assert_eq!(DatasetKind::all().len(), 7);
+        let names: Vec<_> = DatasetKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "CAIDA",
+                "NotreDame",
+                "StackOverflow",
+                "WikiTalk",
+                "Weibo",
+                "DenseGraph",
+                "SparseGraph"
+            ]
+        );
+    }
+
+    #[test]
+    fn unweighted_datasets_have_no_duplicates() {
+        for kind in DatasetKind::all() {
+            let p = kind.profile();
+            if !p.weighted {
+                assert_eq!(p.raw_edges, p.distinct_edges, "{}", p.name);
+            } else {
+                assert!(p.raw_edges > p.distinct_edges, "{}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn average_degree_is_consistent_with_counts() {
+        for kind in DatasetKind::all() {
+            let p = kind.profile();
+            let derived = p.distinct_edges as f64 / p.nodes as f64;
+            // Table IV rounds aggressively; stay within 20% of the derived value.
+            assert!(
+                (derived - p.avg_degree).abs() / p.avg_degree < 0.2,
+                "{}: derived {derived} vs published {}",
+                p.name,
+                p.avg_degree
+            );
+        }
+    }
+
+    #[test]
+    fn dense_graph_is_actually_dense() {
+        let p = DatasetKind::DenseGraph.profile();
+        assert!(p.density > 0.5);
+        let p = DatasetKind::SparseGraph.profile();
+        assert!(p.density < 1e-5);
+    }
+}

@@ -1,0 +1,87 @@
+//! Statistics computed from an edge stream — the code path that regenerates
+//! Table IV from the synthetic datasets (`reproduce table4`).
+
+use graph_api::NodeId;
+use std::collections::{HashMap, HashSet};
+
+/// Statistics of an edge stream, mirroring the columns of Table IV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Distinct nodes appearing as a source or a destination.
+    pub nodes: u64,
+    /// Raw stream length.
+    pub raw_edges: u64,
+    /// Distinct directed edges.
+    pub distinct_edges: u64,
+    /// Average out-degree over distinct edges (`distinct_edges / nodes`).
+    pub avg_degree: f64,
+    /// Maximum total (in + out) degree over distinct edges.
+    pub max_degree: u64,
+    /// Edge density `distinct_edges / (nodes · (nodes − 1))`.
+    pub density: f64,
+}
+
+/// Computes [`DatasetStats`] from a raw edge stream.
+pub fn compute_stats(stream: &[(NodeId, NodeId)]) -> DatasetStats {
+    let mut nodes: HashSet<NodeId> = HashSet::new();
+    let mut distinct: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(stream.len());
+    for &(u, v) in stream {
+        nodes.insert(u);
+        nodes.insert(v);
+        distinct.insert((u, v));
+    }
+    let mut degree: HashMap<NodeId, u64> = HashMap::with_capacity(nodes.len());
+    for &(u, v) in &distinct {
+        *degree.entry(u).or_insert(0) += 1;
+        *degree.entry(v).or_insert(0) += 1;
+    }
+    let n = nodes.len() as u64;
+    let e = distinct.len() as u64;
+    DatasetStats {
+        nodes: n,
+        raw_edges: stream.len() as u64,
+        distinct_edges: e,
+        avg_degree: if n == 0 { 0.0 } else { e as f64 / n as f64 },
+        max_degree: degree.values().copied().max().unwrap_or(0),
+        density: if n > 1 { e as f64 / (n as f64 * (n as f64 - 1.0)) } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_nodes_edges_and_duplicates() {
+        let stream = vec![(1, 2), (1, 2), (2, 3), (3, 1)];
+        let s = compute_stats(&stream);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.raw_edges, 4);
+        assert_eq!(s.distinct_edges, 3);
+        assert!((s.avg_degree - 1.0).abs() < 1e-12);
+        // Every node has total degree 2 in the triangle.
+        assert_eq!(s.max_degree, 2);
+        assert!((s.density - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hub_dominates_max_degree() {
+        let mut stream = Vec::new();
+        for v in 1..=100u64 {
+            stream.push((0, v));
+        }
+        let s = compute_stats(&stream);
+        assert_eq!(s.max_degree, 100);
+        assert_eq!(s.nodes, 101);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = compute_stats(&[]);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.raw_edges, 0);
+        assert_eq!(s.distinct_edges, 0);
+        assert_eq!(s.max_degree, 0);
+        assert_eq!(s.density, 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Node and edge primitives.
+//!
+//! The paper stores 8-byte node identifiers (§ II-A describes Spruce splitting
+//! an 8-byte identifier); we use `u64` throughout.
+
+/// A graph node identifier. The paper's datasets identify nodes with 8-byte
+/// integers (IP addresses, user ids, page ids), so `u64` is the native type.
+pub type NodeId = u64;
+
+/// A directed, unweighted graph edge `⟨u, v⟩`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    /// Source node (`u` in the paper's notation).
+    pub src: NodeId,
+    /// Destination node (`v` in the paper's notation).
+    pub dst: NodeId,
+}
+
+impl Edge {
+    /// Creates a new edge from `src` to `dst`.
+    #[inline]
+    pub const fn new(src: NodeId, dst: NodeId) -> Self {
+        Self { src, dst }
+    }
+
+    /// Returns the edge with source and destination swapped.
+    #[inline]
+    pub const fn reversed(self) -> Self {
+        Self { src: self.dst, dst: self.src }
+    }
+
+    /// Returns true if the edge is a self loop.
+    #[inline]
+    pub const fn is_self_loop(self) -> bool {
+        self.src == self.dst
+    }
+}
+
+impl From<(NodeId, NodeId)> for Edge {
+    #[inline]
+    fn from((src, dst): (NodeId, NodeId)) -> Self {
+        Self { src, dst }
+    }
+}
+
+/// A directed edge with a multiplicity / weight, as used by the extended
+/// (streaming) version of CuckooGraph (§ III-B) where duplicate edges are
+/// folded into a counter `w`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WeightedEdge {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Weight (number of times the edge appeared, or an application value).
+    pub weight: u64,
+}
+
+impl WeightedEdge {
+    /// Creates a new weighted edge.
+    #[inline]
+    pub const fn new(src: NodeId, dst: NodeId, weight: u64) -> Self {
+        Self { src, dst, weight }
+    }
+
+    /// Drops the weight, returning the plain edge.
+    #[inline]
+    pub const fn edge(self) -> Edge {
+        Edge { src: self.src, dst: self.dst }
+    }
+}
+
+impl From<Edge> for WeightedEdge {
+    #[inline]
+    fn from(e: Edge) -> Self {
+        Self { src: e.src, dst: e.dst, weight: 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_constructors_and_accessors() {
+        let e = Edge::new(3, 7);
+        assert_eq!(e.src, 3);
+        assert_eq!(e.dst, 7);
+        assert_eq!(e.reversed(), Edge::new(7, 3));
+        assert!(!e.is_self_loop());
+        assert!(Edge::new(5, 5).is_self_loop());
+    }
+
+    #[test]
+    fn edge_from_tuple() {
+        let e: Edge = (1u64, 2u64).into();
+        assert_eq!(e, Edge::new(1, 2));
+    }
+
+    #[test]
+    fn weighted_edge_roundtrip() {
+        let w = WeightedEdge::new(1, 2, 9);
+        assert_eq!(w.edge(), Edge::new(1, 2));
+        let w2: WeightedEdge = Edge::new(4, 5).into();
+        assert_eq!(w2.weight, 1);
+    }
+
+    #[test]
+    fn edge_ordering_is_lexicographic() {
+        let mut edges = vec![Edge::new(2, 1), Edge::new(1, 9), Edge::new(1, 2)];
+        edges.sort();
+        assert_eq!(edges, vec![Edge::new(1, 2), Edge::new(1, 9), Edge::new(2, 1)]);
+    }
+}

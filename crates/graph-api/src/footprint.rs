@@ -1,0 +1,62 @@
+//! Memory-usage accounting.
+//!
+//! Figure 9 of the paper plots "Memory Usage (MB)" against the number of
+//! inserted items for every scheme. Each storage scheme in this workspace
+//! reports its own resident bytes through [`MemoryFootprint`], counting the
+//! heap blocks it owns (bucket arrays, adjacency blocks, edge logs, ...).
+
+/// Types that can report how much memory they currently occupy.
+pub trait MemoryFootprint {
+    /// Number of bytes currently allocated by the structure, including
+    /// per-allocation payloads but excluding allocator bookkeeping.
+    fn memory_bytes(&self) -> usize;
+
+    /// Memory usage in mebibytes, convenient for reproducing the paper's
+    /// figures which are reported in MB.
+    fn memory_mb(&self) -> f64 {
+        self.memory_bytes() as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// Helper: bytes occupied by a `Vec`'s heap buffer (capacity, not length).
+#[inline]
+pub fn vec_bytes<T>(v: &Vec<T>) -> usize {
+    v.capacity() * std::mem::size_of::<T>()
+}
+
+/// Helper: bytes occupied by a boxed slice.
+#[inline]
+pub fn boxed_slice_bytes<T>(s: &[T]) -> usize {
+    std::mem::size_of_val(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(usize);
+    impl MemoryFootprint for Fixed {
+        fn memory_bytes(&self) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn memory_mb_converts_bytes() {
+        let f = Fixed(2 * 1024 * 1024);
+        assert!((f.memory_mb() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vec_bytes_counts_capacity() {
+        let mut v: Vec<u64> = Vec::with_capacity(16);
+        v.push(1);
+        assert_eq!(vec_bytes(&v), 16 * 8);
+    }
+
+    #[test]
+    fn boxed_slice_bytes_counts_len() {
+        let s = vec![0u32; 10].into_boxed_slice();
+        assert_eq!(boxed_slice_bytes(&s), 40);
+    }
+}

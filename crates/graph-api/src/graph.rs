@@ -1,0 +1,119 @@
+//! The [`DynamicGraph`] trait: the operation surface the paper benchmarks.
+
+use crate::edge::NodeId;
+use crate::footprint::MemoryFootprint;
+
+/// Identifies a storage scheme in benchmark output (Figures 6-16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphScheme {
+    /// CuckooGraph (this paper).
+    CuckooGraph,
+    /// LiveGraph-like baseline (vertex blocks + transactional edge log).
+    LiveGraph,
+    /// Sortledton-like baseline (adjacency index + sorted blocked sets).
+    Sortledton,
+    /// Wind-Bell Index baseline (adjacency matrix + hanging lists).
+    WindBellIndex,
+    /// Spruce-like baseline (hash node index + adjacency edge storage).
+    Spruce,
+    /// Plain adjacency list (reference point, not in the paper's figures).
+    AdjacencyList,
+    /// Packed-CSR baseline (PMA-backed CSR).
+    Pcsr,
+}
+
+impl GraphScheme {
+    /// Human-readable label used by the benchmark harness.
+    pub fn label(self) -> &'static str {
+        match self {
+            GraphScheme::CuckooGraph => "CuckooGraph",
+            GraphScheme::LiveGraph => "LiveGraph",
+            GraphScheme::Sortledton => "Sortledton",
+            GraphScheme::WindBellIndex => "WBI",
+            GraphScheme::Spruce => "Spruce",
+            GraphScheme::AdjacencyList => "AdjList",
+            GraphScheme::Pcsr => "PCSR",
+        }
+    }
+}
+
+/// A dynamic directed graph supporting the operations measured in the paper.
+///
+/// All implementations store *distinct* directed edges (the basic version of
+/// CuckooGraph deduplicates on insert); multiplicity is handled by
+/// [`WeightedDynamicGraph`].
+pub trait DynamicGraph: MemoryFootprint {
+    /// Inserts the directed edge `⟨u, v⟩`. Returns `true` if the edge was not
+    /// present before (i.e. the graph changed), `false` if it already existed.
+    fn insert_edge(&mut self, u: NodeId, v: NodeId) -> bool;
+
+    /// Returns `true` if the directed edge `⟨u, v⟩` is stored.
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool;
+
+    /// Removes the directed edge `⟨u, v⟩`. Returns `true` if it was present.
+    fn delete_edge(&mut self, u: NodeId, v: NodeId) -> bool;
+
+    /// Returns the out-neighbours (successors) of `u`. Order is unspecified.
+    fn successors(&self, u: NodeId) -> Vec<NodeId>;
+
+    /// Calls `f` for every successor of `u`. The default forwards to
+    /// [`DynamicGraph::successors`]; implementations override it to avoid the
+    /// intermediate allocation on the hot analytics path.
+    fn for_each_successor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
+        for v in self.successors(u) {
+            f(v);
+        }
+    }
+
+    /// Out-degree of `u` (0 if the node is unknown).
+    fn out_degree(&self, u: NodeId) -> usize {
+        self.successors(u).len()
+    }
+
+    /// Number of distinct directed edges stored.
+    fn edge_count(&self) -> usize;
+
+    /// Number of distinct source nodes stored (nodes that have, or have had,
+    /// at least one outgoing edge). Isolated destination-only nodes may not be
+    /// tracked by every scheme, matching the paper's storage model where the
+    /// structure is keyed by the source endpoint.
+    fn node_count(&self) -> usize;
+
+    /// Every node currently known to the structure (sources; schemes that also
+    /// track destinations may include them).
+    fn nodes(&self) -> Vec<NodeId>;
+
+    /// Scheme identifier for reporting.
+    fn scheme(&self) -> GraphScheme;
+}
+
+/// A dynamic graph that also tracks edge multiplicities, matching the extended
+/// version of CuckooGraph (§ III-B) used for streaming datasets with duplicate
+/// edges (CAIDA, StackOverflow, WikiTalk).
+pub trait WeightedDynamicGraph: MemoryFootprint {
+    /// Inserts one occurrence of `⟨u, v⟩`, adding `delta` to its weight.
+    /// Returns the new weight.
+    fn insert_weighted(&mut self, u: NodeId, v: NodeId, delta: u64) -> u64;
+
+    /// Returns the weight of `⟨u, v⟩` (0 if absent).
+    fn weight(&self, u: NodeId, v: NodeId) -> u64;
+
+    /// Decrements the weight of `⟨u, v⟩` by `delta`, removing the edge when it
+    /// reaches zero. Returns the remaining weight.
+    fn delete_weighted(&mut self, u: NodeId, v: NodeId, delta: u64) -> u64;
+
+    /// Distinct edge count.
+    fn distinct_edge_count(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_labels_are_stable() {
+        assert_eq!(GraphScheme::CuckooGraph.label(), "CuckooGraph");
+        assert_eq!(GraphScheme::Spruce.label(), "Spruce");
+        assert_eq!(GraphScheme::WindBellIndex.label(), "WBI");
+    }
+}

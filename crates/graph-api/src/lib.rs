@@ -1,0 +1,17 @@
+//! Common abstractions shared by the CuckooGraph implementation and every
+//! baseline graph store in this workspace.
+//!
+//! The paper evaluates five schemes (CuckooGraph, LiveGraph, Sortledton,
+//! Wind-Bell Index, Spruce) behind the same operations: edge insertion, edge
+//! query, edge deletion, successor (out-neighbour) query, and memory-usage
+//! reporting. This crate defines that surface as the [`DynamicGraph`] trait so
+//! the benchmark harness and the analytics algorithms are generic over the
+//! storage scheme, exactly like the paper's evaluation driver.
+
+pub mod edge;
+pub mod footprint;
+pub mod graph;
+
+pub use edge::{Edge, NodeId, WeightedEdge};
+pub use footprint::MemoryFootprint;
+pub use graph::{DynamicGraph, GraphScheme, WeightedDynamicGraph};

@@ -1,0 +1,26 @@
+//! A Neo4j-like property-graph database substrate (§ V-G).
+//!
+//! The paper's Neo4j experiment compares two ways of answering an edge query
+//! `⟨u, v⟩`:
+//!
+//! * **pure Neo4j**: each node keeps an adjacency list of all relationships
+//!   attached to it; the query walks `u`'s whole list and compares endpoints
+//!   one by one — touching many unrelated relationships when `u`'s degree is
+//!   high;
+//! * **Neo4j + CuckooGraph**: a CuckooGraph index (the multi-edge adaptation,
+//!   since Neo4j allows parallel relationships between the same node pair)
+//!   maps the pair `⟨u, v⟩` straight to the list of relationship identifiers
+//!   and returns an iterator in `O(1)`.
+//!
+//! This crate re-implements the property-graph storage model the experiment
+//! rests on — a node store, a relationship store with per-node relationship
+//! chains, and a property store — plus the pluggable CuckooGraph edge index.
+//!
+//! * [`store`] — the property graph itself.
+//! * [`cuckoo_index`] — the CuckooGraph relationship index plug-in.
+
+pub mod cuckoo_index;
+pub mod store;
+
+pub use cuckoo_index::CuckooEdgeIndex;
+pub use store::{NodeRecord, PropertyGraph, RelationshipId, RelationshipRecord};

@@ -1,0 +1,372 @@
+//! The property-graph store: node records, relationship records with per-node
+//! relationship chains (the adjacency lists of § V-G), and properties.
+
+use crate::cuckoo_index::CuckooEdgeIndex;
+use graph_api::{MemoryFootprint, NodeId};
+use std::collections::HashMap;
+
+/// Identifier of a relationship (a concrete, possibly parallel edge).
+pub type RelationshipId = u64;
+
+/// A stored node.
+#[derive(Debug, Clone, Default)]
+pub struct NodeRecord {
+    /// Node labels (e.g. `"User"`).
+    pub labels: Vec<String>,
+    /// Node properties.
+    pub properties: HashMap<String, String>,
+    /// Relationship chain: every relationship this node participates in, in
+    /// creation order (both outgoing and incoming, as in Neo4j where the
+    /// record is shared by both endpoints).
+    pub relationships: Vec<RelationshipId>,
+}
+
+/// A stored relationship.
+#[derive(Debug, Clone)]
+pub struct RelationshipRecord {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Relationship type (e.g. `"SENT_PACKET"`).
+    pub rel_type: String,
+    /// Relationship properties.
+    pub properties: HashMap<String, String>,
+}
+
+/// Counters describing how much work a query did — the quantity the Figure 18
+/// analysis talks about ("many irrelevant/redundant edges must be traversed").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryCost {
+    /// Relationship records touched while answering the query.
+    pub relationships_scanned: usize,
+}
+
+/// A Neo4j-like property graph with an optional CuckooGraph relationship index.
+#[derive(Debug, Default)]
+pub struct PropertyGraph {
+    nodes: HashMap<NodeId, NodeRecord>,
+    relationships: HashMap<RelationshipId, RelationshipRecord>,
+    next_relationship: RelationshipId,
+    next_node: NodeId,
+    /// The optional CuckooGraph edge index (§ V-G "Ours+Neo4j").
+    index: Option<CuckooEdgeIndex>,
+}
+
+impl PropertyGraph {
+    /// Creates an empty database without the CuckooGraph index (pure Neo4j).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty database with the CuckooGraph index attached.
+    pub fn with_cuckoo_index() -> Self {
+        Self { index: Some(CuckooEdgeIndex::new()), ..Self::default() }
+    }
+
+    /// True if the CuckooGraph index is attached.
+    pub fn has_index(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// Creates a node with the given labels; returns its id.
+    pub fn create_node(&mut self, labels: &[&str]) -> NodeId {
+        let id = self.next_node;
+        self.next_node += 1;
+        self.nodes.insert(
+            id,
+            NodeRecord {
+                labels: labels.iter().map(|s| s.to_string()).collect(),
+                ..NodeRecord::default()
+            },
+        );
+        id
+    }
+
+    /// Ensures a node with a caller-chosen id exists (used when importing an
+    /// edge list whose node ids are externally assigned, as in the § V-G
+    /// CAIDA import).
+    pub fn ensure_node(&mut self, id: NodeId) {
+        self.nodes.entry(id).or_default();
+        self.next_node = self.next_node.max(id + 1);
+    }
+
+    /// Sets a node property.
+    pub fn set_node_property(&mut self, node: NodeId, key: &str, value: &str) -> bool {
+        match self.nodes.get_mut(&node) {
+            Some(record) => {
+                record.properties.insert(key.to_string(), value.to_string());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reads a node property.
+    pub fn node_property(&self, node: NodeId, key: &str) -> Option<&str> {
+        self.nodes.get(&node)?.properties.get(key).map(String::as_str)
+    }
+
+    /// Node labels (empty if the node does not exist).
+    pub fn node_labels(&self, node: NodeId) -> Vec<String> {
+        self.nodes.get(&node).map(|n| n.labels.clone()).unwrap_or_default()
+    }
+
+    /// Creates a relationship `src → dst`; both endpoints are created if
+    /// missing. The relationship is appended to both endpoints' chains and to
+    /// the CuckooGraph index when one is attached.
+    pub fn create_relationship(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        rel_type: &str,
+    ) -> RelationshipId {
+        self.ensure_node(src);
+        self.ensure_node(dst);
+        let id = self.next_relationship;
+        self.next_relationship += 1;
+        self.relationships.insert(
+            id,
+            RelationshipRecord {
+                src,
+                dst,
+                rel_type: rel_type.to_string(),
+                properties: HashMap::new(),
+            },
+        );
+        self.nodes.get_mut(&src).expect("ensured").relationships.push(id);
+        if src != dst {
+            self.nodes.get_mut(&dst).expect("ensured").relationships.push(id);
+        }
+        if let Some(index) = &mut self.index {
+            index.on_create(src, dst, id);
+        }
+        id
+    }
+
+    /// Sets a relationship property.
+    pub fn set_relationship_property(
+        &mut self,
+        rel: RelationshipId,
+        key: &str,
+        value: &str,
+    ) -> bool {
+        match self.relationships.get_mut(&rel) {
+            Some(record) => {
+                record.properties.insert(key.to_string(), value.to_string());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reads a relationship record.
+    pub fn relationship(&self, rel: RelationshipId) -> Option<&RelationshipRecord> {
+        self.relationships.get(&rel)
+    }
+
+    /// Deletes a relationship; it is unlinked from both endpoint chains and
+    /// from the index.
+    pub fn delete_relationship(&mut self, rel: RelationshipId) -> bool {
+        let Some(record) = self.relationships.remove(&rel) else {
+            return false;
+        };
+        for endpoint in [record.src, record.dst] {
+            if let Some(node) = self.nodes.get_mut(&endpoint) {
+                node.relationships.retain(|&r| r != rel);
+            }
+        }
+        if let Some(index) = &mut self.index {
+            index.on_delete(record.src, record.dst, rel);
+        }
+        true
+    }
+
+    /// Pure-Neo4j edge query: walk `src`'s relationship chain and compare
+    /// endpoints one by one. Returns the matching relationship ids plus the
+    /// number of records that had to be touched.
+    pub fn relationships_between_scan(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+    ) -> (Vec<RelationshipId>, QueryCost) {
+        let mut cost = QueryCost::default();
+        let Some(node) = self.nodes.get(&src) else {
+            return (Vec::new(), cost);
+        };
+        let mut matches = Vec::new();
+        for &rel in &node.relationships {
+            cost.relationships_scanned += 1;
+            if let Some(record) = self.relationships.get(&rel) {
+                if record.src == src && record.dst == dst {
+                    matches.push(rel);
+                }
+            }
+        }
+        (matches, cost)
+    }
+
+    /// Indexed edge query: the CuckooGraph index returns an iterator over the
+    /// relationship ids for `⟨src, dst⟩` without touching unrelated records.
+    /// Falls back to the scan when no index is attached (pure Neo4j).
+    pub fn relationships_between(&self, src: NodeId, dst: NodeId) -> (Vec<RelationshipId>, QueryCost) {
+        match &self.index {
+            Some(index) => {
+                let matches: Vec<RelationshipId> = index.edges_between(src, dst).collect();
+                let cost = QueryCost { relationships_scanned: matches.len() };
+                (matches, cost)
+            }
+            None => self.relationships_between_scan(src, dst),
+        }
+    }
+
+    /// Degree of a node (number of chain entries, both directions).
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.nodes.get(&node).map_or(0, |n| n.relationships.len())
+    }
+
+    /// Number of stored nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of stored relationships.
+    pub fn relationship_count(&self) -> usize {
+        self.relationships.len()
+    }
+}
+
+impl MemoryFootprint for PropertyGraph {
+    fn memory_bytes(&self) -> usize {
+        let node_bytes: usize = self
+            .nodes
+            .values()
+            .map(|n| {
+                std::mem::size_of::<NodeRecord>()
+                    + n.relationships.capacity() * 8
+                    + n.labels.iter().map(String::capacity).sum::<usize>()
+                    + n.properties
+                        .iter()
+                        .map(|(k, v)| k.capacity() + v.capacity() + 16)
+                        .sum::<usize>()
+            })
+            .sum();
+        let rel_bytes: usize = self
+            .relationships
+            .values()
+            .map(|r| {
+                std::mem::size_of::<RelationshipRecord>()
+                    + r.rel_type.capacity()
+                    + r.properties
+                        .iter()
+                        .map(|(k, v)| k.capacity() + v.capacity() + 16)
+                        .sum::<usize>()
+            })
+            .sum();
+        let index_bytes = self.index.as_ref().map_or(0, |i| i.memory_bytes());
+        std::mem::size_of::<Self>() + node_bytes + rel_bytes + index_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_relationships_and_properties_roundtrip() {
+        let mut db = PropertyGraph::new();
+        let a = db.create_node(&["User"]);
+        let b = db.create_node(&["User"]);
+        assert_ne!(a, b);
+        assert_eq!(db.node_labels(a), vec!["User"]);
+        assert!(db.set_node_property(a, "name", "alice"));
+        assert_eq!(db.node_property(a, "name"), Some("alice"));
+        assert_eq!(db.node_property(a, "missing"), None);
+        assert!(!db.set_node_property(999, "x", "y"));
+
+        let r = db.create_relationship(a, b, "FOLLOWS");
+        assert!(db.set_relationship_property(r, "since", "2024"));
+        let record = db.relationship(r).unwrap();
+        assert_eq!(record.rel_type, "FOLLOWS");
+        assert_eq!(record.properties["since"], "2024");
+        assert_eq!(db.node_count(), 2);
+        assert_eq!(db.relationship_count(), 1);
+        assert_eq!(db.degree(a), 1);
+        assert_eq!(db.degree(b), 1);
+    }
+
+    #[test]
+    fn scan_query_touches_the_whole_chain() {
+        let mut db = PropertyGraph::new();
+        // Node 0 has 100 relationships; only 3 go to node 1.
+        for v in 1..=100u64 {
+            db.create_relationship(0, v, "T");
+        }
+        db.create_relationship(0, 1, "T");
+        db.create_relationship(0, 1, "T");
+        let (matches, cost) = db.relationships_between_scan(0, 1);
+        assert_eq!(matches.len(), 3);
+        assert_eq!(cost.relationships_scanned, 102, "the scan walks every chain entry");
+    }
+
+    #[test]
+    fn indexed_query_touches_only_matches() {
+        let mut db = PropertyGraph::with_cuckoo_index();
+        for v in 1..=100u64 {
+            db.create_relationship(0, v, "T");
+        }
+        db.create_relationship(0, 1, "T");
+        let (matches, cost) = db.relationships_between(0, 1);
+        assert_eq!(matches.len(), 2);
+        assert_eq!(cost.relationships_scanned, 2);
+        // The scan and the index agree on the result set.
+        let (scanned, _) = db.relationships_between_scan(0, 1);
+        let a: std::collections::BTreeSet<_> = matches.into_iter().collect();
+        let b: std::collections::BTreeSet<_> = scanned.into_iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unindexed_database_falls_back_to_scanning() {
+        let mut db = PropertyGraph::new();
+        assert!(!db.has_index());
+        db.create_relationship(1, 2, "T");
+        let (matches, cost) = db.relationships_between(1, 2);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(cost.relationships_scanned, 1);
+    }
+
+    #[test]
+    fn deleting_relationships_unlinks_chains_and_index() {
+        let mut db = PropertyGraph::with_cuckoo_index();
+        let r1 = db.create_relationship(1, 2, "T");
+        let r2 = db.create_relationship(1, 2, "T");
+        assert!(db.delete_relationship(r1));
+        assert!(!db.delete_relationship(r1));
+        let (matches, _) = db.relationships_between(1, 2);
+        assert_eq!(matches, vec![r2]);
+        assert_eq!(db.degree(1), 1);
+        assert_eq!(db.degree(2), 1);
+        assert_eq!(db.relationship_count(), 1);
+    }
+
+    #[test]
+    fn self_loops_are_stored_once_in_the_chain() {
+        let mut db = PropertyGraph::with_cuckoo_index();
+        let r = db.create_relationship(5, 5, "SELF");
+        assert_eq!(db.degree(5), 1);
+        let (matches, _) = db.relationships_between(5, 5);
+        assert_eq!(matches, vec![r]);
+    }
+
+    #[test]
+    fn memory_reporting_includes_the_index() {
+        let mut bare = PropertyGraph::new();
+        let mut indexed = PropertyGraph::with_cuckoo_index();
+        for v in 1..200u64 {
+            bare.create_relationship(0, v, "T");
+            indexed.create_relationship(0, v, "T");
+        }
+        assert!(indexed.memory_bytes() > bare.memory_bytes());
+    }
+}

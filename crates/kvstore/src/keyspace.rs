@@ -1,0 +1,202 @@
+//! The keyed value store behind the server: Redis' five original value types
+//! (reduced to the ones the experiments touch) plus module-defined values.
+
+use crate::module::ModuleValue;
+use std::collections::HashMap;
+
+/// A stored value.
+pub enum Value {
+    /// A plain string (SET / GET / APPEND ...).
+    Str(String),
+    /// A list (LPUSH / RPUSH / LRANGE ...).
+    List(Vec<String>),
+    /// A hash (HSET / HGET ...).
+    Hash(HashMap<String, String>),
+    /// A value owned by a loaded module (e.g. a CuckooGraph).
+    Module(Box<dyn ModuleValue>),
+}
+
+impl std::fmt::Debug for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "Str({s:?})"),
+            Value::List(l) => write!(f, "List(len={})", l.len()),
+            Value::Hash(h) => write!(f, "Hash(len={})", h.len()),
+            Value::Module(m) => write!(f, "Module({})", m.type_name()),
+        }
+    }
+}
+
+impl Value {
+    /// Approximate heap bytes used by the value.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            Value::Str(s) => s.capacity(),
+            Value::List(l) => {
+                l.capacity() * std::mem::size_of::<String>()
+                    + l.iter().map(String::capacity).sum::<usize>()
+            }
+            Value::Hash(h) => {
+                h.capacity() * (2 * std::mem::size_of::<String>() + 8)
+                    + h.iter().map(|(k, v)| k.capacity() + v.capacity()).sum::<usize>()
+            }
+            Value::Module(m) => m.memory_bytes(),
+        }
+    }
+}
+
+/// The keyspace: a flat map from key to value, as in a single Redis database.
+#[derive(Default)]
+pub struct Keyspace {
+    entries: HashMap<String, Value>,
+}
+
+impl Keyspace {
+    /// Creates an empty keyspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.get(key)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries.get_mut(key)
+    }
+
+    /// Inserts or replaces a key.
+    pub fn set(&mut self, key: impl Into<String>, value: Value) {
+        self.entries.insert(key.into(), value);
+    }
+
+    /// Removes a key; returns true if it existed.
+    pub fn delete(&mut self, key: &str) -> bool {
+        self.entries.remove(key).is_some()
+    }
+
+    /// True if the key exists.
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// All keys (unspecified order).
+    pub fn keys(&self) -> Vec<&String> {
+        self.entries.keys().collect()
+    }
+
+    /// Iterates over `(key, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter()
+    }
+
+    /// Gets the module value stored at `key`, creating it with `init` when the
+    /// key is absent. Returns `None` when the key holds a non-module value or
+    /// a value of a different module type (a `WRONGTYPE` situation).
+    pub fn module_entry<T: ModuleValue + 'static>(
+        &mut self,
+        key: &str,
+        init: impl FnOnce() -> T,
+    ) -> Option<&mut T> {
+        if !self.entries.contains_key(key) {
+            self.entries.insert(key.to_string(), Value::Module(Box::new(init())));
+        }
+        match self.entries.get_mut(key) {
+            Some(Value::Module(boxed)) => boxed.as_any_mut().downcast_mut::<T>(),
+            _ => None,
+        }
+    }
+
+    /// Gets the module value stored at `key` without creating it.
+    pub fn module_get<T: ModuleValue + 'static>(&self, key: &str) -> Option<&T> {
+        match self.entries.get(key) {
+            Some(Value::Module(boxed)) => boxed.as_any().downcast_ref::<T>(),
+            _ => None,
+        }
+    }
+
+    /// Total approximate memory used by all values.
+    pub fn memory_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(k, v)| k.capacity() + v.memory_bytes())
+            .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl ModuleValue for Counter {
+        fn type_name(&self) -> &'static str {
+            "counter"
+        }
+        fn save_rdb(&self) -> Vec<u8> {
+            self.0.to_le_bytes().to_vec()
+        }
+        fn aof_rewrite(&self, key: &str) -> Vec<Vec<String>> {
+            vec![vec!["counter.set".into(), key.into(), self.0.to_string()]]
+        }
+        fn memory_bytes(&self) -> usize {
+            8
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn basic_key_operations() {
+        let mut ks = Keyspace::new();
+        assert!(ks.is_empty());
+        ks.set("a", Value::Str("hello".into()));
+        ks.set("b", Value::List(vec!["x".into()]));
+        assert_eq!(ks.len(), 2);
+        assert!(ks.contains("a"));
+        assert!(matches!(ks.get("a"), Some(Value::Str(s)) if s == "hello"));
+        assert!(ks.delete("a"));
+        assert!(!ks.delete("a"));
+        assert_eq!(ks.len(), 1);
+    }
+
+    #[test]
+    fn module_entry_creates_and_downcasts() {
+        let mut ks = Keyspace::new();
+        {
+            let counter = ks.module_entry("cnt", || Counter(0)).unwrap();
+            counter.0 += 5;
+        }
+        let counter = ks.module_get::<Counter>("cnt").unwrap();
+        assert_eq!(counter.0, 5);
+        // A non-module key is rejected instead of being clobbered.
+        ks.set("plain", Value::Str("x".into()));
+        assert!(ks.module_entry::<Counter>("plain", || Counter(0)).is_none());
+    }
+
+    #[test]
+    fn memory_accounts_for_all_value_kinds() {
+        let mut ks = Keyspace::new();
+        ks.set("s", Value::Str("0123456789".into()));
+        ks.set("l", Value::List(vec!["abc".into(); 4]));
+        ks.set("m", Value::Module(Box::new(Counter(1))));
+        assert!(ks.memory_bytes() >= 10 + 4 * 3 + 8);
+        assert_eq!(ks.keys().len(), 3);
+    }
+}

@@ -1,0 +1,83 @@
+//! The module API — the integration surface the paper uses to register
+//! CuckooGraph inside Redis (§ V-F): command handlers plus the persistence
+//! callbacks (`save_rdb`, `load_rdb`, `aof_rewrite`).
+
+use crate::keyspace::Keyspace;
+
+/// A reply produced by a command handler. The server encodes it to RESP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// `+OK`
+    Ok,
+    /// A simple status string.
+    Simple(String),
+    /// An integer reply.
+    Integer(i64),
+    /// A bulk string reply.
+    Bulk(String),
+    /// A nested array reply.
+    Array(Vec<Reply>),
+    /// A null reply (missing key / missing edge).
+    Nil,
+    /// An error reply.
+    Error(String),
+}
+
+/// A value type defined by a module and stored inside the keyspace.
+///
+/// Mirrors the RedisModule type callbacks the paper implements: the value can
+/// serialise itself for RDB snapshots and emit the command stream that
+/// recreates it for AOF rewrite.
+pub trait ModuleValue: Send {
+    /// The module type name recorded in snapshots (e.g. `"cuckoograph"`).
+    fn type_name(&self) -> &'static str;
+
+    /// Serialises the value for an RDB snapshot (`save_rdb`).
+    fn save_rdb(&self) -> Vec<u8>;
+
+    /// Emits, for AOF rewrite, the minimal command sequence that rebuilds this
+    /// value under the given key (`aof_rewrite`).
+    fn aof_rewrite(&self, key: &str) -> Vec<Vec<String>>;
+
+    /// Heap bytes used by the value (module values report their own size so
+    /// the store can answer `MEMORY USAGE`).
+    fn memory_bytes(&self) -> usize;
+
+    /// Dynamic cast support for command handlers.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable dynamic cast support for command handlers.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// A loadable module: a named command family plus the deserialisation callback
+/// for its value type.
+pub trait Module: Send {
+    /// Module name (shown by `MODULE LIST`).
+    fn name(&self) -> &'static str;
+
+    /// The command names this module registers (lower-case, e.g.
+    /// `"graph.insert"`).
+    fn commands(&self) -> Vec<&'static str>;
+
+    /// Executes one of the module's commands against the keyspace.
+    fn dispatch(&self, keyspace: &mut Keyspace, command: &str, args: &[String]) -> Reply;
+
+    /// Rebuilds a module value from its RDB serialisation (`load_rdb`).
+    fn load_rdb(&self, bytes: &[u8]) -> Result<Box<dyn ModuleValue>, String>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_variants_compare() {
+        assert_eq!(Reply::Ok, Reply::Ok);
+        assert_ne!(Reply::Integer(1), Reply::Integer(2));
+        assert_eq!(
+            Reply::Array(vec![Reply::Bulk("a".into()), Reply::Nil]),
+            Reply::Array(vec![Reply::Bulk("a".into()), Reply::Nil])
+        );
+    }
+}

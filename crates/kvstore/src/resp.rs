@@ -1,0 +1,238 @@
+//! A RESP (REdis Serialization Protocol) style codec.
+//!
+//! Only the subset the experiment needs is implemented: simple strings,
+//! errors, integers, bulk strings, arrays and nulls — enough to encode every
+//! command and reply the CuckooGraph module exchanges with a client.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A RESP protocol value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RespValue {
+    /// `+OK\r\n`
+    Simple(String),
+    /// `-ERR ...\r\n`
+    Error(String),
+    /// `:42\r\n`
+    Integer(i64),
+    /// `$5\r\nhello\r\n`
+    Bulk(Bytes),
+    /// `$-1\r\n`
+    Null,
+    /// `*N\r\n...`
+    Array(Vec<RespValue>),
+}
+
+impl RespValue {
+    /// Builds a bulk string from text.
+    pub fn bulk(text: impl Into<String>) -> Self {
+        RespValue::Bulk(Bytes::from(text.into()))
+    }
+
+    /// Builds the array-of-bulk-strings encoding of a command.
+    pub fn command(parts: &[&str]) -> Self {
+        RespValue::Array(parts.iter().map(|p| RespValue::bulk(*p)).collect())
+    }
+
+    /// Encodes this value into RESP bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::new();
+        self.encode_into(&mut out);
+        out.freeze()
+    }
+
+    fn encode_into(&self, out: &mut BytesMut) {
+        match self {
+            RespValue::Simple(s) => {
+                out.put_u8(b'+');
+                out.put_slice(s.as_bytes());
+                out.put_slice(b"\r\n");
+            }
+            RespValue::Error(s) => {
+                out.put_u8(b'-');
+                out.put_slice(s.as_bytes());
+                out.put_slice(b"\r\n");
+            }
+            RespValue::Integer(i) => {
+                out.put_u8(b':');
+                out.put_slice(i.to_string().as_bytes());
+                out.put_slice(b"\r\n");
+            }
+            RespValue::Bulk(b) => {
+                out.put_u8(b'$');
+                out.put_slice(b.len().to_string().as_bytes());
+                out.put_slice(b"\r\n");
+                out.put_slice(b);
+                out.put_slice(b"\r\n");
+            }
+            RespValue::Null => out.put_slice(b"$-1\r\n"),
+            RespValue::Array(items) => {
+                out.put_u8(b'*');
+                out.put_slice(items.len().to_string().as_bytes());
+                out.put_slice(b"\r\n");
+                for item in items {
+                    item.encode_into(out);
+                }
+            }
+        }
+    }
+
+    /// Decodes one RESP value from the front of `buf`. Returns `None` when the
+    /// buffer does not yet hold a complete value (the caller keeps reading).
+    pub fn decode(buf: &mut BytesMut) -> Result<Option<RespValue>, String> {
+        let mut cursor = Cursor { data: buf, pos: 0 };
+        match parse(&mut cursor) {
+            Ok(Some(value)) => {
+                let consumed = cursor.pos;
+                buf.advance(consumed);
+                Ok(Some(value))
+            }
+            Ok(None) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Converts an array-of-bulk-strings value into a command word list.
+    pub fn into_command(self) -> Result<Vec<String>, String> {
+        let RespValue::Array(items) = self else {
+            return Err("commands must be RESP arrays".into());
+        };
+        items
+            .into_iter()
+            .map(|item| match item {
+                RespValue::Bulk(b) => String::from_utf8(b.to_vec())
+                    .map_err(|_| "command arguments must be UTF-8".to_string()),
+                RespValue::Simple(s) => Ok(s),
+                other => Err(format!("unexpected command element: {other:?}")),
+            })
+            .collect()
+    }
+}
+
+struct Cursor<'a> {
+    data: &'a BytesMut,
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn read_line(&mut self) -> Option<&[u8]> {
+        let rest = &self.data[self.pos..];
+        let end = rest.windows(2).position(|w| w == b"\r\n")?;
+        let line = &rest[..end];
+        self.pos += end + 2;
+        Some(line)
+    }
+
+    fn read_exact(&mut self, n: usize) -> Option<&[u8]> {
+        if self.data.len() < self.pos + n + 2 {
+            return None;
+        }
+        let bytes = &self.data[self.pos..self.pos + n];
+        self.pos += n + 2; // skip trailing \r\n
+        Some(bytes)
+    }
+}
+
+fn parse(cursor: &mut Cursor<'_>) -> Result<Option<RespValue>, String> {
+    if cursor.pos >= cursor.data.len() {
+        return Ok(None);
+    }
+    let kind = cursor.data[cursor.pos];
+    cursor.pos += 1;
+    let Some(line) = cursor.read_line() else {
+        return Ok(None);
+    };
+    let line = String::from_utf8_lossy(line).to_string();
+    match kind {
+        b'+' => Ok(Some(RespValue::Simple(line))),
+        b'-' => Ok(Some(RespValue::Error(line))),
+        b':' => line
+            .parse()
+            .map(|i| Some(RespValue::Integer(i)))
+            .map_err(|_| format!("bad integer: {line}")),
+        b'$' => {
+            let len: i64 = line.parse().map_err(|_| format!("bad bulk length: {line}"))?;
+            if len < 0 {
+                return Ok(Some(RespValue::Null));
+            }
+            match cursor.read_exact(len as usize) {
+                None => Ok(None),
+                Some(bytes) => Ok(Some(RespValue::Bulk(Bytes::copy_from_slice(bytes)))),
+            }
+        }
+        b'*' => {
+            let len: i64 = line.parse().map_err(|_| format!("bad array length: {line}"))?;
+            if len < 0 {
+                return Ok(Some(RespValue::Null));
+            }
+            let mut items = Vec::with_capacity(len as usize);
+            for _ in 0..len {
+                match parse(cursor)? {
+                    Some(item) => items.push(item),
+                    None => return Ok(None),
+                }
+            }
+            Ok(Some(RespValue::Array(items)))
+        }
+        other => Err(format!("unknown RESP type byte: {other:#x}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(value: RespValue) {
+        let encoded = value.encode();
+        let mut buf = BytesMut::from(&encoded[..]);
+        let decoded = RespValue::decode(&mut buf).unwrap().unwrap();
+        assert_eq!(decoded, value);
+        assert!(buf.is_empty(), "decoder left bytes behind");
+    }
+
+    #[test]
+    fn all_types_roundtrip() {
+        roundtrip(RespValue::Simple("OK".into()));
+        roundtrip(RespValue::Error("ERR boom".into()));
+        roundtrip(RespValue::Integer(-42));
+        roundtrip(RespValue::bulk("hello world"));
+        roundtrip(RespValue::Null);
+        roundtrip(RespValue::Array(vec![
+            RespValue::Integer(1),
+            RespValue::bulk("two"),
+            RespValue::Array(vec![RespValue::Null]),
+        ]));
+    }
+
+    #[test]
+    fn partial_input_returns_none_and_keeps_bytes() {
+        let full = RespValue::command(&["graph.insert", "g", "1", "2"]).encode();
+        let mut buf = BytesMut::from(&full[..full.len() - 3]);
+        assert_eq!(RespValue::decode(&mut buf).unwrap(), None);
+        assert_eq!(buf.len(), full.len() - 3, "partial decode must not consume");
+        buf.extend_from_slice(&full[full.len() - 3..]);
+        let decoded = RespValue::decode(&mut buf).unwrap().unwrap();
+        assert_eq!(decoded.into_command().unwrap(), vec!["graph.insert", "g", "1", "2"]);
+    }
+
+    #[test]
+    fn command_conversion_rejects_non_arrays() {
+        assert!(RespValue::Integer(3).into_command().is_err());
+    }
+
+    #[test]
+    fn pipelined_values_decode_one_at_a_time() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&RespValue::Integer(1).encode());
+        buf.extend_from_slice(&RespValue::Integer(2).encode());
+        assert_eq!(RespValue::decode(&mut buf).unwrap(), Some(RespValue::Integer(1)));
+        assert_eq!(RespValue::decode(&mut buf).unwrap(), Some(RespValue::Integer(2)));
+        assert_eq!(RespValue::decode(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn unknown_type_byte_is_an_error() {
+        let mut buf = BytesMut::from(&b"?3\r\n"[..]);
+        assert!(RespValue::decode(&mut buf).is_err());
+    }
+}

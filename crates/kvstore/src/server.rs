@@ -1,0 +1,509 @@
+//! The store front-end: command dispatch, module loading, RDB snapshots and
+//! the append-only file (AOF) with rewrite — the pieces of Redis the § V-F
+//! experiment exercises.
+
+use crate::keyspace::{Keyspace, Value};
+use crate::module::{Module, Reply};
+use crate::resp::RespValue;
+use bytes::{Bytes, BytesMut};
+use std::collections::HashMap;
+
+/// A single-threaded Redis-like server instance.
+pub struct Server {
+    keyspace: Keyspace,
+    modules: Vec<Box<dyn Module>>,
+    /// Maps a module command name to the index of the owning module.
+    command_index: HashMap<String, usize>,
+    /// The append-only log of write commands since start-up or last rewrite.
+    aof: Vec<Vec<String>>,
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Server {
+    /// Creates a server with an empty keyspace and no modules.
+    pub fn new() -> Self {
+        Self {
+            keyspace: Keyspace::new(),
+            modules: Vec::new(),
+            command_index: HashMap::new(),
+            aof: Vec::new(),
+        }
+    }
+
+    /// Loads a module (the `--loadmodule` moment): its commands become
+    /// dispatchable and its value type becomes loadable from snapshots.
+    pub fn load_module(&mut self, module: Box<dyn Module>) {
+        let idx = self.modules.len();
+        for command in module.commands() {
+            self.command_index.insert(command.to_ascii_lowercase(), idx);
+        }
+        self.modules.push(module);
+    }
+
+    /// Direct access to the keyspace (used by tests and benches).
+    pub fn keyspace(&self) -> &Keyspace {
+        &self.keyspace
+    }
+
+    /// Number of write commands currently recorded in the AOF.
+    pub fn aof_len(&self) -> usize {
+        self.aof.len()
+    }
+
+    /// Executes a command given as words and returns the reply.
+    pub fn execute(&mut self, parts: &[String]) -> Reply {
+        if parts.is_empty() {
+            return Reply::Error("ERR empty command".into());
+        }
+        let command = parts[0].to_ascii_lowercase();
+        let args = &parts[1..];
+        let reply = match command.as_str() {
+            "ping" => Reply::Simple("PONG".into()),
+            "set" => self.cmd_set(args),
+            "get" => self.cmd_get(args),
+            "del" => self.cmd_del(args),
+            "exists" => self.cmd_exists(args),
+            "dbsize" => Reply::Integer(self.keyspace.len() as i64),
+            "lpush" => self.cmd_lpush(args),
+            "lrange" => self.cmd_lrange(args),
+            "hset" => self.cmd_hset(args),
+            "hget" => self.cmd_hget(args),
+            "memory" => self.cmd_memory(args),
+            "module" => self.cmd_module(args),
+            _ => match self.command_index.get(&command) {
+                Some(&idx) => self.modules[idx].dispatch(&mut self.keyspace, &command, args),
+                None => Reply::Error(format!("ERR unknown command '{command}'")),
+            },
+        };
+        if !matches!(reply, Reply::Error(_)) && Self::is_write_command(&command) {
+            self.aof.push(parts.to_vec());
+        }
+        reply
+    }
+
+    /// Executes a RESP-encoded command buffer and returns the RESP reply.
+    pub fn execute_resp(&mut self, wire: &[u8]) -> Bytes {
+        let mut buf = BytesMut::from(wire);
+        let reply = match RespValue::decode(&mut buf) {
+            Err(e) => Reply::Error(format!("ERR protocol error: {e}")),
+            Ok(None) => Reply::Error("ERR incomplete command".into()),
+            Ok(Some(value)) => match value.into_command() {
+                Err(e) => Reply::Error(format!("ERR {e}")),
+                Ok(parts) => self.execute(&parts),
+            },
+        };
+        Self::reply_to_resp(&reply).encode()
+    }
+
+    fn is_write_command(command: &str) -> bool {
+        matches!(command, "set" | "del" | "lpush" | "hset")
+            || command.contains('.') && !command.ends_with(".query") && !command.ends_with(".getneighbors")
+    }
+
+    /// Converts a handler reply into the wire representation.
+    pub fn reply_to_resp(reply: &Reply) -> RespValue {
+        match reply {
+            Reply::Ok => RespValue::Simple("OK".into()),
+            Reply::Simple(s) => RespValue::Simple(s.clone()),
+            Reply::Integer(i) => RespValue::Integer(*i),
+            Reply::Bulk(s) => RespValue::bulk(s.clone()),
+            Reply::Array(items) => {
+                RespValue::Array(items.iter().map(Self::reply_to_resp).collect())
+            }
+            Reply::Nil => RespValue::Null,
+            Reply::Error(e) => RespValue::Error(e.clone()),
+        }
+    }
+
+    // ---- built-in commands -------------------------------------------------
+
+    fn cmd_set(&mut self, args: &[String]) -> Reply {
+        if args.len() != 2 {
+            return Reply::Error("ERR wrong number of arguments for 'set'".into());
+        }
+        self.keyspace.set(args[0].clone(), Value::Str(args[1].clone()));
+        Reply::Ok
+    }
+
+    fn cmd_get(&self, args: &[String]) -> Reply {
+        if args.len() != 1 {
+            return Reply::Error("ERR wrong number of arguments for 'get'".into());
+        }
+        match self.keyspace.get(&args[0]) {
+            Some(Value::Str(s)) => Reply::Bulk(s.clone()),
+            Some(_) => Reply::Error("WRONGTYPE key holds a non-string value".into()),
+            None => Reply::Nil,
+        }
+    }
+
+    fn cmd_del(&mut self, args: &[String]) -> Reply {
+        let removed = args.iter().filter(|k| self.keyspace.delete(k)).count();
+        Reply::Integer(removed as i64)
+    }
+
+    fn cmd_exists(&self, args: &[String]) -> Reply {
+        let found = args.iter().filter(|k| self.keyspace.contains(k)).count();
+        Reply::Integer(found as i64)
+    }
+
+    fn cmd_lpush(&mut self, args: &[String]) -> Reply {
+        if args.len() < 2 {
+            return Reply::Error("ERR wrong number of arguments for 'lpush'".into());
+        }
+        if !self.keyspace.contains(&args[0]) {
+            self.keyspace.set(args[0].clone(), Value::List(Vec::new()));
+        }
+        match self.keyspace.get_mut(&args[0]) {
+            Some(Value::List(list)) => {
+                for item in &args[1..] {
+                    list.insert(0, item.clone());
+                }
+                Reply::Integer(list.len() as i64)
+            }
+            _ => Reply::Error("WRONGTYPE key holds a non-list value".into()),
+        }
+    }
+
+    fn cmd_lrange(&self, args: &[String]) -> Reply {
+        if args.len() != 3 {
+            return Reply::Error("ERR wrong number of arguments for 'lrange'".into());
+        }
+        let (Ok(start), Ok(stop)) = (args[1].parse::<i64>(), args[2].parse::<i64>()) else {
+            return Reply::Error("ERR value is not an integer".into());
+        };
+        match self.keyspace.get(&args[0]) {
+            Some(Value::List(list)) => {
+                let n = list.len() as i64;
+                let fix = |i: i64| if i < 0 { (n + i).max(0) } else { i.min(n) } as usize;
+                let (start, stop) = (fix(start), fix(stop).min(list.len().saturating_sub(1)));
+                if start > stop {
+                    return Reply::Array(Vec::new());
+                }
+                Reply::Array(list[start..=stop].iter().map(|s| Reply::Bulk(s.clone())).collect())
+            }
+            Some(_) => Reply::Error("WRONGTYPE key holds a non-list value".into()),
+            None => Reply::Array(Vec::new()),
+        }
+    }
+
+    fn cmd_hset(&mut self, args: &[String]) -> Reply {
+        if args.len() != 3 {
+            return Reply::Error("ERR wrong number of arguments for 'hset'".into());
+        }
+        if !self.keyspace.contains(&args[0]) {
+            self.keyspace.set(args[0].clone(), Value::Hash(HashMap::new()));
+        }
+        match self.keyspace.get_mut(&args[0]) {
+            Some(Value::Hash(map)) => {
+                let created = map.insert(args[1].clone(), args[2].clone()).is_none();
+                Reply::Integer(i64::from(created))
+            }
+            _ => Reply::Error("WRONGTYPE key holds a non-hash value".into()),
+        }
+    }
+
+    fn cmd_hget(&self, args: &[String]) -> Reply {
+        if args.len() != 2 {
+            return Reply::Error("ERR wrong number of arguments for 'hget'".into());
+        }
+        match self.keyspace.get(&args[0]) {
+            Some(Value::Hash(map)) => {
+                map.get(&args[1]).map_or(Reply::Nil, |v| Reply::Bulk(v.clone()))
+            }
+            Some(_) => Reply::Error("WRONGTYPE key holds a non-hash value".into()),
+            None => Reply::Nil,
+        }
+    }
+
+    fn cmd_memory(&self, args: &[String]) -> Reply {
+        match args.first().map(|s| s.to_ascii_lowercase()).as_deref() {
+            Some("usage") => match args.get(1) {
+                Some(key) => self
+                    .keyspace
+                    .get(key)
+                    .map_or(Reply::Nil, |v| Reply::Integer(v.memory_bytes() as i64)),
+                None => Reply::Error("ERR missing key".into()),
+            },
+            _ => Reply::Error("ERR unknown MEMORY subcommand".into()),
+        }
+    }
+
+    fn cmd_module(&self, args: &[String]) -> Reply {
+        match args.first().map(|s| s.to_ascii_lowercase()).as_deref() {
+            Some("list") => Reply::Array(
+                self.modules.iter().map(|m| Reply::Bulk(m.name().to_string())).collect(),
+            ),
+            _ => Reply::Error("ERR unknown MODULE subcommand".into()),
+        }
+    }
+
+    // ---- persistence -------------------------------------------------------
+
+    /// Serialises the whole keyspace into an RDB-style snapshot.
+    pub fn save_rdb(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut keys: Vec<&String> = self.keyspace.keys();
+        keys.sort();
+        write_u64(&mut out, keys.len() as u64);
+        for key in keys {
+            let value = self.keyspace.get(key).expect("key listed");
+            write_bytes(&mut out, key.as_bytes());
+            match value {
+                Value::Str(s) => {
+                    out.push(0);
+                    write_bytes(&mut out, s.as_bytes());
+                }
+                Value::List(items) => {
+                    out.push(1);
+                    write_u64(&mut out, items.len() as u64);
+                    for item in items {
+                        write_bytes(&mut out, item.as_bytes());
+                    }
+                }
+                Value::Hash(map) => {
+                    out.push(2);
+                    let mut entries: Vec<_> = map.iter().collect();
+                    entries.sort();
+                    write_u64(&mut out, entries.len() as u64);
+                    for (k, v) in entries {
+                        write_bytes(&mut out, k.as_bytes());
+                        write_bytes(&mut out, v.as_bytes());
+                    }
+                }
+                Value::Module(m) => {
+                    out.push(3);
+                    write_bytes(&mut out, m.type_name().as_bytes());
+                    write_bytes(&mut out, &m.save_rdb());
+                }
+            }
+        }
+        out
+    }
+
+    /// Restores the keyspace from an RDB-style snapshot. Module values require
+    /// the owning module to be loaded first, exactly like Redis.
+    pub fn load_rdb(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut cursor = 0usize;
+        let count = read_u64(bytes, &mut cursor)?;
+        let mut keyspace = Keyspace::new();
+        for _ in 0..count {
+            let key = String::from_utf8(read_bytes(bytes, &mut cursor)?.to_vec())
+                .map_err(|_| "non-UTF-8 key".to_string())?;
+            let tag = *bytes.get(cursor).ok_or("truncated snapshot")?;
+            cursor += 1;
+            let value = match tag {
+                0 => Value::Str(
+                    String::from_utf8(read_bytes(bytes, &mut cursor)?.to_vec())
+                        .map_err(|_| "non-UTF-8 string value".to_string())?,
+                ),
+                1 => {
+                    let n = read_u64(bytes, &mut cursor)?;
+                    let mut items = Vec::with_capacity(n as usize);
+                    for _ in 0..n {
+                        items.push(
+                            String::from_utf8(read_bytes(bytes, &mut cursor)?.to_vec())
+                                .map_err(|_| "non-UTF-8 list item".to_string())?,
+                        );
+                    }
+                    Value::List(items)
+                }
+                2 => {
+                    let n = read_u64(bytes, &mut cursor)?;
+                    let mut map = HashMap::with_capacity(n as usize);
+                    for _ in 0..n {
+                        let k = String::from_utf8(read_bytes(bytes, &mut cursor)?.to_vec())
+                            .map_err(|_| "non-UTF-8 hash key".to_string())?;
+                        let v = String::from_utf8(read_bytes(bytes, &mut cursor)?.to_vec())
+                            .map_err(|_| "non-UTF-8 hash value".to_string())?;
+                        map.insert(k, v);
+                    }
+                    Value::Hash(map)
+                }
+                3 => {
+                    let type_name =
+                        String::from_utf8(read_bytes(bytes, &mut cursor)?.to_vec())
+                            .map_err(|_| "non-UTF-8 module type".to_string())?;
+                    let payload = read_bytes(bytes, &mut cursor)?;
+                    let module = self
+                        .modules
+                        .iter()
+                        .find(|m| m.name() == type_name)
+                        .ok_or(format!("module '{type_name}' not loaded"))?;
+                    Value::Module(module.load_rdb(payload)?)
+                }
+                other => return Err(format!("unknown value tag {other}")),
+            };
+            keyspace.set(key, value);
+        }
+        self.keyspace = keyspace;
+        Ok(())
+    }
+
+    /// Replays an AOF command log (e.g. after a restart).
+    pub fn replay_aof(&mut self, log: &[Vec<String>]) {
+        for command in log {
+            self.execute(command);
+        }
+    }
+
+    /// Returns the current AOF contents.
+    pub fn aof(&self) -> &[Vec<String>] {
+        &self.aof
+    }
+
+    /// Rewrites the AOF: replaces the accumulated command log with the minimal
+    /// command sequence that rebuilds the current keyspace (module values use
+    /// their `aof_rewrite` callback).
+    pub fn aof_rewrite(&mut self) {
+        let mut rewritten: Vec<Vec<String>> = Vec::new();
+        let mut keys: Vec<&String> = self.keyspace.keys();
+        keys.sort();
+        for key in keys {
+            match self.keyspace.get(key).expect("key listed") {
+                Value::Str(s) => rewritten.push(vec!["set".into(), key.clone(), s.clone()]),
+                Value::List(items) => {
+                    for item in items.iter().rev() {
+                        rewritten.push(vec!["lpush".into(), key.clone(), item.clone()]);
+                    }
+                }
+                Value::Hash(map) => {
+                    let mut entries: Vec<_> = map.iter().collect();
+                    entries.sort();
+                    for (k, v) in entries {
+                        rewritten.push(vec!["hset".into(), key.clone(), k.clone(), v.clone()]);
+                    }
+                }
+                Value::Module(m) => rewritten.extend(m.aof_rewrite(key)),
+            }
+        }
+        self.aof = rewritten;
+    }
+}
+
+fn write_u64(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+fn write_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    write_u64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+fn read_u64(bytes: &[u8], cursor: &mut usize) -> Result<u64, String> {
+    let end = *cursor + 8;
+    let slice = bytes.get(*cursor..end).ok_or("truncated snapshot")?;
+    *cursor = end;
+    Ok(u64::from_le_bytes(slice.try_into().expect("8 bytes")))
+}
+
+fn read_bytes<'a>(bytes: &'a [u8], cursor: &mut usize) -> Result<&'a [u8], String> {
+    let len = read_u64(bytes, cursor)? as usize;
+    let end = *cursor + len;
+    let slice = bytes.get(*cursor..end).ok_or("truncated snapshot")?;
+    *cursor = end;
+    Ok(slice)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn string_commands_roundtrip() {
+        let mut s = Server::new();
+        assert_eq!(s.execute(&cmd(&["PING"])), Reply::Simple("PONG".into()));
+        assert_eq!(s.execute(&cmd(&["SET", "k", "v"])), Reply::Ok);
+        assert_eq!(s.execute(&cmd(&["GET", "k"])), Reply::Bulk("v".into()));
+        assert_eq!(s.execute(&cmd(&["EXISTS", "k", "missing"])), Reply::Integer(1));
+        assert_eq!(s.execute(&cmd(&["DEL", "k"])), Reply::Integer(1));
+        assert_eq!(s.execute(&cmd(&["GET", "k"])), Reply::Nil);
+        assert_eq!(s.execute(&cmd(&["DBSIZE"])), Reply::Integer(0));
+    }
+
+    #[test]
+    fn list_and_hash_commands() {
+        let mut s = Server::new();
+        assert_eq!(s.execute(&cmd(&["LPUSH", "l", "a", "b"])), Reply::Integer(2));
+        assert_eq!(
+            s.execute(&cmd(&["LRANGE", "l", "0", "-1"])),
+            Reply::Array(vec![Reply::Bulk("b".into()), Reply::Bulk("a".into())])
+        );
+        assert_eq!(s.execute(&cmd(&["HSET", "h", "f", "1"])), Reply::Integer(1));
+        assert_eq!(s.execute(&cmd(&["HSET", "h", "f", "2"])), Reply::Integer(0));
+        assert_eq!(s.execute(&cmd(&["HGET", "h", "f"])), Reply::Bulk("2".into()));
+        assert_eq!(s.execute(&cmd(&["HGET", "h", "missing"])), Reply::Nil);
+    }
+
+    #[test]
+    fn unknown_commands_and_wrongtype_are_errors() {
+        let mut s = Server::new();
+        assert!(matches!(s.execute(&cmd(&["NOPE"])), Reply::Error(_)));
+        s.execute(&cmd(&["SET", "k", "v"]));
+        assert!(matches!(s.execute(&cmd(&["LRANGE", "k", "0", "1"])), Reply::Error(_)));
+        assert!(matches!(s.execute(&cmd(&["HGET", "k", "f"])), Reply::Error(_)));
+    }
+
+    #[test]
+    fn resp_pipeline_end_to_end() {
+        let mut s = Server::new();
+        let wire = RespValue::command(&["SET", "hello", "world"]).encode();
+        let reply = s.execute_resp(&wire);
+        assert_eq!(&reply[..], b"+OK\r\n");
+        let wire = RespValue::command(&["GET", "hello"]).encode();
+        let reply = s.execute_resp(&wire);
+        assert_eq!(&reply[..], b"$5\r\nworld\r\n");
+    }
+
+    #[test]
+    fn rdb_snapshot_roundtrips_builtin_values() {
+        let mut s = Server::new();
+        s.execute(&cmd(&["SET", "s", "x"]));
+        s.execute(&cmd(&["LPUSH", "l", "1", "2"]));
+        s.execute(&cmd(&["HSET", "h", "a", "b"]));
+        let snapshot = s.save_rdb();
+
+        let mut restored = Server::new();
+        restored.load_rdb(&snapshot).unwrap();
+        assert_eq!(restored.execute(&cmd(&["GET", "s"])), Reply::Bulk("x".into()));
+        assert_eq!(restored.execute(&cmd(&["HGET", "h", "a"])), Reply::Bulk("b".into()));
+        assert_eq!(restored.keyspace().len(), 3);
+    }
+
+    #[test]
+    fn aof_records_writes_and_rewrite_compacts() {
+        let mut s = Server::new();
+        s.execute(&cmd(&["SET", "k", "1"]));
+        s.execute(&cmd(&["SET", "k", "2"]));
+        s.execute(&cmd(&["GET", "k"]));
+        assert_eq!(s.aof_len(), 2, "reads must not be logged");
+        s.aof_rewrite();
+        assert_eq!(s.aof_len(), 1, "rewrite folds superseded writes");
+
+        let log = s.aof().to_vec();
+        let mut replayed = Server::new();
+        replayed.replay_aof(&log);
+        assert_eq!(replayed.execute(&cmd(&["GET", "k"])), Reply::Bulk("2".into()));
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected() {
+        let mut s = Server::new();
+        assert!(s.load_rdb(&[1, 2, 3]).is_err());
+        let mut snapshot = {
+            let mut donor = Server::new();
+            donor.execute(&cmd(&["SET", "a", "b"]));
+            donor.save_rdb()
+        };
+        snapshot.truncate(snapshot.len() - 2);
+        assert!(s.load_rdb(&snapshot).is_err());
+    }
+}

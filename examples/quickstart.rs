@@ -1,0 +1,65 @@
+//! Quickstart: the CuckooGraph API in two minutes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cuckoograph_repro::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Basic version: distinct directed edges (§ III-A).
+    // ------------------------------------------------------------------
+    let mut graph = CuckooGraph::new();
+    graph.insert_edge(1, 2);
+    graph.insert_edge(1, 3);
+    graph.insert_edge(2, 3);
+    graph.insert_edge(1, 2); // duplicate: ignored
+
+    println!("edges stored          : {}", graph.edge_count());
+    println!("nodes with out-edges  : {}", graph.node_count());
+    println!("1 → 2 exists          : {}", graph.has_edge(1, 2));
+    println!("successors of 1       : {:?}", {
+        let mut s = graph.successors(1);
+        s.sort_unstable();
+        s
+    });
+
+    graph.delete_edge(1, 2);
+    println!("after delete, 1 → 2   : {}", graph.has_edge(1, 2));
+
+    // ------------------------------------------------------------------
+    // The structure grows by TRANSFORMATION as degrees rise, and reports
+    // its own shape and memory usage.
+    // ------------------------------------------------------------------
+    for v in 0..10_000u64 {
+        graph.insert_edge(42, v);
+    }
+    let stats = graph.stats();
+    println!("\nafter inserting a 10k-degree hub:");
+    println!("  S-CHT tables          : {}", stats.scht_tables);
+    println!("  L-CHT cells allocated : {}", stats.lcht_cells);
+    println!("  expansions performed  : {}", stats.expansions);
+    println!("  memory                : {:.2} MB", graph.memory_mb());
+
+    // ------------------------------------------------------------------
+    // Extended (weighted) version for streams with duplicate edges (§ III-B).
+    // ------------------------------------------------------------------
+    let mut weighted = WeightedCuckooGraph::new();
+    for _ in 0..5 {
+        weighted.insert_weighted(7, 8, 1);
+    }
+    println!("\nweighted edge 7 → 8 count: {}", weighted.weight(7, 8));
+    weighted.delete_weighted(7, 8, 5);
+    println!("after decrementing to 0  : {}", weighted.weight(7, 8));
+
+    // ------------------------------------------------------------------
+    // Custom configuration: the knobs studied in Figures 2–4.
+    // ------------------------------------------------------------------
+    let tuned = CuckooGraphConfig::default()
+        .with_cells_per_bucket(8)
+        .with_expand_threshold(0.9)
+        .with_max_kicks(250);
+    let custom = CuckooGraph::with_config(tuned);
+    println!("\ncustom graph starts empty: {} edges", custom.edge_count());
+}

@@ -1,0 +1,48 @@
+//! # cuckoograph-repro
+//!
+//! Workspace façade for the CuckooGraph reproduction (ICDE 2025). It re-exports
+//! the public surface of every crate so the runnable examples and the
+//! cross-crate integration tests under `tests/` have a single import root:
+//!
+//! * [`cuckoograph`] — the paper's data structure (basic, weighted, multi-edge);
+//! * [`graph_api`] — the shared `DynamicGraph` trait and primitives;
+//! * [`graph_baselines`] — the competitor storage schemes;
+//! * [`graph_analytics`] — BFS, SSSP, TC, CC, PageRank, BC, LCC;
+//! * [`graph_datasets`] — Table IV synthetic dataset generators and loaders;
+//! * [`kvstore`] — the Redis-like substrate and the CuckooGraph module (§ V-F);
+//! * [`graphdb`] — the Neo4j-like substrate and the CuckooGraph edge index (§ V-G).
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record of every table and figure.
+
+pub use cuckoograph;
+pub use graph_analytics;
+pub use graph_api;
+pub use graph_baselines;
+pub use graph_datasets;
+pub use graphdb;
+pub use kvstore;
+
+/// Convenience prelude used by the examples.
+pub mod prelude {
+    pub use cuckoograph::{
+        CuckooGraph, CuckooGraphConfig, MultiEdgeCuckooGraph, WeightedCuckooGraph,
+    };
+    pub use graph_api::{DynamicGraph, Edge, MemoryFootprint, NodeId, WeightedDynamicGraph};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_exposes_the_core_types() {
+        let mut g = CuckooGraph::new();
+        assert!(g.insert_edge(1, 2));
+        let mut w = WeightedCuckooGraph::new();
+        assert_eq!(w.insert_weighted(1, 2, 3), 3);
+        let mut m = MultiEdgeCuckooGraph::new();
+        assert!(m.add_edge(1, 2, 7));
+        assert!(CuckooGraphConfig::default().validate().is_ok());
+    }
+}

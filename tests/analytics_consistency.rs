@@ -1,0 +1,123 @@
+//! Analytics results must be identical no matter which storage scheme backs
+//! the graph — the algorithms only see the `DynamicGraph` trait, so any
+//! divergence would mean a storage scheme answers queries incorrectly.
+
+use cuckoograph_repro::graph_analytics as analytics;
+use cuckoograph_repro::graph_api::{DynamicGraph, NodeId};
+use cuckoograph_repro::graph_baselines::{AdjacencyListGraph, SortledtonGraph, SpruceGraph};
+use cuckoograph_repro::graph_datasets::{generate, DatasetKind};
+use cuckoograph_repro::prelude::*;
+use std::collections::BTreeMap;
+
+fn schemes() -> Vec<(&'static str, Box<dyn DynamicGraph>)> {
+    vec![
+        ("CuckooGraph", Box::new(CuckooGraph::new()) as Box<dyn DynamicGraph>),
+        ("AdjList", Box::new(AdjacencyListGraph::new())),
+        ("Sortledton", Box::new(SortledtonGraph::new())),
+        ("Spruce", Box::new(SpruceGraph::new())),
+    ]
+}
+
+fn populate(graph: &mut dyn DynamicGraph, edges: &[(NodeId, NodeId)]) {
+    for &(u, v) in edges {
+        graph.insert_edge(u, v);
+    }
+}
+
+#[test]
+fn bfs_and_sssp_reach_the_same_nodes() {
+    let edges = generate(DatasetKind::NotreDame, 0.0015, 21).distinct_edges();
+    let mut reference_reach: Option<Vec<usize>> = None;
+    let mut reference_distances: Option<BTreeMap<NodeId, u64>> = None;
+    for (name, mut graph) in schemes() {
+        populate(graph.as_mut(), &edges);
+        let sources = analytics::top_degree_nodes(graph.as_ref(), 5);
+        let reach: Vec<usize> =
+            sources.iter().map(|&s| analytics::bfs(graph.as_ref(), s).len()).collect();
+        let distances: BTreeMap<NodeId, u64> =
+            analytics::dijkstra(graph.as_ref(), sources[0]).into_iter().collect();
+        match (&reference_reach, &reference_distances) {
+            (None, None) => {
+                reference_reach = Some(reach);
+                reference_distances = Some(distances);
+            }
+            (Some(r), Some(d)) => {
+                assert_eq!(&reach, r, "{name}: BFS reach differs");
+                assert_eq!(&distances, d, "{name}: SSSP distances differ");
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[test]
+fn triangle_counts_and_components_agree() {
+    let edges = generate(DatasetKind::WikiTalk, 0.0008, 22).distinct_edges();
+    let mut reference: Option<(Vec<usize>, usize)> = None;
+    for (name, mut graph) in schemes() {
+        populate(graph.as_mut(), &edges);
+        let nodes = analytics::top_degree_nodes(graph.as_ref(), 24);
+        let triangles: Vec<usize> = nodes
+            .iter()
+            .map(|&n| analytics::triangles_containing(graph.as_ref(), n))
+            .collect();
+        let components = analytics::connected_components(graph.as_ref(), &nodes).count;
+        match &reference {
+            None => reference = Some((triangles, components)),
+            Some((t, c)) => {
+                assert_eq!(&triangles, t, "{name}: triangle counts differ");
+                assert_eq!(components, *c, "{name}: component counts differ");
+            }
+        }
+    }
+}
+
+#[test]
+fn pagerank_betweenness_and_lcc_agree() {
+    let edges = generate(DatasetKind::StackOverflow, 0.0004, 23).distinct_edges();
+    let mut reference: Option<(BTreeMap<NodeId, i64>, BTreeMap<NodeId, i64>, BTreeMap<NodeId, i64>)> =
+        None;
+    for (name, mut graph) in schemes() {
+        populate(graph.as_mut(), &edges);
+        let nodes = analytics::top_degree_nodes(graph.as_ref(), 32);
+        // Quantise the floating-point scores so tiny summation-order noise
+        // cannot cause false mismatches.
+        let quantise = |m: std::collections::HashMap<NodeId, f64>| -> BTreeMap<NodeId, i64> {
+            m.into_iter().map(|(k, v)| (k, (v * 1e9).round() as i64)).collect()
+        };
+        let pr = quantise(analytics::pagerank(
+            graph.as_ref(),
+            &nodes,
+            &analytics::PageRankConfig::default(),
+        ));
+        let bc = quantise(analytics::betweenness_centrality(graph.as_ref(), &nodes));
+        let lcc = quantise(analytics::local_clustering_coefficients(graph.as_ref(), &nodes));
+        match &reference {
+            None => reference = Some((pr, bc, lcc)),
+            Some((rpr, rbc, rlcc)) => {
+                assert_eq!(&pr, rpr, "{name}: PageRank differs");
+                assert_eq!(&bc, rbc, "{name}: betweenness differs");
+                assert_eq!(&lcc, rlcc, "{name}: LCC differs");
+            }
+        }
+    }
+}
+
+#[test]
+fn weighted_cuckoograph_runs_the_full_analytics_suite() {
+    // The weighted variant exposes the same DynamicGraph view, so the whole
+    // pipeline runs on a stream with duplicates without any preprocessing.
+    let dataset = generate(DatasetKind::Caida, 0.0008, 24);
+    let mut graph = WeightedCuckooGraph::new();
+    for &(u, v) in &dataset.raw_edges {
+        graph.insert_weighted(u, v, 1);
+    }
+    let nodes = analytics::top_degree_nodes(&graph, 20);
+    assert!(!nodes.is_empty());
+    let pr = analytics::pagerank(&graph, &nodes, &analytics::PageRankConfig::default());
+    assert!((pr.values().sum::<f64>() - 1.0).abs() < 1e-6);
+    let reach = analytics::bfs(&graph, nodes[0]);
+    assert!(!reach.is_empty());
+    let cc = analytics::connected_components(&graph, &nodes);
+    assert!(cc.count >= 1);
+}

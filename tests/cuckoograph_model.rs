@@ -1,0 +1,167 @@
+//! Property-based model tests: CuckooGraph (all three variants) must behave
+//! exactly like a simple reference model under arbitrary operation sequences.
+
+use cuckoograph_repro::prelude::*;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// One operation of a randomised workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Delete(u64, u64),
+    Query(u64, u64),
+}
+
+fn op_strategy(node_range: u64) -> impl Strategy<Value = Op> {
+    let node = 0..node_range;
+    prop_oneof![
+        3 => (node.clone(), 0..node_range).prop_map(|(u, v)| Op::Insert(u, v)),
+        1 => (node.clone(), 0..node_range).prop_map(|(u, v)| Op::Delete(u, v)),
+        1 => (node, 0..node_range).prop_map(|(u, v)| Op::Query(u, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The basic version agrees with a `HashSet<(u, v)>` model on every
+    /// operation, for skewed workloads over a small id space (which maximises
+    /// collisions, transformations, and reverse transformations).
+    #[test]
+    fn basic_version_matches_set_model(ops in prop::collection::vec(op_strategy(64), 1..800)) {
+        let mut graph = CuckooGraph::new();
+        let mut model: HashSet<(u64, u64)> = HashSet::new();
+        for op in ops {
+            match op {
+                Op::Insert(u, v) => {
+                    let inserted = graph.insert_edge(u, v);
+                    prop_assert_eq!(inserted, model.insert((u, v)));
+                }
+                Op::Delete(u, v) => {
+                    let deleted = graph.delete_edge(u, v);
+                    prop_assert_eq!(deleted, model.remove(&(u, v)));
+                }
+                Op::Query(u, v) => {
+                    prop_assert_eq!(graph.has_edge(u, v), model.contains(&(u, v)));
+                }
+            }
+            prop_assert_eq!(graph.edge_count(), model.len());
+        }
+        // Final state: successor sets match exactly.
+        let mut by_source: HashMap<u64, HashSet<u64>> = HashMap::new();
+        for &(u, v) in &model {
+            by_source.entry(u).or_default().insert(v);
+        }
+        for (u, expected) in by_source {
+            let got: HashSet<u64> = graph.successors(u).into_iter().collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    /// The weighted version agrees with a `HashMap<(u, v), u64>` model.
+    #[test]
+    fn weighted_version_matches_counter_model(
+        ops in prop::collection::vec((0u64..32, 0u64..32, 1u64..4, prop::bool::ANY), 1..500)
+    ) {
+        let mut graph = WeightedCuckooGraph::new();
+        let mut model: HashMap<(u64, u64), u64> = HashMap::new();
+        for (u, v, delta, is_insert) in ops {
+            if is_insert {
+                let new_weight = graph.insert_weighted(u, v, delta);
+                let entry = model.entry((u, v)).or_insert(0);
+                *entry += delta;
+                prop_assert_eq!(new_weight, *entry);
+            } else {
+                let remaining = graph.delete_weighted(u, v, delta);
+                let current = model.get(&(u, v)).copied().unwrap_or(0);
+                let expected = current.saturating_sub(delta);
+                if expected == 0 {
+                    model.remove(&(u, v));
+                } else {
+                    model.insert((u, v), expected);
+                }
+                prop_assert_eq!(remaining, expected);
+            }
+            prop_assert_eq!(graph.distinct_edge_count(), model.len());
+        }
+        for (&(u, v), &w) in &model {
+            prop_assert_eq!(graph.weight(u, v), w);
+        }
+    }
+
+    /// Non-default configurations (small d, small kick budget, no denylist,
+    /// varying R) never lose or duplicate edges.
+    #[test]
+    fn stressed_configurations_store_everything(
+        d in 2usize..6,
+        r in 2usize..5,
+        max_kicks in 1usize..20,
+        use_denylist in prop::bool::ANY,
+        edges in prop::collection::hash_set((0u64..48, 0u64..48), 1..400)
+    ) {
+        let config = CuckooGraphConfig::default()
+            .with_cells_per_bucket(d)
+            .with_r(r)
+            .with_max_kicks(max_kicks)
+            .with_denylist(use_denylist)
+            .with_scht_base_len(2)
+            .with_lcht_base_len(2);
+        let mut graph = CuckooGraph::with_config(config);
+        for &(u, v) in &edges {
+            prop_assert!(graph.insert_edge(u, v));
+        }
+        prop_assert_eq!(graph.edge_count(), edges.len());
+        for &(u, v) in &edges {
+            prop_assert!(graph.has_edge(u, v), "lost edge ({}, {})", u, v);
+        }
+    }
+
+    /// Inserting then deleting everything always returns to the empty state,
+    /// and memory never grows without bound across churn cycles.
+    #[test]
+    fn churn_returns_to_empty(edges in prop::collection::hash_set((0u64..64, 0u64..64), 1..300)) {
+        let mut graph = CuckooGraph::new();
+        let mut peak = 0usize;
+        for _round in 0..3 {
+            for &(u, v) in &edges {
+                graph.insert_edge(u, v);
+            }
+            peak = peak.max(graph.memory_bytes());
+            for &(u, v) in &edges {
+                prop_assert!(graph.delete_edge(u, v));
+            }
+            prop_assert_eq!(graph.edge_count(), 0);
+            for &(u, v) in &edges {
+                prop_assert!(!graph.has_edge(u, v));
+            }
+        }
+        // Churn must not blow memory past a small multiple of the peak of one
+        // full load (the reverse transformation keeps the structure tight).
+        prop_assert!(graph.memory_bytes() <= peak * 2 + 4096);
+    }
+}
+
+#[test]
+fn multi_edge_variant_tracks_parallel_edges_exactly() {
+    let mut graph = MultiEdgeCuckooGraph::new();
+    let mut model: HashMap<(u64, u64), HashSet<u64>> = HashMap::new();
+    let mut next_id = 0u64;
+    for i in 0..2_000u64 {
+        let (u, v) = (i % 37, (i * 11) % 29);
+        graph.add_edge(u, v, next_id);
+        model.entry((u, v)).or_default().insert(next_id);
+        next_id += 1;
+    }
+    // Remove every third edge id.
+    for id in (0..next_id).step_by(3) {
+        let (u, v) = ((id % 37), ((id * 11) % 29));
+        assert!(graph.remove_edge(u, v, id));
+        model.get_mut(&(u, v)).unwrap().remove(&id);
+    }
+    for (&(u, v), ids) in &model {
+        let got: HashSet<u64> = graph.edges_between(u, v).collect();
+        assert_eq!(&got, ids, "mismatch for pair ({u}, {v})");
+    }
+    assert_eq!(graph.total_edge_count(), model.values().map(HashSet::len).sum::<usize>());
+}

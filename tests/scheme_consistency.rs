@@ -1,0 +1,115 @@
+//! Cross-scheme consistency: every storage scheme (CuckooGraph and all the
+//! baselines) must agree with a reference model on realistic generated
+//! workloads — the precondition for the benchmark comparisons to mean anything.
+
+use cuckoograph_repro::graph_api::{DynamicGraph, NodeId};
+use cuckoograph_repro::graph_baselines::{
+    AdjacencyListGraph, LiveGraphStore, PcsrGraph, SortledtonGraph, SpruceGraph, WindBellIndex,
+};
+use cuckoograph_repro::graph_datasets::{generate, DatasetKind};
+use cuckoograph_repro::prelude::*;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+fn all_schemes() -> Vec<(&'static str, Box<dyn DynamicGraph>)> {
+    vec![
+        ("CuckooGraph", Box::new(CuckooGraph::new()) as Box<dyn DynamicGraph>),
+        ("LiveGraph", Box::new(LiveGraphStore::new())),
+        ("Sortledton", Box::new(SortledtonGraph::new())),
+        ("WBI", Box::new(WindBellIndex::new())),
+        ("Spruce", Box::new(SpruceGraph::new())),
+        ("AdjList", Box::new(AdjacencyListGraph::new())),
+        ("PCSR", Box::new(PcsrGraph::new())),
+    ]
+}
+
+fn reference(edges: &[(NodeId, NodeId)]) -> HashSet<(NodeId, NodeId)> {
+    edges.iter().copied().collect()
+}
+
+#[test]
+fn every_scheme_agrees_on_a_caida_like_workload() {
+    let dataset = generate(DatasetKind::Caida, 0.0008, 3);
+    let edges = &dataset.raw_edges;
+    let model = reference(edges);
+    for (name, mut graph) in all_schemes() {
+        for &(u, v) in edges {
+            graph.insert_edge(u, v);
+        }
+        assert_eq!(graph.edge_count(), model.len(), "{name}: edge count");
+        for &(u, v) in model.iter().take(2_000) {
+            assert!(graph.has_edge(u, v), "{name}: missing ({u}, {v})");
+        }
+        assert!(!graph.has_edge(u64::MAX, u64::MAX), "{name}: phantom edge");
+    }
+}
+
+#[test]
+fn successor_sets_match_across_schemes() {
+    let dataset = generate(DatasetKind::NotreDame, 0.002, 5);
+    let edges = dataset.distinct_edges();
+    let mut expected: HashMap<NodeId, BTreeSet<NodeId>> = HashMap::new();
+    for &(u, v) in &edges {
+        expected.entry(u).or_default().insert(v);
+    }
+    for (name, mut graph) in all_schemes() {
+        for &(u, v) in &edges {
+            graph.insert_edge(u, v);
+        }
+        for (&u, neighbors) in expected.iter().take(300) {
+            let got: BTreeSet<NodeId> = graph.successors(u).into_iter().collect();
+            assert_eq!(&got, neighbors, "{name}: successors of {u} differ");
+            assert_eq!(graph.out_degree(u), neighbors.len(), "{name}: degree of {u}");
+        }
+    }
+}
+
+#[test]
+fn deletions_agree_across_schemes() {
+    let dataset = generate(DatasetKind::WikiTalk, 0.0005, 9);
+    let edges = dataset.distinct_edges();
+    let to_delete: Vec<(NodeId, NodeId)> =
+        edges.iter().copied().step_by(3).collect();
+    let surviving: HashSet<(NodeId, NodeId)> = {
+        let deleted: HashSet<_> = to_delete.iter().copied().collect();
+        edges.iter().copied().filter(|e| !deleted.contains(e)).collect()
+    };
+    for (name, mut graph) in all_schemes() {
+        for &(u, v) in &edges {
+            graph.insert_edge(u, v);
+        }
+        for &(u, v) in &to_delete {
+            assert!(graph.delete_edge(u, v), "{name}: failed to delete ({u}, {v})");
+            assert!(!graph.delete_edge(u, v), "{name}: double delete of ({u}, {v})");
+        }
+        assert_eq!(graph.edge_count(), surviving.len(), "{name}: surviving count");
+        for &(u, v) in surviving.iter().take(1_000) {
+            assert!(graph.has_edge(u, v), "{name}: lost survivor ({u}, {v})");
+        }
+        for &(u, v) in to_delete.iter().take(1_000) {
+            assert!(!graph.has_edge(u, v), "{name}: deleted edge still visible ({u}, {v})");
+        }
+    }
+}
+
+#[test]
+fn cuckoograph_memory_is_competitive_on_sparse_graphs() {
+    // Figure 9's qualitative claim, checked as an invariant rather than a
+    // benchmark: on a sparse power-law workload CuckooGraph must not use more
+    // memory than the pointer-heavy adjacency-list and log-structured schemes.
+    let dataset = generate(DatasetKind::SparseGraph, 0.002, 13);
+    let edges = dataset.distinct_edges();
+
+    let mut cuckoo = CuckooGraph::new();
+    let mut livegraph = LiveGraphStore::new();
+    for &(u, v) in &edges {
+        cuckoo.insert_edge(u, v);
+        livegraph.insert_edge(u, v);
+    }
+    use cuckoograph_repro::graph_api::MemoryFootprint;
+    assert!(
+        cuckoo.memory_bytes() <= livegraph.memory_bytes() * 2,
+        "CuckooGraph {} bytes vs LiveGraph {} bytes",
+        cuckoo.memory_bytes(),
+        livegraph.memory_bytes()
+    );
+}
