@@ -22,8 +22,7 @@ pub fn betweenness_centrality<G: DynamicGraph + ?Sized>(
         v
     };
     let in_set: HashSet<NodeId> = selected.iter().copied().collect();
-    let mut centrality: HashMap<NodeId, f64> =
-        selected.iter().map(|&u| (u, 0.0)).collect();
+    let mut centrality: HashMap<NodeId, f64> = selected.iter().map(|&u| (u, 0.0)).collect();
 
     for &source in &selected {
         // Brandes' single-source phase (unweighted → BFS).

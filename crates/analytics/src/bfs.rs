@@ -30,7 +30,10 @@ pub fn bfs<G: DynamicGraph + ?Sized>(graph: &G, source: NodeId) -> Vec<NodeId> {
 /// Runs BFS from each of the `sources` top-total-degree nodes (the paper's
 /// Figure 10 workload) and returns, per source, the number of nodes reached.
 pub fn bfs_from_top_degree<G: DynamicGraph + ?Sized>(graph: &G, sources: usize) -> Vec<usize> {
-    top_degree_nodes(graph, sources).into_iter().map(|s| bfs(graph, s).len()).collect()
+    top_degree_nodes(graph, sources)
+        .into_iter()
+        .map(|s| bfs(graph, s).len())
+        .collect()
 }
 
 #[cfg(test)]

@@ -54,8 +54,11 @@ pub fn connected_components<G: DynamicGraph + ?Sized>(
             continue;
         }
         let mut frames: Vec<(NodeId, Vec<NodeId>, usize)> = Vec::new();
-        let neighbours: Vec<NodeId> =
-            graph.successors(root).into_iter().filter(|v| selected.contains(v)).collect();
+        let neighbours: Vec<NodeId> = graph
+            .successors(root)
+            .into_iter()
+            .filter(|v| selected.contains(v))
+            .collect();
         {
             let st = states.entry(root).or_default();
             st.index = Some(next_index);
@@ -72,23 +75,26 @@ pub fn connected_components<G: DynamicGraph + ?Sized>(
                 let v = neighbours[*cursor];
                 *cursor += 1;
                 let v_state = states.entry(v).or_default();
-                if v_state.index.is_none() {
-                    // Recurse into v.
-                    v_state.index = Some(next_index);
-                    v_state.lowlink = next_index;
-                    v_state.on_stack = true;
-                    next_index += 1;
-                    stack.push(v);
-                    let v_neighbours: Vec<NodeId> = graph
-                        .successors(v)
-                        .into_iter()
-                        .filter(|w| selected.contains(w))
-                        .collect();
-                    frames.push((v, v_neighbours, 0));
-                } else if v_state.on_stack {
-                    let v_index = v_state.index.expect("checked above");
-                    let u_state = states.get_mut(&u).expect("u was visited");
-                    u_state.lowlink = u_state.lowlink.min(v_index);
+                match v_state.index {
+                    None => {
+                        // Recurse into v.
+                        v_state.index = Some(next_index);
+                        v_state.lowlink = next_index;
+                        v_state.on_stack = true;
+                        next_index += 1;
+                        stack.push(v);
+                        let v_neighbours: Vec<NodeId> = graph
+                            .successors(v)
+                            .into_iter()
+                            .filter(|w| selected.contains(w))
+                            .collect();
+                        frames.push((v, v_neighbours, 0));
+                    }
+                    Some(v_index) if v_state.on_stack => {
+                        let u_state = states.get_mut(&u).expect("u was visited");
+                        u_state.lowlink = u_state.lowlink.min(v_index);
+                    }
+                    Some(_) => {}
                 }
             } else {
                 // All neighbours of u processed: maybe emit a component, then
@@ -119,7 +125,11 @@ pub fn connected_components<G: DynamicGraph + ?Sized>(
         }
     }
 
-    ComponentSummary { count: sizes.len(), assignment, sizes }
+    ComponentSummary {
+        count: sizes.len(),
+        assignment,
+        sizes,
+    }
 }
 
 #[cfg(test)]

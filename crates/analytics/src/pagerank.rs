@@ -19,7 +19,10 @@ pub struct PageRankConfig {
 
 impl Default for PageRankConfig {
     fn default() -> Self {
-        Self { damping: 0.85, iterations: 100 }
+        Self {
+            damping: 0.85,
+            iterations: 100,
+        }
     }
 }
 
@@ -39,8 +42,7 @@ pub fn pagerank<G: DynamicGraph + ?Sized>(
     if n == 0 {
         return HashMap::new();
     }
-    let index: HashMap<NodeId, usize> =
-        selected.iter().enumerate().map(|(i, &u)| (u, i)).collect();
+    let index: HashMap<NodeId, usize> = selected.iter().enumerate().map(|(i, &u)| (u, i)).collect();
     let in_set: HashSet<NodeId> = selected.iter().copied().collect();
 
     // Build the out-neighbour lists (successor queries — the hot path the
@@ -139,7 +141,14 @@ mod tests {
     fn iterations_zero_returns_uniform_start() {
         let mut g = AdjacencyListGraph::new();
         g.insert_edge(1, 2);
-        let pr = pagerank(&g, &[1, 2], &PageRankConfig { damping: 0.85, iterations: 0 });
+        let pr = pagerank(
+            &g,
+            &[1, 2],
+            &PageRankConfig {
+                damping: 0.85,
+                iterations: 0,
+            },
+        );
         assert!((pr[&1] - 0.5).abs() < 1e-12);
         assert!((pr[&2] - 0.5).abs() < 1e-12);
     }

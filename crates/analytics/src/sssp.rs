@@ -36,7 +36,10 @@ pub fn dijkstra<G: DynamicGraph + ?Sized>(graph: &G, source: NodeId) -> HashMap<
 /// The Figure 11 workload: Dijkstra from each of the `sources`
 /// highest-total-degree nodes; returns the number of reachable nodes per run.
 pub fn sssp_from_top_degree<G: DynamicGraph + ?Sized>(graph: &G, sources: usize) -> Vec<usize> {
-    top_degree_nodes(graph, sources).into_iter().map(|s| dijkstra(graph, s).len()).collect()
+    top_degree_nodes(graph, sources)
+        .into_iter()
+        .map(|s| dijkstra(graph, s).len())
+        .collect()
 }
 
 #[cfg(test)]

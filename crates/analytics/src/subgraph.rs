@@ -96,7 +96,10 @@ mod tests {
         assert!(set.contains(&(1, 10)));
         assert!(set.contains(&(10, 2)));
         assert!(set.contains(&(11, 2)));
-        assert!(!set.iter().any(|&(_, v)| v == 19), "edge to unselected node leaked");
+        assert!(
+            !set.iter().any(|&(_, v)| v == 19),
+            "edge to unselected node leaked"
+        );
     }
 
     #[test]

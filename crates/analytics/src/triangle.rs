@@ -25,7 +25,10 @@ pub fn triangles_containing<G: DynamicGraph + ?Sized>(graph: &G, node: NodeId) -
         });
     });
     // Step 2: edge queries ⟨2-hop successor, node⟩.
-    two_hop.into_iter().filter(|&b| graph.has_edge(b, node)).count()
+    two_hop
+        .into_iter()
+        .filter(|&b| graph.has_edge(b, node))
+        .count()
 }
 
 #[cfg(test)]

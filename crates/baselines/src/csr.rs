@@ -28,13 +28,13 @@ impl CsrGraph {
 
         let mut node_index = HashMap::new();
         let mut node_ids = Vec::new();
-        let intern = |id: NodeId, node_index: &mut HashMap<NodeId, usize>,
-                          node_ids: &mut Vec<NodeId>| {
-            *node_index.entry(id).or_insert_with(|| {
-                node_ids.push(id);
-                node_ids.len() - 1
-            })
-        };
+        let intern =
+            |id: NodeId, node_index: &mut HashMap<NodeId, usize>, node_ids: &mut Vec<NodeId>| {
+                *node_index.entry(id).or_insert_with(|| {
+                    node_ids.push(id);
+                    node_ids.len() - 1
+                })
+            };
         for &(u, v) in &dedup {
             intern(u, &mut node_index, &mut node_ids);
             intern(v, &mut node_index, &mut node_ids);
@@ -57,7 +57,12 @@ impl CsrGraph {
             neighbors[cursor[ui]] = v;
             cursor[ui] += 1;
         }
-        Self { node_index, node_ids, offsets, neighbors }
+        Self {
+            node_index,
+            node_ids,
+            offsets,
+            neighbors,
+        }
     }
 
     /// Rebuilds the CSR with one additional edge — the expensive operation

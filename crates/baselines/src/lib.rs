@@ -75,8 +75,7 @@ mod tests {
     #[test]
     fn schemes_agree_on_a_small_workload() {
         let mut schemes = all_schemes();
-        let edges: Vec<(u64, u64)> =
-            (0..200u64).map(|i| (i % 20, (i * 7 + 3) % 50)).collect();
+        let edges: Vec<(u64, u64)> = (0..200u64).map(|i| (i % 20, (i * 7 + 3) % 50)).collect();
         for s in schemes.iter_mut() {
             for &(u, v) in &edges {
                 s.insert_edge(u, v);

@@ -61,8 +61,7 @@ impl VertexBlock {
         for &entry in &self.log {
             latest.insert(entry.dst, entry);
         }
-        let mut compacted: Vec<LogEntry> =
-            latest.into_values().filter(|e| e.is_insert).collect();
+        let mut compacted: Vec<LogEntry> = latest.into_values().filter(|e| e.is_insert).collect();
         compacted.sort_by_key(|e| e.seq);
         self.log = compacted;
     }
@@ -72,7 +71,11 @@ impl VertexBlock {
         for entry in &self.log {
             latest.insert(entry.dst, entry.is_insert);
         }
-        latest.into_iter().filter(|&(_, alive)| alive).map(|(dst, _)| dst).collect()
+        latest
+            .into_iter()
+            .filter(|&(_, alive)| alive)
+            .map(|(dst, _)| dst)
+            .collect()
     }
 
     fn bytes(&self) -> usize {
@@ -127,7 +130,11 @@ impl DynamicGraph for LiveGraphStore {
         if block.has_edge(v) {
             return false;
         }
-        block.append(LogEntry { dst: v, seq, is_insert: true });
+        block.append(LogEntry {
+            dst: v,
+            seq,
+            is_insert: true,
+        });
         block.live += 1;
         self.edges += 1;
         true
@@ -146,14 +153,21 @@ impl DynamicGraph for LiveGraphStore {
         if !block.has_edge(v) {
             return false;
         }
-        block.append(LogEntry { dst: v, seq, is_insert: false });
+        block.append(LogEntry {
+            dst: v,
+            seq,
+            is_insert: false,
+        });
         block.live -= 1;
         self.edges -= 1;
         true
     }
 
     fn successors(&self, u: NodeId) -> Vec<NodeId> {
-        self.blocks.get(&u).map(VertexBlock::successors).unwrap_or_default()
+        self.blocks
+            .get(&u)
+            .map(VertexBlock::successors)
+            .unwrap_or_default()
     }
 
     fn for_each_successor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {

@@ -31,7 +31,10 @@ impl PcsrGraph {
     /// Total number of PMA slots allocated (occupied + gaps) — the space
     /// overhead CSR-family structures pay for updatability.
     pub fn total_slots(&self) -> usize {
-        self.vertex_index.values().map(PackedMemoryArray::capacity).sum()
+        self.vertex_index
+            .values()
+            .map(PackedMemoryArray::capacity)
+            .sum()
     }
 }
 
@@ -69,7 +72,10 @@ impl DynamicGraph for PcsrGraph {
     }
 
     fn successors(&self, u: NodeId) -> Vec<NodeId> {
-        self.vertex_index.get(&u).map(|p| p.to_vec()).unwrap_or_default()
+        self.vertex_index
+            .get(&u)
+            .map(|p| p.to_vec())
+            .unwrap_or_default()
     }
 
     fn for_each_successor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {

@@ -35,7 +35,11 @@ impl Default for PackedMemoryArray {
 impl PackedMemoryArray {
     /// Creates an empty PMA.
     pub fn new() -> Self {
-        Self { slots: vec![None; MIN_CAPACITY], segment_size: MIN_CAPACITY, len: 0 }
+        Self {
+            slots: vec![None; MIN_CAPACITY],
+            segment_size: MIN_CAPACITY,
+            len: 0,
+        }
     }
 
     /// Number of stored keys.
@@ -165,7 +169,9 @@ impl PackedMemoryArray {
 
     fn resize(&mut self, new_capacity: usize) {
         let items: Vec<u64> = self.iter().collect();
-        let new_capacity = new_capacity.max(items.len().next_power_of_two()).max(MIN_CAPACITY);
+        let new_capacity = new_capacity
+            .max(items.len().next_power_of_two())
+            .max(MIN_CAPACITY);
         self.slots = vec![None; new_capacity];
         self.segment_size = (new_capacity.ilog2() as usize).next_power_of_two().max(4);
         self.place_evenly(&items);

@@ -157,7 +157,10 @@ impl DynamicGraph for SortledtonGraph {
     }
 
     fn successors(&self, u: NodeId) -> Vec<NodeId> {
-        self.index.get(&u).map(|s| s.iter().collect()).unwrap_or_default()
+        self.index
+            .get(&u)
+            .map(|s| s.iter().collect())
+            .unwrap_or_default()
     }
 
     fn for_each_successor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {

@@ -87,7 +87,10 @@ struct VertexGroup {
 
 impl VertexGroup {
     fn new() -> Self {
-        Self { bitmap: vec![0u64; 1 << 10], members: HashMap::new() }
+        Self {
+            bitmap: vec![0u64; 1 << 10],
+            members: HashMap::new(),
+        }
     }
 
     #[inline]
@@ -187,7 +190,9 @@ impl DynamicGraph for SpruceGraph {
     }
 
     fn successors(&self, u: NodeId) -> Vec<NodeId> {
-        self.storage(u).map(|s| s.iter().collect()).unwrap_or_default()
+        self.storage(u)
+            .map(|s| s.iter().collect())
+            .unwrap_or_default()
     }
 
     fn for_each_successor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {

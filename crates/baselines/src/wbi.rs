@@ -51,7 +51,12 @@ impl WindBellIndex {
     /// Creates a WBI with a `k × k` matrix.
     pub fn with_k(k: usize) -> Self {
         let k = k.max(1);
-        Self { k, matrix: vec![Bucket::default(); k * k], sources: HashSet::new(), edges: 0 }
+        Self {
+            k,
+            matrix: vec![Bucket::default(); k * k],
+            sources: HashSet::new(),
+            edges: 0,
+        }
     }
 
     /// The matrix side length.
@@ -238,7 +243,10 @@ mod tests {
         // With 2 hash choices per edge the hanging lists stay reasonably even:
         // the longest list must not dominate the total.
         let longest = g.matrix.iter().map(|b| b.edges.len()).max().unwrap();
-        assert!(longest < 2_000 / 4, "one hanging list holds {longest} of 2000 edges");
+        assert!(
+            longest < 2_000 / 4,
+            "one hanging list holds {longest} of 2000 edges"
+        );
         assert!(g.average_list_length() > 0.0);
     }
 

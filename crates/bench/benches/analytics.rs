@@ -31,28 +31,44 @@ fn bench_task(
     for scheme in SchemeKind::paper_lineup() {
         let graph = populated(scheme, &edges);
         let nodes = analytics::top_degree_nodes(graph.as_ref(), SUBGRAPH_NODES);
-        group.bench_with_input(BenchmarkId::from_parameter(scheme.label()), &scheme, |b, _| {
-            b.iter(|| run(graph.as_ref(), &nodes));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, _| {
+                b.iter(|| run(graph.as_ref(), &nodes));
+            },
+        );
     }
     group.finish();
 }
 
 fn bench_bfs(c: &mut Criterion) {
     bench_task(c, "fig10_bfs", |g, nodes| {
-        nodes.iter().take(8).map(|&n| analytics::bfs(g, n).len()).sum()
+        nodes
+            .iter()
+            .take(8)
+            .map(|&n| analytics::bfs(g, n).len())
+            .sum()
     });
 }
 
 fn bench_sssp(c: &mut Criterion) {
     bench_task(c, "fig11_sssp", |g, nodes| {
-        nodes.iter().take(8).map(|&n| analytics::dijkstra(g, n).len()).sum()
+        nodes
+            .iter()
+            .take(8)
+            .map(|&n| analytics::dijkstra(g, n).len())
+            .sum()
     });
 }
 
 fn bench_triangle(c: &mut Criterion) {
     bench_task(c, "fig12_triangle_counting", |g, nodes| {
-        nodes.iter().take(8).map(|&n| analytics::triangles_containing(g, n)).sum()
+        nodes
+            .iter()
+            .take(8)
+            .map(|&n| analytics::triangles_containing(g, n))
+            .sum()
     });
 }
 

@@ -112,7 +112,11 @@ fn bench_memory_report(c: &mut Criterion) {
             graph.insert_edge(u, v);
         }
         let per_edge = graph.memory_bytes() as f64 / edges.len() as f64;
-        println!("fig9 memory: {:12} {:8.1} bytes/edge", scheme.label(), per_edge);
+        println!(
+            "fig9 memory: {:12} {:8.1} bytes/edge",
+            scheme.label(),
+            per_edge
+        );
         // Keep Criterion happy with a trivial measured closure.
         group.bench_function(BenchmarkId::from_parameter(scheme.label()), |b| {
             b.iter(|| graph.memory_bytes())

@@ -298,9 +298,13 @@ fn table2() -> ExperimentReport {
     ExperimentReport {
         id: "table2".into(),
         tables: vec![ReportTable {
-            title: "Table II — transformation rule for R = 3 (lengths after each expansion)"
-                .into(),
-            headers: vec!["# LR > G".into(), "1st S-CHT".into(), "2nd S-CHT".into(), "3rd S-CHT".into()],
+            title: "Table II — transformation rule for R = 3 (lengths after each expansion)".into(),
+            headers: vec![
+                "# LR > G".into(),
+                "1st S-CHT".into(),
+                "2nd S-CHT".into(),
+                "3rd S-CHT".into(),
+            ],
             rows,
         }],
         notes: vec!["Matches Table II of the paper row by row.".into()],
@@ -309,11 +313,36 @@ fn table2() -> ExperimentReport {
 
 fn table3() -> ExperimentReport {
     let rows = vec![
-        vec!["LiveGraph".into(), "O(1)".into(), "O(deg(v))".into(), "O(|E|)".into()],
-        vec!["Spruce".into(), "O(|E|/|V|)".into(), "O(log(|E|/|V|))".into(), "O(|E|)".into()],
-        vec!["Sortledton".into(), "O(log|E|)".into(), "O(log|E|)".into(), "O(|E|)".into()],
-        vec!["WBI".into(), "O(1)".into(), "O(|E|/K^2)".into(), "O(K^2+|E|)".into()],
-        vec!["CuckooGraph (Ours)".into(), "O(1)".into(), "O(1)".into(), "O(|E|)".into()],
+        vec![
+            "LiveGraph".into(),
+            "O(1)".into(),
+            "O(deg(v))".into(),
+            "O(|E|)".into(),
+        ],
+        vec![
+            "Spruce".into(),
+            "O(|E|/|V|)".into(),
+            "O(log(|E|/|V|))".into(),
+            "O(|E|)".into(),
+        ],
+        vec![
+            "Sortledton".into(),
+            "O(log|E|)".into(),
+            "O(log|E|)".into(),
+            "O(|E|)".into(),
+        ],
+        vec![
+            "WBI".into(),
+            "O(1)".into(),
+            "O(|E|/K^2)".into(),
+            "O(K^2+|E|)".into(),
+        ],
+        vec![
+            "CuckooGraph (Ours)".into(),
+            "O(1)".into(),
+            "O(1)".into(),
+            "O(|E|)".into(),
+        ],
     ];
     ExperimentReport {
         id: "table3".into(),
@@ -389,7 +418,12 @@ fn theorem1(scale: f64) -> ExperimentReport {
     let stats = graph.stats();
     let table = ReportTable {
         title: "§ IV-A — average number of placements per inserted item (NotreDame-like)".into(),
-        headers: vec!["Structure".into(), "Items".into(), "Placements".into(), "Avg/item".into()],
+        headers: vec![
+            "Structure".into(),
+            "Items".into(),
+            "Placements".into(),
+            "Avg/item".into(),
+        ],
         rows: vec![
             vec![
                 "L-CHT".into(),
@@ -414,7 +448,10 @@ fn theorem1(scale: f64) -> ExperimentReport {
                  NotreDame; this run used {} edges. Both averages must sit far below T = 250.",
                 edges.len()
             ),
-            format!("insertion failures routed to denylists: {}", stats.insertion_failures),
+            format!(
+                "insertion failures routed to denylists: {}",
+                stats.insertion_failures
+            ),
         ],
     }
 }
@@ -454,41 +491,75 @@ fn tuning_table(
             ],
             rows,
         }],
-        notes: vec![format!("CAIDA-like deduplicated stream, {} edges.", edges.len())],
+        notes: vec![format!(
+            "CAIDA-like deduplicated stream, {} edges.",
+            edges.len()
+        )],
     }
 }
 
 fn tuning_d(scale: f64) -> ExperimentReport {
     let values: Vec<(String, CuckooGraphConfig)> = [4usize, 8, 16, 32]
         .iter()
-        .map(|&d| (format!("d={d}"), CuckooGraphConfig::default().with_cells_per_bucket(d)))
+        .map(|&d| {
+            (
+                format!("d={d}"),
+                CuckooGraphConfig::default().with_cells_per_bucket(d),
+            )
+        })
         .collect();
-    let mut report =
-        tuning_table("Figure 2 — effect of cells per bucket d".into(), "d", &values, scale);
+    let mut report = tuning_table(
+        "Figure 2 — effect of cells per bucket d".into(),
+        "d",
+        &values,
+        scale,
+    );
     report.id = "fig2".into();
-    report.notes.push("Paper picks d = 8 (fastest insertion, near-least memory).".into());
+    report
+        .notes
+        .push("Paper picks d = 8 (fastest insertion, near-least memory).".into());
     report
 }
 
 fn tuning_g(scale: f64) -> ExperimentReport {
     let values: Vec<(String, CuckooGraphConfig)> = [0.8f64, 0.85, 0.9, 0.95]
         .iter()
-        .map(|&g| (format!("G={g}"), CuckooGraphConfig::default().with_expand_threshold(g)))
+        .map(|&g| {
+            (
+                format!("G={g}"),
+                CuckooGraphConfig::default().with_expand_threshold(g),
+            )
+        })
         .collect();
-    let mut report =
-        tuning_table("Figure 3 — effect of expansion threshold G".into(), "G", &values, scale);
+    let mut report = tuning_table(
+        "Figure 3 — effect of expansion threshold G".into(),
+        "G",
+        &values,
+        scale,
+    );
     report.id = "fig3".into();
-    report.notes.push("Paper picks G = 0.9 (larger G → less memory, similar speed).".into());
+    report
+        .notes
+        .push("Paper picks G = 0.9 (larger G → less memory, similar speed).".into());
     report
 }
 
 fn tuning_t(scale: f64) -> ExperimentReport {
     let values: Vec<(String, CuckooGraphConfig)> = [50usize, 150, 250, 350]
         .iter()
-        .map(|&t| (format!("T={t}"), CuckooGraphConfig::default().with_max_kicks(t)))
+        .map(|&t| {
+            (
+                format!("T={t}"),
+                CuckooGraphConfig::default().with_max_kicks(t),
+            )
+        })
         .collect();
-    let mut report =
-        tuning_table("Figure 4 — effect of kick budget T".into(), "T", &values, scale);
+    let mut report = tuning_table(
+        "Figure 4 — effect of kick budget T".into(),
+        "T",
+        &values,
+        scale,
+    );
     report.id = "fig4".into();
     report
         .notes
@@ -552,7 +623,11 @@ fn ops_throughput(scale: f64, operation: Operation) -> ExperimentReport {
         Operation::Delete => ("fig8", "Figure 8 — deletion throughput (Mops)"),
     };
     let mut headers = vec!["Dataset".to_string()];
-    headers.extend(SchemeKind::paper_lineup().iter().map(|s| s.label().to_string()));
+    headers.extend(
+        SchemeKind::paper_lineup()
+            .iter()
+            .map(|s| s.label().to_string()),
+    );
     let mut rows = Vec::new();
     for kind in datasets_for_ops() {
         let dataset = generate(kind, scale, HARNESS_SEED);
@@ -578,7 +653,11 @@ fn ops_throughput(scale: f64, operation: Operation) -> ExperimentReport {
     }
     ExperimentReport {
         id: id.into(),
-        tables: vec![ReportTable { title: title.into(), headers, rows }],
+        tables: vec![ReportTable {
+            title: title.into(),
+            headers,
+            rows,
+        }],
         notes: vec![
             "Expected shape (paper): Ours fastest on almost every dataset; Sortledton the \
              closest on insertion; Spruce competitive on some queries; WBI and LiveGraph \
@@ -593,7 +672,11 @@ fn memory_usage(scale: f64) -> ExperimentReport {
     for kind in datasets_for_ops() {
         let dedup = distinct_edges(kind, scale);
         let mut headers = vec!["Scheme".to_string()];
-        headers.extend(["25%", "50%", "75%", "100%"].iter().map(|s| format!("{s} (MB)")));
+        headers.extend(
+            ["25%", "50%", "75%", "100%"]
+                .iter()
+                .map(|s| format!("{s} (MB)")),
+        );
         let mut rows = Vec::new();
         for scheme in SchemeKind::paper_lineup() {
             let mut graph = scheme.build();
@@ -654,8 +737,14 @@ impl Task {
                 ("fig13", "Figure 13 — Connected Components running time (s)")
             }
             Task::PageRank => ("fig14", "Figure 14 — PageRank running time (s)"),
-            Task::Betweenness => ("fig15", "Figure 15 — Betweenness Centrality running time (s)"),
-            Task::Lcc => ("fig16", "Figure 16 — Local Clustering Coefficient running time (s)"),
+            Task::Betweenness => (
+                "fig15",
+                "Figure 15 — Betweenness Centrality running time (s)",
+            ),
+            Task::Lcc => (
+                "fig16",
+                "Figure 16 — Local Clustering Coefficient running time (s)",
+            ),
         }
     }
 
@@ -681,8 +770,10 @@ impl Task {
             }
             Task::TriangleCounting => {
                 let nodes = analytics::top_degree_nodes(graph, TC_NODES);
-                let total: usize =
-                    nodes.iter().map(|&n| analytics::triangles_containing(graph, n)).sum();
+                let total: usize = nodes
+                    .iter()
+                    .map(|&n| analytics::triangles_containing(graph, n))
+                    .sum();
                 std::hint::black_box(total);
             }
             Task::ConnectedComponents => {
@@ -691,8 +782,7 @@ impl Task {
             }
             Task::PageRank => {
                 let nodes = analytics::top_degree_nodes(graph, SUBGRAPH_NODES);
-                let pr =
-                    analytics::pagerank(graph, &nodes, &analytics::PageRankConfig::default());
+                let pr = analytics::pagerank(graph, &nodes, &analytics::PageRankConfig::default());
                 std::hint::black_box(pr.len());
             }
             Task::Betweenness => {
@@ -701,9 +791,7 @@ impl Task {
             }
             Task::Lcc => {
                 let nodes = analytics::top_degree_nodes(graph, SUBGRAPH_NODES);
-                std::hint::black_box(
-                    analytics::local_clustering_coefficients(graph, &nodes).len(),
-                );
+                std::hint::black_box(analytics::local_clustering_coefficients(graph, &nodes).len());
             }
         }
         start.elapsed().as_secs_f64()
@@ -713,7 +801,11 @@ impl Task {
 fn analytics_task(scale: f64, task: Task) -> ExperimentReport {
     let (id, title) = task.id_title();
     let mut headers = vec!["Dataset".to_string()];
-    headers.extend(SchemeKind::paper_lineup().iter().map(|s| s.label().to_string()));
+    headers.extend(
+        SchemeKind::paper_lineup()
+            .iter()
+            .map(|s| s.label().to_string()),
+    );
     let mut rows = Vec::new();
     for kind in datasets_for_analytics() {
         let dedup = distinct_edges(kind, scale);
@@ -729,7 +821,11 @@ fn analytics_task(scale: f64, task: Task) -> ExperimentReport {
     }
     ExperimentReport {
         id: id.into(),
-        tables: vec![ReportTable { title: title.into(), headers, rows }],
+        tables: vec![ReportTable {
+            title: title.into(),
+            headers,
+            rows,
+        }],
         notes: vec![
             "Expected shape (paper): Ours fastest on SSSP/TC/BC/LCC, roughly tied with Spruce \
              on BFS/CC/PR; WBI slowest wherever successor queries dominate."
@@ -770,19 +866,32 @@ fn kvstore_throughput(scale: f64) -> ExperimentReport {
         let start = Instant::now();
         let mut hits = 0usize;
         for &(u, v) in &dedup {
-            let cmd =
-                vec!["graph.query".to_string(), key.clone(), u.to_string(), v.to_string()];
+            let cmd = vec![
+                "graph.query".to_string(),
+                key.clone(),
+                u.to_string(),
+                v.to_string(),
+            ];
             if matches!(server.execute(&cmd), Reply::Integer(w) if w > 0) {
                 hits += 1;
             }
         }
         let query = dedup.len() as f64 / start.elapsed().as_secs_f64() / 1e6;
-        assert_eq!(hits, dedup.len(), "command-path queries must find every inserted edge");
+        assert_eq!(
+            hits,
+            dedup.len(),
+            "command-path queries must find every inserted edge"
+        );
 
         // Deletion through the command path.
         let start = Instant::now();
         for &(u, v) in &dedup {
-            let cmd = vec!["graph.del".to_string(), key.clone(), u.to_string(), v.to_string()];
+            let cmd = vec![
+                "graph.del".to_string(),
+                key.clone(),
+                u.to_string(),
+                v.to_string(),
+            ];
             server.execute(&cmd);
         }
         let delete = dedup.len() as f64 / start.elapsed().as_secs_f64() / 1e6;
@@ -838,8 +947,11 @@ fn graphdb_comparison(scale: f64) -> ExperimentReport {
 
     let mut rows = Vec::new();
     for (label, with_index) in [("Ours+Neo4j", true), ("Neo4j", false)] {
-        let mut db =
-            if with_index { PropertyGraph::with_cuckoo_index() } else { PropertyGraph::new() };
+        let mut db = if with_index {
+            PropertyGraph::with_cuckoo_index()
+        } else {
+            PropertyGraph::new()
+        };
         let start = Instant::now();
         for &(u, v) in raw {
             db.create_relationship(u, v, "FLOW");
@@ -916,7 +1028,7 @@ mod tests {
     fn theorem1_average_is_far_below_the_kick_budget() {
         let report = theorem1(TEST_SCALE);
         let avg: f64 = report.tables[0].rows[0][3].parse().unwrap();
-        assert!(avg >= 1.0 && avg < 50.0, "avg placements {avg}");
+        assert!((1.0..50.0).contains(&avg), "avg placements {avg}");
     }
 
     #[test]

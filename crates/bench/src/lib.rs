@@ -23,7 +23,10 @@ pub use workload::{run_deletes, run_inserts, run_queries, Mops};
 /// synthesises its workloads. Override with the `REPRO_SCALE` environment
 /// variable (e.g. `REPRO_SCALE=0.05 cargo run -p graph-bench --bin reproduce`).
 pub fn default_scale() -> f64 {
-    std::env::var("REPRO_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.002)
+    std::env::var("REPRO_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.002)
 }
 
 /// Seed used everywhere so runs are reproducible.
@@ -42,7 +45,11 @@ mod tests {
     #[test]
     fn every_experiment_id_is_listed() {
         let all = Experiment::all();
-        assert!(all.len() >= 21, "expected every table and figure, got {}", all.len());
+        assert!(
+            all.len() >= 21,
+            "expected every table and figure, got {}",
+            all.len()
+        );
         assert!(all.iter().any(|e| e.id() == "table2"));
         assert!(all.iter().any(|e| e.id() == "fig18"));
     }

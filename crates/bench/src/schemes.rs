@@ -76,8 +76,14 @@ mod tests {
 
     #[test]
     fn lineup_matches_the_paper() {
-        let labels: Vec<_> = SchemeKind::paper_lineup().iter().map(|s| s.label()).collect();
-        assert_eq!(labels, vec!["LiveGraph", "Spruce", "Sortledton", "Ours", "WBI"]);
+        let labels: Vec<_> = SchemeKind::paper_lineup()
+            .iter()
+            .map(|s| s.label())
+            .collect();
+        assert_eq!(
+            labels,
+            vec!["LiveGraph", "Spruce", "Sortledton", "Ours", "WBI"]
+        );
     }
 
     #[test]

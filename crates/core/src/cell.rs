@@ -71,7 +71,10 @@ pub struct Cell<P> {
 impl<P: Payload> Cell<P> {
     /// Creates an empty cell for node `u`.
     pub fn new(u: NodeId) -> Self {
-        Self { u, part2: Part2::Small(Vec::new()) }
+        Self {
+            u,
+            part2: Part2::Small(Vec::new()),
+        }
     }
 
     /// The node stored in Part 1.
@@ -164,7 +167,10 @@ impl<P: Payload> Cell<P> {
         rng: &mut KickRng,
         placements: &mut u64,
     ) -> NeighborInsert<P> {
-        debug_assert!(!self.contains(payload.key()), "insert of duplicate neighbour");
+        debug_assert!(
+            !self.contains(payload.key()),
+            "insert of duplicate neighbour"
+        );
         match &mut self.part2 {
             Part2::Small(slots) => {
                 if slots.len() < ctx.small_slots {
@@ -177,8 +183,7 @@ impl<P: Payload> Cell<P> {
                 // placed with the forced path (which expands the chain as
                 // needed); only the *new* payload may be reported as failed,
                 // so the caller's denylist accounting stays simple.
-                let mut chain =
-                    TableChain::new(ctx.chain, Self::chain_seed(ctx, self.u));
+                let mut chain = TableChain::new(ctx.chain, Self::chain_seed(ctx, self.u));
                 for existing in slots.drain(..) {
                     chain.insert_forced(existing, rng, placements);
                 }
@@ -192,9 +197,9 @@ impl<P: Payload> Cell<P> {
             Part2::Chain(chain) => {
                 let before = chain.expansions();
                 match chain.insert(payload, rng, placements) {
-                    ChainInsert::Stored => {
-                        NeighborInsert::Stored { expanded: chain.expansions() > before }
-                    }
+                    ChainInsert::Stored => NeighborInsert::Stored {
+                        expanded: chain.expansions() > before,
+                    },
                     ChainInsert::Failed(p) => NeighborInsert::Failed(p),
                 }
             }
@@ -264,12 +269,20 @@ impl<P: Payload> Cell<P> {
                     .iter()
                     .position(|p| p.key() == v)
                     .map(|idx| slots.swap_remove(idx));
-                NeighborRemove { removed, displaced: Vec::new(), contracted: false }
+                NeighborRemove {
+                    removed,
+                    displaced: Vec::new(),
+                    contracted: false,
+                }
             }
             Part2::Chain(chain) => {
                 let removed = chain.remove(v);
                 if removed.is_none() {
-                    return NeighborRemove { removed, displaced: Vec::new(), contracted: false };
+                    return NeighborRemove {
+                        removed,
+                        displaced: Vec::new(),
+                        contracted: false,
+                    };
                 }
                 let contracted;
                 let mut displaced = Vec::new();
@@ -284,7 +297,11 @@ impl<P: Payload> Cell<P> {
                     displaced = chain.maybe_contract(rng, placements);
                     contracted = chain.contractions() > before;
                 }
-                NeighborRemove { removed, displaced, contracted }
+                NeighborRemove {
+                    removed,
+                    displaced,
+                    contracted,
+                }
             }
         }
     }
@@ -339,9 +356,10 @@ mod tests {
         let mut rng = KickRng::new(1);
         let mut p = 0;
         for v in 0..6u64 {
-            assert_eq!(cell.insert(v, &ctx, &mut rng, &mut p), NeighborInsert::Stored {
-                expanded: false
-            });
+            assert_eq!(
+                cell.insert(v, &ctx, &mut rng, &mut p),
+                NeighborInsert::Stored { expanded: false }
+            );
         }
         assert_eq!(cell.degree(), 6);
         assert!(!cell.is_transformed());
@@ -451,7 +469,10 @@ mod tests {
             let rejected = cell.reinsert_batch(displaced, &ctx, &mut rng, &mut p);
             assert!(rejected.is_empty());
         }
-        assert!(!cell.is_transformed(), "chain should collapse back to inline slots");
+        assert!(
+            !cell.is_transformed(),
+            "chain should collapse back to inline slots"
+        );
         assert_eq!(cell.degree(), 4);
         for v in 56..60u64 {
             assert!(cell.contains(v));
@@ -460,7 +481,10 @@ mod tests {
 
     #[test]
     fn weighted_payloads_update_in_place() {
-        let ctx = CellCtx { small_slots: 3, ..ctx() };
+        let ctx = CellCtx {
+            small_slots: 3,
+            ..ctx()
+        };
         let mut cell: Cell<WeightedSlot> = Cell::new(9);
         let mut rng = KickRng::new(6);
         let mut p = 0;

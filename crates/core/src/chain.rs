@@ -142,7 +142,10 @@ impl<T: Payload> TableChain<T> {
     /// Loading rate of the most recently enabled table — the quantity the
     /// expansion rule watches.
     pub fn last_loading_rate(&self) -> f64 {
-        self.tables.last().map(CuckooTable::loading_rate).unwrap_or(0.0)
+        self.tables
+            .last()
+            .map(CuckooTable::loading_rate)
+            .unwrap_or(0.0)
     }
 
     /// Number of expansions performed (extra tables enabled plus merges).
@@ -448,9 +451,9 @@ mod tests {
             vec![8 * n, 4 * n],
         ];
         assert_eq!(c.table_lengths(), expected[0]);
-        for step in 1..expected.len() {
+        for (step, lengths) in expected.iter().enumerate().skip(1) {
             c.expand(&mut rng, &mut p);
-            assert_eq!(c.table_lengths(), expected[step], "after {step} expansions");
+            assert_eq!(&c.table_lengths(), lengths, "after {step} expansions");
         }
     }
 
@@ -555,7 +558,12 @@ mod tests {
         // A chain with r = 1 and a minuscule kick budget cannot absorb many
         // colliding items without expanding; insert_no_expand must hand the
         // homeless item back instead of losing it.
-        let p = ChainParams { r: 1, max_kicks: 1, base_len: 1, ..params() };
+        let p = ChainParams {
+            r: 1,
+            max_kicks: 1,
+            base_len: 1,
+            ..params()
+        };
         let mut c: TableChain<NodeId> = TableChain::new(p, 7);
         let mut rng = KickRng::new(7);
         let mut pl = 0;

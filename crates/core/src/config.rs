@@ -64,13 +64,17 @@ impl CuckooGraphConfig {
     /// violated constraint.
     pub fn validate(&self) -> Result<()> {
         if self.cells_per_bucket == 0 {
-            return Err(CuckooGraphError::InvalidConfig("cells_per_bucket must be > 0"));
+            return Err(CuckooGraphError::InvalidConfig(
+                "cells_per_bucket must be > 0",
+            ));
         }
         if self.r == 0 {
             return Err(CuckooGraphError::InvalidConfig("r must be > 0"));
         }
         if !(self.expand_threshold > 0.0 && self.expand_threshold <= 1.0) {
-            return Err(CuckooGraphError::InvalidConfig("expand_threshold must be in (0, 1]"));
+            return Err(CuckooGraphError::InvalidConfig(
+                "expand_threshold must be in (0, 1]",
+            ));
         }
         if !(self.contract_threshold >= 0.0 && self.contract_threshold < self.expand_threshold) {
             return Err(CuckooGraphError::InvalidConfig(
@@ -81,7 +85,9 @@ impl CuckooGraphConfig {
             return Err(CuckooGraphError::InvalidConfig("max_kicks must be > 0"));
         }
         if self.scht_base_len == 0 || self.lcht_base_len == 0 {
-            return Err(CuckooGraphError::InvalidConfig("table base lengths must be > 0"));
+            return Err(CuckooGraphError::InvalidConfig(
+                "table base lengths must be > 0",
+            ));
         }
         Ok(())
     }
@@ -179,14 +185,35 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        assert!(CuckooGraphConfig::default().with_cells_per_bucket(0).validate().is_err());
+        assert!(CuckooGraphConfig::default()
+            .with_cells_per_bucket(0)
+            .validate()
+            .is_err());
         assert!(CuckooGraphConfig::default().with_r(0).validate().is_err());
-        assert!(CuckooGraphConfig::default().with_expand_threshold(0.0).validate().is_err());
-        assert!(CuckooGraphConfig::default().with_expand_threshold(1.5).validate().is_err());
-        assert!(CuckooGraphConfig::default().with_contract_threshold(0.95).validate().is_err());
-        assert!(CuckooGraphConfig::default().with_max_kicks(0).validate().is_err());
-        assert!(CuckooGraphConfig::default().with_scht_base_len(0).validate().is_err());
-        assert!(CuckooGraphConfig::default().with_lcht_base_len(0).validate().is_err());
+        assert!(CuckooGraphConfig::default()
+            .with_expand_threshold(0.0)
+            .validate()
+            .is_err());
+        assert!(CuckooGraphConfig::default()
+            .with_expand_threshold(1.5)
+            .validate()
+            .is_err());
+        assert!(CuckooGraphConfig::default()
+            .with_contract_threshold(0.95)
+            .validate()
+            .is_err());
+        assert!(CuckooGraphConfig::default()
+            .with_max_kicks(0)
+            .validate()
+            .is_err());
+        assert!(CuckooGraphConfig::default()
+            .with_scht_base_len(0)
+            .validate()
+            .is_err());
+        assert!(CuckooGraphConfig::default()
+            .with_lcht_base_len(0)
+            .validate()
+            .is_err());
     }
 
     #[test]

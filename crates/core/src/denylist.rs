@@ -25,7 +25,10 @@ pub struct SmallDenylist<P> {
 impl<P: Payload> SmallDenylist<P> {
     /// Creates an S-DL with the given capacity limit (0 disables it).
     pub fn new(capacity: usize) -> Self {
-        Self { entries: Vec::new(), capacity }
+        Self {
+            entries: Vec::new(),
+            capacity,
+        }
     }
 
     /// Attempts to record a failed insertion. When the size limit has been
@@ -48,17 +51,26 @@ impl<P: Payload> SmallDenylist<P> {
 
     /// Looks up the payload stored for `⟨u, v⟩`.
     pub fn get(&self, u: NodeId, v: NodeId) -> Option<&P> {
-        self.entries.iter().find(|(eu, p)| *eu == u && p.key() == v).map(|(_, p)| p)
+        self.entries
+            .iter()
+            .find(|(eu, p)| *eu == u && p.key() == v)
+            .map(|(_, p)| p)
     }
 
     /// Mutable lookup of the payload stored for `⟨u, v⟩`.
     pub fn get_mut(&mut self, u: NodeId, v: NodeId) -> Option<&mut P> {
-        self.entries.iter_mut().find(|(eu, p)| *eu == u && p.key() == v).map(|(_, p)| p)
+        self.entries
+            .iter_mut()
+            .find(|(eu, p)| *eu == u && p.key() == v)
+            .map(|(_, p)| p)
     }
 
     /// Removes and returns the payload stored for `⟨u, v⟩`.
     pub fn remove(&mut self, u: NodeId, v: NodeId) -> Option<P> {
-        let idx = self.entries.iter().position(|(eu, p)| *eu == u && p.key() == v)?;
+        let idx = self
+            .entries
+            .iter()
+            .position(|(eu, p)| *eu == u && p.key() == v)?;
         Some(self.entries.swap_remove(idx).1)
     }
 
@@ -109,7 +121,11 @@ impl<P: Payload> SmallDenylist<P> {
     /// Bytes occupied by the denylist buffer and its payload heap data.
     pub fn memory_bytes(&self) -> usize {
         self.entries.capacity() * std::mem::size_of::<(NodeId, P)>()
-            + self.entries.iter().map(|(_, p)| p.heap_bytes()).sum::<usize>()
+            + self
+                .entries
+                .iter()
+                .map(|(_, p)| p.heap_bytes())
+                .sum::<usize>()
     }
 }
 
@@ -124,7 +140,10 @@ pub struct LargeDenylist<C> {
 impl<C> LargeDenylist<C> {
     /// Creates an L-DL with the given capacity limit.
     pub fn new(capacity: usize) -> Self {
-        Self { cells: Vec::new(), capacity }
+        Self {
+            cells: Vec::new(),
+            capacity,
+        }
     }
 
     /// Attempts to record an evicted cell; on overflow the cell is handed back
@@ -154,8 +173,8 @@ impl<C> LargeDenylist<C> {
     }
 
     /// Removes and returns the first cell matching the predicate.
-    pub fn remove_if(&mut self, mut pred: impl FnMut(&C) -> bool) -> Option<C> {
-        let idx = self.cells.iter().position(|c| pred(c))?;
+    pub fn remove_if(&mut self, pred: impl FnMut(&C) -> bool) -> Option<C> {
+        let idx = self.cells.iter().position(pred)?;
         Some(self.cells.swap_remove(idx))
     }
 

@@ -42,7 +42,9 @@ impl<P: Payload> Engine<P> {
     /// Creates an engine with `small_slots` inline neighbour slots per cell
     /// (`2R` for the basic variant, `R` for the weighted/multi variants).
     pub fn new(config: CuckooGraphConfig, small_slots: usize) -> Self {
-        config.validate().expect("invalid CuckooGraph configuration");
+        config
+            .validate()
+            .expect("invalid CuckooGraph configuration");
         let chain_params = ChainParams {
             cells_per_bucket: config.cells_per_bucket,
             r: config.r,
@@ -51,8 +53,15 @@ impl<P: Payload> Engine<P> {
             max_kicks: config.max_kicks,
             base_len: config.scht_base_len,
         };
-        let lcht_params = ChainParams { base_len: config.lcht_base_len, ..chain_params };
-        let cell_ctx = CellCtx { small_slots, chain: chain_params, seed: config.seed };
+        let lcht_params = ChainParams {
+            base_len: config.lcht_base_len,
+            ..chain_params
+        };
+        let cell_ctx = CellCtx {
+            small_slots,
+            chain: chain_params,
+            seed: config.seed,
+        };
         Self {
             nodes: NodeTable::new(
                 lcht_params,
@@ -115,7 +124,7 @@ impl<P: Payload> Engine<P> {
 
     /// Mutable lookup of the payload stored for edge `⟨u, v⟩`.
     pub fn get_mut(&mut self, u: NodeId, v: NodeId) -> Option<&mut P> {
-        let in_cell = self.nodes.get(u).map_or(false, |c| c.contains(v));
+        let in_cell = self.nodes.get(u).is_some_and(|c| c.contains(v));
         if in_cell {
             return self.nodes.get_mut(u).and_then(|c| c.get_mut(v));
         }
@@ -359,7 +368,9 @@ mod tests {
 
     #[test]
     fn denylist_disabled_still_stores_everything() {
-        let config = CuckooGraphConfig::default().with_denylist(false).with_max_kicks(2);
+        let config = CuckooGraphConfig::default()
+            .with_denylist(false)
+            .with_max_kicks(2);
         let mut e: Engine<NodeId> = Engine::new(config, 6);
         for u in 0..200u64 {
             for v in 0..20u64 {

@@ -35,7 +35,9 @@ impl CuckooGraph {
     /// studies of Figures 2–4 and the ablation of Figure 5).
     pub fn with_config(config: CuckooGraphConfig) -> Self {
         let small_slots = config.basic_small_slots();
-        Self { engine: Engine::new(config, small_slots) }
+        Self {
+            engine: Engine::new(config, small_slots),
+        }
     }
 
     /// The configuration this graph runs with.

@@ -111,7 +111,10 @@ impl HashPair {
     pub fn from_seed(seed: u64) -> Self {
         let a = splitmix64(seed);
         let b = splitmix64(a);
-        Self { seed0: (a >> 32) as u32 ^ a as u32, seed1: (b >> 32) as u32 ^ b as u32 }
+        Self {
+            seed0: (a >> 32) as u32 ^ a as u32,
+            seed1: (b >> 32) as u32 ^ b as u32,
+        }
     }
 
     /// Hash of `key` for bucket array 0.
@@ -130,7 +133,11 @@ impl HashPair {
     #[inline]
     pub fn bucket(&self, key: NodeId, array: usize, buckets: usize) -> usize {
         debug_assert!(buckets > 0);
-        let h = if array == 0 { self.hash0(key) } else { self.hash1(key) };
+        let h = if array == 0 {
+            self.hash0(key)
+        } else {
+            self.hash1(key)
+        };
         (h as usize) % buckets
     }
 }
@@ -162,7 +169,10 @@ mod tests {
         let collisions = (0u64..1000)
             .filter(|&k| bob_hash_u64(k, 1) == bob_hash_u64(k, 2))
             .count();
-        assert!(collisions < 5, "seeds are not independent: {collisions} collisions");
+        assert!(
+            collisions < 5,
+            "seeds are not independent: {collisions} collisions"
+        );
     }
 
     #[test]
@@ -173,10 +183,16 @@ mod tests {
         for k in 0..10_000u64 {
             hit[pair.bucket(k, 0, 64)] += 1;
         }
-        assert!(hit.iter().all(|&c| c > 0), "some buckets never hit: {hit:?}");
+        assert!(
+            hit.iter().all(|&c| c > 0),
+            "some buckets never hit: {hit:?}"
+        );
         let max = *hit.iter().max().unwrap();
         let min = *hit.iter().min().unwrap();
-        assert!(max < min * 3, "distribution too skewed: min={min} max={max}");
+        assert!(
+            max < min * 3,
+            "distribution too skewed: min={min} max={max}"
+        );
     }
 
     #[test]

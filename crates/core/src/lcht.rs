@@ -87,7 +87,9 @@ impl<P: Payload> NodeTable<P> {
     /// Looks up the cell for node `u` (chain first, then the L-DL — the same
     /// order the paper's query procedure uses).
     pub fn get(&self, u: NodeId) -> Option<&Cell<P>> {
-        self.chain.get(u).or_else(|| self.denylist.find(|c| c.node() == u))
+        self.chain
+            .get(u)
+            .or_else(|| self.denylist.find(|c| c.node() == u))
     }
 
     /// Mutable lookup of the cell for node `u`.
@@ -153,7 +155,10 @@ impl<P: Payload> NodeTable<P> {
                 // the capacity limit — nothing may be dropped.
                 self.denylist.push_forced(cell);
             }
-            match self.chain.insert_no_expand(pending, rng, &mut self.counters.placements) {
+            match self
+                .chain
+                .insert_no_expand(pending, rng, &mut self.counters.placements)
+            {
                 ChainInsert::Stored => break,
                 ChainInsert::Failed(cell) => pending = cell,
             }
@@ -169,7 +174,10 @@ impl<P: Payload> NodeTable<P> {
         }
         let parked = self.denylist.drain_all();
         for cell in parked {
-            match self.chain.insert_no_expand(cell, rng, &mut self.counters.placements) {
+            match self
+                .chain
+                .insert_no_expand(cell, rng, &mut self.counters.placements)
+            {
                 ChainInsert::Stored => {}
                 ChainInsert::Failed(cell) => self.denylist.push_forced(cell),
             }
@@ -203,7 +211,9 @@ impl<P: Payload> NodeTable<P> {
     /// Applies the reverse-transformation rule to the L-CHT chain (used after
     /// bulk deletions); cells displaced by a contraction go to the L-DL.
     pub fn maybe_contract(&mut self, rng: &mut KickRng) {
-        let displaced = self.chain.maybe_contract(rng, &mut self.counters.placements);
+        let displaced = self
+            .chain
+            .maybe_contract(rng, &mut self.counters.placements);
         for cell in displaced {
             self.denylist.push_forced(cell);
         }
@@ -267,7 +277,11 @@ mod tests {
     fn denylist_absorbs_failures_without_losing_nodes() {
         // A tiny kick budget causes frequent failures; every node must still
         // be reachable afterwards (via the chain or the L-DL).
-        let p = ChainParams { max_kicks: 2, base_len: 2, ..params() };
+        let p = ChainParams {
+            max_kicks: 2,
+            base_len: 2,
+            ..params()
+        };
         let mut t: NodeTable<NodeId> = NodeTable::new(p, 5, 1024, true);
         let mut rng = KickRng::new(3);
         for u in 0..2_000u64 {
@@ -281,14 +295,22 @@ mod tests {
 
     #[test]
     fn denylist_disabled_forces_expansion() {
-        let p = ChainParams { max_kicks: 2, base_len: 2, ..params() };
+        let p = ChainParams {
+            max_kicks: 2,
+            base_len: 2,
+            ..params()
+        };
         let mut t: NodeTable<NodeId> = NodeTable::new(p, 5, 0, false);
         let mut rng = KickRng::new(4);
         for u in 0..1_000u64 {
             t.ensure(u, &mut rng);
         }
         assert_eq!(t.node_count(), 1_000);
-        assert_eq!(t.denylist_len(), 0, "denylist must stay unused when disabled");
+        assert_eq!(
+            t.denylist_len(),
+            0,
+            "denylist must stay unused when disabled"
+        );
         for u in 0..1_000u64 {
             assert!(t.contains(u));
         }
@@ -298,7 +320,11 @@ mod tests {
     fn cells_keep_their_neighbors_through_node_evictions() {
         let mut t = table();
         let mut rng = KickRng::new(5);
-        let ctx = crate::cell::CellCtx { small_slots: 6, chain: params(), seed: 1 };
+        let ctx = crate::cell::CellCtx {
+            small_slots: 6,
+            chain: params(),
+            seed: 1,
+        };
         let mut placements = 0u64;
         // Give node 7 some neighbours, then insert many more nodes to force
         // kick-outs and expansions around it.

@@ -6,7 +6,7 @@
 use crate::config::CuckooGraphConfig;
 use crate::engine::Engine;
 use crate::payload::MultiSlot;
-use graph_api::{MemoryFootprint, NodeId};
+use graph_api::{DynamicGraph, GraphScheme, MemoryFootprint, NodeId};
 
 /// Identifier of a concrete (parallel) edge, assigned by the caller — the
 /// graph database hands its relationship ids straight through.
@@ -29,6 +29,12 @@ pub type EdgeId = u64;
 pub struct MultiEdgeCuckooGraph {
     engine: Engine<MultiSlot>,
     total_edges: usize,
+    /// Next identifier handed out by the [`DynamicGraph`] view. Auto ids
+    /// descend from `EdgeId::MAX` while callers (e.g. the graph database
+    /// handing relationship ids through) conventionally count up from 0, so
+    /// the two styles stay disjoint in practice; an exact hit on the next
+    /// auto id is additionally skipped in [`MultiEdgeCuckooGraph::add_edge`].
+    next_auto_id: EdgeId,
 }
 
 impl MultiEdgeCuckooGraph {
@@ -42,12 +48,19 @@ impl MultiEdgeCuckooGraph {
         // Like the weighted version, each slot carries extra information, so
         // the inline capacity is R rather than 2R.
         let small_slots = config.weighted_small_slots();
-        Self { engine: Engine::new(config, small_slots), total_edges: 0 }
+        Self {
+            engine: Engine::new(config, small_slots),
+            total_edges: 0,
+            next_auto_id: EdgeId::MAX,
+        }
     }
 
     /// Registers the parallel edge `edge_id` between `u` and `v`. Duplicate
     /// registrations of the same id are ignored.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, edge_id: EdgeId) -> bool {
+        if edge_id == self.next_auto_id {
+            self.next_auto_id = self.next_auto_id.saturating_sub(1);
+        }
         if let Some(slot) = self.engine.get_mut(u, v) {
             if slot.edges.contains(&edge_id) {
                 return false;
@@ -56,7 +69,13 @@ impl MultiEdgeCuckooGraph {
             self.total_edges += 1;
             return true;
         }
-        self.engine.insert_new(u, MultiSlot { v, edges: vec![edge_id] });
+        self.engine.insert_new(
+            u,
+            MultiSlot {
+                v,
+                edges: vec![edge_id],
+            },
+        );
         self.total_edges += 1;
         true
     }
@@ -136,6 +155,66 @@ impl MemoryFootprint for MultiEdgeCuckooGraph {
     }
 }
 
+/// The distinct-pair view: each `⟨u, v⟩` pair counts as one edge regardless of
+/// how many parallel relationships it holds. Trait-level inserts allocate
+/// fresh edge identifiers descending from `EdgeId::MAX` (disjoint from the
+/// 0-counting ids callers conventionally assign); deleting removes the pair
+/// with all its parallel edges.
+impl DynamicGraph for MultiEdgeCuckooGraph {
+    fn insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if self.engine.contains(u, v) {
+            return false;
+        }
+        let id = self.next_auto_id;
+        self.next_auto_id = self.next_auto_id.saturating_sub(1);
+        self.engine.insert_new(u, MultiSlot { v, edges: vec![id] });
+        self.total_edges += 1;
+        true
+    }
+
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.has_any_edge(u, v)
+    }
+
+    fn delete_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        match self.engine.remove(u, v) {
+            Some(slot) => {
+                self.total_edges -= slot.edges.len();
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn successors(&self, u: NodeId) -> Vec<NodeId> {
+        MultiEdgeCuckooGraph::successors(self, u)
+    }
+
+    fn for_each_successor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
+        self.engine.for_each_payload(u, |slot| f(slot.v));
+    }
+
+    fn out_degree(&self, u: NodeId) -> usize {
+        self.engine.out_degree(u)
+    }
+
+    fn edge_count(&self) -> usize {
+        self.pair_count()
+    }
+
+    fn node_count(&self) -> usize {
+        MultiEdgeCuckooGraph::node_count(self)
+    }
+
+    fn nodes(&self) -> Vec<NodeId> {
+        self.engine.nodes()
+    }
+
+    fn scheme(&self) -> GraphScheme {
+        GraphScheme::CuckooGraph
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +245,26 @@ mod tests {
         assert!(!g.remove_edge(1, 2, 11));
         assert_eq!(g.total_edge_count(), 0);
         assert_eq!(g.pair_count(), 0);
+    }
+
+    #[test]
+    fn auto_ids_do_not_swallow_caller_ids() {
+        use graph_api::DynamicGraph;
+        let mut g = MultiEdgeCuckooGraph::new();
+        // Trait-level insert hands out an auto id at the top of the id space…
+        assert!(g.insert_edge(1, 2));
+        // …so a caller registering its own 0-based relationship ids on the
+        // same pair (or any other) is never treated as a duplicate.
+        assert!(g.add_edge(1, 2, 0));
+        assert_eq!(g.edge_multiplicity(1, 2), 2);
+        assert!(g.add_edge(3, 4, 0));
+        assert_eq!(g.total_edge_count(), 3);
+        // Even an exact hit on the next auto id is skipped, not reused.
+        let next = g.next_auto_id;
+        assert!(g.add_edge(5, 6, next));
+        assert!(g.insert_edge(5, 7));
+        let auto: Vec<_> = g.edges_between(5, 7).collect();
+        assert_ne!(auto[0], next, "auto allocator reused a caller id");
     }
 
     #[test]

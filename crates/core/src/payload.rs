@@ -92,7 +92,10 @@ mod tests {
 
     #[test]
     fn multi_slot_counts_edge_list_heap() {
-        let s = MultiSlot { v: 9, edges: Vec::with_capacity(4) };
+        let s = MultiSlot {
+            v: 9,
+            edges: Vec::with_capacity(4),
+        };
         assert_eq!(s.key(), 9);
         assert_eq!(s.heap_bytes(), 32);
     }

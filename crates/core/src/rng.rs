@@ -15,7 +15,13 @@ impl KickRng {
     /// Creates a generator from a seed. A zero seed is remapped to a fixed
     /// non-zero constant because xorshift has an all-zero fixed point.
     pub fn new(seed: u64) -> Self {
-        Self { state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed } }
+        Self {
+            state: if seed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                seed
+            },
+        }
     }
 
     /// Next raw 64-bit value.

@@ -87,7 +87,11 @@ impl<T: Payload> CuckooTable<T> {
 
     #[inline]
     fn bucket_index(&self, key: NodeId, array: usize) -> usize {
-        let buckets = if array == 0 { self.buckets0 } else { self.buckets1 };
+        let buckets = if array == 0 {
+            self.buckets0
+        } else {
+            self.buckets1
+        };
         self.hashes.bucket(key, array, buckets)
     }
 
@@ -115,10 +119,10 @@ impl<T: Payload> CuckooTable<T> {
             let bucket = self.bucket_index(key, array);
             let base = bucket * self.d;
             let slots = self.slots(array);
-            for i in base..base + self.d {
-                if let Some(item) = &slots[i] {
+            for (offset, slot) in slots[base..base + self.d].iter().enumerate() {
+                if let Some(item) = slot {
                     if item.key() == key {
-                        return Some((array, i));
+                        return Some((array, base + offset));
                     }
                 }
             }
@@ -162,13 +166,11 @@ impl<T: Payload> CuckooTable<T> {
             let base = bucket * self.d;
             let d = self.d;
             let slots = self.slots_mut(array);
-            for i in base..base + d {
-                if slots[i].is_none() {
-                    slots[i] = Some(item);
-                    self.count += 1;
-                    *placements += 1;
-                    return Ok(());
-                }
+            if let Some(slot) = slots[base..base + d].iter_mut().find(|s| s.is_none()) {
+                *slot = Some(item);
+                self.count += 1;
+                *placements += 1;
+                return Ok(());
             }
         }
         Err(item)
@@ -218,7 +220,9 @@ impl<T: Payload> CuckooTable<T> {
             // Evict a random resident and take its place.
             let victim_slot = base + rng.next_below(d);
             let slots = self.slots_mut(array);
-            let victim = slots[victim_slot].replace(cur).expect("victim slot was occupied");
+            let victim = slots[victim_slot]
+                .replace(cur)
+                .expect("victim slot was occupied");
             *placements += 1;
             cur = victim;
 
@@ -233,16 +237,17 @@ impl<T: Payload> CuckooTable<T> {
 
     /// Calls `f` for every stored item.
     pub fn for_each(&self, mut f: impl FnMut(&T)) {
-        for slot in self.slots0.iter().chain(self.slots1.iter()) {
-            if let Some(item) = slot {
-                f(item);
-            }
+        for item in self.slots0.iter().chain(self.slots1.iter()).flatten() {
+            f(item);
         }
     }
 
     /// Iterates over stored items.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
-        self.slots0.iter().chain(self.slots1.iter()).filter_map(|s| s.as_ref())
+        self.slots0
+            .iter()
+            .chain(self.slots1.iter())
+            .filter_map(|s| s.as_ref())
     }
 
     /// Removes and returns all stored items, leaving the table empty.

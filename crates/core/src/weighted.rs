@@ -41,7 +41,9 @@ impl WeightedCuckooGraph {
     /// Creates a weighted graph with a custom configuration.
     pub fn with_config(config: CuckooGraphConfig) -> Self {
         let small_slots = config.weighted_small_slots();
-        Self { engine: Engine::new(config, small_slots) }
+        Self {
+            engine: Engine::new(config, small_slots),
+        }
     }
 
     /// The configuration this graph runs with.
@@ -57,7 +59,8 @@ impl WeightedCuckooGraph {
     /// Collects every stored weighted edge. Order is unspecified.
     pub fn weighted_edges(&self) -> Vec<WeightedEdge> {
         let mut out = Vec::with_capacity(self.engine.edge_count());
-        self.engine.for_each_edge(|u, slot| out.push(WeightedEdge::new(u, slot.v, slot.w)));
+        self.engine
+            .for_each_edge(|u, slot| out.push(WeightedEdge::new(u, slot.v, slot.w)));
         out
     }
 

@@ -61,7 +61,11 @@ pub fn generate(kind: DatasetKind, scale: f64, seed: u64) -> Dataset {
         DatasetKind::SparseGraph => generate_regular(&profile, scale, &mut rng),
         _ => generate_power_law(&profile, scale, &mut rng),
     };
-    Dataset { kind, scale, raw_edges }
+    Dataset {
+        kind,
+        scale,
+        raw_edges,
+    }
 }
 
 /// Scaled target counts, never below small floors so tests stay meaningful.
@@ -85,8 +89,9 @@ fn generate_power_law(profile: &DatasetProfile, scale: f64, rng: &mut StdRng) ->
     // get most of the edges, reproducing the skew the paper highlights
     // ("mostly low-degree nodes and a few high-degree nodes").
     let alpha = 0.8f64;
-    let popularity: Vec<f64> =
-        (0..nodes).map(|i| 1.0 / ((i + 1) as f64).powf(alpha)).collect();
+    let popularity: Vec<f64> = (0..nodes)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(alpha))
+        .collect();
     let pick = WeightedIndex::new(&popularity).expect("non-empty weights");
 
     let mut distinct: HashSet<(u64, u64)> = HashSet::with_capacity(distinct_target as usize);
@@ -223,7 +228,11 @@ mod tests {
 
         let sparse = generate(DatasetKind::SparseGraph, 0.0005, 5);
         let sstats = compute_stats(&sparse.raw_edges);
-        assert!((sstats.avg_degree - 6.0).abs() < 1.0, "avg {}", sstats.avg_degree);
+        assert!(
+            (sstats.avg_degree - 6.0).abs() < 1.0,
+            "avg {}",
+            sstats.avg_degree
+        );
         assert!(sstats.density < 1e-2);
     }
 
@@ -234,7 +243,11 @@ mod tests {
         let as_set: HashSet<_> = distinct.iter().copied().collect();
         let stream_set: HashSet<_> = ds.raw_edges.iter().copied().collect();
         assert_eq!(as_set, stream_set);
-        assert_eq!(as_set.len(), distinct.len(), "distinct_edges returned duplicates");
+        assert_eq!(
+            as_set.len(),
+            distinct.len(),
+            "distinct_edges returned duplicates"
+        );
     }
 
     #[test]

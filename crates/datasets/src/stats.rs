@@ -43,7 +43,11 @@ pub fn compute_stats(stream: &[(NodeId, NodeId)]) -> DatasetStats {
         distinct_edges: e,
         avg_degree: if n == 0 { 0.0 } else { e as f64 / n as f64 },
         max_degree: degree.values().copied().max().unwrap_or(0),
-        density: if n > 1 { e as f64 / (n as f64 * (n as f64 - 1.0)) } else { 0.0 },
+        density: if n > 1 {
+            e as f64 / (n as f64 * (n as f64 - 1.0))
+        } else {
+            0.0
+        },
     }
 }
 

@@ -26,7 +26,10 @@ impl Edge {
     /// Returns the edge with source and destination swapped.
     #[inline]
     pub const fn reversed(self) -> Self {
-        Self { src: self.dst, dst: self.src }
+        Self {
+            src: self.dst,
+            dst: self.src,
+        }
     }
 
     /// Returns true if the edge is a self loop.
@@ -66,14 +69,21 @@ impl WeightedEdge {
     /// Drops the weight, returning the plain edge.
     #[inline]
     pub const fn edge(self) -> Edge {
-        Edge { src: self.src, dst: self.dst }
+        Edge {
+            src: self.src,
+            dst: self.dst,
+        }
     }
 }
 
 impl From<Edge> for WeightedEdge {
     #[inline]
     fn from(e: Edge) -> Self {
-        Self { src: e.src, dst: e.dst, weight: 1 }
+        Self {
+            src: e.src,
+            dst: e.dst,
+            weight: 1,
+        }
     }
 }
 
@@ -109,6 +119,9 @@ mod tests {
     fn edge_ordering_is_lexicographic() {
         let mut edges = vec![Edge::new(2, 1), Edge::new(1, 9), Edge::new(1, 2)];
         edges.sort();
-        assert_eq!(edges, vec![Edge::new(1, 2), Edge::new(1, 9), Edge::new(2, 1)]);
+        assert_eq!(
+            edges,
+            vec![Edge::new(1, 2), Edge::new(1, 9), Edge::new(2, 1)]
+        );
     }
 }

@@ -61,7 +61,10 @@ impl PropertyGraph {
 
     /// Creates an empty database with the CuckooGraph index attached.
     pub fn with_cuckoo_index() -> Self {
-        Self { index: Some(CuckooEdgeIndex::new()), ..Self::default() }
+        Self {
+            index: Some(CuckooEdgeIndex::new()),
+            ..Self::default()
+        }
     }
 
     /// True if the CuckooGraph index is attached.
@@ -104,12 +107,19 @@ impl PropertyGraph {
 
     /// Reads a node property.
     pub fn node_property(&self, node: NodeId, key: &str) -> Option<&str> {
-        self.nodes.get(&node)?.properties.get(key).map(String::as_str)
+        self.nodes
+            .get(&node)?
+            .properties
+            .get(key)
+            .map(String::as_str)
     }
 
     /// Node labels (empty if the node does not exist).
     pub fn node_labels(&self, node: NodeId) -> Vec<String> {
-        self.nodes.get(&node).map(|n| n.labels.clone()).unwrap_or_default()
+        self.nodes
+            .get(&node)
+            .map(|n| n.labels.clone())
+            .unwrap_or_default()
     }
 
     /// Creates a relationship `src → dst`; both endpoints are created if
@@ -134,9 +144,17 @@ impl PropertyGraph {
                 properties: HashMap::new(),
             },
         );
-        self.nodes.get_mut(&src).expect("ensured").relationships.push(id);
+        self.nodes
+            .get_mut(&src)
+            .expect("ensured")
+            .relationships
+            .push(id);
         if src != dst {
-            self.nodes.get_mut(&dst).expect("ensured").relationships.push(id);
+            self.nodes
+                .get_mut(&dst)
+                .expect("ensured")
+                .relationships
+                .push(id);
         }
         if let Some(index) = &mut self.index {
             index.on_create(src, dst, id);
@@ -209,11 +227,17 @@ impl PropertyGraph {
     /// Indexed edge query: the CuckooGraph index returns an iterator over the
     /// relationship ids for `⟨src, dst⟩` without touching unrelated records.
     /// Falls back to the scan when no index is attached (pure Neo4j).
-    pub fn relationships_between(&self, src: NodeId, dst: NodeId) -> (Vec<RelationshipId>, QueryCost) {
+    pub fn relationships_between(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+    ) -> (Vec<RelationshipId>, QueryCost) {
         match &self.index {
             Some(index) => {
                 let matches: Vec<RelationshipId> = index.edges_between(src, dst).collect();
-                let cost = QueryCost { relationships_scanned: matches.len() };
+                let cost = QueryCost {
+                    relationships_scanned: matches.len(),
+                };
                 (matches, cost)
             }
             None => self.relationships_between_scan(src, dst),
@@ -306,7 +330,10 @@ mod tests {
         db.create_relationship(0, 1, "T");
         let (matches, cost) = db.relationships_between_scan(0, 1);
         assert_eq!(matches.len(), 3);
-        assert_eq!(cost.relationships_scanned, 102, "the scan walks every chain entry");
+        assert_eq!(
+            cost.relationships_scanned, 102,
+            "the scan walks every chain entry"
+        );
     }
 
     #[test]

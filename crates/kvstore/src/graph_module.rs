@@ -13,6 +13,7 @@ use cuckoograph::WeightedCuckooGraph;
 use graph_api::{DynamicGraph, MemoryFootprint, NodeId, WeightedDynamicGraph};
 
 /// The module value type: one CuckooGraph per key.
+#[derive(Debug)]
 pub struct GraphValue {
     /// The underlying weighted CuckooGraph.
     pub graph: WeightedCuckooGraph,
@@ -21,7 +22,9 @@ pub struct GraphValue {
 impl GraphValue {
     /// Creates an empty graph value.
     pub fn new() -> Self {
-        Self { graph: WeightedCuckooGraph::new() }
+        Self {
+            graph: WeightedCuckooGraph::new(),
+        }
     }
 }
 
@@ -103,7 +106,12 @@ impl Module for CuckooGraphModule {
     }
 
     fn commands(&self) -> Vec<&'static str> {
-        vec!["graph.insert", "graph.del", "graph.query", "graph.getneighbors"]
+        vec![
+            "graph.insert",
+            "graph.del",
+            "graph.query",
+            "graph.getneighbors",
+        ]
     }
 
     fn dispatch(&self, keyspace: &mut Keyspace, command: &str, args: &[String]) -> Reply {
@@ -170,7 +178,10 @@ impl Module for CuckooGraphModule {
                         let mut neighbors = value.graph.successors(u);
                         neighbors.sort_unstable();
                         Reply::Array(
-                            neighbors.into_iter().map(|n| Reply::Bulk(n.to_string())).collect(),
+                            neighbors
+                                .into_iter()
+                                .map(|n| Reply::Bulk(n.to_string()))
+                                .collect(),
                         )
                     }
                 }
@@ -221,13 +232,34 @@ mod tests {
     #[test]
     fn insert_query_del_through_commands() {
         let mut s = server_with_module();
-        assert_eq!(s.execute(&cmd(&["graph.insert", "g", "1", "2"])), Reply::Integer(1));
-        assert_eq!(s.execute(&cmd(&["graph.insert", "g", "1", "2"])), Reply::Integer(2));
-        assert_eq!(s.execute(&cmd(&["graph.query", "g", "1", "2"])), Reply::Integer(2));
-        assert_eq!(s.execute(&cmd(&["graph.query", "g", "1", "9"])), Reply::Integer(0));
-        assert_eq!(s.execute(&cmd(&["graph.del", "g", "1", "2"])), Reply::Integer(1));
-        assert_eq!(s.execute(&cmd(&["graph.del", "g", "1", "2"])), Reply::Integer(0));
-        assert_eq!(s.execute(&cmd(&["graph.del", "g", "1", "2"])), Reply::Integer(0));
+        assert_eq!(
+            s.execute(&cmd(&["graph.insert", "g", "1", "2"])),
+            Reply::Integer(1)
+        );
+        assert_eq!(
+            s.execute(&cmd(&["graph.insert", "g", "1", "2"])),
+            Reply::Integer(2)
+        );
+        assert_eq!(
+            s.execute(&cmd(&["graph.query", "g", "1", "2"])),
+            Reply::Integer(2)
+        );
+        assert_eq!(
+            s.execute(&cmd(&["graph.query", "g", "1", "9"])),
+            Reply::Integer(0)
+        );
+        assert_eq!(
+            s.execute(&cmd(&["graph.del", "g", "1", "2"])),
+            Reply::Integer(1)
+        );
+        assert_eq!(
+            s.execute(&cmd(&["graph.del", "g", "1", "2"])),
+            Reply::Integer(0)
+        );
+        assert_eq!(
+            s.execute(&cmd(&["graph.del", "g", "1", "2"])),
+            Reply::Integer(0)
+        );
     }
 
     #[test]
@@ -253,8 +285,14 @@ mod tests {
     #[test]
     fn module_commands_reject_bad_arguments_and_wrong_types() {
         let mut s = server_with_module();
-        assert!(matches!(s.execute(&cmd(&["graph.insert", "g", "x", "2"])), Reply::Error(_)));
-        assert!(matches!(s.execute(&cmd(&["graph.insert"])), Reply::Error(_)));
+        assert!(matches!(
+            s.execute(&cmd(&["graph.insert", "g", "x", "2"])),
+            Reply::Error(_)
+        ));
+        assert!(matches!(
+            s.execute(&cmd(&["graph.insert"])),
+            Reply::Error(_)
+        ));
         s.execute(&cmd(&["SET", "plain", "1"]));
         assert!(matches!(
             s.execute(&cmd(&["graph.insert", "plain", "1", "2"])),
@@ -274,8 +312,14 @@ mod tests {
         let mut restored = Server::new();
         restored.load_module(Box::new(CuckooGraphModule::new()));
         restored.load_rdb(&snapshot).unwrap();
-        assert_eq!(restored.execute(&cmd(&["graph.query", "g", "1", "2"])), Reply::Integer(2));
-        assert_eq!(restored.execute(&cmd(&["graph.query", "g", "4", "5"])), Reply::Integer(1));
+        assert_eq!(
+            restored.execute(&cmd(&["graph.query", "g", "1", "2"])),
+            Reply::Integer(2)
+        );
+        assert_eq!(
+            restored.execute(&cmd(&["graph.query", "g", "4", "5"])),
+            Reply::Integer(1)
+        );
     }
 
     #[test]
@@ -305,8 +349,14 @@ mod tests {
         let mut replayed = Server::new();
         replayed.load_module(Box::new(CuckooGraphModule::new()));
         replayed.replay_aof(&log);
-        assert_eq!(replayed.execute(&cmd(&["graph.query", "g", "7", "8"])), Reply::Integer(3));
-        assert_eq!(replayed.execute(&cmd(&["graph.query", "g", "7", "9"])), Reply::Integer(0));
+        assert_eq!(
+            replayed.execute(&cmd(&["graph.query", "g", "7", "8"])),
+            Reply::Integer(3)
+        );
+        assert_eq!(
+            replayed.execute(&cmd(&["graph.query", "g", "7", "9"])),
+            Reply::Integer(0)
+        );
     }
 
     #[test]

@@ -38,7 +38,9 @@ impl Value {
             }
             Value::Hash(h) => {
                 h.capacity() * (2 * std::mem::size_of::<String>() + 8)
-                    + h.iter().map(|(k, v)| k.capacity() + v.capacity()).sum::<usize>()
+                    + h.iter()
+                        .map(|(k, v)| k.capacity() + v.capacity())
+                        .sum::<usize>()
             }
             Value::Module(m) => m.memory_bytes(),
         }
@@ -46,7 +48,7 @@ impl Value {
 }
 
 /// The keyspace: a flat map from key to value, as in a single Redis database.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct Keyspace {
     entries: HashMap<String, Value>,
 }
@@ -111,7 +113,8 @@ impl Keyspace {
         init: impl FnOnce() -> T,
     ) -> Option<&mut T> {
         if !self.entries.contains_key(key) {
-            self.entries.insert(key.to_string(), Value::Module(Box::new(init())));
+            self.entries
+                .insert(key.to_string(), Value::Module(Box::new(init())));
         }
         match self.entries.get_mut(key) {
             Some(Value::Module(boxed)) => boxed.as_any_mut().downcast_mut::<T>(),

@@ -151,7 +151,9 @@ fn parse(cursor: &mut Cursor<'_>) -> Result<Option<RespValue>, String> {
             .map(|i| Some(RespValue::Integer(i)))
             .map_err(|_| format!("bad integer: {line}")),
         b'$' => {
-            let len: i64 = line.parse().map_err(|_| format!("bad bulk length: {line}"))?;
+            let len: i64 = line
+                .parse()
+                .map_err(|_| format!("bad bulk length: {line}"))?;
             if len < 0 {
                 return Ok(Some(RespValue::Null));
             }
@@ -161,7 +163,9 @@ fn parse(cursor: &mut Cursor<'_>) -> Result<Option<RespValue>, String> {
             }
         }
         b'*' => {
-            let len: i64 = line.parse().map_err(|_| format!("bad array length: {line}"))?;
+            let len: i64 = line
+                .parse()
+                .map_err(|_| format!("bad array length: {line}"))?;
             if len < 0 {
                 return Ok(Some(RespValue::Null));
             }
@@ -212,7 +216,10 @@ mod tests {
         assert_eq!(buf.len(), full.len() - 3, "partial decode must not consume");
         buf.extend_from_slice(&full[full.len() - 3..]);
         let decoded = RespValue::decode(&mut buf).unwrap().unwrap();
-        assert_eq!(decoded.into_command().unwrap(), vec!["graph.insert", "g", "1", "2"]);
+        assert_eq!(
+            decoded.into_command().unwrap(),
+            vec!["graph.insert", "g", "1", "2"]
+        );
     }
 
     #[test]
@@ -225,8 +232,14 @@ mod tests {
         let mut buf = BytesMut::new();
         buf.extend_from_slice(&RespValue::Integer(1).encode());
         buf.extend_from_slice(&RespValue::Integer(2).encode());
-        assert_eq!(RespValue::decode(&mut buf).unwrap(), Some(RespValue::Integer(1)));
-        assert_eq!(RespValue::decode(&mut buf).unwrap(), Some(RespValue::Integer(2)));
+        assert_eq!(
+            RespValue::decode(&mut buf).unwrap(),
+            Some(RespValue::Integer(1))
+        );
+        assert_eq!(
+            RespValue::decode(&mut buf).unwrap(),
+            Some(RespValue::Integer(2))
+        );
         assert_eq!(RespValue::decode(&mut buf).unwrap(), None);
     }
 

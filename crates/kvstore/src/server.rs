@@ -18,6 +18,17 @@ pub struct Server {
     aof: Vec<Vec<String>>,
 }
 
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("keys", &self.keyspace.len())
+            .field("modules", &self.modules.len())
+            .field("commands", &self.command_index.len())
+            .field("aof_entries", &self.aof.len())
+            .finish()
+    }
+}
+
 impl Default for Server {
     fn default() -> Self {
         Self::new()
@@ -102,7 +113,9 @@ impl Server {
 
     fn is_write_command(command: &str) -> bool {
         matches!(command, "set" | "del" | "lpush" | "hset")
-            || command.contains('.') && !command.ends_with(".query") && !command.ends_with(".getneighbors")
+            || command.contains('.')
+                && !command.ends_with(".query")
+                && !command.ends_with(".getneighbors")
     }
 
     /// Converts a handler reply into the wire representation.
@@ -126,7 +139,8 @@ impl Server {
         if args.len() != 2 {
             return Reply::Error("ERR wrong number of arguments for 'set'".into());
         }
-        self.keyspace.set(args[0].clone(), Value::Str(args[1].clone()));
+        self.keyspace
+            .set(args[0].clone(), Value::Str(args[1].clone()));
         Reply::Ok
     }
 
@@ -184,7 +198,12 @@ impl Server {
                 if start > stop {
                     return Reply::Array(Vec::new());
                 }
-                Reply::Array(list[start..=stop].iter().map(|s| Reply::Bulk(s.clone())).collect())
+                Reply::Array(
+                    list[start..=stop]
+                        .iter()
+                        .map(|s| Reply::Bulk(s.clone()))
+                        .collect(),
+                )
             }
             Some(_) => Reply::Error("WRONGTYPE key holds a non-list value".into()),
             None => Reply::Array(Vec::new()),
@@ -196,7 +215,8 @@ impl Server {
             return Reply::Error("ERR wrong number of arguments for 'hset'".into());
         }
         if !self.keyspace.contains(&args[0]) {
-            self.keyspace.set(args[0].clone(), Value::Hash(HashMap::new()));
+            self.keyspace
+                .set(args[0].clone(), Value::Hash(HashMap::new()));
         }
         match self.keyspace.get_mut(&args[0]) {
             Some(Value::Hash(map)) => {
@@ -212,9 +232,9 @@ impl Server {
             return Reply::Error("ERR wrong number of arguments for 'hget'".into());
         }
         match self.keyspace.get(&args[0]) {
-            Some(Value::Hash(map)) => {
-                map.get(&args[1]).map_or(Reply::Nil, |v| Reply::Bulk(v.clone()))
-            }
+            Some(Value::Hash(map)) => map
+                .get(&args[1])
+                .map_or(Reply::Nil, |v| Reply::Bulk(v.clone())),
             Some(_) => Reply::Error("WRONGTYPE key holds a non-hash value".into()),
             None => Reply::Nil,
         }
@@ -236,7 +256,10 @@ impl Server {
     fn cmd_module(&self, args: &[String]) -> Reply {
         match args.first().map(|s| s.to_ascii_lowercase()).as_deref() {
             Some("list") => Reply::Array(
-                self.modules.iter().map(|m| Reply::Bulk(m.name().to_string())).collect(),
+                self.modules
+                    .iter()
+                    .map(|m| Reply::Bulk(m.name().to_string()))
+                    .collect(),
             ),
             _ => Reply::Error("ERR unknown MODULE subcommand".into()),
         }
@@ -325,9 +348,8 @@ impl Server {
                     Value::Hash(map)
                 }
                 3 => {
-                    let type_name =
-                        String::from_utf8(read_bytes(bytes, &mut cursor)?.to_vec())
-                            .map_err(|_| "non-UTF-8 module type".to_string())?;
+                    let type_name = String::from_utf8(read_bytes(bytes, &mut cursor)?.to_vec())
+                        .map_err(|_| "non-UTF-8 module type".to_string())?;
                     let payload = read_bytes(bytes, &mut cursor)?;
                     let module = self
                         .modules
@@ -423,7 +445,10 @@ mod tests {
         assert_eq!(s.execute(&cmd(&["PING"])), Reply::Simple("PONG".into()));
         assert_eq!(s.execute(&cmd(&["SET", "k", "v"])), Reply::Ok);
         assert_eq!(s.execute(&cmd(&["GET", "k"])), Reply::Bulk("v".into()));
-        assert_eq!(s.execute(&cmd(&["EXISTS", "k", "missing"])), Reply::Integer(1));
+        assert_eq!(
+            s.execute(&cmd(&["EXISTS", "k", "missing"])),
+            Reply::Integer(1)
+        );
         assert_eq!(s.execute(&cmd(&["DEL", "k"])), Reply::Integer(1));
         assert_eq!(s.execute(&cmd(&["GET", "k"])), Reply::Nil);
         assert_eq!(s.execute(&cmd(&["DBSIZE"])), Reply::Integer(0));
@@ -432,14 +457,20 @@ mod tests {
     #[test]
     fn list_and_hash_commands() {
         let mut s = Server::new();
-        assert_eq!(s.execute(&cmd(&["LPUSH", "l", "a", "b"])), Reply::Integer(2));
+        assert_eq!(
+            s.execute(&cmd(&["LPUSH", "l", "a", "b"])),
+            Reply::Integer(2)
+        );
         assert_eq!(
             s.execute(&cmd(&["LRANGE", "l", "0", "-1"])),
             Reply::Array(vec![Reply::Bulk("b".into()), Reply::Bulk("a".into())])
         );
         assert_eq!(s.execute(&cmd(&["HSET", "h", "f", "1"])), Reply::Integer(1));
         assert_eq!(s.execute(&cmd(&["HSET", "h", "f", "2"])), Reply::Integer(0));
-        assert_eq!(s.execute(&cmd(&["HGET", "h", "f"])), Reply::Bulk("2".into()));
+        assert_eq!(
+            s.execute(&cmd(&["HGET", "h", "f"])),
+            Reply::Bulk("2".into())
+        );
         assert_eq!(s.execute(&cmd(&["HGET", "h", "missing"])), Reply::Nil);
     }
 
@@ -448,8 +479,14 @@ mod tests {
         let mut s = Server::new();
         assert!(matches!(s.execute(&cmd(&["NOPE"])), Reply::Error(_)));
         s.execute(&cmd(&["SET", "k", "v"]));
-        assert!(matches!(s.execute(&cmd(&["LRANGE", "k", "0", "1"])), Reply::Error(_)));
-        assert!(matches!(s.execute(&cmd(&["HGET", "k", "f"])), Reply::Error(_)));
+        assert!(matches!(
+            s.execute(&cmd(&["LRANGE", "k", "0", "1"])),
+            Reply::Error(_)
+        ));
+        assert!(matches!(
+            s.execute(&cmd(&["HGET", "k", "f"])),
+            Reply::Error(_)
+        ));
     }
 
     #[test]
@@ -473,8 +510,14 @@ mod tests {
 
         let mut restored = Server::new();
         restored.load_rdb(&snapshot).unwrap();
-        assert_eq!(restored.execute(&cmd(&["GET", "s"])), Reply::Bulk("x".into()));
-        assert_eq!(restored.execute(&cmd(&["HGET", "h", "a"])), Reply::Bulk("b".into()));
+        assert_eq!(
+            restored.execute(&cmd(&["GET", "s"])),
+            Reply::Bulk("x".into())
+        );
+        assert_eq!(
+            restored.execute(&cmd(&["HGET", "h", "a"])),
+            Reply::Bulk("b".into())
+        );
         assert_eq!(restored.keyspace().len(), 3);
     }
 
@@ -491,7 +534,10 @@ mod tests {
         let log = s.aof().to_vec();
         let mut replayed = Server::new();
         replayed.replay_aof(&log);
-        assert_eq!(replayed.execute(&cmd(&["GET", "k"])), Reply::Bulk("2".into()));
+        assert_eq!(
+            replayed.execute(&cmd(&["GET", "k"])),
+            Reply::Bulk("2".into())
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ use std::time::Instant;
 
 fn schemes() -> Vec<(&'static str, Box<dyn DynamicGraph>)> {
     vec![
-        ("CuckooGraph", Box::new(CuckooGraph::new()) as Box<dyn DynamicGraph>),
+        (
+            "CuckooGraph",
+            Box::new(CuckooGraph::new()) as Box<dyn DynamicGraph>,
+        ),
         ("Spruce", Box::new(SpruceGraph::new())),
         ("Sortledton", Box::new(SortledtonGraph::new())),
         ("LiveGraph", Box::new(LiveGraphStore::new())),
@@ -53,7 +56,9 @@ fn main() {
         assert_eq!(hits, edges.len(), "{name} lost edges");
 
         let start = Instant::now();
-        let reached: usize = analytics::sssp_from_top_degree(graph.as_ref(), 5).iter().sum();
+        let reached: usize = analytics::sssp_from_top_degree(graph.as_ref(), 5)
+            .iter()
+            .sum();
         let sssp_ms = start.elapsed().as_secs_f64() * 1e3;
 
         println!(

@@ -46,7 +46,12 @@ fn main() {
     let candidates = analytics::top_degree_nodes(&transactions, 600);
     let mut flagged: Vec<(u64, usize)> = candidates
         .iter()
-        .map(|&account| (account, analytics::triangles_containing(&transactions, account)))
+        .map(|&account| {
+            (
+                account,
+                analytics::triangles_containing(&transactions, account),
+            )
+        })
         .filter(|&(_, triangles)| triangles > 0)
         .collect();
     flagged.sort_by_key(|&(_, t)| std::cmp::Reverse(t));
@@ -81,6 +86,12 @@ fn main() {
     }
     println!("\nafter removing the ring:");
     println!("  edges  : {}", transactions.edge_count());
-    println!("  memory : {} bytes (was {before})", transactions.memory_bytes());
-    println!("  contractions performed: {}", transactions.stats().contractions);
+    println!(
+        "  memory : {} bytes (was {before})",
+        transactions.memory_bytes()
+    );
+    println!(
+        "  contractions performed: {}",
+        transactions.stats().contractions
+    );
 }

@@ -9,9 +9,19 @@ use cuckoograph_repro::graph_datasets::{generate, DatasetKind};
 use cuckoograph_repro::prelude::*;
 use std::collections::BTreeMap;
 
+/// Quantised per-node scores for PageRank, betweenness, and LCC.
+type ScoreTriple = (
+    BTreeMap<NodeId, i64>,
+    BTreeMap<NodeId, i64>,
+    BTreeMap<NodeId, i64>,
+);
+
 fn schemes() -> Vec<(&'static str, Box<dyn DynamicGraph>)> {
     vec![
-        ("CuckooGraph", Box::new(CuckooGraph::new()) as Box<dyn DynamicGraph>),
+        (
+            "CuckooGraph",
+            Box::new(CuckooGraph::new()) as Box<dyn DynamicGraph>,
+        ),
         ("AdjList", Box::new(AdjacencyListGraph::new())),
         ("Sortledton", Box::new(SortledtonGraph::new())),
         ("Spruce", Box::new(SpruceGraph::new())),
@@ -32,10 +42,13 @@ fn bfs_and_sssp_reach_the_same_nodes() {
     for (name, mut graph) in schemes() {
         populate(graph.as_mut(), &edges);
         let sources = analytics::top_degree_nodes(graph.as_ref(), 5);
-        let reach: Vec<usize> =
-            sources.iter().map(|&s| analytics::bfs(graph.as_ref(), s).len()).collect();
-        let distances: BTreeMap<NodeId, u64> =
-            analytics::dijkstra(graph.as_ref(), sources[0]).into_iter().collect();
+        let reach: Vec<usize> = sources
+            .iter()
+            .map(|&s| analytics::bfs(graph.as_ref(), s).len())
+            .collect();
+        let distances: BTreeMap<NodeId, u64> = analytics::dijkstra(graph.as_ref(), sources[0])
+            .into_iter()
+            .collect();
         match (&reference_reach, &reference_distances) {
             (None, None) => {
                 reference_reach = Some(reach);
@@ -75,15 +88,16 @@ fn triangle_counts_and_components_agree() {
 #[test]
 fn pagerank_betweenness_and_lcc_agree() {
     let edges = generate(DatasetKind::StackOverflow, 0.0004, 23).distinct_edges();
-    let mut reference: Option<(BTreeMap<NodeId, i64>, BTreeMap<NodeId, i64>, BTreeMap<NodeId, i64>)> =
-        None;
+    let mut reference: Option<ScoreTriple> = None;
     for (name, mut graph) in schemes() {
         populate(graph.as_mut(), &edges);
         let nodes = analytics::top_degree_nodes(graph.as_ref(), 32);
         // Quantise the floating-point scores so tiny summation-order noise
         // cannot cause false mismatches.
         let quantise = |m: std::collections::HashMap<NodeId, f64>| -> BTreeMap<NodeId, i64> {
-            m.into_iter().map(|(k, v)| (k, (v * 1e9).round() as i64)).collect()
+            m.into_iter()
+                .map(|(k, v)| (k, (v * 1e9).round() as i64))
+                .collect()
         };
         let pr = quantise(analytics::pagerank(
             graph.as_ref(),
@@ -91,7 +105,10 @@ fn pagerank_betweenness_and_lcc_agree() {
             &analytics::PageRankConfig::default(),
         ));
         let bc = quantise(analytics::betweenness_centrality(graph.as_ref(), &nodes));
-        let lcc = quantise(analytics::local_clustering_coefficients(graph.as_ref(), &nodes));
+        let lcc = quantise(analytics::local_clustering_coefficients(
+            graph.as_ref(),
+            &nodes,
+        ));
         match &reference {
             None => reference = Some((pr, bc, lcc)),
             Some((rpr, rbc, rlcc)) => {

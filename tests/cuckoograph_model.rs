@@ -163,5 +163,8 @@ fn multi_edge_variant_tracks_parallel_edges_exactly() {
         let got: HashSet<u64> = graph.edges_between(u, v).collect();
         assert_eq!(&got, ids, "mismatch for pair ({u}, {v})");
     }
-    assert_eq!(graph.total_edge_count(), model.values().map(HashSet::len).sum::<usize>());
+    assert_eq!(
+        graph.total_edge_count(),
+        model.values().map(HashSet::len).sum::<usize>()
+    );
 }

@@ -19,8 +19,12 @@ fn kvstore_module_ingests_a_caida_like_trace_and_survives_persistence() {
     server.load_module(Box::new(CuckooGraphModule::new()));
 
     for &(u, v) in &trace.raw_edges {
-        let reply =
-            server.execute(&cmd(&["graph.insert", "flows", &u.to_string(), &v.to_string()]));
+        let reply = server.execute(&cmd(&[
+            "graph.insert",
+            "flows",
+            &u.to_string(),
+            &v.to_string(),
+        ]));
         assert!(matches!(reply, Reply::Integer(w) if w >= 1));
     }
 
@@ -32,8 +36,12 @@ fn kvstore_module_ingests_a_caida_like_trace_and_survives_persistence() {
         *multiplicity.entry(e).or_insert(0) += 1;
     }
     for (&(u, v), &count) in multiplicity.iter().take(500) {
-        let reply =
-            server.execute(&cmd(&["graph.query", "flows", &u.to_string(), &v.to_string()]));
+        let reply = server.execute(&cmd(&[
+            "graph.query",
+            "flows",
+            &u.to_string(),
+            &v.to_string(),
+        ]));
         assert_eq!(reply, Reply::Integer(count), "weight of ({u}, {v})");
     }
 
@@ -43,9 +51,17 @@ fn kvstore_module_ingests_a_caida_like_trace_and_survives_persistence() {
     restored.load_module(Box::new(CuckooGraphModule::new()));
     restored.load_rdb(&snapshot).expect("snapshot loads");
     for (&(u, v), &count) in multiplicity.iter().take(200) {
-        let reply =
-            restored.execute(&cmd(&["graph.query", "flows", &u.to_string(), &v.to_string()]));
-        assert_eq!(reply, Reply::Integer(count), "restored weight of ({u}, {v})");
+        let reply = restored.execute(&cmd(&[
+            "graph.query",
+            "flows",
+            &u.to_string(),
+            &v.to_string(),
+        ]));
+        assert_eq!(
+            reply,
+            Reply::Integer(count),
+            "restored weight of ({u}, {v})"
+        );
     }
 
     // AOF rewrite emits exactly one rebuild command per distinct edge.
@@ -124,8 +140,16 @@ fn snap_loader_feeds_the_whole_pipeline() {
     let mut server = Server::new();
     server.load_module(Box::new(CuckooGraphModule::new()));
     for &(u, v) in &edges {
-        server.execute(&cmd(&["graph.insert", "web", &u.to_string(), &v.to_string()]));
+        server.execute(&cmd(&[
+            "graph.insert",
+            "web",
+            &u.to_string(),
+            &v.to_string(),
+        ]));
     }
     let reply = server.execute(&cmd(&["graph.getneighbors", "web", "3"]));
-    assert_eq!(reply, Reply::Array(vec![Reply::Bulk("1".into()), Reply::Bulk("4".into())]));
+    assert_eq!(
+        reply,
+        Reply::Array(vec![Reply::Bulk("1".into()), Reply::Bulk("4".into())])
+    );
 }

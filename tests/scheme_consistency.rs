@@ -12,7 +12,10 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 
 fn all_schemes() -> Vec<(&'static str, Box<dyn DynamicGraph>)> {
     vec![
-        ("CuckooGraph", Box::new(CuckooGraph::new()) as Box<dyn DynamicGraph>),
+        (
+            "CuckooGraph",
+            Box::new(CuckooGraph::new()) as Box<dyn DynamicGraph>,
+        ),
         ("LiveGraph", Box::new(LiveGraphStore::new())),
         ("Sortledton", Box::new(SortledtonGraph::new())),
         ("WBI", Box::new(WindBellIndex::new())),
@@ -58,7 +61,11 @@ fn successor_sets_match_across_schemes() {
         for (&u, neighbors) in expected.iter().take(300) {
             let got: BTreeSet<NodeId> = graph.successors(u).into_iter().collect();
             assert_eq!(&got, neighbors, "{name}: successors of {u} differ");
-            assert_eq!(graph.out_degree(u), neighbors.len(), "{name}: degree of {u}");
+            assert_eq!(
+                graph.out_degree(u),
+                neighbors.len(),
+                "{name}: degree of {u}"
+            );
         }
     }
 }
@@ -67,26 +74,42 @@ fn successor_sets_match_across_schemes() {
 fn deletions_agree_across_schemes() {
     let dataset = generate(DatasetKind::WikiTalk, 0.0005, 9);
     let edges = dataset.distinct_edges();
-    let to_delete: Vec<(NodeId, NodeId)> =
-        edges.iter().copied().step_by(3).collect();
+    let to_delete: Vec<(NodeId, NodeId)> = edges.iter().copied().step_by(3).collect();
     let surviving: HashSet<(NodeId, NodeId)> = {
         let deleted: HashSet<_> = to_delete.iter().copied().collect();
-        edges.iter().copied().filter(|e| !deleted.contains(e)).collect()
+        edges
+            .iter()
+            .copied()
+            .filter(|e| !deleted.contains(e))
+            .collect()
     };
     for (name, mut graph) in all_schemes() {
         for &(u, v) in &edges {
             graph.insert_edge(u, v);
         }
         for &(u, v) in &to_delete {
-            assert!(graph.delete_edge(u, v), "{name}: failed to delete ({u}, {v})");
-            assert!(!graph.delete_edge(u, v), "{name}: double delete of ({u}, {v})");
+            assert!(
+                graph.delete_edge(u, v),
+                "{name}: failed to delete ({u}, {v})"
+            );
+            assert!(
+                !graph.delete_edge(u, v),
+                "{name}: double delete of ({u}, {v})"
+            );
         }
-        assert_eq!(graph.edge_count(), surviving.len(), "{name}: surviving count");
+        assert_eq!(
+            graph.edge_count(),
+            surviving.len(),
+            "{name}: surviving count"
+        );
         for &(u, v) in surviving.iter().take(1_000) {
             assert!(graph.has_edge(u, v), "{name}: lost survivor ({u}, {v})");
         }
         for &(u, v) in to_delete.iter().take(1_000) {
-            assert!(!graph.has_edge(u, v), "{name}: deleted edge still visible ({u}, {v})");
+            assert!(
+                !graph.has_edge(u, v),
+                "{name}: deleted edge still visible ({u}, {v})"
+            );
         }
     }
 }

@@ -1,0 +1,154 @@
+//! Workspace-level smoke test: every public graph type must be drivable
+//! through the shared [`DynamicGraph`] trait, and all of them must agree with
+//! a baseline scheme on the same workload. This is the cheapest end-to-end
+//! proof that the crate wiring (façade re-exports, trait impls, baselines)
+//! holds together.
+
+use cuckoograph_repro::graph_api::GraphScheme;
+use cuckoograph_repro::graph_baselines::AdjacencyListGraph;
+use cuckoograph_repro::graph_datasets::{generate, DatasetKind};
+use cuckoograph_repro::prelude::*;
+use std::collections::BTreeSet;
+
+/// Every graph type in the workspace that exposes the `DynamicGraph` surface,
+/// paired with the adjacency-list baseline used as the behavioural reference.
+fn all_schemes() -> Vec<(&'static str, Box<dyn DynamicGraph>)> {
+    vec![
+        ("CuckooGraph", Box::new(CuckooGraph::new())),
+        ("WeightedCuckooGraph", Box::new(WeightedCuckooGraph::new())),
+        (
+            "MultiEdgeCuckooGraph",
+            Box::new(MultiEdgeCuckooGraph::new()),
+        ),
+        (
+            "AdjacencyList (baseline)",
+            Box::new(AdjacencyListGraph::new()),
+        ),
+    ]
+}
+
+#[test]
+fn every_graph_type_agrees_with_the_baseline_through_the_trait() {
+    let edges = generate(DatasetKind::NotreDame, 0.001, 42).distinct_edges();
+    assert!(edges.len() > 100, "workload too small to be meaningful");
+
+    let mut reference: Option<(usize, BTreeSet<(u64, u64)>)> = None;
+    for (name, mut graph) in all_schemes() {
+        // Insert everything twice: the second pass must report "already there".
+        for &(u, v) in &edges {
+            assert!(
+                graph.insert_edge(u, v),
+                "{name}: first insert of ({u}, {v}) failed"
+            );
+        }
+        for &(u, v) in &edges {
+            assert!(
+                !graph.insert_edge(u, v),
+                "{name}: duplicate insert of ({u}, {v}) accepted"
+            );
+        }
+        assert_eq!(graph.edge_count(), edges.len(), "{name}: edge count");
+        assert!(graph.memory_bytes() > 0, "{name}: memory footprint missing");
+
+        // Point queries and successor sets must reconstruct the edge list.
+        let mut recovered = BTreeSet::new();
+        for u in graph.nodes() {
+            let successors = graph.successors(u);
+            assert_eq!(
+                successors.len(),
+                graph.out_degree(u),
+                "{name}: degree of {u}"
+            );
+            for v in successors {
+                assert!(
+                    graph.has_edge(u, v),
+                    "{name}: successor ({u}, {v}) not queryable"
+                );
+                recovered.insert((u, v));
+            }
+        }
+
+        // Delete a slice of the edges and verify they are really gone.
+        let (gone, kept) = edges.split_at(edges.len() / 3);
+        for &(u, v) in gone {
+            assert!(
+                graph.delete_edge(u, v),
+                "{name}: delete of ({u}, {v}) failed"
+            );
+        }
+        for &(u, v) in gone {
+            assert!(
+                !graph.has_edge(u, v),
+                "{name}: deleted edge ({u}, {v}) still present"
+            );
+            assert!(
+                !graph.delete_edge(u, v),
+                "{name}: double delete of ({u}, {v}) succeeded"
+            );
+        }
+        for &(u, v) in kept {
+            assert!(
+                graph.has_edge(u, v),
+                "{name}: surviving edge ({u}, {v}) lost"
+            );
+        }
+        assert_eq!(
+            graph.edge_count(),
+            kept.len(),
+            "{name}: count after deletes"
+        );
+
+        // Cross-scheme parity: all schemes must agree exactly.
+        match &reference {
+            None => reference = Some((kept.len(), recovered)),
+            Some((count, full_set)) => {
+                assert_eq!(graph.edge_count(), *count, "{name}: diverges from baseline");
+                assert_eq!(
+                    &recovered, full_set,
+                    "{name}: edge set diverges from baseline"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn variant_specific_surfaces_compose_with_the_trait_view() {
+    // Weighted: duplicate stream folds into weights while the DynamicGraph
+    // view still reports distinct edges.
+    let mut weighted = WeightedCuckooGraph::new();
+    for _ in 0..5 {
+        weighted.insert_weighted(7, 9, 2);
+    }
+    assert_eq!(weighted.weight(7, 9), 10);
+    assert_eq!(weighted.edge_count(), 1);
+    assert!(weighted.has_edge(7, 9));
+
+    // Multi-edge: caller-assigned parallel ids coexist with trait inserts.
+    let mut multi = MultiEdgeCuckooGraph::new();
+    assert!(multi.add_edge(1, 2, 100));
+    assert!(multi.add_edge(1, 2, 101));
+    assert!(
+        !multi.insert_edge(1, 2),
+        "pair exists, trait insert must refuse"
+    );
+    assert!(
+        multi.insert_edge(1, 3),
+        "new pair gets an auto id from the top of the id space"
+    );
+    let auto_ids: Vec<_> = multi.edges_between(1, 3).collect();
+    assert_eq!(auto_ids.len(), 1);
+    assert!(
+        auto_ids[0] > 101,
+        "auto id {} collides with caller ids",
+        auto_ids[0]
+    );
+    assert_eq!(multi.edge_count(), 2);
+    assert_eq!(multi.total_edge_count(), 3);
+    assert!(
+        multi.delete_edge(1, 2),
+        "trait delete removes the whole pair"
+    );
+    assert_eq!(multi.total_edge_count(), 1);
+    assert_eq!(multi.scheme(), GraphScheme::CuckooGraph);
+}

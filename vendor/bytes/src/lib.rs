@@ -1,0 +1,239 @@
+//! Minimal API-compatible stand-in for the [`bytes`](https://docs.rs/bytes)
+//! crate, vendored because this workspace builds without network access.
+//!
+//! Only the surface the `kvstore` crate uses is implemented: [`Bytes`],
+//! [`BytesMut`], and the [`Buf`] / [`BufMut`] traits with the handful of
+//! methods the RESP codec and server call. Both buffer types are plain
+//! `Vec<u8>` wrappers — no refcounted zero-copy splitting — which is
+//! behaviourally identical for this workload, just less efficient on clone.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// An immutable byte buffer (here: an owned `Vec<u8>`).
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes(Vec::new())
+    }
+
+    /// Copies the slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(data.to_vec())
+    }
+
+    /// Creates a buffer from a static slice (copied, unlike the real crate).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes(data.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "b\"{}\"",
+            String::from_utf8_lossy(&self.0).escape_debug()
+        )
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes(s.into_bytes())
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes(s.as_bytes().to_vec())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes(s.to_vec())
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Self {
+        Bytes(b.0)
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+/// A mutable byte buffer (here: an owned `Vec<u8>`).
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    /// Creates an empty buffer with the given capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Appends the slice to the buffer.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.0.extend_from_slice(data);
+    }
+
+    /// Freezes the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+
+    /// Splits off and returns the first `at` bytes.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        let rest = self.0.split_off(at);
+        BytesMut(std::mem::replace(&mut self.0, rest))
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "b\"{}\"",
+            String::from_utf8_lossy(&self.0).escape_debug()
+        )
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(data: &[u8]) -> Self {
+        BytesMut(data.to_vec())
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut(v)
+    }
+}
+
+/// Read-side buffer operations (consume from the front).
+pub trait Buf {
+    /// Number of unread bytes.
+    fn remaining(&self) -> usize;
+    /// Discards the first `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.0.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.0.len(), "advance past end of buffer");
+        self.0.drain(..cnt);
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Write-side buffer operations (append to the back).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8);
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, b: u8) {
+        self.0.push(b);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_mut_roundtrip() {
+        let mut b = BytesMut::new();
+        b.put_u8(b'+');
+        b.put_slice(b"OK\r\n");
+        assert_eq!(&b[..], b"+OK\r\n");
+        b.advance(1);
+        assert_eq!(&b[..], b"OK\r\n");
+        let frozen = b.freeze();
+        assert_eq!(frozen.to_vec(), b"OK\r\n".to_vec());
+    }
+
+    #[test]
+    fn split_to_keeps_the_tail() {
+        let mut b = BytesMut::from(&b"hello world"[..]);
+        let head = b.split_to(5);
+        assert_eq!(&head[..], b"hello");
+        assert_eq!(&b[..], b" world");
+    }
+}

@@ -1,0 +1,321 @@
+//! Minimal API-compatible stand-in for the
+//! [`criterion`](https://docs.rs/criterion) crate, vendored because this
+//! workspace builds without network access.
+//!
+//! Implements the surface the `graph-bench` benchmarks use — benchmark
+//! groups, `bench_function` / `bench_with_input`, `iter` / `iter_batched`,
+//! throughput annotation, and the `criterion_group!` / `criterion_main!`
+//! macros — as a simple mean-of-samples timer that prints one line per
+//! benchmark. No statistical analysis, warm-up calibration, HTML reports, or
+//! regression detection; the real crate drops in via Cargo.toml when network
+//! access is available.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], matching the real crate.
+pub use std::hint::black_box;
+
+/// Top-level benchmark configuration and driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many samples each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration (one untimed run is always performed).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Caps how long one benchmark may keep sampling.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks. The group copies the
+    /// current configuration, so per-group overrides (sample size,
+    /// measurement time) never leak into later groups — matching the real
+    /// crate's behaviour.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.to_string();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function(BenchmarkId::from_parameter(""), &mut f);
+        group.finish();
+        self
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// How `iter_batched` amortises setup cost (ignored by this shim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input every iteration.
+    PerIteration,
+}
+
+/// Work-per-iteration annotation used to report rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with work-per-iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement-time cap for this group only.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id, &mut f);
+        self
+    }
+
+    /// Runs one benchmark, handing the input through to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+            deadline: self.measurement_time,
+        };
+        f(&mut bencher);
+        let mean = if bencher.samples.is_empty() {
+            Duration::ZERO
+        } else {
+            bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                format!("  {:>12.3} Melem/s", n as f64 / mean.as_secs_f64() / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                format!(
+                    "  {:>12.3} MiB/s",
+                    n as f64 / mean.as_secs_f64() / (1 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {:<48} {:>12.3?} ({} samples){}",
+            format!("{}/{}", self.name, id.label),
+            mean,
+            bencher.samples.len(),
+            rate
+        );
+    }
+
+    /// Ends the group (printing happens per-benchmark in this shim).
+    pub fn finish(self) {}
+}
+
+/// Passed to every benchmark closure; records timing samples.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    deadline: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` for the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            if started.elapsed() > self.deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is untimed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+            if started.elapsed() > self.deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring the real crate's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring the real crate's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags (--bench, --test,
+            // filters); this shim runs everything and ignores them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_overrides_do_not_leak_into_later_groups() {
+        let mut c = Criterion::default().sample_size(2);
+        {
+            let mut group = c.benchmark_group("first");
+            group
+                .sample_size(7)
+                .measurement_time(Duration::from_millis(9));
+            group.finish();
+        }
+        assert_eq!(c.sample_size, 2, "group override leaked into Criterion");
+        assert_ne!(c.measurement_time, Duration::from_millis(9));
+    }
+
+    #[test]
+    fn groups_record_samples_and_throughput() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        let mut group = c.benchmark_group("shim_smoke");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function(BenchmarkId::from_parameter("iter"), |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &n| {
+            b.iter_batched(|| n, |n| n * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}
