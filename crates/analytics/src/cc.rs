@@ -48,17 +48,28 @@ pub fn connected_components<G: DynamicGraph + ?Sized>(
     let mut sizes: Vec<usize> = Vec::new();
     let mut next_index = 0usize;
 
-    // Iterative Tarjan: each frame is (node, neighbour list, next neighbour).
+    // Iterative Tarjan. Per-frame neighbour lists live in one shared arena:
+    // a frame records its `(start, cursor)` into `arena`, pushes its
+    // neighbours through `for_each_successor` on entry, and truncates the
+    // arena back on exit — no per-node allocation, the hot successor queries
+    // go straight through the scheme's probe path.
+    let mut arena: Vec<NodeId> = Vec::new();
+    // Frame layout: (node, arena start, cursor).
+    let mut frames: Vec<(NodeId, usize, usize)> = Vec::new();
+    let push_neighbours = |arena: &mut Vec<NodeId>, v: NodeId| {
+        graph.for_each_successor(v, &mut |w| {
+            if selected.contains(&w) {
+                arena.push(w);
+            }
+        })
+    };
+
     for &root in nodes {
         if states.get(&root).and_then(|s| s.index).is_some() {
             continue;
         }
-        let mut frames: Vec<(NodeId, Vec<NodeId>, usize)> = Vec::new();
-        let neighbours: Vec<NodeId> = graph
-            .successors(root)
-            .into_iter()
-            .filter(|v| selected.contains(v))
-            .collect();
+        let start = arena.len();
+        push_neighbours(&mut arena, root);
         {
             let st = states.entry(root).or_default();
             st.index = Some(next_index);
@@ -67,12 +78,12 @@ pub fn connected_components<G: DynamicGraph + ?Sized>(
         }
         next_index += 1;
         stack.push(root);
-        frames.push((root, neighbours, 0));
+        frames.push((root, start, start));
 
         while let Some(frame) = frames.last_mut() {
-            let (u, neighbours, cursor) = (frame.0, &frame.1, &mut frame.2);
-            if *cursor < neighbours.len() {
-                let v = neighbours[*cursor];
+            let (u, start, cursor) = (frame.0, frame.1, &mut frame.2);
+            if *cursor < arena.len() {
+                let v = arena[*cursor];
                 *cursor += 1;
                 let v_state = states.entry(v).or_default();
                 match v_state.index {
@@ -83,12 +94,9 @@ pub fn connected_components<G: DynamicGraph + ?Sized>(
                         v_state.on_stack = true;
                         next_index += 1;
                         stack.push(v);
-                        let v_neighbours: Vec<NodeId> = graph
-                            .successors(v)
-                            .into_iter()
-                            .filter(|w| selected.contains(w))
-                            .collect();
-                        frames.push((v, v_neighbours, 0));
+                        let v_start = arena.len();
+                        push_neighbours(&mut arena, v);
+                        frames.push((v, v_start, v_start));
                     }
                     Some(v_index) if v_state.on_stack => {
                         let u_state = states.get_mut(&u).expect("u was visited");
@@ -114,6 +122,7 @@ pub fn connected_components<G: DynamicGraph + ?Sized>(
                     }
                     sizes.push(size);
                 }
+                arena.truncate(start);
                 frames.pop();
                 if let Some(parent) = frames.last() {
                     let parent_node = parent.0;

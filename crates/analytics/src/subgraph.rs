@@ -12,14 +12,14 @@ use std::collections::{HashMap, HashSet};
 /// single pass over all edges — the same thing the paper's driver has to do.
 pub fn total_degrees<G: DynamicGraph + ?Sized>(graph: &G) -> HashMap<NodeId, usize> {
     let mut degree: HashMap<NodeId, usize> = HashMap::new();
-    for u in graph.nodes() {
+    graph.for_each_node(&mut |u| {
         let mut out = 0usize;
         graph.for_each_successor(u, &mut |v| {
             out += 1;
             *degree.entry(v).or_insert(0) += 1;
         });
         *degree.entry(u).or_insert(0) += out;
-    }
+    });
     degree
 }
 

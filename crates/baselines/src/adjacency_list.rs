@@ -4,7 +4,7 @@
 //! edit, but pointer-heavy: every vertex owns a separate heap allocation and
 //! edge queries are linear in the degree.
 
-use graph_api::{DynamicGraph, GraphScheme, MemoryFootprint, NodeId};
+use graph_api::{for_each_source_run, DynamicGraph, GraphScheme, MemoryFootprint, NodeId};
 use std::collections::HashMap;
 
 /// A plain adjacency-list graph.
@@ -73,8 +73,34 @@ impl DynamicGraph for AdjacencyListGraph {
         }
     }
 
+    fn for_each_node(&self, f: &mut dyn FnMut(NodeId)) {
+        for &u in self.adjacency.keys() {
+            f(u);
+        }
+    }
+
     fn out_degree(&self, u: NodeId) -> usize {
         self.adjacency.get(&u).map_or(0, Vec::len)
+    }
+
+    fn insert_edges(&mut self, edges: &[(NodeId, NodeId)]) -> usize {
+        // One index lookup per run of same-source edges instead of one per edge.
+        let mut created = 0usize;
+        for_each_source_run(
+            edges,
+            |e| e.0,
+            |u, run| {
+                let list = self.adjacency.entry(u).or_default();
+                for &(_, v) in run {
+                    if !list.contains(&v) {
+                        list.push(v);
+                        created += 1;
+                    }
+                }
+            },
+        );
+        self.edges += created;
+        created
     }
 
     fn edge_count(&self) -> usize {

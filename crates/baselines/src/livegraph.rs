@@ -12,7 +12,7 @@
 //! a monotone sequence number here; everything else (log layout, sequential
 //! scans, copy-on-full growth, compaction) follows the published design.
 
-use graph_api::{DynamicGraph, GraphScheme, MemoryFootprint, NodeId};
+use graph_api::{for_each_source_run, DynamicGraph, GraphScheme, MemoryFootprint, NodeId};
 use std::collections::HashMap;
 
 /// One entry of a Transactional Edge Log.
@@ -31,6 +31,11 @@ struct VertexBlock {
     log: Vec<LogEntry>,
     /// Number of *live* edges (insertions not superseded by deletions).
     live: usize,
+    /// True once the log contains a deletion entry. While false, every log
+    /// entry is a live insertion with a distinct destination (insertions are
+    /// deduplicated up front), so reads can scan the log sequentially without
+    /// rebuilding a latest-entry map — the common no-churn case.
+    has_deletes: bool,
 }
 
 impl VertexBlock {
@@ -55,8 +60,12 @@ impl VertexBlock {
     }
 
     /// Rewrites the log keeping only the latest entry per destination, and
-    /// only if that entry is an insertion.
+    /// only if that entry is an insertion. A compacted log holds only live
+    /// insertions, so the sequential-scan fast path applies again afterwards.
     fn compact(&mut self) {
+        if !self.has_deletes {
+            return; // already only live insertions — nothing to rewrite
+        }
         let mut latest: HashMap<NodeId, LogEntry> = HashMap::with_capacity(self.log.len());
         for &entry in &self.log {
             latest.insert(entry.dst, entry);
@@ -64,18 +73,28 @@ impl VertexBlock {
         let mut compacted: Vec<LogEntry> = latest.into_values().filter(|e| e.is_insert).collect();
         compacted.sort_by_key(|e| e.seq);
         self.log = compacted;
+        self.has_deletes = false;
     }
 
-    fn successors(&self) -> Vec<NodeId> {
+    /// Calls `f` for every live destination. Without deletions this is a pure
+    /// sequential log scan; with deletions it reconstructs the latest entry
+    /// per destination as `successors()` always did.
+    fn for_each_successor(&self, f: &mut dyn FnMut(NodeId)) {
+        if !self.has_deletes {
+            for entry in &self.log {
+                f(entry.dst);
+            }
+            return;
+        }
         let mut latest: HashMap<NodeId, bool> = HashMap::with_capacity(self.log.len());
         for entry in &self.log {
             latest.insert(entry.dst, entry.is_insert);
         }
-        latest
-            .into_iter()
-            .filter(|&(_, alive)| alive)
-            .map(|(dst, _)| dst)
-            .collect()
+        for (dst, alive) in latest {
+            if alive {
+                f(dst);
+            }
+        }
     }
 
     fn bytes(&self) -> usize {
@@ -158,26 +177,55 @@ impl DynamicGraph for LiveGraphStore {
             seq,
             is_insert: false,
         });
+        block.has_deletes = true;
         block.live -= 1;
         self.edges -= 1;
         true
     }
 
-    fn successors(&self, u: NodeId) -> Vec<NodeId> {
-        self.blocks
-            .get(&u)
-            .map(VertexBlock::successors)
-            .unwrap_or_default()
+    fn for_each_successor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
+        if let Some(block) = self.blocks.get(&u) {
+            block.for_each_successor(f);
+        }
     }
 
-    fn for_each_successor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
-        for v in self.successors(u) {
-            f(v);
+    fn for_each_node(&self, f: &mut dyn FnMut(NodeId)) {
+        for &u in self.blocks.keys() {
+            f(u);
         }
     }
 
     fn out_degree(&self, u: NodeId) -> usize {
         self.blocks.get(&u).map_or(0, |b| b.live)
+    }
+
+    fn insert_edges(&mut self, edges: &[(NodeId, NodeId)]) -> usize {
+        // One vertex-index lookup per run of same-source edges.
+        let mut created = 0usize;
+        let seq = &mut self.seq;
+        let blocks = &mut self.blocks;
+        for_each_source_run(
+            edges,
+            |e| e.0,
+            |u, run| {
+                let block = blocks.entry(u).or_default();
+                for &(_, v) in run {
+                    *seq += 1;
+                    if block.has_edge(v) {
+                        continue;
+                    }
+                    block.append(LogEntry {
+                        dst: v,
+                        seq: *seq,
+                        is_insert: true,
+                    });
+                    block.live += 1;
+                    created += 1;
+                }
+            },
+        );
+        self.edges += created;
+        created
     }
 
     fn edge_count(&self) -> usize {
@@ -251,6 +299,56 @@ mod tests {
         assert_eq!(s, (0..500u64).collect::<Vec<_>>());
         assert!(g.memory_bytes() > 500 * std::mem::size_of::<LogEntry>());
         assert_eq!(g.scheme(), GraphScheme::LiveGraph);
+    }
+
+    #[test]
+    fn delete_free_blocks_scan_the_log_directly() {
+        let mut g = LiveGraphStore::new();
+        for v in 0..100u64 {
+            g.insert_edge(3, v);
+        }
+        assert!(!g.blocks[&3].has_deletes);
+        // Fast path: the visitor sees exactly the inserted destinations.
+        let mut seen = Vec::new();
+        g.for_each_successor(3, &mut |v| seen.push(v));
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100u64).collect::<Vec<_>>());
+        // A deletion flips the block to the slow path…
+        g.delete_edge(3, 7);
+        assert!(g.blocks[&3].has_deletes);
+        let mut after = g.successors(3);
+        after.sort_unstable();
+        assert_eq!(after.len(), 99);
+        assert!(!after.contains(&7));
+        // …and compaction restores the fast path with the same live set.
+        g.compact_all();
+        assert!(!g.blocks[&3].has_deletes);
+        let mut compacted = g.successors(3);
+        compacted.sort_unstable();
+        assert_eq!(compacted, after);
+    }
+
+    #[test]
+    fn batched_insert_matches_per_edge_inserts() {
+        let edges: Vec<(u64, u64)> = (0..300u64).map(|i| (i % 6, i / 2)).collect();
+        let mut batched = LiveGraphStore::new();
+        let mut looped = LiveGraphStore::new();
+        let created = batched.insert_edges(&edges);
+        let mut expected = 0;
+        for &(u, v) in &edges {
+            if looped.insert_edge(u, v) {
+                expected += 1;
+            }
+        }
+        assert_eq!(created, expected);
+        assert_eq!(batched.edge_count(), looped.edge_count());
+        for u in 0..6u64 {
+            let mut a = batched.successors(u);
+            let mut b = looped.successors(u);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! storage with amortised-bounded shifting on update.
 
 use crate::pma::PackedMemoryArray;
-use graph_api::{DynamicGraph, GraphScheme, MemoryFootprint, NodeId};
+use graph_api::{for_each_source_run, DynamicGraph, GraphScheme, MemoryFootprint, NodeId};
 use std::collections::HashMap;
 
 /// PCSR-like dynamic graph.
@@ -71,13 +71,6 @@ impl DynamicGraph for PcsrGraph {
         removed
     }
 
-    fn successors(&self, u: NodeId) -> Vec<NodeId> {
-        self.vertex_index
-            .get(&u)
-            .map(|p| p.to_vec())
-            .unwrap_or_default()
-    }
-
     fn for_each_successor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
         if let Some(pma) = self.vertex_index.get(&u) {
             for v in pma.iter() {
@@ -86,8 +79,34 @@ impl DynamicGraph for PcsrGraph {
         }
     }
 
+    fn for_each_node(&self, f: &mut dyn FnMut(NodeId)) {
+        for &u in self.vertex_index.keys() {
+            f(u);
+        }
+    }
+
     fn out_degree(&self, u: NodeId) -> usize {
         self.vertex_index.get(&u).map_or(0, PackedMemoryArray::len)
+    }
+
+    fn insert_edges(&mut self, edges: &[(NodeId, NodeId)]) -> usize {
+        // One vertex-index lookup per run of same-source edges; the PMA does
+        // its usual gap-shifting insert per destination.
+        let mut created = 0usize;
+        for_each_source_run(
+            edges,
+            |e| e.0,
+            |u, run| {
+                let pma = self.vertex_index.entry(u).or_default();
+                for &(_, v) in run {
+                    if pma.insert(v) {
+                        created += 1;
+                    }
+                }
+            },
+        );
+        self.edges += created;
+        created
     }
 
     fn edge_count(&self) -> usize {

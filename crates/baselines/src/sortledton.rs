@@ -7,7 +7,7 @@
 //! scans remain mostly sequential. Edge queries binary-search the block
 //! directory and then the block, giving the `O(log |E|)` bound in Table III.
 
-use graph_api::{DynamicGraph, GraphScheme, MemoryFootprint, NodeId};
+use graph_api::{for_each_source_run, DynamicGraph, GraphScheme, MemoryFootprint, NodeId};
 use std::collections::HashMap;
 
 /// Capacity of one adjacency block (Sortledton uses cache-line-sized blocks
@@ -156,13 +156,6 @@ impl DynamicGraph for SortledtonGraph {
         removed
     }
 
-    fn successors(&self, u: NodeId) -> Vec<NodeId> {
-        self.index
-            .get(&u)
-            .map(|s| s.iter().collect())
-            .unwrap_or_default()
-    }
-
     fn for_each_successor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
         if let Some(set) = self.index.get(&u) {
             for v in set.iter() {
@@ -171,8 +164,34 @@ impl DynamicGraph for SortledtonGraph {
         }
     }
 
+    fn for_each_node(&self, f: &mut dyn FnMut(NodeId)) {
+        for &u in self.index.keys() {
+            f(u);
+        }
+    }
+
     fn out_degree(&self, u: NodeId) -> usize {
         self.index.get(&u).map_or(0, |s| s.len)
+    }
+
+    fn insert_edges(&mut self, edges: &[(NodeId, NodeId)]) -> usize {
+        // One vertex-index lookup per run of same-source edges; the blocked
+        // set still binary-searches per destination.
+        let mut created = 0usize;
+        for_each_source_run(
+            edges,
+            |e| e.0,
+            |u, run| {
+                let set = self.index.entry(u).or_default();
+                for &(_, v) in run {
+                    if set.insert(v) {
+                        created += 1;
+                    }
+                }
+            },
+        );
+        self.edges += created;
+        created
     }
 
     fn edge_count(&self) -> usize {

@@ -13,7 +13,7 @@
 //! (small unsorted buffer that graduates into a sorted array), which is what
 //! drives its behaviour in the paper's measurements.
 
-use graph_api::{DynamicGraph, GraphScheme, MemoryFootprint, NodeId};
+use graph_api::{for_each_source_run, DynamicGraph, GraphScheme, MemoryFootprint, NodeId};
 use std::collections::HashMap;
 
 /// Neighbour buffers smaller than this stay unsorted; larger ones graduate to
@@ -189,12 +189,6 @@ impl DynamicGraph for SpruceGraph {
         removed
     }
 
-    fn successors(&self, u: NodeId) -> Vec<NodeId> {
-        self.storage(u)
-            .map(|s| s.iter().collect())
-            .unwrap_or_default()
-    }
-
     fn for_each_successor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
         if let Some(s) = self.storage(u) {
             for v in s.iter() {
@@ -203,8 +197,44 @@ impl DynamicGraph for SpruceGraph {
         }
     }
 
+    fn for_each_node(&self, f: &mut dyn FnMut(NodeId)) {
+        for (&prefix, group) in &self.groups {
+            for &low in group.members.keys() {
+                f((prefix << 16) | u64::from(low));
+            }
+        }
+    }
+
     fn out_degree(&self, u: NodeId) -> usize {
         self.storage(u).map_or(0, EdgeStorage::len)
+    }
+
+    fn insert_edges(&mut self, edges: &[(NodeId, NodeId)]) -> usize {
+        // Resolve the prefix group and the member's edge storage once per run
+        // of same-source edges instead of once per edge.
+        let mut created = 0usize;
+        let groups = &mut self.groups;
+        let nodes = &mut self.nodes;
+        for_each_source_run(
+            edges,
+            |e| e.0,
+            |u, run| {
+                let (prefix, low) = Self::split(u);
+                let group = groups.entry(prefix).or_insert_with(VertexGroup::new);
+                if !group.bit(low) {
+                    group.set_bit(low);
+                    *nodes += 1;
+                }
+                let storage = group.members.entry(low).or_default();
+                for &(_, v) in run {
+                    if storage.insert(v) {
+                        created += 1;
+                    }
+                }
+            },
+        );
+        self.edges += created;
+        created
     }
 
     fn edge_count(&self) -> usize {
@@ -213,16 +243,6 @@ impl DynamicGraph for SpruceGraph {
 
     fn node_count(&self) -> usize {
         self.nodes
-    }
-
-    fn nodes(&self) -> Vec<NodeId> {
-        let mut out = Vec::with_capacity(self.nodes);
-        for (&prefix, group) in &self.groups {
-            for &low in group.members.keys() {
-                out.push((prefix << 16) | u64::from(low));
-            }
-        }
-        out
     }
 
     fn scheme(&self) -> GraphScheme {

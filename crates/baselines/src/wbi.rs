@@ -9,7 +9,7 @@
 //! per hash function, touching many unrelated edges — the reason WBI performs
 //! worst on traversal-heavy tasks in the paper's Figures 10–16.
 
-use graph_api::{DynamicGraph, GraphScheme, MemoryFootprint, NodeId};
+use graph_api::{for_each_source_run, DynamicGraph, GraphScheme, MemoryFootprint, NodeId};
 use std::collections::HashSet;
 
 /// Default matrix side length `K` (the paper treats `K` as a WBI parameter;
@@ -155,11 +155,13 @@ impl DynamicGraph for WindBellIndex {
         false
     }
 
-    fn successors(&self, u: NodeId) -> Vec<NodeId> {
+    fn for_each_successor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
         // A successor query must scan the candidate rows of `u` in full,
         // touching every edge hanging off those rows (including edges of other
         // sources that happen to share the rows) — WBI's structural weakness.
-        let mut out = Vec::new();
+        // Each stored edge lives in exactly one bucket and the duplicate row
+        // guard skips coinciding candidate rows, so every successor is
+        // reported exactly once.
         let mut seen_rows = [usize::MAX; HASH_CHOICES];
         for (i, row) in self.candidate_rows(u).into_iter().enumerate() {
             if seen_rows[..i].contains(&row) {
@@ -169,18 +171,57 @@ impl DynamicGraph for WindBellIndex {
             for col in 0..self.k {
                 for &(a, b) in &self.matrix[row * self.k + col].edges {
                     if a == u {
-                        out.push(b);
+                        f(b);
                     }
                 }
             }
         }
+    }
+
+    fn for_each_node(&self, f: &mut dyn FnMut(NodeId)) {
+        for &u in &self.sources {
+            f(u);
+        }
+    }
+
+    fn successors(&self, u: NodeId) -> Vec<NodeId> {
+        // Sorted for deterministic output (the visitor reports matrix order).
+        let mut out = Vec::new();
+        self.for_each_successor(u, &mut |v| out.push(v));
         out.sort_unstable();
         out.dedup();
         out
     }
 
-    fn out_degree(&self, u: NodeId) -> usize {
-        self.successors(u).len()
+    fn insert_edges(&mut self, edges: &[(NodeId, NodeId)]) -> usize {
+        // Every edge still hashes into the matrix individually; the only
+        // hoistable setup is the source registration, done once per run.
+        let mut created = 0usize;
+        for_each_source_run(
+            edges,
+            |e| e.0,
+            |u, run| {
+                let mut any = false;
+                for &(_, v) in run {
+                    if self.has_edge(u, v) {
+                        continue;
+                    }
+                    let cells = self.candidate_cells(u, v);
+                    let shortest = cells
+                        .into_iter()
+                        .min_by_key(|&c| self.matrix[c].edges.len())
+                        .expect("at least one candidate cell");
+                    self.matrix[shortest].edges.push((u, v));
+                    created += 1;
+                    any = true;
+                }
+                if any {
+                    self.sources.insert(u);
+                }
+            },
+        );
+        self.edges += created;
+        created
     }
 
     fn edge_count(&self) -> usize {
@@ -189,10 +230,6 @@ impl DynamicGraph for WindBellIndex {
 
     fn node_count(&self) -> usize {
         self.sources.len()
-    }
-
-    fn nodes(&self) -> Vec<NodeId> {
-        self.sources.iter().copied().collect()
     }
 
     fn scheme(&self) -> GraphScheme {

@@ -101,6 +101,92 @@ fn bench_delete(c: &mut Criterion) {
     group.finish();
 }
 
+/// Successor scans through the zero-allocation visitor, with the CuckooGraph
+/// Vec-collecting path as an extra series so the refactor's win stays visible.
+fn bench_successor_scan(c: &mut Criterion) {
+    let edges = generate(DatasetKind::NotreDame, SCALE, SEED).distinct_edges();
+    let mut group = c.benchmark_group("scan_successors_NotreDame");
+    group.throughput(criterion::Throughput::Elements(edges.len() as u64));
+    for scheme in schemes() {
+        let mut graph = scheme.build();
+        graph.insert_edges(&edges);
+        let mut sources = Vec::new();
+        graph.for_each_node(&mut |u| sources.push(u));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, _| {
+                b.iter(|| {
+                    let mut sum = 0u64;
+                    for &u in &sources {
+                        graph.for_each_successor(u, &mut |v| sum = sum.wrapping_add(v));
+                    }
+                    sum
+                });
+            },
+        );
+        if scheme == SchemeKind::CuckooGraph {
+            group.bench_with_input(
+                BenchmarkId::from_parameter("Ours (Vec path)"),
+                &scheme,
+                |b, _| {
+                    b.iter(|| {
+                        let mut sum = 0u64;
+                        for &u in &sources {
+                            for v in graph.successors(u) {
+                                sum = sum.wrapping_add(v);
+                            }
+                        }
+                        sum
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Batched `insert_edges` vs the per-edge loop on a source-sorted batch.
+fn bench_batched_insert(c: &mut Criterion) {
+    let mut edges = generate(DatasetKind::Caida, SCALE, SEED).distinct_edges();
+    edges.sort_unstable();
+    let mut group = c.benchmark_group("insert_batched_CAIDA");
+    group.throughput(criterion::Throughput::Elements(edges.len() as u64));
+    for scheme in schemes() {
+        group.bench_with_input(
+            BenchmarkId::new("batch", scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                b.iter_batched(
+                    || scheme.build(),
+                    |mut graph| {
+                        graph.insert_edges(&edges);
+                        graph
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("loop", scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                b.iter_batched(
+                    || scheme.build(),
+                    |mut graph| {
+                        for &(u, v) in &edges {
+                            graph.insert_edge(u, v);
+                        }
+                        graph
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
 /// Figure 9 companion: not a timing benchmark but a quick per-scheme memory
 /// report printed once so `cargo bench` output carries the space comparison.
 fn bench_memory_report(c: &mut Criterion) {
@@ -131,6 +217,7 @@ criterion_group! {
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_insert, bench_query, bench_delete, bench_memory_report
+    targets = bench_insert, bench_query, bench_delete, bench_successor_scan,
+        bench_batched_insert, bench_memory_report
 }
 criterion_main!(operations);

@@ -6,7 +6,10 @@
 //! whole evaluation in text form.
 
 use crate::schemes::SchemeKind;
-use crate::workload::{memory_curve, run_deletes, run_inserts, run_queries};
+use crate::workload::{
+    memory_curve, run_batched_inserts, run_deletes, run_inserts, run_queries, run_successor_scans,
+    run_successor_scans_vec,
+};
 use crate::HARNESS_SEED;
 use cuckoograph::chain::{ChainParams, TableChain};
 use cuckoograph::{CuckooGraph, CuckooGraphConfig};
@@ -134,6 +137,11 @@ pub enum Experiment {
     Fig17,
     /// Figure 18: Neo4j-like store with and without CuckooGraph.
     Fig18,
+    /// Successor-scan throughput through the zero-allocation visitor (and the
+    /// Vec-collecting path it replaced).
+    SuccScan,
+    /// Batched vs per-edge insertion throughput.
+    BatchInsert,
 }
 
 impl Experiment {
@@ -141,8 +149,29 @@ impl Experiment {
     pub fn all() -> Vec<Experiment> {
         use Experiment::*;
         vec![
-            Table2, Table3, Table4, Theorem1, Fig2, Fig3, Fig4, Fig5, Fig6, Fig7, Fig8, Fig9,
-            Fig10, Fig11, Fig12, Fig13, Fig14, Fig15, Fig16, Fig17, Fig18,
+            Table2,
+            Table3,
+            Table4,
+            Theorem1,
+            Fig2,
+            Fig3,
+            Fig4,
+            Fig5,
+            Fig6,
+            Fig7,
+            Fig8,
+            Fig9,
+            Fig10,
+            Fig11,
+            Fig12,
+            Fig13,
+            Fig14,
+            Fig15,
+            Fig16,
+            Fig17,
+            Fig18,
+            SuccScan,
+            BatchInsert,
         ]
     }
 
@@ -170,6 +199,8 @@ impl Experiment {
             Experiment::Fig16 => "fig16",
             Experiment::Fig17 => "fig17",
             Experiment::Fig18 => "fig18",
+            Experiment::SuccScan => "scan",
+            Experiment::BatchInsert => "batch",
         }
     }
 
@@ -202,6 +233,8 @@ impl Experiment {
             Experiment::Fig16 => "Local Clustering Coefficient running time",
             Experiment::Fig17 => "CuckooGraph behind the Redis-like command path",
             Experiment::Fig18 => "Neo4j-like store with vs without the CuckooGraph index",
+            Experiment::SuccScan => "successor-scan throughput (visitor vs Vec-collecting path)",
+            Experiment::BatchInsert => "batched vs per-edge insertion throughput",
         }
     }
 
@@ -229,6 +262,8 @@ impl Experiment {
             Experiment::Fig16 => analytics_task(scale, Task::Lcc),
             Experiment::Fig17 => kvstore_throughput(scale),
             Experiment::Fig18 => graphdb_comparison(scale),
+            Experiment::SuccScan => successor_scan(scale),
+            Experiment::BatchInsert => batch_insert(scale),
         }
     }
 }
@@ -835,6 +870,109 @@ fn analytics_task(scale: f64, task: Task) -> ExperimentReport {
 }
 
 // ---------------------------------------------------------------------------
+// Traversal and mutation surface (successor scans, batched inserts)
+// ---------------------------------------------------------------------------
+
+/// Number of scan rounds per measurement, so small datasets still produce a
+/// timeable amount of work.
+const SCAN_ROUNDS: usize = 4;
+
+/// The source-node lineup of a populated graph, gathered through the
+/// zero-allocation visitor (setup, not part of any timed loop).
+fn scan_sources(graph: &dyn DynamicGraph) -> Vec<NodeId> {
+    let mut sources = Vec::with_capacity(graph.node_count());
+    graph.for_each_node(&mut |u| sources.push(u));
+    sources.sort_unstable();
+    sources
+}
+
+fn successor_scan(scale: f64) -> ExperimentReport {
+    let mut headers = vec!["Dataset".to_string()];
+    headers.extend(
+        SchemeKind::paper_lineup()
+            .iter()
+            .map(|s| s.label().to_string()),
+    );
+    headers.push("Ours (Vec path)".into());
+    let mut rows = Vec::new();
+    for kind in datasets_for_ops() {
+        let dedup = distinct_edges(kind, scale);
+        let mut row = vec![kind.name().to_string()];
+        let mut cuckoo_vec = String::new();
+        for scheme in SchemeKind::paper_lineup() {
+            let mut graph = scheme.build();
+            graph.insert_edges(&dedup);
+            let sources = scan_sources(graph.as_ref());
+            let (mops, _) = run_successor_scans(graph.as_ref(), &sources, SCAN_ROUNDS);
+            row.push(fmt(mops));
+            if scheme == SchemeKind::CuckooGraph {
+                let (vec_mops, _) = run_successor_scans_vec(graph.as_ref(), &sources, SCAN_ROUNDS);
+                cuckoo_vec = fmt(vec_mops);
+            }
+        }
+        row.push(cuckoo_vec);
+        rows.push(row);
+    }
+    ExperimentReport {
+        id: "scan".into(),
+        tables: vec![ReportTable {
+            title: "Successor-scan throughput (million visited edges per second)".into(),
+            headers,
+            rows,
+        }],
+        notes: vec![
+            "Every scheme is scanned through `for_each_successor`; the last column repeats \
+             CuckooGraph through the Vec-collecting `successors()` path the visitors replaced \
+             (one heap allocation per vertex visit)."
+                .into(),
+        ],
+    }
+}
+
+fn batch_insert(scale: f64) -> ExperimentReport {
+    let mut headers = vec!["Dataset".to_string()];
+    for scheme in SchemeKind::paper_lineup() {
+        headers.push(format!("{} batch", scheme.label()));
+        headers.push(format!("{} loop", scheme.label()));
+    }
+    let mut rows = Vec::new();
+    for kind in datasets_for_ops() {
+        // Sort by source so the run-grouped fast paths see whole adjacencies.
+        let mut edges = distinct_edges(kind, scale);
+        edges.sort_unstable();
+        let mut row = vec![kind.name().to_string()];
+        for scheme in SchemeKind::paper_lineup() {
+            let mut batched = scheme.build();
+            let batch_mops = run_batched_inserts(batched.as_mut(), &edges);
+            let mut looped = scheme.build();
+            let loop_mops = run_inserts(looped.as_mut(), &edges);
+            assert_eq!(
+                batched.edge_count(),
+                looped.edge_count(),
+                "{}: batched and per-edge inserts disagree",
+                scheme.label()
+            );
+            row.push(fmt(batch_mops));
+            row.push(fmt(loop_mops));
+        }
+        rows.push(row);
+    }
+    ExperimentReport {
+        id: "batch".into(),
+        tables: vec![ReportTable {
+            title: "Insertion throughput, batched `insert_edges` vs per-edge loop (Mops)".into(),
+            headers,
+            rows,
+        }],
+        notes: vec![
+            "Batches are sorted by source node, the bulk-load shape; the batched path hoists \
+             node-cell resolution and config reads out of the per-edge loop."
+                .into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Integrations (Figures 17–18)
 // ---------------------------------------------------------------------------
 
@@ -1066,6 +1204,32 @@ mod tests {
             scan_touched > indexed_touched,
             "scan path should touch more records ({scan_touched} vs {indexed_touched})"
         );
+    }
+
+    #[test]
+    fn successor_scan_report_covers_every_scheme_plus_vec_column() {
+        let report = successor_scan(TEST_SCALE);
+        assert_eq!(report.tables[0].headers.len(), 7);
+        assert_eq!(report.tables[0].rows.len(), 7);
+        for row in &report.tables[0].rows {
+            for cell in &row[1..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!(v > 0.0, "non-positive scan throughput: {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_insert_report_pairs_batch_and_loop_columns() {
+        let report = batch_insert(TEST_SCALE);
+        assert_eq!(report.tables[0].headers.len(), 11);
+        assert_eq!(report.tables[0].rows.len(), 7);
+        for row in &report.tables[0].rows {
+            for cell in &row[1..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!(v > 0.0, "non-positive insert throughput: {row:?}");
+            }
+        }
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub mod workload;
 
 pub use experiments::{Experiment, ExperimentReport, ReportTable};
 pub use schemes::SchemeKind;
-pub use workload::{run_deletes, run_inserts, run_queries, Mops};
+pub use workload::{
+    run_batched_inserts, run_deletes, run_inserts, run_queries, run_successor_scans,
+    run_successor_scans_vec, Mops,
+};
 
 /// The scale factor applied to the Table IV dataset profiles when the harness
 /// synthesises its workloads. Override with the `REPRO_SCALE` environment

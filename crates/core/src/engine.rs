@@ -12,7 +12,7 @@
 //! payload type (`NodeId`, [`crate::payload::WeightedSlot`],
 //! [`crate::payload::MultiSlot`]) and the per-variant edge semantics.
 
-use crate::cell::{CellCtx, NeighborInsert};
+use crate::cell::{Cell, CellCtx, NeighborInsert};
 use crate::chain::ChainParams;
 use crate::config::CuckooGraphConfig;
 use crate::denylist::SmallDenylist;
@@ -20,7 +20,19 @@ use crate::lcht::NodeTable;
 use crate::payload::Payload;
 use crate::rng::KickRng;
 use crate::stats::StructureStats;
-use graph_api::NodeId;
+use graph_api::{for_each_source_run, NodeId};
+
+/// Instrumentation counters for the neighbour (S-CHT) level, bundled so the
+/// insert helpers can borrow them alongside a cell without touching the rest
+/// of the engine.
+#[derive(Debug, Clone, Copy, Default)]
+struct SchtCounters {
+    placements: u64,
+    items: u64,
+    expansions: u64,
+    contractions: u64,
+    failures: u64,
+}
 
 /// The payload-generic CuckooGraph engine.
 #[derive(Debug, Clone)]
@@ -31,11 +43,84 @@ pub struct Engine<P> {
     cell_ctx: CellCtx,
     rng: KickRng,
     edges: usize,
-    scht_placements: u64,
-    scht_items: u64,
-    scht_expansions: u64,
-    scht_contractions: u64,
-    s_failures: u64,
+    scht: SchtCounters,
+}
+
+/// Places `payload` into `cell`, routing kick-out failures to the S-DL (or
+/// forcing chain expansions when it is full or disabled) and draining matching
+/// S-DL entries back in after an expansion — the whole per-payload insertion
+/// machinery of § III-A3, expressed over disjoint borrows of the engine's
+/// fields so batch drivers can hold the cell across a run of edges.
+fn settle_payload<P: Payload>(
+    cell: &mut Cell<P>,
+    s_dl: &mut SmallDenylist<P>,
+    ctx: &CellCtx,
+    use_denylist: bool,
+    rng: &mut KickRng,
+    counters: &mut SchtCounters,
+    payload: P,
+) {
+    if cell.is_transformed() {
+        counters.items += 1;
+    }
+    let u = cell.node();
+    match cell.insert(payload, ctx, rng, &mut counters.placements) {
+        NeighborInsert::Stored { expanded } => {
+            if expanded {
+                counters.expansions += 1;
+                // § III-A2 step 3: on every S-CHT expansion, the S-DL
+                // entries whose source matches move into the new table.
+                let drained = s_dl.drain_for(u);
+                if !drained.is_empty() {
+                    let rejected = cell.reinsert_batch(drained, ctx, rng, &mut counters.placements);
+                    for p in rejected {
+                        s_dl.push_forced(u, p);
+                    }
+                }
+            }
+        }
+        NeighborInsert::Failed(p) => {
+            counters.failures += 1;
+            if use_denylist {
+                if let Err(p) = s_dl.push(u, p) {
+                    force_store_into(cell, s_dl, ctx, rng, counters, p);
+                }
+            } else {
+                force_store_into(cell, s_dl, ctx, rng, counters, p);
+            }
+        }
+    }
+}
+
+/// Last-resort storage path: expand the cell's chain until the payload
+/// settles. Used when the S-DL is full or disabled (the Figure 5 ablation
+/// expands on every failure instead of denylisting).
+fn force_store_into<P: Payload>(
+    cell: &mut Cell<P>,
+    s_dl: &mut SmallDenylist<P>,
+    ctx: &CellCtx,
+    rng: &mut KickRng,
+    counters: &mut SchtCounters,
+    payload: P,
+) {
+    let u = cell.node();
+    let mut pending = payload;
+    loop {
+        let displaced = cell.force_expand(ctx, rng, &mut counters.placements);
+        counters.expansions += 1;
+        for p in displaced {
+            s_dl.push_forced(u, p);
+        }
+        match cell.insert(pending, ctx, rng, &mut counters.placements) {
+            NeighborInsert::Stored { expanded } => {
+                if expanded {
+                    counters.expansions += 1;
+                }
+                break;
+            }
+            NeighborInsert::Failed(p) => pending = p,
+        }
+    }
 }
 
 impl<P: Payload> Engine<P> {
@@ -78,11 +163,7 @@ impl<P: Payload> Engine<P> {
             cell_ctx,
             config,
             edges: 0,
-            scht_placements: 0,
-            scht_items: 0,
-            scht_expansions: 0,
-            scht_contractions: 0,
-            s_failures: 0,
+            scht: SchtCounters::default(),
         }
     }
 
@@ -104,6 +185,11 @@ impl<P: Payload> Engine<P> {
     /// Every known source node.
     pub fn nodes(&self) -> Vec<NodeId> {
         self.nodes.nodes()
+    }
+
+    /// Calls `f` for every known source node without allocating.
+    pub fn for_each_node(&self, mut f: impl FnMut(NodeId)) {
+        self.nodes.for_each(|cell| f(cell.node()));
     }
 
     /// True if node `u` has a cell (it has, or has had, outgoing edges).
@@ -146,66 +232,66 @@ impl<P: Payload> Engine<P> {
         let ctx = self.cell_ctx;
         let use_denylist = self.config.use_denylist;
         let cell = self.nodes.ensure(u, &mut self.rng);
-        if cell.is_transformed() {
-            self.scht_items += 1;
-        }
-        match cell.insert(payload, &ctx, &mut self.rng, &mut self.scht_placements) {
-            NeighborInsert::Stored { expanded } => {
-                if expanded {
-                    self.scht_expansions += 1;
-                    // § III-A2 step 3: on every S-CHT expansion, the S-DL
-                    // entries whose source matches move into the new table.
-                    let drained = self.s_dl.drain_for(u);
-                    if !drained.is_empty() {
-                        let rejected = cell.reinsert_batch(
-                            drained,
-                            &ctx,
-                            &mut self.rng,
-                            &mut self.scht_placements,
-                        );
-                        for p in rejected {
-                            self.s_dl.push_forced(u, p);
-                        }
-                    }
-                }
-            }
-            NeighborInsert::Failed(p) => {
-                self.s_failures += 1;
-                if use_denylist {
-                    if let Err(p) = self.s_dl.push(u, p) {
-                        self.force_store(u, p);
-                    }
-                } else {
-                    self.force_store(u, p);
-                }
-            }
-        }
+        settle_payload(
+            cell,
+            &mut self.s_dl,
+            &ctx,
+            use_denylist,
+            &mut self.rng,
+            &mut self.scht,
+            payload,
+        );
         self.edges += 1;
     }
 
-    /// Last-resort storage path: expand the cell's chain until the payload
-    /// settles. Used when the S-DL is full or disabled (the Figure 5 ablation
-    /// expands on every failure instead of denylisting).
-    fn force_store(&mut self, u: NodeId, payload: P) {
+    /// Batched insert-or-update over `items`, driving the same per-payload
+    /// machinery as [`Engine::insert_new`] but hoisting the per-edge setup out
+    /// of the loop: the configuration reads happen once, and the node cell is
+    /// resolved once per run of consecutive same-source items instead of once
+    /// per edge (bulk loads are typically grouped by source, so a run covers
+    /// the whole adjacency of a node).
+    ///
+    /// For each item, `endpoints` names the edge `⟨u, v⟩`; when the edge is
+    /// already stored `update` mutates the payload in place, otherwise `make`
+    /// builds the payload to insert. Returns the number of newly created
+    /// edges.
+    pub fn insert_batch<E>(
+        &mut self,
+        items: &[E],
+        endpoints: impl Fn(&E) -> (NodeId, NodeId),
+        mut make: impl FnMut(&E) -> P,
+        mut update: impl FnMut(&E, &mut P),
+    ) -> usize {
         let ctx = self.cell_ctx;
-        let cell = self.nodes.get_mut(u).expect("cell exists for forced store");
-        let mut pending = payload;
-        loop {
-            let displaced = cell.force_expand(&ctx, &mut self.rng, &mut self.scht_placements);
-            self.scht_expansions += 1;
-            for p in displaced {
-                self.s_dl.push_forced(u, p);
-            }
-            match cell.insert(pending, &ctx, &mut self.rng, &mut self.scht_placements) {
-                NeighborInsert::Stored { expanded } => {
-                    if expanded {
-                        self.scht_expansions += 1;
+        let use_denylist = self.config.use_denylist;
+        let nodes = &mut self.nodes;
+        let s_dl = &mut self.s_dl;
+        let rng = &mut self.rng;
+        let scht = &mut self.scht;
+        let edges = &mut self.edges;
+        let mut created = 0usize;
+        for_each_source_run(
+            items,
+            |e| endpoints(e).0,
+            |u, run| {
+                let cell = nodes.ensure(u, rng);
+                for item in run {
+                    let (_, v) = endpoints(item);
+                    if let Some(p) = cell.get_mut(v) {
+                        update(item, p);
+                        continue;
                     }
-                    break;
+                    if let Some(p) = s_dl.get_mut(u, v) {
+                        update(item, p);
+                        continue;
+                    }
+                    settle_payload(cell, s_dl, &ctx, use_denylist, rng, scht, make(item));
+                    *edges += 1;
+                    created += 1;
                 }
-                NeighborInsert::Failed(p) => pending = p,
-            }
-        }
+            },
+        );
+        created
     }
 
     /// Removes the payload for edge `⟨u, v⟩`, applying the reverse
@@ -213,9 +299,9 @@ impl<P: Payload> Engine<P> {
     pub fn remove(&mut self, u: NodeId, v: NodeId) -> Option<P> {
         let ctx = self.cell_ctx;
         if let Some(cell) = self.nodes.get_mut(u) {
-            let res = cell.remove(v, &ctx, &mut self.rng, &mut self.scht_placements);
+            let res = cell.remove(v, &ctx, &mut self.rng, &mut self.scht.placements);
             if res.contracted {
-                self.scht_contractions += 1;
+                self.scht.contractions += 1;
             }
             for p in res.displaced {
                 self.s_dl.push_forced(u, p);
@@ -289,11 +375,11 @@ impl<P: Payload> Engine<P> {
             s_denylist_len: self.s_dl.len(),
             lcht_placements: counters.placements,
             lcht_items: counters.items,
-            scht_placements: self.scht_placements,
-            scht_items: self.scht_items,
-            insertion_failures: counters.failures + self.s_failures,
-            expansions: self.nodes.expansions() + self.scht_expansions,
-            contractions: self.nodes.contractions() + self.scht_contractions,
+            scht_placements: self.scht.placements,
+            scht_items: self.scht.items,
+            insertion_failures: counters.failures + self.scht.failures,
+            expansions: self.nodes.expansions() + self.scht.expansions,
+            contractions: self.nodes.contractions() + self.scht.contractions,
         }
     }
 }
@@ -437,6 +523,69 @@ mod tests {
             "memory did not shrink: peak={peak}, now={}",
             e.memory_bytes()
         );
+    }
+
+    #[test]
+    fn insert_batch_matches_per_edge_inserts() {
+        // Same workload via the batch path and the per-edge path; the stored
+        // edge sets (and the duplicate handling) must be identical.
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for u in 0..40u64 {
+            for v in 0..25u64 {
+                edges.push((u, v * 3));
+            }
+        }
+        edges.push((7, 0)); // duplicate against the stored graph
+        edges.push((7, 0)); // duplicate within the batch tail
+
+        let mut batched = engine();
+        let created = batched.insert_batch(&edges, |&e| e, |&(_, v)| v, |_, _| {});
+        assert_eq!(created, 40 * 25);
+        assert_eq!(batched.edge_count(), 40 * 25);
+
+        let mut looped = engine();
+        for &(u, v) in &edges {
+            if !looped.contains(u, v) {
+                looped.insert_new(u, v);
+            }
+        }
+        assert_eq!(batched.edge_count(), looped.edge_count());
+        assert_eq!(batched.node_count(), looped.node_count());
+        for u in 0..40u64 {
+            let mut a = batched.successors(u);
+            let mut b = looped.successors(u);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "successors of {u} differ");
+        }
+    }
+
+    #[test]
+    fn insert_batch_updates_existing_payloads() {
+        let mut e: Engine<crate::payload::WeightedSlot> =
+            Engine::new(CuckooGraphConfig::default(), 3);
+        let items = [(1u64, 2u64, 5u64), (1, 2, 4), (1, 3, 1)];
+        let created = e.insert_batch(
+            &items,
+            |&(u, v, _)| (u, v),
+            |&(_, v, w)| crate::payload::WeightedSlot { v, w },
+            |&(_, _, w), slot| slot.w += w,
+        );
+        assert_eq!(created, 2);
+        assert_eq!(e.get(1, 2).unwrap().w, 9);
+        assert_eq!(e.get(1, 3).unwrap().w, 1);
+    }
+
+    #[test]
+    fn for_each_node_visits_every_source_once() {
+        let mut e = engine();
+        for u in [3u64, 9, 12, 500] {
+            e.insert_new(u, 1);
+        }
+        let mut seen = Vec::new();
+        e.for_each_node(|u| seen.push(u));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![3, 9, 12, 500]);
     }
 
     #[test]

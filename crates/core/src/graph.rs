@@ -103,8 +103,17 @@ impl DynamicGraph for CuckooGraph {
         self.engine.for_each_payload(u, |p| f(*p));
     }
 
+    fn for_each_node(&self, f: &mut dyn FnMut(NodeId)) {
+        self.engine.for_each_node(f);
+    }
+
     fn out_degree(&self, u: NodeId) -> usize {
         self.engine.out_degree(u)
+    }
+
+    fn insert_edges(&mut self, edges: &[(NodeId, NodeId)]) -> usize {
+        self.engine
+            .insert_batch(edges, |&e| e, |&(_, v)| v, |_, _| {})
     }
 
     fn edge_count(&self) -> usize {

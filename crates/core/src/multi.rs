@@ -80,6 +80,33 @@ impl MultiEdgeCuckooGraph {
         true
     }
 
+    /// Registers a batch of parallel edges `(u, v, edge_id)`, hoisting the
+    /// node-cell resolution out of the loop for runs of same-source edges —
+    /// the bulk-load path the graph-database import uses. Duplicate ids on a
+    /// pair are ignored, as in [`MultiEdgeCuckooGraph::add_edge`]. Returns the
+    /// number of edges actually registered.
+    pub fn add_edges(&mut self, edges: &[(NodeId, NodeId, EdgeId)]) -> usize {
+        for &(_, _, edge_id) in edges {
+            if edge_id == self.next_auto_id {
+                self.next_auto_id = self.next_auto_id.saturating_sub(1);
+            }
+        }
+        let mut appended = 0usize;
+        let created = self.engine.insert_batch(
+            edges,
+            |&(u, v, _)| (u, v),
+            |&(_, v, id)| MultiSlot { v, edges: vec![id] },
+            |&(_, _, id), slot| {
+                if !slot.edges.contains(&id) {
+                    slot.edges.push(id);
+                    appended += 1;
+                }
+            },
+        );
+        self.total_edges += created + appended;
+        created + appended
+    }
+
     /// True if at least one edge connects `u` to `v`.
     pub fn has_any_edge(&self, u: NodeId, v: NodeId) -> bool {
         self.engine.contains(u, v)
@@ -194,8 +221,28 @@ impl DynamicGraph for MultiEdgeCuckooGraph {
         self.engine.for_each_payload(u, |slot| f(slot.v));
     }
 
+    fn for_each_node(&self, f: &mut dyn FnMut(NodeId)) {
+        self.engine.for_each_node(f);
+    }
+
     fn out_degree(&self, u: NodeId) -> usize {
         self.engine.out_degree(u)
+    }
+
+    fn insert_edges(&mut self, edges: &[(NodeId, NodeId)]) -> usize {
+        let next_auto_id = &mut self.next_auto_id;
+        let created = self.engine.insert_batch(
+            edges,
+            |&e| e,
+            |&(_, v)| {
+                let id = *next_auto_id;
+                *next_auto_id = next_auto_id.saturating_sub(1);
+                MultiSlot { v, edges: vec![id] }
+            },
+            |_, _| {},
+        );
+        self.total_edges += created;
+        created
     }
 
     fn edge_count(&self) -> usize {

@@ -114,6 +114,19 @@ impl WeightedDynamicGraph for WeightedCuckooGraph {
         remaining
     }
 
+    fn for_each_weighted_successor(&self, u: NodeId, f: &mut dyn FnMut(NodeId, u64)) {
+        self.engine.for_each_payload(u, |slot| f(slot.v, slot.w));
+    }
+
+    fn insert_weighted_edges(&mut self, edges: &[(NodeId, NodeId, u64)]) -> usize {
+        self.engine.insert_batch(
+            edges,
+            |&(u, v, _)| (u, v),
+            |&(_, v, w)| WeightedSlot { v, w },
+            |&(_, _, w), slot| slot.w += w,
+        )
+    }
+
     fn distinct_edge_count(&self) -> usize {
         self.engine.edge_count()
     }
@@ -149,8 +162,23 @@ impl DynamicGraph for WeightedCuckooGraph {
         self.engine.for_each_payload(u, |slot| f(slot.v));
     }
 
+    fn for_each_node(&self, f: &mut dyn FnMut(NodeId)) {
+        self.engine.for_each_node(f);
+    }
+
     fn out_degree(&self, u: NodeId) -> usize {
         self.engine.out_degree(u)
+    }
+
+    fn insert_edges(&mut self, edges: &[(NodeId, NodeId)]) -> usize {
+        // Mirrors `insert_edge`: a duplicate bumps the weight instead of
+        // being ignored, but only newly created distinct edges are counted.
+        self.engine.insert_batch(
+            edges,
+            |&e| e,
+            |&(_, v)| WeightedSlot { v, w: 1 },
+            |_, slot| slot.w += 1,
+        )
     }
 
     fn edge_count(&self) -> usize {

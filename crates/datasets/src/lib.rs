@@ -20,7 +20,7 @@ pub mod profile;
 pub mod stats;
 
 pub use generator::{generate, Dataset};
-pub use loader::{load_snap_edge_list, parse_snap_edge_list};
+pub use loader::{load_snap_edge_list, parse_snap_edge_list, sample_edge_list_path};
 pub use profile::{DatasetKind, DatasetProfile};
 pub use stats::{compute_stats, DatasetStats};
 

@@ -42,6 +42,15 @@ pub fn load_snap_edge_list<P: AsRef<Path>>(path: P) -> std::io::Result<Vec<(Node
     parse_snap_edge_list(file)
 }
 
+/// Path of the tiny SNAP-style edge-list fixture committed with this crate
+/// (`data/web_sample.txt`), so tests and examples can exercise the real
+/// file-loading path without an external download.
+pub fn sample_edge_list_path() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("data")
+        .join("web_sample.txt")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +89,14 @@ mod tests {
     #[test]
     fn missing_file_is_an_error() {
         assert!(load_snap_edge_list("/nonexistent/path/to/edges.txt").is_err());
+    }
+
+    #[test]
+    fn committed_fixture_parses() {
+        let edges = load_snap_edge_list(sample_edge_list_path()).unwrap();
+        assert_eq!(edges.len(), 11, "fixture line count (incl. duplicate)");
+        assert_eq!(edges[0], (0, 1));
+        assert_eq!(edges[edges.len() - 1], (0, 1), "duplicate closing line");
+        assert!(edges.contains(&(14, 15)), "timestamp column is ignored");
     }
 }

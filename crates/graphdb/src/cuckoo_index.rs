@@ -30,6 +30,12 @@ impl CuckooEdgeIndex {
         self.graph.remove_edge(src, dst, relationship);
     }
 
+    /// Batched index maintenance for bulk imports: one node-cell resolution
+    /// per run of same-source relationships instead of one per relationship.
+    pub fn on_create_batch(&mut self, relationships: &[(NodeId, NodeId, EdgeId)]) {
+        self.graph.add_edges(relationships);
+    }
+
     /// The O(1) lookup the paper adds to Neo4j: an iterator over every
     /// relationship id connecting `src` to `dst`.
     pub fn edges_between(&self, src: NodeId, dst: NodeId) -> impl Iterator<Item = EdgeId> + '_ {

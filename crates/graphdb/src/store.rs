@@ -122,10 +122,10 @@ impl PropertyGraph {
             .unwrap_or_default()
     }
 
-    /// Creates a relationship `src → dst`; both endpoints are created if
-    /// missing. The relationship is appended to both endpoints' chains and to
-    /// the CuckooGraph index when one is attached.
-    pub fn create_relationship(
+    /// Allocates the id, inserts the record, and links both endpoint chains —
+    /// everything relationship creation does *except* notifying the index,
+    /// which the per-edge and bulk paths handle differently.
+    fn insert_relationship_record(
         &mut self,
         src: NodeId,
         dst: NodeId,
@@ -156,10 +156,48 @@ impl PropertyGraph {
                 .relationships
                 .push(id);
         }
+        id
+    }
+
+    /// Creates a relationship `src → dst`; both endpoints are created if
+    /// missing. The relationship is appended to both endpoints' chains and to
+    /// the CuckooGraph index when one is attached.
+    pub fn create_relationship(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        rel_type: &str,
+    ) -> RelationshipId {
+        let id = self.insert_relationship_record(src, dst, rel_type);
         if let Some(index) = &mut self.index {
             index.on_create(src, dst, id);
         }
         id
+    }
+
+    /// Bulk import: creates one relationship per `(src, dst)` pair, all with
+    /// the same type, and feeds the CuckooGraph index through its batched
+    /// insert path (when attached) instead of one index update per edge —
+    /// the § V-G CAIDA import is exactly this shape. Returns the ids in input
+    /// order.
+    pub fn create_relationships(
+        &mut self,
+        edges: &[(NodeId, NodeId)],
+        rel_type: &str,
+    ) -> Vec<RelationshipId> {
+        let mut ids = Vec::with_capacity(edges.len());
+        let mut indexed = Vec::with_capacity(if self.index.is_some() { edges.len() } else { 0 });
+        for &(src, dst) in edges {
+            let id = self.insert_relationship_record(src, dst, rel_type);
+            if self.index.is_some() {
+                indexed.push((src, dst, id));
+            }
+            ids.push(id);
+        }
+        if let Some(index) = &mut self.index {
+            index.on_create_batch(&indexed);
+        }
+        ids
     }
 
     /// Sets a relationship property.
@@ -317,6 +355,36 @@ mod tests {
         assert_eq!(db.relationship_count(), 1);
         assert_eq!(db.degree(a), 1);
         assert_eq!(db.degree(b), 1);
+    }
+
+    #[test]
+    fn bulk_import_matches_per_edge_creation() {
+        let edges: Vec<(u64, u64)> = (0..200u64).map(|i| (i % 8, i % 31)).collect();
+        let mut bulk = PropertyGraph::with_cuckoo_index();
+        let mut single = PropertyGraph::with_cuckoo_index();
+        let ids = bulk.create_relationships(&edges, "T");
+        assert_eq!(ids.len(), edges.len());
+        for &(u, v) in &edges {
+            single.create_relationship(u, v, "T");
+        }
+        assert_eq!(bulk.relationship_count(), single.relationship_count());
+        assert_eq!(bulk.node_count(), single.node_count());
+        for &(u, v) in &edges {
+            let (a, _) = bulk.relationships_between(u, v);
+            let (b, _) = single.relationships_between(u, v);
+            assert_eq!(a.len(), b.len(), "pair ({u}, {v})");
+            assert_eq!(bulk.degree(u), single.degree(u));
+        }
+    }
+
+    #[test]
+    fn bulk_import_without_index_still_links_chains() {
+        let mut db = PropertyGraph::new();
+        let ids = db.create_relationships(&[(1, 2), (1, 3), (2, 3)], "T");
+        assert_eq!(ids.len(), 3);
+        assert_eq!(db.degree(1), 2);
+        let (matches, _) = db.relationships_between(1, 3);
+        assert_eq!(matches, vec![ids[1]]);
     }
 
     #[test]

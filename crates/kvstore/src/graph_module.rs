@@ -175,7 +175,10 @@ impl Module for CuckooGraphModule {
                 match keyspace.module_get::<GraphValue>(key) {
                     None => Reply::Array(Vec::new()),
                     Some(value) => {
-                        let mut neighbors = value.graph.successors(u);
+                        let mut neighbors = Vec::with_capacity(value.graph.out_degree(u));
+                        value
+                            .graph
+                            .for_each_successor(u, &mut |v| neighbors.push(v));
                         neighbors.sort_unstable();
                         Reply::Array(
                             neighbors
@@ -202,14 +205,19 @@ impl Module for CuckooGraphModule {
                 bytes.len()
             ));
         }
-        let mut value = GraphValue::new();
+        // Decode the edge list, then bulk-load through the batched insert:
+        // snapshots are written sorted by (u, v), so the batch path resolves
+        // each source's cell once per adjacency run.
+        let mut edges = Vec::with_capacity(count);
         for i in 0..count {
             let at = 8 + i * 24;
             let u = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
             let v = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().expect("8 bytes"));
             let w = u64::from_le_bytes(bytes[at + 16..at + 24].try_into().expect("8 bytes"));
-            value.graph.insert_weighted(u, v, w);
+            edges.push((u, v, w));
         }
+        let mut value = GraphValue::new();
+        value.graph.insert_weighted_edges(&edges);
         Ok(Box::new(value))
     }
 }

@@ -1,0 +1,93 @@
+//! End-to-end SNAP loader exercise: parse the committed edge-list fixture,
+//! bulk-load it through the batched `insert_edges` path into every graph
+//! variant, and run the analytics kernels on the result — the full
+//! file → store → analytics pipeline the real SNAP datasets go through.
+
+use cuckoograph_repro::graph_analytics as analytics;
+use cuckoograph_repro::graph_api::{DynamicGraph, NodeId, WeightedDynamicGraph};
+use cuckoograph_repro::graph_baselines::SortledtonGraph;
+use cuckoograph_repro::graph_datasets::{load_snap_edge_list, sample_edge_list_path};
+use cuckoograph_repro::prelude::*;
+
+fn fixture_edges() -> Vec<(NodeId, NodeId)> {
+    load_snap_edge_list(sample_edge_list_path()).expect("committed fixture loads")
+}
+
+/// Every node of the fixture, including destination-only sinks that
+/// source-keyed schemes do not list.
+const FIXTURE_NODES: [NodeId; 9] = [0, 1, 2, 10, 11, 12, 13, 14, 15];
+
+#[test]
+fn loader_into_batched_insert_deduplicates() {
+    let edges = fixture_edges();
+    assert_eq!(edges.len(), 11);
+    let mut g = CuckooGraph::new();
+    let created = g.insert_edges(&edges);
+    assert_eq!(created, 10, "one duplicate line must be folded");
+    assert_eq!(g.edge_count(), 10);
+    assert_eq!(g.out_degree(0), 5);
+    let mut hub = g.successors(0);
+    hub.sort_unstable();
+    assert_eq!(hub, vec![1, 10, 11, 12, 13]);
+}
+
+#[test]
+fn analytics_pipeline_runs_on_the_fixture() {
+    let edges = fixture_edges();
+    let mut g = CuckooGraph::new();
+    g.insert_edges(&edges);
+
+    // BFS from the hub reaches the whole graph.
+    let order = analytics::bfs(&g, 0);
+    assert_eq!(order.len(), FIXTURE_NODES.len());
+
+    // The tail 0 → 13 → 14 → 15 gives distance 3.
+    let dist = analytics::dijkstra(&g, 0);
+    assert_eq!(dist.get(&15), Some(&3));
+
+    // Two directed triangles close at node 0: 0→1→2→0 and 0→10→2→0.
+    assert_eq!(analytics::triangles_containing(&g, 0), 2);
+
+    // SCCs: {0, 1, 2, 10} plus five singletons.
+    let comps = analytics::connected_components(&g, &FIXTURE_NODES);
+    assert_eq!(comps.count, 6);
+    assert_eq!(comps.largest(), 4);
+    assert_eq!(comps.assignment[&0], comps.assignment[&10]);
+
+    // PageRank stays a probability vector on the loaded graph.
+    let pr = analytics::pagerank(&g, &FIXTURE_NODES, &analytics::PageRankConfig::default());
+    assert!((pr.values().sum::<f64>() - 1.0).abs() < 1e-9);
+
+    // The hub has the largest total degree.
+    let top = analytics::top_degree_nodes(&g, 1);
+    assert_eq!(top, vec![0]);
+}
+
+#[test]
+fn every_scheme_loads_the_fixture_identically() {
+    let edges = fixture_edges();
+    let mut reference = CuckooGraph::new();
+    reference.insert_edges(&edges);
+    let mut other = SortledtonGraph::new();
+    other.insert_edges(&edges);
+    assert_eq!(reference.edge_count(), other.edge_count());
+    for &u in &FIXTURE_NODES {
+        let mut a = reference.successors(u);
+        let mut b = other.successors(u);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "successors of {u} differ across schemes");
+    }
+}
+
+#[test]
+fn weighted_load_counts_duplicate_lines() {
+    let edges = fixture_edges();
+    let weighted: Vec<(NodeId, NodeId, u64)> = edges.iter().map(|&(u, v)| (u, v, 1)).collect();
+    let mut g = WeightedCuckooGraph::new();
+    let created = g.insert_weighted_edges(&weighted);
+    assert_eq!(created, 10);
+    assert_eq!(g.weight(0, 1), 2, "the duplicate line accumulates weight");
+    assert_eq!(g.weight(1, 2), 1);
+    assert_eq!(g.total_weight(), 11);
+}

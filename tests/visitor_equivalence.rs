@@ -1,0 +1,155 @@
+//! Property tests for the zero-allocation trait surface: on every storage
+//! scheme and for arbitrary operation sequences, the visitors must agree with
+//! the collecting methods they replaced, and the batched insert must be
+//! equivalent to the per-edge loop.
+
+use cuckoograph_repro::graph_api::{DynamicGraph, NodeId};
+use cuckoograph_repro::graph_baselines::{
+    AdjacencyListGraph, LiveGraphStore, PcsrGraph, SortledtonGraph, SpruceGraph, WindBellIndex,
+};
+use cuckoograph_repro::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn all_schemes() -> Vec<(&'static str, Box<dyn DynamicGraph>)> {
+    vec![
+        (
+            "CuckooGraph",
+            Box::new(CuckooGraph::new()) as Box<dyn DynamicGraph>,
+        ),
+        ("Weighted", Box::new(WeightedCuckooGraph::new())),
+        ("MultiEdge", Box::new(MultiEdgeCuckooGraph::new())),
+        ("LiveGraph", Box::new(LiveGraphStore::new())),
+        ("Sortledton", Box::new(SortledtonGraph::new())),
+        ("WBI", Box::new(WindBellIndex::new())),
+        ("Spruce", Box::new(SpruceGraph::new())),
+        ("AdjList", Box::new(AdjacencyListGraph::new())),
+        ("PCSR", Box::new(PcsrGraph::new())),
+    ]
+}
+
+/// One operation of a randomised workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Delete(u64, u64),
+}
+
+fn op_strategy(node_range: u64) -> impl Strategy<Value = Op> {
+    let node = 0..node_range;
+    prop_oneof![
+        4 => (node.clone(), 0..node_range).prop_map(|(u, v)| Op::Insert(u, v)),
+        1 => (node, 0..node_range).prop_map(|(u, v)| Op::Delete(u, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After an arbitrary op sequence, on every scheme:
+    /// `for_each_successor` reports exactly `successors()`,
+    /// `out_degree` matches its length, and
+    /// `for_each_node` reports exactly `nodes()`.
+    #[test]
+    fn visitors_agree_with_collectors(ops in prop::collection::vec(op_strategy(48), 1..400)) {
+        for (name, mut graph) in all_schemes() {
+            for op in &ops {
+                match *op {
+                    Op::Insert(u, v) => {
+                        graph.insert_edge(u, v);
+                    }
+                    Op::Delete(u, v) => {
+                        graph.delete_edge(u, v);
+                    }
+                }
+            }
+            let mut visited_nodes = Vec::new();
+            graph.for_each_node(&mut |u| visited_nodes.push(u));
+            let via_visitor: BTreeSet<NodeId> = visited_nodes.iter().copied().collect();
+            let via_vec: BTreeSet<NodeId> = graph.nodes().into_iter().collect();
+            prop_assert_eq!(
+                visited_nodes.len(), via_visitor.len(),
+                "{}: for_each_node reported a node twice", name
+            );
+            prop_assert_eq!(&via_visitor, &via_vec, "{}: node sets differ", name);
+
+            for &u in &via_visitor {
+                let mut visited = Vec::new();
+                graph.for_each_successor(u, &mut |v| visited.push(v));
+                let via_cb: BTreeSet<NodeId> = visited.iter().copied().collect();
+                let via_vec: BTreeSet<NodeId> = graph.successors(u).into_iter().collect();
+                prop_assert_eq!(
+                    visited.len(), via_cb.len(),
+                    "{}: for_each_successor({}) reported a duplicate", name, u
+                );
+                prop_assert_eq!(&via_cb, &via_vec, "{}: successors of {} differ", name, u);
+                prop_assert_eq!(
+                    graph.out_degree(u), via_cb.len(),
+                    "{}: out_degree of {} differs", name, u
+                );
+            }
+        }
+    }
+
+    /// `insert_edges` is equivalent to the per-edge `insert_edge` loop on
+    /// every scheme: same created count, same edge set, same degrees.
+    #[test]
+    fn batched_insert_matches_per_edge_loop(
+        edges in prop::collection::vec((0..32u64, 0..32u64), 1..300),
+        sorted in proptest::bool::ANY,
+    ) {
+        let mut workload = edges;
+        if sorted {
+            // The bulk-load shape that exercises the run-grouped fast paths.
+            workload.sort_unstable();
+        }
+        for ((name, mut batched), (_, mut looped)) in
+            all_schemes().into_iter().zip(all_schemes())
+        {
+            let created = batched.insert_edges(&workload);
+            let mut expected = 0usize;
+            for &(u, v) in &workload {
+                if looped.insert_edge(u, v) {
+                    expected += 1;
+                }
+            }
+            prop_assert_eq!(created, expected, "{}: created count differs", name);
+            prop_assert_eq!(
+                batched.edge_count(), looped.edge_count(),
+                "{}: edge counts differ", name
+            );
+            prop_assert_eq!(
+                batched.node_count(), looped.node_count(),
+                "{}: node counts differ", name
+            );
+            for u in 0..32u64 {
+                let a: BTreeSet<NodeId> = batched.successors(u).into_iter().collect();
+                let b: BTreeSet<NodeId> = looped.successors(u).into_iter().collect();
+                prop_assert_eq!(a, b, "{}: successors of {} differ", name, u);
+            }
+        }
+    }
+}
+
+/// The weighted batch is equivalent to the per-edge weighted loop, including
+/// weight accumulation across duplicate edges.
+#[test]
+fn weighted_batch_matches_per_edge_loop() {
+    let items: Vec<(u64, u64, u64)> = (0..400u64).map(|i| (i % 9, i % 23, i % 4 + 1)).collect();
+    let mut batched = WeightedCuckooGraph::new();
+    let mut looped = WeightedCuckooGraph::new();
+    let created = batched.insert_weighted_edges(&items);
+    for &(u, v, w) in &items {
+        looped.insert_weighted(u, v, w);
+    }
+    assert_eq!(created, looped.distinct_edge_count());
+    assert_eq!(batched.distinct_edge_count(), looped.distinct_edge_count());
+    assert_eq!(batched.total_weight(), looped.total_weight());
+    for u in 0..9u64 {
+        let mut a = batched.weighted_successors(u);
+        let mut b = looped.weighted_successors(u);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "weighted successors of {u} differ");
+    }
+}
