@@ -13,12 +13,14 @@
 //! | [`betweenness`] | Betweenness Centrality (Brandes) | Fig. 15 |
 //! | [`lcc`] | Local Clustering Coefficient | Fig. 16 |
 //! | [`subgraph`] | top-degree node selection and subgraph extraction | § V-E methodology |
+//! | [`parallel`] | per-shard parallel passes over [`graph_api::ShardedGraph`] | — |
 
 pub mod betweenness;
 pub mod bfs;
 pub mod cc;
 pub mod lcc;
 pub mod pagerank;
+pub mod parallel;
 pub mod sssp;
 pub mod subgraph;
 pub mod triangle;
@@ -28,8 +30,11 @@ pub use bfs::{bfs, bfs_from_top_degree};
 pub use cc::{connected_components, ComponentSummary};
 pub use lcc::local_clustering_coefficients;
 pub use pagerank::{pagerank, PageRankConfig};
+pub use parallel::{
+    par_connected_components, par_edge_count, par_nodes, par_top_degree_nodes, par_total_degrees,
+};
 pub use sssp::{dijkstra, sssp_from_top_degree};
-pub use subgraph::{extract_subgraph, top_degree_nodes, total_degrees};
+pub use subgraph::{extract_subgraph, rank_by_degree, top_degree_nodes, total_degrees};
 pub use triangle::triangles_containing;
 
 #[cfg(test)]

@@ -23,13 +23,20 @@ pub fn total_degrees<G: DynamicGraph + ?Sized>(graph: &G) -> HashMap<NodeId, usi
     degree
 }
 
-/// The `k` nodes with the largest total degree, in descending degree order.
-/// Ties break towards the smaller node id so results are deterministic.
-pub fn top_degree_nodes<G: DynamicGraph + ?Sized>(graph: &G, k: usize) -> Vec<NodeId> {
-    let degrees = total_degrees(graph);
+/// The `k` highest-degree nodes of a precomputed total-degree map, in
+/// descending degree order with ties broken towards the smaller node id so
+/// results are deterministic. Shared by the serial and per-shard-merged
+/// degree passes.
+pub fn rank_by_degree(degrees: HashMap<NodeId, usize>, k: usize) -> Vec<NodeId> {
     let mut nodes: Vec<(NodeId, usize)> = degrees.into_iter().collect();
     nodes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     nodes.into_iter().take(k).map(|(n, _)| n).collect()
+}
+
+/// The `k` nodes with the largest total degree, in descending degree order.
+/// Ties break towards the smaller node id so results are deterministic.
+pub fn top_degree_nodes<G: DynamicGraph + ?Sized>(graph: &G, k: usize) -> Vec<NodeId> {
+    rank_by_degree(total_degrees(graph), k)
 }
 
 /// Extracts the subgraph induced by `nodes` as an edge list: every stored edge

@@ -15,7 +15,7 @@ pub mod experiments;
 pub mod schemes;
 pub mod workload;
 
-pub use experiments::{Experiment, ExperimentReport, ReportTable};
+pub use experiments::{Experiment, ExperimentReport, ReportTable, SHARD_SWEEP};
 pub use schemes::SchemeKind;
 pub use workload::{
     run_batched_inserts, run_deletes, run_inserts, run_queries, run_successor_scans,

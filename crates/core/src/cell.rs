@@ -329,6 +329,15 @@ impl<P: Payload> Payload for Cell<P> {
     }
 }
 
+/// Compile-time proof that cells (and their transformable Part 2) are
+/// `Send + Sync`, as the sharded engine's thread fan-out requires.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Cell<NodeId>>();
+    assert_send_sync::<Cell<crate::payload::WeightedSlot>>();
+    assert_send_sync::<Cell<crate::payload::MultiSlot>>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

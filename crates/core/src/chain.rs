@@ -402,6 +402,13 @@ impl<T: Payload> TableChain<T> {
     }
 }
 
+/// Compile-time proof that table chains are `Send + Sync`, as the sharded
+/// engine's thread fan-out requires.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TableChain<graph_api::NodeId>>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

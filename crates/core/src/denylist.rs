@@ -205,6 +205,14 @@ impl<C> LargeDenylist<C> {
     }
 }
 
+/// Compile-time proof that both denylists are `Send + Sync`, as the sharded
+/// engine's thread fan-out requires.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SmallDenylist<NodeId>>();
+    assert_send_sync::<LargeDenylist<NodeId>>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -294,6 +294,49 @@ impl<P: Payload> Engine<P> {
         created
     }
 
+    /// Batched removal over `edges`, the deletion mirror of
+    /// [`Engine::insert_batch`]: the node cell is resolved once per run of
+    /// consecutive same-source edges instead of once per edge, while the
+    /// per-edge contraction bookkeeping matches [`Engine::remove`] exactly
+    /// (S-CHT chains shrink below `Λ`, displaced payloads park in the S-DL).
+    /// Returns how many edges were present and removed.
+    pub fn remove_batch(&mut self, edges: &[(NodeId, NodeId)]) -> usize {
+        let ctx = self.cell_ctx;
+        let nodes = &mut self.nodes;
+        let s_dl = &mut self.s_dl;
+        let rng = &mut self.rng;
+        let scht = &mut self.scht;
+        let edge_total = &mut self.edges;
+        let mut removed = 0usize;
+        for_each_source_run(
+            edges,
+            |&(u, _)| u,
+            |u, run| {
+                let mut cell = nodes.get_mut(u);
+                for &(_, v) in run {
+                    let in_cell = match cell.as_mut() {
+                        Some(cell) => {
+                            let res = cell.remove(v, &ctx, rng, &mut scht.placements);
+                            if res.contracted {
+                                scht.contractions += 1;
+                            }
+                            for p in res.displaced {
+                                s_dl.push_forced(u, p);
+                            }
+                            res.removed.is_some()
+                        }
+                        None => false,
+                    };
+                    if in_cell || s_dl.remove(u, v).is_some() {
+                        *edge_total -= 1;
+                        removed += 1;
+                    }
+                }
+            },
+        );
+        removed
+    }
+
     /// Removes the payload for edge `⟨u, v⟩`, applying the reverse
     /// TRANSFORMATION to the cell's chain when its loading rate drops below `Λ`.
     pub fn remove(&mut self, u: NodeId, v: NodeId) -> Option<P> {
@@ -383,6 +426,16 @@ impl<P: Payload> Engine<P> {
         }
     }
 }
+
+/// Compile-time proof that the whole engine stack is `Send + Sync` for every
+/// payload variant — the contract [`crate::shard::Sharded`] relies on to move
+/// per-shard engines across [`std::thread::scope`] threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine<NodeId>>();
+    assert_send_sync::<Engine<crate::payload::WeightedSlot>>();
+    assert_send_sync::<Engine<crate::payload::MultiSlot>>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -557,6 +610,78 @@ mod tests {
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "successors of {u} differ");
+        }
+    }
+
+    #[test]
+    fn remove_batch_matches_per_edge_removes() {
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for u in 0..30u64 {
+            for v in 0..20u64 {
+                edges.push((u, v * 7));
+            }
+        }
+        // Remove a same-source-grouped subset, plus misses (absent edges) and
+        // a duplicate removal within the batch.
+        let mut removals: Vec<(NodeId, NodeId)> =
+            edges.iter().copied().filter(|&(_, v)| v % 2 == 1).collect();
+        removals.push((5, 999)); // never stored
+        removals.push(removals[0]); // already removed by the batch head
+
+        let mut batched = engine();
+        let mut looped = engine();
+        for &(u, v) in &edges {
+            batched.insert_new(u, v);
+            looped.insert_new(u, v);
+        }
+        let removed = batched.remove_batch(&removals);
+        let mut expected = 0usize;
+        for &(u, v) in &removals {
+            if looped.remove(u, v).is_some() {
+                expected += 1;
+            }
+        }
+        assert_eq!(removed, expected);
+        assert_eq!(batched.edge_count(), looped.edge_count());
+        for u in 0..30u64 {
+            let mut a = batched.successors(u);
+            let mut b = looped.successors(u);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "successors of {u} differ after batch removal");
+        }
+    }
+
+    #[test]
+    fn remove_batch_shrinks_schts_and_keeps_lookups_exact() {
+        // Drive one node far past the transformation and several expansion
+        // thresholds, then delete back down through the batch path: the S-CHT
+        // chain must contract (ultimately collapsing to inline slots) and the
+        // surviving edges must remain exactly queryable.
+        let mut e = engine();
+        let survivors: Vec<(NodeId, NodeId)> = (0..4u64).map(|v| (9, v)).collect();
+        let doomed: Vec<(NodeId, NodeId)> = (4..2_000u64).map(|v| (9, v)).collect();
+        for &(u, v) in survivors.iter().chain(&doomed) {
+            e.insert_new(u, v);
+        }
+        let grown = e.stats();
+        assert!(grown.scht_slots > 0, "node never transformed");
+        let peak_memory = e.memory_bytes();
+
+        assert_eq!(e.remove_batch(&doomed), doomed.len());
+        let shrunk = e.stats();
+        assert!(shrunk.contractions > grown.contractions, "no contraction");
+        assert_eq!(
+            shrunk.scht_slots, 0,
+            "chain should collapse back to inline slots"
+        );
+        assert!(e.memory_bytes() < peak_memory, "memory did not shrink");
+        assert_eq!(e.out_degree(9), survivors.len());
+        for &(u, v) in &survivors {
+            assert!(e.contains(u, v), "survivor ({u}, {v}) lost");
+        }
+        for &(u, v) in doomed.iter().step_by(131) {
+            assert!(!e.contains(u, v), "deleted ({u}, {v}) still found");
         }
     }
 

@@ -116,6 +116,10 @@ impl DynamicGraph for CuckooGraph {
             .insert_batch(edges, |&e| e, |&(_, v)| v, |_, _| {})
     }
 
+    fn remove_edges(&mut self, edges: &[(NodeId, NodeId)]) -> usize {
+        self.engine.remove_batch(edges)
+    }
+
     fn edge_count(&self) -> usize {
         self.engine.edge_count()
     }
@@ -213,6 +217,33 @@ mod tests {
         let mut via_vec = g.successors(1);
         via_vec.sort_unstable();
         assert_eq!(via_callback, via_vec);
+    }
+
+    #[test]
+    fn batched_deletion_shrinks_scht_and_keeps_lookups_exact() {
+        // Public-API version of the deletion → S-CHT shrink path: grow a node
+        // past several expansion thresholds, batch-delete back down, and check
+        // the reverse TRANSFORMATION plus exact membership of what remains.
+        let mut g = CuckooGraph::new();
+        let keep: Vec<(NodeId, NodeId)> = (0..5u64).map(|v| (1, v)).collect();
+        let drop: Vec<(NodeId, NodeId)> = (5..1_200u64).map(|v| (1, v)).collect();
+        g.insert_edges(&keep);
+        g.insert_edges(&drop);
+        let grown = g.stats();
+        assert!(grown.scht_slots >= 1_000, "expansions never happened");
+
+        assert_eq!(g.remove_edges(&drop), drop.len());
+        let shrunk = g.stats();
+        assert!(shrunk.contractions > grown.contractions);
+        assert_eq!(shrunk.scht_slots, 0, "chain did not collapse");
+        assert_eq!(g.out_degree(1), keep.len());
+        for &(u, v) in &keep {
+            assert!(g.has_edge(u, v));
+        }
+        assert!(!g.has_edge(1, 5));
+        // Removed edges can be re-inserted cleanly after the collapse.
+        assert_eq!(g.insert_edges(&drop), drop.len());
+        assert_eq!(g.edge_count(), keep.len() + drop.len());
     }
 
     #[test]

@@ -220,6 +220,13 @@ impl<P: Payload> NodeTable<P> {
     }
 }
 
+/// Compile-time proof that the node table (L-CHT chain + L-DL) is
+/// `Send + Sync`, as the sharded engine's thread fan-out requires.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<NodeTable<NodeId>>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -26,6 +26,11 @@
 //! * [`MultiEdgeCuckooGraph`] — the Neo4j adaptation (§ V-G): parallel edges
 //!   kept as identifier lists, query returns an iterator.
 //!
+//! For parallel ingest, [`ShardedCuckooGraph`] (and
+//! [`ShardedWeightedCuckooGraph`]) partition the source-node space across N
+//! independent engines and fan batched mutations out on scoped threads — see
+//! [`shard`].
+//!
 //! ```
 //! use cuckoograph::CuckooGraph;
 //! use graph_api::DynamicGraph;
@@ -52,6 +57,7 @@ pub mod multi;
 pub mod payload;
 pub mod rng;
 pub mod scht;
+pub mod shard;
 pub mod stats;
 pub mod weighted;
 
@@ -59,7 +65,10 @@ pub use config::CuckooGraphConfig;
 pub use error::{CuckooGraphError, Result};
 pub use graph::CuckooGraph;
 pub use multi::{EdgeId, MultiEdgeCuckooGraph};
+pub use shard::{Sharded, ShardedCuckooGraph, ShardedWeightedCuckooGraph};
 pub use stats::StructureStats;
 pub use weighted::WeightedCuckooGraph;
 
-pub use graph_api::{DynamicGraph, Edge, MemoryFootprint, NodeId, WeightedDynamicGraph};
+pub use graph_api::{
+    DynamicGraph, Edge, MemoryFootprint, NodeId, ShardedGraph, WeightedDynamicGraph,
+};

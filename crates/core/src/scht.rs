@@ -280,6 +280,13 @@ fn vec_none<T>(n: usize) -> Vec<Option<T>> {
     v
 }
 
+/// Compile-time proof that the cuckoo table is `Send + Sync`, as the sharded
+/// engine's thread fan-out requires.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CuckooTable<NodeId>>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

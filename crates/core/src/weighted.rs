@@ -181,6 +181,11 @@ impl DynamicGraph for WeightedCuckooGraph {
         )
     }
 
+    fn remove_edges(&mut self, edges: &[(NodeId, NodeId)]) -> usize {
+        // Mirrors `delete_edge`: the whole edge goes regardless of its weight.
+        self.engine.remove_batch(edges)
+    }
+
     fn edge_count(&self) -> usize {
         self.engine.edge_count()
     }

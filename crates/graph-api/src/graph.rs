@@ -163,6 +163,29 @@ pub trait DynamicGraph: MemoryFootprint {
             .count()
     }
 
+    /// Removes a batch of edges, returning how many were present (and thus
+    /// actually removed). The default loops over
+    /// [`DynamicGraph::delete_edge`]; implementations override it to hoist
+    /// per-edge setup out of the loop — mirroring
+    /// [`DynamicGraph::insert_edges`], a batch grouped by source node resolves
+    /// each node's storage once per run instead of once per edge.
+    ///
+    /// ```
+    /// use graph_api::DynamicGraph;
+    ///
+    /// let mut g = cuckoograph::CuckooGraph::new();
+    /// g.insert_edges(&[(1, 2), (1, 3), (2, 4)]);
+    /// let removed = g.remove_edges(&[(1, 2), (1, 3), (9, 9)]);
+    /// assert_eq!(removed, 2);
+    /// assert_eq!(g.edge_count(), 1);
+    /// ```
+    fn remove_edges(&mut self, edges: &[(NodeId, NodeId)]) -> usize {
+        edges
+            .iter()
+            .filter(|&&(u, v)| self.delete_edge(u, v))
+            .count()
+    }
+
     /// Returns the out-neighbours (successors) of `u`. Order is unspecified.
     /// Collects through [`DynamicGraph::for_each_successor`]; hot paths use
     /// the visitor directly to avoid the allocation.
@@ -191,6 +214,39 @@ pub trait DynamicGraph: MemoryFootprint {
 
     /// Scheme identifier for reporting.
     fn scheme(&self) -> GraphScheme;
+}
+
+/// A dynamic graph partitioned into independent shards by source node — the
+/// contract parallel analytics passes drive.
+///
+/// Every edge `⟨u, v⟩` lives entirely inside the shard that owns `u`
+/// ([`ShardedGraph::shard_of`]), so the shards partition the source-node space:
+/// per-shard traversals visit disjoint node sets, and merging the per-shard
+/// results reconstructs the whole-graph answer. Shard views are `Sync`, so a
+/// caller may scan all shards from scoped threads at once.
+///
+/// ```
+/// use graph_api::{DynamicGraph, ShardedGraph};
+///
+/// let mut g = cuckoograph::ShardedCuckooGraph::new(4);
+/// g.insert_edges(&[(1, 2), (2, 3), (3, 4)]);
+/// assert_eq!(g.shard_count(), 4);
+/// let mut nodes = 0;
+/// for shard in 0..g.shard_count() {
+///     g.shard_view(shard).for_each_node(&mut |_| nodes += 1);
+/// }
+/// assert_eq!(nodes, g.node_count());
+/// ```
+pub trait ShardedGraph: DynamicGraph + Sync {
+    /// Number of shards the graph is partitioned into (at least 1).
+    fn shard_count(&self) -> usize;
+
+    /// The shard that owns source node `u` (and every edge leaving it).
+    fn shard_of(&self, u: NodeId) -> usize;
+
+    /// Read view of one shard. The views of distinct shards cover disjoint
+    /// source-node sets and their union is the whole graph.
+    fn shard_view(&self, shard: usize) -> &(dyn DynamicGraph + Sync);
 }
 
 /// A dynamic graph that also tracks edge multiplicities, matching the extended

@@ -14,4 +14,6 @@ pub mod graph;
 
 pub use edge::{Edge, NodeId, WeightedEdge};
 pub use footprint::MemoryFootprint;
-pub use graph::{for_each_source_run, DynamicGraph, GraphScheme, WeightedDynamicGraph};
+pub use graph::{
+    for_each_source_run, DynamicGraph, GraphScheme, ShardedGraph, WeightedDynamicGraph,
+};

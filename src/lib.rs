@@ -26,9 +26,12 @@ pub use kvstore;
 /// Convenience prelude used by the examples.
 pub mod prelude {
     pub use cuckoograph::{
-        CuckooGraph, CuckooGraphConfig, MultiEdgeCuckooGraph, WeightedCuckooGraph,
+        CuckooGraph, CuckooGraphConfig, MultiEdgeCuckooGraph, Sharded, ShardedCuckooGraph,
+        ShardedWeightedCuckooGraph, WeightedCuckooGraph,
     };
-    pub use graph_api::{DynamicGraph, Edge, MemoryFootprint, NodeId, WeightedDynamicGraph};
+    pub use graph_api::{
+        DynamicGraph, Edge, MemoryFootprint, NodeId, ShardedGraph, WeightedDynamicGraph,
+    };
 }
 
 #[cfg(test)]

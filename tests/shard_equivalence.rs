@@ -1,0 +1,234 @@
+//! Property tests for the sharded engine: under random insert/delete
+//! interleavings — per-edge, batched, and mixed — a sharded CuckooGraph must
+//! agree with the serial one on the edge set, the successor sets, and the
+//! node visitation, for every shard count. Same harness shape as
+//! `tests/visitor_equivalence.rs`.
+
+use cuckoograph_repro::graph_api::{DynamicGraph, NodeId, ShardedGraph};
+use cuckoograph_repro::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// One operation of a randomised workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Delete(u64, u64),
+}
+
+fn op_strategy(node_range: u64) -> impl Strategy<Value = Op> {
+    let node = 0..node_range;
+    prop_oneof![
+        4 => (node.clone(), 0..node_range).prop_map(|(u, v)| Op::Insert(u, v)),
+        1 => (node, 0..node_range).prop_map(|(u, v)| Op::Delete(u, v)),
+    ]
+}
+
+/// Asserts that `sharded` and `serial` describe the same graph: counts, node
+/// visitation (exactly once per node), successor sets, and out-degrees.
+fn assert_same_graph(sharded: &ShardedCuckooGraph, serial: &CuckooGraph, label: &str) {
+    assert_eq!(sharded.edge_count(), serial.edge_count(), "{label}: edges");
+    assert_eq!(sharded.node_count(), serial.node_count(), "{label}: nodes");
+
+    let mut visited = Vec::new();
+    sharded.for_each_node(&mut |u| visited.push(u));
+    let sharded_nodes: BTreeSet<NodeId> = visited.iter().copied().collect();
+    assert_eq!(
+        visited.len(),
+        sharded_nodes.len(),
+        "{label}: sharded for_each_node reported a node twice"
+    );
+    let serial_nodes: BTreeSet<NodeId> = serial.nodes().into_iter().collect();
+    assert_eq!(sharded_nodes, serial_nodes, "{label}: node sets differ");
+
+    let sharded_edges: BTreeSet<(NodeId, NodeId)> = sharded.par_edges().into_iter().collect();
+    let serial_edges: BTreeSet<(NodeId, NodeId)> = serial.edges().into_iter().collect();
+    assert_eq!(sharded_edges, serial_edges, "{label}: edge sets differ");
+
+    for &u in &serial_nodes {
+        let mut via_visitor = Vec::new();
+        sharded.for_each_successor(u, &mut |v| via_visitor.push(v));
+        let a: BTreeSet<NodeId> = via_visitor.into_iter().collect();
+        let b: BTreeSet<NodeId> = serial.successors(u).into_iter().collect();
+        assert_eq!(a, b, "{label}: successors of {u} differ");
+        assert_eq!(
+            sharded.out_degree(u),
+            serial.out_degree(u),
+            "{label}: out_degree of {u} differs"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Per-edge interleavings: every operation must return the same result on
+    /// both graphs, and the final states must be identical.
+    #[test]
+    fn per_edge_interleavings_agree(
+        ops in prop::collection::vec(op_strategy(48), 1..400),
+        shards in 2..9usize,
+    ) {
+        let mut sharded = ShardedCuckooGraph::new(shards);
+        let mut serial = CuckooGraph::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(u, v) => {
+                    prop_assert_eq!(
+                        sharded.insert_edge(u, v),
+                        serial.insert_edge(u, v),
+                        "insert({}, {}) diverged", u, v
+                    );
+                }
+                Op::Delete(u, v) => {
+                    prop_assert_eq!(
+                        sharded.delete_edge(u, v),
+                        serial.delete_edge(u, v),
+                        "delete({}, {}) diverged", u, v
+                    );
+                }
+            }
+        }
+        assert_same_graph(&sharded, &serial, &format!("{shards} shards"));
+        for &(u, v) in &[(0u64, 0u64), (1, 7), (13, 31), (47, 2)] {
+            prop_assert_eq!(sharded.has_edge(u, v), serial.has_edge(u, v));
+        }
+    }
+
+    /// Batched interleavings: inserts go through the parallel `insert_edges`
+    /// fan-out and deletes through `remove_edges`; created/removed counts and
+    /// final states must match the serial graph.
+    #[test]
+    fn batched_interleavings_agree(
+        batches in prop::collection::vec(
+            prop::collection::vec((0..32u64, 0..32u64), 1..120),
+            1..6,
+        ),
+        shards in 2..9usize,
+        sorted in proptest::bool::ANY,
+    ) {
+        let mut sharded = ShardedCuckooGraph::new(shards);
+        let mut serial = CuckooGraph::new();
+        for (round, batch) in batches.iter().enumerate() {
+            let mut batch = batch.clone();
+            if sorted {
+                // The bulk-load shape that exercises the run-grouped paths.
+                batch.sort_unstable();
+            }
+            if round % 2 == 0 {
+                prop_assert_eq!(
+                    sharded.insert_edges(&batch),
+                    serial.insert_edges(&batch),
+                    "round {}: created counts differ", round
+                );
+            } else {
+                prop_assert_eq!(
+                    sharded.remove_edges(&batch),
+                    serial.remove_edges(&batch),
+                    "round {}: removed counts differ", round
+                );
+            }
+        }
+        assert_same_graph(&sharded, &serial, &format!("{shards} shards batched"));
+    }
+
+    /// The `ShardedGraph` views partition the node space: every node appears
+    /// in exactly the shard `shard_of` names, and the views sum to the whole.
+    #[test]
+    fn shard_views_partition_the_graph(
+        ops in prop::collection::vec(op_strategy(64), 1..300),
+        shards in 1..9usize,
+    ) {
+        let mut sharded = ShardedCuckooGraph::new(shards);
+        for op in &ops {
+            match *op {
+                Op::Insert(u, v) => { sharded.insert_edge(u, v); }
+                Op::Delete(u, v) => { sharded.delete_edge(u, v); }
+            }
+        }
+        prop_assert_eq!(sharded.shard_count(), shards.max(1));
+        let mut total_nodes = 0usize;
+        let mut total_edges = 0usize;
+        for shard in 0..sharded.shard_count() {
+            let view = sharded.shard_view(shard);
+            view.for_each_node(&mut |u| {
+                assert_eq!(sharded.shard_of(u), shard, "node {u} outside its shard");
+            });
+            total_nodes += view.node_count();
+            total_edges += view.edge_count();
+        }
+        prop_assert_eq!(total_nodes, sharded.node_count());
+        prop_assert_eq!(total_edges, sharded.edge_count());
+    }
+}
+
+/// The weighted sharded variant accumulates weights exactly like the serial
+/// weighted graph, through both the per-edge and the batched paths.
+#[test]
+fn weighted_sharded_matches_weighted_serial() {
+    let items: Vec<(u64, u64, u64)> = (0..600u64).map(|i| (i % 11, i % 29, i % 3 + 1)).collect();
+    for shards in [2usize, 5, 8] {
+        let mut sharded = ShardedWeightedCuckooGraph::new(shards);
+        let mut serial = WeightedCuckooGraph::new();
+        let (head, tail) = items.split_at(items.len() / 2);
+        assert_eq!(
+            sharded.insert_weighted_edges(head),
+            serial.insert_weighted_edges(head)
+        );
+        for &(u, v, w) in tail {
+            assert_eq!(
+                sharded.insert_weighted(u, v, w),
+                serial.insert_weighted(u, v, w),
+                "{shards} shards: weight of ({u}, {v}) diverged"
+            );
+        }
+        for &(u, v, _) in items.iter().step_by(7) {
+            assert_eq!(
+                sharded.delete_weighted(u, v, 1),
+                serial.delete_weighted(u, v, 1)
+            );
+        }
+        assert_eq!(sharded.distinct_edge_count(), serial.distinct_edge_count());
+        assert_eq!(sharded.total_weight(), serial.total_weight());
+        for u in 0..11u64 {
+            let mut a = sharded.weighted_successors(u);
+            let mut b = serial.weighted_successors(u);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{shards} shards: weighted successors of {u}");
+        }
+    }
+}
+
+/// Parallel analytics passes over the sharded graph agree with their serial
+/// counterparts run on the serial graph.
+#[test]
+fn parallel_analytics_match_serial_analytics() {
+    use cuckoograph_repro::graph_analytics as analytics;
+
+    let edges: Vec<(u64, u64)> = (0..3_000u64)
+        .map(|i| (i % 83, (i * 13) % 191))
+        .chain((0..50u64).map(|i| (200 + i, 201 + i)))
+        .collect();
+    let mut sharded = ShardedCuckooGraph::new(4);
+    let mut serial = CuckooGraph::new();
+    sharded.insert_edges(&edges);
+    serial.insert_edges(&edges);
+
+    assert_eq!(
+        analytics::par_total_degrees(&sharded),
+        analytics::total_degrees(&serial)
+    );
+    assert_eq!(
+        analytics::par_top_degree_nodes(&sharded, 20),
+        analytics::top_degree_nodes(&serial, 20)
+    );
+    assert_eq!(analytics::par_edge_count(&sharded), serial.edge_count());
+
+    let mut nodes = serial.nodes();
+    nodes.sort_unstable();
+    let serial_cc = analytics::connected_components(&serial, &nodes);
+    let parallel_cc = analytics::par_connected_components(&sharded);
+    assert_eq!(parallel_cc.count, serial_cc.count);
+    assert_eq!(parallel_cc.largest(), serial_cc.largest());
+}
