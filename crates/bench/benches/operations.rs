@@ -70,6 +70,78 @@ fn bench_query(c: &mut Criterion) {
     }
 }
 
+/// Point queries on the PR-4 tagged/memoized probe path: per scheme, a hit
+/// series (stored edges) and a miss series (absent edges over the same
+/// sources — the case the tag bytes win outright, no payload is ever
+/// touched). CuckooGraph additionally runs the pre-change reference probe
+/// (`has_edge_unmemoized`: full re-hash per table and array, payload key
+/// compares) so the probe-path speedup stays visible in `cargo bench` output.
+fn bench_point_query(c: &mut Criterion) {
+    let edges = generate(DatasetKind::Caida, SCALE, SEED).distinct_edges();
+    // Misses reuse real sources with destinations shifted out of the id space,
+    // so the probe walks real, loaded buckets and fails only at the last step.
+    let misses: Vec<(u64, u64)> = edges.iter().map(|&(u, v)| (u, v + (1 << 40))).collect();
+    let mut group = c.benchmark_group("point_query_CAIDA");
+    group.throughput(criterion::Throughput::Elements(edges.len() as u64));
+    for scheme in schemes() {
+        let mut graph = scheme.build();
+        for &(u, v) in &edges {
+            graph.insert_edge(u, v);
+        }
+        group.bench_with_input(BenchmarkId::new("hit", scheme.label()), &scheme, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &(u, v) in &edges {
+                    if graph.has_edge(u, v) {
+                        hits += 1;
+                    }
+                }
+                hits
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("miss", scheme.label()), &scheme, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &(u, v) in &misses {
+                    if graph.has_edge(u, v) {
+                        hits += 1;
+                    }
+                }
+                hits
+            });
+        });
+    }
+    // The pre-change CuckooGraph probe, as a live baseline series.
+    let mut ours = cuckoograph::CuckooGraph::new();
+    for &(u, v) in &edges {
+        use graph_api::DynamicGraph;
+        ours.insert_edge(u, v);
+    }
+    group.bench_function(BenchmarkId::new("hit", "Ours (reference probe)"), |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &(u, v) in &edges {
+                if ours.has_edge_unmemoized(u, v) {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+    });
+    group.bench_function(BenchmarkId::new("miss", "Ours (reference probe)"), |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &(u, v) in &misses {
+                if ours.has_edge_unmemoized(u, v) {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+    });
+    group.finish();
+}
+
 fn bench_delete(c: &mut Criterion) {
     let edges = generate(DatasetKind::Caida, SCALE, SEED).distinct_edges();
     let mut group = c.benchmark_group("fig8_delete_CAIDA");
@@ -217,7 +289,7 @@ criterion_group! {
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_insert, bench_query, bench_delete, bench_successor_scan,
-        bench_batched_insert, bench_memory_report
+    targets = bench_insert, bench_query, bench_point_query, bench_delete,
+        bench_successor_scan, bench_batched_insert, bench_memory_report
 }
 criterion_main!(operations);

@@ -8,7 +8,7 @@
 //! shrinks back to the inline capacity collapses into small slots again.
 
 use crate::chain::{ChainInsert, ChainParams, TableChain};
-use crate::hash::splitmix64;
+use crate::hash::{splitmix64, KeyHash};
 use crate::payload::Payload;
 use crate::rng::KickRng;
 use graph_api::NodeId;
@@ -50,6 +50,17 @@ pub struct NeighborRemove<P> {
     pub displaced: Vec<P>,
     /// True if the chain contracted or collapsed back to small slots.
     pub contracted: bool,
+}
+
+/// Opaque coordinates of a payload inside a cell's Part 2, produced by
+/// [`Cell::find_slot`] and consumed by [`Cell::payload_at_mut`]. Valid only
+/// until the next mutation of the cell.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CellSlot {
+    /// Index into the inline small slots.
+    Small(usize),
+    /// Chain coordinates (table, (array, flat slot)).
+    Chain((usize, (usize, usize))),
 }
 
 /// Part 2 of a cell: inline small slots or an S-CHT chain.
@@ -113,25 +124,115 @@ impl<P: Payload> Cell<P> {
         }
     }
 
-    /// Looks up the payload stored for neighbour `v`.
-    pub fn get(&self, v: NodeId) -> Option<&P> {
+    /// Looks up the payload stored for neighbour `kh.key()`.
+    pub fn get(&self, kh: KeyHash) -> Option<&P> {
+        match &self.part2 {
+            Part2::Small(slots) => {
+                let v = kh.key();
+                slots.iter().find(|p| p.key() == v)
+            }
+            Part2::Chain(chain) => chain.get(kh),
+        }
+    }
+
+    /// Mutable lookup of the payload stored for neighbour `kh.key()`.
+    pub fn get_mut(&mut self, kh: KeyHash) -> Option<&mut P> {
+        match &mut self.part2 {
+            Part2::Small(slots) => {
+                let v = kh.key();
+                slots.iter_mut().find(|p| p.key() == v)
+            }
+            Part2::Chain(chain) => chain.get_mut(kh),
+        }
+    }
+
+    /// True if neighbour `kh.key()` is stored in this cell.
+    pub fn contains(&self, kh: KeyHash) -> bool {
+        self.find_slot(kh).is_some()
+    }
+
+    /// Locates neighbour `kh.key()` in Part 2, returning opaque coordinates
+    /// for [`Cell::payload_at_mut`] — one probe resolves "update or insert"
+    /// flows that previously probed twice.
+    pub(crate) fn find_slot(&self, kh: KeyHash) -> Option<CellSlot> {
+        match &self.part2 {
+            Part2::Small(slots) => {
+                let v = kh.key();
+                slots.iter().position(|p| p.key() == v).map(CellSlot::Small)
+            }
+            Part2::Chain(chain) => chain.find_index(kh).map(CellSlot::Chain),
+        }
+    }
+
+    /// Direct access to a payload located by [`Cell::find_slot`].
+    pub(crate) fn payload_at_mut(&mut self, slot: CellSlot) -> &mut P {
+        match (&mut self.part2, slot) {
+            (Part2::Small(slots), CellSlot::Small(i)) => &mut slots[i],
+            (Part2::Chain(chain), CellSlot::Chain(pos)) => chain.item_at_mut(pos),
+            _ => unreachable!("cell slot coordinates from a different Part 2 shape"),
+        }
+    }
+
+    /// Lazy probe by raw key: an inline cell compares keys directly — **no
+    /// hashing at all**, matching the pre-PR-4 cost of the (very common)
+    /// low-degree case — while a transformed cell pays the one memoized Bob
+    /// pass. Callers that already hold a [`KeyHash`] use [`Cell::get`].
+    pub fn get_lazy(&self, v: NodeId) -> Option<&P> {
         match &self.part2 {
             Part2::Small(slots) => slots.iter().find(|p| p.key() == v),
-            Part2::Chain(chain) => chain.get(v),
+            Part2::Chain(chain) => chain.get(KeyHash::new(v)),
         }
     }
 
-    /// Mutable lookup of the payload stored for neighbour `v`.
-    pub fn get_mut(&mut self, v: NodeId) -> Option<&mut P> {
+    /// Mutable counterpart of [`Cell::get_lazy`].
+    pub fn get_mut_lazy(&mut self, v: NodeId) -> Option<&mut P> {
         match &mut self.part2 {
             Part2::Small(slots) => slots.iter_mut().find(|p| p.key() == v),
-            Part2::Chain(chain) => chain.get_mut(v),
+            Part2::Chain(chain) => chain.get_mut(KeyHash::new(v)),
         }
     }
 
-    /// True if neighbour `v` is stored in this cell.
-    pub fn contains(&self, v: NodeId) -> bool {
-        self.get(v).is_some()
+    /// Lazy counterpart of [`Cell::remove`]: hash-free on inline cells, one
+    /// memoized Bob pass on transformed ones.
+    pub fn remove_lazy(
+        &mut self,
+        v: NodeId,
+        ctx: &CellCtx,
+        rng: &mut KickRng,
+        placements: &mut u64,
+    ) -> NeighborRemove<P> {
+        if let Part2::Small(slots) = &mut self.part2 {
+            let removed = slots
+                .iter()
+                .position(|p| p.key() == v)
+                .map(|idx| slots.swap_remove(idx));
+            return NeighborRemove {
+                removed,
+                displaced: Vec::new(),
+                contracted: false,
+            };
+        }
+        self.remove(KeyHash::new(v), ctx, rng, placements)
+    }
+
+    /// Pre-change reference probe of Part 2 (per-table re-hash, full payload
+    /// compares, no tags) — the oracle/baseline counterpart of
+    /// [`Cell::contains`].
+    pub fn contains_unmemoized(&self, v: NodeId) -> bool {
+        match &self.part2 {
+            Part2::Small(slots) => slots.iter().any(|p| p.key() == v),
+            Part2::Chain(chain) => chain.contains_unmemoized(v),
+        }
+    }
+
+    /// Prefetches the candidate tag lines a probe for `kh` would read. Inline
+    /// small slots need no prefetch (the cell itself is already resident when
+    /// the caller holds it).
+    #[inline]
+    pub fn prefetch(&self, kh: KeyHash) {
+        if let Part2::Chain(chain) = &self.part2 {
+            chain.prefetch(kh);
+        }
     }
 
     /// Calls `f` for every neighbour payload in this cell.
@@ -157,20 +258,23 @@ impl<P: Payload> Cell<P> {
         splitmix64(ctx.seed ^ u.wrapping_mul(0x9e37_79b9_7f4a_7c15))
     }
 
-    /// Inserts a neighbour payload whose key is **not** already present
-    /// (callers use [`Cell::get_mut`] for updates). Handles the small-slot →
-    /// chain TRANSFORMATION and chain growth.
+    /// Inserts a neighbour payload (memoized hash `kh`) whose key is **not**
+    /// already present (callers use [`Cell::get_mut`] for updates). Handles
+    /// the small-slot → chain TRANSFORMATION and chain growth.
     pub fn insert(
         &mut self,
         payload: P,
+        kh: KeyHash,
         ctx: &CellCtx,
         rng: &mut KickRng,
         placements: &mut u64,
     ) -> NeighborInsert<P> {
-        debug_assert!(
-            !self.contains(payload.key()),
-            "insert of duplicate neighbour"
+        debug_assert_eq!(
+            payload.key(),
+            kh.key(),
+            "payload inserted under foreign hash"
         );
+        debug_assert!(!self.contains(kh), "insert of duplicate neighbour");
         match &mut self.part2 {
             Part2::Small(slots) => {
                 if slots.len() < ctx.small_slots {
@@ -187,7 +291,7 @@ impl<P: Payload> Cell<P> {
                 for existing in slots.drain(..) {
                     chain.insert_forced(existing, rng, placements);
                 }
-                let result = match chain.insert(payload, rng, placements) {
+                let result = match chain.insert(payload, kh, rng, placements) {
                     ChainInsert::Stored => NeighborInsert::Stored { expanded: true },
                     ChainInsert::Failed(p) => NeighborInsert::Failed(p),
                 };
@@ -196,7 +300,7 @@ impl<P: Payload> Cell<P> {
             }
             Part2::Chain(chain) => {
                 let before = chain.expansions();
-                match chain.insert(payload, rng, placements) {
+                match chain.insert(payload, kh, rng, placements) {
                     ChainInsert::Stored => NeighborInsert::Stored {
                         expanded: chain.expansions() > before,
                     },
@@ -240,12 +344,13 @@ impl<P: Payload> Cell<P> {
     ) -> Vec<P> {
         let mut rejected = Vec::new();
         for item in items {
-            if self.contains(item.key()) {
+            let kh = item.key_hash();
+            if self.contains(kh) {
                 // Should not happen (the engine checks before parking), but a
                 // duplicate must never corrupt the cuckoo invariant.
                 continue;
             }
-            match self.insert(item, ctx, rng, placements) {
+            match self.insert(item, kh, ctx, rng, placements) {
                 NeighborInsert::Stored { .. } => {}
                 NeighborInsert::Failed(p) => rejected.push(p),
             }
@@ -253,18 +358,19 @@ impl<P: Payload> Cell<P> {
         rejected
     }
 
-    /// Removes neighbour `v`, applying the reverse TRANSFORMATION when the
-    /// chain's loading rate drops below `Λ` and collapsing back to inline
+    /// Removes neighbour `kh.key()`, applying the reverse TRANSFORMATION when
+    /// the chain's loading rate drops below `Λ` and collapsing back to inline
     /// small slots when everything fits again.
     pub fn remove(
         &mut self,
-        v: NodeId,
+        kh: KeyHash,
         ctx: &CellCtx,
         rng: &mut KickRng,
         placements: &mut u64,
     ) -> NeighborRemove<P> {
         match &mut self.part2 {
             Part2::Small(slots) => {
+                let v = kh.key();
                 let removed = slots
                     .iter()
                     .position(|p| p.key() == v)
@@ -276,7 +382,7 @@ impl<P: Payload> Cell<P> {
                 }
             }
             Part2::Chain(chain) => {
-                let removed = chain.remove(v);
+                let removed = chain.remove(kh);
                 if removed.is_none() {
                     return NeighborRemove {
                         removed,
@@ -341,6 +447,7 @@ const _: () = {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hash::KeyHash;
     use crate::payload::WeightedSlot;
 
     fn ctx() -> CellCtx {
@@ -358,6 +465,10 @@ mod tests {
         }
     }
 
+    fn kh(v: NodeId) -> KeyHash {
+        KeyHash::new(v)
+    }
+
     #[test]
     fn small_slots_hold_up_to_capacity_inline() {
         let ctx = ctx();
@@ -366,7 +477,7 @@ mod tests {
         let mut p = 0;
         for v in 0..6u64 {
             assert_eq!(
-                cell.insert(v, &ctx, &mut rng, &mut p),
+                cell.insert(v, kh(v), &ctx, &mut rng, &mut p),
                 NeighborInsert::Stored { expanded: false }
             );
         }
@@ -374,7 +485,7 @@ mod tests {
         assert!(!cell.is_transformed());
         assert_eq!(cell.scht_tables(), 0);
         for v in 0..6u64 {
-            assert!(cell.contains(v));
+            assert!(cell.contains(kh(v)));
         }
     }
 
@@ -385,16 +496,16 @@ mod tests {
         let mut rng = KickRng::new(2);
         let mut p = 0;
         for v in 0..6u64 {
-            cell.insert(v, &ctx, &mut rng, &mut p);
+            cell.insert(v, kh(v), &ctx, &mut rng, &mut p);
         }
         // The 7th neighbour exceeds 2R = 6: all v move into the 1st S-CHT.
-        let res = cell.insert(6, &ctx, &mut rng, &mut p);
+        let res = cell.insert(6, kh(6), &ctx, &mut rng, &mut p);
         assert_eq!(res, NeighborInsert::Stored { expanded: true });
         assert!(cell.is_transformed());
         assert_eq!(cell.scht_tables(), 1);
         assert_eq!(cell.degree(), 7);
         for v in 0..7u64 {
-            assert!(cell.contains(v), "lost {v} during transformation");
+            assert!(cell.contains(kh(v)), "lost {v} during transformation");
         }
     }
 
@@ -410,7 +521,7 @@ mod tests {
         let mut pending = v;
         let mut expanded_any = false;
         loop {
-            match cell.insert(pending, ctx, rng, p) {
+            match cell.insert(pending, kh(pending), ctx, rng, p) {
                 NeighborInsert::Stored { expanded } => return expanded_any || expanded,
                 NeighborInsert::Failed(back) => {
                     let displaced = cell.force_expand(ctx, rng, p);
@@ -449,14 +560,14 @@ mod tests {
         let mut rng = KickRng::new(4);
         let mut p = 0;
         for v in 0..4u64 {
-            cell.insert(v, &ctx, &mut rng, &mut p);
+            cell.insert(v, kh(v), &ctx, &mut rng, &mut p);
         }
-        let r = cell.remove(2, &ctx, &mut rng, &mut p);
+        let r = cell.remove(kh(2), &ctx, &mut rng, &mut p);
         assert_eq!(r.removed, Some(2));
         assert!(!r.contracted);
-        assert!(!cell.contains(2));
+        assert!(!cell.contains(kh(2)));
         assert_eq!(cell.degree(), 3);
-        let missing = cell.remove(99, &ctx, &mut rng, &mut p);
+        let missing = cell.remove(kh(99), &ctx, &mut rng, &mut p);
         assert_eq!(missing.removed, None);
     }
 
@@ -471,7 +582,7 @@ mod tests {
         }
         assert!(cell.is_transformed());
         for v in 0..56u64 {
-            let r = cell.remove(v, &ctx, &mut rng, &mut p);
+            let r = cell.remove(kh(v), &ctx, &mut rng, &mut p);
             assert_eq!(r.removed, Some(v));
             // Displaced payloads must be re-offered to the cell so nothing is lost.
             let displaced = r.displaced;
@@ -484,7 +595,7 @@ mod tests {
         );
         assert_eq!(cell.degree(), 4);
         for v in 56..60u64 {
-            assert!(cell.contains(v));
+            assert!(cell.contains(kh(v)));
         }
     }
 
@@ -497,9 +608,9 @@ mod tests {
         let mut cell: Cell<WeightedSlot> = Cell::new(9);
         let mut rng = KickRng::new(6);
         let mut p = 0;
-        cell.insert(WeightedSlot { v: 5, w: 1 }, &ctx, &mut rng, &mut p);
-        cell.get_mut(5).unwrap().w += 4;
-        assert_eq!(cell.get(5).unwrap().w, 5);
+        cell.insert(WeightedSlot { v: 5, w: 1 }, kh(5), &ctx, &mut rng, &mut p);
+        cell.get_mut(kh(5)).unwrap().w += 4;
+        assert_eq!(cell.get(kh(5)).unwrap().w, 5);
     }
 
     #[test]
@@ -510,7 +621,7 @@ mod tests {
         let mut p = 0;
         let empty = cell.part2_bytes();
         for v in 0..100u64 {
-            cell.insert(v, &ctx, &mut rng, &mut p);
+            cell.insert(v, kh(v), &ctx, &mut rng, &mut p);
         }
         assert!(cell.part2_bytes() > empty);
         // Payload trait implementation mirrors part2_bytes.
@@ -524,7 +635,7 @@ mod tests {
         let mut cell: Cell<NodeId> = Cell::new(1);
         let mut rng = KickRng::new(8);
         let mut p = 0;
-        cell.insert(10, &ctx, &mut rng, &mut p);
+        cell.insert(10, kh(10), &ctx, &mut rng, &mut p);
         let rejected = cell.reinsert_batch(vec![10, 11, 12], &ctx, &mut rng, &mut p);
         assert!(rejected.is_empty());
         assert_eq!(cell.degree(), 3);

@@ -17,7 +17,15 @@
 //! The same chain type backs both the S-CHT chains hanging off an L-CHT cell
 //! and the L-CHT chain itself (whose payloads are whole cells), as described
 //! in § III-A1: "such rules can also be applied to L-CHT".
+//!
+//! Every key-addressed operation takes the caller's memoized [`KeyHash`], so
+//! probing all `R` tables of a chain costs one Bob pass total (each table
+//! derives its buckets from the lanes with its own cheap seed mix). The chain
+//! also caches its aggregate `count` and `capacity` — maintained incrementally
+//! at every mutation — so `overall_loading_rate`, consulted after every single
+//! deletion, no longer sums over all tables.
 
+use crate::hash::KeyHash;
 use crate::payload::Payload;
 use crate::rng::KickRng;
 use crate::scht::CuckooTable;
@@ -65,6 +73,10 @@ pub struct TableChain<T> {
     expansions: u64,
     /// Cumulative contractions (tables removed or halved).
     contractions: u64,
+    /// Cached total item count across the chain, maintained incrementally.
+    count: usize,
+    /// Cached total slot capacity, refreshed on every shape change.
+    capacity: usize,
 }
 
 impl<T: Payload> TableChain<T> {
@@ -77,15 +89,24 @@ impl<T: Payload> TableChain<T> {
             seed,
             expansions: 0,
             contractions: 0,
+            count: 0,
+            capacity: 0,
         };
         let t = chain.alloc_table(params.base_len.max(1));
         chain.tables.push(t);
+        chain.refresh_capacity();
         chain
     }
 
     fn alloc_table(&mut self, len: usize) -> CuckooTable<T> {
         self.seed = crate::hash::splitmix64(self.seed ^ 0xa5a5_5a5a_dead_beef);
         CuckooTable::new(len, self.params.cells_per_bucket, self.seed)
+    }
+
+    /// Re-derives the cached capacity after a shape change (O(R), only run
+    /// when tables are added, removed, or resized).
+    fn refresh_capacity(&mut self) {
+        self.capacity = self.tables.iter().map(CuckooTable::capacity).sum();
     }
 
     /// Length the first table has in the current round.
@@ -114,28 +135,29 @@ impl<T: Payload> TableChain<T> {
         self.tables.iter().map(|t| t.len_buckets()).collect()
     }
 
-    /// Total number of stored items across the chain.
+    /// Total number of stored items across the chain (cached).
     pub fn count(&self) -> usize {
-        self.tables.iter().map(|t| t.count()).sum()
+        self.count
     }
 
-    /// Total slot capacity across the chain.
+    /// Total slot capacity across the chain (cached).
     pub fn capacity(&self) -> usize {
-        self.tables.iter().map(|t| t.capacity()).sum()
+        self.capacity
     }
 
     /// True if the chain stores nothing.
     pub fn is_empty(&self) -> bool {
-        self.count() == 0
+        self.count == 0
     }
 
-    /// Overall loading rate of the chain.
+    /// Overall loading rate of the chain. Reads the two cached aggregates —
+    /// no per-table summation, although the engine consults this after every
+    /// deletion.
     pub fn overall_loading_rate(&self) -> f64 {
-        let cap = self.capacity();
-        if cap == 0 {
+        if self.capacity == 0 {
             0.0
         } else {
-            self.count() as f64 / cap as f64
+            self.count as f64 / self.capacity as f64
         }
     }
 
@@ -158,24 +180,66 @@ impl<T: Payload> TableChain<T> {
         self.contractions
     }
 
-    /// Looks up the item keyed by `key` anywhere in the chain.
-    pub fn get(&self, key: graph_api::NodeId) -> Option<&T> {
-        self.tables.iter().find_map(|t| t.get(key))
+    /// Looks up the item keyed by `kh.key()` anywhere in the chain.
+    pub fn get(&self, kh: KeyHash) -> Option<&T> {
+        self.tables.iter().find_map(|t| t.get(kh))
     }
 
     /// Mutable lookup across the chain.
-    pub fn get_mut(&mut self, key: graph_api::NodeId) -> Option<&mut T> {
-        self.tables.iter_mut().find_map(|t| t.get_mut(key))
+    pub fn get_mut(&mut self, kh: KeyHash) -> Option<&mut T> {
+        self.tables.iter_mut().find_map(|t| t.get_mut(kh))
     }
 
-    /// True if an item with `key` is stored in any table of the chain.
-    pub fn contains(&self, key: graph_api::NodeId) -> bool {
-        self.tables.iter().any(|t| t.contains(key))
+    /// True if an item keyed by `kh.key()` is stored in any table.
+    pub fn contains(&self, kh: KeyHash) -> bool {
+        self.tables.iter().any(|t| t.contains(kh))
     }
 
-    /// Removes and returns the item keyed by `key`.
-    pub fn remove(&mut self, key: graph_api::NodeId) -> Option<T> {
-        self.tables.iter_mut().find_map(|t| t.remove(key))
+    /// Locates the item keyed by `kh.key()`, returning opaque coordinates for
+    /// [`TableChain::item_at_mut`]. Lets callers resolve a key once and then
+    /// take a mutable borrow in O(1), avoiding the probe-twice shape the
+    /// borrow checker otherwise forces on "find or insert" flows.
+    pub(crate) fn find_index(&self, kh: KeyHash) -> Option<(usize, (usize, usize))> {
+        self.tables
+            .iter()
+            .enumerate()
+            .find_map(|(i, t)| t.locate(kh).map(|pos| (i, pos)))
+    }
+
+    /// Direct access to an item located by [`TableChain::find_index`].
+    #[inline]
+    pub(crate) fn item_at_mut(&mut self, pos: (usize, (usize, usize))) -> &mut T {
+        self.tables[pos.0].slot_at_mut(pos.1)
+    }
+
+    /// Pre-change reference probe (full re-hash per table and array, payload
+    /// key compares, no tags) — the oracle/baseline counterpart of
+    /// [`TableChain::contains`].
+    pub fn contains_unmemoized(&self, key: graph_api::NodeId) -> bool {
+        self.tables.iter().any(|t| t.contains_unmemoized(key))
+    }
+
+    /// Reference counterpart of [`TableChain::get`] with the pre-change cost
+    /// shape (two Bob passes per table, payload key compares, no tags).
+    pub fn get_unmemoized(&self, key: graph_api::NodeId) -> Option<&T> {
+        self.tables.iter().find_map(|t| t.get_unmemoized(key))
+    }
+
+    /// Prefetches the candidate tag lines for `kh` in every enabled table.
+    #[inline]
+    pub fn prefetch(&self, kh: KeyHash) {
+        for t in &self.tables {
+            t.prefetch(kh);
+        }
+    }
+
+    /// Removes and returns the item keyed by `kh.key()`.
+    pub fn remove(&mut self, kh: KeyHash) -> Option<T> {
+        let removed = self.tables.iter_mut().find_map(|t| t.remove(kh));
+        if removed.is_some() {
+            self.count -= 1;
+        }
+        removed
     }
 
     /// Calls `f` for every stored item.
@@ -193,7 +257,7 @@ impl<T: Payload> TableChain<T> {
     /// Removes and returns everything, leaving a single empty table of the
     /// base length (round reset to 0).
     pub fn drain_reset(&mut self) -> Vec<T> {
-        let mut items = Vec::with_capacity(self.count());
+        let mut items = Vec::with_capacity(self.count);
         for t in &mut self.tables {
             items.append(&mut t.drain());
         }
@@ -202,11 +266,13 @@ impl<T: Payload> TableChain<T> {
         let fresh = self.alloc_table(base);
         self.tables.clear();
         self.tables.push(fresh);
+        self.count = 0;
+        self.refresh_capacity();
         items
     }
 
-    /// Bytes occupied by every table of the chain (slot arrays plus stored
-    /// items' heap data).
+    /// Bytes occupied by every table of the chain (slot arrays, tag bytes,
+    /// plus stored items' heap data).
     pub fn memory_bytes(&self) -> usize {
         self.tables.iter().map(|t| t.memory_bytes()).sum()
     }
@@ -234,24 +300,29 @@ impl<T: Payload> TableChain<T> {
             let len = self.extra_len();
             let t = self.alloc_table(len);
             self.tables.push(t);
+            self.refresh_capacity();
             return Vec::new();
         }
 
         // Merge: gather everything, rebuild as round k+1 with two tables.
-        let mut items = Vec::with_capacity(self.count());
+        let mut items = Vec::with_capacity(self.count);
         for t in &mut self.tables {
             items.append(&mut t.drain());
         }
+        self.count = 0;
         self.round += 1;
         let first = self.alloc_table(self.first_len());
         let second = self.alloc_table(self.extra_len());
         self.tables.clear();
         self.tables.push(first);
         self.tables.push(second);
+        self.refresh_capacity();
 
         let mut homeless = Vec::new();
         for item in items {
-            if let ChainInsert::Failed(item) = self.insert_rebuild(item, rng, placements) {
+            // One hash pass per redistributed item, reused across all tables.
+            let kh = item.key_hash();
+            if let ChainInsert::Failed(item) = self.insert_rebuild(item, kh, rng, placements) {
                 homeless.push(item);
             }
         }
@@ -280,11 +351,14 @@ impl<T: Payload> TableChain<T> {
         if self.tables.len() >= 2 {
             // Delete the last table and move its residents into the others.
             let mut removed = self.tables.pop().expect("len >= 2");
+            self.count -= removed.count();
+            self.refresh_capacity();
             // Dropping back to a single table from round k means the chain
             // re-enters the "k, no extras" row of Table II; the round value is
             // unchanged because the first table keeps its length.
             for item in removed.drain() {
-                if let ChainInsert::Failed(item) = self.insert_rebuild(item, rng, placements) {
+                let kh = item.key_hash();
+                if let ChainInsert::Failed(item) = self.insert_rebuild(item, kh, rng, placements) {
                     homeless.push(item);
                 }
             }
@@ -299,10 +373,13 @@ impl<T: Payload> TableChain<T> {
                 self.round -= 1;
             }
             let items = self.tables[0].drain();
+            self.count = 0;
             let fresh = self.alloc_table(new_len);
             self.tables[0] = fresh;
+            self.refresh_capacity();
             for item in items {
-                if let ChainInsert::Failed(item) = self.insert_rebuild(item, rng, placements) {
+                let kh = item.key_hash();
+                if let ChainInsert::Failed(item) = self.insert_rebuild(item, kh, rng, placements) {
                     homeless.push(item);
                 }
             }
@@ -310,10 +387,17 @@ impl<T: Payload> TableChain<T> {
         homeless
     }
 
-    /// Inserts `item`, expanding beforehand if the most recently enabled table
-    /// has reached `G` (the paper checks the threshold "before the current v
-    /// arrives"). On kick-out failure the homeless item is handed back.
-    pub fn insert(&mut self, item: T, rng: &mut KickRng, placements: &mut u64) -> ChainInsert<T> {
+    /// Inserts `item` (whose memoized hash is `kh`), expanding beforehand if
+    /// the most recently enabled table has reached `G` (the paper checks the
+    /// threshold "before the current v arrives"). On kick-out failure the
+    /// homeless item is handed back.
+    pub fn insert(
+        &mut self,
+        item: T,
+        kh: KeyHash,
+        rng: &mut KickRng,
+        placements: &mut u64,
+    ) -> ChainInsert<T> {
         // The expansion rule is checked first, so a table is never pushed past
         // its threshold by the incoming item.
         if self.last_loading_rate() >= self.params.expand_threshold {
@@ -326,7 +410,10 @@ impl<T: Payload> TableChain<T> {
             while !leftovers.is_empty() {
                 let mut still_homeless = Vec::new();
                 for left in leftovers {
-                    if let ChainInsert::Failed(l) = self.insert_rebuild(left, rng, placements) {
+                    let left_kh = left.key_hash();
+                    if let ChainInsert::Failed(l) =
+                        self.insert_rebuild(left, left_kh, rng, placements)
+                    {
                         still_homeless.push(l);
                     }
                 }
@@ -337,7 +424,7 @@ impl<T: Payload> TableChain<T> {
                 leftovers.append(&mut still_homeless);
             }
         }
-        self.insert_no_expand(item, rng, placements)
+        self.insert_no_expand(item, kh, rng, placements)
     }
 
     /// Inserts without consulting the expansion rule. Following the paper's
@@ -348,13 +435,17 @@ impl<T: Payload> TableChain<T> {
     pub fn insert_no_expand(
         &mut self,
         item: T,
+        kh: KeyHash,
         rng: &mut KickRng,
         placements: &mut u64,
     ) -> ChainInsert<T> {
         let max_kicks = self.params.max_kicks;
         let last = self.tables.len() - 1;
-        match self.tables[last].insert(item, rng, max_kicks, placements) {
-            Ok(()) => ChainInsert::Stored,
+        match self.tables[last].insert(item, kh, rng, max_kicks, placements) {
+            Ok(()) => {
+                self.count += 1;
+                ChainInsert::Stored
+            }
             Err(bounced) => ChainInsert::Failed(bounced),
         }
     }
@@ -368,7 +459,8 @@ impl<T: Payload> TableChain<T> {
         loop {
             let mut still_homeless = Vec::new();
             for it in pending {
-                if let ChainInsert::Failed(f) = self.insert_rebuild(it, rng, placements) {
+                let kh = it.key_hash();
+                if let ChainInsert::Failed(f) = self.insert_rebuild(it, kh, rng, placements) {
                     still_homeless.push(f);
                 }
             }
@@ -383,22 +475,47 @@ impl<T: Payload> TableChain<T> {
 
     /// Insertion path used while redistributing items during a merge or a
     /// contraction: the largest (first) table is tried first so the bulk of
-    /// the items land there, then the later tables.
+    /// the items land there, then the later tables. The memoized `kh` is
+    /// reused across every table; only kick-walk victims are re-hashed (the
+    /// homeless item handed back may be such a victim, so its hash is
+    /// re-derived by the caller when needed).
     fn insert_rebuild(
         &mut self,
         item: T,
+        kh: KeyHash,
         rng: &mut KickRng,
         placements: &mut u64,
     ) -> ChainInsert<T> {
         let max_kicks = self.params.max_kicks;
         let mut pending = item;
+        let mut pending_kh = kh;
         for idx in 0..self.tables.len() {
-            match self.tables[idx].insert(pending, rng, max_kicks, placements) {
-                Ok(()) => return ChainInsert::Stored,
-                Err(bounced) => pending = bounced,
+            match self.tables[idx].insert(pending, pending_kh, rng, max_kicks, placements) {
+                Ok(()) => {
+                    self.count += 1;
+                    return ChainInsert::Stored;
+                }
+                Err(bounced) => {
+                    pending_kh = bounced.key_hash();
+                    pending = bounced;
+                }
             }
         }
         ChainInsert::Failed(pending)
+    }
+
+    /// Internal consistency check for the property tests: the cached
+    /// aggregates must match a full recomputation, and every table's tag
+    /// bytes must match its slots.
+    #[doc(hidden)]
+    pub fn assert_cached_consistent(&self) {
+        let count: usize = self.tables.iter().map(CuckooTable::count).sum();
+        let capacity: usize = self.tables.iter().map(CuckooTable::capacity).sum();
+        assert_eq!(self.count, count, "cached chain count out of sync");
+        assert_eq!(self.capacity, capacity, "cached chain capacity out of sync");
+        for t in &self.tables {
+            t.assert_tags_consistent();
+        }
     }
 }
 
@@ -429,6 +546,10 @@ mod tests {
         TableChain::new(params(), 0x1111)
     }
 
+    fn kh(v: NodeId) -> KeyHash {
+        KeyHash::new(v)
+    }
+
     #[test]
     fn starts_with_single_base_table() {
         let c = chain();
@@ -436,6 +557,7 @@ mod tests {
         assert_eq!(c.table_lengths(), vec![8]);
         assert!(c.is_empty());
         assert_eq!(c.overall_loading_rate(), 0.0);
+        c.assert_cached_consistent();
     }
 
     /// Reproduces the length sequence of Table II for R = 3: the lengths of
@@ -461,6 +583,7 @@ mod tests {
         for (step, lengths) in expected.iter().enumerate().skip(1) {
             c.expand(&mut rng, &mut p);
             assert_eq!(&c.table_lengths(), lengths, "after {step} expansions");
+            c.assert_cached_consistent();
         }
     }
 
@@ -470,17 +593,19 @@ mod tests {
         let mut rng = KickRng::new(2);
         let mut p = 0;
         for v in 0..200u64 {
-            assert_eq!(c.insert(v, &mut rng, &mut p), ChainInsert::Stored);
+            assert_eq!(c.insert(v, kh(v), &mut rng, &mut p), ChainInsert::Stored);
         }
         assert_eq!(c.count(), 200);
         for v in 0..200u64 {
-            assert!(c.contains(v));
-            assert_eq!(c.get(v), Some(&v));
+            assert!(c.contains(kh(v)));
+            assert_eq!(c.get(kh(v)), Some(&v));
+            assert!(c.contains_unmemoized(v));
         }
-        assert!(!c.contains(999));
-        assert_eq!(c.remove(13), Some(13));
-        assert_eq!(c.remove(13), None);
+        assert!(!c.contains(kh(999)));
+        assert_eq!(c.remove(kh(13)), Some(13));
+        assert_eq!(c.remove(kh(13)), None);
         assert_eq!(c.count(), 199);
+        c.assert_cached_consistent();
     }
 
     #[test]
@@ -491,16 +616,17 @@ mod tests {
         // Insert far more items than one base table holds; the chain must have
         // expanded at least once and kept everything reachable.
         for v in 0..1000u64 {
-            assert_eq!(c.insert(v, &mut rng, &mut p), ChainInsert::Stored);
+            assert_eq!(c.insert(v, kh(v), &mut rng, &mut p), ChainInsert::Stored);
         }
         assert!(c.expansions() > 0);
         assert!(c.table_count() >= 1);
         for v in 0..1000u64 {
-            assert!(c.contains(v), "lost {v} across expansions");
+            assert!(c.contains(kh(v)), "lost {v} across expansions");
         }
         // No table is loaded beyond the threshold by more than one item's
         // worth of slack (the incoming item itself).
         assert!(c.last_loading_rate() <= 0.95);
+        c.assert_cached_consistent();
     }
 
     #[test]
@@ -509,24 +635,29 @@ mod tests {
         let mut rng = KickRng::new(4);
         let mut p = 0;
         for v in 0..1000u64 {
-            c.insert(v, &mut rng, &mut p);
+            c.insert(v, kh(v), &mut rng, &mut p);
         }
         let grown_capacity = c.capacity();
         // Delete most items, invoking the reverse-transformation rule after
         // each deletion as the engine does.
         for v in 0..950u64 {
-            assert!(c.remove(v).is_some());
+            assert!(c.remove(kh(v)).is_some());
             let homeless = c.maybe_contract(&mut rng, &mut p);
             for item in homeless {
                 // Re-inserting leftovers must succeed eventually.
-                assert_eq!(c.insert(item, &mut rng, &mut p), ChainInsert::Stored);
+                let item_kh = kh(item);
+                assert_eq!(
+                    c.insert(item, item_kh, &mut rng, &mut p),
+                    ChainInsert::Stored
+                );
             }
         }
         assert!(c.contractions() > 0, "chain never contracted");
         assert!(c.capacity() < grown_capacity, "capacity did not shrink");
         for v in 950..1000u64 {
-            assert!(c.contains(v), "lost survivor {v} during contraction");
+            assert!(c.contains(kh(v)), "lost survivor {v} during contraction");
         }
+        c.assert_cached_consistent();
     }
 
     #[test]
@@ -549,7 +680,7 @@ mod tests {
         let mut rng = KickRng::new(6);
         let mut p = 0;
         for v in 0..500u64 {
-            c.insert(v, &mut rng, &mut p);
+            c.insert(v, kh(v), &mut rng, &mut p);
         }
         let mut items = c.drain_reset();
         items.sort_unstable();
@@ -558,6 +689,7 @@ mod tests {
         assert_eq!(c.table_count(), 1);
         assert_eq!(c.table_lengths(), vec![8]);
         assert!(c.is_empty());
+        c.assert_cached_consistent();
     }
 
     #[test]
@@ -576,7 +708,8 @@ mod tests {
         let mut pl = 0;
         let mut failed = 0;
         for v in 0..64u64 {
-            if let ChainInsert::Failed(_homeless) = c.insert_no_expand(v, &mut rng, &mut pl) {
+            if let ChainInsert::Failed(_homeless) = c.insert_no_expand(v, kh(v), &mut rng, &mut pl)
+            {
                 // The homeless item is not necessarily `v` itself: a resident
                 // evicted during the walk can end up without a slot instead.
                 failed += 1;
@@ -584,6 +717,7 @@ mod tests {
         }
         assert!(failed > 0);
         assert_eq!(c.count() + failed, 64);
+        c.assert_cached_consistent();
     }
 
     #[test]
@@ -593,7 +727,7 @@ mod tests {
         let mut p = 0;
         let before = c.memory_bytes();
         for v in 0..500u64 {
-            c.insert(v, &mut rng, &mut p);
+            c.insert(v, kh(v), &mut rng, &mut p);
         }
         assert!(c.memory_bytes() > before);
     }
@@ -604,12 +738,27 @@ mod tests {
         let mut rng = KickRng::new(9);
         let mut p = 0;
         for v in 0..100u64 {
-            c.insert(v, &mut rng, &mut p);
+            c.insert(v, kh(v), &mut rng, &mut p);
         }
         let from_iter: u64 = c.iter().copied().sum();
         let mut from_each = 0u64;
         c.for_each(|&v| from_each += v);
         assert_eq!(from_iter, from_each);
         assert_eq!(from_iter, (0..100u64).sum());
+    }
+
+    #[test]
+    fn find_index_resolves_once_and_allows_in_place_mutation() {
+        use crate::payload::WeightedSlot;
+        let mut c: TableChain<WeightedSlot> = TableChain::new(params(), 0x2222);
+        let mut rng = KickRng::new(10);
+        let mut p = 0;
+        for v in 0..50u64 {
+            c.insert(WeightedSlot { v, w: 1 }, kh(v), &mut rng, &mut p);
+        }
+        let pos = c.find_index(kh(17)).expect("key 17 stored");
+        c.item_at_mut(pos).w += 9;
+        assert_eq!(c.get(kh(17)).unwrap().w, 10);
+        assert!(c.find_index(kh(9999)).is_none());
     }
 }

@@ -172,6 +172,20 @@ impl<C> LargeDenylist<C> {
         self.cells.iter_mut().find(|c| pred(c))
     }
 
+    /// Index of the first cell matching the predicate. Paired with
+    /// [`LargeDenylist::cell_at_mut`] so "find or insert" flows can resolve a
+    /// cell once and re-borrow it in O(1) instead of scanning twice.
+    pub fn position(&self, pred: impl FnMut(&C) -> bool) -> Option<usize> {
+        self.cells.iter().position(pred)
+    }
+
+    /// Direct access to a cell located by [`LargeDenylist::position`]. The
+    /// index is valid only until the next mutation of the denylist.
+    #[inline]
+    pub fn cell_at_mut(&mut self, idx: usize) -> &mut C {
+        &mut self.cells[idx]
+    }
+
     /// Removes and returns the first cell matching the predicate.
     pub fn remove_if(&mut self, pred: impl FnMut(&C) -> bool) -> Option<C> {
         let idx = self.cells.iter().position(pred)?;

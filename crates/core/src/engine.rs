@@ -16,6 +16,7 @@ use crate::cell::{Cell, CellCtx, NeighborInsert};
 use crate::chain::ChainParams;
 use crate::config::CuckooGraphConfig;
 use crate::denylist::SmallDenylist;
+use crate::hash::KeyHash;
 use crate::lcht::NodeTable;
 use crate::payload::Payload;
 use crate::rng::KickRng;
@@ -51,6 +52,7 @@ pub struct Engine<P> {
 /// S-DL entries back in after an expansion — the whole per-payload insertion
 /// machinery of § III-A3, expressed over disjoint borrows of the engine's
 /// fields so batch drivers can hold the cell across a run of edges.
+#[allow(clippy::too_many_arguments)] // split borrows of the engine's fields, by design
 fn settle_payload<P: Payload>(
     cell: &mut Cell<P>,
     s_dl: &mut SmallDenylist<P>,
@@ -59,12 +61,13 @@ fn settle_payload<P: Payload>(
     rng: &mut KickRng,
     counters: &mut SchtCounters,
     payload: P,
+    kh: KeyHash,
 ) {
     if cell.is_transformed() {
         counters.items += 1;
     }
     let u = cell.node();
-    match cell.insert(payload, ctx, rng, &mut counters.placements) {
+    match cell.insert(payload, kh, ctx, rng, &mut counters.placements) {
         NeighborInsert::Stored { expanded } => {
             if expanded {
                 counters.expansions += 1;
@@ -105,20 +108,26 @@ fn force_store_into<P: Payload>(
 ) {
     let u = cell.node();
     let mut pending = payload;
+    let mut pending_kh = pending.key_hash();
     loop {
         let displaced = cell.force_expand(ctx, rng, &mut counters.placements);
         counters.expansions += 1;
         for p in displaced {
             s_dl.push_forced(u, p);
         }
-        match cell.insert(pending, ctx, rng, &mut counters.placements) {
+        match cell.insert(pending, pending_kh, ctx, rng, &mut counters.placements) {
             NeighborInsert::Stored { expanded } => {
                 if expanded {
                     counters.expansions += 1;
                 }
                 break;
             }
-            NeighborInsert::Failed(p) => pending = p,
+            NeighborInsert::Failed(p) => {
+                // The homeless payload may be a kick-walk victim rather than
+                // the one we started with — re-derive its hash material.
+                pending_kh = p.key_hash();
+                pending = p;
+            }
         }
     }
 }
@@ -194,25 +203,33 @@ impl<P: Payload> Engine<P> {
 
     /// True if node `u` has a cell (it has, or has had, outgoing edges).
     pub fn contains_node(&self, u: NodeId) -> bool {
-        self.nodes.contains(u)
+        self.nodes.contains(KeyHash::new(u))
     }
 
     /// Looks up the payload stored for edge `⟨u, v⟩`. Follows the paper's
-    /// query order: L-CHT cell (or L-DL cell) first, then the S-DL.
+    /// query order: L-CHT cell (or L-DL cell) first, then the S-DL. `u` is
+    /// hashed once; `v` is hashed **lazily** — only when the cell has
+    /// transformed into an S-CHT chain (an inline cell compares keys
+    /// directly, so low-degree lookups pay a single Bob pass total).
     pub fn get(&self, u: NodeId, v: NodeId) -> Option<&P> {
-        if let Some(cell) = self.nodes.get(u) {
-            if let Some(p) = cell.get(v) {
+        if let Some(cell) = self.nodes.get(KeyHash::new(u)) {
+            if let Some(p) = cell.get_lazy(v) {
                 return Some(p);
             }
         }
         self.s_dl.get(u, v)
     }
 
-    /// Mutable lookup of the payload stored for edge `⟨u, v⟩`.
+    /// Mutable lookup of the payload stored for edge `⟨u, v⟩` (`v` hashed
+    /// lazily, like [`Engine::get`]). Resolves the node cell once
+    /// (coordinates + O(1) re-borrow), instead of the probe-twice shape the
+    /// borrow checker used to force here.
     pub fn get_mut(&mut self, u: NodeId, v: NodeId) -> Option<&mut P> {
-        let in_cell = self.nodes.get(u).is_some_and(|c| c.contains(v));
-        if in_cell {
-            return self.nodes.get_mut(u).and_then(|c| c.get_mut(v));
+        if let Some(pos) = self.nodes.find(KeyHash::new(u)) {
+            let cell = self.nodes.cell_at_mut(pos);
+            if let Some(p) = cell.get_mut_lazy(v) {
+                return Some(p);
+            }
         }
         self.s_dl.get_mut(u, v)
     }
@@ -222,6 +239,19 @@ impl<P: Payload> Engine<P> {
         self.get(u, v).is_some()
     }
 
+    /// Pre-change reference query (per-table re-hash, full payload compares,
+    /// no tags, probe-per-layer) — the oracle/baseline counterpart of
+    /// [`Engine::contains`], kept for the property tests and the `perf_smoke`
+    /// probe-path guard.
+    pub fn contains_unmemoized(&self, u: NodeId, v: NodeId) -> bool {
+        if let Some(cell) = self.nodes.get_unmemoized(u) {
+            if cell.contains_unmemoized(v) {
+                return true;
+            }
+        }
+        self.s_dl.get(u, v).is_some()
+    }
+
     /// Inserts a payload for an edge that is **not** currently stored
     /// (callers check with [`Engine::contains`] / update via
     /// [`Engine::get_mut`] first, as the paper's insertion Step 1 does).
@@ -229,9 +259,11 @@ impl<P: Payload> Engine<P> {
     /// that is full or disabled, to a forced expansion.
     pub fn insert_new(&mut self, u: NodeId, payload: P) {
         debug_assert!(!self.contains(u, payload.key()), "insert of existing edge");
+        let hu = KeyHash::new(u);
+        let hv = payload.key_hash();
         let ctx = self.cell_ctx;
         let use_denylist = self.config.use_denylist;
-        let cell = self.nodes.ensure(u, &mut self.rng);
+        let cell = self.nodes.ensure(hu, &mut self.rng);
         settle_payload(
             cell,
             &mut self.s_dl,
@@ -240,8 +272,68 @@ impl<P: Payload> Engine<P> {
             &mut self.rng,
             &mut self.scht,
             payload,
+            hv,
         );
         self.edges += 1;
+    }
+
+    /// Single-edge insert-or-update: resolves the `u` cell exactly once (one
+    /// Bob pass for `u`), probes for `v` lazily (hash-free on inline cells,
+    /// one memoized pass on transformed ones), and either updates the stored
+    /// payload in place or settles the payload built by `make`. Returns
+    /// `true` when a new edge was created.
+    ///
+    /// This is the single-item sibling of [`Engine::insert_batch`] and the
+    /// backing of every public `insert_edge`-style operation — the pre-PR-4
+    /// shape resolved `u` twice (query then insert) and re-hashed both
+    /// endpoints per table along the way.
+    pub fn upsert(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        make: impl FnOnce() -> P,
+        update: impl FnOnce(&mut P),
+    ) -> bool {
+        let ctx = self.cell_ctx;
+        let use_denylist = self.config.use_denylist;
+        let hu = KeyHash::new(u);
+        let cell = self.nodes.ensure(hu, &mut self.rng);
+        let hv = if cell.is_transformed() {
+            let hv = KeyHash::new(v);
+            if let Some(slot) = cell.find_slot(hv) {
+                update(cell.payload_at_mut(slot));
+                return false;
+            }
+            Some(hv)
+        } else {
+            if let Some(p) = cell.get_mut_lazy(v) {
+                update(p);
+                return false;
+            }
+            None
+        };
+        if let Some(p) = self.s_dl.get_mut(u, v) {
+            update(p);
+            return false;
+        }
+        let payload = make();
+        debug_assert_eq!(
+            payload.key(),
+            v,
+            "make() built a payload for a different key"
+        );
+        settle_payload(
+            cell,
+            &mut self.s_dl,
+            &ctx,
+            use_denylist,
+            &mut self.rng,
+            &mut self.scht,
+            payload,
+            hv.unwrap_or_else(|| KeyHash::new(v)),
+        );
+        self.edges += 1;
+        true
     }
 
     /// Batched insert-or-update over `items`, driving the same per-payload
@@ -255,6 +347,11 @@ impl<P: Payload> Engine<P> {
     /// already stored `update` mutates the payload in place, otherwise `make`
     /// builds the payload to insert. Returns the number of newly created
     /// edges.
+    ///
+    /// The probe path is batch-aware: each run's keys are pre-hashed into a
+    /// reused scratch buffer (`u` once per run, every `v` once), and while
+    /// item `i` settles, the candidate tag lines of item `i + 1` are software
+    /// prefetched so the next probe's cache lines are already in flight.
     pub fn insert_batch<E>(
         &mut self,
         items: &[E],
@@ -270,22 +367,53 @@ impl<P: Payload> Engine<P> {
         let scht = &mut self.scht;
         let edges = &mut self.edges;
         let mut created = 0usize;
+        // Scratch buffer of memoized hashes for the current run, reused across
+        // runs so the batch path stays allocation-free in the steady state.
+        // Runs against *inline* cells never fill it (their probes are raw key
+        // compares, no hashing); once a run's cell is transformed, the whole
+        // run is pre-hashed in one pass and the next key's candidate tag
+        // lines are prefetched while the current key settles.
+        let mut run_hashes: Vec<KeyHash> = Vec::new();
         for_each_source_run(
             items,
             |e| endpoints(e).0,
             |u, run| {
-                let cell = nodes.ensure(u, rng);
-                for item in run {
+                let hu = KeyHash::new(u);
+                let cell = nodes.ensure(hu, rng);
+                let mut hashed = false;
+                for (i, item) in run.iter().enumerate() {
                     let (_, v) = endpoints(item);
-                    if let Some(p) = cell.get_mut(v) {
-                        update(item, p);
-                        continue;
-                    }
+                    let hv = if cell.is_transformed() {
+                        if !hashed {
+                            // The cell is (or just became) chained: pre-hash
+                            // the run once so every probe below reuses lanes.
+                            run_hashes.clear();
+                            run_hashes
+                                .extend(run.iter().map(|item| KeyHash::new(endpoints(item).1)));
+                            hashed = true;
+                        }
+                        if let Some(&next) = run_hashes.get(i + 1) {
+                            cell.prefetch(next);
+                        }
+                        let hv = run_hashes[i];
+                        if let Some(slot) = cell.find_slot(hv) {
+                            update(item, cell.payload_at_mut(slot));
+                            continue;
+                        }
+                        Some(hv)
+                    } else {
+                        if let Some(p) = cell.get_mut_lazy(v) {
+                            update(item, p);
+                            continue;
+                        }
+                        None
+                    };
                     if let Some(p) = s_dl.get_mut(u, v) {
                         update(item, p);
                         continue;
                     }
-                    settle_payload(cell, s_dl, &ctx, use_denylist, rng, scht, make(item));
+                    let hv = hv.unwrap_or_else(|| KeyHash::new(v));
+                    settle_payload(cell, s_dl, &ctx, use_denylist, rng, scht, make(item), hv);
                     *edges += 1;
                     created += 1;
                 }
@@ -308,15 +436,33 @@ impl<P: Payload> Engine<P> {
         let scht = &mut self.scht;
         let edge_total = &mut self.edges;
         let mut removed = 0usize;
+        // Pre-hashed keys of the current run, mirroring `insert_batch`: runs
+        // against inline cells stay hash-free, runs against transformed cells
+        // pre-hash once and prefetch the next key's tag lines.
+        let mut run_hashes: Vec<KeyHash> = Vec::new();
         for_each_source_run(
             edges,
             |&(u, _)| u,
             |u, run| {
-                let mut cell = nodes.get_mut(u);
-                for &(_, v) in run {
+                let hu = KeyHash::new(u);
+                let mut cell = nodes.get_mut(hu);
+                let mut hashed = false;
+                for (i, &(_, v)) in run.iter().enumerate() {
                     let in_cell = match cell.as_mut() {
                         Some(cell) => {
-                            let res = cell.remove(v, &ctx, rng, &mut scht.placements);
+                            let res = if cell.is_transformed() {
+                                if !hashed {
+                                    run_hashes.clear();
+                                    run_hashes.extend(run.iter().map(|&(_, v)| KeyHash::new(v)));
+                                    hashed = true;
+                                }
+                                if let Some(&next) = run_hashes.get(i + 1) {
+                                    cell.prefetch(next);
+                                }
+                                cell.remove(run_hashes[i], &ctx, rng, &mut scht.placements)
+                            } else {
+                                cell.remove_lazy(v, &ctx, rng, &mut scht.placements)
+                            };
                             if res.contracted {
                                 scht.contractions += 1;
                             }
@@ -338,11 +484,12 @@ impl<P: Payload> Engine<P> {
     }
 
     /// Removes the payload for edge `⟨u, v⟩`, applying the reverse
-    /// TRANSFORMATION to the cell's chain when its loading rate drops below `Λ`.
+    /// TRANSFORMATION to the cell's chain when its loading rate drops below
+    /// `Λ`. `v` is hashed lazily, like [`Engine::get`].
     pub fn remove(&mut self, u: NodeId, v: NodeId) -> Option<P> {
         let ctx = self.cell_ctx;
-        if let Some(cell) = self.nodes.get_mut(u) {
-            let res = cell.remove(v, &ctx, &mut self.rng, &mut self.scht.placements);
+        if let Some(cell) = self.nodes.get_mut(KeyHash::new(u)) {
+            let res = cell.remove_lazy(v, &ctx, &mut self.rng, &mut self.scht.placements);
             if res.contracted {
                 self.scht.contractions += 1;
             }
@@ -363,13 +510,13 @@ impl<P: Payload> Engine<P> {
 
     /// Out-degree of `u`, including S-DL entries.
     pub fn out_degree(&self, u: NodeId) -> usize {
-        let in_cell = self.nodes.get(u).map_or(0, |c| c.degree());
+        let in_cell = self.nodes.get(KeyHash::new(u)).map_or(0, |c| c.degree());
         in_cell + self.s_dl.count_for(u)
     }
 
     /// Calls `f` for every neighbour payload of `u` (cell then S-DL).
     pub fn for_each_payload(&self, u: NodeId, mut f: impl FnMut(&P)) {
-        if let Some(cell) = self.nodes.get(u) {
+        if let Some(cell) = self.nodes.get(KeyHash::new(u)) {
             cell.for_each(&mut f);
         }
         self.s_dl.for_each_of(u, f);

@@ -62,6 +62,15 @@ impl CuckooGraph {
         self.for_each_edge(|u, v| out.push((u, v)));
         out
     }
+
+    /// Pre-change reference query: re-hashes the key once per table and
+    /// bucket array and compares full payload keys, ignoring the tag bytes —
+    /// the probe path [`DynamicGraph::has_edge`] had before PR 4. Kept as the
+    /// live baseline the `perf_smoke` probe-path guard and the `point_query`
+    /// criterion group measure the tagged path against.
+    pub fn has_edge_unmemoized(&self, u: NodeId, v: NodeId) -> bool {
+        self.engine.contains_unmemoized(u, v)
+    }
 }
 
 impl Default for CuckooGraph {
@@ -79,12 +88,10 @@ impl MemoryFootprint for CuckooGraph {
 impl DynamicGraph for CuckooGraph {
     fn insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
         // Step 1 of the insertion procedure: query first; an existing edge is
-        // not inserted again.
-        if self.engine.contains(u, v) {
-            return false;
-        }
-        self.engine.insert_new(u, v);
-        true
+        // not inserted again. `upsert` folds the query and the insert into a
+        // single resolution of the `u` cell, hashing `u` once and `v` at most
+        // once (not at all when the cell is still inline).
+        self.engine.upsert(u, v, || v, |_| {})
     }
 
     fn has_edge(&self, u: NodeId, v: NodeId) -> bool {

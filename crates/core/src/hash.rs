@@ -33,6 +33,16 @@ fn mix(mut a: u32, mut b: u32, mut c: u32) -> (u32, u32, u32) {
 /// Follows the structure of `lookup2`: consume 12 bytes per round through
 /// [`mix`], then fold the trailing bytes and the length into the final round.
 pub fn bob_hash(bytes: &[u8], seed: u32) -> u32 {
+    bob_hash2(bytes, seed).1
+}
+
+/// The two-lane variant of [`bob_hash`]: one `lookup2` pass whose final
+/// [`mix`] yields *two* well-mixed 32-bit words (`b` and `c`) instead of one.
+/// This is the "single Bob-hash pass producing both lanes" that backs
+/// [`KeyHash`] — every cuckoo table then derives its bucket indices from the
+/// memoized lanes with a cheap per-table finalizer instead of re-running the
+/// full pass per table and per array.
+pub fn bob_hash2(bytes: &[u8], seed: u32) -> (u32, u32) {
     let mut a = GOLDEN_RATIO;
     let mut b = GOLDEN_RATIO;
     let mut c = seed;
@@ -80,8 +90,61 @@ pub fn bob_hash(bytes: &[u8], seed: u32) -> u32 {
         c = c.wrapping_add(lanes[2]);
     }
 
-    let (_, _, c) = mix(a, b, c);
-    c
+    let (_, b, c) = mix(a, b, c);
+    (b, c)
+}
+
+/// Base seed of the shared Bob-hash pass behind [`KeyHash::new`]. Per-table
+/// randomness comes from each table's [`HashPair`] seeds, folded into the
+/// memoized lanes by [`HashPair::bucket_of`]; the base pass itself is fixed so
+/// a `KeyHash` computed anywhere in the engine is valid for every table.
+const KEYHASH_SEED: u32 = 0x51ed_270b;
+
+/// Memoized hash material for one key: both Bob-hash lanes, computed once per
+/// operation and threaded through the whole probe path (engine → L-CHT chain →
+/// cell → S-CHT chain → table).
+///
+/// The contract: a `KeyHash` is a pure function of the key (the lanes come
+/// from one [`bob_hash2`] pass with a fixed base seed), so it can be computed
+/// at any layer and reused by every table below. Each table turns the lanes
+/// into its two bucket indices via [`HashPair::bucket_of`] (lane ⊕ per-table
+/// seed, then [`fmix32`]) — a chain of `R` tables therefore costs one Bob pass
+/// per operation instead of `2·R`. The 7-bit [`KeyHash::fingerprint`] is what
+/// the tagged buckets compare before ever touching a payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyHash {
+    key: NodeId,
+    lane0: u32,
+    lane1: u32,
+}
+
+impl KeyHash {
+    /// Hashes `key` once (single Bob pass, both lanes).
+    #[inline]
+    pub fn new(key: NodeId) -> Self {
+        let (lane0, lane1) = bob_hash2(&key.to_le_bytes(), KEYHASH_SEED);
+        Self { key, lane0, lane1 }
+    }
+
+    /// The key this hash material belongs to.
+    #[inline]
+    pub fn key(&self) -> NodeId {
+        self.key
+    }
+
+    /// Both lanes packed into one 64-bit word — the input of the per-table
+    /// multiply-shift in [`HashPair::bucket_of`].
+    #[inline]
+    pub fn lanes64(&self) -> u64 {
+        (u64::from(self.lane0) << 32) | u64::from(self.lane1)
+    }
+
+    /// 7-bit fingerprint stored in the per-slot tag bytes. Derived from both
+    /// lanes so it stays decorrelated from any single table's bucket index.
+    #[inline]
+    pub fn fingerprint(&self) -> u8 {
+        (((self.lane0 >> 7) ^ (self.lane1 >> 19)) & 0x7f) as u8
+    }
 }
 
 /// Bob Hash specialised to 8-byte node identifiers, the key type used by every
@@ -97,13 +160,23 @@ pub fn bob_hash_u64(key: NodeId, seed: u32) -> u32 {
 pub struct HashPair {
     seed0: u32,
     seed1: u32,
+    /// Odd multiply-shift multiplier for bucket array 0, derived from `seed0`
+    /// at construction so [`HashPair::bucket_of`] is a handful of ALU ops.
+    mul0: u64,
+    /// Odd multiply-shift multiplier for bucket array 1.
+    mul1: u64,
 }
 
 impl HashPair {
     /// Creates a hash pair from two seeds. The seeds should differ so the two
     /// candidate buckets of an item are independent.
     pub fn new(seed0: u32, seed1: u32) -> Self {
-        Self { seed0, seed1 }
+        Self {
+            seed0,
+            seed1,
+            mul0: splitmix64(u64::from(seed0) ^ 0xa076_1d64_78bd_642f) | 1,
+            mul1: splitmix64(u64::from(seed1) ^ 0xe703_7ed1_a0b4_28db) | 1,
+        }
     }
 
     /// Derives a pair of seeds from a single 64-bit seed using a splitmix64
@@ -111,10 +184,7 @@ impl HashPair {
     pub fn from_seed(seed: u64) -> Self {
         let a = splitmix64(seed);
         let b = splitmix64(a);
-        Self {
-            seed0: (a >> 32) as u32 ^ a as u32,
-            seed1: (b >> 32) as u32 ^ b as u32,
-        }
+        Self::new((a >> 32) as u32 ^ a as u32, (b >> 32) as u32 ^ b as u32)
     }
 
     /// Hash of `key` for bucket array 0.
@@ -130,6 +200,14 @@ impl HashPair {
     }
 
     /// Bucket index of `key` in array `array` (0 or 1) of `buckets` buckets.
+    ///
+    /// The pre-memoization bucket *function* (one full Bob pass per call),
+    /// retained for this module's distribution tests and as documentation of
+    /// the original design. Nothing places items with it anymore, so the
+    /// unmemoized oracle probes (`contains_unmemoized` and friends) cannot
+    /// use it either — they reproduce the pre-change *cost shape* (a full
+    /// Bob pass per bucket array) but must derive buckets with
+    /// [`HashPair::bucket_of`] to find items where the live layout put them.
     #[inline]
     pub fn bucket(&self, key: NodeId, array: usize, buckets: usize) -> usize {
         debug_assert!(buckets > 0);
@@ -138,6 +216,22 @@ impl HashPair {
         } else {
             self.hash1(key)
         };
+        (h as usize) % buckets
+    }
+
+    /// Bucket index derived from memoized hash material — no re-hash of the
+    /// key. Each table/array applies its own **multiply-shift** to the packed
+    /// lanes (`(lanes64 · a) >> 32`, `a` a per-table random odd multiplier):
+    /// a near-universal family, so bucket collisions of a key pair are
+    /// independent across tables and arrays — the property the kick-out walk
+    /// needs. (A plain `mix(lane ^ seed)` finalizer is *not* enough: the
+    /// lane difference of a key pair is constant across all tables, which
+    /// correlates their collisions and measurably raises kick-out failures.)
+    #[inline]
+    pub fn bucket_of(&self, kh: KeyHash, array: usize, buckets: usize) -> usize {
+        debug_assert!(buckets > 0);
+        let mul = if array == 0 { self.mul0 } else { self.mul1 };
+        let h = (kh.lanes64().wrapping_mul(mul) >> 32) as u32;
         (h as usize) % buckets
     }
 }
@@ -214,6 +308,74 @@ mod tests {
         }
         // Nearly all lengths must hash differently (length is folded in).
         assert!(seen.len() >= 38);
+    }
+
+    #[test]
+    fn bob_hash2_second_lane_matches_bob_hash() {
+        for k in [0u64, 1, 42, u64::MAX] {
+            let bytes = k.to_le_bytes();
+            assert_eq!(bob_hash2(&bytes, 9).1, bob_hash(&bytes, 9));
+        }
+    }
+
+    #[test]
+    fn key_hash_arrays_are_independent_within_a_table() {
+        // The two candidate buckets of a key (same table, different arrays)
+        // must rarely coincide when ranges align.
+        let pair = HashPair::from_seed(77);
+        let same = (0u64..2000)
+            .map(KeyHash::new)
+            .filter(|&kh| pair.bucket_of(kh, 0, 64) == pair.bucket_of(kh, 1, 64))
+            .count();
+        assert!(same < 100, "arrays too correlated: {same} collisions");
+    }
+
+    #[test]
+    fn bucket_of_distributes_over_buckets() {
+        let pair = HashPair::from_seed(0xdead_beef);
+        let mut hit = vec![0usize; 64];
+        for k in 0..10_000u64 {
+            hit[pair.bucket_of(KeyHash::new(k), 0, 64)] += 1;
+        }
+        assert!(
+            hit.iter().all(|&c| c > 0),
+            "some buckets never hit: {hit:?}"
+        );
+        let max = *hit.iter().max().unwrap();
+        let min = *hit.iter().min().unwrap();
+        assert!(
+            max < min * 3,
+            "distribution too skewed: min={min} max={max}"
+        );
+    }
+
+    #[test]
+    fn bucket_of_decorrelates_across_table_seeds() {
+        // Two tables with different seeds must send the same memoized KeyHash
+        // to independent buckets — the property the whole chain relies on now
+        // that the Bob pass is shared.
+        let a = HashPair::from_seed(1);
+        let b = HashPair::from_seed(2);
+        let same = (0u64..2000)
+            .map(KeyHash::new)
+            .filter(|&kh| a.bucket_of(kh, 0, 64) == b.bucket_of(kh, 0, 64))
+            .count();
+        // Expectation under independence: 2000/64 ≈ 31.
+        assert!(same < 150, "per-table seeds not independent: {same}");
+    }
+
+    #[test]
+    fn fingerprints_cover_the_tag_space() {
+        use std::collections::HashSet;
+        let seen: HashSet<u8> = (0u64..4000)
+            .map(|k| KeyHash::new(k).fingerprint())
+            .collect();
+        assert!(
+            seen.len() > 100,
+            "only {} of 128 fingerprints hit",
+            seen.len()
+        );
+        assert!(seen.iter().all(|&f| f < 128));
     }
 
     #[test]

@@ -9,9 +9,21 @@
 use crate::cell::Cell;
 use crate::chain::{ChainInsert, ChainParams, TableChain};
 use crate::denylist::LargeDenylist;
+use crate::hash::KeyHash;
 use crate::payload::Payload;
 use crate::rng::KickRng;
 use graph_api::NodeId;
+
+/// Opaque coordinates of a cell (chain slot or L-DL index), produced by
+/// [`NodeTable::find`] and consumed by [`NodeTable::cell_at_mut`]. Valid only
+/// until the next mutation of the node table.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum NodePos {
+    /// Chain coordinates (table, (array, flat slot)).
+    Chain((usize, (usize, usize))),
+    /// Index into the L-DL.
+    Deny(usize),
+}
 
 /// Counters the node table feeds back to the engine's [`crate::StructureStats`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -84,46 +96,90 @@ impl<P: Payload> NodeTable<P> {
         self.chain.contractions()
     }
 
-    /// Looks up the cell for node `u` (chain first, then the L-DL — the same
-    /// order the paper's query procedure uses).
-    pub fn get(&self, u: NodeId) -> Option<&Cell<P>> {
-        self.chain
-            .get(u)
-            .or_else(|| self.denylist.find(|c| c.node() == u))
+    /// Looks up the cell for node `kh.key()` (chain first, then the L-DL —
+    /// the same order the paper's query procedure uses).
+    pub fn get(&self, kh: KeyHash) -> Option<&Cell<P>> {
+        self.chain.get(kh).or_else(|| {
+            let u = kh.key();
+            self.denylist.find(|c| c.node() == u)
+        })
     }
 
-    /// Mutable lookup of the cell for node `u`.
-    pub fn get_mut(&mut self, u: NodeId) -> Option<&mut Cell<P>> {
-        if self.chain.contains(u) {
-            return self.chain.get_mut(u);
+    /// Mutable lookup of the cell for node `kh.key()` — a single probe: the
+    /// chain is located once (tag-byte scan) and the slot re-borrowed in
+    /// O(1), instead of the probe-twice `contains` + `get_mut` shape this
+    /// method had before PR 4.
+    pub fn get_mut(&mut self, kh: KeyHash) -> Option<&mut Cell<P>> {
+        if let Some(pos) = self.chain.find_index(kh) {
+            return Some(self.chain.item_at_mut(pos));
         }
+        let u = kh.key();
         self.denylist.find_mut(|c| c.node() == u)
     }
 
-    /// True if node `u` has a cell.
-    pub fn contains(&self, u: NodeId) -> bool {
-        self.chain.contains(u) || self.denylist.find(|c| c.node() == u).is_some()
+    /// True if node `kh.key()` has a cell.
+    pub fn contains(&self, kh: KeyHash) -> bool {
+        let u = kh.key();
+        self.chain.contains(kh) || self.denylist.find(|c| c.node() == u).is_some()
     }
 
-    /// Returns a mutable reference to the cell for `u`, creating it if needed.
-    /// The creation path implements the insertion Step 2 of § III-A3: place the
-    /// new cell, kicking residents as needed; route the final homeless cell to
-    /// the L-DL; force an expansion when denylists are disabled or full.
-    pub fn ensure(&mut self, u: NodeId, rng: &mut KickRng) -> &mut Cell<P> {
-        if !self.contains(u) {
-            self.counters.items += 1;
-            self.insert_cell(Cell::new(u), rng);
+    /// Locates the cell for `kh.key()`, returning opaque coordinates for
+    /// [`NodeTable::cell_at_mut`].
+    pub(crate) fn find(&self, kh: KeyHash) -> Option<NodePos> {
+        if let Some(pos) = self.chain.find_index(kh) {
+            return Some(NodePos::Chain(pos));
         }
-        self.get_mut(u).expect("cell was just ensured")
+        let u = kh.key();
+        self.denylist.position(|c| c.node() == u).map(NodePos::Deny)
+    }
+
+    /// Direct access to a cell located by [`NodeTable::find`].
+    #[inline]
+    pub(crate) fn cell_at_mut(&mut self, pos: NodePos) -> &mut Cell<P> {
+        match pos {
+            NodePos::Chain(p) => self.chain.item_at_mut(p),
+            NodePos::Deny(i) => self.denylist.cell_at_mut(i),
+        }
+    }
+
+    /// Pre-change reference lookup (per-table re-hash, full key compares, no
+    /// tags) — the oracle/baseline counterpart of [`NodeTable::get`].
+    pub fn get_unmemoized(&self, u: NodeId) -> Option<&Cell<P>> {
+        self.chain
+            .get_unmemoized(u)
+            .or_else(|| self.denylist.find(|c| c.node() == u))
+    }
+
+    /// Returns a mutable reference to the cell for `kh.key()`, creating it if
+    /// needed. The creation path implements the insertion Step 2 of § III-A3:
+    /// place the new cell, kicking residents as needed; route the final
+    /// homeless cell to the L-DL; force an expansion when denylists are
+    /// disabled or full. The hit path resolves the key exactly once (the
+    /// pre-PR-4 shape probed up to three times: `contains`, `insert_cell`'s
+    /// duplicate check, then `get_mut`).
+    pub fn ensure(&mut self, kh: KeyHash, rng: &mut KickRng) -> &mut Cell<P> {
+        if let Some(pos) = self.find(kh) {
+            return self.cell_at_mut(pos);
+        }
+        self.counters.items += 1;
+        self.insert_cell(Cell::new(kh.key()), kh, rng);
+        // The fresh cell settled in the chain or was parked in the L-DL; one
+        // more probe pins it down (creation only — the hot hit path above
+        // never reaches this).
+        let pos = self.find(kh).expect("cell was just ensured");
+        self.cell_at_mut(pos)
     }
 
     /// Inserts a cell (new or drained from the L-DL), handling expansion and
     /// denylist fallback so the operation always succeeds.
-    fn insert_cell(&mut self, cell: Cell<P>, rng: &mut KickRng) {
+    fn insert_cell(&mut self, cell: Cell<P>, kh: KeyHash, rng: &mut KickRng) {
         // The chain consults the expansion rule itself; when it expands we
         // first give parked cells a chance to move back in.
         let expansions_before = self.chain.expansions();
-        match self.chain.insert(cell, rng, &mut self.counters.placements) {
+        match self
+            .chain
+            .insert(cell, kh, rng, &mut self.counters.placements)
+        {
             ChainInsert::Stored => {}
             ChainInsert::Failed(cell) => {
                 self.counters.failures += 1;
@@ -148,6 +204,7 @@ impl<P: Payload> NodeTable<P> {
 
     fn force_expand_and_insert(&mut self, cell: Cell<P>, rng: &mut KickRng) {
         let mut pending = cell;
+        let mut pending_kh = pending.key_hash();
         loop {
             let leftovers = self.chain.expand(rng, &mut self.counters.placements);
             for cell in leftovers {
@@ -155,12 +212,19 @@ impl<P: Payload> NodeTable<P> {
                 // the capacity limit — nothing may be dropped.
                 self.denylist.push_forced(cell);
             }
-            match self
-                .chain
-                .insert_no_expand(pending, rng, &mut self.counters.placements)
-            {
+            match self.chain.insert_no_expand(
+                pending,
+                pending_kh,
+                rng,
+                &mut self.counters.placements,
+            ) {
                 ChainInsert::Stored => break,
-                ChainInsert::Failed(cell) => pending = cell,
+                ChainInsert::Failed(cell) => {
+                    // The homeless cell may be a kick-walk victim, not the one
+                    // we started with — re-derive its hash material.
+                    pending_kh = cell.key_hash();
+                    pending = cell;
+                }
             }
         }
         self.drain_denylist(rng);
@@ -174,9 +238,10 @@ impl<P: Payload> NodeTable<P> {
         }
         let parked = self.denylist.drain_all();
         for cell in parked {
+            let kh = cell.key_hash();
             match self
                 .chain
-                .insert_no_expand(cell, rng, &mut self.counters.placements)
+                .insert_no_expand(cell, kh, rng, &mut self.counters.placements)
             {
                 ChainInsert::Stored => {}
                 ChainInsert::Failed(cell) => self.denylist.push_forced(cell),
@@ -231,6 +296,10 @@ const _: () = {
 mod tests {
     use super::*;
 
+    fn kh(u: NodeId) -> KeyHash {
+        KeyHash::new(u)
+    }
+
     fn params() -> ChainParams {
         ChainParams {
             cells_per_bucket: 8,
@@ -251,19 +320,19 @@ mod tests {
         let mut t = table();
         let mut rng = KickRng::new(1);
         for u in 0..100u64 {
-            t.ensure(u, &mut rng);
+            t.ensure(kh(u), &mut rng);
         }
         // Second pass must not create duplicates.
         for u in 0..100u64 {
-            t.ensure(u, &mut rng);
+            t.ensure(kh(u), &mut rng);
         }
         assert_eq!(t.node_count(), 100);
         assert_eq!(t.counters().items, 100);
         for u in 0..100u64 {
-            assert!(t.contains(u));
-            assert_eq!(t.get(u).unwrap().node(), u);
+            assert!(t.contains(kh(u)));
+            assert_eq!(t.get(kh(u)).unwrap().node(), u);
         }
-        assert!(!t.contains(1000));
+        assert!(!t.contains(kh(1000)));
     }
 
     #[test]
@@ -271,12 +340,12 @@ mod tests {
         let mut t = table();
         let mut rng = KickRng::new(2);
         for u in 0..5_000u64 {
-            t.ensure(u, &mut rng);
+            t.ensure(kh(u), &mut rng);
         }
         assert_eq!(t.node_count(), 5_000);
         assert!(t.expansions() > 0, "L-CHT never expanded");
         for u in (0..5_000u64).step_by(97) {
-            assert!(t.contains(u), "lost node {u}");
+            assert!(t.contains(kh(u)), "lost node {u}");
         }
     }
 
@@ -292,11 +361,11 @@ mod tests {
         let mut t: NodeTable<NodeId> = NodeTable::new(p, 5, 1024, true);
         let mut rng = KickRng::new(3);
         for u in 0..2_000u64 {
-            t.ensure(u, &mut rng);
+            t.ensure(kh(u), &mut rng);
         }
         assert_eq!(t.node_count(), 2_000);
         for u in 0..2_000u64 {
-            assert!(t.contains(u), "node {u} was lost");
+            assert!(t.contains(kh(u)), "node {u} was lost");
         }
     }
 
@@ -310,7 +379,7 @@ mod tests {
         let mut t: NodeTable<NodeId> = NodeTable::new(p, 5, 0, false);
         let mut rng = KickRng::new(4);
         for u in 0..1_000u64 {
-            t.ensure(u, &mut rng);
+            t.ensure(kh(u), &mut rng);
         }
         assert_eq!(t.node_count(), 1_000);
         assert_eq!(
@@ -319,7 +388,7 @@ mod tests {
             "denylist must stay unused when disabled"
         );
         for u in 0..1_000u64 {
-            assert!(t.contains(u));
+            assert!(t.contains(kh(u)));
         }
     }
 
@@ -336,15 +405,15 @@ mod tests {
         // Give node 7 some neighbours, then insert many more nodes to force
         // kick-outs and expansions around it.
         {
-            let cell = t.ensure(7, &mut rng);
+            let cell = t.ensure(kh(7), &mut rng);
             for v in 0..20u64 {
-                cell.insert(v, &ctx, &mut rng, &mut placements);
+                cell.insert(v, kh(v), &ctx, &mut rng, &mut placements);
             }
         }
         for u in 1_000..6_000u64 {
-            t.ensure(u, &mut rng);
+            t.ensure(kh(u), &mut rng);
         }
-        let cell = t.get(7).expect("node 7 must survive");
+        let cell = t.get(kh(7)).expect("node 7 must survive");
         assert_eq!(cell.degree(), 20);
         let mut nbrs = cell.neighbors();
         nbrs.sort_unstable();
@@ -357,7 +426,7 @@ mod tests {
         let mut rng = KickRng::new(6);
         let before = t.memory_bytes();
         for u in 0..1_000u64 {
-            t.ensure(u, &mut rng);
+            t.ensure(kh(u), &mut rng);
         }
         assert!(t.memory_bytes() > before);
     }
@@ -367,7 +436,7 @@ mod tests {
         let mut t = table();
         let mut rng = KickRng::new(7);
         for u in [5u64, 9, 200, 3] {
-            t.ensure(u, &mut rng);
+            t.ensure(kh(u), &mut rng);
         }
         let mut nodes = t.nodes();
         nodes.sort_unstable();

@@ -61,23 +61,28 @@ impl MultiEdgeCuckooGraph {
         if edge_id == self.next_auto_id {
             self.next_auto_id = self.next_auto_id.saturating_sub(1);
         }
-        if let Some(slot) = self.engine.get_mut(u, v) {
-            if slot.edges.contains(&edge_id) {
-                return false;
-            }
-            slot.edges.push(edge_id);
-            self.total_edges += 1;
-            return true;
-        }
-        self.engine.insert_new(
+        // `upsert` resolves the `u` cell once for the append probe and the
+        // insert that follows a miss.
+        let mut added = true;
+        self.engine.upsert(
             u,
-            MultiSlot {
+            v,
+            || MultiSlot {
                 v,
                 edges: vec![edge_id],
             },
+            |slot| {
+                if slot.edges.contains(&edge_id) {
+                    added = false;
+                } else {
+                    slot.edges.push(edge_id);
+                }
+            },
         );
-        self.total_edges += 1;
-        true
+        if added {
+            self.total_edges += 1;
+        }
+        added
     }
 
     /// Registers a batch of parallel edges `(u, v, edge_id)`, hoisting the
@@ -189,14 +194,21 @@ impl MemoryFootprint for MultiEdgeCuckooGraph {
 /// with all its parallel edges.
 impl DynamicGraph for MultiEdgeCuckooGraph {
     fn insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
-        if self.engine.contains(u, v) {
-            return false;
+        let next_auto_id = &mut self.next_auto_id;
+        let created = self.engine.upsert(
+            u,
+            v,
+            || {
+                let id = *next_auto_id;
+                *next_auto_id = next_auto_id.saturating_sub(1);
+                MultiSlot { v, edges: vec![id] }
+            },
+            |_| {},
+        );
+        if created {
+            self.total_edges += 1;
         }
-        let id = self.next_auto_id;
-        self.next_auto_id = self.next_auto_id.saturating_sub(1);
-        self.engine.insert_new(u, MultiSlot { v, edges: vec![id] });
-        self.total_edges += 1;
-        true
+        created
     }
 
     fn has_edge(&self, u: NodeId, v: NodeId) -> bool {

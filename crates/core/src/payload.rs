@@ -12,12 +12,22 @@
 //! over a [`Payload`], so the TRANSFORMATION and DENYLIST machinery is written
 //! once and shared by all three variants.
 
+use crate::hash::KeyHash;
 use graph_api::NodeId;
 
 /// A value stored in a small slot or an S-CHT slot, keyed by the neighbour id.
 pub trait Payload: Clone {
     /// The neighbour node `v` this payload describes. Used as the cuckoo key.
     fn key(&self) -> NodeId;
+
+    /// Memoized hash material for [`Payload::key`] — one Bob pass yielding
+    /// everything a table chain needs (bucket lanes + tag fingerprint). The
+    /// kick-out walk and the rebuild paths call this once per displaced item
+    /// and reuse the result across every table they try.
+    #[inline]
+    fn key_hash(&self) -> KeyHash {
+        KeyHash::new(self.key())
+    }
 
     /// Heap bytes owned by the payload beyond its inline size (0 for plain
     /// values). Used for memory-usage reporting (Figure 9).
@@ -88,6 +98,13 @@ mod tests {
         let s = WeightedSlot { v: 5, w: 10 };
         assert_eq!(s.key(), 5);
         assert_eq!(s.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn key_hash_is_the_hash_of_the_key() {
+        let s = WeightedSlot { v: 5, w: 10 };
+        assert_eq!(s.key_hash(), KeyHash::new(5));
+        assert_eq!(s.key_hash().key(), 5);
     }
 
     #[test]

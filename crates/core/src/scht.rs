@@ -10,8 +10,19 @@
 //! The same generic table stores either neighbour payloads (S-CHT: keyed by
 //! `v`) or whole L-CHT cells (keyed by `u`), because both implement
 //! [`Payload`].
+//!
+//! # The tagged probe path
+//!
+//! Since PR 4 the table keeps, next to each payload slot, one **tag byte**:
+//! bit 7 marks occupancy and bits 0–6 hold the key's 7-bit fingerprint
+//! ([`KeyHash::fingerprint`]). A probe scans the `d` tag bytes of a candidate
+//! bucket — one cache line, no payload traffic — and dereferences a payload
+//! only on a tag hit, where the full key is still compared so lookups stay
+//! exact. Bucket indices are derived from memoized [`KeyHash`] lanes
+//! ([`HashPair::bucket_of`]), so the caller hashes a key once per operation
+//! regardless of how many tables a chain probes.
 
-use crate::hash::HashPair;
+use crate::hash::{HashPair, KeyHash};
 use crate::payload::Payload;
 use crate::rng::KickRng;
 use graph_api::NodeId;
@@ -23,13 +34,43 @@ fn secondary_buckets(len: usize) -> usize {
     (len / 2).max(1)
 }
 
-/// A two-array, multi-slot cuckoo hash table.
+/// Tag byte for an occupied slot: occupancy bit plus the 7-bit fingerprint.
+/// An empty slot's tag is 0 (the occupancy bit guarantees occupied ≠ 0).
+#[inline(always)]
+fn tag_of(kh: KeyHash) -> u8 {
+    0x80 | kh.fingerprint()
+}
+
+/// Software prefetch of the cache line holding `p`, used by the batch drivers
+/// to pull the next key's candidate tag bytes in while the current key
+/// settles. A no-op on architectures without a stable prefetch intrinsic.
+///
+/// The lone `unsafe` in the workspace: `_mm_prefetch` is purely a cache hint —
+/// it performs no load, cannot fault even on an invalid address, and has no
+/// observable semantic effect, so it is sound for any pointer value.
+#[allow(unsafe_code)]
+#[inline(always)]
+pub(crate) fn prefetch_read(p: *const u8) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch::<_MM_HINT_T0>(p.cast());
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// A two-array, multi-slot cuckoo hash table with tagged buckets.
 #[derive(Debug, Clone)]
 pub struct CuckooTable<T> {
     /// Flat slot storage for array 0: `buckets0 * d` entries.
     slots0: Vec<Option<T>>,
     /// Flat slot storage for array 1: `buckets1 * d` entries.
     slots1: Vec<Option<T>>,
+    /// Tag bytes parallel to `slots0`: 0 = empty, `0x80 | fingerprint` else.
+    tags0: Vec<u8>,
+    /// Tag bytes parallel to `slots1`.
+    tags1: Vec<u8>,
     buckets0: usize,
     buckets1: usize,
     d: usize,
@@ -47,6 +88,8 @@ impl<T: Payload> CuckooTable<T> {
         Self {
             slots0: vec_none(len * d),
             slots1: vec_none(buckets1 * d),
+            tags0: vec![0u8; len * d],
+            tags1: vec![0u8; buckets1 * d],
             buckets0: len,
             buckets1,
             d,
@@ -86,13 +129,13 @@ impl<T: Payload> CuckooTable<T> {
     }
 
     #[inline]
-    fn bucket_index(&self, key: NodeId, array: usize) -> usize {
+    fn bucket_index(&self, kh: KeyHash, array: usize) -> usize {
         let buckets = if array == 0 {
             self.buckets0
         } else {
             self.buckets1
         };
-        self.hashes.bucket(key, array, buckets)
+        self.hashes.bucket_of(kh, array, buckets)
     }
 
     #[inline]
@@ -105,24 +148,33 @@ impl<T: Payload> CuckooTable<T> {
     }
 
     #[inline]
-    fn slots_mut(&mut self, array: usize) -> &mut Vec<Option<T>> {
+    fn parts_mut(&mut self, array: usize) -> (&mut Vec<Option<T>>, &mut Vec<u8>) {
         if array == 0 {
-            &mut self.slots0
+            (&mut self.slots0, &mut self.tags0)
         } else {
-            &mut self.slots1
+            (&mut self.slots1, &mut self.tags1)
         }
     }
 
-    /// Returns the `(array, flat_index)` coordinates of `key` if present.
-    fn locate(&self, key: NodeId) -> Option<(usize, usize)> {
+    /// Returns the `(array, flat_index)` coordinates of the item keyed by
+    /// `kh.key()` if present. Scans `d` tag bytes per candidate bucket and
+    /// touches a payload only on a fingerprint hit.
+    pub(crate) fn locate(&self, kh: KeyHash) -> Option<(usize, usize)> {
+        let key = kh.key();
+        let tag = tag_of(kh);
         for array in 0..2 {
-            let bucket = self.bucket_index(key, array);
+            let bucket = self.bucket_index(kh, array);
             let base = bucket * self.d;
+            let tags = if array == 0 { &self.tags0 } else { &self.tags1 };
             let slots = self.slots(array);
-            for (offset, slot) in slots[base..base + self.d].iter().enumerate() {
-                if let Some(item) = slot {
-                    if item.key() == key {
-                        return Some((array, base + offset));
+            for (offset, &t) in tags[base..base + self.d].iter().enumerate() {
+                if t == tag {
+                    // Tag hit: confirm with the full key so collisions between
+                    // different keys sharing a fingerprint stay exact.
+                    if let Some(item) = &slots[base + offset] {
+                        if item.key() == key {
+                            return Some((array, base + offset));
+                        }
                     }
                 }
             }
@@ -130,44 +182,95 @@ impl<T: Payload> CuckooTable<T> {
         None
     }
 
+    /// Direct access to a slot located by [`CuckooTable::locate`].
+    #[inline]
+    pub(crate) fn slot_at_mut(&mut self, pos: (usize, usize)) -> &mut T {
+        let (array, i) = pos;
+        let (slots, _) = self.parts_mut(array);
+        slots[i].as_mut().expect("located slot is occupied")
+    }
+
     /// Returns a reference to the item with the given key, if stored.
-    pub fn get(&self, key: NodeId) -> Option<&T> {
-        let (array, i) = self.locate(key)?;
+    pub fn get(&self, kh: KeyHash) -> Option<&T> {
+        let (array, i) = self.locate(kh)?;
         self.slots(array)[i].as_ref()
     }
 
     /// Returns a mutable reference to the item with the given key, if stored.
-    pub fn get_mut(&mut self, key: NodeId) -> Option<&mut T> {
-        let (array, i) = self.locate(key)?;
-        self.slots_mut(array)[i].as_mut()
+    pub fn get_mut(&mut self, kh: KeyHash) -> Option<&mut T> {
+        let pos = self.locate(kh)?;
+        Some(self.slot_at_mut(pos))
     }
 
     /// True if an item with the given key is stored.
-    pub fn contains(&self, key: NodeId) -> bool {
-        self.locate(key).is_some()
+    pub fn contains(&self, kh: KeyHash) -> bool {
+        self.locate(kh).is_some()
     }
 
     /// Removes and returns the item with the given key.
-    pub fn remove(&mut self, key: NodeId) -> Option<T> {
-        let (array, i) = self.locate(key)?;
-        let item = self.slots_mut(array)[i].take();
+    pub fn remove(&mut self, kh: KeyHash) -> Option<T> {
+        let (array, i) = self.locate(kh)?;
+        let (slots, tags) = self.parts_mut(array);
+        let item = slots[i].take();
         if item.is_some() {
+            tags[i] = 0;
             self.count -= 1;
         }
         item
     }
 
+    /// Pre-change reference probe, kept as the correctness oracle for the
+    /// property tests and the baseline the `perf_smoke` probe guard measures
+    /// against: recomputes the full hash material per bucket array (two Bob
+    /// passes per table, the cost `HashPair::bucket` paid before memoization)
+    /// and compares full payload keys, ignoring the tag bytes entirely. The
+    /// bucket *indices* still come from [`HashPair::bucket_of`] — items live
+    /// where the tagged path put them, so the oracle reproduces the old
+    /// probe's cost shape, not its (now unused) bucket function.
+    pub fn contains_unmemoized(&self, key: NodeId) -> bool {
+        self.get_unmemoized(key).is_some()
+    }
+
+    /// Reference counterpart of [`CuckooTable::get`] with the pre-change cost
+    /// shape (see [`CuckooTable::contains_unmemoized`]).
+    pub fn get_unmemoized(&self, key: NodeId) -> Option<&T> {
+        for array in 0..2 {
+            // One full Bob pass per array — the pre-memoization cost shape.
+            // black_box keeps the optimizer from hoisting the second pass.
+            let kh = KeyHash::new(std::hint::black_box(key));
+            let bucket = self.bucket_index(kh, array);
+            let base = bucket * self.d;
+            for item in self.slots(array)[base..base + self.d].iter().flatten() {
+                if item.key() == key {
+                    return Some(item);
+                }
+            }
+        }
+        None
+    }
+
+    /// Prefetches the tag bytes of both candidate buckets of `kh` — the cache
+    /// lines a subsequent [`CuckooTable::locate`] for the same key will read.
+    #[inline]
+    pub fn prefetch(&self, kh: KeyHash) {
+        let b0 = self.bucket_index(kh, 0) * self.d;
+        prefetch_read(self.tags0[b0..].as_ptr());
+        let b1 = self.bucket_index(kh, 1) * self.d;
+        prefetch_read(self.tags1[b1..].as_ptr());
+    }
+
     /// Tries to place `item` in an empty slot of one of its two candidate
     /// buckets, without evicting anything. Returns the item back on failure.
-    fn try_place_direct(&mut self, item: T, placements: &mut u64) -> Result<(), T> {
-        let key = item.key();
+    fn try_place_direct(&mut self, item: T, kh: KeyHash, placements: &mut u64) -> Result<(), T> {
+        let tag = tag_of(kh);
         for array in 0..2 {
-            let bucket = self.bucket_index(key, array);
+            let bucket = self.bucket_index(kh, array);
             let base = bucket * self.d;
             let d = self.d;
-            let slots = self.slots_mut(array);
-            if let Some(slot) = slots[base..base + d].iter_mut().find(|s| s.is_none()) {
-                *slot = Some(item);
+            let (slots, tags) = self.parts_mut(array);
+            if let Some(offset) = tags[base..base + d].iter().position(|&t| t == 0) {
+                slots[base + offset] = Some(item);
+                tags[base + offset] = tag;
                 self.count += 1;
                 *placements += 1;
                 return Ok(());
@@ -176,41 +279,47 @@ impl<T: Payload> CuckooTable<T> {
         Err(item)
     }
 
-    /// Inserts `item`, assuming its key is not already present (callers use
-    /// [`CuckooTable::get_mut`] for updates). Performs up to `max_kicks`
-    /// random-walk evictions. On failure the currently homeless item is
-    /// returned so the caller can route it to a denylist.
+    /// Inserts `item` (whose memoized hash is `kh`), assuming its key is not
+    /// already present (callers use [`CuckooTable::get_mut`] for updates).
+    /// Performs up to `max_kicks` random-walk evictions. On failure the
+    /// currently homeless item is returned so the caller can route it to a
+    /// denylist.
     ///
     /// `placements` is incremented once per slot write, feeding the
     /// Theorem 1 validation counters (§ IV-A).
     pub fn insert(
         &mut self,
         item: T,
+        kh: KeyHash,
         rng: &mut KickRng,
         max_kicks: usize,
         placements: &mut u64,
     ) -> Result<(), T> {
-        debug_assert!(!self.contains(item.key()), "insert of duplicate key");
-        let mut cur = match self.try_place_direct(item, placements) {
+        debug_assert_eq!(item.key(), kh.key(), "item inserted under foreign hash");
+        debug_assert!(!self.contains(kh), "insert of duplicate key");
+        let mut cur = match self.try_place_direct(item, kh, placements) {
             Ok(()) => return Ok(()),
             Err(item) => item,
         };
+        let mut cur_kh = kh;
 
         // Both candidate buckets are full: start the kick-out walk. We evict a
         // random resident of one candidate bucket, settle the newcomer there,
         // and continue with the evictee in its *other* candidate bucket.
         let mut array = if rng.next_bool() { 1 } else { 0 };
         for _ in 0..max_kicks {
-            let bucket = self.bucket_index(cur.key(), array);
+            let bucket = self.bucket_index(cur_kh, array);
             let base = bucket * self.d;
             let d = self.d;
+            let cur_tag = tag_of(cur_kh);
 
             // If an empty slot opened up (possible after earlier evictions),
             // settle immediately.
             {
-                let slots = self.slots_mut(array);
-                if let Some(i) = (base..base + d).find(|&i| slots[i].is_none()) {
-                    slots[i] = Some(cur);
+                let (slots, tags) = self.parts_mut(array);
+                if let Some(offset) = tags[base..base + d].iter().position(|&t| t == 0) {
+                    slots[base + offset] = Some(cur);
+                    tags[base + offset] = cur_tag;
                     self.count += 1;
                     *placements += 1;
                     return Ok(());
@@ -219,12 +328,16 @@ impl<T: Payload> CuckooTable<T> {
 
             // Evict a random resident and take its place.
             let victim_slot = base + rng.next_below(d);
-            let slots = self.slots_mut(array);
+            let (slots, tags) = self.parts_mut(array);
             let victim = slots[victim_slot]
                 .replace(cur)
                 .expect("victim slot was occupied");
+            tags[victim_slot] = cur_tag;
             *placements += 1;
             cur = victim;
+            // The victim is re-hashed once per eviction — still cheaper than
+            // the pre-memoization path, which re-hashed once per *bucket*.
+            cur_kh = cur.key_hash();
 
             // The victim's alternative bucket lives in the other array.
             array = 1 - array;
@@ -258,19 +371,44 @@ impl<T: Payload> CuckooTable<T> {
                 out.push(item);
             }
         }
+        self.tags0.fill(0);
+        self.tags1.fill(0);
         self.count = 0;
         out
     }
 
-    /// Bytes occupied by the two slot arrays plus the heap data owned by the
-    /// stored items.
+    /// Bytes occupied by the two slot arrays, their tag bytes, plus the heap
+    /// data owned by the stored items.
     pub fn memory_bytes(&self) -> usize {
         let slot_size = std::mem::size_of::<Option<T>>();
-        let mut bytes = (self.slots0.capacity() + self.slots1.capacity()) * slot_size;
+        let mut bytes = (self.slots0.capacity() + self.slots1.capacity()) * slot_size
+            + self.tags0.capacity()
+            + self.tags1.capacity();
         for item in self.iter() {
             bytes += item.heap_bytes();
         }
         bytes
+    }
+
+    /// Internal consistency check used by the property tests: every occupied
+    /// slot carries its key's tag, every empty slot a zero tag, and the cached
+    /// count matches the slots.
+    #[doc(hidden)]
+    pub fn assert_tags_consistent(&self) {
+        let mut stored = 0usize;
+        for (slots, tags) in [(&self.slots0, &self.tags0), (&self.slots1, &self.tags1)] {
+            assert_eq!(slots.len(), tags.len());
+            for (slot, &tag) in slots.iter().zip(tags.iter()) {
+                match slot {
+                    Some(item) => {
+                        stored += 1;
+                        assert_eq!(tag, tag_of(item.key_hash()), "stale tag byte");
+                    }
+                    None => assert_eq!(tag, 0, "ghost tag on empty slot"),
+                }
+            }
+        }
+        assert_eq!(stored, self.count, "cached count out of sync");
     }
 }
 
@@ -295,6 +433,10 @@ mod tests {
         CuckooTable::new(len, d, 0x1234)
     }
 
+    fn kh(v: NodeId) -> KeyHash {
+        KeyHash::new(v)
+    }
+
     #[test]
     fn geometry_follows_two_to_one_ratio() {
         let t = table(8, 4);
@@ -312,15 +454,18 @@ mod tests {
         let mut rng = KickRng::new(1);
         let mut placements = 0;
         for v in 0..20u64 {
-            t.insert(v, &mut rng, 50, &mut placements).unwrap();
+            t.insert(v, kh(v), &mut rng, 50, &mut placements).unwrap();
         }
         assert_eq!(t.count(), 20);
         for v in 0..20u64 {
-            assert_eq!(t.get(v), Some(&v));
-            assert!(t.contains(v));
+            assert_eq!(t.get(kh(v)), Some(&v));
+            assert!(t.contains(kh(v)));
+            assert!(t.contains_unmemoized(v));
         }
-        assert!(!t.contains(99));
+        assert!(!t.contains(kh(99)));
+        assert!(!t.contains_unmemoized(99));
         assert!(placements >= 20);
+        t.assert_tags_consistent();
     }
 
     #[test]
@@ -329,15 +474,16 @@ mod tests {
         let mut rng = KickRng::new(2);
         let mut p = 0;
         for v in 0..10u64 {
-            t.insert(v, &mut rng, 50, &mut p).unwrap();
+            t.insert(v, kh(v), &mut rng, 50, &mut p).unwrap();
         }
-        assert_eq!(t.remove(3), Some(3));
-        assert_eq!(t.remove(3), None);
-        assert!(!t.contains(3));
+        assert_eq!(t.remove(kh(3)), Some(3));
+        assert_eq!(t.remove(kh(3)), None);
+        assert!(!t.contains(kh(3)));
         assert_eq!(t.count(), 9);
         // The freed slot is reusable.
-        t.insert(100, &mut rng, 50, &mut p).unwrap();
-        assert!(t.contains(100));
+        t.insert(100, kh(100), &mut rng, 50, &mut p).unwrap();
+        assert!(t.contains(kh(100)));
+        t.assert_tags_consistent();
     }
 
     #[test]
@@ -346,20 +492,20 @@ mod tests {
         let mut rng = KickRng::new(3);
         let mut p = 0;
         assert_eq!(t.loading_rate(), 0.0);
-        t.insert(1, &mut rng, 50, &mut p).unwrap();
+        t.insert(1, kh(1), &mut rng, 50, &mut p).unwrap();
         assert!((t.loading_rate() - 1.0 / 12.0).abs() < 1e-12);
     }
 
     #[test]
     fn insertion_failure_returns_homeless_item() {
-        // Tiny table (capacity 3*1=3... len=1,d=1 => capacity 2) filled beyond
-        // capacity must eventually fail and hand an item back.
+        // Tiny table (len=1, d=1 => capacity 2) filled beyond capacity must
+        // eventually fail and hand an item back.
         let mut t = table(1, 1);
         let mut rng = KickRng::new(4);
         let mut p = 0;
         let mut failed = Vec::new();
         for v in 0..10u64 {
-            if let Err(item) = t.insert(v, &mut rng, 8, &mut p) {
+            if let Err(item) = t.insert(v, kh(v), &mut rng, 8, &mut p) {
                 failed.push(item);
             }
         }
@@ -368,8 +514,9 @@ mod tests {
         // Everything that did not fail is still retrievable.
         let stored: Vec<_> = t.iter().copied().collect();
         for v in stored {
-            assert!(t.contains(v));
+            assert!(t.contains(kh(v)));
         }
+        t.assert_tags_consistent();
     }
 
     #[test]
@@ -381,14 +528,15 @@ mod tests {
         let mut p = 0;
         let mut ok = Vec::new();
         for v in 0..90u64 {
-            if t.insert(v, &mut rng, 200, &mut p).is_ok() {
+            if t.insert(v, kh(v), &mut rng, 200, &mut p).is_ok() {
                 ok.push(v);
             }
         }
         for v in &ok {
-            assert!(t.contains(*v), "lost key {v} after kick-outs");
+            assert!(t.contains(kh(*v)), "lost key {v} after kick-outs");
         }
         assert_eq!(t.count(), ok.len());
+        t.assert_tags_consistent();
     }
 
     #[test]
@@ -397,20 +545,22 @@ mod tests {
         let mut rng = KickRng::new(6);
         let mut p = 0;
         for v in 0..30u64 {
-            t.insert(v, &mut rng, 100, &mut p).unwrap();
+            t.insert(v, kh(v), &mut rng, 100, &mut p).unwrap();
         }
         let mut items = t.drain();
         items.sort_unstable();
         assert_eq!(items, (0..30u64).collect::<Vec<_>>());
         assert_eq!(t.count(), 0);
         assert!(t.is_empty());
-        assert!(!t.contains(5));
+        assert!(!t.contains(kh(5)));
+        t.assert_tags_consistent();
     }
 
     #[test]
     fn memory_bytes_reflects_capacity() {
         let t = table(8, 4);
-        let expected = (8 * 4 + 4 * 4) * std::mem::size_of::<Option<NodeId>>();
+        let slots = 8 * 4 + 4 * 4;
+        let expected = slots * std::mem::size_of::<Option<NodeId>>() + slots;
         assert_eq!(t.memory_bytes(), expected);
     }
 
@@ -420,7 +570,7 @@ mod tests {
         let mut rng = KickRng::new(7);
         let mut p = 0;
         for v in 0..25u64 {
-            t.insert(v, &mut rng, 100, &mut p).unwrap();
+            t.insert(v, kh(v), &mut rng, 100, &mut p).unwrap();
         }
         let mut sum = 0u64;
         let mut n = 0;
@@ -442,7 +592,7 @@ mod tests {
         let target = (capacity as f64 * 0.95) as u64;
         let mut inserted = 0;
         for v in 0..target {
-            if t.insert(v, &mut rng, 250, &mut p).is_ok() {
+            if t.insert(v, kh(v), &mut rng, 250, &mut p).is_ok() {
                 inserted += 1;
             }
         }
@@ -451,5 +601,24 @@ mod tests {
             "only reached {} of {capacity}",
             inserted
         );
+        t.assert_tags_consistent();
+    }
+
+    #[test]
+    fn prefetch_is_a_safe_no_op_semantically() {
+        let mut t = table(8, 4);
+        let mut rng = KickRng::new(9);
+        let mut p = 0;
+        for v in 0..10u64 {
+            t.insert(v, kh(v), &mut rng, 50, &mut p).unwrap();
+        }
+        // Prefetching present and absent keys must not disturb anything.
+        for v in 0..20u64 {
+            t.prefetch(kh(v));
+        }
+        assert_eq!(t.count(), 10);
+        for v in 0..10u64 {
+            assert!(t.contains(kh(v)));
+        }
     }
 }

@@ -21,6 +21,14 @@
 //! [`DynamicGraph`] `+ Send` works, which the compile-time assertions in the
 //! engine stack (`engine.rs`, `lcht.rs`, `scht.rs`, `cell.rs`, `chain.rs`,
 //! `denylist.rs`) guarantee for the CuckooGraph types.
+//!
+//! The per-shard engines inherit the PR-4 probe path wholesale: every batched
+//! group a shard thread settles runs the tagged-bucket scan, per-run hash
+//! memoization, and next-key prefetching of [`crate::engine::Engine`]'s batch
+//! drivers — the fan-out multiplies that per-shard speedup rather than
+//! replacing it. (Shard routing itself hashes `u` with [`splitmix64`] +
+//! [`SHARD_SALT`], deliberately decorrelated from the engines' internal
+//! bucket hashing, so nothing is shared across the boundary to memoize.)
 
 use crate::config::CuckooGraphConfig;
 use crate::graph::CuckooGraph;

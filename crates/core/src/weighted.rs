@@ -88,12 +88,18 @@ impl MemoryFootprint for WeightedCuckooGraph {
 impl WeightedDynamicGraph for WeightedCuckooGraph {
     fn insert_weighted(&mut self, u: NodeId, v: NodeId, delta: u64) -> u64 {
         // § III-B insertion: an existing item bumps its weight and returns.
-        if let Some(slot) = self.engine.get_mut(u, v) {
-            slot.w += delta;
-            return slot.w;
-        }
-        self.engine.insert_new(u, WeightedSlot { v, w: delta });
-        delta
+        // `upsert` resolves the `u` cell once for the probe and the insert.
+        let mut new_weight = delta;
+        self.engine.upsert(
+            u,
+            v,
+            || WeightedSlot { v, w: delta },
+            |slot| {
+                slot.w += delta;
+                new_weight = slot.w;
+            },
+        );
+        new_weight
     }
 
     fn weight(&self, u: NodeId, v: NodeId) -> u64 {
