@@ -215,6 +215,22 @@ fn bench_successor_scan(c: &mut Criterion) {
             );
         }
     }
+    // The pre-SWAR scalar scan as a live baseline series, so the tag-word
+    // iteration win stays visible in `cargo bench` output.
+    use graph_api::DynamicGraph;
+    let mut ours = cuckoograph::CuckooGraph::new();
+    ours.insert_edges(&edges);
+    let mut sources = Vec::new();
+    ours.for_each_node(&mut |u| sources.push(u));
+    group.bench_function(BenchmarkId::from_parameter("Ours (scalar scan)"), |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for &u in &sources {
+                ours.for_each_successor_scalar(u, &mut |v| sum = sum.wrapping_add(v));
+            }
+            sum
+        });
+    });
     group.finish();
 }
 
@@ -259,6 +275,63 @@ fn bench_batched_insert(c: &mut Criterion) {
     group.finish();
 }
 
+/// Expand/contract-heavy churn (PR 5): interleaved bulk insert/delete waves
+/// drive every hot node's S-CHT chain up through its transformation
+/// thresholds and back down to inline slots, so resize cost dominates. The
+/// scratch-backed engine is measured against the same engine with the
+/// persistent rebuild buffers disabled (fresh allocations per resize event —
+/// the pre-change cost shape) and against the baseline schemes.
+fn bench_resize_churn(c: &mut Criterion) {
+    const WAVES: usize = 2;
+    let mut edges = generate(DatasetKind::Caida, SCALE, SEED).distinct_edges();
+    edges.sort_unstable();
+    let mut group = c.benchmark_group("resize_churn_CAIDA");
+    group.throughput(criterion::Throughput::Elements(
+        (2 * WAVES * edges.len()) as u64,
+    ));
+    for scheme in schemes() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                b.iter_batched(
+                    || scheme.build(),
+                    |mut graph| {
+                        for _ in 0..WAVES {
+                            graph.insert_edges(&edges);
+                            graph.remove_edges(&edges);
+                        }
+                        graph
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.bench_function(
+        BenchmarkId::from_parameter("Ours (alloc-per-event resize)"),
+        |b| {
+            use graph_api::DynamicGraph;
+            b.iter_batched(
+                || {
+                    cuckoograph::CuckooGraph::with_config(
+                        cuckoograph::CuckooGraphConfig::default().with_resize_scratch(false),
+                    )
+                },
+                |mut graph| {
+                    for _ in 0..WAVES {
+                        graph.insert_edges(&edges);
+                        graph.remove_edges(&edges);
+                    }
+                    graph
+                },
+                BatchSize::SmallInput,
+            );
+        },
+    );
+    group.finish();
+}
+
 /// Figure 9 companion: not a timing benchmark but a quick per-scheme memory
 /// report printed once so `cargo bench` output carries the space comparison.
 fn bench_memory_report(c: &mut Criterion) {
@@ -290,6 +363,7 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(1));
     targets = bench_insert, bench_query, bench_point_query, bench_delete,
-        bench_successor_scan, bench_batched_insert, bench_memory_report
+        bench_successor_scan, bench_batched_insert, bench_resize_churn,
+        bench_memory_report
 }
 criterion_main!(operations);

@@ -4,25 +4,31 @@
 //! per-edge insert, batched insert, edge query, successor scan (both the
 //! zero-allocation visitor and the Vec-collecting path it replaced), and
 //! delete — then a 1/2/4/8-shard ingest thread-sweep over the sharded
-//! CuckooGraph — and writes `BENCH.json` with ops/sec and memory bytes per
-//! scheme so the bench trajectory of the repository is machine-readable and
-//! traversal regressions fail loudly in CI.
+//! CuckooGraph, the PR-4 probe-path guard, the PR-5 scan-path guard (SWAR
+//! tag-word scan vs the scalar reference) and resize guard (scratch-backed
+//! churn vs the alloc-per-event reference) — and writes `BENCH.json`
+//! (schema v4) with ops/sec and memory bytes per scheme so the bench
+//! trajectory of the repository is machine-readable and regressions fail
+//! loudly in CI. When a committed `BENCH.json` already exists at the output
+//! path, the re-record prints the delta of every Ours headline number
+//! against it, so prose quoting stale figures is caught at re-record time.
 //!
 //! ```text
 //! cargo run -p graph-bench --release --bin perf_smoke
 //! PERF_SMOKE_SCALE=0.01 PERF_SMOKE_OUT=out.json cargo run -p graph-bench --release --bin perf_smoke
-//! PERF_SMOKE_SWEEP_SCALE=0.1 cargo run -p graph-bench --release --bin perf_smoke
+//! PERF_SMOKE_SWEEP_SCALE=0.1 PERF_SMOKE_CHURN_WAVES=2 cargo run -p graph-bench --release --bin perf_smoke
 //! ```
 //!
 //! The workload is seeded with [`graph_bench::HARNESS_SEED`], so the operation
 //! stream is identical across runs and machines; only the measured
 //! throughputs differ.
 
-use cuckoograph::{CuckooGraph, ShardedCuckooGraph};
+use cuckoograph::{CuckooGraph, CuckooGraphConfig, ShardedCuckooGraph};
 use graph_api::DynamicGraph;
 use graph_bench::{
-    run_batched_inserts, run_deletes, run_inserts, run_queries, run_successor_scans,
-    run_successor_scans_vec, SchemeKind, HARNESS_SEED, SHARD_SWEEP,
+    run_batched_inserts, run_churn_waves, run_deletes, run_inserts, run_queries,
+    run_successor_scans, run_successor_scans_scalar, run_successor_scans_vec, SchemeKind,
+    HARNESS_SEED, SHARD_SWEEP,
 };
 use graph_datasets::{generate, DatasetKind};
 
@@ -75,6 +81,115 @@ struct ProbeGuard {
     query_reference_mops: f64,
     insert_tagged_mops: f64,
     insert_reference_mops: f64,
+}
+
+/// Throughputs of the PR-5 scan-path guard: the SWAR tag-word successor scan
+/// versus the scalar slot-walk reference, on the same loaded graph.
+#[derive(Debug)]
+struct ScanGuard {
+    swar_scan_mops: f64,
+    scalar_scan_mops: f64,
+}
+
+/// Throughputs of the PR-5 resize guard: expand/contract churn with the
+/// persistent rebuild scratch versus the alloc-per-event reference engine.
+#[derive(Debug)]
+struct ResizeGuard {
+    scratch_churn_mops: f64,
+    alloc_churn_mops: f64,
+    waves: usize,
+    edges: usize,
+}
+
+/// Measures the PR-5 SWAR scan against the live scalar reference on a
+/// CuckooGraph loaded from the raw stream (same graph, same sources, same
+/// closure work — only the tag-array walk differs).
+fn run_scan_guard(raw: &[(u64, u64)]) -> ScanGuard {
+    let mut graph = CuckooGraph::new();
+    for &(u, v) in raw {
+        graph.insert_edge(u, v);
+    }
+    let mut sources = Vec::with_capacity(graph.node_count());
+    graph.for_each_node(&mut |u| sources.push(u));
+    sources.sort_unstable();
+    let mut swar_scan_mops = 0.0f64;
+    let mut scalar_scan_mops = 0.0f64;
+    for _ in 0..MEASURE_ROUNDS {
+        let (swar, swar_visited) = run_successor_scans(&graph, &sources, SCAN_PASSES);
+        let (scalar, scalar_visited) = run_successor_scans_scalar(&graph, &sources, SCAN_PASSES);
+        assert_eq!(
+            swar_visited, scalar_visited,
+            "SWAR and scalar scans visited different edge counts"
+        );
+        swar_scan_mops = swar_scan_mops.max(swar);
+        scalar_scan_mops = scalar_scan_mops.max(scalar);
+    }
+    ScanGuard {
+        swar_scan_mops,
+        scalar_scan_mops,
+    }
+}
+
+/// Measures expand/contract-heavy churn (bulk insert+delete waves) on the
+/// scratch-backed engine versus the alloc-per-event reference configuration.
+fn run_resize_guard(sorted: &[(u64, u64)], waves: usize) -> ResizeGuard {
+    let mut scratch_churn_mops = 0.0f64;
+    let mut alloc_churn_mops = 0.0f64;
+    for _ in 0..MEASURE_ROUNDS {
+        let mut scratch_graph = CuckooGraph::new();
+        scratch_churn_mops =
+            scratch_churn_mops.max(run_churn_waves(&mut scratch_graph, sorted, waves));
+        assert_eq!(scratch_graph.edge_count(), 0, "churn left edges (scratch)");
+
+        let mut alloc_graph =
+            CuckooGraph::with_config(CuckooGraphConfig::default().with_resize_scratch(false));
+        alloc_churn_mops = alloc_churn_mops.max(run_churn_waves(&mut alloc_graph, sorted, waves));
+        assert_eq!(alloc_graph.edge_count(), 0, "churn left edges (alloc)");
+    }
+    ResizeGuard {
+        scratch_churn_mops,
+        alloc_churn_mops,
+        waves,
+        edges: sorted.len(),
+    }
+}
+
+/// Outcome of reading the previously committed `BENCH.json` for the delta
+/// report. Absence and parse failure are kept distinct: a missing file is a
+/// legitimate first record, but an existing file the parser cannot read means
+/// the hand-rolled format drifted — and the stale-prose guard must say so
+/// loudly instead of silently reporting "first record".
+enum CommittedSnapshot {
+    Absent,
+    Unparseable,
+    Ours(Vec<(String, f64)>),
+}
+
+/// Extracts the committed `Ours` headline numbers from an existing
+/// `BENCH.json`, so a re-record can print the delta of every metric and
+/// stale prose elsewhere in the repository is caught immediately.
+fn committed_ours_metrics(path: &str, keys: &[&str]) -> CommittedSnapshot {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return CommittedSnapshot::Absent;
+    };
+    let parse = || -> Option<Vec<(String, f64)>> {
+        let line = text.lines().find(|l| l.contains("\"scheme\": \"Ours\""))?;
+        let mut out = Vec::new();
+        for &key in keys {
+            let needle = format!("\"{key}\": ");
+            let at = line.find(&needle)? + needle.len();
+            let rest = &line[at..];
+            let end = rest
+                .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+                .unwrap_or(rest.len());
+            out.push((key.to_string(), rest[..end].parse().ok()?));
+        }
+        Some(out)
+    };
+    match parse() {
+        Some(metrics) => CommittedSnapshot::Ours(metrics),
+        None => CommittedSnapshot::Unparseable,
+    }
 }
 
 /// Measures the PR-4 probe path against its live pre-change baseline.
@@ -202,6 +317,20 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.25);
     let out_path = std::env::var("PERF_SMOKE_OUT").unwrap_or_else(|_| "BENCH.json".to_string());
+    let churn_waves: usize = std::env::var("PERF_SMOKE_CHURN_WAVES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    // Snapshot the committed headline numbers before overwriting, so the
+    // delta report below can flag prose that quotes stale figures.
+    const DELTA_KEYS: [&str; 5] = [
+        "insert_mops",
+        "batch_insert_mops",
+        "query_mops",
+        "succ_scan_mops",
+        "delete_mops",
+    ];
+    let committed = committed_ours_metrics(&out_path, &DELTA_KEYS);
 
     let dataset = generate(DatasetKind::Caida, scale, HARNESS_SEED);
     let raw = &dataset.raw_edges;
@@ -317,12 +446,27 @@ fn main() {
     eprintln!("# perf_smoke: probe-path guard ...");
     let probe = run_probe_guard(raw, &sorted);
 
+    eprintln!("# perf_smoke: scan-path guard ...");
+    let scan = run_scan_guard(raw);
+
+    // The resize guard churns the *dense* profile: with an average degree in
+    // the hundreds every node's S-CHT chain climbs through several
+    // transformation rounds per insert wave and contracts back per delete
+    // wave, so the rebuild machinery — not the per-edge mutation path —
+    // dominates what the guard times. (The CAIDA stream above averages
+    // degree ~2 at smoke scale; its cells rarely transform at all.)
+    eprintln!("# perf_smoke: resize guard ({churn_waves} churn waves, dense profile) ...");
+    let mut churn_edges = generate(DatasetKind::DenseGraph, scale, HARNESS_SEED).distinct_edges();
+    churn_edges.sort_unstable();
+    let resize = run_resize_guard(&churn_edges, churn_waves);
+
     // Hand-rolled JSON (the workspace has no serde); one object per scheme,
-    // throughput in ops/sec, memory in bytes. Schema v2 adds shards/threads
-    // metadata per entry plus the thread_sweep block so the perf trajectory
-    // across PRs stays comparable.
+    // throughput in ops/sec, memory in bytes. Schema v2 added shards/threads
+    // metadata per entry plus the thread_sweep block, v3 the probe_path
+    // block, v4 the scan_path and resize guard blocks, so the perf
+    // trajectory across PRs stays comparable.
     let mut json = String::from("{\n");
-    json.push_str("  \"schema_version\": 3,\n");
+    json.push_str("  \"schema_version\": 4,\n");
     json.push_str(&format!(
         "  \"workload\": {{\"dataset\": \"CAIDA\", \"scale\": {scale}, \"seed\": {HARNESS_SEED}, \"raw_edges\": {}, \"distinct_edges\": {}}},\n",
         raw.len(),
@@ -356,6 +500,19 @@ fn main() {
         json_f(probe.insert_reference_mops),
     ));
     json.push_str(&format!(
+        "  \"scan_path\": {{\"swar_scan_mops\": {}, \"scalar_scan_mops\": {}}},\n",
+        json_f(scan.swar_scan_mops),
+        json_f(scan.scalar_scan_mops),
+    ));
+    json.push_str(&format!(
+        "  \"resize\": {{\"scratch_churn_mops\": {}, \"alloc_churn_mops\": {}, \
+         \"waves\": {}, \"churn_edges\": {}}},\n",
+        json_f(resize.scratch_churn_mops),
+        json_f(resize.alloc_churn_mops),
+        resize.waves,
+        resize.edges,
+    ));
+    json.push_str(&format!(
         "  \"thread_sweep\": {{\"scheme\": \"ShardedCuckooGraph\", \"dataset\": \"CAIDA\", \
          \"scale\": {sweep_scale}, \"seed\": {HARNESS_SEED}, \"raw_edges\": {}, \
          \"distinct_edges\": {sweep_distinct}, \"points\": [\n",
@@ -372,6 +529,51 @@ fn main() {
         ));
     }
     json.push_str("  ]}\n}\n");
+
+    // Delta report against the previously committed snapshot (printed before
+    // the overwrite): any prose in ROADMAP/CHANGES/README quoting the old
+    // numbers shows up here as a non-zero delta at re-record time.
+    let ours = results
+        .iter()
+        .find(|r| r.label == "Ours")
+        .expect("CuckooGraph result");
+    match &committed {
+        CommittedSnapshot::Ours(old) => {
+            let new_values = [
+                ours.insert_mops,
+                ours.batch_insert_mops,
+                ours.query_mops,
+                ours.succ_scan_mops,
+                ours.delete_mops,
+            ];
+            println!();
+            println!("Ours vs committed {out_path}:");
+            for ((key, old_value), new_value) in old.iter().zip(new_values) {
+                let delta = if *old_value > 0.0 {
+                    (new_value - old_value) / old_value * 100.0
+                } else {
+                    f64::NAN
+                };
+                println!(
+                    "  {key:18} {new_value:10.3} Mops (committed {old_value:10.3}, {delta:+7.1}%)"
+                );
+            }
+        }
+        CommittedSnapshot::Absent => {
+            println!("\nNo committed {out_path} to diff against (first record).");
+        }
+        CommittedSnapshot::Unparseable => {
+            // Fail loudly: losing the delta report silently would defeat the
+            // stale-prose guard it exists to provide.
+            eprintln!(
+                "perf_smoke FAILED: committed {out_path} exists but its Ours line could not \
+                 be parsed for the delta report — the hand-rolled JSON format drifted; update \
+                 committed_ours_metrics (or DELTA_KEYS) to match"
+            );
+            std::process::exit(1);
+        }
+    }
+
     std::fs::write(&out_path, &json).expect("write BENCH.json");
 
     println!(
@@ -458,20 +660,50 @@ fn main() {
         std::process::exit(1);
     }
 
-    // The refactor's core claim, checked on every run: scanning CuckooGraph
+    // The PR-2 refactor's claim, checked on every run: scanning CuckooGraph
     // through the visitor is at least as fast as collecting Vecs. The margin
     // absorbs scheduler noise on tiny CI workloads (a real regression — the
     // visitor forwarding to a Vec collection again — shows up as ~2x slower,
     // far outside it).
     const NOISE_MARGIN: f64 = 0.9;
-    let ours = results
-        .iter()
-        .find(|r| r.label == "Ours")
-        .expect("CuckooGraph result");
     if ours.succ_scan_mops < ours.succ_scan_vec_mops * NOISE_MARGIN {
         eprintln!(
             "perf_smoke FAILED: visitor scan {} Mops slower than Vec path {} Mops",
             ours.succ_scan_mops, ours.succ_scan_vec_mops
+        );
+        std::process::exit(1);
+    }
+
+    // The PR-5 scan-path claim: the SWAR tag-word successor scan must not
+    // regress against the live scalar slot-walk reference. A real regression
+    // (the word scan degenerating to per-byte work, or the occupancy bitmap
+    // walking payloads again) lands far below the noise margin.
+    println!();
+    println!(
+        "scan path:  SWAR {:.3} Mops vs scalar reference {:.3} Mops",
+        scan.swar_scan_mops, scan.scalar_scan_mops
+    );
+    if scan.swar_scan_mops < scan.scalar_scan_mops * NOISE_MARGIN {
+        eprintln!(
+            "perf_smoke FAILED: SWAR scan {} Mops slower than scalar reference {} Mops",
+            scan.swar_scan_mops, scan.scalar_scan_mops
+        );
+        std::process::exit(1);
+    }
+
+    // The PR-5 resize claim: scratch-backed expand/contract churn must not
+    // regress against the alloc-per-event reference engine. A real regression
+    // (per-event allocations sneaking back into the rebuild pipeline) shows
+    // up directly in this comparison.
+    println!(
+        "resize:     scratch churn {:.3} Mops vs alloc-per-event {:.3} Mops ({} waves)",
+        resize.scratch_churn_mops, resize.alloc_churn_mops, resize.waves
+    );
+    if resize.scratch_churn_mops < resize.alloc_churn_mops * NOISE_MARGIN {
+        eprintln!(
+            "perf_smoke FAILED: scratch-backed churn {} Mops slower than alloc-per-event \
+             reference {} Mops",
+            resize.scratch_churn_mops, resize.alloc_churn_mops
         );
         std::process::exit(1);
     }

@@ -7,8 +7,8 @@
 
 use crate::schemes::SchemeKind;
 use crate::workload::{
-    memory_curve, run_batched_inserts, run_deletes, run_inserts, run_queries, run_successor_scans,
-    run_successor_scans_vec,
+    memory_curve, run_batched_inserts, run_churn_waves, run_deletes, run_inserts, run_queries,
+    run_successor_scans, run_successor_scans_vec,
 };
 use crate::HARNESS_SEED;
 use cuckoograph::chain::{ChainParams, TableChain};
@@ -144,6 +144,9 @@ pub enum Experiment {
     BatchInsert,
     /// Sharded ingest scaling: batched insert/delete throughput per shard count.
     Shards,
+    /// Expand/contract-heavy churn: interleaved bulk insert/delete waves per
+    /// scheme, with the alloc-per-event resize reference as an extra series.
+    Churn,
 }
 
 impl Experiment {
@@ -175,6 +178,7 @@ impl Experiment {
             SuccScan,
             BatchInsert,
             Shards,
+            Churn,
         ]
     }
 
@@ -205,6 +209,7 @@ impl Experiment {
             Experiment::SuccScan => "scan",
             Experiment::BatchInsert => "batch",
             Experiment::Shards => "shards",
+            Experiment::Churn => "churn",
         }
     }
 
@@ -240,6 +245,7 @@ impl Experiment {
             Experiment::SuccScan => "successor-scan throughput (visitor vs Vec-collecting path)",
             Experiment::BatchInsert => "batched vs per-edge insertion throughput",
             Experiment::Shards => "sharded ingest scaling across shard counts",
+            Experiment::Churn => "expand/contract churn: bulk insert/delete waves per scheme",
         }
     }
 
@@ -270,6 +276,7 @@ impl Experiment {
             Experiment::SuccScan => successor_scan(scale),
             Experiment::BatchInsert => batch_insert(scale),
             Experiment::Shards => shards_scaling(scale),
+            Experiment::Churn => churn_waves(scale),
         }
     }
 }
@@ -319,6 +326,7 @@ fn table2() -> ExperimentReport {
     let mut chain: TableChain<NodeId> = TableChain::new(params, HARNESS_SEED);
     let mut rng = cuckoograph::rng::KickRng::new(HARNESS_SEED);
     let mut placements = 0u64;
+    let mut scratch = cuckoograph::RebuildScratch::persistent();
     let mut rows = Vec::new();
     let n = params.base_len;
     for step in 0..8 {
@@ -334,7 +342,7 @@ fn table2() -> ExperimentReport {
                 .unwrap_or_else(|| "null".to_string())
         };
         rows.push(vec![step.to_string(), cell(0), cell(1), cell(2)]);
-        chain.expand(&mut rng, &mut placements);
+        chain.expand(&mut rng, &mut placements, &mut scratch);
     }
     ExperimentReport {
         id: "table2".into(),
@@ -1042,6 +1050,60 @@ fn shards_scaling(scale: f64) -> ExperimentReport {
     }
 }
 
+/// Insert/delete waves per churn measurement — enough rounds that the
+/// expansion *and* contraction machinery dominates the timing.
+pub const CHURN_WAVES: usize = 4;
+
+fn churn_waves(scale: f64) -> ExperimentReport {
+    // Source-sorted distinct edges: every wave bulk-loads whole adjacencies
+    // (driving S-CHT chains up through their transformation thresholds) and
+    // then bulk-deletes them (driving the chains back down to inline slots),
+    // so the resize paths fire thousands of times per measurement.
+    let mut edges = distinct_edges(DatasetKind::Caida, scale);
+    edges.sort_unstable();
+    let mut rows = Vec::new();
+    for scheme in SchemeKind::paper_lineup() {
+        let mut graph = scheme.build();
+        let mops = run_churn_waves(graph.as_mut(), &edges, CHURN_WAVES);
+        assert_eq!(
+            graph.edge_count(),
+            0,
+            "{}: churn waves left edges behind",
+            scheme.label()
+        );
+        rows.push(vec![scheme.label().to_string(), fmt(mops)]);
+    }
+    // The alloc-per-event resize reference: the same engine with the
+    // persistent rebuild scratch disabled, i.e. the pre-PR-5 cost shape.
+    let mut reference =
+        CuckooGraph::with_config(CuckooGraphConfig::default().with_resize_scratch(false));
+    let reference_mops = run_churn_waves(&mut reference, &edges, CHURN_WAVES);
+    rows.push(vec![
+        "Ours (alloc-per-event resize)".into(),
+        fmt(reference_mops),
+    ]);
+    ExperimentReport {
+        id: "churn".into(),
+        tables: vec![ReportTable {
+            title: format!(
+                "Expand/contract churn — {} bulk insert+delete waves over {} edges (Mops)",
+                CHURN_WAVES,
+                edges.len()
+            ),
+            headers: vec!["Scheme".into(), "Churn (Mops)".into()],
+            rows,
+        }],
+        notes: vec![
+            "Each wave bulk-inserts the whole deduplicated edge set and bulk-deletes it \
+             again, so every hot node's S-CHT chain expands through its thresholds and \
+             contracts back to inline slots. The last row re-runs Ours with the persistent \
+             rebuild scratch disabled (fresh buffers per resize event) — the pre-change \
+             reference the perf_smoke resize guard asserts against."
+                .into(),
+        ],
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Integrations (Figures 17–18)
 // ---------------------------------------------------------------------------
@@ -1314,6 +1376,18 @@ mod tests {
             assert!(insert > 0.0 && delete > 0.0, "non-positive Mops: {row:?}");
             assert!(row[2].ends_with('x'));
         }
+    }
+
+    #[test]
+    fn churn_report_covers_every_scheme_plus_reference_row() {
+        let report = churn_waves(TEST_SCALE);
+        let rows = &report.tables[0].rows;
+        assert_eq!(rows.len(), SchemeKind::paper_lineup().len() + 1);
+        for row in rows {
+            let v: f64 = row[1].parse().unwrap();
+            assert!(v > 0.0, "non-positive churn throughput: {row:?}");
+        }
+        assert!(rows.last().unwrap()[0].contains("alloc-per-event"));
     }
 
     #[test]

@@ -18,8 +18,8 @@ pub mod workload;
 pub use experiments::{Experiment, ExperimentReport, ReportTable, SHARD_SWEEP};
 pub use schemes::SchemeKind;
 pub use workload::{
-    run_batched_inserts, run_deletes, run_inserts, run_queries, run_successor_scans,
-    run_successor_scans_vec, Mops,
+    run_batched_inserts, run_churn_waves, run_deletes, run_inserts, run_queries,
+    run_successor_scans, run_successor_scans_scalar, run_successor_scans_vec, Mops,
 };
 
 /// The scale factor applied to the Table IV dataset profiles when the harness

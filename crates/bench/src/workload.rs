@@ -1,7 +1,10 @@
 //! Timing drivers for the basic-task experiments: batch insertion, batch
 //! query, and batch deletion, reported as Million operations per second
-//! (Mops), plus memory-usage sampling for Figure 9.
+//! (Mops), plus memory-usage sampling for Figure 9, the scalar-reference
+//! successor scan (PR-5 scan-path guard baseline), and the expand/contract
+//! churn driver behind the `resize_churn` measurements.
 
+use cuckoograph::CuckooGraph;
 use graph_api::{DynamicGraph, NodeId};
 use std::time::Instant;
 
@@ -102,6 +105,55 @@ pub fn run_successor_scans_vec(
     )
 }
 
+/// The scalar-reference counterpart of [`run_successor_scans`] for
+/// CuckooGraph: identical node resolution and closure work, but the neighbour
+/// tables are walked slot by slot (`for_each_successor_scalar`) instead of
+/// tag word by tag word — the live pre-PR-5 scan path the SWAR scan is
+/// guarded against in `perf_smoke`.
+pub fn run_successor_scans_scalar(
+    graph: &CuckooGraph,
+    sources: &[NodeId],
+    rounds: usize,
+) -> (Mops, u64) {
+    let start = Instant::now();
+    let mut visited = 0u64;
+    let mut sum = 0u64;
+    for _ in 0..rounds.max(1) {
+        for &u in sources {
+            graph.for_each_successor_scalar(u, &mut |v| {
+                visited += 1;
+                sum = sum.wrapping_add(v);
+            });
+        }
+    }
+    std::hint::black_box(sum);
+    (
+        to_mops(visited as usize, start.elapsed().as_secs_f64()),
+        visited,
+    )
+}
+
+/// Drives `waves` rounds of bulk insert + bulk delete of the whole edge set —
+/// the expand/contract-heavy shape where resize cost dominates: every wave
+/// grows each hot node's S-CHT chain through its transformation thresholds
+/// and then shrinks it back to inline slots. Returns throughput over all
+/// mutation operations (`2 × waves × edges`).
+pub fn run_churn_waves(
+    graph: &mut dyn DynamicGraph,
+    edges: &[(NodeId, NodeId)],
+    waves: usize,
+) -> Mops {
+    let start = Instant::now();
+    let mut ops = 0usize;
+    for _ in 0..waves.max(1) {
+        let created = graph.insert_edges(edges);
+        let removed = graph.remove_edges(edges);
+        std::hint::black_box((created, removed));
+        ops += 2 * edges.len();
+    }
+    to_mops(ops, start.elapsed().as_secs_f64())
+}
+
 /// Inserts the deduplicated `edges` one by one and samples the memory usage at
 /// `samples` evenly spaced points — the Figure 9 curve.
 pub fn memory_curve(
@@ -173,6 +225,36 @@ mod tests {
         assert!(run_batched_inserts(&mut batched, &workload) > 0.0);
         run_inserts(&mut looped, &workload);
         assert_eq!(batched.edge_count(), looped.edge_count());
+    }
+
+    #[test]
+    fn scalar_reference_scan_visits_the_same_edges() {
+        let workload = edges(3_000);
+        let mut g = CuckooGraph::new();
+        let inserted = g.insert_edges(&workload);
+        let mut sources = Vec::new();
+        g.for_each_node(&mut |u| sources.push(u));
+        let (swar_mops, swar_visited) = run_successor_scans(&g, &sources, 2);
+        let (scalar_mops, scalar_visited) = run_successor_scans_scalar(&g, &sources, 2);
+        assert!(swar_mops > 0.0 && scalar_mops > 0.0);
+        assert_eq!(swar_visited, scalar_visited);
+        assert_eq!(swar_visited as usize, 2 * inserted);
+    }
+
+    #[test]
+    fn churn_waves_leave_the_graph_empty() {
+        let workload = edges(1_500);
+        let mut g = AdjacencyListGraph::new();
+        let mops = run_churn_waves(&mut g, &workload, 3);
+        assert!(mops > 0.0);
+        assert_eq!(g.edge_count(), 0, "churn waves must drain the graph");
+        let mut cuckoo = CuckooGraph::new();
+        assert!(run_churn_waves(&mut cuckoo, &workload, 2) > 0.0);
+        assert_eq!(cuckoo.edge_count(), 0);
+        assert!(
+            cuckoo.stats().contractions > 0,
+            "churn never exercised the contraction path"
+        );
     }
 
     #[test]

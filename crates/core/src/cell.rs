@@ -11,6 +11,7 @@ use crate::chain::{ChainInsert, ChainParams, TableChain};
 use crate::hash::{splitmix64, KeyHash};
 use crate::payload::Payload;
 use crate::rng::KickRng;
+use crate::scratch::RebuildScratch;
 use graph_api::NodeId;
 
 /// Everything a cell needs to know to manage its Part 2. Borrowed from the
@@ -200,6 +201,7 @@ impl<P: Payload> Cell<P> {
         ctx: &CellCtx,
         rng: &mut KickRng,
         placements: &mut u64,
+        scratch: &mut RebuildScratch<P>,
     ) -> NeighborRemove<P> {
         if let Part2::Small(slots) = &mut self.part2 {
             let removed = slots
@@ -212,7 +214,7 @@ impl<P: Payload> Cell<P> {
                 contracted: false,
             };
         }
-        self.remove(KeyHash::new(v), ctx, rng, placements)
+        self.remove(KeyHash::new(v), ctx, rng, placements, scratch)
     }
 
     /// Pre-change reference probe of Part 2 (per-table re-hash, full payload
@@ -235,7 +237,9 @@ impl<P: Payload> Cell<P> {
         }
     }
 
-    /// Calls `f` for every neighbour payload in this cell.
+    /// Calls `f` for every neighbour payload in this cell. Chained cells walk
+    /// their tables' tag words (SWAR occupancy scan); inline cells iterate the
+    /// small slots directly.
     pub fn for_each(&self, mut f: impl FnMut(&P)) {
         match &self.part2 {
             Part2::Small(slots) => {
@@ -244,6 +248,20 @@ impl<P: Payload> Cell<P> {
                 }
             }
             Part2::Chain(chain) => chain.for_each(f),
+        }
+    }
+
+    /// Pre-SWAR iteration over the neighbour payloads — the scalar oracle and
+    /// scan-guard baseline counterpart of [`Cell::for_each`]. Identical on
+    /// inline cells (they have no tag arrays to scan).
+    pub fn for_each_scalar(&self, mut f: impl FnMut(&P)) {
+        match &self.part2 {
+            Part2::Small(slots) => {
+                for p in slots {
+                    f(p);
+                }
+            }
+            Part2::Chain(chain) => chain.for_each_scalar(f),
         }
     }
 
@@ -260,7 +278,8 @@ impl<P: Payload> Cell<P> {
 
     /// Inserts a neighbour payload (memoized hash `kh`) whose key is **not**
     /// already present (callers use [`Cell::get_mut`] for updates). Handles
-    /// the small-slot → chain TRANSFORMATION and chain growth.
+    /// the small-slot → chain TRANSFORMATION and chain growth; any resize the
+    /// insertion triggers rebuilds through the caller's `scratch`.
     pub fn insert(
         &mut self,
         payload: P,
@@ -268,6 +287,7 @@ impl<P: Payload> Cell<P> {
         ctx: &CellCtx,
         rng: &mut KickRng,
         placements: &mut u64,
+        scratch: &mut RebuildScratch<P>,
     ) -> NeighborInsert<P> {
         debug_assert_eq!(
             payload.key(),
@@ -289,9 +309,9 @@ impl<P: Payload> Cell<P> {
                 // so the caller's denylist accounting stays simple.
                 let mut chain = TableChain::new(ctx.chain, Self::chain_seed(ctx, self.u));
                 for existing in slots.drain(..) {
-                    chain.insert_forced(existing, rng, placements);
+                    chain.insert_forced(existing, rng, placements, scratch);
                 }
-                let result = match chain.insert(payload, kh, rng, placements) {
+                let result = match chain.insert(payload, kh, rng, placements, scratch) {
                     ChainInsert::Stored => NeighborInsert::Stored { expanded: true },
                     ChainInsert::Failed(p) => NeighborInsert::Failed(p),
                 };
@@ -300,7 +320,7 @@ impl<P: Payload> Cell<P> {
             }
             Part2::Chain(chain) => {
                 let before = chain.expansions();
-                match chain.insert(payload, kh, rng, placements) {
+                match chain.insert(payload, kh, rng, placements, scratch) {
                     ChainInsert::Stored => NeighborInsert::Stored {
                         expanded: chain.expansions() > before,
                     },
@@ -319,38 +339,42 @@ impl<P: Payload> Cell<P> {
         ctx: &CellCtx,
         rng: &mut KickRng,
         placements: &mut u64,
+        scratch: &mut RebuildScratch<P>,
     ) -> Vec<P> {
         match &mut self.part2 {
             Part2::Small(slots) => {
                 let mut chain = TableChain::new(ctx.chain, Self::chain_seed(ctx, self.u));
                 for existing in slots.drain(..) {
-                    chain.insert_forced(existing, rng, placements);
+                    chain.insert_forced(existing, rng, placements, scratch);
                 }
                 self.part2 = Part2::Chain(Box::new(chain));
                 Vec::new()
             }
-            Part2::Chain(chain) => chain.expand(rng, placements),
+            Part2::Chain(chain) => chain.expand(rng, placements, scratch),
         }
     }
 
-    /// Re-inserts payloads drained from the S-DL after an expansion. Payloads
-    /// that still cannot be placed are handed back (the engine re-parks them).
-    pub fn reinsert_batch(
+    /// Re-inserts payloads drained from the S-DL after an expansion, consuming
+    /// `items` in place (the engine hands its reusable drain buffer, which
+    /// comes back empty). Payloads that still cannot be placed are handed back
+    /// (the engine re-parks them).
+    pub fn reinsert_from(
         &mut self,
-        items: Vec<P>,
+        items: &mut Vec<P>,
         ctx: &CellCtx,
         rng: &mut KickRng,
         placements: &mut u64,
+        scratch: &mut RebuildScratch<P>,
     ) -> Vec<P> {
         let mut rejected = Vec::new();
-        for item in items {
+        while let Some(item) = items.pop() {
             let kh = item.key_hash();
             if self.contains(kh) {
                 // Should not happen (the engine checks before parking), but a
                 // duplicate must never corrupt the cuckoo invariant.
                 continue;
             }
-            match self.insert(item, kh, ctx, rng, placements) {
+            match self.insert(item, kh, ctx, rng, placements, scratch) {
                 NeighborInsert::Stored { .. } => {}
                 NeighborInsert::Failed(p) => rejected.push(p),
             }
@@ -367,6 +391,7 @@ impl<P: Payload> Cell<P> {
         ctx: &CellCtx,
         rng: &mut KickRng,
         placements: &mut u64,
+        scratch: &mut RebuildScratch<P>,
     ) -> NeighborRemove<P> {
         match &mut self.part2 {
             Part2::Small(slots) => {
@@ -400,7 +425,7 @@ impl<P: Payload> Cell<P> {
                     contracted = true;
                 } else {
                     let before = chain.contractions();
-                    displaced = chain.maybe_contract(rng, placements);
+                    displaced = chain.maybe_contract(rng, placements, scratch);
                     contracted = chain.contractions() > before;
                 }
                 NeighborRemove {
@@ -469,15 +494,20 @@ mod tests {
         KeyHash::new(v)
     }
 
+    fn scratch() -> RebuildScratch<NodeId> {
+        RebuildScratch::persistent()
+    }
+
     #[test]
     fn small_slots_hold_up_to_capacity_inline() {
         let ctx = ctx();
         let mut cell: Cell<NodeId> = Cell::new(42);
         let mut rng = KickRng::new(1);
         let mut p = 0;
+        let mut s = scratch();
         for v in 0..6u64 {
             assert_eq!(
-                cell.insert(v, kh(v), &ctx, &mut rng, &mut p),
+                cell.insert(v, kh(v), &ctx, &mut rng, &mut p, &mut s),
                 NeighborInsert::Stored { expanded: false }
             );
         }
@@ -495,11 +525,12 @@ mod tests {
         let mut cell: Cell<NodeId> = Cell::new(42);
         let mut rng = KickRng::new(2);
         let mut p = 0;
+        let mut s = scratch();
         for v in 0..6u64 {
-            cell.insert(v, kh(v), &ctx, &mut rng, &mut p);
+            cell.insert(v, kh(v), &ctx, &mut rng, &mut p, &mut s);
         }
         // The 7th neighbour exceeds 2R = 6: all v move into the 1st S-CHT.
-        let res = cell.insert(6, kh(6), &ctx, &mut rng, &mut p);
+        let res = cell.insert(6, kh(6), &ctx, &mut rng, &mut p, &mut s);
         assert_eq!(res, NeighborInsert::Stored { expanded: true });
         assert!(cell.is_transformed());
         assert_eq!(cell.scht_tables(), 1);
@@ -517,14 +548,15 @@ mod tests {
         ctx: &CellCtx,
         rng: &mut KickRng,
         p: &mut u64,
+        s: &mut RebuildScratch<NodeId>,
     ) -> bool {
         let mut pending = v;
         let mut expanded_any = false;
         loop {
-            match cell.insert(pending, kh(pending), ctx, rng, p) {
+            match cell.insert(pending, kh(pending), ctx, rng, p, s) {
                 NeighborInsert::Stored { expanded } => return expanded_any || expanded,
                 NeighborInsert::Failed(back) => {
-                    let displaced = cell.force_expand(ctx, rng, p);
+                    let displaced = cell.force_expand(ctx, rng, p, s);
                     assert!(displaced.is_empty(), "forced expansion displaced items");
                     expanded_any = true;
                     pending = back;
@@ -539,9 +571,10 @@ mod tests {
         let mut cell: Cell<NodeId> = Cell::new(1);
         let mut rng = KickRng::new(3);
         let mut p = 0;
+        let mut s = scratch();
         let mut expansions = 0;
         for v in 0..500u64 {
-            if insert_with_fallback(&mut cell, v, &ctx, &mut rng, &mut p) {
+            if insert_with_fallback(&mut cell, v, &ctx, &mut rng, &mut p, &mut s) {
                 expansions += 1;
             }
         }
@@ -559,15 +592,16 @@ mod tests {
         let mut cell: Cell<NodeId> = Cell::new(1);
         let mut rng = KickRng::new(4);
         let mut p = 0;
+        let mut s = scratch();
         for v in 0..4u64 {
-            cell.insert(v, kh(v), &ctx, &mut rng, &mut p);
+            cell.insert(v, kh(v), &ctx, &mut rng, &mut p, &mut s);
         }
-        let r = cell.remove(kh(2), &ctx, &mut rng, &mut p);
+        let r = cell.remove(kh(2), &ctx, &mut rng, &mut p, &mut s);
         assert_eq!(r.removed, Some(2));
         assert!(!r.contracted);
         assert!(!cell.contains(kh(2)));
         assert_eq!(cell.degree(), 3);
-        let missing = cell.remove(kh(99), &ctx, &mut rng, &mut p);
+        let missing = cell.remove(kh(99), &ctx, &mut rng, &mut p, &mut s);
         assert_eq!(missing.removed, None);
     }
 
@@ -577,17 +611,22 @@ mod tests {
         let mut cell: Cell<NodeId> = Cell::new(1);
         let mut rng = KickRng::new(5);
         let mut p = 0;
+        let mut s = scratch();
         for v in 0..60u64 {
-            insert_with_fallback(&mut cell, v, &ctx, &mut rng, &mut p);
+            insert_with_fallback(&mut cell, v, &ctx, &mut rng, &mut p, &mut s);
         }
         assert!(cell.is_transformed());
         for v in 0..56u64 {
-            let r = cell.remove(kh(v), &ctx, &mut rng, &mut p);
+            let r = cell.remove(kh(v), &ctx, &mut rng, &mut p, &mut s);
             assert_eq!(r.removed, Some(v));
             // Displaced payloads must be re-offered to the cell so nothing is lost.
-            let displaced = r.displaced;
-            let rejected = cell.reinsert_batch(displaced, &ctx, &mut rng, &mut p);
+            let mut displaced = r.displaced;
+            let rejected = cell.reinsert_from(&mut displaced, &ctx, &mut rng, &mut p, &mut s);
             assert!(rejected.is_empty());
+            assert!(
+                displaced.is_empty(),
+                "reinsert_from must consume the buffer"
+            );
         }
         assert!(
             !cell.is_transformed(),
@@ -608,7 +647,15 @@ mod tests {
         let mut cell: Cell<WeightedSlot> = Cell::new(9);
         let mut rng = KickRng::new(6);
         let mut p = 0;
-        cell.insert(WeightedSlot { v: 5, w: 1 }, kh(5), &ctx, &mut rng, &mut p);
+        let mut s: RebuildScratch<WeightedSlot> = RebuildScratch::persistent();
+        cell.insert(
+            WeightedSlot { v: 5, w: 1 },
+            kh(5),
+            &ctx,
+            &mut rng,
+            &mut p,
+            &mut s,
+        );
         cell.get_mut(kh(5)).unwrap().w += 4;
         assert_eq!(cell.get(kh(5)).unwrap().w, 5);
     }
@@ -619,9 +666,10 @@ mod tests {
         let mut cell: Cell<NodeId> = Cell::new(1);
         let mut rng = KickRng::new(7);
         let mut p = 0;
+        let mut s = scratch();
         let empty = cell.part2_bytes();
         for v in 0..100u64 {
-            cell.insert(v, kh(v), &ctx, &mut rng, &mut p);
+            cell.insert(v, kh(v), &ctx, &mut rng, &mut p, &mut s);
         }
         assert!(cell.part2_bytes() > empty);
         // Payload trait implementation mirrors part2_bytes.
@@ -630,14 +678,41 @@ mod tests {
     }
 
     #[test]
-    fn reinsert_batch_skips_duplicates() {
+    fn reinsert_from_skips_duplicates() {
         let ctx = ctx();
         let mut cell: Cell<NodeId> = Cell::new(1);
         let mut rng = KickRng::new(8);
         let mut p = 0;
-        cell.insert(10, kh(10), &ctx, &mut rng, &mut p);
-        let rejected = cell.reinsert_batch(vec![10, 11, 12], &ctx, &mut rng, &mut p);
+        let mut s = scratch();
+        cell.insert(10, kh(10), &ctx, &mut rng, &mut p, &mut s);
+        let mut parked = vec![10, 11, 12];
+        let rejected = cell.reinsert_from(&mut parked, &ctx, &mut rng, &mut p, &mut s);
         assert!(rejected.is_empty());
+        assert!(parked.is_empty());
         assert_eq!(cell.degree(), 3);
+    }
+
+    #[test]
+    fn for_each_and_scalar_agree_inline_and_chained() {
+        let ctx = ctx();
+        let mut cell: Cell<NodeId> = Cell::new(2);
+        let mut rng = KickRng::new(9);
+        let mut p = 0;
+        let mut s = scratch();
+        for count in [4usize, 40] {
+            let mut cell2 = cell.clone();
+            for v in cell2.degree() as u64..count as u64 {
+                insert_with_fallback(&mut cell2, v, &ctx, &mut rng, &mut p, &mut s);
+            }
+            let mut swar = Vec::new();
+            cell2.for_each(|&v| swar.push(v));
+            let mut scalar = Vec::new();
+            cell2.for_each_scalar(|&v| scalar.push(v));
+            swar.sort_unstable();
+            scalar.sort_unstable();
+            assert_eq!(swar, scalar, "degree {count}");
+            assert_eq!(swar.len(), count);
+            cell = cell2;
+        }
     }
 }

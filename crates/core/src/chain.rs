@@ -24,11 +24,18 @@
 //! also caches its aggregate `count` and `capacity` — maintained incrementally
 //! at every mutation — so `overall_loading_rate`, consulted after every single
 //! deletion, no longer sums over all tables.
+//!
+//! Every transformation (expansion merge, contraction, and any insert that
+//! may trigger one) runs through a caller-supplied [`RebuildScratch`]: tables
+//! drain into the scratch via the tag-word scan, the displaced items' hashes
+//! are cached in one pass, and the re-place loop pops `(item, hash)` pairs —
+//! so steady-state resizes allocate nothing (see [`crate::scratch`]).
 
 use crate::hash::KeyHash;
 use crate::payload::Payload;
 use crate::rng::KickRng;
 use crate::scht::CuckooTable;
+use crate::scratch::RebuildScratch;
 
 /// Parameters a chain needs to drive the transformation rule. A borrowed view
 /// of [`crate::CuckooGraphConfig`] so the chain does not own a config copy.
@@ -242,10 +249,18 @@ impl<T: Payload> TableChain<T> {
         removed
     }
 
-    /// Calls `f` for every stored item.
+    /// Calls `f` for every stored item (tag-word scan per table).
     pub fn for_each(&self, mut f: impl FnMut(&T)) {
         for t in &self.tables {
             t.for_each(&mut f);
+        }
+    }
+
+    /// Pre-SWAR iteration over every stored item — the scalar oracle and scan
+    /// guard baseline, mirroring [`TableChain::for_each`].
+    pub fn for_each_scalar(&self, mut f: impl FnMut(&T)) {
+        for t in &self.tables {
+            t.for_each_scalar(&mut f);
         }
     }
 
@@ -255,11 +270,13 @@ impl<T: Payload> TableChain<T> {
     }
 
     /// Removes and returns everything, leaving a single empty table of the
-    /// base length (round reset to 0).
+    /// base length (round reset to 0). The returned `Vec` is the one
+    /// allocation of the collapse path — it becomes the caller's inline
+    /// storage — and is filled by tag-word drains, not slot walks.
     pub fn drain_reset(&mut self) -> Vec<T> {
         let mut items = Vec::with_capacity(self.count);
         for t in &mut self.tables {
-            items.append(&mut t.drain());
+            t.drain_into(&mut items);
         }
         self.round = 0;
         let base = self.params.base_len.max(1);
@@ -282,11 +299,16 @@ impl<T: Payload> TableChain<T> {
     ///
     /// `placements` counts slot writes performed while re-distributing items
     /// during a merge (feeding the Theorem 1 counters).
-    pub fn maybe_expand(&mut self, rng: &mut KickRng, placements: &mut u64) -> bool {
+    pub fn maybe_expand(
+        &mut self,
+        rng: &mut KickRng,
+        placements: &mut u64,
+        scratch: &mut RebuildScratch<T>,
+    ) -> bool {
         if self.last_loading_rate() < self.params.expand_threshold {
             return false;
         }
-        self.expand(rng, placements);
+        self.expand(rng, placements, scratch);
         true
     }
 
@@ -294,7 +316,16 @@ impl<T: Payload> TableChain<T> {
     /// merge everything into the next round when `R` tables already exist.
     /// Returns items that could not be re-placed during a merge (extremely
     /// rare; the caller parks them in a denylist).
-    pub fn expand(&mut self, rng: &mut KickRng, placements: &mut u64) -> Vec<T> {
+    ///
+    /// A merge drains every table into `scratch` (tag-word scans), caches the
+    /// displaced items' hashes in one pass, and re-places from the scratch —
+    /// no allocation when the scratch is persistent and warm.
+    pub fn expand(
+        &mut self,
+        rng: &mut KickRng,
+        placements: &mut u64,
+        scratch: &mut RebuildScratch<T>,
+    ) -> Vec<T> {
         self.expansions += 1;
         if self.tables.len() < self.params.r {
             let len = self.extra_len();
@@ -305,9 +336,9 @@ impl<T: Payload> TableChain<T> {
         }
 
         // Merge: gather everything, rebuild as round k+1 with two tables.
-        let mut items = Vec::with_capacity(self.count);
+        debug_assert!(scratch.is_empty(), "scratch carried items into a merge");
         for t in &mut self.tables {
-            items.append(&mut t.drain());
+            t.drain_into(&mut scratch.items);
         }
         self.count = 0;
         self.round += 1;
@@ -317,23 +348,19 @@ impl<T: Payload> TableChain<T> {
         self.tables.push(first);
         self.tables.push(second);
         self.refresh_capacity();
-
-        let mut homeless = Vec::new();
-        for item in items {
-            // One hash pass per redistributed item, reused across all tables.
-            let kh = item.key_hash();
-            if let ChainInsert::Failed(item) = self.insert_rebuild(item, kh, rng, placements) {
-                homeless.push(item);
-            }
-        }
-        homeless
+        self.replace_from_scratch(rng, placements, scratch)
     }
 
     /// Applies the reverse-transformation rule after a deletion: when the
     /// overall loading rate of the chain drops below `Λ`, the last table is
     /// removed (its items redistributed) or — if it is the only one — halved.
     /// Returns items that could not be re-placed (parked by the caller).
-    pub fn maybe_contract(&mut self, rng: &mut KickRng, placements: &mut u64) -> Vec<T> {
+    pub fn maybe_contract(
+        &mut self,
+        rng: &mut KickRng,
+        placements: &mut u64,
+        scratch: &mut RebuildScratch<T>,
+    ) -> Vec<T> {
         if self.overall_loading_rate() >= self.params.contract_threshold {
             return Vec::new();
         }
@@ -341,13 +368,18 @@ impl<T: Payload> TableChain<T> {
         if self.tables.len() == 1 && self.tables[0].len_buckets() <= self.params.base_len.max(1) {
             return Vec::new();
         }
-        self.contract(rng, placements)
+        self.contract(rng, placements, scratch)
     }
 
     /// Unconditionally performs one contraction step.
-    pub fn contract(&mut self, rng: &mut KickRng, placements: &mut u64) -> Vec<T> {
+    pub fn contract(
+        &mut self,
+        rng: &mut KickRng,
+        placements: &mut u64,
+        scratch: &mut RebuildScratch<T>,
+    ) -> Vec<T> {
         self.contractions += 1;
-        let mut homeless = Vec::new();
+        debug_assert!(scratch.is_empty(), "scratch carried items into a contract");
         if self.tables.len() >= 2 {
             // Delete the last table and move its residents into the others.
             let mut removed = self.tables.pop().expect("len >= 2");
@@ -356,34 +388,49 @@ impl<T: Payload> TableChain<T> {
             // Dropping back to a single table from round k means the chain
             // re-enters the "k, no extras" row of Table II; the round value is
             // unchanged because the first table keeps its length.
-            for item in removed.drain() {
-                let kh = item.key_hash();
-                if let ChainInsert::Failed(item) = self.insert_rebuild(item, kh, rng, placements) {
-                    homeless.push(item);
-                }
-            }
+            removed.drain_into(&mut scratch.items);
         } else {
-            // Single table: compress to half of the original length.
+            // Single table: compress towards half of the current length, but
+            // never below the base geometry. (`base > old_len` cannot arise
+            // through normal operation — tables are born at base length and
+            // only ever halve back towards it — but the clamp keeps a
+            // hand-built chain safe and is pinned by a regression test.)
             let old_len = self.tables[0].len_buckets();
-            let new_len = (old_len / 2).max(self.params.base_len.max(1).min(old_len));
-            if new_len == old_len {
-                return homeless;
+            let base = self.params.base_len.max(1);
+            let new_len = (old_len / 2).max(base);
+            if new_len >= old_len {
+                return Vec::new();
             }
             if self.round > 0 {
                 self.round -= 1;
             }
-            let items = self.tables[0].drain();
+            self.tables[0].drain_into(&mut scratch.items);
             self.count = 0;
             let fresh = self.alloc_table(new_len);
             self.tables[0] = fresh;
             self.refresh_capacity();
-            for item in items {
-                let kh = item.key_hash();
-                if let ChainInsert::Failed(item) = self.insert_rebuild(item, kh, rng, placements) {
-                    homeless.push(item);
-                }
+        }
+        self.replace_from_scratch(rng, placements, scratch)
+    }
+
+    /// Shared tail of the rebuild paths: hash everything buffered in `scratch`
+    /// in one pass, re-place each `(item, hash)` pair across the tables, and
+    /// close the scratch event. Items that exceed the kick budget everywhere
+    /// come back as the (almost always empty) homeless `Vec`.
+    fn replace_from_scratch(
+        &mut self,
+        rng: &mut KickRng,
+        placements: &mut u64,
+        scratch: &mut RebuildScratch<T>,
+    ) -> Vec<T> {
+        scratch.cache_hashes();
+        let mut homeless = Vec::new();
+        while let Some((item, kh)) = scratch.pop_pair() {
+            if let ChainInsert::Failed(item) = self.insert_rebuild(item, kh, rng, placements) {
+                homeless.push(item);
             }
         }
+        scratch.finish_event();
         homeless
     }
 
@@ -397,11 +444,12 @@ impl<T: Payload> TableChain<T> {
         kh: KeyHash,
         rng: &mut KickRng,
         placements: &mut u64,
+        scratch: &mut RebuildScratch<T>,
     ) -> ChainInsert<T> {
         // The expansion rule is checked first, so a table is never pushed past
         // its threshold by the incoming item.
         if self.last_loading_rate() >= self.params.expand_threshold {
-            let mut leftovers = self.expand(rng, placements);
+            let mut leftovers = self.expand(rng, placements, scratch);
             // Items displaced by a merge must never be lost. With realistic
             // parameters the freshly merged tables absorb them immediately;
             // under adversarial settings (tiny d, tiny kick budget) keep
@@ -420,7 +468,7 @@ impl<T: Payload> TableChain<T> {
                 if still_homeless.is_empty() {
                     break;
                 }
-                leftovers = self.expand(rng, placements);
+                leftovers = self.expand(rng, placements, scratch);
                 leftovers.append(&mut still_homeless);
             }
         }
@@ -454,9 +502,26 @@ impl<T: Payload> TableChain<T> {
     /// takes (each round strictly grows capacity, so the loop terminates).
     /// Used on internal redistribution paths where losing an item is not an
     /// option and no denylist is available.
-    pub fn insert_forced(&mut self, item: T, rng: &mut KickRng, placements: &mut u64) {
-        let mut pending = vec![item];
+    pub fn insert_forced(
+        &mut self,
+        item: T,
+        rng: &mut KickRng,
+        placements: &mut u64,
+        scratch: &mut RebuildScratch<T>,
+    ) {
+        let kh = item.key_hash();
+        // The hot path (transformation re-homing its inline slots) settles
+        // here without touching the heap at all.
+        let mut pending = match self.insert_rebuild(item, kh, rng, placements) {
+            ChainInsert::Stored => return,
+            ChainInsert::Failed(f) => vec![f],
+        };
+        // Kick budget exhausted in every table: grow until the homeless item
+        // (and anything a merge displaces) settles. Reached only under
+        // adversarial geometry, so the Vec above is cold.
         loop {
+            let mut displaced = self.expand(rng, placements, scratch);
+            pending.append(&mut displaced);
             let mut still_homeless = Vec::new();
             for it in pending {
                 let kh = it.key_hash();
@@ -467,8 +532,6 @@ impl<T: Payload> TableChain<T> {
             if still_homeless.is_empty() {
                 return;
             }
-            let mut displaced = self.expand(rng, placements);
-            still_homeless.append(&mut displaced);
             pending = still_homeless;
         }
     }
@@ -550,6 +613,10 @@ mod tests {
         KeyHash::new(v)
     }
 
+    fn scratch() -> RebuildScratch<NodeId> {
+        RebuildScratch::persistent()
+    }
+
     #[test]
     fn starts_with_single_base_table() {
         let c = chain();
@@ -580,8 +647,9 @@ mod tests {
             vec![8 * n, 4 * n],
         ];
         assert_eq!(c.table_lengths(), expected[0]);
+        let mut s = scratch();
         for (step, lengths) in expected.iter().enumerate().skip(1) {
-            c.expand(&mut rng, &mut p);
+            c.expand(&mut rng, &mut p, &mut s);
             assert_eq!(&c.table_lengths(), lengths, "after {step} expansions");
             c.assert_cached_consistent();
         }
@@ -592,8 +660,12 @@ mod tests {
         let mut c = chain();
         let mut rng = KickRng::new(2);
         let mut p = 0;
+        let mut s = scratch();
         for v in 0..200u64 {
-            assert_eq!(c.insert(v, kh(v), &mut rng, &mut p), ChainInsert::Stored);
+            assert_eq!(
+                c.insert(v, kh(v), &mut rng, &mut p, &mut s),
+                ChainInsert::Stored
+            );
         }
         assert_eq!(c.count(), 200);
         for v in 0..200u64 {
@@ -613,10 +685,14 @@ mod tests {
         let mut c = chain();
         let mut rng = KickRng::new(3);
         let mut p = 0;
+        let mut s = scratch();
         // Insert far more items than one base table holds; the chain must have
         // expanded at least once and kept everything reachable.
         for v in 0..1000u64 {
-            assert_eq!(c.insert(v, kh(v), &mut rng, &mut p), ChainInsert::Stored);
+            assert_eq!(
+                c.insert(v, kh(v), &mut rng, &mut p, &mut s),
+                ChainInsert::Stored
+            );
         }
         assert!(c.expansions() > 0);
         assert!(c.table_count() >= 1);
@@ -634,20 +710,21 @@ mod tests {
         let mut c = chain();
         let mut rng = KickRng::new(4);
         let mut p = 0;
+        let mut s = scratch();
         for v in 0..1000u64 {
-            c.insert(v, kh(v), &mut rng, &mut p);
+            c.insert(v, kh(v), &mut rng, &mut p, &mut s);
         }
         let grown_capacity = c.capacity();
         // Delete most items, invoking the reverse-transformation rule after
         // each deletion as the engine does.
         for v in 0..950u64 {
             assert!(c.remove(kh(v)).is_some());
-            let homeless = c.maybe_contract(&mut rng, &mut p);
+            let homeless = c.maybe_contract(&mut rng, &mut p, &mut s);
             for item in homeless {
                 // Re-inserting leftovers must succeed eventually.
                 let item_kh = kh(item);
                 assert_eq!(
-                    c.insert(item, item_kh, &mut rng, &mut p),
+                    c.insert(item, item_kh, &mut rng, &mut p, &mut s),
                     ChainInsert::Stored
                 );
             }
@@ -665,13 +742,54 @@ mod tests {
         let mut c = chain();
         let mut rng = KickRng::new(5);
         let mut p = 0;
+        let mut s = scratch();
         // Empty chain: repeated contraction attempts must be no-ops once the
         // base geometry is reached.
         for _ in 0..10 {
-            let homeless = c.maybe_contract(&mut rng, &mut p);
+            let homeless = c.maybe_contract(&mut rng, &mut p, &mut s);
             assert!(homeless.is_empty());
         }
         assert_eq!(c.table_lengths(), vec![8]);
+    }
+
+    /// Regression pin for the single-table contract clamp: a base length
+    /// *larger* than the current table (impossible through the public API,
+    /// where tables are born at base length, but the clamp defends against
+    /// hand-built geometry) must make the contraction a structural no-op.
+    #[test]
+    fn contract_never_shrinks_below_an_oversized_base_len() {
+        let mut c = chain();
+        let mut rng = KickRng::new(51);
+        let mut p = 0;
+        let mut s = scratch();
+        for v in 0..20u64 {
+            c.insert(v, kh(v), &mut rng, &mut p, &mut s);
+        }
+        // Force the pathological geometry directly (same-module access).
+        c.params.base_len = 1000;
+        assert!(c.table_count() == 1 && c.tables[0].len_buckets() < 1000);
+        let before = c.table_lengths();
+        let homeless = c.contract(&mut rng, &mut p, &mut s);
+        assert!(homeless.is_empty());
+        assert_eq!(c.table_lengths(), before, "oversized base must be a no-op");
+        for v in 0..20u64 {
+            assert!(c.contains(kh(v)), "no-op contract lost item {v}");
+        }
+        c.assert_cached_consistent();
+
+        // And the regular direction still halves down towards the base
+        // geometry (thin the load first so the halved table absorbs it).
+        for v in 10..20u64 {
+            assert!(c.remove(kh(v)).is_some());
+        }
+        c.params.base_len = 2;
+        let homeless = c.contract(&mut rng, &mut p, &mut s);
+        assert!(homeless.is_empty(), "halved table rejected items");
+        assert_eq!(c.table_lengths(), vec![4]);
+        for v in 0..10u64 {
+            assert!(c.contains(kh(v)), "halving contract lost item {v}");
+        }
+        c.assert_cached_consistent();
     }
 
     #[test]
@@ -679,8 +797,9 @@ mod tests {
         let mut c = chain();
         let mut rng = KickRng::new(6);
         let mut p = 0;
+        let mut s = scratch();
         for v in 0..500u64 {
-            c.insert(v, kh(v), &mut rng, &mut p);
+            c.insert(v, kh(v), &mut rng, &mut p, &mut s);
         }
         let mut items = c.drain_reset();
         items.sort_unstable();
@@ -725,26 +844,61 @@ mod tests {
         let mut c = chain();
         let mut rng = KickRng::new(8);
         let mut p = 0;
+        let mut s = scratch();
         let before = c.memory_bytes();
         for v in 0..500u64 {
-            c.insert(v, kh(v), &mut rng, &mut p);
+            c.insert(v, kh(v), &mut rng, &mut p, &mut s);
         }
         assert!(c.memory_bytes() > before);
     }
 
     #[test]
-    fn iter_and_for_each_agree() {
+    fn iter_for_each_and_scalar_for_each_agree() {
         let mut c = chain();
         let mut rng = KickRng::new(9);
         let mut p = 0;
+        let mut s = scratch();
         for v in 0..100u64 {
-            c.insert(v, kh(v), &mut rng, &mut p);
+            c.insert(v, kh(v), &mut rng, &mut p, &mut s);
         }
         let from_iter: u64 = c.iter().copied().sum();
         let mut from_each = 0u64;
         c.for_each(|&v| from_each += v);
+        let mut from_scalar = 0u64;
+        c.for_each_scalar(|&v| from_scalar += v);
         assert_eq!(from_iter, from_each);
+        assert_eq!(from_iter, from_scalar);
         assert_eq!(from_iter, (0..100u64).sum());
+    }
+
+    /// The persistent scratch must end every rebuild empty and keep its
+    /// buffer capacity across events — the allocation-free steady state.
+    #[test]
+    fn rebuild_scratch_is_reused_across_resizes() {
+        let mut c = chain();
+        let mut rng = KickRng::new(11);
+        let mut p = 0;
+        let mut s = scratch();
+        for v in 0..2_000u64 {
+            c.insert(v, kh(v), &mut rng, &mut p, &mut s);
+        }
+        assert!(c.expansions() > 0);
+        assert!(s.is_empty(), "scratch must be empty between events");
+        let warm = s.retained_capacity();
+        assert!(warm > 0, "merges never warmed the scratch");
+        for v in 0..1_950u64 {
+            c.remove(kh(v));
+            for item in c.maybe_contract(&mut rng, &mut p, &mut s) {
+                c.insert_forced(item, &mut rng, &mut p, &mut s);
+            }
+        }
+        assert!(c.contractions() > 0);
+        assert!(s.is_empty());
+        assert!(
+            s.retained_capacity() >= warm.min(1),
+            "persistent scratch dropped its buffers"
+        );
+        c.assert_cached_consistent();
     }
 
     #[test]
@@ -753,8 +907,9 @@ mod tests {
         let mut c: TableChain<WeightedSlot> = TableChain::new(params(), 0x2222);
         let mut rng = KickRng::new(10);
         let mut p = 0;
+        let mut s: RebuildScratch<WeightedSlot> = RebuildScratch::persistent();
         for v in 0..50u64 {
-            c.insert(WeightedSlot { v, w: 1 }, kh(v), &mut rng, &mut p);
+            c.insert(WeightedSlot { v, w: 1 }, kh(v), &mut rng, &mut p, &mut s);
         }
         let pos = c.find_index(kh(17)).expect("key 17 stored");
         c.item_at_mut(pos).w += 9;

@@ -37,6 +37,12 @@ pub struct CuckooGraphConfig {
     /// insertion failure forces an immediate expansion instead — the ablation
     /// baseline of Figure 5.
     pub use_denylist: bool,
+    /// Routes every TRANSFORMATION (expand/contract/merge) through the
+    /// engine's persistent [`crate::scratch::RebuildScratch`] buffers. When
+    /// disabled, each resize event allocates and releases fresh buffers — the
+    /// pre-PR-5 cost shape, kept as the live reference the `perf_smoke`
+    /// resize guard and the `resize_churn` criterion group measure against.
+    pub resize_scratch: bool,
     /// Seed for hash-function seeds and kick-victim selection. Fixed default
     /// so runs are reproducible; randomise it for adversarial workloads.
     pub seed: u64,
@@ -54,6 +60,7 @@ impl Default for CuckooGraphConfig {
             lcht_base_len: 16,
             denylist_capacity: 512,
             use_denylist: true,
+            resize_scratch: true,
             seed: 0x5eed_cafe_f00d_0001,
         }
     }
@@ -140,6 +147,13 @@ impl CuckooGraphConfig {
         self
     }
 
+    /// Builder-style setter for the resize-scratch switch: `false` selects the
+    /// alloc-per-event reference rebuild path (perf-guard baseline).
+    pub fn with_resize_scratch(mut self, enabled: bool) -> Self {
+        self.resize_scratch = enabled;
+        self
+    }
+
     /// Builder-style setter for the random seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -171,6 +185,7 @@ mod tests {
         assert!((c.expand_threshold - 0.9).abs() < 1e-12);
         assert_eq!(c.max_kicks, 250);
         assert!(c.use_denylist);
+        assert!(c.resize_scratch, "persistent scratch is the default");
         assert!(c.validate().is_ok());
         // Λ ≤ 2G/3 as assumed by the memory analysis.
         assert!(c.contract_threshold <= 2.0 * c.expand_threshold / 3.0);
@@ -225,12 +240,14 @@ mod tests {
             .with_contract_threshold(0.4)
             .with_max_kicks(50)
             .with_denylist(false)
+            .with_resize_scratch(false)
             .with_seed(7)
             .with_scht_base_len(4)
             .with_lcht_base_len(8);
         assert_eq!(c.cells_per_bucket, 4);
         assert_eq!(c.r, 2);
         assert!(!c.use_denylist);
+        assert!(!c.resize_scratch);
         assert_eq!(c.seed, 7);
         assert!(c.validate().is_ok());
     }

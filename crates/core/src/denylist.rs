@@ -74,10 +74,11 @@ impl<P: Payload> SmallDenylist<P> {
         Some(self.entries.swap_remove(idx).1)
     }
 
-    /// Drains every entry whose source node is `u` — called when `u`'s S-CHT
-    /// chain expands so the "qualified v" can move into the new table.
-    pub fn drain_for(&mut self, u: NodeId) -> Vec<P> {
-        let mut out = Vec::new();
+    /// Drains every entry whose source node is `u` into `out` — called when
+    /// `u`'s S-CHT chain expands so the "qualified v" can move into the new
+    /// table. The engine passes a reusable buffer, keeping the per-expansion
+    /// denylist drain allocation-free.
+    pub fn drain_for_into(&mut self, u: NodeId, out: &mut Vec<P>) {
         let mut i = 0;
         while i < self.entries.len() {
             if self.entries[i].0 == u {
@@ -86,7 +87,6 @@ impl<P: Payload> SmallDenylist<P> {
                 i += 1;
             }
         }
-        out
     }
 
     /// Calls `f` for every entry whose source node is `u`.
@@ -192,9 +192,12 @@ impl<C> LargeDenylist<C> {
         Some(self.cells.swap_remove(idx))
     }
 
-    /// Removes and returns every stored cell (used when the L-CHT expands).
-    pub fn drain_all(&mut self) -> Vec<C> {
-        std::mem::take(&mut self.cells)
+    /// Moves every stored cell into `out` (used when the L-CHT expands),
+    /// keeping this denylist's buffer capacity for the re-parks that may
+    /// follow — allocation-free on both sides once the caller's buffer is
+    /// warm.
+    pub fn drain_all_into(&mut self, out: &mut Vec<C>) {
+        out.append(&mut self.cells);
     }
 
     /// Number of stored cells.
@@ -263,7 +266,8 @@ mod tests {
         dl.push(7, 1).unwrap();
         dl.push(8, 2).unwrap();
         dl.push(7, 3).unwrap();
-        let mut drained = dl.drain_for(7);
+        let mut drained = Vec::new();
+        dl.drain_for_into(7, &mut drained);
         drained.sort_unstable();
         assert_eq!(drained, vec![1, 3]);
         assert_eq!(dl.len(), 1);
@@ -287,7 +291,9 @@ mod tests {
         assert!(dl.find(|c| c.0 == 2).is_some());
         dl.find_mut(|c| c.0 == 1).unwrap().1.push(12);
         assert_eq!(dl.remove_if(|c| c.0 == 1).unwrap().1, vec![10, 11, 12]);
-        assert_eq!(dl.drain_all().len(), 1);
+        let mut drained = Vec::new();
+        dl.drain_all_into(&mut drained);
+        assert_eq!(drained.len(), 1);
         assert!(dl.is_empty());
     }
 

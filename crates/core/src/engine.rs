@@ -20,6 +20,7 @@ use crate::hash::KeyHash;
 use crate::lcht::NodeTable;
 use crate::payload::Payload;
 use crate::rng::KickRng;
+use crate::scratch::RebuildScratch;
 use crate::stats::StructureStats;
 use graph_api::{for_each_source_run, NodeId};
 
@@ -45,6 +46,13 @@ pub struct Engine<P> {
     rng: KickRng,
     edges: usize,
     scht: SchtCounters,
+    /// Engine-level rebuild buffers shared by every S-CHT chain: expansions,
+    /// contractions and merges drain into (and re-place out of) this scratch
+    /// instead of allocating per event. The L-CHT chain has its own cell
+    /// scratch inside [`NodeTable`].
+    scratch: RebuildScratch<P>,
+    /// Reusable buffer for S-DL drains on expansion events.
+    dl_buf: Vec<P>,
 }
 
 /// Places `payload` into `cell`, routing kick-out failures to the S-DL (or
@@ -62,20 +70,25 @@ fn settle_payload<P: Payload>(
     counters: &mut SchtCounters,
     payload: P,
     kh: KeyHash,
+    scratch: &mut RebuildScratch<P>,
+    dl_buf: &mut Vec<P>,
 ) {
     if cell.is_transformed() {
         counters.items += 1;
     }
     let u = cell.node();
-    match cell.insert(payload, kh, ctx, rng, &mut counters.placements) {
+    match cell.insert(payload, kh, ctx, rng, &mut counters.placements, scratch) {
         NeighborInsert::Stored { expanded } => {
             if expanded {
                 counters.expansions += 1;
                 // § III-A2 step 3: on every S-CHT expansion, the S-DL
                 // entries whose source matches move into the new table.
-                let drained = s_dl.drain_for(u);
-                if !drained.is_empty() {
-                    let rejected = cell.reinsert_batch(drained, ctx, rng, &mut counters.placements);
+                // The drain runs through the engine's reusable buffer.
+                debug_assert!(dl_buf.is_empty(), "S-DL drain buffer in use");
+                s_dl.drain_for_into(u, dl_buf);
+                if !dl_buf.is_empty() {
+                    let rejected =
+                        cell.reinsert_from(dl_buf, ctx, rng, &mut counters.placements, scratch);
                     for p in rejected {
                         s_dl.push_forced(u, p);
                     }
@@ -86,10 +99,10 @@ fn settle_payload<P: Payload>(
             counters.failures += 1;
             if use_denylist {
                 if let Err(p) = s_dl.push(u, p) {
-                    force_store_into(cell, s_dl, ctx, rng, counters, p);
+                    force_store_into(cell, s_dl, ctx, rng, counters, p, scratch);
                 }
             } else {
-                force_store_into(cell, s_dl, ctx, rng, counters, p);
+                force_store_into(cell, s_dl, ctx, rng, counters, p, scratch);
             }
         }
     }
@@ -105,17 +118,25 @@ fn force_store_into<P: Payload>(
     rng: &mut KickRng,
     counters: &mut SchtCounters,
     payload: P,
+    scratch: &mut RebuildScratch<P>,
 ) {
     let u = cell.node();
     let mut pending = payload;
     let mut pending_kh = pending.key_hash();
     loop {
-        let displaced = cell.force_expand(ctx, rng, &mut counters.placements);
+        let displaced = cell.force_expand(ctx, rng, &mut counters.placements, scratch);
         counters.expansions += 1;
         for p in displaced {
             s_dl.push_forced(u, p);
         }
-        match cell.insert(pending, pending_kh, ctx, rng, &mut counters.placements) {
+        match cell.insert(
+            pending,
+            pending_kh,
+            ctx,
+            rng,
+            &mut counters.placements,
+            scratch,
+        ) {
             NeighborInsert::Stored { expanded } => {
                 if expanded {
                     counters.expansions += 1;
@@ -162,6 +183,7 @@ impl<P: Payload> Engine<P> {
                 config.seed,
                 config.denylist_capacity,
                 config.use_denylist,
+                config.resize_scratch,
             ),
             s_dl: SmallDenylist::new(if config.use_denylist {
                 config.denylist_capacity
@@ -170,6 +192,12 @@ impl<P: Payload> Engine<P> {
             }),
             rng: KickRng::new(config.seed ^ 0x4b1c_4b1c_4b1c_4b1c),
             cell_ctx,
+            scratch: if config.resize_scratch {
+                RebuildScratch::persistent()
+            } else {
+                RebuildScratch::alloc_per_event()
+            },
+            dl_buf: Vec::new(),
             config,
             edges: 0,
             scht: SchtCounters::default(),
@@ -273,6 +301,8 @@ impl<P: Payload> Engine<P> {
             &mut self.scht,
             payload,
             hv,
+            &mut self.scratch,
+            &mut self.dl_buf,
         );
         self.edges += 1;
     }
@@ -331,6 +361,8 @@ impl<P: Payload> Engine<P> {
             &mut self.scht,
             payload,
             hv.unwrap_or_else(|| KeyHash::new(v)),
+            &mut self.scratch,
+            &mut self.dl_buf,
         );
         self.edges += 1;
         true
@@ -366,6 +398,8 @@ impl<P: Payload> Engine<P> {
         let rng = &mut self.rng;
         let scht = &mut self.scht;
         let edges = &mut self.edges;
+        let scratch = &mut self.scratch;
+        let dl_buf = &mut self.dl_buf;
         let mut created = 0usize;
         // Scratch buffer of memoized hashes for the current run, reused across
         // runs so the batch path stays allocation-free in the steady state.
@@ -413,7 +447,18 @@ impl<P: Payload> Engine<P> {
                         continue;
                     }
                     let hv = hv.unwrap_or_else(|| KeyHash::new(v));
-                    settle_payload(cell, s_dl, &ctx, use_denylist, rng, scht, make(item), hv);
+                    settle_payload(
+                        cell,
+                        s_dl,
+                        &ctx,
+                        use_denylist,
+                        rng,
+                        scht,
+                        make(item),
+                        hv,
+                        scratch,
+                        dl_buf,
+                    );
                     *edges += 1;
                     created += 1;
                 }
@@ -435,6 +480,7 @@ impl<P: Payload> Engine<P> {
         let rng = &mut self.rng;
         let scht = &mut self.scht;
         let edge_total = &mut self.edges;
+        let scratch = &mut self.scratch;
         let mut removed = 0usize;
         // Pre-hashed keys of the current run, mirroring `insert_batch`: runs
         // against inline cells stay hash-free, runs against transformed cells
@@ -459,9 +505,9 @@ impl<P: Payload> Engine<P> {
                                 if let Some(&next) = run_hashes.get(i + 1) {
                                     cell.prefetch(next);
                                 }
-                                cell.remove(run_hashes[i], &ctx, rng, &mut scht.placements)
+                                cell.remove(run_hashes[i], &ctx, rng, &mut scht.placements, scratch)
                             } else {
-                                cell.remove_lazy(v, &ctx, rng, &mut scht.placements)
+                                cell.remove_lazy(v, &ctx, rng, &mut scht.placements, scratch)
                             };
                             if res.contracted {
                                 scht.contractions += 1;
@@ -489,7 +535,13 @@ impl<P: Payload> Engine<P> {
     pub fn remove(&mut self, u: NodeId, v: NodeId) -> Option<P> {
         let ctx = self.cell_ctx;
         if let Some(cell) = self.nodes.get_mut(KeyHash::new(u)) {
-            let res = cell.remove_lazy(v, &ctx, &mut self.rng, &mut self.scht.placements);
+            let res = cell.remove_lazy(
+                v,
+                &ctx,
+                &mut self.rng,
+                &mut self.scht.placements,
+                &mut self.scratch,
+            );
             if res.contracted {
                 self.scht.contractions += 1;
             }
@@ -514,10 +566,23 @@ impl<P: Payload> Engine<P> {
         in_cell + self.s_dl.count_for(u)
     }
 
-    /// Calls `f` for every neighbour payload of `u` (cell then S-DL).
+    /// Calls `f` for every neighbour payload of `u` (cell then S-DL). The
+    /// cell pass runs the SWAR occupancy scan on transformed cells — the
+    /// successor-scan fast path.
     pub fn for_each_payload(&self, u: NodeId, mut f: impl FnMut(&P)) {
         if let Some(cell) = self.nodes.get(KeyHash::new(u)) {
             cell.for_each(&mut f);
+        }
+        self.s_dl.for_each_of(u, f);
+    }
+
+    /// Pre-SWAR counterpart of [`Engine::for_each_payload`]: identical node
+    /// resolution, but the neighbour tables are walked slot by slot (the
+    /// pre-change scan shape). Oracle for the property tests and the live
+    /// baseline of the `perf_smoke` scan-path guard.
+    pub fn for_each_payload_scalar(&self, u: NodeId, mut f: impl FnMut(&P)) {
+        if let Some(cell) = self.nodes.get(KeyHash::new(u)) {
+            cell.for_each_scalar(&mut f);
         }
         self.s_dl.for_each_of(u, f);
     }

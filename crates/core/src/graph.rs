@@ -71,6 +71,16 @@ impl CuckooGraph {
     pub fn has_edge_unmemoized(&self, u: NodeId, v: NodeId) -> bool {
         self.engine.contains_unmemoized(u, v)
     }
+
+    /// Pre-SWAR successor scan: same node resolution as
+    /// [`DynamicGraph::for_each_successor`], but the neighbour tables are
+    /// walked slot by slot instead of tag word by tag word — the scan path
+    /// this graph had before PR 5. Kept as the scalar oracle for
+    /// `tests/swar_scan_model.rs` and the live baseline the `perf_smoke`
+    /// scan-path guard measures the SWAR scan against.
+    pub fn for_each_successor_scalar(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
+        self.engine.for_each_payload_scalar(u, |p| f(*p));
+    }
 }
 
 impl Default for CuckooGraph {

@@ -94,6 +94,22 @@ pub fn bob_hash2(bytes: &[u8], seed: u32) -> (u32, u32) {
     (b, c)
 }
 
+/// [`bob_hash2`] specialised to an 8-byte little-endian key — bit-identical
+/// output, but the tail fold collapses to two word extractions instead of the
+/// generic per-byte loop (an 8-byte input feeds lanes `a` and `b` directly
+/// and leaves the length-shifted `c` lane untouched). This is the hash every
+/// [`KeyHash::new`] runs, i.e. once per keyed operation across the whole
+/// engine, so the scan and probe paths feel it directly; equivalence with the
+/// byte-slice pass is pinned by a test.
+#[inline(always)]
+pub fn bob_hash2_u64(key: u64, seed: u32) -> (u32, u32) {
+    let a = GOLDEN_RATIO.wrapping_add(key as u32);
+    let b = GOLDEN_RATIO.wrapping_add((key >> 32) as u32);
+    let c = seed.wrapping_add(8); // the folded-in input length
+    let (_, b, c) = mix(a, b, c);
+    (b, c)
+}
+
 /// Base seed of the shared Bob-hash pass behind [`KeyHash::new`]. Per-table
 /// randomness comes from each table's [`HashPair`] seeds, folded into the
 /// memoized lanes by [`HashPair::bucket_of`]; the base pass itself is fixed so
@@ -119,10 +135,11 @@ pub struct KeyHash {
 }
 
 impl KeyHash {
-    /// Hashes `key` once (single Bob pass, both lanes).
+    /// Hashes `key` once (single Bob pass, both lanes, via the 8-byte
+    /// specialisation [`bob_hash2_u64`]).
     #[inline]
     pub fn new(key: NodeId) -> Self {
-        let (lane0, lane1) = bob_hash2(&key.to_le_bytes(), KEYHASH_SEED);
+        let (lane0, lane1) = bob_hash2_u64(key, KEYHASH_SEED);
         Self { key, lane0, lane1 }
     }
 
@@ -315,6 +332,27 @@ mod tests {
         for k in [0u64, 1, 42, u64::MAX] {
             let bytes = k.to_le_bytes();
             assert_eq!(bob_hash2(&bytes, 9).1, bob_hash(&bytes, 9));
+        }
+    }
+
+    #[test]
+    fn u64_specialisation_matches_the_byte_pass() {
+        // The fast path must be bit-identical to the generic pass — the
+        // contract that keeps every stored layout and oracle valid.
+        for k in [0u64, 1, 7, 0xff, 0x1234_5678, u64::MAX, u64::MAX - 3] {
+            for seed in [0u32, 9, 0x51ed_270b, u32::MAX] {
+                assert_eq!(
+                    bob_hash2_u64(k, seed),
+                    bob_hash2(&k.to_le_bytes(), seed),
+                    "divergence at key {k:#x} seed {seed:#x}"
+                );
+            }
+        }
+        for k in (0..5_000u64).map(splitmix64) {
+            assert_eq!(
+                bob_hash2_u64(k, 0x51ed_270b),
+                bob_hash2(&k.to_le_bytes(), 0x51ed_270b)
+            );
         }
     }
 

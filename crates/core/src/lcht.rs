@@ -12,6 +12,7 @@ use crate::denylist::LargeDenylist;
 use crate::hash::KeyHash;
 use crate::payload::Payload;
 use crate::rng::KickRng;
+use crate::scratch::RebuildScratch;
 use graph_api::NodeId;
 
 /// Opaque coordinates of a cell (chain slot or L-DL index), produced by
@@ -43,21 +44,36 @@ pub struct NodeTable<P> {
     denylist: LargeDenylist<Cell<P>>,
     use_denylist: bool,
     counters: NodeTableCounters,
+    /// Rebuild buffers for the L-CHT chain's own expand/contract events —
+    /// whole cells (each carrying its S-CHT chain by move, never by copy).
+    scratch: RebuildScratch<Cell<P>>,
+    /// Reusable buffer for draining the L-DL back into the chain after an
+    /// expansion, so the denylist path stops allocating per event too.
+    park_buf: Vec<Cell<P>>,
 }
 
 impl<P: Payload> NodeTable<P> {
-    /// Creates an empty node table.
+    /// Creates an empty node table. `resize_scratch` selects the persistent
+    /// rebuild buffers (production) or the alloc-per-event reference shape
+    /// (see [`RebuildScratch`]).
     pub fn new(
         params: ChainParams,
         seed: u64,
         denylist_capacity: usize,
         use_denylist: bool,
+        resize_scratch: bool,
     ) -> Self {
         Self {
             chain: TableChain::new(params, seed),
             denylist: LargeDenylist::new(denylist_capacity),
             use_denylist,
             counters: NodeTableCounters::default(),
+            scratch: if resize_scratch {
+                RebuildScratch::persistent()
+            } else {
+                RebuildScratch::alloc_per_event()
+            },
+            park_buf: Vec::new(),
         }
     }
 
@@ -176,10 +192,13 @@ impl<P: Payload> NodeTable<P> {
         // The chain consults the expansion rule itself; when it expands we
         // first give parked cells a chance to move back in.
         let expansions_before = self.chain.expansions();
-        match self
-            .chain
-            .insert(cell, kh, rng, &mut self.counters.placements)
-        {
+        match self.chain.insert(
+            cell,
+            kh,
+            rng,
+            &mut self.counters.placements,
+            &mut self.scratch,
+        ) {
             ChainInsert::Stored => {}
             ChainInsert::Failed(cell) => {
                 self.counters.failures += 1;
@@ -206,7 +225,9 @@ impl<P: Payload> NodeTable<P> {
         let mut pending = cell;
         let mut pending_kh = pending.key_hash();
         loop {
-            let leftovers = self.chain.expand(rng, &mut self.counters.placements);
+            let leftovers =
+                self.chain
+                    .expand(rng, &mut self.counters.placements, &mut self.scratch);
             for cell in leftovers {
                 // Cells displaced by the merge go to the denylist regardless of
                 // the capacity limit — nothing may be dropped.
@@ -231,13 +252,16 @@ impl<P: Payload> NodeTable<P> {
     }
 
     /// Moves every parked cell back into the (recently expanded) chain;
-    /// anything that still cannot be placed is re-parked.
+    /// anything that still cannot be placed is re-parked. Runs through the
+    /// reusable `park_buf`, so the per-expansion denylist drain allocates
+    /// nothing in the steady state.
     fn drain_denylist(&mut self, rng: &mut KickRng) {
         if self.denylist.is_empty() {
             return;
         }
-        let parked = self.denylist.drain_all();
-        for cell in parked {
+        debug_assert!(self.park_buf.is_empty(), "denylist drain re-entered");
+        self.denylist.drain_all_into(&mut self.park_buf);
+        while let Some(cell) = self.park_buf.pop() {
             let kh = cell.key_hash();
             match self
                 .chain
@@ -249,9 +273,20 @@ impl<P: Payload> NodeTable<P> {
         }
     }
 
-    /// Calls `f` for every stored cell (chain and denylist).
+    /// Calls `f` for every stored cell (chain and denylist). The chain pass
+    /// is the SWAR occupancy scan — node enumeration skips empty L-CHT
+    /// regions in whole-word jumps.
     pub fn for_each(&self, mut f: impl FnMut(&Cell<P>)) {
         self.chain.for_each(&mut f);
+        for cell in self.denylist.iter() {
+            f(cell);
+        }
+    }
+
+    /// Pre-SWAR counterpart of [`NodeTable::for_each`] (scalar slot walk over
+    /// the chain), for the scan oracle and guard baseline.
+    pub fn for_each_scalar(&self, mut f: impl FnMut(&Cell<P>)) {
+        self.chain.for_each_scalar(&mut f);
         for cell in self.denylist.iter() {
             f(cell);
         }
@@ -276,9 +311,9 @@ impl<P: Payload> NodeTable<P> {
     /// Applies the reverse-transformation rule to the L-CHT chain (used after
     /// bulk deletions); cells displaced by a contraction go to the L-DL.
     pub fn maybe_contract(&mut self, rng: &mut KickRng) {
-        let displaced = self
-            .chain
-            .maybe_contract(rng, &mut self.counters.placements);
+        let displaced =
+            self.chain
+                .maybe_contract(rng, &mut self.counters.placements, &mut self.scratch);
         for cell in displaced {
             self.denylist.push_forced(cell);
         }
@@ -312,7 +347,7 @@ mod tests {
     }
 
     fn table() -> NodeTable<NodeId> {
-        NodeTable::new(params(), 0x77, 64, true)
+        NodeTable::new(params(), 0x77, 64, true, true)
     }
 
     #[test]
@@ -358,7 +393,7 @@ mod tests {
             base_len: 2,
             ..params()
         };
-        let mut t: NodeTable<NodeId> = NodeTable::new(p, 5, 1024, true);
+        let mut t: NodeTable<NodeId> = NodeTable::new(p, 5, 1024, true, true);
         let mut rng = KickRng::new(3);
         for u in 0..2_000u64 {
             t.ensure(kh(u), &mut rng);
@@ -376,7 +411,7 @@ mod tests {
             base_len: 2,
             ..params()
         };
-        let mut t: NodeTable<NodeId> = NodeTable::new(p, 5, 0, false);
+        let mut t: NodeTable<NodeId> = NodeTable::new(p, 5, 0, false, true);
         let mut rng = KickRng::new(4);
         for u in 0..1_000u64 {
             t.ensure(kh(u), &mut rng);
@@ -402,12 +437,13 @@ mod tests {
             seed: 1,
         };
         let mut placements = 0u64;
+        let mut scratch = RebuildScratch::persistent();
         // Give node 7 some neighbours, then insert many more nodes to force
         // kick-outs and expansions around it.
         {
             let cell = t.ensure(kh(7), &mut rng);
             for v in 0..20u64 {
-                cell.insert(v, kh(v), &ctx, &mut rng, &mut placements);
+                cell.insert(v, kh(v), &ctx, &mut rng, &mut placements, &mut scratch);
             }
         }
         for u in 1_000..6_000u64 {

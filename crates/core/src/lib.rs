@@ -57,14 +57,17 @@ pub mod multi;
 pub mod payload;
 pub mod rng;
 pub mod scht;
+pub mod scratch;
 pub mod shard;
 pub mod stats;
+pub mod swar;
 pub mod weighted;
 
 pub use config::CuckooGraphConfig;
 pub use error::{CuckooGraphError, Result};
 pub use graph::CuckooGraph;
 pub use multi::{EdgeId, MultiEdgeCuckooGraph};
+pub use scratch::RebuildScratch;
 pub use shard::{Sharded, ShardedCuckooGraph, ShardedWeightedCuckooGraph};
 pub use stats::StructureStats;
 pub use weighted::WeightedCuckooGraph;

@@ -173,6 +173,12 @@ impl MultiEdgeCuckooGraph {
     pub fn successors(&self, u: NodeId) -> Vec<NodeId> {
         self.engine.successors(u)
     }
+
+    /// Pre-SWAR successor scan (slot-by-slot table walk) — see
+    /// [`CuckooGraph::for_each_successor_scalar`](crate::CuckooGraph::for_each_successor_scalar).
+    pub fn for_each_successor_scalar(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
+        self.engine.for_each_payload_scalar(u, |slot| f(slot.v));
+    }
 }
 
 impl Default for MultiEdgeCuckooGraph {

@@ -21,10 +21,23 @@
 //! exact. Bucket indices are derived from memoized [`KeyHash`] lanes
 //! ([`HashPair::bucket_of`]), so the caller hashes a key once per operation
 //! regardless of how many tables a chain probes.
+//!
+//! # The SWAR scan path
+//!
+//! Since PR 5 every tag access runs word-at-a-time through [`crate::swar`]:
+//! probes answer "which slots carry this fingerprint" and "where is the first
+//! empty slot" with one broadcast-XOR zero-byte search over up to eight tags
+//! at once, and iteration ([`CuckooTable::for_each`], [`CuckooTable::drain`])
+//! walks the occupancy bitmap `word & 0x8080…`, touching only occupied
+//! payload slots and skipping empty regions in whole-word jumps. The scalar
+//! byte loops survive as `*_scalar` methods — the correctness oracle for the
+//! property tests and the live pre-change baseline the `perf_smoke` scan
+//! guard measures against.
 
 use crate::hash::{HashPair, KeyHash};
 use crate::payload::Payload;
 use crate::rng::KickRng;
+use crate::swar;
 use graph_api::NodeId;
 
 /// The "length" of a table is the number of buckets in its larger array
@@ -157,9 +170,38 @@ impl<T: Payload> CuckooTable<T> {
     }
 
     /// Returns the `(array, flat_index)` coordinates of the item keyed by
-    /// `kh.key()` if present. Scans `d` tag bytes per candidate bucket and
-    /// touches a payload only on a fingerprint hit.
+    /// `kh.key()` if present. Scans the `d` tag bytes of each candidate bucket
+    /// as SWAR words and touches a payload only on a fingerprint hit.
     pub(crate) fn locate(&self, kh: KeyHash) -> Option<(usize, usize)> {
+        let key = kh.key();
+        let tag = tag_of(kh);
+        for array in 0..2 {
+            let bucket = self.bucket_index(kh, array);
+            let base = bucket * self.d;
+            let tags = if array == 0 { &self.tags0 } else { &self.tags1 };
+            let slots = self.slots(array);
+            let mut found = None;
+            swar::scan_eq(&tags[base..base + self.d], tag, |offset| {
+                // Tag hit: confirm with the full key so collisions between
+                // different keys sharing a fingerprint stay exact.
+                if let Some(item) = &slots[base + offset] {
+                    if item.key() == key {
+                        found = Some((array, base + offset));
+                        return true;
+                    }
+                }
+                false
+            });
+            if found.is_some() {
+                return found;
+            }
+        }
+        None
+    }
+
+    /// Pre-SWAR byte-at-a-time counterpart of [`CuckooTable::locate`], kept as
+    /// the scalar oracle for the property tests.
+    pub(crate) fn locate_scalar(&self, kh: KeyHash) -> Option<(usize, usize)> {
         let key = kh.key();
         let tag = tag_of(kh);
         for array in 0..2 {
@@ -169,8 +211,6 @@ impl<T: Payload> CuckooTable<T> {
             let slots = self.slots(array);
             for (offset, &t) in tags[base..base + self.d].iter().enumerate() {
                 if t == tag {
-                    // Tag hit: confirm with the full key so collisions between
-                    // different keys sharing a fingerprint stay exact.
                     if let Some(item) = &slots[base + offset] {
                         if item.key() == key {
                             return Some((array, base + offset));
@@ -193,6 +233,14 @@ impl<T: Payload> CuckooTable<T> {
     /// Returns a reference to the item with the given key, if stored.
     pub fn get(&self, kh: KeyHash) -> Option<&T> {
         let (array, i) = self.locate(kh)?;
+        self.slots(array)[i].as_ref()
+    }
+
+    /// [`CuckooTable::get`] through the scalar probe ([`CuckooTable::locate_scalar`]) —
+    /// the SWAR-vs-scalar oracle used by `tests/swar_scan_model.rs`.
+    #[doc(hidden)]
+    pub fn get_scalar(&self, kh: KeyHash) -> Option<&T> {
+        let (array, i) = self.locate_scalar(kh)?;
         self.slots(array)[i].as_ref()
     }
 
@@ -261,6 +309,8 @@ impl<T: Payload> CuckooTable<T> {
 
     /// Tries to place `item` in an empty slot of one of its two candidate
     /// buckets, without evicting anything. Returns the item back on failure.
+    /// The first-empty-slot search is a SWAR zero-byte scan over the bucket's
+    /// tag word(s).
     fn try_place_direct(&mut self, item: T, kh: KeyHash, placements: &mut u64) -> Result<(), T> {
         let tag = tag_of(kh);
         for array in 0..2 {
@@ -268,7 +318,7 @@ impl<T: Payload> CuckooTable<T> {
             let base = bucket * self.d;
             let d = self.d;
             let (slots, tags) = self.parts_mut(array);
-            if let Some(offset) = tags[base..base + d].iter().position(|&t| t == 0) {
+            if let Some(offset) = swar::find_eq(&tags[base..base + d], 0) {
                 slots[base + offset] = Some(item);
                 tags[base + offset] = tag;
                 self.count += 1;
@@ -317,7 +367,7 @@ impl<T: Payload> CuckooTable<T> {
             // settle immediately.
             {
                 let (slots, tags) = self.parts_mut(array);
-                if let Some(offset) = tags[base..base + d].iter().position(|&t| t == 0) {
+                if let Some(offset) = swar::find_eq(&tags[base..base + d], 0) {
                     slots[base + offset] = Some(cur);
                     tags[base + offset] = cur_tag;
                     self.count += 1;
@@ -348,14 +398,49 @@ impl<T: Payload> CuckooTable<T> {
         Err(cur)
     }
 
-    /// Calls `f` for every stored item.
+    /// Calls `f` for every stored item, walking the tag arrays eight slots at
+    /// a time: the occupancy bitmap (`word & 0x8080…`) names exactly the
+    /// occupied slots, so empty regions cost one word test and no payload
+    /// traffic at all — the successor-scan fast path.
+    ///
+    /// The walk pairs each tag word with its 8-slot payload chunk
+    /// (`chunks_exact`), so the per-item slot access needs no bounds check:
+    /// `trailing_zeros >> 3` of a non-zero `u64` is provably `< 8`.
     pub fn for_each(&self, mut f: impl FnMut(&T)) {
+        for (slots, tags) in [(&self.slots0, &self.tags0), (&self.slots1, &self.tags1)] {
+            let mut slot_chunks = slots.chunks_exact(8);
+            let mut tag_chunks = tags.chunks_exact(8);
+            for (chunk, tag_chunk) in slot_chunks.by_ref().zip(tag_chunks.by_ref()) {
+                let word = u64::from_le_bytes(tag_chunk.try_into().expect("chunks_exact(8)"));
+                let mut mask = swar::occupied_mask(word);
+                while mask != 0 {
+                    if let Some(item) = &chunk[swar::first_index(mask)] {
+                        f(item);
+                    }
+                    mask &= mask - 1;
+                }
+            }
+            for (slot, &tag) in slot_chunks.remainder().iter().zip(tag_chunks.remainder()) {
+                if tag & 0x80 != 0 {
+                    if let Some(item) = slot {
+                        f(item);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pre-SWAR iteration (walks every `Option` slot), kept as the scalar
+    /// oracle and the live baseline of the `perf_smoke` scan guard.
+    pub fn for_each_scalar(&self, mut f: impl FnMut(&T)) {
         for item in self.slots0.iter().chain(self.slots1.iter()).flatten() {
             f(item);
         }
     }
 
-    /// Iterates over stored items.
+    /// Iterates over stored items. Scalar slot walk — the rare cold callers
+    /// (memory accounting, tests) double as the oracle for
+    /// [`CuckooTable::for_each`].
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.slots0
             .iter()
@@ -363,17 +448,31 @@ impl<T: Payload> CuckooTable<T> {
             .filter_map(|s| s.as_ref())
     }
 
+    /// Moves every stored item into `out`, leaving the table empty. The
+    /// occupied slots are located by tag-word scan, so a drain touches only
+    /// the slots that actually hold items; the tag arrays are wiped with two
+    /// `fill`s. This is the allocation-free feeder of the rebuild scratch.
+    pub fn drain_into(&mut self, out: &mut Vec<T>) {
+        out.reserve(self.count);
+        for (slots, tags) in [
+            (&mut self.slots0, &mut self.tags0),
+            (&mut self.slots1, &mut self.tags1),
+        ] {
+            swar::scan_occupied(tags, |i| {
+                if let Some(item) = slots[i].take() {
+                    out.push(item);
+                }
+            });
+            tags.fill(0);
+        }
+        self.count = 0;
+    }
+
     /// Removes and returns all stored items, leaving the table empty.
+    /// Allocating convenience wrapper around [`CuckooTable::drain_into`].
     pub fn drain(&mut self) -> Vec<T> {
         let mut out = Vec::with_capacity(self.count);
-        for slot in self.slots0.iter_mut().chain(self.slots1.iter_mut()) {
-            if let Some(item) = slot.take() {
-                out.push(item);
-            }
-        }
-        self.tags0.fill(0);
-        self.tags1.fill(0);
-        self.count = 0;
+        self.drain_into(&mut out);
         out
     }
 

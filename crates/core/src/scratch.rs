@@ -1,0 +1,170 @@
+//! Reusable rebuild buffers for the TRANSFORMATION machinery.
+//!
+//! Before PR 5, every chain expansion, contraction, and reset drained the
+//! affected tables into a freshly allocated `Vec` before re-inserting — one
+//! (or several) heap allocations per resize *event*, on a path that fires
+//! thousands of times under churn-heavy workloads. A [`RebuildScratch`] is an
+//! engine-level pair of buffers (displaced items plus their memoized
+//! [`KeyHash`]es) threaded through `TableChain::expand` / `contract` and every
+//! engine rebuild path, so steady-state resizes reuse the same capacity
+//! forever and the drain → hash → re-place pipeline runs allocation-free.
+//!
+//! The hash cache matters independently of the allocations: the drain pass
+//! fills `items`, a second tight pass computes every item's Bob hash into
+//! `hashes`, and the re-place loop then pops `(item, hash)` pairs — keeping
+//! the hashing out of the cuckoo placement loop (whose kick-walk has its own
+//! re-hash discipline) and touching each drained item's bytes exactly once
+//! per rebuild.
+//!
+//! The pre-change cost shape survives as a first-class reference:
+//! [`RebuildScratch::alloc_per_event`] builds a scratch that releases its
+//! buffers after every rebuild event, reproducing the one-allocation-per-event
+//! behaviour the persistent scratch replaces.
+//! [`crate::CuckooGraphConfig::with_resize_scratch`]`(false)` routes a whole
+//! engine through it, which is what the `perf_smoke` resize guard and the
+//! `resize_churn` criterion group measure the live path against.
+
+use crate::hash::KeyHash;
+use crate::payload::Payload;
+
+/// Reusable drain/re-place buffers for one chain's rebuild events.
+///
+/// One scratch serves every chain of an engine level (all S-CHT chains share
+/// the engine's payload scratch; the L-CHT chain has its own cell scratch):
+/// rebuild events are strictly sequential within an engine, and each event
+/// leaves the buffers empty again.
+#[derive(Debug, Clone)]
+pub struct RebuildScratch<T> {
+    /// Items drained out of the tables being rebuilt.
+    pub(crate) items: Vec<T>,
+    /// Memoized hash material parallel to `items` (filled by
+    /// [`RebuildScratch::cache_hashes`], popped in lock-step).
+    pub(crate) hashes: Vec<KeyHash>,
+    /// When false, the buffers are dropped after every event — the
+    /// alloc-per-event reference cost shape.
+    persistent: bool,
+}
+
+impl<T: Payload> RebuildScratch<T> {
+    /// A persistent scratch: buffers grow to the high-water mark of the
+    /// largest rebuild and are reused forever. The production configuration.
+    pub fn persistent() -> Self {
+        Self {
+            items: Vec::new(),
+            hashes: Vec::new(),
+            persistent: true,
+        }
+    }
+
+    /// A reference scratch reproducing the pre-change allocation behaviour:
+    /// every rebuild event allocates fresh buffers and releases them at the
+    /// end. Selected via
+    /// [`crate::CuckooGraphConfig::with_resize_scratch`]`(false)`.
+    pub fn alloc_per_event() -> Self {
+        Self {
+            items: Vec::new(),
+            hashes: Vec::new(),
+            persistent: false,
+        }
+    }
+
+    /// Number of items currently buffered (non-zero only mid-rebuild).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True outside of a rebuild event.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Item capacity currently retained — what a persistent scratch carries
+    /// from one rebuild to the next (observable in tests).
+    pub fn retained_capacity(&self) -> usize {
+        self.items.capacity()
+    }
+
+    /// Computes the memoized hash of every buffered item into the parallel
+    /// hash cache — one tight pass, so the re-place loop never hashes.
+    pub(crate) fn cache_hashes(&mut self) {
+        self.hashes.clear();
+        self.hashes.extend(self.items.iter().map(Payload::key_hash));
+    }
+
+    /// Pops the next `(item, memoized hash)` pair, in reverse drain order
+    /// (order is irrelevant to cuckoo placement).
+    pub(crate) fn pop_pair(&mut self) -> Option<(T, KeyHash)> {
+        let item = self.items.pop()?;
+        let kh = self.hashes.pop().expect("hash cache tracks items");
+        Some((item, kh))
+    }
+
+    /// Ends a rebuild event: a persistent scratch keeps its capacity, the
+    /// alloc-per-event reference drops it (matching the old per-event `Vec`).
+    pub(crate) fn finish_event(&mut self) {
+        debug_assert!(self.items.is_empty(), "rebuild left items in the scratch");
+        self.hashes.clear();
+        if !self.persistent {
+            self.items = Vec::new();
+            self.hashes = Vec::new();
+        }
+    }
+}
+
+impl<T: Payload> Default for RebuildScratch<T> {
+    fn default() -> Self {
+        Self::persistent()
+    }
+}
+
+/// Compile-time proof the scratch can cross the sharded fan-out's thread
+/// boundaries inside an engine.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RebuildScratch<graph_api::NodeId>>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_api::NodeId;
+
+    #[test]
+    fn persistent_scratch_retains_capacity_across_events() {
+        let mut s: RebuildScratch<NodeId> = RebuildScratch::persistent();
+        s.items.extend(0..100u64);
+        s.cache_hashes();
+        while let Some((item, kh)) = s.pop_pair() {
+            assert_eq!(kh, KeyHash::new(item));
+        }
+        s.finish_event();
+        assert!(s.is_empty());
+        assert!(s.retained_capacity() >= 100, "capacity was released");
+    }
+
+    #[test]
+    fn alloc_per_event_scratch_releases_buffers() {
+        let mut s: RebuildScratch<NodeId> = RebuildScratch::alloc_per_event();
+        s.items.extend(0..100u64);
+        s.cache_hashes();
+        while s.pop_pair().is_some() {}
+        s.finish_event();
+        assert_eq!(
+            s.retained_capacity(),
+            0,
+            "reference scratch must not retain"
+        );
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn hash_cache_is_parallel_to_items() {
+        let mut s: RebuildScratch<NodeId> = RebuildScratch::default();
+        s.items.extend([9u64, 4, 7]);
+        s.cache_hashes();
+        assert_eq!(s.len(), 3);
+        let (item, kh) = s.pop_pair().unwrap();
+        assert_eq!(item, 7);
+        assert_eq!(kh, KeyHash::new(7));
+    }
+}

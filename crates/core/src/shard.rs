@@ -218,6 +218,13 @@ impl Sharded<CuckooGraph> {
         out
     }
 
+    /// Pre-SWAR successor scan routed to the owning shard — the sharded
+    /// counterpart of [`CuckooGraph::for_each_successor_scalar`], so the scan
+    /// oracle covers the sharded surface too.
+    pub fn for_each_successor_scalar(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
+        self.shard_for(u).for_each_successor_scalar(u, f);
+    }
+
     /// Merged structural statistics across all shards (counter sums).
     pub fn stats(&self) -> StructureStats {
         let mut merged = StructureStats::default();
@@ -261,6 +268,13 @@ impl Sharded<WeightedCuckooGraph> {
         self.par_map_shards(WeightedCuckooGraph::total_weight)
             .into_iter()
             .sum()
+    }
+
+    /// Pre-SWAR weighted successor scan routed to the owning shard — the
+    /// sharded counterpart of
+    /// [`WeightedCuckooGraph::for_each_weighted_successor_scalar`].
+    pub fn for_each_weighted_successor_scalar(&self, u: NodeId, f: &mut dyn FnMut(NodeId, u64)) {
+        self.shard_for(u).for_each_weighted_successor_scalar(u, f);
     }
 }
 

@@ -9,6 +9,7 @@ use cuckoograph::hash::KeyHash;
 use cuckoograph::payload::{Payload, WeightedSlot};
 use cuckoograph::rng::KickRng;
 use cuckoograph::scht::CuckooTable;
+use cuckoograph::RebuildScratch;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -53,9 +54,10 @@ fn reinsert_all(
     homeless: Vec<WeightedSlot>,
     rng: &mut KickRng,
     p: &mut u64,
+    s: &mut RebuildScratch<WeightedSlot>,
 ) {
     for item in homeless {
-        chain.insert_forced(item, rng, p);
+        chain.insert_forced(item, rng, p, s);
     }
 }
 
@@ -71,6 +73,7 @@ proptest! {
         let mut model: BTreeMap<u64, u64> = BTreeMap::new();
         let mut rng = KickRng::new(0x5eed);
         let mut p = 0u64;
+        let mut s: RebuildScratch<WeightedSlot> = RebuildScratch::persistent();
         for op in ops {
             match op {
                 Op::Insert(v, w) => {
@@ -83,12 +86,13 @@ proptest! {
                         }
                         std::collections::btree_map::Entry::Vacant(e) => {
                             e.insert(w);
-                            match chain.insert(WeightedSlot { v, w }, kh, &mut rng, &mut p) {
+                            match chain.insert(WeightedSlot { v, w }, kh, &mut rng, &mut p, &mut s)
+                            {
                                 ChainInsert::Stored => {}
                                 ChainInsert::Failed(item) => {
                                     // The engine would park this in a denylist;
                                     // here the forced path keeps the model exact.
-                                    chain.insert_forced(item, &mut rng, &mut p);
+                                    chain.insert_forced(item, &mut rng, &mut p, &mut s);
                                 }
                             }
                         }
@@ -108,12 +112,12 @@ proptest! {
                     prop_assert_eq!(chain.contains_unmemoized(v), model.contains_key(&v));
                 }
                 Op::Expand => {
-                    let homeless = chain.expand(&mut rng, &mut p);
-                    reinsert_all(&mut chain, homeless, &mut rng, &mut p);
+                    let homeless = chain.expand(&mut rng, &mut p, &mut s);
+                    reinsert_all(&mut chain, homeless, &mut rng, &mut p, &mut s);
                 }
                 Op::Contract => {
-                    let homeless = chain.contract(&mut rng, &mut p);
-                    reinsert_all(&mut chain, homeless, &mut rng, &mut p);
+                    let homeless = chain.contract(&mut rng, &mut p, &mut s);
+                    reinsert_all(&mut chain, homeless, &mut rng, &mut p, &mut s);
                 }
             }
             prop_assert_eq!(chain.count(), model.len());
@@ -219,12 +223,13 @@ fn tag_collisions_survive_chain_expansions() {
     let mut chain: TableChain<u64> = TableChain::new(params(), 0x51ab);
     let mut rng = KickRng::new(2);
     let mut p = 0u64;
+    let mut s: RebuildScratch<u64> = RebuildScratch::persistent();
     for k in [k1, k2] {
-        chain.insert_forced(k, &mut rng, &mut p);
+        chain.insert_forced(k, &mut rng, &mut p, &mut s);
     }
     // Grow through several shapes; the twins must stay distinct throughout.
     for fill in 1000..1200u64 {
-        chain.insert_forced(fill, &mut rng, &mut p);
+        chain.insert_forced(fill, &mut rng, &mut p, &mut s);
         assert_eq!(chain.get(KeyHash::new(k1)), Some(&k1));
         assert_eq!(chain.get(KeyHash::new(k2)), Some(&k2));
     }
