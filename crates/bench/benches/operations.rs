@@ -308,16 +308,30 @@ fn bench_resize_churn(c: &mut Criterion) {
             },
         );
     }
-    group.bench_function(
-        BenchmarkId::from_parameter("Ours (alloc-per-event resize)"),
-        |b| {
+    // The oracle-configured engine variants: the alloc-per-event resize
+    // reference (PR-5 scratch disabled), the pool-off reference (PR-6 table
+    // pool disabled), and the fully recycled default ("Ours (pooled)" — the
+    // same configuration as the scheme row, labelled so the pooled-vs-oracle
+    // comparison reads directly off the criterion output).
+    let configured = [
+        (
+            "Ours (alloc-per-event resize)",
+            cuckoograph::CuckooGraphConfig::default().with_resize_scratch(false),
+        ),
+        (
+            "Ours (pool-off)",
+            cuckoograph::CuckooGraphConfig::default().with_table_pool(false),
+        ),
+        (
+            "Ours (pooled)",
+            cuckoograph::CuckooGraphConfig::default().with_table_pool(true),
+        ),
+    ];
+    for (label, config) in configured {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
             use graph_api::DynamicGraph;
             b.iter_batched(
-                || {
-                    cuckoograph::CuckooGraph::with_config(
-                        cuckoograph::CuckooGraphConfig::default().with_resize_scratch(false),
-                    )
-                },
+                || cuckoograph::CuckooGraph::with_config(config.clone()),
                 |mut graph| {
                     for _ in 0..WAVES {
                         graph.insert_edges(&edges);
@@ -327,8 +341,8 @@ fn bench_resize_churn(c: &mut Criterion) {
                 },
                 BatchSize::SmallInput,
             );
-        },
-    );
+        });
+    }
     group.finish();
 }
 

@@ -6,8 +6,10 @@
 //! delete — then a 1/2/4/8-shard ingest thread-sweep over the sharded
 //! CuckooGraph, the PR-4 probe-path guard, the PR-5 scan-path guard (SWAR
 //! tag-word scan vs the scalar reference) and resize guard (scratch-backed
-//! churn vs the alloc-per-event reference) — and writes `BENCH.json`
-//! (schema v4) with ops/sec and memory bytes per scheme so the bench
+//! churn vs the alloc-per-event reference), and the PR-6 pool guard
+//! (pooled/arena churn vs the pool-off oracle, plus a memory regression
+//! check against the committed snapshot) — and writes `BENCH.json`
+//! (schema v5) with ops/sec and memory bytes per scheme so the bench
 //! trajectory of the repository is machine-readable and regressions fail
 //! loudly in CI. When a committed `BENCH.json` already exists at the output
 //! path, the re-record prints the delta of every Ours headline number
@@ -130,6 +132,65 @@ fn run_scan_guard(raw: &[(u64, u64)]) -> ScanGuard {
     }
 }
 
+/// Throughputs and recycling counters of the PR-6 pool guard: expand/contract
+/// churn on the pooled/arena engine versus the pool-off oracle (fresh table
+/// buffers per TRANSFORMATION event — the pre-change cost shape).
+#[derive(Debug)]
+struct PoolGuard {
+    pooled_churn_mops: f64,
+    pool_off_churn_mops: f64,
+    pool_hits: u64,
+    pool_misses: u64,
+    pool_retired: u64,
+    pool_retained_bytes: usize,
+    arena_blocks: usize,
+    arena_free_blocks: usize,
+}
+
+/// Measures churn on the default (pooled) engine versus the pool-off oracle,
+/// on the same dense workload the resize guard uses. Also snapshots the pool
+/// and arena counters of the pooled engine so BENCH.json records how much
+/// recycling the workload actually exercised.
+fn run_pool_guard(sorted: &[(u64, u64)], waves: usize) -> PoolGuard {
+    let mut pooled_churn_mops = 0.0f64;
+    let mut pool_off_churn_mops = 0.0f64;
+    let mut stats = cuckoograph::StructureStats::default();
+    for _ in 0..MEASURE_ROUNDS {
+        let mut pooled = CuckooGraph::new();
+        pooled_churn_mops = pooled_churn_mops.max(run_churn_waves(&mut pooled, sorted, waves));
+        assert_eq!(pooled.edge_count(), 0, "churn left edges (pooled)");
+        stats = pooled.stats();
+
+        let mut oracle =
+            CuckooGraph::with_config(CuckooGraphConfig::default().with_table_pool(false));
+        pool_off_churn_mops = pool_off_churn_mops.max(run_churn_waves(&mut oracle, sorted, waves));
+        assert_eq!(oracle.edge_count(), 0, "churn left edges (pool-off)");
+        let oracle_stats = oracle.stats();
+        assert_eq!(
+            oracle_stats.pool_hits, 0,
+            "pool-off oracle recycled a table"
+        );
+        assert_eq!(
+            oracle_stats.pool_retained_bytes, 0,
+            "pool-off oracle retained buffers"
+        );
+    }
+    assert!(
+        stats.pool_hits > 0,
+        "pool guard workload never hit the table pool"
+    );
+    PoolGuard {
+        pooled_churn_mops,
+        pool_off_churn_mops,
+        pool_hits: stats.pool_hits,
+        pool_misses: stats.pool_misses,
+        pool_retired: stats.pool_retired,
+        pool_retained_bytes: stats.pool_retained_bytes,
+        arena_blocks: stats.arena_blocks,
+        arena_free_blocks: stats.arena_free_blocks,
+    }
+}
+
 /// Measures expand/contract-heavy churn (bulk insert+delete waves) on the
 /// scratch-backed engine versus the alloc-per-event reference configuration.
 fn run_resize_guard(sorted: &[(u64, u64)], waves: usize) -> ResizeGuard {
@@ -162,7 +223,12 @@ fn run_resize_guard(sorted: &[(u64, u64)], waves: usize) -> ResizeGuard {
 enum CommittedSnapshot {
     Absent,
     Unparseable,
-    Ours(Vec<(String, f64)>),
+    Ours {
+        metrics: Vec<(String, f64)>,
+        /// Workload scale of the committed record: the memory regression
+        /// guard only fires when the current run uses the same scale.
+        scale: Option<f64>,
+    },
 }
 
 /// Extracts the committed `Ours` headline numbers from an existing
@@ -186,8 +252,21 @@ fn committed_ours_metrics(path: &str, keys: &[&str]) -> CommittedSnapshot {
         }
         Some(out)
     };
+    let scale = || -> Option<f64> {
+        let line = text.lines().find(|l| l.contains("\"workload\""))?;
+        let needle = "\"scale\": ";
+        let at = line.find(needle)? + needle.len();
+        let rest = &line[at..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    };
     match parse() {
-        Some(metrics) => CommittedSnapshot::Ours(metrics),
+        Some(metrics) => CommittedSnapshot::Ours {
+            metrics,
+            scale: scale(),
+        },
         None => CommittedSnapshot::Unparseable,
     }
 }
@@ -323,12 +402,13 @@ fn main() {
         .unwrap_or(4);
     // Snapshot the committed headline numbers before overwriting, so the
     // delta report below can flag prose that quotes stale figures.
-    const DELTA_KEYS: [&str; 5] = [
+    const DELTA_KEYS: [&str; 6] = [
         "insert_mops",
         "batch_insert_mops",
         "query_mops",
         "succ_scan_mops",
         "delete_mops",
+        "memory_bytes",
     ];
     let committed = committed_ours_metrics(&out_path, &DELTA_KEYS);
 
@@ -460,13 +540,18 @@ fn main() {
     churn_edges.sort_unstable();
     let resize = run_resize_guard(&churn_edges, churn_waves);
 
+    // The PR-6 pool guard churns the same dense workload: recycled-table
+    // churn versus the pool-off oracle.
+    eprintln!("# perf_smoke: pool guard ({churn_waves} churn waves, dense profile) ...");
+    let pool = run_pool_guard(&churn_edges, churn_waves);
+
     // Hand-rolled JSON (the workspace has no serde); one object per scheme,
     // throughput in ops/sec, memory in bytes. Schema v2 added shards/threads
     // metadata per entry plus the thread_sweep block, v3 the probe_path
-    // block, v4 the scan_path and resize guard blocks, so the perf
-    // trajectory across PRs stays comparable.
+    // block, v4 the scan_path and resize guard blocks, v5 the pool guard
+    // block, so the perf trajectory across PRs stays comparable.
     let mut json = String::from("{\n");
-    json.push_str("  \"schema_version\": 4,\n");
+    json.push_str("  \"schema_version\": 5,\n");
     json.push_str(&format!(
         "  \"workload\": {{\"dataset\": \"CAIDA\", \"scale\": {scale}, \"seed\": {HARNESS_SEED}, \"raw_edges\": {}, \"distinct_edges\": {}}},\n",
         raw.len(),
@@ -513,6 +598,19 @@ fn main() {
         resize.edges,
     ));
     json.push_str(&format!(
+        "  \"pool\": {{\"pooled_churn_mops\": {}, \"pool_off_churn_mops\": {}, \
+         \"pool_hits\": {}, \"pool_misses\": {}, \"pool_retired\": {}, \
+         \"pool_retained_bytes\": {}, \"arena_blocks\": {}, \"arena_free_blocks\": {}}},\n",
+        json_f(pool.pooled_churn_mops),
+        json_f(pool.pool_off_churn_mops),
+        pool.pool_hits,
+        pool.pool_misses,
+        pool.pool_retired,
+        pool.pool_retained_bytes,
+        pool.arena_blocks,
+        pool.arena_free_blocks,
+    ));
+    json.push_str(&format!(
         "  \"thread_sweep\": {{\"scheme\": \"ShardedCuckooGraph\", \"dataset\": \"CAIDA\", \
          \"scale\": {sweep_scale}, \"seed\": {HARNESS_SEED}, \"raw_edges\": {}, \
          \"distinct_edges\": {sweep_distinct}, \"points\": [\n",
@@ -538,13 +636,14 @@ fn main() {
         .find(|r| r.label == "Ours")
         .expect("CuckooGraph result");
     match &committed {
-        CommittedSnapshot::Ours(old) => {
+        CommittedSnapshot::Ours { metrics: old, .. } => {
             let new_values = [
                 ours.insert_mops,
                 ours.batch_insert_mops,
                 ours.query_mops,
                 ours.succ_scan_mops,
                 ours.delete_mops,
+                ours.memory_bytes as f64,
             ];
             println!();
             println!("Ours vs committed {out_path}:");
@@ -554,8 +653,13 @@ fn main() {
                 } else {
                     f64::NAN
                 };
+                let unit = if key == "memory_bytes" {
+                    "B   "
+                } else {
+                    "Mops"
+                };
                 println!(
-                    "  {key:18} {new_value:10.3} Mops (committed {old_value:10.3}, {delta:+7.1}%)"
+                    "  {key:18} {new_value:10.3} {unit} (committed {old_value:10.3}, {delta:+7.1}%)"
                 );
             }
         }
@@ -706,5 +810,66 @@ fn main() {
             resize.scratch_churn_mops, resize.alloc_churn_mops
         );
         std::process::exit(1);
+    }
+
+    // The PR-6 pool claim: churn on the pooled/arena engine must not regress
+    // against the pool-off oracle (fresh table buffers per TRANSFORMATION
+    // event). A real regression — the pool clear path degenerating to
+    // re-allocation, or acquire/retire overhead outweighing the recycling —
+    // shows up directly here.
+    println!(
+        "pool:       pooled churn {:.3} Mops vs pool-off oracle {:.3} Mops \
+         ({} hits / {} misses, {} retired, {} B retained)",
+        pool.pooled_churn_mops,
+        pool.pool_off_churn_mops,
+        pool.pool_hits,
+        pool.pool_misses,
+        pool.pool_retired,
+        pool.pool_retained_bytes
+    );
+    if pool.pooled_churn_mops < pool.pool_off_churn_mops * NOISE_MARGIN {
+        eprintln!(
+            "perf_smoke FAILED: pooled churn {} Mops slower than pool-off oracle {} Mops",
+            pool.pooled_churn_mops, pool.pool_off_churn_mops
+        );
+        std::process::exit(1);
+    }
+
+    // The PR-6 memory claim: the footprint of the loaded Ours graph must not
+    // creep back up past the committed snapshot. Memory at a fixed seed and
+    // scale is deterministic, so the margin only has to absorb allocator
+    // rounding; the guard is skipped (loudly) when the run's scale differs
+    // from the committed record, since the workloads are not comparable.
+    const MEMORY_MARGIN: f64 = 1.05;
+    if let CommittedSnapshot::Ours {
+        metrics,
+        scale: committed_scale,
+    } = &committed
+    {
+        let committed_mem = metrics
+            .iter()
+            .find(|(k, _)| k == "memory_bytes")
+            .map(|(_, v)| *v);
+        match (committed_mem, committed_scale) {
+            (Some(old_mem), Some(old_scale)) if *old_scale == scale => {
+                if (ours.memory_bytes as f64) > old_mem * MEMORY_MARGIN {
+                    eprintln!(
+                        "perf_smoke FAILED: Ours memory {} B regressed past committed {} B \
+                         (margin {MEMORY_MARGIN})",
+                        ours.memory_bytes, old_mem
+                    );
+                    std::process::exit(1);
+                }
+            }
+            (Some(_), Some(old_scale)) => {
+                eprintln!(
+                    "# perf_smoke: memory guard skipped (run scale {scale} != committed \
+                     scale {old_scale})"
+                );
+            }
+            _ => {
+                eprintln!("# perf_smoke: memory guard skipped (no committed memory/scale)");
+            }
+        }
     }
 }

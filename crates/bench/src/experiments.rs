@@ -147,6 +147,9 @@ pub enum Experiment {
     /// Expand/contract-heavy churn: interleaved bulk insert/delete waves per
     /// scheme, with the alloc-per-event resize reference as an extra series.
     Churn,
+    /// Memory-vs-speed frontier: the pooled/arena engine against the
+    /// pool-off oracle under churn, across a sweep of workload sizes.
+    Frontier,
 }
 
 impl Experiment {
@@ -179,6 +182,7 @@ impl Experiment {
             BatchInsert,
             Shards,
             Churn,
+            Frontier,
         ]
     }
 
@@ -210,6 +214,7 @@ impl Experiment {
             Experiment::BatchInsert => "batch",
             Experiment::Shards => "shards",
             Experiment::Churn => "churn",
+            Experiment::Frontier => "frontier",
         }
     }
 
@@ -246,6 +251,9 @@ impl Experiment {
             Experiment::BatchInsert => "batched vs per-edge insertion throughput",
             Experiment::Shards => "sharded ingest scaling across shard counts",
             Experiment::Churn => "expand/contract churn: bulk insert/delete waves per scheme",
+            Experiment::Frontier => {
+                "memory-vs-speed frontier: pooled/arena engine vs pool-off oracle under churn"
+            }
         }
     }
 
@@ -277,6 +285,7 @@ impl Experiment {
             Experiment::BatchInsert => batch_insert(scale),
             Experiment::Shards => shards_scaling(scale),
             Experiment::Churn => churn_waves(scale),
+            Experiment::Frontier => frontier(scale),
         }
     }
 }
@@ -1082,6 +1091,13 @@ fn churn_waves(scale: f64) -> ExperimentReport {
         "Ours (alloc-per-event resize)".into(),
         fmt(reference_mops),
     ]);
+    // The allocate-per-table reference: the same engine with the table pool
+    // disabled, i.e. the pre-PR-6 cost shape (every TRANSFORMATION event pays
+    // the allocator for its fresh tables).
+    let mut pool_off =
+        CuckooGraph::with_config(CuckooGraphConfig::default().with_table_pool(false));
+    let pool_off_mops = run_churn_waves(&mut pool_off, &edges, CHURN_WAVES);
+    rows.push(vec!["Ours (pool-off)".into(), fmt(pool_off_mops)]);
     ExperimentReport {
         id: "churn".into(),
         tables: vec![ReportTable {
@@ -1098,7 +1114,102 @@ fn churn_waves(scale: f64) -> ExperimentReport {
              again, so every hot node's S-CHT chain expands through its thresholds and \
              contracts back to inline slots. The last row re-runs Ours with the persistent \
              rebuild scratch disabled (fresh buffers per resize event) — the pre-change \
-             reference the perf_smoke resize guard asserts against."
+             reference the perf_smoke resize guard asserts against. The pool-off row \
+             disables the PR-6 table pool instead (fresh table buffers per TRANSFORMATION \
+             event) — the reference the perf_smoke pool guard asserts against."
+                .into(),
+        ],
+    }
+}
+
+/// Workload multipliers the frontier sweep applies on top of the harness
+/// scale, so one invocation shows how the pooled-vs-oracle gap moves as the
+/// structure grows (`REPRO_SCALE` shifts the whole sweep up to the
+/// multi-million-edge regime).
+pub const FRONTIER_MULTIPLIERS: [f64; 3] = [1.0, 2.0, 4.0];
+
+/// The memory-vs-speed frontier: at each workload size, the pooled/arena
+/// engine and the pool-off oracle run the same churn waves, then reload and
+/// report their memory footprint before and after arena compaction.
+fn frontier(scale: f64) -> ExperimentReport {
+    let mut rows = Vec::new();
+    let mut sizes = Vec::new();
+    for mult in FRONTIER_MULTIPLIERS {
+        // The dense profile: every hot node's chain climbs through several
+        // TRANSFORMATION rounds per wave, so table recycling dominates.
+        let mut edges = distinct_edges(DatasetKind::DenseGraph, scale * mult);
+        edges.sort_unstable();
+        sizes.push(edges.len());
+        for (label, pool) in [("Ours (pooled)", true), ("Ours (pool-off)", false)] {
+            let config = CuckooGraphConfig::default().with_table_pool(pool);
+            let mut graph = CuckooGraph::with_config(config);
+            let churn = run_churn_waves(&mut graph, &edges, CHURN_WAVES);
+            assert_eq!(graph.edge_count(), 0, "{label}: churn left edges behind");
+            // Reload so the memory columns describe a populated structure
+            // whose arena carries the churn history's fragmentation.
+            let reload = run_batched_inserts(&mut graph, &edges);
+            assert_eq!(
+                graph.edge_count(),
+                edges.len(),
+                "{label}: reload dropped edges"
+            );
+            let stats = graph.stats();
+            let loaded_bytes = graph.memory_bytes();
+            let freed = graph.compact_arena();
+            let compacted_bytes = graph.memory_bytes();
+            assert!(
+                compacted_bytes <= loaded_bytes,
+                "{label}: arena compaction grew the footprint"
+            );
+            if pool {
+                assert!(stats.pool_hits > 0, "pooled run never hit the pool");
+            } else {
+                assert_eq!(stats.pool_hits, 0, "oracle run must not recycle");
+                assert_eq!(stats.pool_retained_bytes, 0, "oracle run retained buffers");
+            }
+            rows.push(vec![
+                edges.len().to_string(),
+                label.to_string(),
+                fmt(churn),
+                fmt(reload),
+                loaded_bytes.to_string(),
+                compacted_bytes.to_string(),
+                freed.to_string(),
+                stats.pool_hits.to_string(),
+                stats.pool_retained_bytes.to_string(),
+            ]);
+        }
+    }
+    ExperimentReport {
+        id: "frontier".into(),
+        tables: vec![ReportTable {
+            title: format!(
+                "Memory-vs-speed frontier — {} churn waves per point, dense profile \
+                 ({:?} edges at scale {scale})",
+                CHURN_WAVES, sizes
+            ),
+            headers: vec![
+                "Edges".into(),
+                "Variant".into(),
+                "Churn (Mops)".into(),
+                "Reload (Mops)".into(),
+                "Mem (B)".into(),
+                "Mem compacted (B)".into(),
+                "Blocks freed".into(),
+                "Pool hits".into(),
+                "Pool retained (B)".into(),
+            ],
+            rows,
+        }],
+        notes: vec![
+            "Each point churns the whole edge set through bulk insert+delete waves, \
+             reloads it, and compacts the slot arena. The pooled engine should match or \
+             beat the pool-off oracle on churn throughput while its footprint (which \
+             honestly counts retained pool buffers and arena slack) stays within a \
+             constant factor — the memory-vs-speed trade the table pool is buying."
+                .into(),
+            "Scale the sweep with REPRO_SCALE to reach the multi-million-edge regime \
+             (e.g. REPRO_SCALE=0.1 on the dense profile)."
                 .into(),
         ],
     }
@@ -1379,15 +1490,40 @@ mod tests {
     }
 
     #[test]
-    fn churn_report_covers_every_scheme_plus_reference_row() {
+    fn churn_report_covers_every_scheme_plus_reference_rows() {
         let report = churn_waves(TEST_SCALE);
         let rows = &report.tables[0].rows;
-        assert_eq!(rows.len(), SchemeKind::paper_lineup().len() + 1);
+        assert_eq!(rows.len(), SchemeKind::paper_lineup().len() + 2);
         for row in rows {
             let v: f64 = row[1].parse().unwrap();
             assert!(v > 0.0, "non-positive churn throughput: {row:?}");
         }
-        assert!(rows.last().unwrap()[0].contains("alloc-per-event"));
+        assert!(rows[rows.len() - 2][0].contains("alloc-per-event"));
+        assert!(rows.last().unwrap()[0].contains("pool-off"));
+    }
+
+    #[test]
+    fn frontier_report_pairs_pooled_and_oracle_per_size() {
+        let report = frontier(TEST_SCALE);
+        let rows = &report.tables[0].rows;
+        assert_eq!(rows.len(), 2 * FRONTIER_MULTIPLIERS.len());
+        for pair in rows.chunks(2) {
+            assert_eq!(pair[0][1], "Ours (pooled)");
+            assert_eq!(pair[1][1], "Ours (pool-off)");
+            // Same workload size per pair.
+            assert_eq!(pair[0][0], pair[1][0]);
+            for row in pair {
+                let churn: f64 = row[2].parse().unwrap();
+                let mem: usize = row[4].parse().unwrap();
+                let compacted: usize = row[5].parse().unwrap();
+                assert!(churn > 0.0, "non-positive frontier churn: {row:?}");
+                assert!(compacted <= mem, "compaction grew memory: {row:?}");
+            }
+            let pooled_hits: u64 = pair[0][7].parse().unwrap();
+            let oracle_hits: u64 = pair[1][7].parse().unwrap();
+            assert!(pooled_hits > 0, "pooled run never hit the pool");
+            assert_eq!(oracle_hits, 0, "oracle run recycled tables");
+        }
     }
 
     #[test]

@@ -15,7 +15,9 @@ pub mod experiments;
 pub mod schemes;
 pub mod workload;
 
-pub use experiments::{Experiment, ExperimentReport, ReportTable, SHARD_SWEEP};
+pub use experiments::{
+    Experiment, ExperimentReport, ReportTable, FRONTIER_MULTIPLIERS, SHARD_SWEEP,
+};
 pub use schemes::SchemeKind;
 pub use workload::{
     run_batched_inserts, run_churn_waves, run_deletes, run_inserts, run_queries,

@@ -1,0 +1,287 @@
+//! Slab arena for the cells' inline neighbour storage.
+//!
+//! Before PR 6 every L-CHT cell below the TRANSFORMATION threshold owned a
+//! private `Vec<P>` for its up-to-`small_slots` neighbours: one heap
+//! allocation per node, a 24-byte `Vec` header per cell, and — on the
+//! successor-scan hot path — one pointer chase per visited cell into wherever
+//! the allocator happened to place that node's slots.
+//!
+//! A [`SlotArena`] replaces all of those with one engine-level slab: a single
+//! `Vec<P>` carved into fixed-size **blocks** of `small_slots` payloads each.
+//! A cell stores a `u32` block index (plus an inline length byte) instead of a
+//! `Vec`, so
+//!
+//! * the per-cell overhead drops from a 24-byte header + allocator bookkeeping
+//!   to 5 bytes inline,
+//! * neighbour slots of different nodes are densely packed in one allocation,
+//!   giving sequential scans locality the general-purpose allocator never
+//!   guarantees, and
+//! * freeing a cell's storage is pushing an index on a free list — no
+//!   allocator round-trip on the insert/delete churn path.
+//!
+//! Vacant arena slots (freed blocks, and the tail of a partially filled
+//! block) hold [`Payload::filler`], mirroring the `Option`-free cuckoo table
+//! layout: the cell's length byte is the only discriminant, fillers own no
+//! heap, and slots are written before they are read.
+//!
+//! Deletion-heavy histories can leave the slab fragmented (long free list,
+//! high-water `data` length). [`SlotArena::compact`] rebuilds density in one
+//! pass: live blocks slide down over freed ones and the caller patches each
+//! cell's block index through the returned remap table (the engine's
+//! `compact_arena`, which walks every cell via `for_each_cell_mut`).
+
+use crate::payload::Payload;
+
+/// Block index marking "no block" — the block field of an empty cell.
+pub const NO_BLOCK: u32 = u32::MAX;
+
+/// A fixed-block slab allocator for neighbour payload storage.
+#[derive(Debug, Clone)]
+pub struct SlotArena<P> {
+    /// Slab storage: `block_size` consecutive payloads per block.
+    data: Vec<P>,
+    /// Slots per block (= the engine's `small_slots`).
+    block_size: usize,
+    /// Indices of freed blocks, reused LIFO before the slab grows.
+    free: Vec<u32>,
+}
+
+impl<P: Payload> SlotArena<P> {
+    /// An empty arena handing out blocks of `block_size` slots.
+    pub fn new(block_size: usize) -> Self {
+        Self {
+            data: Vec::new(),
+            block_size: block_size.max(1),
+            free: Vec::new(),
+        }
+    }
+
+    /// Slots per block.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Number of blocks currently carved out of the slab (live + freed).
+    pub fn block_count(&self) -> usize {
+        self.data.len() / self.block_size
+    }
+
+    /// Number of blocks sitting on the free list.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Hands out a block of `block_size` filler-initialised slots, reusing a
+    /// freed block when one exists (freed blocks are already re-fillered) and
+    /// growing the slab otherwise.
+    pub fn alloc_block(&mut self) -> u32 {
+        if let Some(block) = self.free.pop() {
+            debug_assert!(
+                self.slots(block).iter().all(|s| s.heap_bytes() == 0),
+                "freed block owns heap"
+            );
+            return block;
+        }
+        let block = self.block_count();
+        assert!(block < NO_BLOCK as usize, "slot arena block index overflow");
+        if self.data.len() + self.block_size > self.data.capacity() {
+            // Grow in bounded exact chunks instead of `Vec`'s doubling: the
+            // slab's capacity is charged to `memory_bytes`, and a freshly
+            // doubled slab would report up to 2× its live size. Chunks of
+            // len/8 (at least 16 blocks) keep the worst-case slack at 12.5%
+            // while still amortising the grow-copy over many allocations.
+            let chunk = (self.data.len() / 8).max(16 * self.block_size);
+            self.data.reserve_exact(chunk);
+        }
+        self.data
+            .resize(self.data.len() + self.block_size, P::filler());
+        block as u32
+    }
+
+    /// Returns a block to the free list, overwriting its slots with fillers
+    /// so any payload heap data (e.g. multi-edge lists) is released now and
+    /// the block is handed out clean next time.
+    pub fn free_block(&mut self, block: u32) {
+        for slot in self.slots_mut(block) {
+            *slot = P::filler();
+        }
+        debug_assert!(!self.free.contains(&block), "double free of arena block");
+        self.free.push(block);
+    }
+
+    /// The slots of `block`.
+    #[inline]
+    pub fn slots(&self, block: u32) -> &[P] {
+        let start = block as usize * self.block_size;
+        &self.data[start..start + self.block_size]
+    }
+
+    /// Mutable view of the slots of `block`.
+    #[inline]
+    pub fn slots_mut(&mut self, block: u32) -> &mut [P] {
+        let start = block as usize * self.block_size;
+        &mut self.data[start..start + self.block_size]
+    }
+
+    /// Compacts the slab: live blocks slide down over freed ones, the slab
+    /// truncates to exactly the live block count, and the free list empties.
+    /// Returns the remap table `old block index → new block index`
+    /// ([`NO_BLOCK`] for blocks that were on the free list); the caller must
+    /// rewrite every cell's block field through it before touching the arena
+    /// again.
+    pub fn compact(&mut self) -> Vec<u32> {
+        let blocks = self.block_count();
+        let mut remap = vec![0u32; blocks];
+        for &f in &self.free {
+            remap[f as usize] = NO_BLOCK;
+        }
+        let mut next = 0u32;
+        #[allow(clippy::needless_range_loop)] // `old` also indexes the slab below
+        for old in 0..blocks {
+            if remap[old] == NO_BLOCK {
+                continue;
+            }
+            remap[old] = next;
+            if old as u32 != next {
+                let from = old * self.block_size;
+                let to = next as usize * self.block_size;
+                for i in 0..self.block_size {
+                    self.data[to + i] = std::mem::replace(&mut self.data[from + i], P::filler());
+                }
+            }
+            next += 1;
+        }
+        self.data.truncate(next as usize * self.block_size);
+        self.data.shrink_to_fit();
+        self.free = Vec::new();
+        remap
+    }
+
+    /// Bytes occupied by the slab plus heap data owned by stored payloads.
+    /// Fillers own no heap by contract, so summing over the whole slab counts
+    /// live payloads exactly while still reporting the slab's real footprint
+    /// (including freed blocks until the next [`SlotArena::compact`]).
+    pub fn memory_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<P>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+            + self.data.iter().map(Payload::heap_bytes).sum::<usize>()
+    }
+
+    /// Internal consistency check for the property tests: free-listed blocks
+    /// must be fully fillered and in range.
+    #[doc(hidden)]
+    pub fn assert_free_blocks_clean(&self) {
+        for &f in &self.free {
+            assert!((f as usize) < self.block_count(), "free index out of range");
+            for slot in self.slots(f) {
+                assert_eq!(slot.heap_bytes(), 0, "freed block owns heap");
+            }
+        }
+    }
+}
+
+/// Compile-time proof the arena can cross the sharded fan-out's thread
+/// boundaries inside an engine.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SlotArena<graph_api::NodeId>>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_api::NodeId;
+
+    #[test]
+    fn alloc_write_free_reuse_roundtrip() {
+        let mut a: SlotArena<NodeId> = SlotArena::new(4);
+        let b0 = a.alloc_block();
+        let b1 = a.alloc_block();
+        assert_ne!(b0, b1);
+        assert_eq!(a.block_count(), 2);
+        a.slots_mut(b0).copy_from_slice(&[1, 2, 3, 4]);
+        a.slots_mut(b1)[0] = 9;
+        assert_eq!(a.slots(b0), &[1, 2, 3, 4]);
+
+        a.free_block(b0);
+        assert_eq!(a.free_count(), 1);
+        let b2 = a.alloc_block();
+        assert_eq!(b2, b0, "free list is reused before the slab grows");
+        assert_eq!(a.slots(b2), &[0, 0, 0, 0], "reused block arrives clean");
+        assert_eq!(a.slots(b1)[0], 9, "unrelated block untouched");
+        a.assert_free_blocks_clean();
+    }
+
+    #[test]
+    fn compact_slides_live_blocks_down() {
+        let mut a: SlotArena<NodeId> = SlotArena::new(2);
+        let blocks: Vec<u32> = (0..5).map(|_| a.alloc_block()).collect();
+        for (i, &b) in blocks.iter().enumerate() {
+            a.slots_mut(b)
+                .copy_from_slice(&[i as u64 * 10, i as u64 * 10 + 1]);
+        }
+        a.free_block(blocks[1]);
+        a.free_block(blocks[3]);
+
+        let remap = a.compact();
+        assert_eq!(remap.len(), 5);
+        assert_eq!(remap[1], NO_BLOCK);
+        assert_eq!(remap[3], NO_BLOCK);
+        assert_eq!(a.block_count(), 3);
+        assert_eq!(a.free_count(), 0);
+        for (i, &b) in blocks.iter().enumerate() {
+            if i == 1 || i == 3 {
+                continue;
+            }
+            let new = remap[b as usize];
+            assert_eq!(a.slots(new), &[i as u64 * 10, i as u64 * 10 + 1]);
+        }
+        // Relative order of survivors is preserved and indices are dense.
+        assert_eq!(remap[0], 0);
+        assert_eq!(remap[2], 1);
+        assert_eq!(remap[4], 2);
+    }
+
+    #[test]
+    fn compact_of_empty_and_all_free_arenas() {
+        let mut a: SlotArena<NodeId> = SlotArena::new(3);
+        assert!(a.compact().is_empty());
+        let b = a.alloc_block();
+        a.free_block(b);
+        let remap = a.compact();
+        assert_eq!(remap, vec![NO_BLOCK]);
+        assert_eq!(a.block_count(), 0);
+        assert_eq!(a.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn memory_bytes_shrinks_after_compaction() {
+        let mut a: SlotArena<NodeId> = SlotArena::new(8);
+        let blocks: Vec<u32> = (0..16).map(|_| a.alloc_block()).collect();
+        let full = a.memory_bytes();
+        for &b in &blocks[..12] {
+            a.free_block(b);
+        }
+        assert!(a.memory_bytes() >= full, "freeing alone releases nothing");
+        a.compact();
+        assert!(a.memory_bytes() < full, "compaction must shrink the slab");
+        assert_eq!(a.block_count(), 4);
+    }
+
+    #[test]
+    fn free_block_releases_payload_heap() {
+        use crate::payload::MultiSlot;
+        let mut a: SlotArena<MultiSlot> = SlotArena::new(2);
+        let b = a.alloc_block();
+        a.slots_mut(b)[0] = MultiSlot {
+            v: 1,
+            edges: vec![10, 11, 12],
+        };
+        assert!(a.memory_bytes() > 2 * std::mem::size_of::<MultiSlot>());
+        a.free_block(b);
+        a.assert_free_blocks_clean();
+        let base = a.data.capacity() * std::mem::size_of::<MultiSlot>()
+            + a.free.capacity() * std::mem::size_of::<u32>();
+        assert_eq!(a.memory_bytes(), base, "freed heap still counted");
+    }
+}

@@ -6,7 +6,17 @@
 //! the payloads move into an S-CHT chain ([`TableChain`]) owned by the cell,
 //! which then grows and shrinks per the TRANSFORMATION rule. A chain that
 //! shrinks back to the inline capacity collapses into small slots again.
+//!
+//! Since PR 6 the small slots are not a per-cell `Vec` but a fixed-size block
+//! inside the engine's [`SlotArena`]: the cell stores a `u32` block index and
+//! a length byte, and every small-slot operation takes the arena as a
+//! parameter. This removes one heap allocation + `Vec` header per low-degree
+//! node and packs neighbour slots densely for the successor-scan hot path
+//! (see [`crate::arena`]). The TRANSFORMATION paths likewise thread the
+//! scratch's [`TablePool`]: a collapse dismantles the chain (retiring its
+//! table buffers) and a transformation births its chain out of the pool.
 
+use crate::arena::{SlotArena, NO_BLOCK};
 use crate::chain::{ChainInsert, ChainParams, TableChain};
 use crate::hash::{splitmix64, KeyHash};
 use crate::payload::Payload;
@@ -19,6 +29,7 @@ use graph_api::NodeId;
 #[derive(Debug, Clone, Copy)]
 pub struct CellCtx {
     /// Inline capacity of Part 2 before it transforms (`2R` basic, `R` weighted).
+    /// Also the block size of the engine's slot arena.
     pub small_slots: usize,
     /// Parameters of the S-CHT chain the cell transforms into.
     pub chain: ChainParams,
@@ -58,7 +69,7 @@ pub struct NeighborRemove<P> {
 /// until the next mutation of the cell.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum CellSlot {
-    /// Index into the inline small slots.
+    /// Index into the inline small slots (within the cell's arena block).
     Small(usize),
     /// Chain coordinates (table, (array, flat slot)).
     Chain((usize, (usize, usize))),
@@ -67,8 +78,16 @@ pub(crate) enum CellSlot {
 /// Part 2 of a cell: inline small slots or an S-CHT chain.
 #[derive(Debug, Clone)]
 enum Part2<P> {
-    /// Inline neighbour storage (degree ≤ `2R`).
-    Small(Vec<P>),
+    /// Inline neighbour storage (degree ≤ `2R`): a block in the engine's
+    /// [`SlotArena`] ([`NO_BLOCK`] until the first neighbour arrives) plus the
+    /// live length. 5 bytes where a `Vec<P>` header was 24.
+    Small {
+        /// Arena block holding the slots, or [`NO_BLOCK`].
+        block: u32,
+        /// Number of live slots at the front of the block; the tail holds
+        /// [`Payload::filler`].
+        len: u8,
+    },
     /// Degree outgrew the inline slots: neighbours live in an S-CHT chain.
     Chain(Box<TableChain<P>>),
 }
@@ -81,11 +100,15 @@ pub struct Cell<P> {
 }
 
 impl<P: Payload> Cell<P> {
-    /// Creates an empty cell for node `u`.
+    /// Creates an empty cell for node `u`. No arena block is reserved until
+    /// the first neighbour arrives.
     pub fn new(u: NodeId) -> Self {
         Self {
             u,
-            part2: Part2::Small(Vec::new()),
+            part2: Part2::Small {
+                block: NO_BLOCK,
+                len: 0,
+            },
         }
     }
 
@@ -95,11 +118,23 @@ impl<P: Payload> Cell<P> {
         self.u
     }
 
+    /// The live small slots of an inline cell — empty for a block-less cell,
+    /// so the arena is only consulted when a block exists.
+    #[inline]
+    fn live_slots(block: u32, len: u8, arena: &SlotArena<P>) -> &[P] {
+        if len == 0 {
+            &[]
+        } else {
+            &arena.slots(block)[..len as usize]
+        }
+    }
+
     /// Current degree (neighbours stored in this cell; S-DL entries for `u`
-    /// are tracked by the engine).
+    /// are tracked by the engine). Read from the inline length byte — no
+    /// arena access.
     pub fn degree(&self) -> usize {
         match &self.part2 {
-            Part2::Small(slots) => slots.len(),
+            Part2::Small { len, .. } => *len as usize,
             Part2::Chain(chain) => chain.count(),
         }
     }
@@ -112,7 +147,7 @@ impl<P: Payload> Cell<P> {
     /// Number of S-CHT tables hanging off this cell (0 while inline).
     pub fn scht_tables(&self) -> usize {
         match &self.part2 {
-            Part2::Small(_) => 0,
+            Part2::Small { .. } => 0,
             Part2::Chain(chain) => chain.table_count(),
         }
     }
@@ -120,55 +155,73 @@ impl<P: Payload> Cell<P> {
     /// Total S-CHT slot capacity of this cell (0 while inline).
     pub fn scht_slots(&self) -> usize {
         match &self.part2 {
-            Part2::Small(_) => 0,
+            Part2::Small { .. } => 0,
             Part2::Chain(chain) => chain.capacity(),
         }
     }
 
     /// Looks up the payload stored for neighbour `kh.key()`.
-    pub fn get(&self, kh: KeyHash) -> Option<&P> {
+    pub fn get<'a>(&'a self, kh: KeyHash, arena: &'a SlotArena<P>) -> Option<&'a P> {
         match &self.part2 {
-            Part2::Small(slots) => {
+            Part2::Small { block, len } => {
                 let v = kh.key();
-                slots.iter().find(|p| p.key() == v)
+                Self::live_slots(*block, *len, arena)
+                    .iter()
+                    .find(|p| p.key() == v)
             }
             Part2::Chain(chain) => chain.get(kh),
         }
     }
 
     /// Mutable lookup of the payload stored for neighbour `kh.key()`.
-    pub fn get_mut(&mut self, kh: KeyHash) -> Option<&mut P> {
+    pub fn get_mut<'a>(
+        &'a mut self,
+        kh: KeyHash,
+        arena: &'a mut SlotArena<P>,
+    ) -> Option<&'a mut P> {
         match &mut self.part2 {
-            Part2::Small(slots) => {
+            Part2::Small { block, len } => {
+                if *len == 0 {
+                    return None;
+                }
                 let v = kh.key();
-                slots.iter_mut().find(|p| p.key() == v)
+                arena.slots_mut(*block)[..*len as usize]
+                    .iter_mut()
+                    .find(|p| p.key() == v)
             }
             Part2::Chain(chain) => chain.get_mut(kh),
         }
     }
 
     /// True if neighbour `kh.key()` is stored in this cell.
-    pub fn contains(&self, kh: KeyHash) -> bool {
-        self.find_slot(kh).is_some()
+    pub fn contains(&self, kh: KeyHash, arena: &SlotArena<P>) -> bool {
+        self.find_slot(kh, arena).is_some()
     }
 
     /// Locates neighbour `kh.key()` in Part 2, returning opaque coordinates
     /// for [`Cell::payload_at_mut`] — one probe resolves "update or insert"
     /// flows that previously probed twice.
-    pub(crate) fn find_slot(&self, kh: KeyHash) -> Option<CellSlot> {
+    pub(crate) fn find_slot(&self, kh: KeyHash, arena: &SlotArena<P>) -> Option<CellSlot> {
         match &self.part2 {
-            Part2::Small(slots) => {
+            Part2::Small { block, len } => {
                 let v = kh.key();
-                slots.iter().position(|p| p.key() == v).map(CellSlot::Small)
+                Self::live_slots(*block, *len, arena)
+                    .iter()
+                    .position(|p| p.key() == v)
+                    .map(CellSlot::Small)
             }
             Part2::Chain(chain) => chain.find_index(kh).map(CellSlot::Chain),
         }
     }
 
     /// Direct access to a payload located by [`Cell::find_slot`].
-    pub(crate) fn payload_at_mut(&mut self, slot: CellSlot) -> &mut P {
+    pub(crate) fn payload_at_mut<'a>(
+        &'a mut self,
+        slot: CellSlot,
+        arena: &'a mut SlotArena<P>,
+    ) -> &'a mut P {
         match (&mut self.part2, slot) {
-            (Part2::Small(slots), CellSlot::Small(i)) => &mut slots[i],
+            (Part2::Small { block, .. }, CellSlot::Small(i)) => &mut arena.slots_mut(*block)[i],
             (Part2::Chain(chain), CellSlot::Chain(pos)) => chain.item_at_mut(pos),
             _ => unreachable!("cell slot coordinates from a different Part 2 shape"),
         }
@@ -178,19 +231,50 @@ impl<P: Payload> Cell<P> {
     /// hashing at all**, matching the pre-PR-4 cost of the (very common)
     /// low-degree case — while a transformed cell pays the one memoized Bob
     /// pass. Callers that already hold a [`KeyHash`] use [`Cell::get`].
-    pub fn get_lazy(&self, v: NodeId) -> Option<&P> {
+    pub fn get_lazy<'a>(&'a self, v: NodeId, arena: &'a SlotArena<P>) -> Option<&'a P> {
         match &self.part2 {
-            Part2::Small(slots) => slots.iter().find(|p| p.key() == v),
+            Part2::Small { block, len } => Self::live_slots(*block, *len, arena)
+                .iter()
+                .find(|p| p.key() == v),
             Part2::Chain(chain) => chain.get(KeyHash::new(v)),
         }
     }
 
     /// Mutable counterpart of [`Cell::get_lazy`].
-    pub fn get_mut_lazy(&mut self, v: NodeId) -> Option<&mut P> {
+    pub fn get_mut_lazy<'a>(
+        &'a mut self,
+        v: NodeId,
+        arena: &'a mut SlotArena<P>,
+    ) -> Option<&'a mut P> {
         match &mut self.part2 {
-            Part2::Small(slots) => slots.iter_mut().find(|p| p.key() == v),
+            Part2::Small { block, len } => {
+                if *len == 0 {
+                    return None;
+                }
+                arena.slots_mut(*block)[..*len as usize]
+                    .iter_mut()
+                    .find(|p| p.key() == v)
+            }
             Part2::Chain(chain) => chain.get_mut(KeyHash::new(v)),
         }
+    }
+
+    /// Removes neighbour `v` from the inline small slots: the victim is
+    /// swapped out for a [`Payload::filler`] which then swaps to the end of
+    /// the live prefix, keeping the block dense. The (now possibly empty)
+    /// block is kept for the next insert.
+    fn remove_small(block: u32, len: &mut u8, v: NodeId, arena: &mut SlotArena<P>) -> Option<P> {
+        let i = Self::live_slots(block, *len, arena)
+            .iter()
+            .position(|p| p.key() == v)?;
+        let slots = arena.slots_mut(block);
+        let removed = std::mem::replace(&mut slots[i], P::filler());
+        let last = *len as usize - 1;
+        if i != last {
+            slots.swap(i, last);
+        }
+        *len -= 1;
+        Some(removed)
     }
 
     /// Lazy counterpart of [`Cell::remove`]: hash-free on inline cells, one
@@ -199,37 +283,37 @@ impl<P: Payload> Cell<P> {
         &mut self,
         v: NodeId,
         ctx: &CellCtx,
+        arena: &mut SlotArena<P>,
         rng: &mut KickRng,
         placements: &mut u64,
         scratch: &mut RebuildScratch<P>,
     ) -> NeighborRemove<P> {
-        if let Part2::Small(slots) = &mut self.part2 {
-            let removed = slots
-                .iter()
-                .position(|p| p.key() == v)
-                .map(|idx| slots.swap_remove(idx));
+        if let Part2::Small { block, len } = &mut self.part2 {
+            let removed = Self::remove_small(*block, len, v, arena);
             return NeighborRemove {
                 removed,
                 displaced: Vec::new(),
                 contracted: false,
             };
         }
-        self.remove(KeyHash::new(v), ctx, rng, placements, scratch)
+        self.remove(KeyHash::new(v), ctx, arena, rng, placements, scratch)
     }
 
     /// Pre-change reference probe of Part 2 (per-table re-hash, full payload
     /// compares, no tags) — the oracle/baseline counterpart of
     /// [`Cell::contains`].
-    pub fn contains_unmemoized(&self, v: NodeId) -> bool {
+    pub fn contains_unmemoized(&self, v: NodeId, arena: &SlotArena<P>) -> bool {
         match &self.part2 {
-            Part2::Small(slots) => slots.iter().any(|p| p.key() == v),
+            Part2::Small { block, len } => Self::live_slots(*block, *len, arena)
+                .iter()
+                .any(|p| p.key() == v),
             Part2::Chain(chain) => chain.contains_unmemoized(v),
         }
     }
 
     /// Prefetches the candidate tag lines a probe for `kh` would read. Inline
-    /// small slots need no prefetch (the cell itself is already resident when
-    /// the caller holds it).
+    /// small slots need no prefetch (their block is one contiguous line the
+    /// probe reads immediately).
     #[inline]
     pub fn prefetch(&self, kh: KeyHash) {
         if let Part2::Chain(chain) = &self.part2 {
@@ -238,12 +322,12 @@ impl<P: Payload> Cell<P> {
     }
 
     /// Calls `f` for every neighbour payload in this cell. Chained cells walk
-    /// their tables' tag words (SWAR occupancy scan); inline cells iterate the
-    /// small slots directly.
-    pub fn for_each(&self, mut f: impl FnMut(&P)) {
+    /// their tables' tag words (SWAR occupancy scan); inline cells scan their
+    /// dense arena block directly.
+    pub fn for_each(&self, arena: &SlotArena<P>, mut f: impl FnMut(&P)) {
         match &self.part2 {
-            Part2::Small(slots) => {
-                for p in slots {
+            Part2::Small { block, len } => {
+                for p in Self::live_slots(*block, *len, arena) {
                     f(p);
                 }
             }
@@ -254,10 +338,10 @@ impl<P: Payload> Cell<P> {
     /// Pre-SWAR iteration over the neighbour payloads — the scalar oracle and
     /// scan-guard baseline counterpart of [`Cell::for_each`]. Identical on
     /// inline cells (they have no tag arrays to scan).
-    pub fn for_each_scalar(&self, mut f: impl FnMut(&P)) {
+    pub fn for_each_scalar(&self, arena: &SlotArena<P>, mut f: impl FnMut(&P)) {
         match &self.part2 {
-            Part2::Small(slots) => {
-                for p in slots {
+            Part2::Small { block, len } => {
+                for p in Self::live_slots(*block, *len, arena) {
                     f(p);
                 }
             }
@@ -266,9 +350,9 @@ impl<P: Payload> Cell<P> {
     }
 
     /// The neighbour ids stored in this cell.
-    pub fn neighbors(&self) -> Vec<NodeId> {
+    pub fn neighbors(&self, arena: &SlotArena<P>) -> Vec<NodeId> {
         let mut out = Vec::with_capacity(self.degree());
-        self.for_each(|p| out.push(p.key()));
+        self.for_each(arena, |p| out.push(p.key()));
         out
     }
 
@@ -276,15 +360,44 @@ impl<P: Payload> Cell<P> {
         splitmix64(ctx.seed ^ u.wrapping_mul(0x9e37_79b9_7f4a_7c15))
     }
 
+    /// TRANSFORMATION: the inline slots merge into pointer slots — every
+    /// stored payload moves out of the arena block (which is freed) into a
+    /// freshly enabled 1st S-CHT born from the scratch's table pool.
+    /// Already-stored neighbours must never be lost, so they are placed with
+    /// the forced path (which expands the chain as needed).
+    #[allow(clippy::too_many_arguments)] // disjoint borrows of the engine's fields
+    fn transform(
+        block: u32,
+        len: u8,
+        u: NodeId,
+        ctx: &CellCtx,
+        arena: &mut SlotArena<P>,
+        rng: &mut KickRng,
+        placements: &mut u64,
+        scratch: &mut RebuildScratch<P>,
+    ) -> TableChain<P> {
+        let mut chain = TableChain::new_in(ctx.chain, Self::chain_seed(ctx, u), &mut scratch.pool);
+        if block != NO_BLOCK {
+            for slot in arena.slots_mut(block)[..len as usize].iter_mut() {
+                let existing = std::mem::replace(slot, P::filler());
+                chain.insert_forced(existing, rng, placements, scratch);
+            }
+            arena.free_block(block);
+        }
+        chain
+    }
+
     /// Inserts a neighbour payload (memoized hash `kh`) whose key is **not**
     /// already present (callers use [`Cell::get_mut`] for updates). Handles
     /// the small-slot → chain TRANSFORMATION and chain growth; any resize the
     /// insertion triggers rebuilds through the caller's `scratch`.
+    #[allow(clippy::too_many_arguments)] // disjoint borrows of the engine's fields
     pub fn insert(
         &mut self,
         payload: P,
         kh: KeyHash,
         ctx: &CellCtx,
+        arena: &mut SlotArena<P>,
         rng: &mut KickRng,
         placements: &mut u64,
         scratch: &mut RebuildScratch<P>,
@@ -294,23 +407,20 @@ impl<P: Payload> Cell<P> {
             kh.key(),
             "payload inserted under foreign hash"
         );
-        debug_assert!(!self.contains(kh), "insert of duplicate neighbour");
+        debug_assert!(!self.contains(kh, arena), "insert of duplicate neighbour");
+        debug_assert_eq!(arena.block_size(), ctx.small_slots, "arena/ctx mismatch");
         match &mut self.part2 {
-            Part2::Small(slots) => {
-                if slots.len() < ctx.small_slots {
-                    slots.push(payload);
+            Part2::Small { block, len } => {
+                if (*len as usize) < ctx.small_slots {
+                    if *block == NO_BLOCK {
+                        *block = arena.alloc_block();
+                    }
+                    arena.slots_mut(*block)[*len as usize] = payload;
+                    *len += 1;
                     return NeighborInsert::Stored { expanded: false };
                 }
-                // TRANSFORMATION: 2R small slots merge into pointer slots and
-                // every stored v moves into the freshly enabled 1st S-CHT.
-                // Already-stored neighbours must never be lost, so they are
-                // placed with the forced path (which expands the chain as
-                // needed); only the *new* payload may be reported as failed,
-                // so the caller's denylist accounting stays simple.
-                let mut chain = TableChain::new(ctx.chain, Self::chain_seed(ctx, self.u));
-                for existing in slots.drain(..) {
-                    chain.insert_forced(existing, rng, placements, scratch);
-                }
+                let mut chain =
+                    Self::transform(*block, *len, self.u, ctx, arena, rng, placements, scratch);
                 let result = match chain.insert(payload, kh, rng, placements, scratch) {
                     ChainInsert::Stored => NeighborInsert::Stored { expanded: true },
                     ChainInsert::Failed(p) => NeighborInsert::Failed(p),
@@ -337,16 +447,15 @@ impl<P: Payload> Cell<P> {
     pub fn force_expand(
         &mut self,
         ctx: &CellCtx,
+        arena: &mut SlotArena<P>,
         rng: &mut KickRng,
         placements: &mut u64,
         scratch: &mut RebuildScratch<P>,
     ) -> Vec<P> {
         match &mut self.part2 {
-            Part2::Small(slots) => {
-                let mut chain = TableChain::new(ctx.chain, Self::chain_seed(ctx, self.u));
-                for existing in slots.drain(..) {
-                    chain.insert_forced(existing, rng, placements, scratch);
-                }
+            Part2::Small { block, len } => {
+                let chain =
+                    Self::transform(*block, *len, self.u, ctx, arena, rng, placements, scratch);
                 self.part2 = Part2::Chain(Box::new(chain));
                 Vec::new()
             }
@@ -362,6 +471,7 @@ impl<P: Payload> Cell<P> {
         &mut self,
         items: &mut Vec<P>,
         ctx: &CellCtx,
+        arena: &mut SlotArena<P>,
         rng: &mut KickRng,
         placements: &mut u64,
         scratch: &mut RebuildScratch<P>,
@@ -369,12 +479,12 @@ impl<P: Payload> Cell<P> {
         let mut rejected = Vec::new();
         while let Some(item) = items.pop() {
             let kh = item.key_hash();
-            if self.contains(kh) {
+            if self.contains(kh, arena) {
                 // Should not happen (the engine checks before parking), but a
                 // duplicate must never corrupt the cuckoo invariant.
                 continue;
             }
-            match self.insert(item, kh, ctx, rng, placements, scratch) {
+            match self.insert(item, kh, ctx, arena, rng, placements, scratch) {
                 NeighborInsert::Stored { .. } => {}
                 NeighborInsert::Failed(p) => rejected.push(p),
             }
@@ -389,17 +499,14 @@ impl<P: Payload> Cell<P> {
         &mut self,
         kh: KeyHash,
         ctx: &CellCtx,
+        arena: &mut SlotArena<P>,
         rng: &mut KickRng,
         placements: &mut u64,
         scratch: &mut RebuildScratch<P>,
     ) -> NeighborRemove<P> {
         match &mut self.part2 {
-            Part2::Small(slots) => {
-                let v = kh.key();
-                let removed = slots
-                    .iter()
-                    .position(|p| p.key() == v)
-                    .map(|idx| slots.swap_remove(idx));
+            Part2::Small { block, len } => {
+                let removed = Self::remove_small(*block, len, kh.key(), arena);
                 NeighborRemove {
                     removed,
                     displaced: Vec::new(),
@@ -418,10 +525,29 @@ impl<P: Payload> Cell<P> {
                 let contracted;
                 let mut displaced = Vec::new();
                 // Collapse back to inline slots once everything fits again —
-                // the end state of the reverse transformation.
+                // the end state of the reverse transformation. The chain is
+                // dismantled (items into the scratch, table buffers into the
+                // pool) and the survivors land in a fresh arena block.
                 if chain.count() <= ctx.small_slots {
-                    let items = chain.drain_reset();
-                    self.part2 = Part2::Small(items);
+                    debug_assert!(scratch.is_empty(), "scratch busy during collapse");
+                    chain.dismantle(&mut scratch.items, &mut scratch.pool);
+                    let n = scratch.items.len();
+                    debug_assert!(n <= arena.block_size());
+                    let block = if n == 0 {
+                        NO_BLOCK
+                    } else {
+                        arena.alloc_block()
+                    };
+                    if block != NO_BLOCK {
+                        let slots = arena.slots_mut(block);
+                        for (i, item) in scratch.items.drain(..).enumerate() {
+                            slots[i] = item;
+                        }
+                    }
+                    self.part2 = Part2::Small {
+                        block,
+                        len: n as u8,
+                    };
                     contracted = true;
                 } else {
                     let before = chain.contractions();
@@ -437,13 +563,25 @@ impl<P: Payload> Cell<P> {
         }
     }
 
-    /// Heap bytes owned by Part 2 (inline slot buffer or the whole chain).
+    /// Rewrites the cell's arena block index through a compaction remap table
+    /// (see [`SlotArena::compact`]). Chained cells store nothing in the arena
+    /// and are untouched.
+    pub(crate) fn remap_block(&mut self, remap: &[u32]) {
+        if let Part2::Small { block, .. } = &mut self.part2 {
+            if *block != NO_BLOCK {
+                let new = remap[*block as usize];
+                debug_assert_ne!(new, NO_BLOCK, "live cell's block freed by compaction");
+                *block = new;
+            }
+        }
+    }
+
+    /// Heap bytes owned by Part 2 *beyond the engine-level arena* (which the
+    /// engine accounts once, globally): 0 for inline cells, the chain for
+    /// transformed ones.
     pub fn part2_bytes(&self) -> usize {
         match &self.part2 {
-            Part2::Small(slots) => {
-                slots.capacity() * std::mem::size_of::<P>()
-                    + slots.iter().map(Payload::heap_bytes).sum::<usize>()
-            }
+            Part2::Small { .. } => 0,
             Part2::Chain(chain) => std::mem::size_of::<TableChain<P>>() + chain.memory_bytes(),
         }
     }
@@ -457,6 +595,14 @@ impl<P: Payload> Payload for Cell<P> {
 
     fn heap_bytes(&self) -> usize {
         self.part2_bytes()
+    }
+
+    /// A vacant L-CHT slot: node 0, no block, no chain. Owns nothing — the
+    /// arena block field is [`NO_BLOCK`], so a filler can be cloned freely
+    /// without aliasing any live block.
+    #[inline]
+    fn filler() -> Self {
+        Cell::new(0)
     }
 }
 
@@ -498,45 +644,56 @@ mod tests {
         RebuildScratch::persistent()
     }
 
+    fn arena() -> SlotArena<NodeId> {
+        SlotArena::new(ctx().small_slots)
+    }
+
     #[test]
     fn small_slots_hold_up_to_capacity_inline() {
         let ctx = ctx();
+        let mut arena = arena();
         let mut cell: Cell<NodeId> = Cell::new(42);
         let mut rng = KickRng::new(1);
         let mut p = 0;
         let mut s = scratch();
         for v in 0..6u64 {
             assert_eq!(
-                cell.insert(v, kh(v), &ctx, &mut rng, &mut p, &mut s),
+                cell.insert(v, kh(v), &ctx, &mut arena, &mut rng, &mut p, &mut s),
                 NeighborInsert::Stored { expanded: false }
             );
         }
         assert_eq!(cell.degree(), 6);
         assert!(!cell.is_transformed());
         assert_eq!(cell.scht_tables(), 0);
+        assert_eq!(arena.block_count(), 1, "one block per inline cell");
         for v in 0..6u64 {
-            assert!(cell.contains(kh(v)));
+            assert!(cell.contains(kh(v), &arena));
         }
     }
 
     #[test]
     fn seventh_neighbor_triggers_transformation() {
         let ctx = ctx();
+        let mut arena = arena();
         let mut cell: Cell<NodeId> = Cell::new(42);
         let mut rng = KickRng::new(2);
         let mut p = 0;
         let mut s = scratch();
         for v in 0..6u64 {
-            cell.insert(v, kh(v), &ctx, &mut rng, &mut p, &mut s);
+            cell.insert(v, kh(v), &ctx, &mut arena, &mut rng, &mut p, &mut s);
         }
         // The 7th neighbour exceeds 2R = 6: all v move into the 1st S-CHT.
-        let res = cell.insert(6, kh(6), &ctx, &mut rng, &mut p, &mut s);
+        let res = cell.insert(6, kh(6), &ctx, &mut arena, &mut rng, &mut p, &mut s);
         assert_eq!(res, NeighborInsert::Stored { expanded: true });
         assert!(cell.is_transformed());
         assert_eq!(cell.scht_tables(), 1);
         assert_eq!(cell.degree(), 7);
+        assert_eq!(arena.free_count(), 1, "transformation frees the block");
         for v in 0..7u64 {
-            assert!(cell.contains(kh(v)), "lost {v} during transformation");
+            assert!(
+                cell.contains(kh(v), &arena),
+                "lost {v} during transformation"
+            );
         }
     }
 
@@ -546,6 +703,7 @@ mod tests {
         cell: &mut Cell<NodeId>,
         v: NodeId,
         ctx: &CellCtx,
+        arena: &mut SlotArena<NodeId>,
         rng: &mut KickRng,
         p: &mut u64,
         s: &mut RebuildScratch<NodeId>,
@@ -553,10 +711,10 @@ mod tests {
         let mut pending = v;
         let mut expanded_any = false;
         loop {
-            match cell.insert(pending, kh(pending), ctx, rng, p, s) {
+            match cell.insert(pending, kh(pending), ctx, arena, rng, p, s) {
                 NeighborInsert::Stored { expanded } => return expanded_any || expanded,
                 NeighborInsert::Failed(back) => {
-                    let displaced = cell.force_expand(ctx, rng, p, s);
+                    let displaced = cell.force_expand(ctx, arena, rng, p, s);
                     assert!(displaced.is_empty(), "forced expansion displaced items");
                     expanded_any = true;
                     pending = back;
@@ -568,20 +726,21 @@ mod tests {
     #[test]
     fn large_degree_grows_the_chain() {
         let ctx = ctx();
+        let mut arena = arena();
         let mut cell: Cell<NodeId> = Cell::new(1);
         let mut rng = KickRng::new(3);
         let mut p = 0;
         let mut s = scratch();
         let mut expansions = 0;
         for v in 0..500u64 {
-            if insert_with_fallback(&mut cell, v, &ctx, &mut rng, &mut p, &mut s) {
+            if insert_with_fallback(&mut cell, v, &ctx, &mut arena, &mut rng, &mut p, &mut s) {
                 expansions += 1;
             }
         }
         assert!(expansions > 1, "chain never grew");
         assert_eq!(cell.degree(), 500);
         assert!(cell.scht_slots() >= 500);
-        let mut neighbors = cell.neighbors();
+        let mut neighbors = cell.neighbors(&arena);
         neighbors.sort_unstable();
         assert_eq!(neighbors, (0..500u64).collect::<Vec<_>>());
     }
@@ -589,39 +748,45 @@ mod tests {
     #[test]
     fn remove_from_small_slots() {
         let ctx = ctx();
+        let mut arena = arena();
         let mut cell: Cell<NodeId> = Cell::new(1);
         let mut rng = KickRng::new(4);
         let mut p = 0;
         let mut s = scratch();
         for v in 0..4u64 {
-            cell.insert(v, kh(v), &ctx, &mut rng, &mut p, &mut s);
+            cell.insert(v, kh(v), &ctx, &mut arena, &mut rng, &mut p, &mut s);
         }
-        let r = cell.remove(kh(2), &ctx, &mut rng, &mut p, &mut s);
+        let r = cell.remove(kh(2), &ctx, &mut arena, &mut rng, &mut p, &mut s);
         assert_eq!(r.removed, Some(2));
         assert!(!r.contracted);
-        assert!(!cell.contains(kh(2)));
+        assert!(!cell.contains(kh(2), &arena));
         assert_eq!(cell.degree(), 3);
-        let missing = cell.remove(kh(99), &ctx, &mut rng, &mut p, &mut s);
+        let missing = cell.remove(kh(99), &ctx, &mut arena, &mut rng, &mut p, &mut s);
         assert_eq!(missing.removed, None);
+        // The vacated tail of the live prefix is re-fillered, not stale.
+        assert_eq!(arena.slots(0)[3], NodeId::filler());
+        arena.assert_free_blocks_clean();
     }
 
     #[test]
     fn deletions_collapse_chain_back_to_small_slots() {
         let ctx = ctx();
+        let mut arena = arena();
         let mut cell: Cell<NodeId> = Cell::new(1);
         let mut rng = KickRng::new(5);
         let mut p = 0;
         let mut s = scratch();
         for v in 0..60u64 {
-            insert_with_fallback(&mut cell, v, &ctx, &mut rng, &mut p, &mut s);
+            insert_with_fallback(&mut cell, v, &ctx, &mut arena, &mut rng, &mut p, &mut s);
         }
         assert!(cell.is_transformed());
         for v in 0..56u64 {
-            let r = cell.remove(kh(v), &ctx, &mut rng, &mut p, &mut s);
+            let r = cell.remove(kh(v), &ctx, &mut arena, &mut rng, &mut p, &mut s);
             assert_eq!(r.removed, Some(v));
             // Displaced payloads must be re-offered to the cell so nothing is lost.
             let mut displaced = r.displaced;
-            let rejected = cell.reinsert_from(&mut displaced, &ctx, &mut rng, &mut p, &mut s);
+            let rejected =
+                cell.reinsert_from(&mut displaced, &ctx, &mut arena, &mut rng, &mut p, &mut s);
             assert!(rejected.is_empty());
             assert!(
                 displaced.is_empty(),
@@ -634,8 +799,12 @@ mod tests {
         );
         assert_eq!(cell.degree(), 4);
         for v in 56..60u64 {
-            assert!(cell.contains(kh(v)));
+            assert!(cell.contains(kh(v), &arena));
         }
+        assert!(
+            s.pool_stats().retired > 0,
+            "collapse must retire the chain's tables"
+        );
     }
 
     #[test]
@@ -644,6 +813,7 @@ mod tests {
             small_slots: 3,
             ..ctx()
         };
+        let mut arena: SlotArena<WeightedSlot> = SlotArena::new(ctx.small_slots);
         let mut cell: Cell<WeightedSlot> = Cell::new(9);
         let mut rng = KickRng::new(6);
         let mut p = 0;
@@ -652,41 +822,48 @@ mod tests {
             WeightedSlot { v: 5, w: 1 },
             kh(5),
             &ctx,
+            &mut arena,
             &mut rng,
             &mut p,
             &mut s,
         );
-        cell.get_mut(kh(5)).unwrap().w += 4;
-        assert_eq!(cell.get(kh(5)).unwrap().w, 5);
+        cell.get_mut(kh(5), &mut arena).unwrap().w += 4;
+        assert_eq!(cell.get(kh(5), &arena).unwrap().w, 5);
     }
 
     #[test]
     fn cell_reports_heap_bytes() {
         let ctx = ctx();
+        let mut arena = arena();
         let mut cell: Cell<NodeId> = Cell::new(1);
         let mut rng = KickRng::new(7);
         let mut p = 0;
         let mut s = scratch();
-        let empty = cell.part2_bytes();
+        assert_eq!(cell.part2_bytes(), 0, "inline storage lives in the arena");
         for v in 0..100u64 {
-            cell.insert(v, kh(v), &ctx, &mut rng, &mut p, &mut s);
+            insert_with_fallback(&mut cell, v, &ctx, &mut arena, &mut rng, &mut p, &mut s);
         }
-        assert!(cell.part2_bytes() > empty);
+        assert!(cell.part2_bytes() > 0, "chain bytes are cell-owned");
         // Payload trait implementation mirrors part2_bytes.
         assert_eq!(cell.heap_bytes(), cell.part2_bytes());
         assert_eq!(cell.key(), 1);
+        // And the filler cell owns nothing, as the flat table layout requires.
+        let f: Cell<NodeId> = Cell::filler();
+        assert_eq!(f.heap_bytes(), 0);
+        assert_eq!(f.degree(), 0);
     }
 
     #[test]
     fn reinsert_from_skips_duplicates() {
         let ctx = ctx();
+        let mut arena = arena();
         let mut cell: Cell<NodeId> = Cell::new(1);
         let mut rng = KickRng::new(8);
         let mut p = 0;
         let mut s = scratch();
-        cell.insert(10, kh(10), &ctx, &mut rng, &mut p, &mut s);
+        cell.insert(10, kh(10), &ctx, &mut arena, &mut rng, &mut p, &mut s);
         let mut parked = vec![10, 11, 12];
-        let rejected = cell.reinsert_from(&mut parked, &ctx, &mut rng, &mut p, &mut s);
+        let rejected = cell.reinsert_from(&mut parked, &ctx, &mut arena, &mut rng, &mut p, &mut s);
         assert!(rejected.is_empty());
         assert!(parked.is_empty());
         assert_eq!(cell.degree(), 3);
@@ -695,6 +872,7 @@ mod tests {
     #[test]
     fn for_each_and_scalar_agree_inline_and_chained() {
         let ctx = ctx();
+        let mut arena = arena();
         let mut cell: Cell<NodeId> = Cell::new(2);
         let mut rng = KickRng::new(9);
         let mut p = 0;
@@ -702,17 +880,49 @@ mod tests {
         for count in [4usize, 40] {
             let mut cell2 = cell.clone();
             for v in cell2.degree() as u64..count as u64 {
-                insert_with_fallback(&mut cell2, v, &ctx, &mut rng, &mut p, &mut s);
+                insert_with_fallback(&mut cell2, v, &ctx, &mut arena, &mut rng, &mut p, &mut s);
             }
             let mut swar = Vec::new();
-            cell2.for_each(|&v| swar.push(v));
+            cell2.for_each(&arena, |&v| swar.push(v));
             let mut scalar = Vec::new();
-            cell2.for_each_scalar(|&v| scalar.push(v));
+            cell2.for_each_scalar(&arena, |&v| scalar.push(v));
             swar.sort_unstable();
             scalar.sort_unstable();
             assert_eq!(swar, scalar, "degree {count}");
             assert_eq!(swar.len(), count);
             cell = cell2;
         }
+    }
+
+    /// Collapse round-trips through the arena: chain → block → chain → block,
+    /// with compaction remaps in between keeping the cell's index valid.
+    #[test]
+    fn collapse_allocates_a_fresh_block_and_remap_tracks_compaction() {
+        let ctx = ctx();
+        let mut arena = arena();
+        let mut cell: Cell<NodeId> = Cell::new(7);
+        let mut rng = KickRng::new(10);
+        let mut p = 0;
+        let mut s = scratch();
+        // Grow past the threshold, then shrink back under it.
+        for v in 0..40u64 {
+            insert_with_fallback(&mut cell, v, &ctx, &mut arena, &mut rng, &mut p, &mut s);
+        }
+        for v in 0..37u64 {
+            let r = cell.remove(kh(v), &ctx, &mut arena, &mut rng, &mut p, &mut s);
+            assert_eq!(r.removed, Some(v));
+            let mut displaced = r.displaced;
+            cell.reinsert_from(&mut displaced, &ctx, &mut arena, &mut rng, &mut p, &mut s);
+        }
+        assert!(!cell.is_transformed());
+        assert_eq!(cell.degree(), 3);
+
+        // Compact and remap: the cell must still see its three survivors.
+        let remap = arena.compact();
+        cell.remap_block(&remap);
+        let mut n = cell.neighbors(&arena);
+        n.sort_unstable();
+        assert_eq!(n, vec![37, 38, 39]);
+        assert_eq!(arena.free_count(), 0);
     }
 }

@@ -30,9 +30,17 @@
 //! drain into the scratch via the tag-word scan, the displaced items' hashes
 //! are cached in one pass, and the re-place loop pops `(item, hash)` pairs —
 //! so steady-state resizes allocate nothing (see [`crate::scratch`]).
+//!
+//! Since PR 6 the tables themselves recycle too: every table a transformation
+//! drops is drained and then **retired** into the scratch's embedded
+//! [`TablePool`], and every table a transformation creates is born out of that
+//! pool — so a steady-state merge or contraction reuses the previous shape's
+//! slot/tag buffers instead of round-tripping the allocator (see
+//! [`crate::pool`]).
 
 use crate::hash::KeyHash;
 use crate::payload::Payload;
+use crate::pool::TablePool;
 use crate::rng::KickRng;
 use crate::scht::CuckooTable;
 use crate::scratch::RebuildScratch;
@@ -87,8 +95,16 @@ pub struct TableChain<T> {
 }
 
 impl<T: Payload> TableChain<T> {
-    /// Creates a chain with a single table of length `params.base_len`.
+    /// Creates a chain with a single table of length `params.base_len`,
+    /// allocating its buffers fresh (tests and cold paths; the engine paths
+    /// use [`TableChain::new_in`]).
     pub fn new(params: ChainParams, seed: u64) -> Self {
+        Self::new_in(params, seed, &mut TablePool::disabled())
+    }
+
+    /// Creates a chain whose first table's buffers come from `pool` —
+    /// the birth path of every chain a TRANSFORMATION creates.
+    pub fn new_in(params: ChainParams, seed: u64, pool: &mut TablePool<T>) -> Self {
         let mut chain = Self {
             tables: Vec::with_capacity(params.r),
             round: 0,
@@ -99,15 +115,15 @@ impl<T: Payload> TableChain<T> {
             count: 0,
             capacity: 0,
         };
-        let t = chain.alloc_table(params.base_len.max(1));
+        let t = chain.alloc_table(params.base_len.max(1), pool);
         chain.tables.push(t);
         chain.refresh_capacity();
         chain
     }
 
-    fn alloc_table(&mut self, len: usize) -> CuckooTable<T> {
+    fn alloc_table(&mut self, len: usize, pool: &mut TablePool<T>) -> CuckooTable<T> {
         self.seed = crate::hash::splitmix64(self.seed ^ 0xa5a5_5a5a_dead_beef);
-        CuckooTable::new(len, self.params.cells_per_bucket, self.seed)
+        CuckooTable::new_in(len, self.params.cells_per_bucket, self.seed, pool)
     }
 
     /// Re-derives the cached capacity after a shape change (O(R), only run
@@ -269,23 +285,28 @@ impl<T: Payload> TableChain<T> {
         self.tables.iter().flat_map(|t| t.iter())
     }
 
-    /// Removes and returns everything, leaving a single empty table of the
-    /// base length (round reset to 0). The returned `Vec` is the one
-    /// allocation of the collapse path — it becomes the caller's inline
-    /// storage — and is filled by tag-word drains, not slot walks.
-    pub fn drain_reset(&mut self) -> Vec<T> {
-        let mut items = Vec::with_capacity(self.count);
+    /// Mutable walk over every stored item. Callers must not change an item's
+    /// key; used by the arena compaction remap.
+    pub(crate) fn for_each_mut(&mut self, mut f: impl FnMut(&mut T)) {
         for t in &mut self.tables {
-            t.drain_into(&mut items);
+            t.for_each_mut(&mut f);
+        }
+    }
+
+    /// Tears the chain down: drains every stored item into `out` (tag-word
+    /// scans) and retires every table's buffers into `pool`. Afterwards the
+    /// chain holds zero tables and zero capacity — callers drop it right away
+    /// (the cell collapse path, where the items become the cell's inline
+    /// storage and the buffers seed the next TRANSFORMATION's tables).
+    pub fn dismantle(&mut self, out: &mut Vec<T>, pool: &mut TablePool<T>) {
+        out.reserve(self.count);
+        for mut t in self.tables.drain(..) {
+            t.drain_into(out);
+            t.retire(pool);
         }
         self.round = 0;
-        let base = self.params.base_len.max(1);
-        let fresh = self.alloc_table(base);
-        self.tables.clear();
-        self.tables.push(fresh);
         self.count = 0;
-        self.refresh_capacity();
-        items
+        self.capacity = 0;
     }
 
     /// Bytes occupied by every table of the chain (slot arrays, tag bytes,
@@ -329,22 +350,24 @@ impl<T: Payload> TableChain<T> {
         self.expansions += 1;
         if self.tables.len() < self.params.r {
             let len = self.extra_len();
-            let t = self.alloc_table(len);
+            let t = self.alloc_table(len, &mut scratch.pool);
             self.tables.push(t);
             self.refresh_capacity();
             return Vec::new();
         }
 
-        // Merge: gather everything, rebuild as round k+1 with two tables.
+        // Merge: gather everything, retire the old tables' buffers, rebuild as
+        // round k+1 with two tables born out of the pool (the just-retired
+        // buffers, in steady state).
         debug_assert!(scratch.is_empty(), "scratch carried items into a merge");
-        for t in &mut self.tables {
+        for mut t in self.tables.drain(..) {
             t.drain_into(&mut scratch.items);
+            t.retire(&mut scratch.pool);
         }
         self.count = 0;
         self.round += 1;
-        let first = self.alloc_table(self.first_len());
-        let second = self.alloc_table(self.extra_len());
-        self.tables.clear();
+        let first = self.alloc_table(self.first_len(), &mut scratch.pool);
+        let second = self.alloc_table(self.extra_len(), &mut scratch.pool);
         self.tables.push(first);
         self.tables.push(second);
         self.refresh_capacity();
@@ -389,6 +412,7 @@ impl<T: Payload> TableChain<T> {
             // re-enters the "k, no extras" row of Table II; the round value is
             // unchanged because the first table keeps its length.
             removed.drain_into(&mut scratch.items);
+            removed.retire(&mut scratch.pool);
         } else {
             // Single table: compress towards half of the current length, but
             // never below the base geometry. (`base > old_len` cannot arise
@@ -404,10 +428,12 @@ impl<T: Payload> TableChain<T> {
             if self.round > 0 {
                 self.round -= 1;
             }
-            self.tables[0].drain_into(&mut scratch.items);
+            let mut old = self.tables.pop().expect("len == 1");
+            old.drain_into(&mut scratch.items);
+            old.retire(&mut scratch.pool);
             self.count = 0;
-            let fresh = self.alloc_table(new_len);
-            self.tables[0] = fresh;
+            let fresh = self.alloc_table(new_len, &mut scratch.pool);
+            self.tables.push(fresh);
             self.refresh_capacity();
         }
         self.replace_from_scratch(rng, placements, scratch)
@@ -793,7 +819,7 @@ mod tests {
     }
 
     #[test]
-    fn drain_reset_returns_everything_and_resets_shape() {
+    fn dismantle_returns_everything_and_retires_tables() {
         let mut c = chain();
         let mut rng = KickRng::new(6);
         let mut p = 0;
@@ -801,13 +827,47 @@ mod tests {
         for v in 0..500u64 {
             c.insert(v, kh(v), &mut rng, &mut p, &mut s);
         }
-        let mut items = c.drain_reset();
+        let tables = c.table_count() as u64;
+        let retired_before = s.pool_stats().retired;
+        let mut items = Vec::new();
+        let mut pool = TablePool::enabled();
+        c.dismantle(&mut items, &mut pool);
         items.sort_unstable();
-        assert_eq!(items.len(), 500);
         assert_eq!(items, (0..500u64).collect::<Vec<_>>());
-        assert_eq!(c.table_count(), 1);
-        assert_eq!(c.table_lengths(), vec![8]);
+        assert_eq!(c.table_count(), 0);
+        assert_eq!(c.capacity(), 0);
         assert!(c.is_empty());
+        assert_eq!(pool.stats().retired, tables, "every table retired");
+        assert!(pool.retained_bytes() > 0, "buffers kept for recycling");
+        assert_eq!(s.pool_stats().retired, retired_before);
+        c.assert_cached_consistent();
+    }
+
+    /// Steady-state resize churn must recycle table buffers through the
+    /// scratch pool: after the warm-up misses, expand/contract cycles are
+    /// served from retired buffers.
+    #[test]
+    fn transformations_recycle_buffers_through_the_pool() {
+        let mut c = chain();
+        let mut rng = KickRng::new(61);
+        let mut p = 0;
+        let mut s = scratch();
+        for v in 0..2_000u64 {
+            c.insert(v, kh(v), &mut rng, &mut p, &mut s);
+        }
+        for v in 0..1_990u64 {
+            c.remove(kh(v));
+            for item in c.maybe_contract(&mut rng, &mut p, &mut s) {
+                c.insert_forced(item, &mut rng, &mut p, &mut s);
+            }
+        }
+        let stats = s.pool_stats();
+        assert!(c.expansions() > 0 && c.contractions() > 0);
+        assert!(stats.retired > 0, "transformations never retired a table");
+        assert!(
+            stats.hits > stats.misses,
+            "steady-state churn mostly missed the pool ({stats:?})"
+        );
         c.assert_cached_consistent();
     }
 

@@ -43,6 +43,12 @@ pub struct CuckooGraphConfig {
     /// pre-PR-5 cost shape, kept as the live reference the `perf_smoke`
     /// resize guard and the `resize_churn` criterion group measure against.
     pub resize_scratch: bool,
+    /// Recycles the backing buffers of tables dropped by TRANSFORMATION
+    /// events through a shard-local [`crate::pool::TablePool`]. When disabled,
+    /// every expand/contract/merge allocates fresh tables and drops the old
+    /// ones — the pre-PR-6 cost shape, kept as the live reference the
+    /// `perf_smoke` pool guard and the property tests compare against.
+    pub table_pool: bool,
     /// Seed for hash-function seeds and kick-victim selection. Fixed default
     /// so runs are reproducible; randomise it for adversarial workloads.
     pub seed: u64,
@@ -61,6 +67,7 @@ impl Default for CuckooGraphConfig {
             denylist_capacity: 512,
             use_denylist: true,
             resize_scratch: true,
+            table_pool: true,
             seed: 0x5eed_cafe_f00d_0001,
         }
     }
@@ -154,6 +161,13 @@ impl CuckooGraphConfig {
         self
     }
 
+    /// Builder-style setter for the table-pool switch: `false` selects the
+    /// alloc-and-drop reference transformation path (perf-guard baseline).
+    pub fn with_table_pool(mut self, enabled: bool) -> Self {
+        self.table_pool = enabled;
+        self
+    }
+
     /// Builder-style setter for the random seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -186,6 +200,7 @@ mod tests {
         assert_eq!(c.max_kicks, 250);
         assert!(c.use_denylist);
         assert!(c.resize_scratch, "persistent scratch is the default");
+        assert!(c.table_pool, "table pooling is the default");
         assert!(c.validate().is_ok());
         // Λ ≤ 2G/3 as assumed by the memory analysis.
         assert!(c.contract_threshold <= 2.0 * c.expand_threshold / 3.0);
@@ -241,6 +256,7 @@ mod tests {
             .with_max_kicks(50)
             .with_denylist(false)
             .with_resize_scratch(false)
+            .with_table_pool(false)
             .with_seed(7)
             .with_scht_base_len(4)
             .with_lcht_base_len(8);
@@ -248,6 +264,7 @@ mod tests {
         assert_eq!(c.r, 2);
         assert!(!c.use_denylist);
         assert!(!c.resize_scratch);
+        assert!(!c.table_pool);
         assert_eq!(c.seed, 7);
         assert!(c.validate().is_ok());
     }

@@ -215,6 +215,12 @@ impl<C> LargeDenylist<C> {
         self.cells.iter()
     }
 
+    /// Mutable iteration over stored cells (the arena compaction remap walks
+    /// parked cells too — their inline blocks live in the same arena).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut C> {
+        self.cells.iter_mut()
+    }
+
     /// Bytes occupied by the vector buffer (per-cell heap data is added by the
     /// caller, which knows the cell layout).
     pub fn buffer_bytes(&self) -> usize {

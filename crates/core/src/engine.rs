@@ -12,6 +12,7 @@
 //! payload type (`NodeId`, [`crate::payload::WeightedSlot`],
 //! [`crate::payload::MultiSlot`]) and the per-variant edge semantics.
 
+use crate::arena::SlotArena;
 use crate::cell::{Cell, CellCtx, NeighborInsert};
 use crate::chain::ChainParams;
 use crate::config::CuckooGraphConfig;
@@ -49,10 +50,14 @@ pub struct Engine<P> {
     /// Engine-level rebuild buffers shared by every S-CHT chain: expansions,
     /// contractions and merges drain into (and re-place out of) this scratch
     /// instead of allocating per event. The L-CHT chain has its own cell
-    /// scratch inside [`NodeTable`].
+    /// scratch inside [`NodeTable`]. Its embedded [`crate::pool::TablePool`]
+    /// recycles the S-CHT tables those events drop.
     scratch: RebuildScratch<P>,
     /// Reusable buffer for S-DL drains on expansion events.
     dl_buf: Vec<P>,
+    /// Engine-level slab holding every inline cell's small slots (see
+    /// [`crate::arena`]) — one allocation for all low-degree adjacency.
+    arena: SlotArena<P>,
 }
 
 /// Places `payload` into `cell`, routing kick-out failures to the S-DL (or
@@ -66,6 +71,7 @@ fn settle_payload<P: Payload>(
     s_dl: &mut SmallDenylist<P>,
     ctx: &CellCtx,
     use_denylist: bool,
+    arena: &mut SlotArena<P>,
     rng: &mut KickRng,
     counters: &mut SchtCounters,
     payload: P,
@@ -77,7 +83,15 @@ fn settle_payload<P: Payload>(
         counters.items += 1;
     }
     let u = cell.node();
-    match cell.insert(payload, kh, ctx, rng, &mut counters.placements, scratch) {
+    match cell.insert(
+        payload,
+        kh,
+        ctx,
+        arena,
+        rng,
+        &mut counters.placements,
+        scratch,
+    ) {
         NeighborInsert::Stored { expanded } => {
             if expanded {
                 counters.expansions += 1;
@@ -87,8 +101,14 @@ fn settle_payload<P: Payload>(
                 debug_assert!(dl_buf.is_empty(), "S-DL drain buffer in use");
                 s_dl.drain_for_into(u, dl_buf);
                 if !dl_buf.is_empty() {
-                    let rejected =
-                        cell.reinsert_from(dl_buf, ctx, rng, &mut counters.placements, scratch);
+                    let rejected = cell.reinsert_from(
+                        dl_buf,
+                        ctx,
+                        arena,
+                        rng,
+                        &mut counters.placements,
+                        scratch,
+                    );
                     for p in rejected {
                         s_dl.push_forced(u, p);
                     }
@@ -99,10 +119,10 @@ fn settle_payload<P: Payload>(
             counters.failures += 1;
             if use_denylist {
                 if let Err(p) = s_dl.push(u, p) {
-                    force_store_into(cell, s_dl, ctx, rng, counters, p, scratch);
+                    force_store_into(cell, s_dl, ctx, arena, rng, counters, p, scratch);
                 }
             } else {
-                force_store_into(cell, s_dl, ctx, rng, counters, p, scratch);
+                force_store_into(cell, s_dl, ctx, arena, rng, counters, p, scratch);
             }
         }
     }
@@ -111,10 +131,12 @@ fn settle_payload<P: Payload>(
 /// Last-resort storage path: expand the cell's chain until the payload
 /// settles. Used when the S-DL is full or disabled (the Figure 5 ablation
 /// expands on every failure instead of denylisting).
+#[allow(clippy::too_many_arguments)] // split borrows of the engine's fields, by design
 fn force_store_into<P: Payload>(
     cell: &mut Cell<P>,
     s_dl: &mut SmallDenylist<P>,
     ctx: &CellCtx,
+    arena: &mut SlotArena<P>,
     rng: &mut KickRng,
     counters: &mut SchtCounters,
     payload: P,
@@ -124,7 +146,7 @@ fn force_store_into<P: Payload>(
     let mut pending = payload;
     let mut pending_kh = pending.key_hash();
     loop {
-        let displaced = cell.force_expand(ctx, rng, &mut counters.placements, scratch);
+        let displaced = cell.force_expand(ctx, arena, rng, &mut counters.placements, scratch);
         counters.expansions += 1;
         for p in displaced {
             s_dl.push_forced(u, p);
@@ -133,6 +155,7 @@ fn force_store_into<P: Payload>(
             pending,
             pending_kh,
             ctx,
+            arena,
             rng,
             &mut counters.placements,
             scratch,
@@ -184,6 +207,7 @@ impl<P: Payload> Engine<P> {
                 config.denylist_capacity,
                 config.use_denylist,
                 config.resize_scratch,
+                config.table_pool,
             ),
             s_dl: SmallDenylist::new(if config.use_denylist {
                 config.denylist_capacity
@@ -196,8 +220,10 @@ impl<P: Payload> Engine<P> {
                 RebuildScratch::persistent()
             } else {
                 RebuildScratch::alloc_per_event()
-            },
+            }
+            .with_table_pool(config.table_pool),
             dl_buf: Vec::new(),
+            arena: SlotArena::new(small_slots),
             config,
             edges: 0,
             scht: SchtCounters::default(),
@@ -241,7 +267,7 @@ impl<P: Payload> Engine<P> {
     /// directly, so low-degree lookups pay a single Bob pass total).
     pub fn get(&self, u: NodeId, v: NodeId) -> Option<&P> {
         if let Some(cell) = self.nodes.get(KeyHash::new(u)) {
-            if let Some(p) = cell.get_lazy(v) {
+            if let Some(p) = cell.get_lazy(v, &self.arena) {
                 return Some(p);
             }
         }
@@ -255,7 +281,7 @@ impl<P: Payload> Engine<P> {
     pub fn get_mut(&mut self, u: NodeId, v: NodeId) -> Option<&mut P> {
         if let Some(pos) = self.nodes.find(KeyHash::new(u)) {
             let cell = self.nodes.cell_at_mut(pos);
-            if let Some(p) = cell.get_mut_lazy(v) {
+            if let Some(p) = cell.get_mut_lazy(v, &mut self.arena) {
                 return Some(p);
             }
         }
@@ -273,7 +299,7 @@ impl<P: Payload> Engine<P> {
     /// probe-path guard.
     pub fn contains_unmemoized(&self, u: NodeId, v: NodeId) -> bool {
         if let Some(cell) = self.nodes.get_unmemoized(u) {
-            if cell.contains_unmemoized(v) {
+            if cell.contains_unmemoized(v, &self.arena) {
                 return true;
             }
         }
@@ -297,6 +323,7 @@ impl<P: Payload> Engine<P> {
             &mut self.s_dl,
             &ctx,
             use_denylist,
+            &mut self.arena,
             &mut self.rng,
             &mut self.scht,
             payload,
@@ -330,13 +357,13 @@ impl<P: Payload> Engine<P> {
         let cell = self.nodes.ensure(hu, &mut self.rng);
         let hv = if cell.is_transformed() {
             let hv = KeyHash::new(v);
-            if let Some(slot) = cell.find_slot(hv) {
-                update(cell.payload_at_mut(slot));
+            if let Some(slot) = cell.find_slot(hv, &self.arena) {
+                update(cell.payload_at_mut(slot, &mut self.arena));
                 return false;
             }
             Some(hv)
         } else {
-            if let Some(p) = cell.get_mut_lazy(v) {
+            if let Some(p) = cell.get_mut_lazy(v, &mut self.arena) {
                 update(p);
                 return false;
             }
@@ -357,6 +384,7 @@ impl<P: Payload> Engine<P> {
             &mut self.s_dl,
             &ctx,
             use_denylist,
+            &mut self.arena,
             &mut self.rng,
             &mut self.scht,
             payload,
@@ -400,6 +428,7 @@ impl<P: Payload> Engine<P> {
         let edges = &mut self.edges;
         let scratch = &mut self.scratch;
         let dl_buf = &mut self.dl_buf;
+        let arena = &mut self.arena;
         let mut created = 0usize;
         // Scratch buffer of memoized hashes for the current run, reused across
         // runs so the batch path stays allocation-free in the steady state.
@@ -430,13 +459,13 @@ impl<P: Payload> Engine<P> {
                             cell.prefetch(next);
                         }
                         let hv = run_hashes[i];
-                        if let Some(slot) = cell.find_slot(hv) {
-                            update(item, cell.payload_at_mut(slot));
+                        if let Some(slot) = cell.find_slot(hv, arena) {
+                            update(item, cell.payload_at_mut(slot, arena));
                             continue;
                         }
                         Some(hv)
                     } else {
-                        if let Some(p) = cell.get_mut_lazy(v) {
+                        if let Some(p) = cell.get_mut_lazy(v, arena) {
                             update(item, p);
                             continue;
                         }
@@ -452,6 +481,7 @@ impl<P: Payload> Engine<P> {
                         s_dl,
                         &ctx,
                         use_denylist,
+                        arena,
                         rng,
                         scht,
                         make(item),
@@ -481,6 +511,7 @@ impl<P: Payload> Engine<P> {
         let scht = &mut self.scht;
         let edge_total = &mut self.edges;
         let scratch = &mut self.scratch;
+        let arena = &mut self.arena;
         let mut removed = 0usize;
         // Pre-hashed keys of the current run, mirroring `insert_batch`: runs
         // against inline cells stay hash-free, runs against transformed cells
@@ -505,9 +536,16 @@ impl<P: Payload> Engine<P> {
                                 if let Some(&next) = run_hashes.get(i + 1) {
                                     cell.prefetch(next);
                                 }
-                                cell.remove(run_hashes[i], &ctx, rng, &mut scht.placements, scratch)
+                                cell.remove(
+                                    run_hashes[i],
+                                    &ctx,
+                                    arena,
+                                    rng,
+                                    &mut scht.placements,
+                                    scratch,
+                                )
                             } else {
-                                cell.remove_lazy(v, &ctx, rng, &mut scht.placements, scratch)
+                                cell.remove_lazy(v, &ctx, arena, rng, &mut scht.placements, scratch)
                             };
                             if res.contracted {
                                 scht.contractions += 1;
@@ -538,6 +576,7 @@ impl<P: Payload> Engine<P> {
             let res = cell.remove_lazy(
                 v,
                 &ctx,
+                &mut self.arena,
                 &mut self.rng,
                 &mut self.scht.placements,
                 &mut self.scratch,
@@ -571,7 +610,7 @@ impl<P: Payload> Engine<P> {
     /// successor-scan fast path.
     pub fn for_each_payload(&self, u: NodeId, mut f: impl FnMut(&P)) {
         if let Some(cell) = self.nodes.get(KeyHash::new(u)) {
-            cell.for_each(&mut f);
+            cell.for_each(&self.arena, &mut f);
         }
         self.s_dl.for_each_of(u, f);
     }
@@ -582,7 +621,7 @@ impl<P: Payload> Engine<P> {
     /// baseline of the `perf_smoke` scan-path guard.
     pub fn for_each_payload_scalar(&self, u: NodeId, mut f: impl FnMut(&P)) {
         if let Some(cell) = self.nodes.get(KeyHash::new(u)) {
-            cell.for_each_scalar(&mut f);
+            cell.for_each_scalar(&self.arena, &mut f);
         }
         self.s_dl.for_each_of(u, f);
     }
@@ -598,16 +637,43 @@ impl<P: Payload> Engine<P> {
     pub fn for_each_edge(&self, mut f: impl FnMut(NodeId, &P)) {
         self.nodes.for_each(|cell| {
             let u = cell.node();
-            cell.for_each(|p| f(u, p));
+            cell.for_each(&self.arena, |p| f(u, p));
         });
         for (u, p) in self.s_dl.iter() {
             f(*u, p);
         }
     }
 
-    /// Bytes currently held by the structure.
+    /// Compacts the engine's slot arena (see [`SlotArena::compact`]): live
+    /// blocks slide down over freed ones, the slab's excess capacity is
+    /// released, and every cell's block index — in the L-CHT *and* parked in
+    /// the L-DL — is rewritten through the remap table. Returns the number of
+    /// freed blocks reclaimed.
+    ///
+    /// Deletion-heavy histories are the only way the free list grows, so this
+    /// is a maintenance operation the caller invokes at quiescent points; no
+    /// hot path pays for it.
+    pub fn compact_arena(&mut self) -> usize {
+        let freed = self.arena.free_count();
+        if freed == 0 {
+            return 0;
+        }
+        let remap = self.arena.compact();
+        self.nodes
+            .for_each_cell_mut(|cell| cell.remap_block(&remap));
+        freed
+    }
+
+    /// Bytes currently held by the structure, including the payload arena and
+    /// any table buffers retained by the engine-level pool (the node table
+    /// counts its own pool's retained bytes itself) — pooled capacity is never
+    /// hidden from the memory experiments.
     pub fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.nodes.memory_bytes() + self.s_dl.memory_bytes()
+        std::mem::size_of::<Self>()
+            + self.nodes.memory_bytes()
+            + self.s_dl.memory_bytes()
+            + self.arena.memory_bytes()
+            + self.scratch.pool_retained_bytes()
     }
 
     /// Snapshot of the instrumentation counters and structural shape.
@@ -619,6 +685,8 @@ impl<P: Payload> Engine<P> {
             scht_tables += cell.scht_tables();
             scht_slots += cell.scht_slots();
         });
+        let mut pool = self.scratch.pool_stats();
+        pool.merge(&self.nodes.pool_stats());
         StructureStats {
             nodes: self.node_count(),
             edges: self.edges,
@@ -635,6 +703,12 @@ impl<P: Payload> Engine<P> {
             insertion_failures: counters.failures + self.scht.failures,
             expansions: self.nodes.expansions() + self.scht.expansions,
             contractions: self.nodes.contractions() + self.scht.contractions,
+            pool_hits: pool.hits,
+            pool_misses: pool.misses,
+            pool_retired: pool.retired,
+            pool_retained_bytes: pool.retained_bytes,
+            arena_blocks: self.arena.block_count(),
+            arena_free_blocks: self.arena.free_count(),
         }
     }
 }

@@ -81,6 +81,13 @@ impl CuckooGraph {
     pub fn for_each_successor_scalar(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
         self.engine.for_each_payload_scalar(u, |p| f(*p));
     }
+
+    /// Compacts the engine's slot arena, reclaiming blocks freed by node
+    /// TRANSFORMATIONS (see [`crate::engine::Engine::compact_arena`]).
+    /// Returns the number of freed blocks reclaimed.
+    pub fn compact_arena(&mut self) -> usize {
+        self.engine.compact_arena()
+    }
 }
 
 impl Default for CuckooGraph {

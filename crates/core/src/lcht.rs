@@ -11,6 +11,7 @@ use crate::chain::{ChainInsert, ChainParams, TableChain};
 use crate::denylist::LargeDenylist;
 use crate::hash::KeyHash;
 use crate::payload::Payload;
+use crate::pool::PoolStats;
 use crate::rng::KickRng;
 use crate::scratch::RebuildScratch;
 use graph_api::NodeId;
@@ -55,24 +56,28 @@ pub struct NodeTable<P> {
 impl<P: Payload> NodeTable<P> {
     /// Creates an empty node table. `resize_scratch` selects the persistent
     /// rebuild buffers (production) or the alloc-per-event reference shape
-    /// (see [`RebuildScratch`]).
+    /// (see [`RebuildScratch`]); `table_pool` selects whether the L-CHT
+    /// chain's transformations recycle table buffers (see [`crate::pool`]).
     pub fn new(
         params: ChainParams,
         seed: u64,
         denylist_capacity: usize,
         use_denylist: bool,
         resize_scratch: bool,
+        table_pool: bool,
     ) -> Self {
+        let mut scratch = if resize_scratch {
+            RebuildScratch::persistent()
+        } else {
+            RebuildScratch::alloc_per_event()
+        }
+        .with_table_pool(table_pool);
         Self {
-            chain: TableChain::new(params, seed),
+            chain: TableChain::new_in(params, seed, &mut scratch.pool),
             denylist: LargeDenylist::new(denylist_capacity),
             use_denylist,
             counters: NodeTableCounters::default(),
-            scratch: if resize_scratch {
-                RebuildScratch::persistent()
-            } else {
-                RebuildScratch::alloc_per_event()
-            },
+            scratch,
             park_buf: Vec::new(),
         }
     }
@@ -292,6 +297,16 @@ impl<P: Payload> NodeTable<P> {
         }
     }
 
+    /// Mutable walk over every stored cell (chain and denylist). Callers must
+    /// not change a cell's node; used by the engine's arena compaction to
+    /// rewrite every inline cell's block index.
+    pub(crate) fn for_each_cell_mut(&mut self, mut f: impl FnMut(&mut Cell<P>)) {
+        self.chain.for_each_mut(&mut f);
+        for cell in self.denylist.iter_mut() {
+            f(cell);
+        }
+    }
+
     /// Every stored node id.
     pub fn nodes(&self) -> Vec<NodeId> {
         let mut out = Vec::with_capacity(self.node_count());
@@ -299,13 +314,22 @@ impl<P: Payload> NodeTable<P> {
         out
     }
 
-    /// Bytes held by the L-CHT chain, its cells' Part 2, and the L-DL buffer.
+    /// Bytes held by the L-CHT chain, its cells' Part 2, the L-DL buffer, and
+    /// the idle table buffers pooled by this level's scratch (pooled capacity
+    /// is never hidden from memory reporting).
     pub fn memory_bytes(&self) -> usize {
-        let mut bytes = self.chain.memory_bytes() + self.denylist.buffer_bytes();
+        let mut bytes = self.chain.memory_bytes()
+            + self.denylist.buffer_bytes()
+            + self.scratch.pool_retained_bytes();
         for cell in self.denylist.iter() {
             bytes += cell.part2_bytes();
         }
         bytes
+    }
+
+    /// Counter snapshot of this level's table pool.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.scratch.pool_stats()
     }
 
     /// Applies the reverse-transformation rule to the L-CHT chain (used after
@@ -347,7 +371,7 @@ mod tests {
     }
 
     fn table() -> NodeTable<NodeId> {
-        NodeTable::new(params(), 0x77, 64, true, true)
+        NodeTable::new(params(), 0x77, 64, true, true, true)
     }
 
     #[test]
@@ -393,7 +417,7 @@ mod tests {
             base_len: 2,
             ..params()
         };
-        let mut t: NodeTable<NodeId> = NodeTable::new(p, 5, 1024, true, true);
+        let mut t: NodeTable<NodeId> = NodeTable::new(p, 5, 1024, true, true, true);
         let mut rng = KickRng::new(3);
         for u in 0..2_000u64 {
             t.ensure(kh(u), &mut rng);
@@ -411,7 +435,7 @@ mod tests {
             base_len: 2,
             ..params()
         };
-        let mut t: NodeTable<NodeId> = NodeTable::new(p, 5, 0, false, true);
+        let mut t: NodeTable<NodeId> = NodeTable::new(p, 5, 0, false, true, true);
         let mut rng = KickRng::new(4);
         for u in 0..1_000u64 {
             t.ensure(kh(u), &mut rng);
@@ -438,12 +462,21 @@ mod tests {
         };
         let mut placements = 0u64;
         let mut scratch = RebuildScratch::persistent();
+        let mut arena = crate::arena::SlotArena::new(ctx.small_slots);
         // Give node 7 some neighbours, then insert many more nodes to force
         // kick-outs and expansions around it.
         {
             let cell = t.ensure(kh(7), &mut rng);
             for v in 0..20u64 {
-                cell.insert(v, kh(v), &ctx, &mut rng, &mut placements, &mut scratch);
+                cell.insert(
+                    v,
+                    kh(v),
+                    &ctx,
+                    &mut arena,
+                    &mut rng,
+                    &mut placements,
+                    &mut scratch,
+                );
             }
         }
         for u in 1_000..6_000u64 {
@@ -451,7 +484,7 @@ mod tests {
         }
         let cell = t.get(kh(7)).expect("node 7 must survive");
         assert_eq!(cell.degree(), 20);
-        let mut nbrs = cell.neighbors();
+        let mut nbrs = cell.neighbors(&arena);
         nbrs.sort_unstable();
         assert_eq!(nbrs, (0..20u64).collect::<Vec<_>>());
     }

@@ -44,6 +44,7 @@
 //! assert!(!g.has_edge(1, 2));
 //! ```
 
+pub mod arena;
 pub mod cell;
 pub mod chain;
 pub mod config;
@@ -55,6 +56,7 @@ pub mod hash;
 pub mod lcht;
 pub mod multi;
 pub mod payload;
+pub mod pool;
 pub mod rng;
 pub mod scht;
 pub mod scratch;
@@ -63,10 +65,12 @@ pub mod stats;
 pub mod swar;
 pub mod weighted;
 
+pub use arena::{SlotArena, NO_BLOCK};
 pub use config::CuckooGraphConfig;
 pub use error::{CuckooGraphError, Result};
 pub use graph::CuckooGraph;
 pub use multi::{EdgeId, MultiEdgeCuckooGraph};
+pub use pool::{PoolStats, TablePool};
 pub use scratch::RebuildScratch;
 pub use shard::{Sharded, ShardedCuckooGraph, ShardedWeightedCuckooGraph};
 pub use stats::StructureStats;

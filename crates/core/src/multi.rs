@@ -179,6 +179,12 @@ impl MultiEdgeCuckooGraph {
     pub fn for_each_successor_scalar(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
         self.engine.for_each_payload_scalar(u, |slot| f(slot.v));
     }
+
+    /// Compacts the engine's slot arena — see
+    /// [`CuckooGraph::compact_arena`](crate::CuckooGraph::compact_arena).
+    pub fn compact_arena(&mut self) -> usize {
+        self.engine.compact_arena()
+    }
 }
 
 impl Default for MultiEdgeCuckooGraph {

@@ -34,6 +34,15 @@ pub trait Payload: Clone {
     fn heap_bytes(&self) -> usize {
         0
     }
+
+    /// An inert placeholder value occupying an *empty* slot. Since PR 6 the
+    /// cuckoo tables and the slot arena store payloads directly (no
+    /// `Option<T>` wrapper — the tag occupancy bit is the only discriminant),
+    /// so every vacant slot physically holds this value. A filler must own no
+    /// heap (`heap_bytes() == 0`) and is never observable through the public
+    /// API: slots are written before they are read, guarded by the occupancy
+    /// bits.
+    fn filler() -> Self;
 }
 
 /// Basic version payload: the neighbour id itself.
@@ -41,6 +50,11 @@ impl Payload for NodeId {
     #[inline]
     fn key(&self) -> NodeId {
         *self
+    }
+
+    #[inline]
+    fn filler() -> Self {
+        0
     }
 }
 
@@ -58,6 +72,11 @@ impl Payload for WeightedSlot {
     #[inline]
     fn key(&self) -> NodeId {
         self.v
+    }
+
+    #[inline]
+    fn filler() -> Self {
+        Self { v: 0, w: 0 }
     }
 }
 
@@ -79,6 +98,14 @@ impl Payload for MultiSlot {
 
     fn heap_bytes(&self) -> usize {
         self.edges.capacity() * std::mem::size_of::<u64>()
+    }
+
+    #[inline]
+    fn filler() -> Self {
+        Self {
+            v: 0,
+            edges: Vec::new(),
+        }
     }
 }
 
@@ -105,6 +132,17 @@ mod tests {
         let s = WeightedSlot { v: 5, w: 10 };
         assert_eq!(s.key_hash(), KeyHash::new(5));
         assert_eq!(s.key_hash().key(), 5);
+    }
+
+    #[test]
+    fn fillers_are_heapless() {
+        assert_eq!(NodeId::filler(), 0);
+        assert_eq!(NodeId::filler().heap_bytes(), 0);
+        assert_eq!(WeightedSlot::filler(), WeightedSlot { v: 0, w: 0 });
+        assert_eq!(WeightedSlot::filler().heap_bytes(), 0);
+        let m = MultiSlot::filler();
+        assert_eq!(m.v, 0);
+        assert_eq!(m.heap_bytes(), 0);
     }
 
     #[test]

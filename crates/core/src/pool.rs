@@ -1,0 +1,262 @@
+//! Shard-local table pooling: recycled slot/tag buffers for cuckoo tables.
+//!
+//! Every TRANSFORMATION event (chain expansion merge, contraction, collapse
+//! back to small slots) drops one or more [`crate::scht::CuckooTable`]s and
+//! allocates fresh ones. Before this module, each fresh table cost two heap
+//! allocations (one slot array, one tag array — already down from four since
+//! the arrays were merged per table); under churn-heavy workloads those
+//! resize events fire thousands of times, and the allocator traffic shows up
+//! directly in the `resize_churn` benchmarks.
+//!
+//! A [`TablePool`] is the follow-on to [`crate::scratch::RebuildScratch`]:
+//! where the scratch recycles the *drain buffers* of a rebuild, the pool
+//! recycles the *table buffers* themselves. A retiring table hands its slot
+//! and tag vectors to the pool; the next table allocation takes a pooled pair
+//! back, re-sizes it in place (slots re-filled with [`Payload::filler`], tags
+//! re-zeroed — a `memset`, not a `malloc`), and only falls back to the
+//! allocator on a pool miss.
+//!
+//! The pool is engine-local (one per [`RebuildScratch`], so one per engine
+//! level and one per shard) — no locks, no cross-shard sharing. It is capped
+//! at a small number of retained buffer pairs so the recycled capacity cannot
+//! silently dominate the memory the structure reports; what it does retain is
+//! counted honestly via [`TablePool::retained_bytes`].
+//!
+//! The pre-change cost shape stays selectable as the live oracle:
+//! [`crate::CuckooGraphConfig::with_table_pool`]`(false)` builds every engine
+//! scratch with a disabled pool, whose `acquire` always allocates and whose
+//! `retire` always drops — exactly the old allocate-per-table behaviour. The
+//! `perf_smoke` pool guard and the `pool_arena_model` property tests compare
+//! the two paths; they are structurally bit-identical (the pool only changes
+//! where buffers come from, never what they contain).
+
+use crate::payload::Payload;
+
+/// Maximum number of retired buffer pairs a pool holds. A chain has at most
+/// `R` tables and rebuild events retire tables one event at a time, so a
+/// handful of entries already captures the steady state; the cap keeps the
+/// retained capacity bounded and honestly small.
+const MAX_POOLED: usize = 8;
+
+/// Counter snapshot of a pool's activity, summed across an engine's pools for
+/// [`crate::StructureStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Table allocations served from a recycled buffer pair.
+    pub hits: u64,
+    /// Table allocations that fell through to the allocator.
+    pub misses: u64,
+    /// Tables retired into the pool (or dropped, when disabled/full).
+    pub retired: u64,
+    /// Bytes currently held by pooled (idle) buffer pairs.
+    pub retained_bytes: usize,
+}
+
+impl PoolStats {
+    /// Accumulates another snapshot into this one (sharded stats merge).
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.retired += other.retired;
+        self.retained_bytes += other.retained_bytes;
+    }
+}
+
+/// A bounded free-list of retired `(slots, tags)` buffer pairs.
+#[derive(Debug, Clone)]
+pub struct TablePool<T> {
+    entries: Vec<(Vec<T>, Vec<u8>)>,
+    enabled: bool,
+    hits: u64,
+    misses: u64,
+    retired: u64,
+}
+
+impl<T: Payload> TablePool<T> {
+    /// An active pool (the production configuration).
+    pub fn enabled() -> Self {
+        Self {
+            entries: Vec::new(),
+            enabled: true,
+            hits: 0,
+            misses: 0,
+            retired: 0,
+        }
+    }
+
+    /// A disabled pool: every `acquire` allocates, every `retire` drops — the
+    /// pre-pool reference behaviour, selected via
+    /// [`crate::CuckooGraphConfig::with_table_pool`]`(false)`.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::enabled()
+        }
+    }
+
+    /// True when retired buffers are actually recycled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Sets whether the pool recycles. Turning a pool off releases everything
+    /// it retained.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        if !enabled {
+            self.entries = Vec::new();
+        }
+    }
+
+    /// Hands out a `(slots, tags)` pair of exactly `total` entries, with every
+    /// slot set to [`Payload::filler`] and every tag zeroed. Reuses a pooled
+    /// pair when one is available (resize-in-place, no allocation when the
+    /// recycled capacity suffices), otherwise allocates fresh.
+    pub fn acquire(&mut self, total: usize) -> (Vec<T>, Vec<u8>) {
+        if let Some((mut slots, mut tags)) = self.entries.pop() {
+            self.hits += 1;
+            // Retired tables were drained first, so the buffers arrive
+            // all-filler / all-zero; clear-and-resize renormalises the length
+            // (and defends against a hand-retired dirty pair) without giving
+            // the capacity back to the allocator.
+            slots.clear();
+            slots.resize(total, T::filler());
+            tags.clear();
+            tags.resize(total, 0);
+            // A small table born from a much larger retired buffer would pin
+            // that capacity for its whole lifetime (tables report capacity,
+            // not length, to the memory experiments). Cap the ride-along at
+            // 4× the request; pathological mismatches pay one shrink.
+            if slots.capacity() > 4 * total.max(1) {
+                slots.shrink_to(total);
+                tags.shrink_to(total);
+            }
+            (slots, tags)
+        } else {
+            self.misses += 1;
+            (vec![T::filler(); total], vec![0u8; total])
+        }
+    }
+
+    /// Takes ownership of a retiring table's buffers. Disabled or full pools
+    /// drop them (the reference behaviour); otherwise they wait for the next
+    /// [`TablePool::acquire`].
+    pub fn retire(&mut self, slots: Vec<T>, tags: Vec<u8>) {
+        self.retired += 1;
+        if self.enabled && self.entries.len() < MAX_POOLED {
+            self.entries.push((slots, tags));
+        }
+    }
+
+    /// Number of idle buffer pairs currently pooled.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is pooled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes held by the idle pooled buffers — counted into the engine's
+    /// memory reporting so pooling cannot hide capacity from Figure 9.
+    pub fn retained_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(s, t)| s.capacity() * std::mem::size_of::<T>() + t.capacity())
+            .sum()
+    }
+
+    /// Counter snapshot for stats reporting.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits,
+            misses: self.misses,
+            retired: self.retired,
+            retained_bytes: self.retained_bytes(),
+        }
+    }
+}
+
+impl<T: Payload> Default for TablePool<T> {
+    fn default() -> Self {
+        Self::enabled()
+    }
+}
+
+/// Compile-time proof the pool can cross the sharded fan-out's thread
+/// boundaries inside an engine.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TablePool<graph_api::NodeId>>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_api::NodeId;
+
+    #[test]
+    fn acquire_miss_then_hit_recycles_capacity() {
+        let mut pool: TablePool<NodeId> = TablePool::enabled();
+        let (slots, tags) = pool.acquire(64);
+        assert_eq!(slots.len(), 64);
+        assert_eq!(tags.len(), 64);
+        assert!(slots.iter().all(|&s| s == NodeId::filler()));
+        assert!(tags.iter().all(|&t| t == 0));
+        assert_eq!(pool.stats().misses, 1);
+
+        pool.retire(slots, tags);
+        assert_eq!(pool.len(), 1);
+        assert!(pool.retained_bytes() >= 64 * std::mem::size_of::<NodeId>() + 64);
+
+        // Differently sized re-acquire still reuses the buffers.
+        let (slots, tags) = pool.acquire(32);
+        assert_eq!(slots.len(), 32);
+        assert_eq!(tags.len(), 32);
+        assert!(slots.capacity() >= 64, "recycled capacity was released");
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.retired), (1, 1, 1));
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn acquire_rezeroes_dirty_buffers() {
+        let mut pool: TablePool<NodeId> = TablePool::enabled();
+        pool.retire(vec![7; 16], vec![0xAA; 16]);
+        let (slots, tags) = pool.acquire(16);
+        assert!(slots.iter().all(|&s| s == 0));
+        assert!(tags.iter().all(|&t| t == 0));
+    }
+
+    #[test]
+    fn disabled_pool_never_retains() {
+        let mut pool: TablePool<NodeId> = TablePool::disabled();
+        assert!(!pool.is_enabled());
+        let (slots, tags) = pool.acquire(8);
+        pool.retire(slots, tags);
+        assert!(pool.is_empty());
+        assert_eq!(pool.retained_bytes(), 0);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.retired), (0, 1, 1));
+    }
+
+    #[test]
+    fn pool_is_capped() {
+        let mut pool: TablePool<NodeId> = TablePool::enabled();
+        for _ in 0..2 * MAX_POOLED {
+            pool.retire(vec![0; 8], vec![0; 8]);
+        }
+        assert_eq!(pool.len(), MAX_POOLED);
+        assert_eq!(pool.stats().retired, 2 * MAX_POOLED as u64);
+    }
+
+    #[test]
+    fn disabling_releases_retained_buffers() {
+        let mut pool: TablePool<NodeId> = TablePool::enabled();
+        pool.retire(vec![0; 8], vec![0; 8]);
+        pool.set_enabled(false);
+        assert!(pool.is_empty());
+        assert_eq!(pool.retained_bytes(), 0);
+    }
+}

@@ -33,9 +33,27 @@
 //! byte loops survive as `*_scalar` methods — the correctness oracle for the
 //! property tests and the live pre-change baseline the `perf_smoke` scan
 //! guard measures against.
+//!
+//! # The pooled flat layout
+//!
+//! Since PR 6 the table is **`Option`-free and two-buffer flat**: one slot
+//! vector and one tag vector hold both bucket arrays back to back (array 1
+//! starts at flat offset `buckets0 * d`), and the tag occupancy bit is the
+//! *only* empty/occupied discriminant — a vacant slot physically holds
+//! [`Payload::filler`], written on removal and never observable because every
+//! read is guarded by the tags. This halves the slot footprint of plain
+//! payloads (`Option<NodeId>` was 16 bytes, `NodeId` is 8) and cuts a fresh
+//! table from four heap allocations to two.
+//!
+//! Those two allocations are then recycled: tables are born via
+//! [`CuckooTable::new_in`] out of a [`TablePool`] and die via
+//! [`CuckooTable::retire`] back into it, so steady-state TRANSFORMATION churn
+//! reuses the same slot/tag buffers instead of round-tripping the allocator
+//! (see [`crate::pool`]).
 
 use crate::hash::{HashPair, KeyHash};
 use crate::payload::Payload;
+use crate::pool::TablePool;
 use crate::rng::KickRng;
 use crate::swar;
 use graph_api::NodeId;
@@ -76,14 +94,12 @@ pub(crate) fn prefetch_read(p: *const u8) {
 /// A two-array, multi-slot cuckoo hash table with tagged buckets.
 #[derive(Debug, Clone)]
 pub struct CuckooTable<T> {
-    /// Flat slot storage for array 0: `buckets0 * d` entries.
-    slots0: Vec<Option<T>>,
-    /// Flat slot storage for array 1: `buckets1 * d` entries.
-    slots1: Vec<Option<T>>,
-    /// Tag bytes parallel to `slots0`: 0 = empty, `0x80 | fingerprint` else.
-    tags0: Vec<u8>,
-    /// Tag bytes parallel to `slots1`.
-    tags1: Vec<u8>,
+    /// Flat slot storage for both arrays: `buckets0 * d` entries of array 0
+    /// followed by `buckets1 * d` entries of array 1. Vacant slots hold
+    /// [`Payload::filler`]; the parallel tag bytes are the only discriminant.
+    slots: Vec<T>,
+    /// Tag bytes parallel to `slots`: 0 = empty, `0x80 | fingerprint` else.
+    tags: Vec<u8>,
     buckets0: usize,
     buckets1: usize,
     d: usize,
@@ -94,21 +110,36 @@ pub struct CuckooTable<T> {
 impl<T: Payload> CuckooTable<T> {
     /// Creates an empty table of the given length (`len` buckets in array 0,
     /// `len/2` in array 1) with `d` slots per bucket, hashing with the seeds
-    /// derived from `seed`.
+    /// derived from `seed`. Allocates fresh buffers; the engine paths use
+    /// [`CuckooTable::new_in`] to recycle retired ones.
     pub fn new(len: usize, d: usize, seed: u64) -> Self {
+        Self::new_in(len, d, seed, &mut TablePool::disabled())
+    }
+
+    /// Creates an empty table whose slot/tag buffers come from `pool` —
+    /// recycled from a retired table when available, freshly allocated on a
+    /// pool miss.
+    pub fn new_in(len: usize, d: usize, seed: u64, pool: &mut TablePool<T>) -> Self {
         let len = len.max(1);
         let buckets1 = secondary_buckets(len);
+        let (slots, tags) = pool.acquire((len + buckets1) * d);
         Self {
-            slots0: vec_none(len * d),
-            slots1: vec_none(buckets1 * d),
-            tags0: vec![0u8; len * d],
-            tags1: vec![0u8; buckets1 * d],
+            slots,
+            tags,
             buckets0: len,
             buckets1,
             d,
             hashes: HashPair::from_seed(seed),
             count: 0,
         }
+    }
+
+    /// Hands the table's buffers back to `pool` for recycling. Callers drain
+    /// the table first, so the buffers arrive all-filler / all-zero and the
+    /// next [`CuckooTable::new_in`] pays a `memset`, not a `malloc`.
+    pub fn retire(self, pool: &mut TablePool<T>) {
+        debug_assert_eq!(self.count, 0, "retiring a table that still holds items");
+        pool.retire(self.slots, self.tags);
     }
 
     /// Length of the table (buckets in the larger array).
@@ -121,7 +152,10 @@ impl<T: Payload> CuckooTable<T> {
         self.d
     }
 
-    /// Total number of slots across both arrays.
+    /// Total number of slots across both arrays. Purely geometric
+    /// (`(buckets0 + buckets1) · d`), independent of any excess capacity a
+    /// recycled buffer may carry — so every loading-rate aggregate derived
+    /// from it reflects live tables only.
     pub fn capacity(&self) -> usize {
         (self.buckets0 + self.buckets1) * self.d
     }
@@ -151,22 +185,20 @@ impl<T: Payload> CuckooTable<T> {
         self.hashes.bucket_of(kh, array, buckets)
     }
 
+    /// Flat offset at which the given array's slots begin.
     #[inline]
-    fn slots(&self, array: usize) -> &[Option<T>] {
+    fn array_base(&self, array: usize) -> usize {
         if array == 0 {
-            &self.slots0
+            0
         } else {
-            &self.slots1
+            self.buckets0 * self.d
         }
     }
 
+    /// Flat offset of the first slot of `kh`'s candidate bucket in `array`.
     #[inline]
-    fn parts_mut(&mut self, array: usize) -> (&mut Vec<Option<T>>, &mut Vec<u8>) {
-        if array == 0 {
-            (&mut self.slots0, &mut self.tags0)
-        } else {
-            (&mut self.slots1, &mut self.tags1)
-        }
+    fn bucket_base(&self, kh: KeyHash, array: usize) -> usize {
+        self.array_base(array) + self.bucket_index(kh, array) * self.d
     }
 
     /// Returns the `(array, flat_index)` coordinates of the item keyed by
@@ -176,19 +208,14 @@ impl<T: Payload> CuckooTable<T> {
         let key = kh.key();
         let tag = tag_of(kh);
         for array in 0..2 {
-            let bucket = self.bucket_index(kh, array);
-            let base = bucket * self.d;
-            let tags = if array == 0 { &self.tags0 } else { &self.tags1 };
-            let slots = self.slots(array);
+            let base = self.bucket_base(kh, array);
             let mut found = None;
-            swar::scan_eq(&tags[base..base + self.d], tag, |offset| {
+            swar::scan_eq(&self.tags[base..base + self.d], tag, |offset| {
                 // Tag hit: confirm with the full key so collisions between
                 // different keys sharing a fingerprint stay exact.
-                if let Some(item) = &slots[base + offset] {
-                    if item.key() == key {
-                        found = Some((array, base + offset));
-                        return true;
-                    }
+                if self.slots[base + offset].key() == key {
+                    found = Some((array, base + offset));
+                    return true;
                 }
                 false
             });
@@ -205,17 +232,10 @@ impl<T: Payload> CuckooTable<T> {
         let key = kh.key();
         let tag = tag_of(kh);
         for array in 0..2 {
-            let bucket = self.bucket_index(kh, array);
-            let base = bucket * self.d;
-            let tags = if array == 0 { &self.tags0 } else { &self.tags1 };
-            let slots = self.slots(array);
-            for (offset, &t) in tags[base..base + self.d].iter().enumerate() {
-                if t == tag {
-                    if let Some(item) = &slots[base + offset] {
-                        if item.key() == key {
-                            return Some((array, base + offset));
-                        }
-                    }
+            let base = self.bucket_base(kh, array);
+            for (offset, &t) in self.tags[base..base + self.d].iter().enumerate() {
+                if t == tag && self.slots[base + offset].key() == key {
+                    return Some((array, base + offset));
                 }
             }
         }
@@ -225,23 +245,22 @@ impl<T: Payload> CuckooTable<T> {
     /// Direct access to a slot located by [`CuckooTable::locate`].
     #[inline]
     pub(crate) fn slot_at_mut(&mut self, pos: (usize, usize)) -> &mut T {
-        let (array, i) = pos;
-        let (slots, _) = self.parts_mut(array);
-        slots[i].as_mut().expect("located slot is occupied")
+        debug_assert!(self.tags[pos.1] & 0x80 != 0, "located slot is occupied");
+        &mut self.slots[pos.1]
     }
 
     /// Returns a reference to the item with the given key, if stored.
     pub fn get(&self, kh: KeyHash) -> Option<&T> {
-        let (array, i) = self.locate(kh)?;
-        self.slots(array)[i].as_ref()
+        let (_, i) = self.locate(kh)?;
+        Some(&self.slots[i])
     }
 
     /// [`CuckooTable::get`] through the scalar probe ([`CuckooTable::locate_scalar`]) —
     /// the SWAR-vs-scalar oracle used by `tests/swar_scan_model.rs`.
     #[doc(hidden)]
     pub fn get_scalar(&self, kh: KeyHash) -> Option<&T> {
-        let (array, i) = self.locate_scalar(kh)?;
-        self.slots(array)[i].as_ref()
+        let (_, i) = self.locate_scalar(kh)?;
+        Some(&self.slots[i])
     }
 
     /// Returns a mutable reference to the item with the given key, if stored.
@@ -255,26 +274,26 @@ impl<T: Payload> CuckooTable<T> {
         self.locate(kh).is_some()
     }
 
-    /// Removes and returns the item with the given key.
+    /// Removes and returns the item with the given key. The vacated slot is
+    /// overwritten with [`Payload::filler`] and its tag zeroed.
     pub fn remove(&mut self, kh: KeyHash) -> Option<T> {
-        let (array, i) = self.locate(kh)?;
-        let (slots, tags) = self.parts_mut(array);
-        let item = slots[i].take();
-        if item.is_some() {
-            tags[i] = 0;
-            self.count -= 1;
-        }
-        item
+        let (_, i) = self.locate(kh)?;
+        let item = std::mem::replace(&mut self.slots[i], T::filler());
+        self.tags[i] = 0;
+        self.count -= 1;
+        Some(item)
     }
 
     /// Pre-change reference probe, kept as the correctness oracle for the
     /// property tests and the baseline the `perf_smoke` probe guard measures
     /// against: recomputes the full hash material per bucket array (two Bob
     /// passes per table, the cost `HashPair::bucket` paid before memoization)
-    /// and compares full payload keys, ignoring the tag bytes entirely. The
-    /// bucket *indices* still come from [`HashPair::bucket_of`] — items live
-    /// where the tagged path put them, so the oracle reproduces the old
-    /// probe's cost shape, not its (now unused) bucket function.
+    /// and compares full payload keys, consulting only the occupancy bit of
+    /// the tags (the pre-tag layout's `Option` discriminant), never the
+    /// fingerprints. The bucket *indices* still come from
+    /// [`HashPair::bucket_of`] — items live where the tagged path put them,
+    /// so the oracle reproduces the old probe's cost shape, not its (now
+    /// unused) bucket function.
     pub fn contains_unmemoized(&self, key: NodeId) -> bool {
         self.get_unmemoized(key).is_some()
     }
@@ -286,11 +305,13 @@ impl<T: Payload> CuckooTable<T> {
             // One full Bob pass per array — the pre-memoization cost shape.
             // black_box keeps the optimizer from hoisting the second pass.
             let kh = KeyHash::new(std::hint::black_box(key));
-            let bucket = self.bucket_index(kh, array);
-            let base = bucket * self.d;
-            for item in self.slots(array)[base..base + self.d].iter().flatten() {
-                if item.key() == key {
-                    return Some(item);
+            let base = self.bucket_base(kh, array);
+            for offset in 0..self.d {
+                if self.tags[base + offset] & 0x80 != 0 {
+                    let item = &self.slots[base + offset];
+                    if item.key() == key {
+                        return Some(item);
+                    }
                 }
             }
         }
@@ -301,10 +322,10 @@ impl<T: Payload> CuckooTable<T> {
     /// lines a subsequent [`CuckooTable::locate`] for the same key will read.
     #[inline]
     pub fn prefetch(&self, kh: KeyHash) {
-        let b0 = self.bucket_index(kh, 0) * self.d;
-        prefetch_read(self.tags0[b0..].as_ptr());
-        let b1 = self.bucket_index(kh, 1) * self.d;
-        prefetch_read(self.tags1[b1..].as_ptr());
+        let b0 = self.bucket_base(kh, 0);
+        prefetch_read(self.tags[b0..].as_ptr());
+        let b1 = self.bucket_base(kh, 1);
+        prefetch_read(self.tags[b1..].as_ptr());
     }
 
     /// Tries to place `item` in an empty slot of one of its two candidate
@@ -314,13 +335,10 @@ impl<T: Payload> CuckooTable<T> {
     fn try_place_direct(&mut self, item: T, kh: KeyHash, placements: &mut u64) -> Result<(), T> {
         let tag = tag_of(kh);
         for array in 0..2 {
-            let bucket = self.bucket_index(kh, array);
-            let base = bucket * self.d;
-            let d = self.d;
-            let (slots, tags) = self.parts_mut(array);
-            if let Some(offset) = swar::find_eq(&tags[base..base + d], 0) {
-                slots[base + offset] = Some(item);
-                tags[base + offset] = tag;
+            let base = self.bucket_base(kh, array);
+            if let Some(offset) = swar::find_eq(&self.tags[base..base + self.d], 0) {
+                self.slots[base + offset] = item;
+                self.tags[base + offset] = tag;
                 self.count += 1;
                 *placements += 1;
                 return Ok(());
@@ -358,31 +376,25 @@ impl<T: Payload> CuckooTable<T> {
         // and continue with the evictee in its *other* candidate bucket.
         let mut array = if rng.next_bool() { 1 } else { 0 };
         for _ in 0..max_kicks {
-            let bucket = self.bucket_index(cur_kh, array);
-            let base = bucket * self.d;
+            let base = self.bucket_base(cur_kh, array);
             let d = self.d;
             let cur_tag = tag_of(cur_kh);
 
             // If an empty slot opened up (possible after earlier evictions),
             // settle immediately.
-            {
-                let (slots, tags) = self.parts_mut(array);
-                if let Some(offset) = swar::find_eq(&tags[base..base + d], 0) {
-                    slots[base + offset] = Some(cur);
-                    tags[base + offset] = cur_tag;
-                    self.count += 1;
-                    *placements += 1;
-                    return Ok(());
-                }
+            if let Some(offset) = swar::find_eq(&self.tags[base..base + d], 0) {
+                self.slots[base + offset] = cur;
+                self.tags[base + offset] = cur_tag;
+                self.count += 1;
+                *placements += 1;
+                return Ok(());
             }
 
             // Evict a random resident and take its place.
             let victim_slot = base + rng.next_below(d);
-            let (slots, tags) = self.parts_mut(array);
-            let victim = slots[victim_slot]
-                .replace(cur)
-                .expect("victim slot was occupied");
-            tags[victim_slot] = cur_tag;
+            debug_assert!(self.tags[victim_slot] & 0x80 != 0, "victim slot occupied");
+            let victim = std::mem::replace(&mut self.slots[victim_slot], cur);
+            self.tags[victim_slot] = cur_tag;
             *placements += 1;
             cur = victim;
             // The victim is re-hashed once per eviction — still cheaper than
@@ -398,73 +410,78 @@ impl<T: Payload> CuckooTable<T> {
         Err(cur)
     }
 
-    /// Calls `f` for every stored item, walking the tag arrays eight slots at
+    /// Calls `f` for every stored item, walking the tag array eight slots at
     /// a time: the occupancy bitmap (`word & 0x8080…`) names exactly the
     /// occupied slots, so empty regions cost one word test and no payload
-    /// traffic at all — the successor-scan fast path.
+    /// traffic at all — the successor-scan fast path. With the flat layout
+    /// both bucket arrays are covered by one pass.
     ///
     /// The walk pairs each tag word with its 8-slot payload chunk
     /// (`chunks_exact`), so the per-item slot access needs no bounds check:
     /// `trailing_zeros >> 3` of a non-zero `u64` is provably `< 8`.
     pub fn for_each(&self, mut f: impl FnMut(&T)) {
-        for (slots, tags) in [(&self.slots0, &self.tags0), (&self.slots1, &self.tags1)] {
-            let mut slot_chunks = slots.chunks_exact(8);
-            let mut tag_chunks = tags.chunks_exact(8);
-            for (chunk, tag_chunk) in slot_chunks.by_ref().zip(tag_chunks.by_ref()) {
-                let word = u64::from_le_bytes(tag_chunk.try_into().expect("chunks_exact(8)"));
-                let mut mask = swar::occupied_mask(word);
-                while mask != 0 {
-                    if let Some(item) = &chunk[swar::first_index(mask)] {
-                        f(item);
-                    }
-                    mask &= mask - 1;
-                }
+        let mut slot_chunks = self.slots.chunks_exact(8);
+        let mut tag_chunks = self.tags.chunks_exact(8);
+        for (chunk, tag_chunk) in slot_chunks.by_ref().zip(tag_chunks.by_ref()) {
+            let word = u64::from_le_bytes(tag_chunk.try_into().expect("chunks_exact(8)"));
+            let mut mask = swar::occupied_mask(word);
+            while mask != 0 {
+                f(&chunk[swar::first_index(mask)]);
+                mask &= mask - 1;
             }
-            for (slot, &tag) in slot_chunks.remainder().iter().zip(tag_chunks.remainder()) {
-                if tag & 0x80 != 0 {
-                    if let Some(item) = slot {
-                        f(item);
-                    }
-                }
+        }
+        for (slot, &tag) in slot_chunks.remainder().iter().zip(tag_chunks.remainder()) {
+            if tag & 0x80 != 0 {
+                f(slot);
             }
         }
     }
 
-    /// Pre-SWAR iteration (walks every `Option` slot), kept as the scalar
+    /// Pre-SWAR iteration (walks the tag bytes one at a time — the scalar
+    /// discriminant walk the `Option` layout used to do), kept as the scalar
     /// oracle and the live baseline of the `perf_smoke` scan guard.
     pub fn for_each_scalar(&self, mut f: impl FnMut(&T)) {
-        for item in self.slots0.iter().chain(self.slots1.iter()).flatten() {
-            f(item);
+        for (slot, &tag) in self.slots.iter().zip(self.tags.iter()) {
+            if tag & 0x80 != 0 {
+                f(slot);
+            }
         }
     }
 
-    /// Iterates over stored items. Scalar slot walk — the rare cold callers
+    /// Mutable scalar walk over every stored item. Callers must not change an
+    /// item's key (that would desynchronise the tags); used by the arena
+    /// compaction remap, which rewrites cell block indices only.
+    pub(crate) fn for_each_mut(&mut self, mut f: impl FnMut(&mut T)) {
+        for (slot, &tag) in self.slots.iter_mut().zip(self.tags.iter()) {
+            if tag & 0x80 != 0 {
+                f(slot);
+            }
+        }
+    }
+
+    /// Iterates over stored items. Scalar tag walk — the rare cold callers
     /// (memory accounting, tests) double as the oracle for
     /// [`CuckooTable::for_each`].
     pub fn iter(&self) -> impl Iterator<Item = &T> {
-        self.slots0
+        self.slots
             .iter()
-            .chain(self.slots1.iter())
-            .filter_map(|s| s.as_ref())
+            .zip(self.tags.iter())
+            .filter_map(|(slot, &tag)| (tag & 0x80 != 0).then_some(slot))
     }
 
     /// Moves every stored item into `out`, leaving the table empty. The
     /// occupied slots are located by tag-word scan, so a drain touches only
-    /// the slots that actually hold items; the tag arrays are wiped with two
-    /// `fill`s. This is the allocation-free feeder of the rebuild scratch.
+    /// the slots that actually hold items (each is swapped out for a
+    /// [`Payload::filler`]); the tag array is wiped with one `fill`. This is
+    /// the allocation-free feeder of the rebuild scratch, and it leaves the
+    /// buffers clean for [`CuckooTable::retire`].
     pub fn drain_into(&mut self, out: &mut Vec<T>) {
         out.reserve(self.count);
-        for (slots, tags) in [
-            (&mut self.slots0, &mut self.tags0),
-            (&mut self.slots1, &mut self.tags1),
-        ] {
-            swar::scan_occupied(tags, |i| {
-                if let Some(item) = slots[i].take() {
-                    out.push(item);
-                }
-            });
-            tags.fill(0);
-        }
+        let slots = &mut self.slots;
+        swar::scan_occupied(&self.tags, |i| {
+            out.push(std::mem::replace(&mut slots[i], T::filler()));
+        });
+        self.tags.fill(0);
         self.count = 0;
     }
 
@@ -476,13 +493,10 @@ impl<T: Payload> CuckooTable<T> {
         out
     }
 
-    /// Bytes occupied by the two slot arrays, their tag bytes, plus the heap
-    /// data owned by the stored items.
+    /// Bytes occupied by the slot array, its tag bytes, plus the heap data
+    /// owned by the stored items (fillers own none, by contract).
     pub fn memory_bytes(&self) -> usize {
-        let slot_size = std::mem::size_of::<Option<T>>();
-        let mut bytes = (self.slots0.capacity() + self.slots1.capacity()) * slot_size
-            + self.tags0.capacity()
-            + self.tags1.capacity();
+        let mut bytes = self.slots.capacity() * std::mem::size_of::<T>() + self.tags.capacity();
         for item in self.iter() {
             bytes += item.heap_bytes();
         }
@@ -490,31 +504,24 @@ impl<T: Payload> CuckooTable<T> {
     }
 
     /// Internal consistency check used by the property tests: every occupied
-    /// slot carries its key's tag, every empty slot a zero tag, and the cached
-    /// count matches the slots.
+    /// slot carries its key's tag, every empty slot a zero tag and no heap
+    /// bytes (the filler contract), and the cached count matches the tags.
     #[doc(hidden)]
     pub fn assert_tags_consistent(&self) {
+        assert_eq!(self.slots.len(), self.tags.len());
+        assert_eq!(self.slots.len(), self.capacity(), "flat layout geometry");
         let mut stored = 0usize;
-        for (slots, tags) in [(&self.slots0, &self.tags0), (&self.slots1, &self.tags1)] {
-            assert_eq!(slots.len(), tags.len());
-            for (slot, &tag) in slots.iter().zip(tags.iter()) {
-                match slot {
-                    Some(item) => {
-                        stored += 1;
-                        assert_eq!(tag, tag_of(item.key_hash()), "stale tag byte");
-                    }
-                    None => assert_eq!(tag, 0, "ghost tag on empty slot"),
-                }
+        for (slot, &tag) in self.slots.iter().zip(self.tags.iter()) {
+            if tag & 0x80 != 0 {
+                stored += 1;
+                assert_eq!(tag, tag_of(slot.key_hash()), "stale tag byte");
+            } else {
+                assert_eq!(tag, 0, "ghost tag on empty slot");
+                assert_eq!(slot.heap_bytes(), 0, "vacant slot owns heap");
             }
         }
         assert_eq!(stored, self.count, "cached count out of sync");
     }
-}
-
-fn vec_none<T>(n: usize) -> Vec<Option<T>> {
-    let mut v = Vec::with_capacity(n);
-    v.resize_with(n, || None);
-    v
 }
 
 /// Compile-time proof that the cuckoo table is `Send + Sync`, as the sharded
@@ -552,11 +559,11 @@ mod tests {
         let mut t = table(8, 4);
         let mut rng = KickRng::new(1);
         let mut placements = 0;
-        for v in 0..20u64 {
+        for v in 1..=20u64 {
             t.insert(v, kh(v), &mut rng, 50, &mut placements).unwrap();
         }
         assert_eq!(t.count(), 20);
-        for v in 0..20u64 {
+        for v in 1..=20u64 {
             assert_eq!(t.get(kh(v)), Some(&v));
             assert!(t.contains(kh(v)));
             assert!(t.contains_unmemoized(v));
@@ -564,6 +571,23 @@ mod tests {
         assert!(!t.contains(kh(99)));
         assert!(!t.contains_unmemoized(99));
         assert!(placements >= 20);
+        t.assert_tags_consistent();
+    }
+
+    /// The filler value (0 for `NodeId`) is a perfectly ordinary key: vacant
+    /// slots holding fillers must never alias a stored key 0.
+    #[test]
+    fn filler_key_is_storable_and_distinct_from_vacancy() {
+        let mut t = table(8, 4);
+        let mut rng = KickRng::new(12);
+        let mut p = 0;
+        assert!(!t.contains(kh(0)), "empty table must not report key 0");
+        assert!(!t.contains_unmemoized(0));
+        t.insert(0, kh(0), &mut rng, 50, &mut p).unwrap();
+        assert_eq!(t.get(kh(0)), Some(&0));
+        assert_eq!(t.count(), 1);
+        assert_eq!(t.remove(kh(0)), Some(0));
+        assert!(!t.contains(kh(0)));
         t.assert_tags_consistent();
     }
 
@@ -657,10 +681,40 @@ mod tests {
 
     #[test]
     fn memory_bytes_reflects_capacity() {
+        // Option-free layout: one payload byte-for-byte per slot, one tag.
         let t = table(8, 4);
         let slots = 8 * 4 + 4 * 4;
-        let expected = slots * std::mem::size_of::<Option<NodeId>>() + slots;
+        let expected = slots * std::mem::size_of::<NodeId>() + slots;
         assert_eq!(t.memory_bytes(), expected);
+    }
+
+    #[test]
+    fn pooled_rebirth_reuses_buffers_and_stays_exact() {
+        let mut pool: TablePool<NodeId> = TablePool::enabled();
+        let mut t = CuckooTable::new_in(8, 4, 0x9999, &mut pool);
+        let mut rng = KickRng::new(13);
+        let mut p = 0;
+        for v in 0..30u64 {
+            t.insert(v, kh(v), &mut rng, 100, &mut p).unwrap();
+        }
+        let mut out = Vec::new();
+        t.drain_into(&mut out);
+        t.retire(&mut pool);
+        assert_eq!(pool.stats().retired, 1);
+
+        // Rebirth from the pool: different geometry, same correctness.
+        let mut t2: CuckooTable<NodeId> = CuckooTable::new_in(4, 4, 0x4242, &mut pool);
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(t2.capacity(), (4 + 2) * 4);
+        t2.assert_tags_consistent();
+        for v in 40..60u64 {
+            t2.insert(v, kh(v), &mut rng, 100, &mut p).unwrap();
+        }
+        for v in 40..60u64 {
+            assert_eq!(t2.get(kh(v)), Some(&v));
+        }
+        assert!(!t2.contains(kh(5)), "stale key visible after rebirth");
+        t2.assert_tags_consistent();
     }
 
     #[test]
@@ -679,6 +733,13 @@ mod tests {
         });
         assert_eq!(n, 25);
         assert_eq!(sum, (0..25).sum());
+        // The scalar walk and the mutable walk agree with the SWAR pass.
+        let mut scalar = 0u64;
+        t.for_each_scalar(|&v| scalar += v);
+        assert_eq!(scalar, sum);
+        let mut muts = 0u64;
+        t.for_each_mut(|v| muts += *v);
+        assert_eq!(muts, sum);
     }
 
     #[test]

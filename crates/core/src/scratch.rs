@@ -26,6 +26,7 @@
 
 use crate::hash::KeyHash;
 use crate::payload::Payload;
+use crate::pool::{PoolStats, TablePool};
 
 /// Reusable drain/re-place buffers for one chain's rebuild events.
 ///
@@ -43,6 +44,13 @@ pub struct RebuildScratch<T> {
     /// When false, the buffers are dropped after every event — the
     /// alloc-per-event reference cost shape.
     persistent: bool,
+    /// Recycled table buffers for the chains rebuilt through this scratch
+    /// (see [`crate::pool`]). Lives here because the scratch is already
+    /// threaded through every resize path, so the pool reaches each
+    /// TRANSFORMATION without new plumbing. The pool outlives rebuild events
+    /// regardless of `persistent` — the two oracles (`with_resize_scratch`,
+    /// `with_table_pool`) stay independent.
+    pub(crate) pool: TablePool<T>,
 }
 
 impl<T: Payload> RebuildScratch<T> {
@@ -53,6 +61,7 @@ impl<T: Payload> RebuildScratch<T> {
             items: Vec::new(),
             hashes: Vec::new(),
             persistent: true,
+            pool: TablePool::enabled(),
         }
     }
 
@@ -65,7 +74,26 @@ impl<T: Payload> RebuildScratch<T> {
             items: Vec::new(),
             hashes: Vec::new(),
             persistent: false,
+            pool: TablePool::enabled(),
         }
+    }
+
+    /// Builder-style switch for the embedded table pool: `false` selects the
+    /// allocate-per-table reference behaviour
+    /// ([`crate::CuckooGraphConfig::with_table_pool`]`(false)`).
+    pub fn with_table_pool(mut self, enabled: bool) -> Self {
+        self.pool.set_enabled(enabled);
+        self
+    }
+
+    /// Counter snapshot of the embedded table pool.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Bytes held by idle pooled table buffers.
+    pub fn pool_retained_bytes(&self) -> usize {
+        self.pool.retained_bytes()
     }
 
     /// Number of items currently buffered (non-zero only mid-rebuild).

@@ -244,8 +244,29 @@ impl Sharded<CuckooGraph> {
             merged.insertion_failures += stats.insertion_failures;
             merged.expansions += stats.expansions;
             merged.contractions += stats.contractions;
+            merged.pool_hits += stats.pool_hits;
+            merged.pool_misses += stats.pool_misses;
+            merged.pool_retired += stats.pool_retired;
+            merged.pool_retained_bytes += stats.pool_retained_bytes;
+            merged.arena_blocks += stats.arena_blocks;
+            merged.arena_free_blocks += stats.arena_free_blocks;
         }
         merged
+    }
+
+    /// Compacts every shard's slot arena in parallel (see
+    /// [`CuckooGraph::compact_arena`]); returns the total number of freed
+    /// blocks reclaimed.
+    pub fn compact_arenas(&mut self) -> usize {
+        std::thread::scope(|scope| {
+            self.shards
+                .iter_mut()
+                .map(|shard| scope.spawn(move || shard.compact_arena()))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("shard compaction panicked"))
+                .sum()
+        })
     }
 }
 

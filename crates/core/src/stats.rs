@@ -43,6 +43,19 @@ pub struct StructureStats {
     pub expansions: u64,
     /// Number of chain/table contractions performed.
     pub contractions: u64,
+    /// Table-pool acquisitions served from a recycled buffer (no allocation).
+    pub pool_hits: u64,
+    /// Table-pool acquisitions that had to allocate fresh buffers.
+    pub pool_misses: u64,
+    /// Tables whose buffers were returned to the pool on retirement.
+    pub pool_retired: u64,
+    /// Bytes currently parked in pool free lists awaiting reuse.
+    pub pool_retained_bytes: usize,
+    /// Blocks carved out of the slot arena (live + freed).
+    pub arena_blocks: usize,
+    /// Arena blocks currently on the free list (reclaimable by
+    /// `compact_arena`).
+    pub arena_free_blocks: usize,
 }
 
 impl StructureStats {

@@ -1,0 +1,324 @@
+//! Property tests for the PR-6 memory layer: table pooling and the slot
+//! arena.
+//!
+//! The table pool only changes where a fresh table's buffers *come from*
+//! (recycled vs allocator), never what they contain — so a pool-on graph and
+//! a pool-off graph driven through the same operation sequence must be
+//! structurally identical: same edge set, same successor sets, same stats
+//! (up to the pool's own counters). The tests pin that equivalence under
+//! random insert/delete churn, serially and sharded, and additionally pin
+//! the PR-6 satellite fixes: loading-rate aggregates must reflect live
+//! tables only (recycled buffer capacity never leaks into `lcht_cells`),
+//! and arena compaction must be a pure relayout (same graph before and
+//! after, free list drained, remap applied to every cell including parked
+//! L-DL cells).
+
+use cuckoograph::{
+    CuckooGraph, CuckooGraphConfig, MemoryFootprint, NodeId, ShardedCuckooGraph, StructureStats,
+    WeightedCuckooGraph,
+};
+use graph_api::{DynamicGraph, WeightedDynamicGraph};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// One operation of the randomised churn workload. Weighted towards inserts
+/// so graphs grow through expansion thresholds, with enough deletes to drive
+/// contractions and chain collapses (the paths that exercise the pool).
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Delete(u64, u64),
+    BatchInsert(u64),
+    BatchRemove(u64),
+}
+
+fn op_strategy(nodes: u64, fanout: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0..nodes, 0..fanout).prop_map(|(u, v)| Op::Insert(u, v)),
+        3 => (0..nodes, 0..fanout).prop_map(|(u, v)| Op::Delete(u, v)),
+        1 => (0..nodes).prop_map(Op::BatchInsert),
+        1 => (0..nodes).prop_map(Op::BatchRemove),
+    ]
+}
+
+/// Expands an op into the concrete edge list it acts on. Batch ops touch a
+/// whole adjacency run so chains expand/contract in bulk — the heaviest
+/// TRANSFORMATION traffic, hence the heaviest pool traffic.
+fn edges_of(op: &Op, fanout: u64) -> (bool, Vec<(NodeId, NodeId)>) {
+    match *op {
+        Op::Insert(u, v) => (true, vec![(u, v)]),
+        Op::Delete(u, v) => (false, vec![(u, v)]),
+        Op::BatchInsert(u) => (true, (0..4 * fanout).map(|v| (u, v)).collect()),
+        Op::BatchRemove(u) => (false, (0..4 * fanout).map(|v| (u, v)).collect()),
+    }
+}
+
+/// Zeroes the counters that legitimately differ between a pool-on and a
+/// pool-off run (hit/miss split and idle retained capacity); everything
+/// else — including `pool_retired`, which counts the same TRANSFORMATION
+/// events either way — must match exactly.
+fn neutralize_pool(mut s: StructureStats) -> StructureStats {
+    s.pool_hits = 0;
+    s.pool_misses = 0;
+    s.pool_retained_bytes = 0;
+    s
+}
+
+fn sorted_edges(g: &CuckooGraph) -> Vec<(NodeId, NodeId)> {
+    let mut e = g.edges();
+    e.sort_unstable();
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pool-on and pool-off engines driven through the same churn sequence
+    /// are indistinguishable from the outside: identical edge sets,
+    /// successor sets (fast and scalar scan), degrees, and stats modulo the
+    /// pool's own counters. Memory may differ only by what the pool
+    /// honestly reports as retained.
+    #[test]
+    fn pooled_graph_matches_pool_off_oracle_under_churn(
+        ops in prop::collection::vec(op_strategy(24, 40), 1..120),
+        seed in 0u64..1_000
+    ) {
+        let config = CuckooGraphConfig::default()
+            .with_lcht_base_len(4)
+            .with_scht_base_len(4)
+            .with_seed(seed);
+        let mut pooled = CuckooGraph::with_config(config.clone().with_table_pool(true));
+        let mut oracle = CuckooGraph::with_config(config.with_table_pool(false));
+
+        for op in &ops {
+            let (insert, edges) = edges_of(op, 40);
+            if insert {
+                prop_assert_eq!(pooled.insert_edges(&edges), oracle.insert_edges(&edges));
+            } else {
+                prop_assert_eq!(pooled.remove_edges(&edges), oracle.remove_edges(&edges));
+            }
+        }
+
+        prop_assert_eq!(sorted_edges(&pooled), sorted_edges(&oracle));
+        for u in 0..24u64 {
+            let mut a = pooled.successors(u);
+            let mut b = oracle.successors(u);
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(&a, &b, "successors of {} diverge", u);
+            let mut scalar = Vec::new();
+            pooled.for_each_successor_scalar(u, &mut |v| scalar.push(v));
+            scalar.sort_unstable();
+            prop_assert_eq!(&scalar, &a, "scalar scan of {} diverges", u);
+            prop_assert_eq!(pooled.out_degree(u), oracle.out_degree(u));
+        }
+
+        let ps = pooled.stats();
+        let os = oracle.stats();
+        prop_assert_eq!(os.pool_hits, 0, "disabled pool served a hit");
+        prop_assert_eq!(os.pool_retained_bytes, 0, "disabled pool retained bytes");
+        prop_assert_eq!(neutralize_pool(ps.clone()), neutralize_pool(os));
+
+        // Pooling may only add what it honestly reports as retained, plus the
+        // ride-along capacity of live tables born from recycled buffers —
+        // which `TablePool::acquire` caps at 4× each table's geometric size.
+        let retained = ps.pool_retained_bytes;
+        prop_assert!(
+            pooled.memory_bytes() <= 4 * oracle.memory_bytes() + retained,
+            "pooled memory exceeds capacity-capped bound: {} > 4 * {} + {}",
+            pooled.memory_bytes(), oracle.memory_bytes(), retained
+        );
+    }
+
+    /// The same equivalence holds across the sharded fan-out: each shard's
+    /// pool is private, so N pooled shards must match N pool-off shards.
+    #[test]
+    fn sharded_pooled_matches_sharded_pool_off(
+        ops in prop::collection::vec(op_strategy(48, 30), 1..60),
+        shards in 1usize..5
+    ) {
+        let config = CuckooGraphConfig::default()
+            .with_lcht_base_len(4)
+            .with_scht_base_len(4);
+        let mut pooled =
+            ShardedCuckooGraph::with_config(shards, config.clone().with_table_pool(true));
+        let mut oracle = ShardedCuckooGraph::with_config(shards, config.with_table_pool(false));
+
+        for op in &ops {
+            let (insert, edges) = edges_of(op, 30);
+            if insert {
+                prop_assert_eq!(pooled.insert_edges(&edges), oracle.insert_edges(&edges));
+            } else {
+                prop_assert_eq!(pooled.remove_edges(&edges), oracle.remove_edges(&edges));
+            }
+        }
+
+        let a: BTreeSet<(NodeId, NodeId)> = pooled.par_edges().into_iter().collect();
+        let b: BTreeSet<(NodeId, NodeId)> = oracle.par_edges().into_iter().collect();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(
+            neutralize_pool(pooled.stats()),
+            neutralize_pool(oracle.stats())
+        );
+    }
+
+    /// Satellite 2 pin: capacity-derived aggregates count **live** tables
+    /// only. Recycled buffers carry excess `Vec` capacity, and before PR 6's
+    /// fix a capacity-based `lcht_cells` would have inflated under pooled
+    /// reuse, deflating the loading rate. After arbitrary churn the pooled
+    /// and pool-off shapes must report identical cell counts and a loading
+    /// rate that is exactly nodes / cells.
+    #[test]
+    fn loading_rate_reflects_live_tables_after_pooled_churn(
+        ops in prop::collection::vec(op_strategy(32, 24), 1..100)
+    ) {
+        let config = CuckooGraphConfig::default()
+            .with_lcht_base_len(4)
+            .with_scht_base_len(4);
+        let mut pooled = CuckooGraph::with_config(config.clone().with_table_pool(true));
+        let mut oracle = CuckooGraph::with_config(config.with_table_pool(false));
+        for op in &ops {
+            let (insert, edges) = edges_of(op, 24);
+            if insert {
+                pooled.insert_edges(&edges);
+                oracle.insert_edges(&edges);
+            } else {
+                pooled.remove_edges(&edges);
+                oracle.remove_edges(&edges);
+            }
+        }
+        let ps = pooled.stats();
+        let os = oracle.stats();
+        prop_assert_eq!(ps.lcht_cells, os.lcht_cells, "pooled reuse inflated capacity");
+        prop_assert_eq!(ps.scht_slots, os.scht_slots, "pooled reuse inflated slots");
+        let rate = ps.lcht_loading_rate();
+        if ps.nodes > 0 {
+            prop_assert!(rate > 0.0 && rate <= 1.0, "loading rate out of range: {}", rate);
+            prop_assert!(
+                (rate - ps.nodes as f64 / ps.lcht_cells as f64).abs() < 1e-12,
+                "loading rate not nodes/cells"
+            );
+        }
+    }
+
+    /// Arena compaction is a pure relayout: after random churn (which frees
+    /// blocks through TRANSFORMATIONS and collapses), `compact_arena` must
+    /// drain the free list, reclaim slab memory, and leave every query
+    /// answer — including post-compaction mutations — unchanged.
+    #[test]
+    fn arena_compaction_round_trips_under_churn(
+        ops in prop::collection::vec(op_strategy(32, 24), 1..100)
+    ) {
+        let config = CuckooGraphConfig::default()
+            .with_lcht_base_len(4)
+            .with_scht_base_len(4);
+        let mut g = CuckooGraph::with_config(config);
+        for op in &ops {
+            let (insert, edges) = edges_of(op, 24);
+            if insert {
+                g.insert_edges(&edges);
+            } else {
+                g.remove_edges(&edges);
+            }
+        }
+
+        let before_edges = sorted_edges(&g);
+        let before = g.stats();
+        let freed = g.compact_arena();
+        prop_assert_eq!(freed, before.arena_free_blocks, "compaction miscounted");
+        let after = g.stats();
+        prop_assert_eq!(after.arena_free_blocks, 0, "free list survived compaction");
+        prop_assert_eq!(
+            after.arena_blocks,
+            before.arena_blocks - before.arena_free_blocks
+        );
+        prop_assert_eq!(sorted_edges(&g), before_edges, "compaction changed the graph");
+
+        // The compacted graph keeps working: mutate through every remapped
+        // block and re-verify.
+        for u in 0..32u64 {
+            let mut s = g.successors(u);
+            s.sort_unstable();
+            s.dedup();
+            prop_assert_eq!(s.len(), g.out_degree(u), "degree diverges after compaction");
+            g.insert_edge(u, 1_000_000);
+            prop_assert!(g.has_edge(u, 1_000_000));
+            g.delete_edge(u, 1_000_000);
+            prop_assert!(!g.has_edge(u, 1_000_000));
+        }
+        prop_assert_eq!(sorted_edges(&g), before_edges);
+    }
+}
+
+/// The weighted variant shares the engine, but its payloads carry state the
+/// equivalence must also cover (weights survive pooled rebuilds bit-exactly).
+#[test]
+fn weighted_pooled_matches_pool_off_oracle() {
+    let config = CuckooGraphConfig::default()
+        .with_lcht_base_len(4)
+        .with_scht_base_len(4);
+    let mut pooled = WeightedCuckooGraph::with_config(config.clone().with_table_pool(true));
+    let mut oracle = WeightedCuckooGraph::with_config(config.with_table_pool(false));
+    let items: Vec<(NodeId, NodeId, u64)> = (0..6_000u64)
+        .map(|i| (i % 40, (i * 7) % 90, i % 3 + 1))
+        .collect();
+    // Several grow/shrink cycles: tables retired by one round's contractions
+    // must be reborn (from the pool) by the next round's expansions.
+    for _ in 0..3 {
+        pooled.insert_weighted_edges(&items);
+        oracle.insert_weighted_edges(&items);
+        for u in 0..40u64 {
+            for v in 0..90u64 {
+                if v % 2 == 0 {
+                    assert_eq!(
+                        pooled.delete_weighted(u, v, u64::MAX),
+                        oracle.delete_weighted(u, v, u64::MAX)
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(pooled.total_weight(), oracle.total_weight());
+    for u in 0..40u64 {
+        let mut a = pooled.weighted_successors(u);
+        let mut b = oracle.weighted_successors(u);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "weighted successors of {u} diverge");
+    }
+    let stats = pooled.stats();
+    assert!(
+        stats.pool_hits > 0,
+        "churn this heavy must recycle tables: {stats:?}"
+    );
+    assert_eq!(neutralize_pool(stats), neutralize_pool(oracle.stats()));
+}
+
+/// Deterministic end-to-end pin of the pool's purpose: a grow/shrink cycle
+/// repeated many times must serve most table births from the pool (hits
+/// dominate misses) while retaining only the capped, honestly-reported
+/// buffers.
+#[test]
+fn churn_cycles_are_served_from_the_pool() {
+    let mut g = CuckooGraph::with_config(
+        CuckooGraphConfig::default()
+            .with_lcht_base_len(4)
+            .with_scht_base_len(4),
+    );
+    let edges: Vec<(NodeId, NodeId)> = (0..8u64)
+        .flat_map(|u| (0..200u64).map(move |v| (u, v)))
+        .collect();
+    for _ in 0..10 {
+        g.insert_edges(&edges);
+        g.remove_edges(&edges);
+    }
+    let s = g.stats();
+    assert!(
+        s.pool_hits > s.pool_misses,
+        "pool hits ({}) should dominate misses ({}) under cyclic churn",
+        s.pool_hits,
+        s.pool_misses
+    );
+    assert!(s.pool_retired > 0);
+    assert_eq!(g.edge_count(), 0);
+}
