@@ -27,9 +27,15 @@ where
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..graph.shard_count())
             .map(|shard| {
-                let view = graph.shard_view(shard);
                 let f = &f;
-                scope.spawn(move || f(view))
+                scope.spawn(move || {
+                    // The view is scoped to the closure so the graph's read
+                    // protocol (reader pins under concurrent ingest) brackets
+                    // the pass.
+                    let mut out = None;
+                    graph.with_shard_view(shard, &mut |view| out = Some(f(view)));
+                    out.expect("with_shard_view skipped the pass closure")
+                })
             })
             .collect();
         handles

@@ -6,10 +6,12 @@
 //! delete — then a 1/2/4/8-shard ingest thread-sweep over the sharded
 //! CuckooGraph, the PR-4 probe-path guard, the PR-5 scan-path guard (SWAR
 //! tag-word scan vs the scalar reference) and resize guard (scratch-backed
-//! churn vs the alloc-per-event reference), and the PR-6 pool guard
+//! churn vs the alloc-per-event reference), the PR-6 pool guard
 //! (pooled/arena churn vs the pool-off oracle, plus a memory regression
-//! check against the committed snapshot) — and writes `BENCH.json`
-//! (schema v5) with ops/sec and memory bytes per scheme so the bench
+//! check against the committed snapshot), and the PR-7 read-under-ingest
+//! guard (1/2/4 lock-free reader threads scanning while a writer drives
+//! batched churn on the same shards) — and writes `BENCH.json`
+//! (schema v6) with ops/sec and memory bytes per scheme so the bench
 //! trajectory of the repository is machine-readable and regressions fail
 //! loudly in CI. When a committed `BENCH.json` already exists at the output
 //! path, the re-record prints the delta of every Ours headline number
@@ -19,6 +21,7 @@
 //! cargo run -p graph-bench --release --bin perf_smoke
 //! PERF_SMOKE_SCALE=0.01 PERF_SMOKE_OUT=out.json cargo run -p graph-bench --release --bin perf_smoke
 //! PERF_SMOKE_SWEEP_SCALE=0.1 PERF_SMOKE_CHURN_WAVES=2 cargo run -p graph-bench --release --bin perf_smoke
+//! PERF_SMOKE_READERS=1,2 PERF_SMOKE_READ_SECS=0.1 cargo run -p graph-bench --release --bin perf_smoke
 //! ```
 //!
 //! The workload is seeded with [`graph_bench::HARNESS_SEED`], so the operation
@@ -29,8 +32,8 @@ use cuckoograph::{CuckooGraph, CuckooGraphConfig, ShardedCuckooGraph};
 use graph_api::DynamicGraph;
 use graph_bench::{
     run_batched_inserts, run_churn_waves, run_deletes, run_inserts, run_queries,
-    run_successor_scans, run_successor_scans_scalar, run_successor_scans_vec, SchemeKind,
-    HARNESS_SEED, SHARD_SWEEP,
+    run_read_under_ingest, run_successor_scans, run_successor_scans_scalar,
+    run_successor_scans_vec, ReadUnderIngestPoint, SchemeKind, HARNESS_SEED, SHARD_SWEEP,
 };
 use graph_datasets::{generate, DatasetKind};
 
@@ -188,6 +191,85 @@ fn run_pool_guard(sorted: &[(u64, u64)], waves: usize) -> PoolGuard {
         pool_retained_bytes: stats.pool_retained_bytes,
         arena_blocks: stats.arena_blocks,
         arena_free_blocks: stats.arena_free_blocks,
+    }
+}
+
+/// Results of the PR-7 read-under-ingest guard: best-of-rounds aggregate
+/// reader throughput per reader count, plus the coordinator counters the run
+/// accumulated (so BENCH.json records how many mutation windows the readers
+/// actually raced).
+#[derive(Debug)]
+struct ReadGuard {
+    points: Vec<ReadUnderIngestPoint>,
+    shards: usize,
+    stable_edges: usize,
+    churn_batch: usize,
+    epoch_advances: u64,
+    reader_retries: u64,
+    read_pins: u64,
+}
+
+/// Shards in the read-under-ingest graph: enough that the churn writer's
+/// fan-out and the readers touch more than one coordinator, small enough
+/// that each shard still opens several mutation windows per wave.
+const READ_GUARD_SHARDS: usize = 2;
+
+/// Measures the PR-7 mixed workload: `reader_counts` points of lock-free
+/// scan threads (through `read_view`) racing one writer that churns a batch
+/// with sources disjoint from the stable scan set. Every pass inside the
+/// driver asserts it visited exactly the stable edge count, so the
+/// throughput numbers double as a safety check on the seqlock protocol.
+fn run_read_guard(sorted: &[(u64, u64)], reader_counts: &[usize], read_secs: f64) -> ReadGuard {
+    let g = ShardedCuckooGraph::new(READ_GUARD_SHARDS);
+    let stable_edges = g.ingest_batch(sorted);
+    assert_eq!(stable_edges, sorted.len(), "stable ingest dropped edges");
+    let mut sources: Vec<u64> = sorted.iter().map(|&(u, _)| u).collect();
+    sources.dedup();
+    // Churn sources live in a band no dataset node reaches, so the stable
+    // scan set never changes size while the writer flaps the churn edges.
+    let churn: Vec<(u64, u64)> = sorted.iter().map(|&(u, v)| (u | 1 << 40, v)).collect();
+
+    let mut points = Vec::with_capacity(reader_counts.len());
+    for &readers in reader_counts {
+        eprintln!("# perf_smoke: read-under-ingest {readers} reader(s) ...");
+        let mut best: Option<ReadUnderIngestPoint> = None;
+        for _ in 0..MEASURE_ROUNDS {
+            let point = run_read_under_ingest(
+                &g,
+                &sources,
+                stable_edges as u64,
+                &churn,
+                readers,
+                std::time::Duration::from_secs_f64(read_secs),
+            );
+            assert!(
+                point.aggregate_scan_mops > 0.0,
+                "{readers} reader(s) made no progress under ingest"
+            );
+            assert!(point.churn_waves > 0, "the churn writer never ran");
+            if best
+                .as_ref()
+                .is_none_or(|b| point.aggregate_scan_mops > b.aggregate_scan_mops)
+            {
+                best = Some(point);
+            }
+        }
+        points.push(best.expect("at least one measured round"));
+    }
+    assert_eq!(
+        g.edge_count(),
+        stable_edges,
+        "churn leaked into the stable edge set"
+    );
+    let stats = g.stats();
+    ReadGuard {
+        points,
+        shards: READ_GUARD_SHARDS,
+        stable_edges,
+        churn_batch: churn.len(),
+        epoch_advances: stats.epoch_advances,
+        reader_retries: stats.reader_retries,
+        read_pins: stats.read_pins,
     }
 }
 
@@ -400,6 +482,23 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(4);
+    // Reader-thread counts of the read-under-ingest guard (comma-separated)
+    // and the measurement window per point; CI trims both for speed.
+    let reader_counts: Vec<usize> = std::env::var("PERF_SMOKE_READERS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&n: &usize| n > 0)
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    let read_secs: f64 = std::env::var("PERF_SMOKE_READ_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|s: &f64| *s > 0.0)
+        .unwrap_or(0.2);
     // Snapshot the committed headline numbers before overwriting, so the
     // delta report below can flag prose that quotes stale figures.
     const DELTA_KEYS: [&str; 6] = [
@@ -545,13 +644,21 @@ fn main() {
     eprintln!("# perf_smoke: pool guard ({churn_waves} churn waves, dense profile) ...");
     let pool = run_pool_guard(&churn_edges, churn_waves);
 
+    // The PR-7 read-under-ingest guard: lock-free readers scanning the CAIDA
+    // stable set while a writer churns a disjoint-source batch on the same
+    // shards. Each pass asserts its visit count, so the throughput numbers
+    // below are also a live safety check on the seqlock/epoch protocol.
+    eprintln!("# perf_smoke: read-under-ingest guard ({read_secs}s per point) ...");
+    let read_guard = run_read_guard(&sorted, &reader_counts, read_secs);
+
     // Hand-rolled JSON (the workspace has no serde); one object per scheme,
     // throughput in ops/sec, memory in bytes. Schema v2 added shards/threads
     // metadata per entry plus the thread_sweep block, v3 the probe_path
     // block, v4 the scan_path and resize guard blocks, v5 the pool guard
-    // block, so the perf trajectory across PRs stays comparable.
+    // block, v6 the read_under_ingest block, so the perf trajectory across
+    // PRs stays comparable.
     let mut json = String::from("{\n");
-    json.push_str("  \"schema_version\": 5,\n");
+    json.push_str("  \"schema_version\": 6,\n");
     json.push_str(&format!(
         "  \"workload\": {{\"dataset\": \"CAIDA\", \"scale\": {scale}, \"seed\": {HARNESS_SEED}, \"raw_edges\": {}, \"distinct_edges\": {}}},\n",
         raw.len(),
@@ -610,6 +717,33 @@ fn main() {
         pool.arena_blocks,
         pool.arena_free_blocks,
     ));
+    json.push_str(&format!(
+        "  \"read_under_ingest\": {{\"scheme\": \"ShardedCuckooGraph\", \"shards\": {}, \
+         \"read_secs\": {read_secs}, \"stable_edges\": {}, \"churn_batch\": {}, \
+         \"epoch_advances\": {}, \"reader_retries\": {}, \"read_pins\": {}, \"points\": [\n",
+        read_guard.shards,
+        read_guard.stable_edges,
+        read_guard.churn_batch,
+        read_guard.epoch_advances,
+        read_guard.reader_retries,
+        read_guard.read_pins,
+    ));
+    for (i, p) in read_guard.points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"readers\": {}, \"aggregate_scan_mops\": {}, \"passes\": {}, \
+             \"churn_waves\": {}}}{}\n",
+            p.readers,
+            json_f(p.aggregate_scan_mops),
+            p.passes,
+            p.churn_waves,
+            if i + 1 < read_guard.points.len() {
+                ","
+            } else {
+                ""
+            },
+        ));
+    }
+    json.push_str("  ]},\n");
     json.push_str(&format!(
         "  \"thread_sweep\": {{\"scheme\": \"ShardedCuckooGraph\", \"dataset\": \"CAIDA\", \
          \"scale\": {sweep_scale}, \"seed\": {HARNESS_SEED}, \"raw_edges\": {}, \
@@ -833,6 +967,63 @@ fn main() {
             pool.pooled_churn_mops, pool.pool_off_churn_mops
         );
         std::process::exit(1);
+    }
+
+    // The PR-7 read-under-ingest claim: readers on the lock-free path make
+    // sustained progress while a writer churns the same shards (the > 0
+    // throughput asserts live inside the guard, as does the per-pass visit
+    // count check), the churn actually opened mutation windows for the
+    // readers to race, and on machines with cores to spare the aggregate
+    // reader throughput scales with the reader count. The scaling gate is
+    // skipped (loudly) below four cores: with the writer and two readers
+    // time-slicing one or two CPUs, aggregate throughput measures the
+    // scheduler, not the protocol.
+    println!();
+    println!(
+        "read under ingest ({} shards, {} stable edges, {:.2}s per point):",
+        read_guard.shards, read_guard.stable_edges, read_secs
+    );
+    for p in &read_guard.points {
+        println!(
+            "  {:>2} reader(s): {:>10.3} Mops aggregate ({} passes, {} churn waves)",
+            p.readers, p.aggregate_scan_mops, p.passes, p.churn_waves
+        );
+    }
+    println!(
+        "  counters: {} epoch advances, {} reader retries, {} read pins",
+        read_guard.epoch_advances, read_guard.reader_retries, read_guard.read_pins
+    );
+    if read_guard.epoch_advances == 0 {
+        eprintln!(
+            "perf_smoke FAILED: the read-under-ingest writer opened no mutation windows — \
+             the readers never raced an ingest"
+        );
+        std::process::exit(1);
+    }
+    const READ_SCALING_FACTOR: f64 = 1.5;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let one = read_guard.points.iter().find(|p| p.readers == 1);
+    let two = read_guard.points.iter().find(|p| p.readers == 2);
+    match (one, two) {
+        (Some(one), Some(two)) if cores >= 4 => {
+            if two.aggregate_scan_mops < one.aggregate_scan_mops * READ_SCALING_FACTOR {
+                eprintln!(
+                    "perf_smoke FAILED: 2-reader aggregate {} Mops below {READ_SCALING_FACTOR}x \
+                     the 1-reader throughput {} Mops — lock-free readers are serialising",
+                    two.aggregate_scan_mops, one.aggregate_scan_mops
+                );
+                std::process::exit(1);
+            }
+        }
+        (Some(_), Some(_)) => {
+            eprintln!(
+                "# perf_smoke: reader scaling gate skipped ({cores} core(s) — readers and the \
+                 writer time-slice, so aggregate throughput measures the scheduler)"
+            );
+        }
+        _ => {
+            eprintln!("# perf_smoke: reader scaling gate skipped (PERF_SMOKE_READERS lacks 1,2)");
+        }
     }
 
     // The PR-6 memory claim: the footprint of the loaded Ours graph must not

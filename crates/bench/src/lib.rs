@@ -21,7 +21,8 @@ pub use experiments::{
 pub use schemes::SchemeKind;
 pub use workload::{
     run_batched_inserts, run_churn_waves, run_deletes, run_inserts, run_queries,
-    run_successor_scans, run_successor_scans_scalar, run_successor_scans_vec, Mops,
+    run_read_under_ingest, run_successor_scans, run_successor_scans_scalar,
+    run_successor_scans_vec, Mops, ReadUnderIngestPoint,
 };
 
 /// The scale factor applied to the Table IV dataset profiles when the harness

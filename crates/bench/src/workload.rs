@@ -1,12 +1,14 @@
 //! Timing drivers for the basic-task experiments: batch insertion, batch
 //! query, and batch deletion, reported as Million operations per second
 //! (Mops), plus memory-usage sampling for Figure 9, the scalar-reference
-//! successor scan (PR-5 scan-path guard baseline), and the expand/contract
-//! churn driver behind the `resize_churn` measurements.
+//! successor scan (PR-5 scan-path guard baseline), the expand/contract
+//! churn driver behind the `resize_churn` measurements, and the PR-7
+//! read-under-ingest driver (lock-free readers racing a churning writer).
 
-use cuckoograph::CuckooGraph;
+use cuckoograph::{CuckooGraph, ShardedCuckooGraph};
 use graph_api::{DynamicGraph, NodeId};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 /// Throughput in million operations per second — the unit of Figures 6–8.
 pub type Mops = f64;
@@ -154,6 +156,113 @@ pub fn run_churn_waves(
     to_mops(ops, start.elapsed().as_secs_f64())
 }
 
+/// One measured point of the PR-7 read-under-ingest driver.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadUnderIngestPoint {
+    /// Reader threads that scanned concurrently with the writer.
+    pub readers: usize,
+    /// Aggregate successor-scan throughput across all readers, in million
+    /// visited edges per second of wall time.
+    pub aggregate_scan_mops: Mops,
+    /// Full passes over `sources` completed across all readers.
+    pub passes: u64,
+    /// Total edges visited across all readers.
+    pub visited: u64,
+    /// Churn waves (ingest + remove of the whole churn batch) the writer
+    /// completed while the readers ran.
+    pub churn_waves: u64,
+}
+
+/// Runs `readers` scan threads against `graph` through [`read_view`] while a
+/// writer thread drives ingest/remove churn waves over `churn` — the PR-7
+/// mixed workload: lock-free seqlock-validated reads racing batched mutation
+/// windows on the same shards.
+///
+/// `sources` must be disjoint from the churn batch's sources and never
+/// mutated during the run, so every full pass visits exactly
+/// `expected_visits_per_pass` edges; each pass asserts that, making the
+/// measurement also a correctness check (a torn or dropped scan fails loudly
+/// instead of inflating the number). Every reader completes at least one pass
+/// and the writer at least one wave regardless of `read_for`, so the
+/// throughput and the epoch counters are never trivially zero.
+///
+/// [`read_view`]: ShardedCuckooGraph::read_view
+pub fn run_read_under_ingest(
+    graph: &ShardedCuckooGraph,
+    sources: &[NodeId],
+    expected_visits_per_pass: u64,
+    churn: &[(NodeId, NodeId)],
+    readers: usize,
+    read_for: Duration,
+) -> ReadUnderIngestPoint {
+    let readers = readers.max(1);
+    let readers_done = AtomicBool::new(false);
+    let mut visited = 0u64;
+    let mut passes = 0u64;
+    let mut churn_waves = 0u64;
+    let start = Instant::now();
+    let elapsed = std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            let mut waves = 0u64;
+            let mut first_wave = true;
+            while first_wave || !readers_done.load(Ordering::SeqCst) {
+                first_wave = false;
+                let created = graph.ingest_batch(churn);
+                let removed = graph.remove_batch(churn);
+                std::hint::black_box((created, removed));
+                waves += 1;
+            }
+            waves
+        });
+        let handles: Vec<_> = (0..readers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let deadline = Instant::now() + read_for;
+                    let view = graph.read_view();
+                    let mut visited = 0u64;
+                    let mut passes = 0u64;
+                    let mut sum = 0u64;
+                    let mut first_pass = true;
+                    while first_pass || Instant::now() < deadline {
+                        first_pass = false;
+                        let before = visited;
+                        for &u in sources {
+                            view.for_each_successor(u, &mut |v| {
+                                visited += 1;
+                                sum = sum.wrapping_add(v);
+                            });
+                        }
+                        assert_eq!(
+                            visited - before,
+                            expected_visits_per_pass,
+                            "a read-under-ingest pass saw a torn stable edge set"
+                        );
+                        passes += 1;
+                    }
+                    std::hint::black_box(sum);
+                    (visited, passes)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (v, p) = handle.join().expect("reader thread panicked");
+            visited += v;
+            passes += p;
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        readers_done.store(true, Ordering::SeqCst);
+        churn_waves = writer.join().expect("writer thread panicked");
+        elapsed
+    });
+    ReadUnderIngestPoint {
+        readers,
+        aggregate_scan_mops: to_mops(visited as usize, elapsed),
+        passes,
+        visited,
+        churn_waves,
+    }
+}
+
 /// Inserts the deduplicated `edges` one by one and samples the memory usage at
 /// `samples` evenly spaced points — the Figure 9 curve.
 pub fn memory_curve(
@@ -255,6 +364,40 @@ mod tests {
             cuckoo.stats().contractions > 0,
             "churn never exercised the contraction path"
         );
+    }
+
+    #[test]
+    fn read_under_ingest_scans_while_the_writer_churns() {
+        let stable: Vec<(NodeId, NodeId)> = (0..2_000u64).map(|i| (i % 23, i)).collect();
+        let churn: Vec<(NodeId, NodeId)> = (0..1_200u64).map(|i| ((1 << 40) + i % 11, i)).collect();
+        let g = ShardedCuckooGraph::new(2);
+        let expected = g.ingest_batch(&stable) as u64;
+        let mut sources: Vec<NodeId> = (0..23u64).collect();
+        sources.sort_unstable();
+
+        let point =
+            run_read_under_ingest(&g, &sources, expected, &churn, 2, Duration::from_millis(30));
+        assert_eq!(point.readers, 2);
+        assert!(point.aggregate_scan_mops > 0.0);
+        assert!(
+            point.passes >= 2,
+            "each reader must finish at least one pass"
+        );
+        assert_eq!(point.visited, point.passes * expected);
+        assert!(point.churn_waves >= 1, "the writer must complete a wave");
+
+        let counters = g.read_counters();
+        assert!(
+            counters.epoch_advances > 0,
+            "churn opened no mutation window"
+        );
+        assert!(counters.read_pins > 0, "readers never pinned");
+        // Churn sources are disjoint from the stable band and every wave
+        // removes what it ingested, so only the stable edges survive.
+        assert_eq!(g.edge_count(), expected as usize);
+        for &(u, v) in stable.iter().step_by(191) {
+            assert!(g.has_edge(u, v));
+        }
     }
 
     #[test]

@@ -49,6 +49,16 @@ pub struct CuckooGraphConfig {
     /// ones — the pre-PR-6 cost shape, kept as the live reference the
     /// `perf_smoke` pool guard and the property tests compare against.
     pub table_pool: bool,
+    /// Routes the sharded wrapper's `&self` query and ingest surface through
+    /// the seqlock/epoch read coordinator ([`crate::epoch`]), so queries
+    /// proceed concurrently with a shard's ingesting writer. When disabled,
+    /// [`crate::Sharded`] falls back to the exclusive path — every query and
+    /// write section takes the shard's mutex, so queries wait out a whole
+    /// batch — which is the pre-PR-7 behaviour, kept as the live oracle the
+    /// `concurrent_read_model` property tests and the `perf_smoke`
+    /// read-under-ingest guard compare against. Serial (unsharded) engines
+    /// ignore the flag.
+    pub concurrent_reads: bool,
     /// Seed for hash-function seeds and kick-victim selection. Fixed default
     /// so runs are reproducible; randomise it for adversarial workloads.
     pub seed: u64,
@@ -68,6 +78,7 @@ impl Default for CuckooGraphConfig {
             use_denylist: true,
             resize_scratch: true,
             table_pool: true,
+            concurrent_reads: true,
             seed: 0x5eed_cafe_f00d_0001,
         }
     }
@@ -168,6 +179,14 @@ impl CuckooGraphConfig {
         self
     }
 
+    /// Builder-style setter for the concurrent-read switch: `false` selects
+    /// the exclusive sharded read path (queries wait for the writer's batch —
+    /// the pre-change behaviour, kept as the live oracle).
+    pub fn with_concurrent_reads(mut self, enabled: bool) -> Self {
+        self.concurrent_reads = enabled;
+        self
+    }
+
     /// Builder-style setter for the random seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -201,6 +220,7 @@ mod tests {
         assert!(c.use_denylist);
         assert!(c.resize_scratch, "persistent scratch is the default");
         assert!(c.table_pool, "table pooling is the default");
+        assert!(c.concurrent_reads, "concurrent reads are the default");
         assert!(c.validate().is_ok());
         // Λ ≤ 2G/3 as assumed by the memory analysis.
         assert!(c.contract_threshold <= 2.0 * c.expand_threshold / 3.0);
@@ -257,6 +277,7 @@ mod tests {
             .with_denylist(false)
             .with_resize_scratch(false)
             .with_table_pool(false)
+            .with_concurrent_reads(false)
             .with_seed(7)
             .with_scht_base_len(4)
             .with_lcht_base_len(8);
@@ -265,6 +286,7 @@ mod tests {
         assert!(!c.use_denylist);
         assert!(!c.resize_scratch);
         assert!(!c.table_pool);
+        assert!(!c.concurrent_reads);
         assert_eq!(c.seed, 7);
         assert!(c.validate().is_ok());
     }

@@ -676,6 +676,23 @@ impl<P: Payload> Engine<P> {
             + self.scratch.pool_retained_bytes()
     }
 
+    /// Opens a concurrent mutation window at `epoch`: both table pools (the
+    /// engine-level scratch and the node table's own level) defer retirements
+    /// behind epoch stamps until [`Engine::end_concurrent_write`] proves them
+    /// unreachable. Called by [`crate::shard::Sharded`] around each write
+    /// section; serial engines never enter this mode.
+    pub fn begin_concurrent_write(&mut self, epoch: u64) {
+        self.scratch.begin_deferred_retires(epoch);
+        self.nodes.begin_deferred_retires(epoch);
+    }
+
+    /// Closes the concurrent mutation window, releasing quarantined table
+    /// buffers whose epoch stamp is below `safe_epoch` (the read
+    /// coordinator's reclaim bound). Returns how many buffers were released.
+    pub fn end_concurrent_write(&mut self, safe_epoch: u64) -> usize {
+        self.scratch.end_deferred_retires(safe_epoch) + self.nodes.end_deferred_retires(safe_epoch)
+    }
+
     /// Snapshot of the instrumentation counters and structural shape.
     pub fn stats(&self) -> StructureStats {
         let counters = self.nodes.counters();
@@ -706,7 +723,15 @@ impl<P: Payload> Engine<P> {
             pool_hits: pool.hits,
             pool_misses: pool.misses,
             pool_retired: pool.retired,
+            pool_deferred: pool.deferred,
+            pool_reclaimed: pool.reclaimed,
+            pool_deferred_pending: pool.deferred_pending,
             pool_retained_bytes: pool.retained_bytes,
+            // Reader-side counters live in the shard layer's coordinators; a
+            // bare engine has no readers to count.
+            reader_retries: 0,
+            read_pins: 0,
+            epoch_advances: 0,
             arena_blocks: self.arena.block_count(),
             arena_free_blocks: self.arena.free_count(),
         }

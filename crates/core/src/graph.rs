@@ -96,6 +96,16 @@ impl Default for CuckooGraph {
     }
 }
 
+impl crate::epoch::ConcurrentEngine for CuckooGraph {
+    fn begin_concurrent_write(&mut self, epoch: u64) {
+        self.engine.begin_concurrent_write(epoch);
+    }
+
+    fn end_concurrent_write(&mut self, safe_epoch: u64) -> usize {
+        self.engine.end_concurrent_write(safe_epoch)
+    }
+}
+
 impl MemoryFootprint for CuckooGraph {
     fn memory_bytes(&self) -> usize {
         self.engine.memory_bytes()

@@ -332,6 +332,18 @@ impl<P: Payload> NodeTable<P> {
         self.scratch.pool_stats()
     }
 
+    /// Puts this level's pool into epoch-stamped deferred-retire mode for a
+    /// concurrent mutation window (see [`crate::epoch`]).
+    pub(crate) fn begin_deferred_retires(&mut self, epoch: u64) {
+        self.scratch.begin_deferred_retires(epoch);
+    }
+
+    /// Closes the deferred-retire window at `safe_epoch`; returns how many
+    /// quarantined buffers were released.
+    pub(crate) fn end_deferred_retires(&mut self, safe_epoch: u64) -> usize {
+        self.scratch.end_deferred_retires(safe_epoch)
+    }
+
     /// Applies the reverse-transformation rule to the L-CHT chain (used after
     /// bulk deletions); cells displaced by a contraction go to the L-DL.
     pub fn maybe_contract(&mut self, rng: &mut KickRng) {

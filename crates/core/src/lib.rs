@@ -50,6 +50,7 @@ pub mod chain;
 pub mod config;
 pub mod denylist;
 pub mod engine;
+pub mod epoch;
 pub mod error;
 pub mod graph;
 pub mod hash;
@@ -67,12 +68,13 @@ pub mod weighted;
 
 pub use arena::{SlotArena, NO_BLOCK};
 pub use config::CuckooGraphConfig;
+pub use epoch::{ConcurrentEngine, ReadCoordinator, ReadCounters, MAX_READERS};
 pub use error::{CuckooGraphError, Result};
 pub use graph::CuckooGraph;
 pub use multi::{EdgeId, MultiEdgeCuckooGraph};
 pub use pool::{PoolStats, TablePool};
 pub use scratch::RebuildScratch;
-pub use shard::{Sharded, ShardedCuckooGraph, ShardedWeightedCuckooGraph};
+pub use shard::{ShardReadView, Sharded, ShardedCuckooGraph, ShardedWeightedCuckooGraph};
 pub use stats::StructureStats;
 pub use weighted::WeightedCuckooGraph;
 

@@ -48,7 +48,16 @@ pub struct PoolStats {
     pub misses: u64,
     /// Tables retired into the pool (or dropped, when disabled/full).
     pub retired: u64,
-    /// Bytes currently held by pooled (idle) buffer pairs.
+    /// Retirements quarantined behind an epoch stamp instead of entering the
+    /// free list directly (cumulative; see [`TablePool::begin_deferred`]).
+    pub deferred: u64,
+    /// Quarantined buffers released back into circulation after their epoch
+    /// cleared the reclaim bound (cumulative).
+    pub reclaimed: u64,
+    /// Buffers currently parked in the quarantine, awaiting an epoch advance.
+    pub deferred_pending: usize,
+    /// Bytes currently held by pooled (idle) buffer pairs, including the
+    /// quarantine.
     pub retained_bytes: usize,
 }
 
@@ -58,18 +67,35 @@ impl PoolStats {
         self.hits += other.hits;
         self.misses += other.misses;
         self.retired += other.retired;
+        self.deferred += other.deferred;
+        self.reclaimed += other.reclaimed;
+        self.deferred_pending += other.deferred_pending;
         self.retained_bytes += other.retained_bytes;
     }
 }
 
-/// A bounded free-list of retired `(slots, tags)` buffer pairs.
+/// A bounded free-list of retired `(slots, tags)` buffer pairs, with an
+/// epoch-stamped quarantine for retirements that happen inside a concurrent
+/// mutation window (see [`crate::epoch`]): those buffers only re-enter
+/// circulation once [`TablePool::reclaim`] is called with a bound proving no
+/// reader epoch can still reference them.
 #[derive(Debug, Clone)]
 pub struct TablePool<T> {
     entries: Vec<(Vec<T>, Vec<u8>)>,
+    /// Epoch-stamped quarantined retirements (`(stamp, slots, tags)`),
+    /// oldest first. Never served by [`TablePool::acquire`].
+    quarantine: Vec<(u64, Vec<T>, Vec<u8>)>,
     enabled: bool,
+    /// When true, retirements are stamped with `epoch` and parked in the
+    /// quarantine instead of entering the free list.
+    defer: bool,
+    /// Stamp applied to deferred retirements (the open window's epoch).
+    epoch: u64,
     hits: u64,
     misses: u64,
     retired: u64,
+    deferred: u64,
+    reclaimed: u64,
 }
 
 impl<T: Payload> TablePool<T> {
@@ -77,10 +103,15 @@ impl<T: Payload> TablePool<T> {
     pub fn enabled() -> Self {
         Self {
             entries: Vec::new(),
+            quarantine: Vec::new(),
             enabled: true,
+            defer: false,
+            epoch: 0,
             hits: 0,
             misses: 0,
             retired: 0,
+            deferred: 0,
+            reclaimed: 0,
         }
     }
 
@@ -100,12 +131,55 @@ impl<T: Payload> TablePool<T> {
     }
 
     /// Sets whether the pool recycles. Turning a pool off releases everything
-    /// it retained.
+    /// it retained, including the quarantine (the pool owns those buffers
+    /// outright — deferral only delays *recycling*, never frees early, so
+    /// dropping them here is always safe).
     pub fn set_enabled(&mut self, enabled: bool) {
         self.enabled = enabled;
         if !enabled {
             self.entries = Vec::new();
+            self.quarantine = Vec::new();
         }
+    }
+
+    /// Enters deferred-retire mode: until [`TablePool::end_deferred`], every
+    /// retirement is stamped with `epoch` (the shard's open mutation-window
+    /// epoch) and parked in the quarantine instead of the free list, so a
+    /// buffer retired by a TRANSFORMATION cannot be rewritten while a reader
+    /// pinned at an older epoch might still scan it.
+    pub fn begin_deferred(&mut self, epoch: u64) {
+        self.defer = true;
+        self.epoch = epoch;
+    }
+
+    /// Releases every quarantined buffer whose stamp is strictly below
+    /// `safe_epoch` (the coordinator's reclaim bound: no active reader pin can
+    /// observe an epoch below it) into the free list, subject to the usual
+    /// [`MAX_POOLED`] cap. Returns the number of buffers released.
+    pub fn reclaim(&mut self, safe_epoch: u64) -> usize {
+        let mut released = 0;
+        // Oldest stamps sit at the front; stop at the first survivor.
+        while self
+            .quarantine
+            .first()
+            .is_some_and(|(stamp, _, _)| *stamp < safe_epoch)
+        {
+            let (_, slots, tags) = self.quarantine.remove(0);
+            released += 1;
+            self.reclaimed += 1;
+            if self.entries.len() < MAX_POOLED {
+                self.entries.push((slots, tags));
+            }
+        }
+        released
+    }
+
+    /// Leaves deferred-retire mode, running a final [`TablePool::reclaim`] at
+    /// `safe_epoch`. Buffers whose stamp has not yet cleared the bound stay
+    /// quarantined for the next window. Returns the number released.
+    pub fn end_deferred(&mut self, safe_epoch: u64) -> usize {
+        self.defer = false;
+        self.reclaim(safe_epoch)
     }
 
     /// Hands out a `(slots, tags)` pair of exactly `total` entries, with every
@@ -140,10 +214,26 @@ impl<T: Payload> TablePool<T> {
 
     /// Takes ownership of a retiring table's buffers. Disabled or full pools
     /// drop them (the reference behaviour); otherwise they wait for the next
-    /// [`TablePool::acquire`].
+    /// [`TablePool::acquire`] — or, in deferred mode, sit stamped in the
+    /// quarantine until an epoch advance proves no concurrent reader can
+    /// still be scanning them.
     pub fn retire(&mut self, slots: Vec<T>, tags: Vec<u8>) {
         self.retired += 1;
-        if self.enabled && self.entries.len() < MAX_POOLED {
+        if !self.enabled {
+            return;
+        }
+        if self.defer {
+            // The quarantine shares the free list's bound: together they hold
+            // at most 2×MAX_POOLED pairs, so deferral cannot turn the pool
+            // into an unbounded memory sink under pathological churn. The
+            // buffers themselves are dropped when over cap — dropping is
+            // always safe (the table already published its replacement; only
+            // *recycling into a new table* must wait for the epoch).
+            if self.quarantine.len() < MAX_POOLED {
+                self.deferred += 1;
+                self.quarantine.push((self.epoch, slots, tags));
+            }
+        } else if self.entries.len() < MAX_POOLED {
             self.entries.push((slots, tags));
         }
     }
@@ -158,13 +248,26 @@ impl<T: Payload> TablePool<T> {
         self.entries.is_empty()
     }
 
-    /// Bytes held by the idle pooled buffers — counted into the engine's
-    /// memory reporting so pooling cannot hide capacity from Figure 9.
+    /// Number of quarantined buffer pairs still awaiting an epoch advance.
+    pub fn deferred_pending(&self) -> usize {
+        self.quarantine.len()
+    }
+
+    /// Bytes held by the idle pooled buffers — free list *and* quarantine —
+    /// counted into the engine's memory reporting so pooling cannot hide
+    /// capacity from Figure 9.
     pub fn retained_bytes(&self) -> usize {
-        self.entries
+        let free: usize = self
+            .entries
             .iter()
             .map(|(s, t)| s.capacity() * std::mem::size_of::<T>() + t.capacity())
-            .sum()
+            .sum();
+        let parked: usize = self
+            .quarantine
+            .iter()
+            .map(|(_, s, t)| s.capacity() * std::mem::size_of::<T>() + t.capacity())
+            .sum();
+        free + parked
     }
 
     /// Counter snapshot for stats reporting.
@@ -173,6 +276,9 @@ impl<T: Payload> TablePool<T> {
             hits: self.hits,
             misses: self.misses,
             retired: self.retired,
+            deferred: self.deferred,
+            reclaimed: self.reclaimed,
+            deferred_pending: self.quarantine.len(),
             retained_bytes: self.retained_bytes(),
         }
     }
@@ -255,8 +361,68 @@ mod tests {
     fn disabling_releases_retained_buffers() {
         let mut pool: TablePool<NodeId> = TablePool::enabled();
         pool.retire(vec![0; 8], vec![0; 8]);
+        pool.begin_deferred(3);
+        pool.retire(vec![0; 8], vec![0; 8]);
         pool.set_enabled(false);
         assert!(pool.is_empty());
+        assert_eq!(pool.deferred_pending(), 0);
         assert_eq!(pool.retained_bytes(), 0);
+    }
+
+    #[test]
+    fn deferred_retires_are_quarantined_until_the_epoch_clears() {
+        let mut pool: TablePool<NodeId> = TablePool::enabled();
+        pool.begin_deferred(5);
+        pool.retire(vec![0; 16], vec![0; 16]);
+        // Quarantined, counted in memory, but never served to acquire.
+        assert_eq!(pool.deferred_pending(), 1);
+        assert!(pool.is_empty());
+        assert!(pool.retained_bytes() >= 16 * std::mem::size_of::<NodeId>() + 16);
+        let (slots, _) = pool.acquire(16);
+        assert!(
+            pool.stats().hits == 0,
+            "acquire must not raid the quarantine"
+        );
+        drop(slots);
+
+        // A reclaim bound equal to the stamp does NOT release (a reader pinned
+        // at epoch 5 may still be scanning); the bound must move past it.
+        assert_eq!(pool.reclaim(5), 0);
+        assert_eq!(pool.deferred_pending(), 1);
+        assert_eq!(pool.reclaim(6), 1);
+        assert_eq!(pool.deferred_pending(), 0);
+        assert_eq!(pool.len(), 1, "reclaimed buffer re-enters the free list");
+        let s = pool.stats();
+        assert_eq!((s.deferred, s.reclaimed, s.deferred_pending), (1, 1, 0));
+    }
+
+    #[test]
+    fn end_deferred_restores_direct_retires_and_keeps_survivors_parked() {
+        let mut pool: TablePool<NodeId> = TablePool::enabled();
+        pool.begin_deferred(1);
+        pool.retire(vec![0; 8], vec![0; 8]); // stamp 1
+        pool.begin_deferred(2);
+        pool.retire(vec![0; 8], vec![0; 8]); // stamp 2
+                                             // Bound 2 clears stamp 1 only; stamp 2 survives across the window.
+        assert_eq!(pool.end_deferred(2), 1);
+        assert_eq!(pool.deferred_pending(), 1);
+        // Back in direct mode: retires hit the free list immediately.
+        pool.retire(vec![0; 8], vec![0; 8]);
+        assert_eq!(pool.len(), 2);
+        // The straggler clears once the bound finally advances.
+        assert_eq!(pool.reclaim(3), 1);
+        assert_eq!(pool.deferred_pending(), 0);
+        assert_eq!(pool.stats().reclaimed, 2);
+    }
+
+    #[test]
+    fn quarantine_is_capped_independently_of_the_free_list() {
+        let mut pool: TablePool<NodeId> = TablePool::enabled();
+        pool.begin_deferred(1);
+        for _ in 0..2 * MAX_POOLED {
+            pool.retire(vec![0; 8], vec![0; 8]);
+        }
+        assert_eq!(pool.deferred_pending(), MAX_POOLED);
+        assert_eq!(pool.stats().deferred, MAX_POOLED as u64);
     }
 }

@@ -76,9 +76,10 @@ fn tag_of(kh: KeyHash) -> u8 {
 /// to pull the next key's candidate tag bytes in while the current key
 /// settles. A no-op on architectures without a stable prefetch intrinsic.
 ///
-/// The lone `unsafe` in the workspace: `_mm_prefetch` is purely a cache hint —
-/// it performs no load, cannot fault even on an invalid address, and has no
-/// observable semantic effect, so it is sound for any pointer value.
+/// `_mm_prefetch` is purely a cache hint — it performs no load, cannot fault
+/// even on an invalid address, and has no observable semantic effect, so it
+/// is sound for any pointer value. (The only other `unsafe` in the workspace
+/// is the gated shard-slot access in [`crate::shard`].)
 #[allow(unsafe_code)]
 #[inline(always)]
 pub(crate) fn prefetch_read(p: *const u8) {

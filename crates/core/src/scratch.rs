@@ -96,6 +96,18 @@ impl<T: Payload> RebuildScratch<T> {
         self.pool.retained_bytes()
     }
 
+    /// Puts the embedded pool into epoch-stamped deferred-retire mode for a
+    /// concurrent mutation window (see [`crate::epoch`]).
+    pub(crate) fn begin_deferred_retires(&mut self, epoch: u64) {
+        self.pool.begin_deferred(epoch);
+    }
+
+    /// Closes the deferred-retire window, releasing quarantined buffers whose
+    /// stamp cleared `safe_epoch`. Returns how many were released.
+    pub(crate) fn end_deferred_retires(&mut self, safe_epoch: u64) -> usize {
+        self.pool.end_deferred(safe_epoch)
+    }
+
     /// Number of items currently buffered (non-zero only mid-rebuild).
     pub fn len(&self) -> usize {
         self.items.len()

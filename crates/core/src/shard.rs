@@ -1,26 +1,41 @@
 //! Sharded CuckooGraph: N independent L-CHT/S-CHT engines partitioned by
 //! source-node hash, with batched mutations fanned out to the shards on
-//! [`std::thread::scope`].
+//! [`std::thread::scope`] — and, since PR 7, queries that proceed
+//! **concurrently with an ingesting writer** through the per-shard
+//! [`ReadCoordinator`] protocol of [`crate::epoch`].
 //!
 //! Every edge `⟨u, v⟩` lives entirely inside the shard that owns `u`, so the
 //! shards partition the source-node space and never share mutable state: a
 //! batched insert groups the batch per shard and moves each group to its
-//! shard's thread — no locks anywhere on the hot path. Single-edge operations
-//! route to the owning shard and cost one extra hash over the serial engine.
+//! shard's thread. Single-edge operations route to the owning shard and cost
+//! one extra hash over the serial engine.
 //!
-//! Besides the parallel speedup on multi-core machines, the grouped fan-out
-//! pays off even on a single core for duplicate-heavy streams (CAIDA-like
-//! workloads repeat each source ~30×): each shard's pass touches only its own
-//! 1/N-sized tables, so the repeated probes stay cache-resident where the
-//! serial engine's working set has long been evicted — the partitioned
-//! hash-join effect applied to graph ingest.
+//! ## Concurrent reads under ingest
 //!
-//! [`Sharded`] is generic over the shard engine so the same fan-out logic
-//! serves the basic ([`ShardedCuckooGraph`]) and weighted
-//! ([`ShardedWeightedCuckooGraph`]) variants; anything implementing
-//! [`DynamicGraph`] `+ Send` works, which the compile-time assertions in the
-//! engine stack (`engine.rs`, `lcht.rs`, `scht.rs`, `cell.rs`, `chain.rs`,
-//! `denylist.rs`) guarantee for the CuckooGraph types.
+//! Each shard is a [`ShardSlot`]: the engine in an [`UnsafeCell`], a
+//! [`ReadCoordinator`], and a writer gate. Two access disciplines share them:
+//!
+//! * **Exclusive (`&mut self`)** — the classic surface. The borrow checker
+//!   proves exclusivity, so [`DynamicGraph::insert_edges`] and friends go
+//!   straight to the engine with no coordination at all; the fan-out spawns
+//!   one scoped thread per non-empty group exactly as before.
+//! * **Shared (`&self`)** — [`Sharded::ingest_batch`] /
+//!   [`Sharded::remove_batch`] mutate through `&self` while
+//!   [`Sharded::read_view`] guards (or one-shot [`Sharded::with_shard`]
+//!   reads) query the same shards. The writer gate serializes writers per
+//!   shard; within the gate the writer opens short seqlock *mutation windows*
+//!   (one per [`INGEST_CHUNK`] edges) that drain announced readers, so reads
+//!   flow between chunks instead of waiting out the whole batch. Table
+//!   buffers retired by TRANSFORMATIONs inside a window are epoch-stamped and
+//!   quarantined in the [`crate::pool::TablePool`], re-entering circulation
+//!   only once [`ReadCoordinator::reclaim_bound`] proves no reader pinned at
+//!   an older epoch can still reference them.
+//!
+//! `CuckooGraphConfig::with_concurrent_reads(false)` keeps the pre-PR-7
+//! exclusive behaviour as the live oracle: every shared read and every write
+//! section simply takes the shard's gate, so queries wait out the writer's
+//! whole batch. The `concurrent_read_model` property tests pin the two paths
+//! against each other.
 //!
 //! The per-shard engines inherit the PR-4 probe path wholesale: every batched
 //! group a shard thread settles runs the tagged-bucket scan, per-run hash
@@ -30,7 +45,11 @@
 //! [`SHARD_SALT`], deliberately decorrelated from the engines' internal
 //! bucket hashing, so nothing is shared across the boundary to memoize.)
 
+use std::cell::UnsafeCell;
+use std::sync::Mutex;
+
 use crate::config::CuckooGraphConfig;
+use crate::epoch::{ConcurrentEngine, ReadCoordinator, ReadCounters};
 use crate::graph::CuckooGraph;
 use crate::hash::splitmix64;
 use crate::stats::StructureStats;
@@ -43,15 +62,140 @@ use graph_api::{
 /// engines' internal Bob-Hash seeds.
 const SHARD_SALT: u64 = 0x0005_eade_dc0c_0a75;
 
+/// Edges a concurrent writer settles per mutation window. Small enough that a
+/// reader arriving mid-batch waits one chunk, not one batch; large enough
+/// that the window open/drain/close handshake amortizes to noise.
+const INGEST_CHUNK: usize = 512;
+
+/// One shard: the engine plus its read/write coordination state.
+///
+/// The `UnsafeCell` is governed by two invariants, together making every
+/// `&mut` derivation exclusive:
+///
+/// 1. mutation through `&ShardSlot` happens only inside [`ShardSlot::write`],
+///    which holds `write_gate` — writers never overlap each other;
+/// 2. readers either hold `write_gate` too (oracle mode) or hold a
+///    [`ReadCoordinator`] pin (concurrent mode), which
+///    [`ReadCoordinator::begin_write`] drains before the writer touches the
+///    engine — writers never overlap readers.
+///
+/// `&mut ShardSlot` access (the classic exclusive surface) needs neither: the
+/// borrow checker has already proven no `&ShardSlot` exists.
+struct ShardSlot<G> {
+    engine: UnsafeCell<G>,
+    coord: ReadCoordinator,
+    write_gate: Mutex<()>,
+}
+
+/// Safety: all shared-access mutation is mediated by `write_gate` + the
+/// coordinator drain protocol (see the struct docs), so `&ShardSlot` never
+/// yields aliasing `&mut G`. `G: Send` moves engines across the fan-out's
+/// scoped threads; `G: Sync` covers the concurrent shared reads.
+#[allow(unsafe_code)]
+unsafe impl<G: Send + Sync> Sync for ShardSlot<G> {}
+
+#[allow(unsafe_code)]
+impl<G> ShardSlot<G> {
+    fn new(engine: G) -> Self {
+        Self {
+            engine: UnsafeCell::new(engine),
+            coord: ReadCoordinator::new(),
+            write_gate: Mutex::new(()),
+        }
+    }
+
+    /// Exclusive access through an exclusive borrow — no coordination needed.
+    fn engine_mut(&mut self) -> &mut G {
+        self.engine.get_mut()
+    }
+
+    /// A shared read of this shard's engine. Oracle mode takes the writer
+    /// gate (waits out a whole in-flight batch); concurrent mode registers,
+    /// pins, reads, and withdraws per the seqlock protocol.
+    fn read<R>(&self, concurrent: bool, f: impl FnOnce(&G) -> R) -> R {
+        if concurrent {
+            let idx = self.coord.acquire_slot();
+            let r = {
+                let _pin = PinGuard::pin(&self.coord, idx);
+                f(unsafe { &*self.engine.get() })
+            };
+            self.coord.release_slot(idx);
+            r
+        } else {
+            let _gate = self.write_gate.lock().expect("shard write gate poisoned");
+            f(unsafe { &*self.engine.get() })
+        }
+    }
+
+    /// Like [`ShardSlot::read`] but reusing an already registered reader slot
+    /// (a [`ShardReadView`] holds one per shard, so hot read loops skip the
+    /// registry CAS).
+    fn read_pinned<R>(&self, idx: usize, f: impl FnOnce(&G) -> R) -> R {
+        let _pin = PinGuard::pin(&self.coord, idx);
+        f(unsafe { &*self.engine.get() })
+    }
+
+    /// A write section through a shared borrow. The gate serializes writers;
+    /// concurrent mode additionally opens a drained mutation window and runs
+    /// the epoch-stamped retire/reclaim hooks around `f`.
+    fn write<R>(&self, concurrent: bool, f: impl FnOnce(&mut G) -> R) -> R
+    where
+        G: ConcurrentEngine,
+    {
+        let _gate = self.write_gate.lock().expect("shard write gate poisoned");
+        if concurrent {
+            let epoch = self.coord.begin_write();
+            // Safety: the gate excludes other writers and the drain excluded
+            // every reader pin; new pins wait on the odd sequence word.
+            let engine = unsafe { &mut *self.engine.get() };
+            engine.begin_concurrent_write(epoch);
+            let r = f(engine);
+            // Reclaim while still inside the drained window: the engine is
+            // ours exclusively here, and the bound already resolves to
+            // `epoch + 1` because the registry is empty.
+            engine.end_concurrent_write(self.coord.reclaim_bound());
+            self.coord.end_write();
+            r
+        } else {
+            // Safety: the gate is the oracle mode's entire protocol — readers
+            // take it too, so this `&mut` is exclusive.
+            f(unsafe { &mut *self.engine.get() })
+        }
+    }
+}
+
+/// Unpins a reader slot even if the read closure panics, so a writer's drain
+/// loop is never left waiting on a dead reader.
+struct PinGuard<'c> {
+    coord: &'c ReadCoordinator,
+    idx: usize,
+}
+
+impl<'c> PinGuard<'c> {
+    fn pin(coord: &'c ReadCoordinator, idx: usize) -> Self {
+        coord.pin(idx);
+        Self { coord, idx }
+    }
+}
+
+impl Drop for PinGuard<'_> {
+    fn drop(&mut self) {
+        self.coord.unpin(self.idx);
+    }
+}
+
 /// A graph partitioned into independent shards by source-node hash.
 ///
 /// The concrete CuckooGraph instantiations are [`ShardedCuckooGraph`] and
 /// [`ShardedWeightedCuckooGraph`]; the struct itself only asks its shard type
 /// for the [`DynamicGraph`] surface (plus [`Send`] to fan batches out across
-/// scoped threads, and [`Sync`] for the parallel scans).
-#[derive(Debug, Clone)]
+/// scoped threads, and [`Sync`] for the shared reads and parallel scans).
 pub struct Sharded<G> {
-    shards: Vec<G>,
+    slots: Vec<ShardSlot<G>>,
+    /// Whether shared (`&self`) access uses the seqlock/epoch protocol
+    /// (`true`, the default) or the exclusive writer gate (`false`, the
+    /// pre-PR-7 oracle).
+    concurrent: bool,
 }
 
 /// CuckooGraph, sharded: N independent basic engines.
@@ -66,6 +210,11 @@ pub struct Sharded<G> {
 /// assert_eq!(g.out_degree(1), 2);
 /// assert_eq!(g.remove_edges(&[(1, 2), (9, 9)]), 1);
 /// assert_eq!(g.edge_count(), 2);
+///
+/// // Shared-surface ingest + a concurrent read view of the same graph.
+/// let view = g.read_view();
+/// g.ingest_batch(&[(7, 8)]);
+/// assert!(view.has_edge(7, 8));
 /// ```
 pub type ShardedCuckooGraph = Sharded<CuckooGraph>;
 
@@ -82,10 +231,14 @@ pub type ShardedCuckooGraph = Sharded<CuckooGraph>;
 pub type ShardedWeightedCuckooGraph = Sharded<WeightedCuckooGraph>;
 
 impl<G> Sharded<G> {
-    /// Wraps pre-built shard engines. Panics if `shards` is empty.
+    /// Wraps pre-built shard engines (concurrent reads enabled, matching the
+    /// config default). Panics if `shards` is empty.
     pub fn from_shards(shards: Vec<G>) -> Self {
         assert!(!shards.is_empty(), "a sharded graph needs at least 1 shard");
-        Self { shards }
+        Self {
+            slots: shards.into_iter().map(ShardSlot::new).collect(),
+            concurrent: true,
+        }
     }
 
     /// Builds `shards` engines with `build(shard_index)`.
@@ -93,43 +246,82 @@ impl<G> Sharded<G> {
         Self::from_shards((0..shards.max(1)).map(build).collect())
     }
 
-    /// Number of shards.
-    pub fn shard_count(&self) -> usize {
-        self.shards.len()
+    /// Builder-style switch for the shared-read discipline: `false` selects
+    /// the exclusive writer-gate oracle (every `&self` read and write section
+    /// serializes on the shard's mutex — the pre-PR-7 behaviour).
+    pub fn with_concurrent_reads(mut self, enabled: bool) -> Self {
+        self.concurrent = enabled;
+        self
     }
 
-    /// The shard engines, in shard order.
-    pub fn shards(&self) -> &[G] {
-        &self.shards
+    /// Whether shared reads use the seqlock/epoch protocol.
+    pub fn concurrent_reads(&self) -> bool {
+        self.concurrent
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.slots.len()
     }
 
     /// Index of the shard that owns source node `u`.
     #[inline]
     pub fn shard_index(&self, u: NodeId) -> usize {
-        if self.shards.len() == 1 {
+        if self.slots.len() == 1 {
             return 0;
         }
-        (splitmix64(u ^ SHARD_SALT) as usize) % self.shards.len()
+        (splitmix64(u ^ SHARD_SALT) as usize) % self.slots.len()
     }
 
-    /// The shard engine owning source node `u`.
-    #[inline]
-    pub fn shard_for(&self, u: NodeId) -> &G {
-        &self.shards[self.shard_index(u)]
+    /// Runs `f` on shard `shard`'s engine under the configured read
+    /// discipline (a one-shot read: registers and withdraws a reader slot;
+    /// hot loops should hold a [`Sharded::read_view`] instead).
+    pub fn with_shard<R>(&self, shard: usize, f: impl FnOnce(&G) -> R) -> R {
+        self.slots[shard].read(self.concurrent, f)
     }
 
-    /// Mutable access to the shard engine owning source node `u`.
+    /// Mutable access to the shard engine owning source node `u` (exclusive
+    /// surface; no coordination needed).
     #[inline]
-    pub fn shard_for_mut(&mut self, u: NodeId) -> &mut G {
+    fn engine_for_mut(&mut self, u: NodeId) -> &mut G {
         let idx = self.shard_index(u);
-        &mut self.shards[idx]
+        self.slots[idx].engine_mut()
+    }
+
+    /// Opens a read guard over the whole graph: one registered reader slot
+    /// per shard (none in oracle mode), so every read through the view pins
+    /// and validates without re-registering. Holding a view does **not**
+    /// block `&self` writers — they drain the view's pins chunk by chunk.
+    ///
+    /// At most [`crate::MAX_READERS`] views (plus one-shot reads) can be
+    /// registered per shard at once; surplus callers spin until a slot frees.
+    pub fn read_view(&self) -> ShardReadView<'_, G> {
+        let slots = if self.concurrent {
+            self.slots.iter().map(|s| s.coord.acquire_slot()).collect()
+        } else {
+            Vec::new()
+        };
+        ShardReadView { graph: self, slots }
+    }
+
+    /// Summed read-coordinator counters across all shards (always readable
+    /// concurrently; all zero in oracle mode or before any shared access).
+    pub fn read_counters(&self) -> ReadCounters {
+        let mut total = ReadCounters::default();
+        for slot in &self.slots {
+            let c = slot.coord.counters();
+            total.reader_retries += c.reader_retries;
+            total.read_pins += c.read_pins;
+            total.epoch_advances += c.epoch_advances;
+        }
+        total
     }
 
     /// Groups `items` per owning shard, preserving the within-shard order (so
     /// source-sorted batches keep their runs). Two passes: count, then scatter
     /// into exactly-sized buffers.
     fn group_by_shard<T: Copy>(&self, items: &[T], key: impl Fn(&T) -> NodeId) -> Vec<Vec<T>> {
-        let mut counts = vec![0usize; self.shards.len()];
+        let mut counts = vec![0usize; self.slots.len()];
         for item in items {
             counts[self.shard_index(key(item))] += 1;
         }
@@ -151,38 +343,215 @@ impl<G> Sharded<G> {
     where
         G: Send,
     {
-        let mut counts = vec![0usize; self.shards.len()];
+        let mut counts = vec![0usize; self.slots.len()];
         std::thread::scope(|scope| {
-            for ((shard, group), count) in self.shards.iter_mut().zip(groups).zip(counts.iter_mut())
-            {
+            for ((slot, group), count) in self.slots.iter_mut().zip(groups).zip(counts.iter_mut()) {
                 if group.is_empty() {
                     continue;
                 }
                 let apply = &apply;
-                scope.spawn(move || *count = apply(shard, group));
+                let engine = slot.engine_mut();
+                scope.spawn(move || *count = apply(engine, group));
             }
         });
         counts.iter().sum()
     }
 
-    /// Runs `f` on every shard concurrently (one scoped thread per shard) and
-    /// returns the per-shard results in shard order — the building block for
-    /// whole-graph parallel scans.
-    pub fn par_map_shards<R: Send>(&self, f: impl Fn(&G) -> R + Sync) -> Vec<R>
+    /// The shared-surface fan-out: groups `items` per shard and runs
+    /// `apply(engine, chunk)` inside gated write sections of at most
+    /// [`INGEST_CHUNK`] items, one scoped thread per non-empty group.
+    /// Concurrent readers flow between the chunks; table buffers retired
+    /// inside a chunk are epoch-quarantined until provably unreferenced.
+    pub fn concurrent_fan_out<T: Copy + Sync>(
+        &self,
+        items: &[T],
+        key: impl Fn(&T) -> NodeId,
+        apply: impl Fn(&mut G, &[T]) -> usize + Sync,
+    ) -> usize
     where
-        G: Sync,
+        G: ConcurrentEngine + Send + Sync,
     {
+        let groups = self.group_by_shard(items, &key);
+        let concurrent = self.concurrent;
+        let apply = &apply;
         std::thread::scope(|scope| {
             let handles: Vec<_> = self
-                .shards
+                .slots
                 .iter()
-                .map(|shard| scope.spawn(|| f(shard)))
+                .zip(&groups)
+                .filter(|(_, group)| !group.is_empty())
+                .map(|(slot, group)| {
+                    scope.spawn(move || {
+                        let mut done = 0usize;
+                        for chunk in group.chunks(INGEST_CHUNK) {
+                            done += slot.write(concurrent, |g| apply(g, chunk));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard ingest panicked"))
+                .sum()
+        })
+    }
+
+    /// Runs `f` on every shard concurrently (one scoped thread per shard,
+    /// each under the configured read discipline) and returns the per-shard
+    /// results in shard order — the building block for whole-graph parallel
+    /// scans.
+    pub fn par_map_shards<R: Send>(&self, f: impl Fn(&G) -> R + Sync) -> Vec<R>
+    where
+        G: Send + Sync,
+    {
+        let concurrent = self.concurrent;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .slots
+                .iter()
+                .map(|slot| {
+                    let f = &f;
+                    scope.spawn(move || slot.read(concurrent, f))
+                })
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("shard scan panicked"))
                 .collect()
         })
+    }
+}
+
+impl<G: DynamicGraph + ConcurrentEngine + Send + Sync> Sharded<G> {
+    /// Batched insert through `&self`: the concurrent counterpart of
+    /// [`DynamicGraph::insert_edges`], safe to run while
+    /// [`Sharded::read_view`] guards query the same shards. Returns the
+    /// number of edges newly created.
+    pub fn ingest_batch(&self, edges: &[(NodeId, NodeId)]) -> usize {
+        self.concurrent_fan_out(edges, |&(u, _)| u, |g, chunk| g.insert_edges(chunk))
+    }
+
+    /// Batched delete through `&self`: the concurrent counterpart of
+    /// [`DynamicGraph::remove_edges`]. Returns the number of edges removed.
+    pub fn remove_batch(&self, edges: &[(NodeId, NodeId)]) -> usize {
+        self.concurrent_fan_out(edges, |&(u, _)| u, |g, chunk| g.remove_edges(chunk))
+    }
+}
+
+impl<G: WeightedDynamicGraph + DynamicGraph + ConcurrentEngine + Send + Sync> Sharded<G> {
+    /// Batched weighted insert through `&self`: the concurrent counterpart of
+    /// [`WeightedDynamicGraph::insert_weighted_edges`]. Returns the number of
+    /// distinct edges newly created.
+    pub fn ingest_weighted_batch(&self, edges: &[(NodeId, NodeId, u64)]) -> usize {
+        self.concurrent_fan_out(
+            edges,
+            |&(u, _, _)| u,
+            |g, chunk| g.insert_weighted_edges(chunk),
+        )
+    }
+}
+
+/// A read guard over a [`Sharded`] graph: holds one registered reader slot
+/// per shard (none in oracle mode), so its queries pin/validate per the
+/// seqlock protocol without paying the registry CAS each time. Queries
+/// through the view are safe while `&self` writers
+/// ([`Sharded::ingest_batch`] etc.) mutate the same shards: each read either
+/// completes before a mutation window opens or waits the window out — it
+/// never observes torn state. Dropping the view withdraws its registrations.
+#[derive(Debug)]
+pub struct ShardReadView<'a, G> {
+    graph: &'a Sharded<G>,
+    /// Registered reader-slot index per shard; empty in oracle mode.
+    slots: Vec<usize>,
+}
+
+impl<G> ShardReadView<'_, G> {
+    /// Runs `f` on shard `shard`'s engine under this view's registration.
+    pub fn with_shard<R>(&self, shard: usize, f: impl FnOnce(&G) -> R) -> R {
+        let slot = &self.graph.slots[shard];
+        if self.slots.is_empty() {
+            slot.read(false, f)
+        } else {
+            slot.read_pinned(self.slots[shard], f)
+        }
+    }
+}
+
+impl<G: DynamicGraph> ShardReadView<'_, G> {
+    /// Whether edge `⟨u, v⟩` is currently stored.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.with_shard(self.graph.shard_index(u), |g| g.has_edge(u, v))
+    }
+
+    /// Calls `f` with every current successor of `u`.
+    pub fn for_each_successor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
+        self.with_shard(self.graph.shard_index(u), |g| g.for_each_successor(u, f));
+    }
+
+    /// Collects the current successors of `u`.
+    pub fn successors(&self, u: NodeId) -> Vec<NodeId> {
+        self.with_shard(self.graph.shard_index(u), |g| g.successors(u))
+    }
+
+    /// Current out-degree of `u`.
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.with_shard(self.graph.shard_index(u), |g| g.out_degree(u))
+    }
+
+    /// Total stored edges (summed shard by shard; a concurrent writer may
+    /// land between shard reads, so the sum is a consistent-per-shard
+    /// snapshot, not a global one).
+    pub fn edge_count(&self) -> usize {
+        (0..self.graph.shard_count())
+            .map(|i| self.with_shard(i, DynamicGraph::edge_count))
+            .sum()
+    }
+
+    /// Total stored source nodes (same per-shard snapshot semantics as
+    /// [`ShardReadView::edge_count`]).
+    pub fn node_count(&self) -> usize {
+        (0..self.graph.shard_count())
+            .map(|i| self.with_shard(i, DynamicGraph::node_count))
+            .sum()
+    }
+}
+
+impl<G> Drop for ShardReadView<'_, G> {
+    fn drop(&mut self) {
+        for (slot, &idx) in self.graph.slots.iter().zip(&self.slots) {
+            slot.coord.release_slot(idx);
+        }
+    }
+}
+
+impl<G: Clone> Clone for Sharded<G> {
+    /// Clones the shard engines (each under its writer gate, so an in-flight
+    /// `&self` batch on the source finishes its shard first). The clone gets
+    /// fresh coordinators: registrations, pins, and read counters do not
+    /// carry over.
+    #[allow(unsafe_code)] // Safety: the gate excludes writers; clone only reads.
+    fn clone(&self) -> Self {
+        Self {
+            slots: self
+                .slots
+                .iter()
+                .map(|slot| {
+                    let _gate = slot.write_gate.lock().expect("shard write gate poisoned");
+                    ShardSlot::new(unsafe { &*slot.engine.get() }.clone())
+                })
+                .collect(),
+            concurrent: self.concurrent,
+        }
+    }
+}
+
+impl<G> std::fmt::Debug for Sharded<G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sharded")
+            .field("shards", &self.slots.len())
+            .field("concurrent_reads", &self.concurrent)
+            .finish()
     }
 }
 
@@ -194,17 +563,20 @@ impl Sharded<CuckooGraph> {
     }
 
     /// Creates a sharded basic graph from a shared configuration; each shard
-    /// derives its own hash seeds so kick-out behaviour is independent.
+    /// derives its own hash seeds so kick-out behaviour is independent, and
+    /// `config.concurrent_reads` selects the shared-read discipline.
     pub fn with_config(shards: usize, config: CuckooGraphConfig) -> Self {
+        let concurrent = config.concurrent_reads;
         Self::from_fn(shards, |i| {
             CuckooGraph::with_config(config.clone().with_seed(shard_seed(config.seed, i)))
         })
+        .with_concurrent_reads(concurrent)
     }
 
     /// Calls `f` for every stored edge `⟨u, v⟩` across all shards.
     pub fn for_each_edge(&self, mut f: impl FnMut(NodeId, NodeId)) {
-        for shard in &self.shards {
-            shard.for_each_edge(&mut f);
+        for i in 0..self.slots.len() {
+            self.with_shard(i, |shard| shard.for_each_edge(&mut f));
         }
     }
 
@@ -222,35 +594,23 @@ impl Sharded<CuckooGraph> {
     /// counterpart of [`CuckooGraph::for_each_successor_scalar`], so the scan
     /// oracle covers the sharded surface too.
     pub fn for_each_successor_scalar(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
-        self.shard_for(u).for_each_successor_scalar(u, f);
+        self.with_shard(self.shard_index(u), |shard| {
+            shard.for_each_successor_scalar(u, f)
+        });
     }
 
-    /// Merged structural statistics across all shards (counter sums).
+    /// Merged structural statistics across all shards (counter sums), taken
+    /// under the shared-read discipline — callable while `&self` writers
+    /// ingest — and topped with the read-coordinator counters.
     pub fn stats(&self) -> StructureStats {
         let mut merged = StructureStats::default();
         for stats in self.par_map_shards(CuckooGraph::stats) {
-            merged.nodes += stats.nodes;
-            merged.edges += stats.edges;
-            merged.lcht_tables += stats.lcht_tables;
-            merged.lcht_cells += stats.lcht_cells;
-            merged.scht_tables += stats.scht_tables;
-            merged.scht_slots += stats.scht_slots;
-            merged.l_denylist_len += stats.l_denylist_len;
-            merged.s_denylist_len += stats.s_denylist_len;
-            merged.lcht_placements += stats.lcht_placements;
-            merged.lcht_items += stats.lcht_items;
-            merged.scht_placements += stats.scht_placements;
-            merged.scht_items += stats.scht_items;
-            merged.insertion_failures += stats.insertion_failures;
-            merged.expansions += stats.expansions;
-            merged.contractions += stats.contractions;
-            merged.pool_hits += stats.pool_hits;
-            merged.pool_misses += stats.pool_misses;
-            merged.pool_retired += stats.pool_retired;
-            merged.pool_retained_bytes += stats.pool_retained_bytes;
-            merged.arena_blocks += stats.arena_blocks;
-            merged.arena_free_blocks += stats.arena_free_blocks;
+            merged.merge(&stats);
         }
+        let reads = self.read_counters();
+        merged.reader_retries = reads.reader_retries;
+        merged.read_pins = reads.read_pins;
+        merged.epoch_advances = reads.epoch_advances;
         merged
     }
 
@@ -259,9 +619,12 @@ impl Sharded<CuckooGraph> {
     /// blocks reclaimed.
     pub fn compact_arenas(&mut self) -> usize {
         std::thread::scope(|scope| {
-            self.shards
+            self.slots
                 .iter_mut()
-                .map(|shard| scope.spawn(move || shard.compact_arena()))
+                .map(|slot| {
+                    let engine = slot.engine_mut();
+                    scope.spawn(move || engine.compact_arena())
+                })
                 .collect::<Vec<_>>()
                 .into_iter()
                 .map(|h| h.join().expect("shard compaction panicked"))
@@ -277,11 +640,14 @@ impl Sharded<WeightedCuckooGraph> {
         Self::with_config(shards, CuckooGraphConfig::default())
     }
 
-    /// Creates a sharded weighted graph from a shared configuration.
+    /// Creates a sharded weighted graph from a shared configuration;
+    /// `config.concurrent_reads` selects the shared-read discipline.
     pub fn with_config(shards: usize, config: CuckooGraphConfig) -> Self {
+        let concurrent = config.concurrent_reads;
         Self::from_fn(shards, |i| {
             WeightedCuckooGraph::with_config(config.clone().with_seed(shard_seed(config.seed, i)))
         })
+        .with_concurrent_reads(concurrent)
     }
 
     /// Total weight across all shards.
@@ -295,7 +661,9 @@ impl Sharded<WeightedCuckooGraph> {
     /// sharded counterpart of
     /// [`WeightedCuckooGraph::for_each_weighted_successor_scalar`].
     pub fn for_each_weighted_successor_scalar(&self, u: NodeId, f: &mut dyn FnMut(NodeId, u64)) {
-        self.shard_for(u).for_each_weighted_successor_scalar(u, f);
+        self.with_shard(self.shard_index(u), |shard| {
+            shard.for_each_weighted_successor_scalar(u, f)
+        });
     }
 }
 
@@ -310,10 +678,13 @@ impl<G: DynamicGraph + Send + Sync> Sharded<G> {
     /// `f` must tolerate concurrent calls — hence `Fn + Sync`). Sequential
     /// callers use the trait's [`DynamicGraph::for_each_node`].
     pub fn par_for_each_node(&self, f: impl Fn(NodeId) + Sync) {
+        let concurrent = self.concurrent;
         std::thread::scope(|scope| {
-            for shard in &self.shards {
+            for slot in &self.slots {
                 let f = &f;
-                scope.spawn(move || shard.for_each_node(&mut |u| f(u)));
+                scope.spawn(move || {
+                    slot.read(concurrent, |shard| shard.for_each_node(&mut |u| f(u)))
+                });
             }
         });
     }
@@ -332,113 +703,116 @@ impl<G: DynamicGraph + Send + Sync> Sharded<G> {
 impl<G: MemoryFootprint> MemoryFootprint for Sharded<G> {
     fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
-            + self
-                .shards
-                .iter()
-                .map(MemoryFootprint::memory_bytes)
+            + (0..self.slots.len())
+                .map(|i| self.with_shard(i, MemoryFootprint::memory_bytes))
                 .sum::<usize>()
     }
 }
 
 impl<G: DynamicGraph + Send + Sync> DynamicGraph for Sharded<G> {
     fn insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
-        self.shard_for_mut(u).insert_edge(u, v)
+        self.engine_for_mut(u).insert_edge(u, v)
     }
 
     fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.shard_for(u).has_edge(u, v)
+        self.with_shard(self.shard_index(u), |shard| shard.has_edge(u, v))
     }
 
     fn delete_edge(&mut self, u: NodeId, v: NodeId) -> bool {
-        self.shard_for_mut(u).delete_edge(u, v)
+        self.engine_for_mut(u).delete_edge(u, v)
     }
 
     fn for_each_successor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
-        self.shard_for(u).for_each_successor(u, f);
+        self.with_shard(self.shard_index(u), |shard| shard.for_each_successor(u, f));
     }
 
     fn for_each_node(&self, f: &mut dyn FnMut(NodeId)) {
-        for shard in &self.shards {
-            shard.for_each_node(f);
+        for i in 0..self.slots.len() {
+            self.with_shard(i, |shard| shard.for_each_node(&mut *f));
         }
     }
 
     fn out_degree(&self, u: NodeId) -> usize {
-        self.shard_for(u).out_degree(u)
+        self.with_shard(self.shard_index(u), |shard| shard.out_degree(u))
     }
 
     fn insert_edges(&mut self, edges: &[(NodeId, NodeId)]) -> usize {
-        if self.shards.len() == 1 {
-            return self.shards[0].insert_edges(edges);
+        if self.slots.len() == 1 {
+            return self.slots[0].engine_mut().insert_edges(edges);
         }
         let groups = self.group_by_shard(edges, |&(u, _)| u);
         self.fan_out_mut(&groups, |shard, group| shard.insert_edges(group))
     }
 
     fn remove_edges(&mut self, edges: &[(NodeId, NodeId)]) -> usize {
-        if self.shards.len() == 1 {
-            return self.shards[0].remove_edges(edges);
+        if self.slots.len() == 1 {
+            return self.slots[0].engine_mut().remove_edges(edges);
         }
         let groups = self.group_by_shard(edges, |&(u, _)| u);
         self.fan_out_mut(&groups, |shard, group| shard.remove_edges(group))
     }
 
     fn edge_count(&self) -> usize {
-        self.shards.iter().map(DynamicGraph::edge_count).sum()
+        (0..self.slots.len())
+            .map(|i| self.with_shard(i, DynamicGraph::edge_count))
+            .sum()
     }
 
     fn node_count(&self) -> usize {
-        self.shards.iter().map(DynamicGraph::node_count).sum()
+        (0..self.slots.len())
+            .map(|i| self.with_shard(i, DynamicGraph::node_count))
+            .sum()
     }
 
     fn scheme(&self) -> GraphScheme {
-        self.shards[0].scheme()
+        self.with_shard(0, DynamicGraph::scheme)
     }
 }
 
 impl<G: DynamicGraph + Send + Sync> ShardedGraph for Sharded<G> {
     fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.slots.len()
     }
 
     fn shard_of(&self, u: NodeId) -> usize {
         self.shard_index(u)
     }
 
-    fn shard_view(&self, shard: usize) -> &(dyn DynamicGraph + Sync) {
-        &self.shards[shard]
+    fn with_shard_view(&self, shard: usize, f: &mut dyn FnMut(&(dyn DynamicGraph + Sync))) {
+        self.with_shard(shard, |engine| f(engine as &(dyn DynamicGraph + Sync)));
     }
 }
 
 impl<G: WeightedDynamicGraph + DynamicGraph + Send + Sync> WeightedDynamicGraph for Sharded<G> {
     fn insert_weighted(&mut self, u: NodeId, v: NodeId, delta: u64) -> u64 {
-        self.shard_for_mut(u).insert_weighted(u, v, delta)
+        self.engine_for_mut(u).insert_weighted(u, v, delta)
     }
 
     fn weight(&self, u: NodeId, v: NodeId) -> u64 {
-        self.shard_for(u).weight(u, v)
+        self.with_shard(self.shard_index(u), |shard| shard.weight(u, v))
     }
 
     fn delete_weighted(&mut self, u: NodeId, v: NodeId, delta: u64) -> u64 {
-        self.shard_for_mut(u).delete_weighted(u, v, delta)
+        self.engine_for_mut(u).delete_weighted(u, v, delta)
     }
 
     fn for_each_weighted_successor(&self, u: NodeId, f: &mut dyn FnMut(NodeId, u64)) {
-        self.shard_for(u).for_each_weighted_successor(u, f);
+        self.with_shard(self.shard_index(u), |shard| {
+            shard.for_each_weighted_successor(u, f)
+        });
     }
 
     fn insert_weighted_edges(&mut self, edges: &[(NodeId, NodeId, u64)]) -> usize {
-        if self.shards.len() == 1 {
-            return self.shards[0].insert_weighted_edges(edges);
+        if self.slots.len() == 1 {
+            return self.slots[0].engine_mut().insert_weighted_edges(edges);
         }
         let groups = self.group_by_shard(edges, |&(u, _, _)| u);
         self.fan_out_mut(&groups, |shard, group| shard.insert_weighted_edges(group))
     }
 
     fn distinct_edge_count(&self) -> usize {
-        self.shards
-            .iter()
-            .map(WeightedDynamicGraph::distinct_edge_count)
+        (0..self.slots.len())
+            .map(|i| self.with_shard(i, WeightedDynamicGraph::distinct_edge_count))
             .sum()
     }
 }
@@ -448,13 +822,14 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<ShardedCuckooGraph>();
     assert_send_sync::<ShardedWeightedCuckooGraph>();
+    assert_send_sync::<ShardReadView<'_, CuckooGraph>>();
 };
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::collections::BTreeSet;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use std::sync::Mutex;
 
     fn workload(n: u64) -> Vec<(NodeId, NodeId)> {
@@ -482,8 +857,10 @@ mod tests {
         let mut g = ShardedCuckooGraph::new(8);
         let edges = workload(5_000);
         g.insert_edges(&edges);
-        for (shard_idx, shard) in g.shards().iter().enumerate() {
-            shard.for_each_edge(|u, _| assert_eq!(g.shard_index(u), shard_idx));
+        for shard_idx in 0..g.shard_count() {
+            g.with_shard(shard_idx, |shard| {
+                shard.for_each_edge(|u, _| assert_eq!(g.shard_index(u), shard_idx));
+            });
         }
     }
 
@@ -505,6 +882,121 @@ mod tests {
                 let b: BTreeSet<NodeId> = serial.successors(u).into_iter().collect();
                 assert_eq!(a, b, "{shards} shards: successors of {u}");
             }
+        }
+    }
+
+    #[test]
+    fn shared_surface_ingest_matches_exclusive_ingest() {
+        let edges = workload(20_000);
+        let removals: Vec<(NodeId, NodeId)> = edges.iter().step_by(3).copied().collect();
+        for concurrent in [true, false] {
+            let shared = ShardedCuckooGraph::with_config(
+                4,
+                CuckooGraphConfig::default().with_concurrent_reads(concurrent),
+            );
+            let mut exclusive = ShardedCuckooGraph::new(4);
+            assert_eq!(
+                shared.ingest_batch(&edges),
+                exclusive.insert_edges(&edges),
+                "concurrent={concurrent}: created count"
+            );
+            assert_eq!(
+                shared.remove_batch(&removals),
+                exclusive.remove_edges(&removals),
+                "concurrent={concurrent}: removed count"
+            );
+            assert_eq!(shared.edge_count(), exclusive.edge_count());
+            for u in 0..97u64 {
+                let a: BTreeSet<NodeId> = shared.successors(u).into_iter().collect();
+                let b: BTreeSet<NodeId> = exclusive.successors(u).into_iter().collect();
+                assert_eq!(a, b, "concurrent={concurrent}: successors of {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_shared_surface_ingest_matches_exclusive() {
+        let items: Vec<(NodeId, NodeId, u64)> = (0..8_000u64)
+            .map(|i| (splitmix64(i) % 50, splitmix64(i ^ 7) % 200, i % 5 + 1))
+            .collect();
+        let shared = ShardedWeightedCuckooGraph::new(4);
+        let mut exclusive = ShardedWeightedCuckooGraph::new(4);
+        assert_eq!(
+            shared.ingest_weighted_batch(&items),
+            exclusive.insert_weighted_edges(&items)
+        );
+        assert_eq!(shared.total_weight(), exclusive.total_weight());
+        assert_eq!(
+            shared.distinct_edge_count(),
+            exclusive.distinct_edge_count()
+        );
+    }
+
+    #[test]
+    fn read_view_observes_batches_and_never_torn_state() {
+        let g = ShardedCuckooGraph::new(4);
+        let view = g.read_view();
+        assert_eq!(view.edge_count(), 0);
+        let edges = workload(5_000);
+        g.ingest_batch(&edges);
+        // The view sees everything the completed batch inserted.
+        for &(u, v) in edges.iter().step_by(17) {
+            assert!(view.has_edge(u, v), "view missed committed edge ({u}, {v})");
+        }
+        assert_eq!(view.edge_count(), g.edge_count());
+        assert_eq!(view.node_count(), g.node_count());
+        let mut degree = 0usize;
+        view.for_each_successor(edges[0].0, &mut |_| degree += 1);
+        assert_eq!(degree, view.out_degree(edges[0].0));
+        drop(view);
+        assert!(g.read_counters().read_pins > 0);
+    }
+
+    #[test]
+    fn readers_make_progress_while_a_writer_ingests() {
+        let g = ShardedCuckooGraph::new(2);
+        g.ingest_batch(&workload(2_000));
+        let stable: Vec<(NodeId, NodeId)> = {
+            let mut edges = Vec::new();
+            g.for_each_edge(|u, v| edges.push((u, v)));
+            edges
+        };
+        let churn: Vec<(NodeId, NodeId)> = (0..4_000u64)
+            .map(|i| (1_000_000 + splitmix64(i) % 97, splitmix64(i ^ 0x5) % 1_000))
+            .collect();
+        let writer_done = AtomicBool::new(false);
+        let reads = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for _ in 0..10 {
+                    g.ingest_batch(&churn);
+                    g.remove_batch(&churn);
+                }
+                writer_done.store(true, Ordering::SeqCst);
+            });
+            scope.spawn(|| {
+                let view = g.read_view();
+                let mut first_pass = true;
+                // At least one full pass even if the writer wins the whole
+                // race on a single-core scheduler.
+                while first_pass || !writer_done.load(Ordering::SeqCst) {
+                    first_pass = false;
+                    for &(u, v) in stable.iter().take(64) {
+                        // The stable prefix is never deleted: a reader must
+                        // see every one of these edges on every pass.
+                        assert!(view.has_edge(u, v), "lost committed edge ({u}, {v})");
+                        reads.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        });
+        assert!(reads.load(Ordering::Relaxed) > 0);
+        // The churn touched shards under the concurrent protocol: windows
+        // opened and closed, so epochs advanced.
+        assert!(g.read_counters().epoch_advances > 0);
+        // And the churn batches are fully applied or fully removed.
+        for &(u, v) in churn.iter().step_by(13) {
+            assert!(!g.has_edge(u, v));
         }
     }
 
@@ -574,11 +1066,12 @@ mod tests {
         assert_eq!(trait_obj.shard_count(), 4);
         let mut total = 0usize;
         for shard in 0..trait_obj.shard_count() {
-            let view = trait_obj.shard_view(shard);
-            view.for_each_node(&mut |u| {
-                assert_eq!(trait_obj.shard_of(u), shard, "node {u} in wrong shard");
+            trait_obj.with_shard_view(shard, &mut |view| {
+                view.for_each_node(&mut |u| {
+                    assert_eq!(trait_obj.shard_of(u), shard, "node {u} in wrong shard");
+                });
+                total += view.node_count();
             });
-            total += view.node_count();
         }
         assert_eq!(total, g.node_count());
     }
@@ -607,14 +1100,66 @@ mod tests {
 
     #[test]
     fn merged_stats_and_memory_cover_all_shards() {
-        let mut g = ShardedCuckooGraph::new(4);
+        let g = ShardedCuckooGraph::new(4);
         let before = g.memory_bytes();
-        g.insert_edges(&workload(8_000));
+        g.ingest_batch(&workload(8_000));
         assert!(g.memory_bytes() > before);
         let stats = g.stats();
         assert_eq!(stats.edges, g.edge_count());
         assert_eq!(stats.nodes, g.node_count());
         assert!(stats.lcht_cells > 0);
+        // The shared-surface batch ran under the concurrent protocol, so the
+        // read/epoch counter block is live.
+        assert!(stats.epoch_advances > 0, "no mutation window was counted");
+        assert!(stats.read_pins > 0, "stats reads were not pinned");
+    }
+
+    #[test]
+    fn oracle_mode_counts_no_pins_or_epochs() {
+        let g = ShardedCuckooGraph::with_config(
+            4,
+            CuckooGraphConfig::default().with_concurrent_reads(false),
+        );
+        assert!(!g.concurrent_reads());
+        g.ingest_batch(&workload(3_000));
+        let view = g.read_view();
+        assert!(view.edge_count() > 0);
+        let stats = g.stats();
+        assert_eq!(stats.read_pins, 0);
+        assert_eq!(stats.reader_retries, 0);
+        assert_eq!(stats.epoch_advances, 0);
+        assert_eq!(stats.pool_deferred, 0, "oracle mode must not quarantine");
+    }
+
+    #[test]
+    fn concurrent_ingest_defers_and_reclaims_pool_buffers() {
+        // Heavy single-shard churn so TRANSFORMATIONs retire tables inside
+        // mutation windows; every quarantined buffer must clear by the end of
+        // the final window (the drained-window bound covers its own epoch).
+        let g = ShardedCuckooGraph::new(1);
+        let edges: Vec<(NodeId, NodeId)> = (0..6_000u64).map(|i| (i % 40, i / 2)).collect();
+        g.ingest_batch(&edges);
+        g.remove_batch(&edges);
+        g.ingest_batch(&edges);
+        let stats = g.stats();
+        assert!(stats.pool_deferred > 0, "churn never deferred a retirement");
+        assert_eq!(
+            stats.pool_deferred, stats.pool_reclaimed,
+            "a quarantined buffer leaked past the final window"
+        );
+        assert_eq!(stats.pool_deferred_pending, 0);
+    }
+
+    #[test]
+    fn clone_copies_engines_but_not_coordinators() {
+        let g = ShardedCuckooGraph::new(2);
+        g.ingest_batch(&workload(1_000));
+        assert!(g.read_counters().epoch_advances > 0);
+        let copy = g.clone();
+        assert_eq!(copy.edge_count(), g.edge_count());
+        assert_eq!(copy.concurrent_reads(), g.concurrent_reads());
+        let fresh = copy.read_counters();
+        assert_eq!(fresh.epoch_advances, 0, "coordinator state leaked to clone");
     }
 
     #[test]

@@ -49,8 +49,27 @@ pub struct StructureStats {
     pub pool_misses: u64,
     /// Tables whose buffers were returned to the pool on retirement.
     pub pool_retired: u64,
+    /// Retirements quarantined behind an epoch stamp inside concurrent write
+    /// sections instead of entering the free list directly (cumulative).
+    pub pool_deferred: u64,
+    /// Quarantined buffers released back into circulation after their epoch
+    /// cleared the reclaim bound (cumulative).
+    pub pool_reclaimed: u64,
+    /// Buffers still parked in pool quarantines, awaiting an epoch advance.
+    pub pool_deferred_pending: usize,
     /// Bytes currently parked in pool free lists awaiting reuse.
     pub pool_retained_bytes: usize,
+    /// Concurrent-read pins that observed an open write window (or a torn
+    /// sequence word) and had to back off and retry. Counted by the shard
+    /// layer's read coordinators; always 0 for a serial engine.
+    pub reader_retries: u64,
+    /// Successful concurrent-read pins granted by the shard layer's read
+    /// coordinators; always 0 for a serial engine.
+    pub read_pins: u64,
+    /// Epoch advances published by shard write sections (each one may free
+    /// quarantined table buffers for reclamation); always 0 for a serial
+    /// engine.
+    pub epoch_advances: u64,
     /// Blocks carved out of the slot arena (live + freed).
     pub arena_blocks: usize,
     /// Arena blocks currently on the free list (reclaimable by
@@ -59,6 +78,40 @@ pub struct StructureStats {
 }
 
 impl StructureStats {
+    /// Accumulates another snapshot into this one. Every field is additive
+    /// across disjoint structures, so [`crate::Sharded`] merges per-shard
+    /// snapshots — each taken under that shard's own read protocol — without
+    /// ever needing exclusive access to the whole graph.
+    pub fn merge(&mut self, o: &StructureStats) {
+        self.nodes += o.nodes;
+        self.edges += o.edges;
+        self.lcht_tables += o.lcht_tables;
+        self.lcht_cells += o.lcht_cells;
+        self.scht_tables += o.scht_tables;
+        self.scht_slots += o.scht_slots;
+        self.l_denylist_len += o.l_denylist_len;
+        self.s_denylist_len += o.s_denylist_len;
+        self.lcht_placements += o.lcht_placements;
+        self.lcht_items += o.lcht_items;
+        self.scht_placements += o.scht_placements;
+        self.scht_items += o.scht_items;
+        self.insertion_failures += o.insertion_failures;
+        self.expansions += o.expansions;
+        self.contractions += o.contractions;
+        self.pool_hits += o.pool_hits;
+        self.pool_misses += o.pool_misses;
+        self.pool_retired += o.pool_retired;
+        self.pool_deferred += o.pool_deferred;
+        self.pool_reclaimed += o.pool_reclaimed;
+        self.pool_deferred_pending += o.pool_deferred_pending;
+        self.pool_retained_bytes += o.pool_retained_bytes;
+        self.reader_retries += o.reader_retries;
+        self.read_pins += o.read_pins;
+        self.epoch_advances += o.epoch_advances;
+        self.arena_blocks += o.arena_blocks;
+        self.arena_free_blocks += o.arena_free_blocks;
+    }
+
     /// Average number of L-CHT placements per inserted node — the paper
     /// reports ≈1.017 on NotreDame, far below the kick budget `T`.
     pub fn avg_lcht_placements_per_item(&self) -> f64 {
@@ -116,5 +169,37 @@ mod tests {
         assert!((s.avg_lcht_placements_per_item() - 1.017).abs() < 1e-9);
         assert!((s.avg_scht_placements_per_item() - 1.006).abs() < 1e-9);
         assert!((s.lcht_loading_rate() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_is_field_wise_addition() {
+        let a = StructureStats {
+            nodes: 3,
+            edges: 5,
+            pool_deferred: 2,
+            reader_retries: 7,
+            read_pins: 11,
+            epoch_advances: 1,
+            ..Default::default()
+        };
+        let b = StructureStats {
+            nodes: 4,
+            edges: 6,
+            pool_deferred: 1,
+            pool_reclaimed: 1,
+            reader_retries: 3,
+            read_pins: 9,
+            epoch_advances: 2,
+            ..Default::default()
+        };
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.nodes, 7);
+        assert_eq!(m.edges, 11);
+        assert_eq!(m.pool_deferred, 3);
+        assert_eq!(m.pool_reclaimed, 1);
+        assert_eq!(m.reader_retries, 10);
+        assert_eq!(m.read_pins, 20);
+        assert_eq!(m.epoch_advances, 3);
     }
 }

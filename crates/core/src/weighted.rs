@@ -99,6 +99,16 @@ impl Default for WeightedCuckooGraph {
     }
 }
 
+impl crate::epoch::ConcurrentEngine for WeightedCuckooGraph {
+    fn begin_concurrent_write(&mut self, epoch: u64) {
+        self.engine.begin_concurrent_write(epoch);
+    }
+
+    fn end_concurrent_write(&mut self, safe_epoch: u64) -> usize {
+        self.engine.end_concurrent_write(safe_epoch)
+    }
+}
+
 impl MemoryFootprint for WeightedCuckooGraph {
     fn memory_bytes(&self) -> usize {
         self.engine.memory_bytes()

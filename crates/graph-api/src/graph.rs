@@ -225,6 +225,11 @@ pub trait DynamicGraph: MemoryFootprint {
 /// results reconstructs the whole-graph answer. Shard views are `Sync`, so a
 /// caller may scan all shards from scoped threads at once.
 ///
+/// The view is scoped to a closure rather than returned as a bare reference:
+/// implementations with concurrent writers bracket the closure with their
+/// read protocol (reader registration, seqlock validation), which a `&dyn`
+/// escaping the call could not honour.
+///
 /// ```
 /// use graph_api::{DynamicGraph, ShardedGraph};
 ///
@@ -233,7 +238,7 @@ pub trait DynamicGraph: MemoryFootprint {
 /// assert_eq!(g.shard_count(), 4);
 /// let mut nodes = 0;
 /// for shard in 0..g.shard_count() {
-///     g.shard_view(shard).for_each_node(&mut |_| nodes += 1);
+///     g.with_shard_view(shard, &mut |view| view.for_each_node(&mut |_| nodes += 1));
 /// }
 /// assert_eq!(nodes, g.node_count());
 /// ```
@@ -244,9 +249,10 @@ pub trait ShardedGraph: DynamicGraph + Sync {
     /// The shard that owns source node `u` (and every edge leaving it).
     fn shard_of(&self, u: NodeId) -> usize;
 
-    /// Read view of one shard. The views of distinct shards cover disjoint
-    /// source-node sets and their union is the whole graph.
-    fn shard_view(&self, shard: usize) -> &(dyn DynamicGraph + Sync);
+    /// Runs `f` with a read view of one shard, under the implementation's
+    /// read protocol. The views of distinct shards cover disjoint source-node
+    /// sets and their union is the whole graph.
+    fn with_shard_view(&self, shard: usize, f: &mut dyn FnMut(&(dyn DynamicGraph + Sync)));
 }
 
 /// A dynamic graph that also tracks edge multiplicities, matching the extended

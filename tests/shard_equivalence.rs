@@ -150,12 +150,13 @@ proptest! {
         let mut total_nodes = 0usize;
         let mut total_edges = 0usize;
         for shard in 0..sharded.shard_count() {
-            let view = sharded.shard_view(shard);
-            view.for_each_node(&mut |u| {
-                assert_eq!(sharded.shard_of(u), shard, "node {u} outside its shard");
+            sharded.with_shard_view(shard, &mut |view| {
+                view.for_each_node(&mut |u| {
+                    assert_eq!(sharded.shard_of(u), shard, "node {u} outside its shard");
+                });
+                total_nodes += view.node_count();
+                total_edges += view.edge_count();
             });
-            total_nodes += view.node_count();
-            total_edges += view.edge_count();
         }
         prop_assert_eq!(total_nodes, sharded.node_count());
         prop_assert_eq!(total_edges, sharded.edge_count());
