@@ -231,6 +231,32 @@ fn bench_successor_scan(c: &mut Criterion) {
             sum
         });
     });
+    // The PR-8 pair: the contiguous-segment scan (the default, labelled
+    // explicitly) against the chain table walk (`with_scan_segments(false)`,
+    // the pre-change scan shape) on the same loaded graph.
+    let configured = [
+        (
+            "Ours (segment)",
+            cuckoograph::CuckooGraphConfig::default().with_scan_segments(true),
+        ),
+        (
+            "Ours (table-walk)",
+            cuckoograph::CuckooGraphConfig::default().with_scan_segments(false),
+        ),
+    ];
+    for (label, config) in configured {
+        let mut graph = cuckoograph::CuckooGraph::with_config(config);
+        graph.insert_edges(&edges);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let mut sum = 0u64;
+                for &u in &sources {
+                    graph.for_each_successor(u, &mut |v| sum = sum.wrapping_add(v));
+                }
+                sum
+            });
+        });
+    }
     group.finish();
 }
 

@@ -8,10 +8,12 @@
 //! tag-word scan vs the scalar reference) and resize guard (scratch-backed
 //! churn vs the alloc-per-event reference), the PR-6 pool guard
 //! (pooled/arena churn vs the pool-off oracle, plus a memory regression
-//! check against the committed snapshot), and the PR-7 read-under-ingest
+//! check against the committed snapshot), the PR-7 read-under-ingest
 //! guard (1/2/4 lock-free reader threads scanning while a writer drives
-//! batched churn on the same shards) — and writes `BENCH.json`
-//! (schema v6) with ops/sec and memory bytes per scheme so the bench
+//! batched churn on the same shards), and the PR-8 scan-segment guard
+//! (contiguous-segment successor scan vs the table-walk oracle on a
+//! churned dense graph, with compactions verified live) — and writes
+//! `BENCH.json` (schema v7) with ops/sec and memory bytes per scheme so the bench
 //! trajectory of the repository is machine-readable and regressions fail
 //! loudly in CI. When a committed `BENCH.json` already exists at the output
 //! path, the re-record prints the delta of every Ours headline number
@@ -194,6 +196,77 @@ fn run_pool_guard(sorted: &[(u64, u64)], waves: usize) -> PoolGuard {
     }
 }
 
+/// Throughputs and segment counters of the PR-8 scan-segment guard: the
+/// contiguous-segment successor scan versus the table-walk oracle
+/// (`with_scan_segments(false)` — the pre-change scan shape), measured on
+/// identically churned graphs.
+#[derive(Debug)]
+struct SegmentGuard {
+    segment_scan_mops: f64,
+    table_walk_scan_mops: f64,
+    segment_compactions: u64,
+    segment_tombstones: u64,
+    segment_bytes: usize,
+}
+
+/// Measures the PR-8 segment scan against the live table-walk oracle on the
+/// dense profile (where cells actually transform — the CAIDA smoke stream
+/// averages degree ~2 and stays inline). Both graphs ingest the same edges,
+/// then delete two of every three — punching tombstones well past the 1/4
+/// waste threshold so in-place compactions demonstrably fire — before the
+/// surviving adjacency is scanned.
+fn run_segment_guard(sorted: &[(u64, u64)]) -> SegmentGuard {
+    let mut seg = CuckooGraph::new();
+    let mut walk = CuckooGraph::with_config(CuckooGraphConfig::default().with_scan_segments(false));
+    for &(u, v) in sorted {
+        seg.insert_edge(u, v);
+        walk.insert_edge(u, v);
+    }
+    for (i, &(u, v)) in sorted.iter().enumerate() {
+        if i % 3 != 0 {
+            assert!(seg.delete_edge(u, v), "segment graph lost an edge");
+            assert!(walk.delete_edge(u, v), "table-walk oracle lost an edge");
+        }
+    }
+    let stats = seg.stats();
+    assert!(
+        stats.segment_compactions > 0,
+        "churn never compacted a segment"
+    );
+    assert!(
+        stats.segment_tombstones > 0,
+        "deletions punched no tombstones"
+    );
+    assert_eq!(
+        walk.stats().segment_bytes,
+        0,
+        "table-walk oracle allocated segments"
+    );
+
+    let mut sources = Vec::with_capacity(seg.node_count());
+    seg.for_each_node(&mut |u| sources.push(u));
+    sources.sort_unstable();
+    let mut segment_scan_mops = 0.0f64;
+    let mut table_walk_scan_mops = 0.0f64;
+    for _ in 0..MEASURE_ROUNDS {
+        let (segment, seg_visited) = run_successor_scans(&seg, &sources, SCAN_PASSES);
+        let (table, walk_visited) = run_successor_scans(&walk, &sources, SCAN_PASSES);
+        assert_eq!(
+            seg_visited, walk_visited,
+            "segment and table-walk scans visited different edge counts"
+        );
+        segment_scan_mops = segment_scan_mops.max(segment);
+        table_walk_scan_mops = table_walk_scan_mops.max(table);
+    }
+    SegmentGuard {
+        segment_scan_mops,
+        table_walk_scan_mops,
+        segment_compactions: stats.segment_compactions,
+        segment_tombstones: stats.segment_tombstones,
+        segment_bytes: stats.segment_bytes,
+    }
+}
+
 /// Results of the PR-7 read-under-ingest guard: best-of-rounds aggregate
 /// reader throughput per reader count, plus the coordinator counters the run
 /// accumulated (so BENCH.json records how many mutation windows the readers
@@ -321,10 +394,22 @@ fn committed_ours_metrics(path: &str, keys: &[&str]) -> CommittedSnapshot {
         return CommittedSnapshot::Absent;
     };
     let parse = || -> Option<Vec<(String, f64)>> {
-        let line = text.lines().find(|l| l.contains("\"scheme\": \"Ours\""))?;
+        let ours = text.lines().find(|l| l.contains("\"scheme\": \"Ours\""))?;
         let mut out = Vec::new();
         for &key in keys {
             let needle = format!("\"{key}\": ");
+            // Headline metrics live on the Ours scheme line; guard-block
+            // metrics (the segment counters) on their own block line. A key
+            // absent everywhere is a metric newer than the committed schema
+            // — skipped, so re-recording across a schema bump still diffs
+            // the shared keys instead of failing as unparseable.
+            let Some(line) = [ours]
+                .into_iter()
+                .chain(text.lines())
+                .find(|l| l.contains(&needle))
+            else {
+                continue;
+            };
             let at = line.find(&needle)? + needle.len();
             let rest = &line[at..];
             let end = rest
@@ -332,7 +417,8 @@ fn committed_ours_metrics(path: &str, keys: &[&str]) -> CommittedSnapshot {
                 .unwrap_or(rest.len());
             out.push((key.to_string(), rest[..end].parse().ok()?));
         }
-        Some(out)
+        // Nothing parsed at all means the format itself drifted.
+        (!out.is_empty()).then_some(out)
     };
     let scale = || -> Option<f64> {
         let line = text.lines().find(|l| l.contains("\"workload\""))?;
@@ -501,13 +587,16 @@ fn main() {
         .unwrap_or(0.2);
     // Snapshot the committed headline numbers before overwriting, so the
     // delta report below can flag prose that quotes stale figures.
-    const DELTA_KEYS: [&str; 6] = [
+    const DELTA_KEYS: [&str; 9] = [
         "insert_mops",
         "batch_insert_mops",
         "query_mops",
         "succ_scan_mops",
         "delete_mops",
         "memory_bytes",
+        "segment_compactions",
+        "segment_tombstones",
+        "segment_bytes",
     ];
     let committed = committed_ours_metrics(&out_path, &DELTA_KEYS);
 
@@ -644,6 +733,12 @@ fn main() {
     eprintln!("# perf_smoke: pool guard ({churn_waves} churn waves, dense profile) ...");
     let pool = run_pool_guard(&churn_edges, churn_waves);
 
+    // The PR-8 scan-segment guard: contiguous-segment scan versus the
+    // table-walk oracle on the same churned dense graph (tombstones punched
+    // past the waste threshold, compactions verified live).
+    eprintln!("# perf_smoke: scan-segment guard (dense profile) ...");
+    let segment = run_segment_guard(&churn_edges);
+
     // The PR-7 read-under-ingest guard: lock-free readers scanning the CAIDA
     // stable set while a writer churns a disjoint-source batch on the same
     // shards. Each pass asserts its visit count, so the throughput numbers
@@ -655,10 +750,10 @@ fn main() {
     // throughput in ops/sec, memory in bytes. Schema v2 added shards/threads
     // metadata per entry plus the thread_sweep block, v3 the probe_path
     // block, v4 the scan_path and resize guard blocks, v5 the pool guard
-    // block, v6 the read_under_ingest block, so the perf trajectory across
-    // PRs stays comparable.
+    // block, v6 the read_under_ingest block, v7 the scan_segments block, so
+    // the perf trajectory across PRs stays comparable.
     let mut json = String::from("{\n");
-    json.push_str("  \"schema_version\": 6,\n");
+    json.push_str("  \"schema_version\": 7,\n");
     json.push_str(&format!(
         "  \"workload\": {{\"dataset\": \"CAIDA\", \"scale\": {scale}, \"seed\": {HARNESS_SEED}, \"raw_edges\": {}, \"distinct_edges\": {}}},\n",
         raw.len(),
@@ -718,6 +813,15 @@ fn main() {
         pool.arena_free_blocks,
     ));
     json.push_str(&format!(
+        "  \"scan_segments\": {{\"segment_scan_mops\": {}, \"table_walk_scan_mops\": {}, \
+         \"segment_compactions\": {}, \"segment_tombstones\": {}, \"segment_bytes\": {}}},\n",
+        json_f(segment.segment_scan_mops),
+        json_f(segment.table_walk_scan_mops),
+        segment.segment_compactions,
+        segment.segment_tombstones,
+        segment.segment_bytes,
+    ));
+    json.push_str(&format!(
         "  \"read_under_ingest\": {{\"scheme\": \"ShardedCuckooGraph\", \"shards\": {}, \
          \"read_secs\": {read_secs}, \"stable_edges\": {}, \"churn_batch\": {}, \
          \"epoch_advances\": {}, \"reader_retries\": {}, \"read_pins\": {}, \"points\": [\n",
@@ -771,6 +875,9 @@ fn main() {
         .expect("CuckooGraph result");
     match &committed {
         CommittedSnapshot::Ours { metrics: old, .. } => {
+            // Same order as DELTA_KEYS; committed values are looked up by
+            // key, so metrics newer than the committed schema print as new
+            // instead of misaligning the report.
             let new_values = [
                 ours.insert_mops,
                 ours.batch_insert_mops,
@@ -778,22 +885,31 @@ fn main() {
                 ours.succ_scan_mops,
                 ours.delete_mops,
                 ours.memory_bytes as f64,
+                segment.segment_compactions as f64,
+                segment.segment_tombstones as f64,
+                segment.segment_bytes as f64,
             ];
             println!();
             println!("Ours vs committed {out_path}:");
-            for ((key, old_value), new_value) in old.iter().zip(new_values) {
+            for (key, new_value) in DELTA_KEYS.iter().zip(new_values) {
+                let unit = if key.ends_with("_mops") {
+                    "Mops"
+                } else if key.ends_with("_bytes") {
+                    "B   "
+                } else {
+                    "    "
+                };
+                let Some((_, old_value)) = old.iter().find(|(k, _)| k == key) else {
+                    println!("  {key:20} {new_value:10.3} {unit} (new metric)");
+                    continue;
+                };
                 let delta = if *old_value > 0.0 {
                     (new_value - old_value) / old_value * 100.0
                 } else {
                     f64::NAN
                 };
-                let unit = if key == "memory_bytes" {
-                    "B   "
-                } else {
-                    "Mops"
-                };
                 println!(
-                    "  {key:18} {new_value:10.3} {unit} (committed {old_value:10.3}, {delta:+7.1}%)"
+                    "  {key:20} {new_value:10.3} {unit} (committed {old_value:10.3}, {delta:+7.1}%)"
                 );
             }
         }
@@ -865,6 +981,30 @@ fn main() {
              1-shard path {serial_mops} Mops"
         );
         std::process::exit(1);
+    }
+
+    // Per-point tolerance, tighter than the best-point gate above: the
+    // committed sweep's weakest point (4 shards) records speedup 0.9723 —
+    // parity within scheduler noise, not a win — and the best-point margin
+    // alone would let a single point collapse to 0.8x behind a healthy peak.
+    // Every multi-shard point must stay above this explicit noise floor; a
+    // real per-point regression (one shard's coordinator serialising the
+    // others) lands far below it.
+    const SWEEP_POINT_NOISE_MARGIN: f64 = 0.93;
+    println!(
+        "sweep tolerance: best multi-shard >= {SWEEP_NOISE_MARGIN}x serial, \
+         every multi-shard point >= {SWEEP_POINT_NOISE_MARGIN}x serial"
+    );
+    for p in sweep.iter().filter(|p| p.shards > 1) {
+        let speedup = p.insert_mops / serial_mops;
+        if speedup < SWEEP_POINT_NOISE_MARGIN {
+            eprintln!(
+                "perf_smoke FAILED: {}-shard ingest speedup {speedup:.4} below the per-point \
+                 noise floor {SWEEP_POINT_NOISE_MARGIN} (serial {serial_mops} Mops, point {} Mops)",
+                p.shards, p.insert_mops
+            );
+            std::process::exit(1);
+        }
     }
 
     // The PR-4 probe-path claim, checked on every run with the visitor-scan
@@ -969,6 +1109,30 @@ fn main() {
         std::process::exit(1);
     }
 
+    // The PR-8 scan-segment claim: the contiguous-segment successor scan must
+    // not regress against the live table-walk oracle on the transformed-cell
+    // profile, and the churn that precedes the measurement must actually have
+    // exercised the tombstone/compaction machinery (asserted inside the
+    // guard). A real regression — the segment walk degenerating to per-slot
+    // probing, or stale segments forcing table fallbacks — lands far below
+    // the noise margin.
+    println!(
+        "segments:   segment scan {:.3} Mops vs table-walk oracle {:.3} Mops \
+         ({} compactions, {} tombstones, {} B)",
+        segment.segment_scan_mops,
+        segment.table_walk_scan_mops,
+        segment.segment_compactions,
+        segment.segment_tombstones,
+        segment.segment_bytes
+    );
+    if segment.segment_scan_mops < segment.table_walk_scan_mops * NOISE_MARGIN {
+        eprintln!(
+            "perf_smoke FAILED: segment scan {} Mops slower than table-walk oracle {} Mops",
+            segment.segment_scan_mops, segment.table_walk_scan_mops
+        );
+        std::process::exit(1);
+    }
+
     // The PR-7 read-under-ingest claim: readers on the lock-free path make
     // sustained progress while a writer churns the same shards (the > 0
     // throughput asserts live inside the guard, as does the per-pass visit
@@ -1031,7 +1195,15 @@ fn main() {
     // scale is deterministic, so the margin only has to absorb allocator
     // rounding; the guard is skipped (loudly) when the run's scale differs
     // from the committed record, since the workloads are not comparable.
+    //
+    // One deliberate exception: the record that *introduces* the scan
+    // segments (committed snapshot has no `segment_bytes` key yet) carries
+    // the segment buffers as a new, intentional cost that the 1.05 rounding
+    // margin cannot absorb. That single transition gets the documented 1.10
+    // allowance of the PR-8 budget; as soon as a segment-bearing record is
+    // committed the strict margin re-arms against it.
     const MEMORY_MARGIN: f64 = 1.05;
+    const SEGMENT_INTRO_MARGIN: f64 = 1.10;
     if let CommittedSnapshot::Ours {
         metrics,
         scale: committed_scale,
@@ -1041,12 +1213,22 @@ fn main() {
             .iter()
             .find(|(k, _)| k == "memory_bytes")
             .map(|(_, v)| *v);
+        let committed_has_segments = metrics.iter().any(|(k, _)| k == "segment_bytes");
+        let margin = if committed_has_segments {
+            MEMORY_MARGIN
+        } else {
+            eprintln!(
+                "# perf_smoke: committed snapshot predates scan segments — memory guard \
+                 widened once to {SEGMENT_INTRO_MARGIN} for the introducing record"
+            );
+            SEGMENT_INTRO_MARGIN
+        };
         match (committed_mem, committed_scale) {
             (Some(old_mem), Some(old_scale)) if *old_scale == scale => {
-                if (ours.memory_bytes as f64) > old_mem * MEMORY_MARGIN {
+                if (ours.memory_bytes as f64) > old_mem * margin {
                     eprintln!(
                         "perf_smoke FAILED: Ours memory {} B regressed past committed {} B \
-                         (margin {MEMORY_MARGIN})",
+                         (margin {margin})",
                         ours.memory_bytes, old_mem
                     );
                     std::process::exit(1);

@@ -22,6 +22,7 @@ use crate::hash::{splitmix64, KeyHash};
 use crate::payload::Payload;
 use crate::rng::KickRng;
 use crate::scratch::RebuildScratch;
+use crate::segment::{ScanArena, NO_SEG};
 use graph_api::NodeId;
 
 /// Everything a cell needs to know to manage its Part 2. Borrowed from the
@@ -88,8 +89,18 @@ enum Part2<P> {
         /// [`Payload::filler`].
         len: u8,
     },
-    /// Degree outgrew the inline slots: neighbours live in an S-CHT chain.
-    Chain(Box<TableChain<P>>),
+    /// Degree outgrew the inline slots: neighbours live in an S-CHT chain,
+    /// mirrored by a contiguous scan segment for the successor-scan fast
+    /// path.
+    Chain {
+        /// The S-CHT chain holding the neighbour payloads.
+        chain: Box<TableChain<P>>,
+        /// The cell's scan segment in the engine's
+        /// [`ScanArena`], or [`NO_SEG`] when segments are disabled. Kept in
+        /// lockstep with chain membership by the mutation hooks below; ids
+        /// travel with the cell through L-CHT kicks and resizes.
+        seg: u32,
+    },
 }
 
 /// One L-CHT cell: the node `u` plus its transformable neighbour storage.
@@ -135,20 +146,20 @@ impl<P: Payload> Cell<P> {
     pub fn degree(&self) -> usize {
         match &self.part2 {
             Part2::Small { len, .. } => *len as usize,
-            Part2::Chain(chain) => chain.count(),
+            Part2::Chain { chain, .. } => chain.count(),
         }
     }
 
     /// True if Part 2 has transformed into an S-CHT chain.
     pub fn is_transformed(&self) -> bool {
-        matches!(self.part2, Part2::Chain(_))
+        matches!(self.part2, Part2::Chain { .. })
     }
 
     /// Number of S-CHT tables hanging off this cell (0 while inline).
     pub fn scht_tables(&self) -> usize {
         match &self.part2 {
             Part2::Small { .. } => 0,
-            Part2::Chain(chain) => chain.table_count(),
+            Part2::Chain { chain, .. } => chain.table_count(),
         }
     }
 
@@ -156,7 +167,7 @@ impl<P: Payload> Cell<P> {
     pub fn scht_slots(&self) -> usize {
         match &self.part2 {
             Part2::Small { .. } => 0,
-            Part2::Chain(chain) => chain.capacity(),
+            Part2::Chain { chain, .. } => chain.capacity(),
         }
     }
 
@@ -169,7 +180,7 @@ impl<P: Payload> Cell<P> {
                     .iter()
                     .find(|p| p.key() == v)
             }
-            Part2::Chain(chain) => chain.get(kh),
+            Part2::Chain { chain, .. } => chain.get(kh),
         }
     }
 
@@ -189,7 +200,7 @@ impl<P: Payload> Cell<P> {
                     .iter_mut()
                     .find(|p| p.key() == v)
             }
-            Part2::Chain(chain) => chain.get_mut(kh),
+            Part2::Chain { chain, .. } => chain.get_mut(kh),
         }
     }
 
@@ -210,7 +221,7 @@ impl<P: Payload> Cell<P> {
                     .position(|p| p.key() == v)
                     .map(CellSlot::Small)
             }
-            Part2::Chain(chain) => chain.find_index(kh).map(CellSlot::Chain),
+            Part2::Chain { chain, .. } => chain.find_index(kh).map(CellSlot::Chain),
         }
     }
 
@@ -222,7 +233,7 @@ impl<P: Payload> Cell<P> {
     ) -> &'a mut P {
         match (&mut self.part2, slot) {
             (Part2::Small { block, .. }, CellSlot::Small(i)) => &mut arena.slots_mut(*block)[i],
-            (Part2::Chain(chain), CellSlot::Chain(pos)) => chain.item_at_mut(pos),
+            (Part2::Chain { chain, .. }, CellSlot::Chain(pos)) => chain.item_at_mut(pos),
             _ => unreachable!("cell slot coordinates from a different Part 2 shape"),
         }
     }
@@ -236,7 +247,7 @@ impl<P: Payload> Cell<P> {
             Part2::Small { block, len } => Self::live_slots(*block, *len, arena)
                 .iter()
                 .find(|p| p.key() == v),
-            Part2::Chain(chain) => chain.get(KeyHash::new(v)),
+            Part2::Chain { chain, .. } => chain.get(KeyHash::new(v)),
         }
     }
 
@@ -255,7 +266,7 @@ impl<P: Payload> Cell<P> {
                     .iter_mut()
                     .find(|p| p.key() == v)
             }
-            Part2::Chain(chain) => chain.get_mut(KeyHash::new(v)),
+            Part2::Chain { chain, .. } => chain.get_mut(KeyHash::new(v)),
         }
     }
 
@@ -279,6 +290,7 @@ impl<P: Payload> Cell<P> {
 
     /// Lazy counterpart of [`Cell::remove`]: hash-free on inline cells, one
     /// memoized Bob pass on transformed ones.
+    #[allow(clippy::too_many_arguments)] // disjoint borrows of the engine's fields
     pub fn remove_lazy(
         &mut self,
         v: NodeId,
@@ -287,6 +299,7 @@ impl<P: Payload> Cell<P> {
         rng: &mut KickRng,
         placements: &mut u64,
         scratch: &mut RebuildScratch<P>,
+        scan: &mut ScanArena,
     ) -> NeighborRemove<P> {
         if let Part2::Small { block, len } = &mut self.part2 {
             let removed = Self::remove_small(*block, len, v, arena);
@@ -296,7 +309,7 @@ impl<P: Payload> Cell<P> {
                 contracted: false,
             };
         }
-        self.remove(KeyHash::new(v), ctx, arena, rng, placements, scratch)
+        self.remove(KeyHash::new(v), ctx, arena, rng, placements, scratch, scan)
     }
 
     /// Pre-change reference probe of Part 2 (per-table re-hash, full payload
@@ -307,7 +320,7 @@ impl<P: Payload> Cell<P> {
             Part2::Small { block, len } => Self::live_slots(*block, *len, arena)
                 .iter()
                 .any(|p| p.key() == v),
-            Part2::Chain(chain) => chain.contains_unmemoized(v),
+            Part2::Chain { chain, .. } => chain.contains_unmemoized(v),
         }
     }
 
@@ -316,7 +329,7 @@ impl<P: Payload> Cell<P> {
     /// probe reads immediately).
     #[inline]
     pub fn prefetch(&self, kh: KeyHash) {
-        if let Part2::Chain(chain) = &self.part2 {
+        if let Part2::Chain { chain, .. } = &self.part2 {
             chain.prefetch(kh);
         }
     }
@@ -331,7 +344,7 @@ impl<P: Payload> Cell<P> {
                     f(p);
                 }
             }
-            Part2::Chain(chain) => chain.for_each(f),
+            Part2::Chain { chain, .. } => chain.for_each(f),
         }
     }
 
@@ -345,7 +358,7 @@ impl<P: Payload> Cell<P> {
                     f(p);
                 }
             }
-            Part2::Chain(chain) => chain.for_each_scalar(f),
+            Part2::Chain { chain, .. } => chain.for_each_scalar(f),
         }
     }
 
@@ -354,6 +367,30 @@ impl<P: Payload> Cell<P> {
         let mut out = Vec::with_capacity(self.degree());
         self.for_each(arena, |p| out.push(p.key()));
         out
+    }
+
+    /// The cell's scan-segment id: [`NO_SEG`] while inline (low-degree scans
+    /// read the dense arena block directly) or when segments are disabled.
+    #[inline]
+    pub(crate) fn seg_id(&self) -> u32 {
+        match &self.part2 {
+            Part2::Small { .. } => NO_SEG,
+            Part2::Chain { seg, .. } => *seg,
+        }
+    }
+
+    /// Creates and fills the scan segment mirroring a freshly built chain:
+    /// one append per stored neighbour. Runs at TRANSFORMATION time, so the
+    /// per-item Bob pass covers at most the inline capacity plus one.
+    fn build_segment(chain: &TableChain<P>, scan: &mut ScanArena) -> u32 {
+        let seg = scan.create(chain.count());
+        if seg != NO_SEG {
+            chain.for_each(|p| {
+                let kh = p.key_hash();
+                scan.append(seg, kh.key());
+            });
+        }
+        seg
     }
 
     fn chain_seed(ctx: &CellCtx, u: NodeId) -> u64 {
@@ -401,6 +438,7 @@ impl<P: Payload> Cell<P> {
         rng: &mut KickRng,
         placements: &mut u64,
         scratch: &mut RebuildScratch<P>,
+        scan: &mut ScanArena,
     ) -> NeighborInsert<P> {
         debug_assert_eq!(
             payload.key(),
@@ -425,16 +463,36 @@ impl<P: Payload> Cell<P> {
                     ChainInsert::Stored => NeighborInsert::Stored { expanded: true },
                     ChainInsert::Failed(p) => NeighborInsert::Failed(p),
                 };
-                self.part2 = Part2::Chain(Box::new(chain));
+                // The segment mirrors whatever membership the chain settled
+                // on (the incoming payload included iff it stored).
+                let seg = Self::build_segment(&chain, scan);
+                self.part2 = Part2::Chain {
+                    chain: Box::new(chain),
+                    seg,
+                };
                 result
             }
-            Part2::Chain(chain) => {
+            Part2::Chain { chain, seg } => {
                 let before = chain.expansions();
+                let v = kh.key();
                 match chain.insert(payload, kh, rng, placements, scratch) {
-                    ChainInsert::Stored => NeighborInsert::Stored {
-                        expanded: chain.expansions() > before,
-                    },
-                    ChainInsert::Failed(p) => NeighborInsert::Failed(p),
+                    ChainInsert::Stored => {
+                        scan.append(*seg, v);
+                        NeighborInsert::Stored {
+                            expanded: chain.expansions() > before,
+                        }
+                    }
+                    ChainInsert::Failed(p) => {
+                        // Exactly one item ends up outside the chain. If it
+                        // is not the incoming payload, the new edge settled
+                        // and `p` is a kick victim evicted from the chain —
+                        // swap their segment entries.
+                        if p.key() != v {
+                            scan.append(*seg, v);
+                            scan.tombstone(*seg, p.key());
+                        }
+                        NeighborInsert::Failed(p)
+                    }
                 }
             }
         }
@@ -444,6 +502,7 @@ impl<P: Payload> Cell<P> {
     /// chain immediately, a chained cell grows its chain by one step. Returns
     /// payloads displaced by a merge that could not be re-placed. Used by the
     /// engine when the S-DL is full or disabled.
+    #[allow(clippy::too_many_arguments)] // disjoint borrows of the engine's fields
     pub fn force_expand(
         &mut self,
         ctx: &CellCtx,
@@ -451,15 +510,28 @@ impl<P: Payload> Cell<P> {
         rng: &mut KickRng,
         placements: &mut u64,
         scratch: &mut RebuildScratch<P>,
+        scan: &mut ScanArena,
     ) -> Vec<P> {
         match &mut self.part2 {
             Part2::Small { block, len } => {
                 let chain =
                     Self::transform(*block, *len, self.u, ctx, arena, rng, placements, scratch);
-                self.part2 = Part2::Chain(Box::new(chain));
+                let seg = Self::build_segment(&chain, scan);
+                self.part2 = Part2::Chain {
+                    chain: Box::new(chain),
+                    seg,
+                };
                 Vec::new()
             }
-            Part2::Chain(chain) => chain.expand(rng, placements, scratch),
+            Part2::Chain { chain, seg } => {
+                let displaced = chain.expand(rng, placements, scratch);
+                // Displaced payloads leave the cell (the engine parks them in
+                // the S-DL); the segment must forget them now.
+                for p in &displaced {
+                    scan.tombstone(*seg, p.key());
+                }
+                displaced
+            }
         }
     }
 
@@ -467,6 +539,7 @@ impl<P: Payload> Cell<P> {
     /// `items` in place (the engine hands its reusable drain buffer, which
     /// comes back empty). Payloads that still cannot be placed are handed back
     /// (the engine re-parks them).
+    #[allow(clippy::too_many_arguments)] // disjoint borrows of the engine's fields
     pub fn reinsert_from(
         &mut self,
         items: &mut Vec<P>,
@@ -475,6 +548,7 @@ impl<P: Payload> Cell<P> {
         rng: &mut KickRng,
         placements: &mut u64,
         scratch: &mut RebuildScratch<P>,
+        scan: &mut ScanArena,
     ) -> Vec<P> {
         let mut rejected = Vec::new();
         while let Some(item) = items.pop() {
@@ -484,7 +558,7 @@ impl<P: Payload> Cell<P> {
                 // duplicate must never corrupt the cuckoo invariant.
                 continue;
             }
-            match self.insert(item, kh, ctx, arena, rng, placements, scratch) {
+            match self.insert(item, kh, ctx, arena, rng, placements, scratch, scan) {
                 NeighborInsert::Stored { .. } => {}
                 NeighborInsert::Failed(p) => rejected.push(p),
             }
@@ -495,6 +569,7 @@ impl<P: Payload> Cell<P> {
     /// Removes neighbour `kh.key()`, applying the reverse TRANSFORMATION when
     /// the chain's loading rate drops below `Λ` and collapsing back to inline
     /// small slots when everything fits again.
+    #[allow(clippy::too_many_arguments)] // disjoint borrows of the engine's fields
     pub fn remove(
         &mut self,
         kh: KeyHash,
@@ -503,6 +578,7 @@ impl<P: Payload> Cell<P> {
         rng: &mut KickRng,
         placements: &mut u64,
         scratch: &mut RebuildScratch<P>,
+        scan: &mut ScanArena,
     ) -> NeighborRemove<P> {
         match &mut self.part2 {
             Part2::Small { block, len } => {
@@ -513,7 +589,8 @@ impl<P: Payload> Cell<P> {
                     contracted: false,
                 }
             }
-            Part2::Chain(chain) => {
+            Part2::Chain { chain, seg } => {
+                let seg_id = *seg;
                 let removed = chain.remove(kh);
                 if removed.is_none() {
                     return NeighborRemove {
@@ -522,6 +599,7 @@ impl<P: Payload> Cell<P> {
                         contracted: false,
                     };
                 }
+                scan.tombstone(seg_id, kh.key());
                 let contracted;
                 let mut displaced = Vec::new();
                 // Collapse back to inline slots once everything fits again —
@@ -530,6 +608,10 @@ impl<P: Payload> Cell<P> {
                 // pool) and the survivors land in a fresh arena block.
                 if chain.count() <= ctx.small_slots {
                     debug_assert!(scratch.is_empty(), "scratch busy during collapse");
+                    // The survivors move back inline: the segment retires
+                    // (its buffers re-enter the pool, quarantined if a
+                    // concurrent window is open).
+                    scan.release(seg_id);
                     chain.dismantle(&mut scratch.items, &mut scratch.pool);
                     let n = scratch.items.len();
                     debug_assert!(n <= arena.block_size());
@@ -552,6 +634,10 @@ impl<P: Payload> Cell<P> {
                 } else {
                     let before = chain.contractions();
                     displaced = chain.maybe_contract(rng, placements, scratch);
+                    // Contraction leftovers leave for the S-DL: forget them.
+                    for p in &displaced {
+                        scan.tombstone(seg_id, p.key());
+                    }
                     contracted = chain.contractions() > before;
                 }
                 NeighborRemove {
@@ -582,7 +668,9 @@ impl<P: Payload> Cell<P> {
     pub fn part2_bytes(&self) -> usize {
         match &self.part2 {
             Part2::Small { .. } => 0,
-            Part2::Chain(chain) => std::mem::size_of::<TableChain<P>>() + chain.memory_bytes(),
+            Part2::Chain { chain, .. } => {
+                std::mem::size_of::<TableChain<P>>() + chain.memory_bytes()
+            }
         }
     }
 }
@@ -648,6 +736,10 @@ mod tests {
         SlotArena::new(ctx().small_slots)
     }
 
+    fn scan() -> ScanArena {
+        ScanArena::new(true)
+    }
+
     #[test]
     fn small_slots_hold_up_to_capacity_inline() {
         let ctx = ctx();
@@ -656,9 +748,19 @@ mod tests {
         let mut rng = KickRng::new(1);
         let mut p = 0;
         let mut s = scratch();
+        let mut sc = scan();
         for v in 0..6u64 {
             assert_eq!(
-                cell.insert(v, kh(v), &ctx, &mut arena, &mut rng, &mut p, &mut s),
+                cell.insert(
+                    v,
+                    kh(v),
+                    &ctx,
+                    &mut arena,
+                    &mut rng,
+                    &mut p,
+                    &mut s,
+                    &mut sc
+                ),
                 NeighborInsert::Stored { expanded: false }
             );
         }
@@ -679,11 +781,30 @@ mod tests {
         let mut rng = KickRng::new(2);
         let mut p = 0;
         let mut s = scratch();
+        let mut sc = scan();
         for v in 0..6u64 {
-            cell.insert(v, kh(v), &ctx, &mut arena, &mut rng, &mut p, &mut s);
+            cell.insert(
+                v,
+                kh(v),
+                &ctx,
+                &mut arena,
+                &mut rng,
+                &mut p,
+                &mut s,
+                &mut sc,
+            );
         }
         // The 7th neighbour exceeds 2R = 6: all v move into the 1st S-CHT.
-        let res = cell.insert(6, kh(6), &ctx, &mut arena, &mut rng, &mut p, &mut s);
+        let res = cell.insert(
+            6,
+            kh(6),
+            &ctx,
+            &mut arena,
+            &mut rng,
+            &mut p,
+            &mut s,
+            &mut sc,
+        );
         assert_eq!(res, NeighborInsert::Stored { expanded: true });
         assert!(cell.is_transformed());
         assert_eq!(cell.scht_tables(), 1);
@@ -699,6 +820,7 @@ mod tests {
 
     /// Mimics the engine's fallback when an insertion exceeds the kick budget
     /// and no denylist is available: force an expansion and retry.
+    #[allow(clippy::too_many_arguments)]
     fn insert_with_fallback(
         cell: &mut Cell<NodeId>,
         v: NodeId,
@@ -707,14 +829,15 @@ mod tests {
         rng: &mut KickRng,
         p: &mut u64,
         s: &mut RebuildScratch<NodeId>,
+        sc: &mut ScanArena,
     ) -> bool {
         let mut pending = v;
         let mut expanded_any = false;
         loop {
-            match cell.insert(pending, kh(pending), ctx, arena, rng, p, s) {
+            match cell.insert(pending, kh(pending), ctx, arena, rng, p, s, sc) {
                 NeighborInsert::Stored { expanded } => return expanded_any || expanded,
                 NeighborInsert::Failed(back) => {
-                    let displaced = cell.force_expand(ctx, arena, rng, p, s);
+                    let displaced = cell.force_expand(ctx, arena, rng, p, s, sc);
                     assert!(displaced.is_empty(), "forced expansion displaced items");
                     expanded_any = true;
                     pending = back;
@@ -731,9 +854,12 @@ mod tests {
         let mut rng = KickRng::new(3);
         let mut p = 0;
         let mut s = scratch();
+        let mut sc = scan();
         let mut expansions = 0;
         for v in 0..500u64 {
-            if insert_with_fallback(&mut cell, v, &ctx, &mut arena, &mut rng, &mut p, &mut s) {
+            if insert_with_fallback(
+                &mut cell, v, &ctx, &mut arena, &mut rng, &mut p, &mut s, &mut sc,
+            ) {
                 expansions += 1;
             }
         }
@@ -753,15 +879,25 @@ mod tests {
         let mut rng = KickRng::new(4);
         let mut p = 0;
         let mut s = scratch();
+        let mut sc = scan();
         for v in 0..4u64 {
-            cell.insert(v, kh(v), &ctx, &mut arena, &mut rng, &mut p, &mut s);
+            cell.insert(
+                v,
+                kh(v),
+                &ctx,
+                &mut arena,
+                &mut rng,
+                &mut p,
+                &mut s,
+                &mut sc,
+            );
         }
-        let r = cell.remove(kh(2), &ctx, &mut arena, &mut rng, &mut p, &mut s);
+        let r = cell.remove(kh(2), &ctx, &mut arena, &mut rng, &mut p, &mut s, &mut sc);
         assert_eq!(r.removed, Some(2));
         assert!(!r.contracted);
         assert!(!cell.contains(kh(2), &arena));
         assert_eq!(cell.degree(), 3);
-        let missing = cell.remove(kh(99), &ctx, &mut arena, &mut rng, &mut p, &mut s);
+        let missing = cell.remove(kh(99), &ctx, &mut arena, &mut rng, &mut p, &mut s, &mut sc);
         assert_eq!(missing.removed, None);
         // The vacated tail of the live prefix is re-fillered, not stale.
         assert_eq!(arena.slots(0)[3], NodeId::filler());
@@ -776,17 +912,27 @@ mod tests {
         let mut rng = KickRng::new(5);
         let mut p = 0;
         let mut s = scratch();
+        let mut sc = scan();
         for v in 0..60u64 {
-            insert_with_fallback(&mut cell, v, &ctx, &mut arena, &mut rng, &mut p, &mut s);
+            insert_with_fallback(
+                &mut cell, v, &ctx, &mut arena, &mut rng, &mut p, &mut s, &mut sc,
+            );
         }
         assert!(cell.is_transformed());
         for v in 0..56u64 {
-            let r = cell.remove(kh(v), &ctx, &mut arena, &mut rng, &mut p, &mut s);
+            let r = cell.remove(kh(v), &ctx, &mut arena, &mut rng, &mut p, &mut s, &mut sc);
             assert_eq!(r.removed, Some(v));
             // Displaced payloads must be re-offered to the cell so nothing is lost.
             let mut displaced = r.displaced;
-            let rejected =
-                cell.reinsert_from(&mut displaced, &ctx, &mut arena, &mut rng, &mut p, &mut s);
+            let rejected = cell.reinsert_from(
+                &mut displaced,
+                &ctx,
+                &mut arena,
+                &mut rng,
+                &mut p,
+                &mut s,
+                &mut sc,
+            );
             assert!(rejected.is_empty());
             assert!(
                 displaced.is_empty(),
@@ -818,6 +964,7 @@ mod tests {
         let mut rng = KickRng::new(6);
         let mut p = 0;
         let mut s: RebuildScratch<WeightedSlot> = RebuildScratch::persistent();
+        let mut sc = scan();
         cell.insert(
             WeightedSlot { v: 5, w: 1 },
             kh(5),
@@ -826,6 +973,7 @@ mod tests {
             &mut rng,
             &mut p,
             &mut s,
+            &mut sc,
         );
         cell.get_mut(kh(5), &mut arena).unwrap().w += 4;
         assert_eq!(cell.get(kh(5), &arena).unwrap().w, 5);
@@ -839,9 +987,12 @@ mod tests {
         let mut rng = KickRng::new(7);
         let mut p = 0;
         let mut s = scratch();
+        let mut sc = scan();
         assert_eq!(cell.part2_bytes(), 0, "inline storage lives in the arena");
         for v in 0..100u64 {
-            insert_with_fallback(&mut cell, v, &ctx, &mut arena, &mut rng, &mut p, &mut s);
+            insert_with_fallback(
+                &mut cell, v, &ctx, &mut arena, &mut rng, &mut p, &mut s, &mut sc,
+            );
         }
         assert!(cell.part2_bytes() > 0, "chain bytes are cell-owned");
         // Payload trait implementation mirrors part2_bytes.
@@ -861,9 +1012,27 @@ mod tests {
         let mut rng = KickRng::new(8);
         let mut p = 0;
         let mut s = scratch();
-        cell.insert(10, kh(10), &ctx, &mut arena, &mut rng, &mut p, &mut s);
+        let mut sc = scan();
+        cell.insert(
+            10,
+            kh(10),
+            &ctx,
+            &mut arena,
+            &mut rng,
+            &mut p,
+            &mut s,
+            &mut sc,
+        );
         let mut parked = vec![10, 11, 12];
-        let rejected = cell.reinsert_from(&mut parked, &ctx, &mut arena, &mut rng, &mut p, &mut s);
+        let rejected = cell.reinsert_from(
+            &mut parked,
+            &ctx,
+            &mut arena,
+            &mut rng,
+            &mut p,
+            &mut s,
+            &mut sc,
+        );
         assert!(rejected.is_empty());
         assert!(parked.is_empty());
         assert_eq!(cell.degree(), 3);
@@ -877,10 +1046,13 @@ mod tests {
         let mut rng = KickRng::new(9);
         let mut p = 0;
         let mut s = scratch();
+        let mut sc = scan();
         for count in [4usize, 40] {
             let mut cell2 = cell.clone();
             for v in cell2.degree() as u64..count as u64 {
-                insert_with_fallback(&mut cell2, v, &ctx, &mut arena, &mut rng, &mut p, &mut s);
+                insert_with_fallback(
+                    &mut cell2, v, &ctx, &mut arena, &mut rng, &mut p, &mut s, &mut sc,
+                );
             }
             let mut swar = Vec::new();
             cell2.for_each(&arena, |&v| swar.push(v));
@@ -894,6 +1066,91 @@ mod tests {
         }
     }
 
+    /// The scan segment tracks chain membership exactly through the whole
+    /// lifecycle: transformation builds it, inserts append, removes
+    /// tombstone (compacting past the 1/4-waste threshold), and the collapse
+    /// back to inline slots releases it.
+    #[test]
+    fn scan_segment_mirrors_chain_membership() {
+        let ctx = ctx();
+        let mut arena = arena();
+        let mut cell: Cell<NodeId> = Cell::new(3);
+        let mut rng = KickRng::new(11);
+        let mut p = 0;
+        let mut s = scratch();
+        let mut sc = scan();
+        assert_eq!(cell.seg_id(), NO_SEG, "inline cells carry no segment");
+        for v in 0..40u64 {
+            insert_with_fallback(
+                &mut cell, v, &ctx, &mut arena, &mut rng, &mut p, &mut s, &mut sc,
+            );
+            let seg = cell.seg_id();
+            if cell.is_transformed() {
+                let mut from_seg = Vec::new();
+                sc.for_each(seg, |x| from_seg.push(x));
+                from_seg.sort_unstable();
+                let mut from_chain = cell.neighbors(&arena);
+                from_chain.sort_unstable();
+                assert_eq!(from_seg, from_chain, "after inserting {v}");
+            } else {
+                assert_eq!(seg, NO_SEG);
+            }
+        }
+        for v in 0..37u64 {
+            let r = cell.remove(kh(v), &ctx, &mut arena, &mut rng, &mut p, &mut s, &mut sc);
+            assert_eq!(r.removed, Some(v));
+            let mut displaced = r.displaced;
+            cell.reinsert_from(
+                &mut displaced,
+                &ctx,
+                &mut arena,
+                &mut rng,
+                &mut p,
+                &mut s,
+                &mut sc,
+            );
+            if cell.is_transformed() {
+                let mut from_seg = Vec::new();
+                sc.for_each(cell.seg_id(), |x| from_seg.push(x));
+                from_seg.sort_unstable();
+                let mut from_chain = cell.neighbors(&arena);
+                from_chain.sort_unstable();
+                assert_eq!(from_seg, from_chain, "after removing {v}");
+            }
+        }
+        assert!(!cell.is_transformed(), "cell should have collapsed");
+        assert_eq!(cell.seg_id(), NO_SEG, "collapse must release the segment");
+        assert!(sc.tombstones() > 0, "removals never tombstoned");
+        assert!(
+            sc.compactions() > 0,
+            "sustained deletions never crossed the compaction threshold"
+        );
+    }
+
+    /// A disabled scan arena keeps every hook a no-op: the cell works
+    /// identically and never allocates a segment.
+    #[test]
+    fn disabled_scan_arena_leaves_cells_segmentless() {
+        let ctx = ctx();
+        let mut arena = arena();
+        let mut cell: Cell<NodeId> = Cell::new(4);
+        let mut rng = KickRng::new(12);
+        let mut p = 0;
+        let mut s = scratch();
+        let mut sc = ScanArena::new(false);
+        for v in 0..30u64 {
+            insert_with_fallback(
+                &mut cell, v, &ctx, &mut arena, &mut rng, &mut p, &mut s, &mut sc,
+            );
+        }
+        assert!(cell.is_transformed());
+        assert_eq!(cell.seg_id(), NO_SEG);
+        assert_eq!(sc.memory_bytes(), 0);
+        let mut n = cell.neighbors(&arena);
+        n.sort_unstable();
+        assert_eq!(n, (0..30u64).collect::<Vec<_>>());
+    }
+
     /// Collapse round-trips through the arena: chain → block → chain → block,
     /// with compaction remaps in between keeping the cell's index valid.
     #[test]
@@ -904,15 +1161,26 @@ mod tests {
         let mut rng = KickRng::new(10);
         let mut p = 0;
         let mut s = scratch();
+        let mut sc = scan();
         // Grow past the threshold, then shrink back under it.
         for v in 0..40u64 {
-            insert_with_fallback(&mut cell, v, &ctx, &mut arena, &mut rng, &mut p, &mut s);
+            insert_with_fallback(
+                &mut cell, v, &ctx, &mut arena, &mut rng, &mut p, &mut s, &mut sc,
+            );
         }
         for v in 0..37u64 {
-            let r = cell.remove(kh(v), &ctx, &mut arena, &mut rng, &mut p, &mut s);
+            let r = cell.remove(kh(v), &ctx, &mut arena, &mut rng, &mut p, &mut s, &mut sc);
             assert_eq!(r.removed, Some(v));
             let mut displaced = r.displaced;
-            cell.reinsert_from(&mut displaced, &ctx, &mut arena, &mut rng, &mut p, &mut s);
+            cell.reinsert_from(
+                &mut displaced,
+                &ctx,
+                &mut arena,
+                &mut rng,
+                &mut p,
+                &mut s,
+                &mut sc,
+            );
         }
         assert!(!cell.is_transformed());
         assert_eq!(cell.degree(), 3);

@@ -503,9 +503,13 @@ impl<T: Payload> TableChain<T> {
 
     /// Inserts without consulting the expansion rule. Following the paper's
     /// Example 2, new items are placed in the **most recently enabled** table
-    /// only (older tables sit at their threshold and are not disturbed); a
-    /// kick-out failure is handed to the caller, which parks the item in a
-    /// denylist or forces an expansion.
+    /// only (older tables sit at their threshold and are not disturbed). When
+    /// the kick-out walk fails there, the homeless item is retried — full
+    /// kick-out walk — in each older table before the failure is reported.
+    /// The placement policy governs where items go while the chain is
+    /// healthy; once the newest table rejects an item, salvaging it anywhere
+    /// in the chain always beats parking it in a denylist, whose entries tax
+    /// every subsequent probe with a linear scan.
     pub fn insert_no_expand(
         &mut self,
         item: T,
@@ -520,7 +524,21 @@ impl<T: Payload> TableChain<T> {
                 self.count += 1;
                 ChainInsert::Stored
             }
-            Err(bounced) => ChainInsert::Failed(bounced),
+            Err(mut bounced) => {
+                for t in &mut self.tables[..last] {
+                    // Each walk may hand back a *displaced resident*, not the
+                    // item it was given — the hash material must be its own.
+                    let bkh = bounced.key_hash();
+                    match t.insert(bounced, bkh, rng, max_kicks, placements) {
+                        Ok(()) => {
+                            self.count += 1;
+                            return ChainInsert::Stored;
+                        }
+                        Err(b) => bounced = b,
+                    }
+                }
+                ChainInsert::Failed(bounced)
+            }
         }
     }
 

@@ -59,6 +59,16 @@ pub struct CuckooGraphConfig {
     /// read-under-ingest guard compare against. Serial (unsharded) engines
     /// ignore the flag.
     pub concurrent_reads: bool,
+    /// Maintains a contiguous **scan segment** (dense, append-ordered
+    /// successor ids carved from a [`crate::segment::ScanArena`]) alongside
+    /// the S-CHT chain of every transformed cell, and routes
+    /// `for_each_successor` through it — one cache-friendly run per cell
+    /// instead of a scattered table walk. Point ops keep the tag-word probe
+    /// path either way. When disabled, the scan falls back to the table-walk
+    /// iterator — the pre-PR-8 behaviour, kept as the live oracle the
+    /// `segment_scan_model` property tests and the `perf_smoke`
+    /// `scan_segments` guard compare against.
+    pub scan_segments: bool,
     /// Seed for hash-function seeds and kick-victim selection. Fixed default
     /// so runs are reproducible; randomise it for adversarial workloads.
     pub seed: u64,
@@ -79,6 +89,7 @@ impl Default for CuckooGraphConfig {
             resize_scratch: true,
             table_pool: true,
             concurrent_reads: true,
+            scan_segments: true,
             seed: 0x5eed_cafe_f00d_0001,
         }
     }
@@ -187,6 +198,15 @@ impl CuckooGraphConfig {
         self
     }
 
+    /// Builder-style setter for the scan-segment switch: `false` selects the
+    /// table-walk successor iterator (the pre-change behaviour, kept as the
+    /// live oracle the segment property tests and perf guard compare
+    /// against).
+    pub fn with_scan_segments(mut self, enabled: bool) -> Self {
+        self.scan_segments = enabled;
+        self
+    }
+
     /// Builder-style setter for the random seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -221,6 +241,7 @@ mod tests {
         assert!(c.resize_scratch, "persistent scratch is the default");
         assert!(c.table_pool, "table pooling is the default");
         assert!(c.concurrent_reads, "concurrent reads are the default");
+        assert!(c.scan_segments, "scan segments are the default");
         assert!(c.validate().is_ok());
         // Λ ≤ 2G/3 as assumed by the memory analysis.
         assert!(c.contract_threshold <= 2.0 * c.expand_threshold / 3.0);
@@ -278,6 +299,7 @@ mod tests {
             .with_resize_scratch(false)
             .with_table_pool(false)
             .with_concurrent_reads(false)
+            .with_scan_segments(false)
             .with_seed(7)
             .with_scht_base_len(4)
             .with_lcht_base_len(8);
@@ -287,6 +309,7 @@ mod tests {
         assert!(!c.resize_scratch);
         assert!(!c.table_pool);
         assert!(!c.concurrent_reads);
+        assert!(!c.scan_segments);
         assert_eq!(c.seed, 7);
         assert!(c.validate().is_ok());
     }

@@ -22,6 +22,7 @@ use crate::lcht::NodeTable;
 use crate::payload::Payload;
 use crate::rng::KickRng;
 use crate::scratch::RebuildScratch;
+use crate::segment::{ScanArena, NO_SEG};
 use crate::stats::StructureStats;
 use graph_api::{for_each_source_run, NodeId};
 
@@ -58,6 +59,12 @@ pub struct Engine<P> {
     /// Engine-level slab holding every inline cell's small slots (see
     /// [`crate::arena`]) — one allocation for all low-degree adjacency.
     arena: SlotArena<P>,
+    /// Engine-level arena of contiguous scan segments mirroring every
+    /// transformed cell's chain membership (see [`crate::segment`]): the
+    /// successor-scan fast path walks one dense run per cell instead of the
+    /// chain's scattered buckets. Disabled by `with_scan_segments(false)`,
+    /// which keeps the table-walk iterator live as the oracle.
+    scan: ScanArena,
 }
 
 /// Places `payload` into `cell`, routing kick-out failures to the S-DL (or
@@ -78,6 +85,7 @@ fn settle_payload<P: Payload>(
     kh: KeyHash,
     scratch: &mut RebuildScratch<P>,
     dl_buf: &mut Vec<P>,
+    scan: &mut ScanArena,
 ) {
     if cell.is_transformed() {
         counters.items += 1;
@@ -91,6 +99,7 @@ fn settle_payload<P: Payload>(
         rng,
         &mut counters.placements,
         scratch,
+        scan,
     ) {
         NeighborInsert::Stored { expanded } => {
             if expanded {
@@ -108,6 +117,7 @@ fn settle_payload<P: Payload>(
                         rng,
                         &mut counters.placements,
                         scratch,
+                        scan,
                     );
                     for p in rejected {
                         s_dl.push_forced(u, p);
@@ -119,10 +129,10 @@ fn settle_payload<P: Payload>(
             counters.failures += 1;
             if use_denylist {
                 if let Err(p) = s_dl.push(u, p) {
-                    force_store_into(cell, s_dl, ctx, arena, rng, counters, p, scratch);
+                    force_store_into(cell, s_dl, ctx, arena, rng, counters, p, scratch, scan);
                 }
             } else {
-                force_store_into(cell, s_dl, ctx, arena, rng, counters, p, scratch);
+                force_store_into(cell, s_dl, ctx, arena, rng, counters, p, scratch, scan);
             }
         }
     }
@@ -141,12 +151,13 @@ fn force_store_into<P: Payload>(
     counters: &mut SchtCounters,
     payload: P,
     scratch: &mut RebuildScratch<P>,
+    scan: &mut ScanArena,
 ) {
     let u = cell.node();
     let mut pending = payload;
     let mut pending_kh = pending.key_hash();
     loop {
-        let displaced = cell.force_expand(ctx, arena, rng, &mut counters.placements, scratch);
+        let displaced = cell.force_expand(ctx, arena, rng, &mut counters.placements, scratch, scan);
         counters.expansions += 1;
         for p in displaced {
             s_dl.push_forced(u, p);
@@ -159,6 +170,7 @@ fn force_store_into<P: Payload>(
             rng,
             &mut counters.placements,
             scratch,
+            scan,
         ) {
             NeighborInsert::Stored { expanded } => {
                 if expanded {
@@ -224,6 +236,7 @@ impl<P: Payload> Engine<P> {
             .with_table_pool(config.table_pool),
             dl_buf: Vec::new(),
             arena: SlotArena::new(small_slots),
+            scan: ScanArena::new(config.scan_segments),
             config,
             edges: 0,
             scht: SchtCounters::default(),
@@ -330,6 +343,7 @@ impl<P: Payload> Engine<P> {
             hv,
             &mut self.scratch,
             &mut self.dl_buf,
+            &mut self.scan,
         );
         self.edges += 1;
     }
@@ -391,6 +405,7 @@ impl<P: Payload> Engine<P> {
             hv.unwrap_or_else(|| KeyHash::new(v)),
             &mut self.scratch,
             &mut self.dl_buf,
+            &mut self.scan,
         );
         self.edges += 1;
         true
@@ -429,6 +444,7 @@ impl<P: Payload> Engine<P> {
         let scratch = &mut self.scratch;
         let dl_buf = &mut self.dl_buf;
         let arena = &mut self.arena;
+        let scan = &mut self.scan;
         let mut created = 0usize;
         // Scratch buffer of memoized hashes for the current run, reused across
         // runs so the batch path stays allocation-free in the steady state.
@@ -488,6 +504,7 @@ impl<P: Payload> Engine<P> {
                         hv,
                         scratch,
                         dl_buf,
+                        scan,
                     );
                     *edges += 1;
                     created += 1;
@@ -512,6 +529,7 @@ impl<P: Payload> Engine<P> {
         let edge_total = &mut self.edges;
         let scratch = &mut self.scratch;
         let arena = &mut self.arena;
+        let scan = &mut self.scan;
         let mut removed = 0usize;
         // Pre-hashed keys of the current run, mirroring `insert_batch`: runs
         // against inline cells stay hash-free, runs against transformed cells
@@ -543,9 +561,18 @@ impl<P: Payload> Engine<P> {
                                     rng,
                                     &mut scht.placements,
                                     scratch,
+                                    scan,
                                 )
                             } else {
-                                cell.remove_lazy(v, &ctx, arena, rng, &mut scht.placements, scratch)
+                                cell.remove_lazy(
+                                    v,
+                                    &ctx,
+                                    arena,
+                                    rng,
+                                    &mut scht.placements,
+                                    scratch,
+                                    scan,
+                                )
                             };
                             if res.contracted {
                                 scht.contractions += 1;
@@ -580,6 +607,7 @@ impl<P: Payload> Engine<P> {
                 &mut self.rng,
                 &mut self.scht.placements,
                 &mut self.scratch,
+                &mut self.scan,
             );
             if res.contracted {
                 self.scht.contractions += 1;
@@ -626,10 +654,34 @@ impl<P: Payload> Engine<P> {
         self.s_dl.for_each_of(u, f);
     }
 
+    /// Calls `f` for every successor id of `u` — the successor-scan fast
+    /// path. A transformed cell with a scan segment walks one contiguous,
+    /// append-ordered run (a dense slice when tombstone-free, the SWAR
+    /// occupancy kernel over the tag bytes otherwise) instead of the chain's
+    /// scattered buckets; inline cells read their dense arena block, and
+    /// segment-less transformed cells (`with_scan_segments(false)`) fall back
+    /// to the table walk — the live oracle. S-DL entries follow, as on every
+    /// query path.
+    ///
+    /// The segment stores successor ids, not payloads: variants that scan
+    /// payload contents (weights, edge lists) keep using
+    /// [`Engine::for_each_payload`].
+    pub fn for_each_successor_id(&self, u: NodeId, mut f: impl FnMut(NodeId)) {
+        if let Some(cell) = self.nodes.get(KeyHash::new(u)) {
+            let seg = cell.seg_id();
+            if seg != NO_SEG {
+                self.scan.for_each(seg, &mut f);
+            } else {
+                cell.for_each(&self.arena, |p| f(p.key()));
+            }
+        }
+        self.s_dl.for_each_of(u, |p| f(p.key()));
+    }
+
     /// Out-neighbours of `u`.
     pub fn successors(&self, u: NodeId) -> Vec<NodeId> {
         let mut out = Vec::with_capacity(self.out_degree(u));
-        self.for_each_payload(u, |p| out.push(p.key()));
+        self.for_each_successor_id(u, |v| out.push(v));
         out
     }
 
@@ -674,6 +726,7 @@ impl<P: Payload> Engine<P> {
             + self.s_dl.memory_bytes()
             + self.arena.memory_bytes()
             + self.scratch.pool_retained_bytes()
+            + self.scan.memory_bytes()
     }
 
     /// Opens a concurrent mutation window at `epoch`: both table pools (the
@@ -684,12 +737,18 @@ impl<P: Payload> Engine<P> {
     pub fn begin_concurrent_write(&mut self, epoch: u64) {
         self.scratch.begin_deferred_retires(epoch);
         self.nodes.begin_deferred_retires(epoch);
+        self.scan.begin_deferred_retires(epoch);
     }
 
     /// Closes the concurrent mutation window, releasing quarantined table
     /// buffers whose epoch stamp is below `safe_epoch` (the read
     /// coordinator's reclaim bound). Returns how many buffers were released.
     pub fn end_concurrent_write(&mut self, safe_epoch: u64) -> usize {
+        // The scan arena's pool quarantines segment buffers the same way, but
+        // its counts stay private to the arena (reported via `segment_bytes`,
+        // not the pool_* stats block) so the table-pool accounting invariants
+        // the shard tests pin remain exact.
+        self.scan.end_deferred_retires(safe_epoch);
         self.scratch.end_deferred_retires(safe_epoch) + self.nodes.end_deferred_retires(safe_epoch)
     }
 
@@ -732,6 +791,9 @@ impl<P: Payload> Engine<P> {
             reader_retries: 0,
             read_pins: 0,
             epoch_advances: 0,
+            segment_compactions: self.scan.compactions(),
+            segment_tombstones: self.scan.tombstones(),
+            segment_bytes: self.scan.memory_bytes(),
             arena_blocks: self.arena.block_count(),
             arena_free_blocks: self.arena.free_count(),
         }
@@ -1022,6 +1084,43 @@ mod tests {
         e.for_each_node(|u| seen.push(u));
         seen.sort_unstable();
         assert_eq!(seen, vec![3, 9, 12, 500]);
+    }
+
+    /// The segment-backed successor scan and the table-walk oracle agree
+    /// exactly through transformation, growth, deletion (tombstones +
+    /// compaction), and the collapse back to inline slots.
+    #[test]
+    fn segment_scan_matches_table_walk_under_churn() {
+        let mut on = engine();
+        let mut off: Engine<NodeId> =
+            Engine::new(CuckooGraphConfig::default().with_scan_segments(false), 6);
+        for v in 0..1_500u64 {
+            on.insert_new(2, v);
+            off.insert_new(2, v);
+        }
+        for v in (0..1_500u64).step_by(3) {
+            assert_eq!(on.remove(2, v), Some(v));
+            assert_eq!(off.remove(2, v), Some(v));
+        }
+        let mut a = on.successors(2);
+        let mut b = off.successors(2);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "segment scan diverged from the table-walk oracle");
+        // And against the payload walk of the same engine.
+        let mut walk = Vec::new();
+        on.for_each_payload(2, |p| walk.push(*p));
+        walk.sort_unstable();
+        assert_eq!(a, walk);
+        let s = on.stats();
+        assert!(s.segment_tombstones > 0, "deletions never tombstoned");
+        assert!(s.segment_bytes > 0);
+        let off_stats = off.stats();
+        assert_eq!(
+            off_stats.segment_bytes, 0,
+            "disabled arena must own nothing"
+        );
+        assert_eq!(off_stats.segment_tombstones, 0);
     }
 
     #[test]

@@ -134,7 +134,10 @@ impl DynamicGraph for CuckooGraph {
     }
 
     fn for_each_successor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
-        self.engine.for_each_payload(u, |p| f(*p));
+        // Transformed cells walk their contiguous scan segment (one dense,
+        // append-ordered run) instead of the chain's scattered buckets; the
+        // table walk remains live behind `with_scan_segments(false)`.
+        self.engine.for_each_successor_id(u, f);
     }
 
     fn for_each_node(&self, f: &mut dyn FnMut(NodeId)) {

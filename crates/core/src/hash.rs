@@ -248,8 +248,20 @@ impl HashPair {
     pub fn bucket_of(&self, kh: KeyHash, array: usize, buckets: usize) -> usize {
         debug_assert!(buckets > 0);
         let mul = if array == 0 { self.mul0 } else { self.mul1 };
-        let h = (kh.lanes64().wrapping_mul(mul) >> 32) as u32;
-        (h as usize) % buckets
+        let p = kh.lanes64().wrapping_mul(mul);
+        // Xor-fold the product before the range reduction: fast-range consumes
+        // the TOP bits of its input, and the top bits of a multiply-shift
+        // product preserve the order of nearby values — without the fold,
+        // clustered products collapse into the same bucket (overfull cuckoo
+        // components that no kick-out walk can untangle). Folding the low half
+        // in breaks that monotonicity for one XOR.
+        let h = (p >> 32) as u32 ^ p as u32;
+        // Lemire fast-range instead of `h % buckets`: one widening multiply
+        // maps the well-mixed 32-bit hash onto `[0, buckets)` without the
+        // 20+-cycle integer division the modulo costs. Probes pay this per
+        // bucket array per chained table, so on the successor-scan path the
+        // division was the single most expensive ALU op of the whole lookup.
+        ((u64::from(h) * buckets as u64) >> 32) as usize
     }
 }
 

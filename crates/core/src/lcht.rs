@@ -475,6 +475,7 @@ mod tests {
         let mut placements = 0u64;
         let mut scratch = RebuildScratch::persistent();
         let mut arena = crate::arena::SlotArena::new(ctx.small_slots);
+        let mut scan = crate::segment::ScanArena::new(true);
         // Give node 7 some neighbours, then insert many more nodes to force
         // kick-outs and expansions around it.
         {
@@ -488,6 +489,7 @@ mod tests {
                     &mut rng,
                     &mut placements,
                     &mut scratch,
+                    &mut scan,
                 );
             }
         }

@@ -61,6 +61,7 @@ pub mod pool;
 pub mod rng;
 pub mod scht;
 pub mod scratch;
+pub mod segment;
 pub mod shard;
 pub mod stats;
 pub mod swar;
@@ -74,6 +75,7 @@ pub use graph::CuckooGraph;
 pub use multi::{EdgeId, MultiEdgeCuckooGraph};
 pub use pool::{PoolStats, TablePool};
 pub use scratch::RebuildScratch;
+pub use segment::{ScanArena, NO_SEG};
 pub use shard::{ShardReadView, Sharded, ShardedCuckooGraph, ShardedWeightedCuckooGraph};
 pub use stats::StructureStats;
 pub use weighted::WeightedCuckooGraph;

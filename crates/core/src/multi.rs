@@ -252,7 +252,9 @@ impl DynamicGraph for MultiEdgeCuckooGraph {
     }
 
     fn for_each_successor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
-        self.engine.for_each_payload(u, |slot| f(slot.v));
+        // Distinct destinations are exactly what the scan segments mirror, so
+        // the multi-edge scan surface rides the contiguous run too.
+        self.engine.for_each_successor_id(u, f);
     }
 
     fn for_each_node(&self, f: &mut dyn FnMut(NodeId)) {

@@ -11,10 +11,10 @@
 //! A [`TablePool`] is the follow-on to [`crate::scratch::RebuildScratch`]:
 //! where the scratch recycles the *drain buffers* of a rebuild, the pool
 //! recycles the *table buffers* themselves. A retiring table hands its slot
-//! and tag vectors to the pool; the next table allocation takes a pooled pair
-//! back, re-sizes it in place (slots re-filled with [`Payload::filler`], tags
-//! re-zeroed — a `memset`, not a `malloc`), and only falls back to the
-//! allocator on a pool miss.
+//! and tag vectors to the pool — already drained back to all-filler /
+//! all-zero by the rebuild paths — and the next table allocation takes a
+//! pooled pair back, adjusting only its length (no re-`memset`, no `malloc`),
+//! falling back to the allocator on a pool miss.
 //!
 //! The pool is engine-local (one per [`RebuildScratch`], so one per engine
 //! level and one per shard) — no locks, no cross-shard sharing. It is capped
@@ -186,17 +186,52 @@ impl<T: Payload> TablePool<T> {
     /// slot set to [`Payload::filler`] and every tag zeroed. Reuses a pooled
     /// pair when one is available (resize-in-place, no allocation when the
     /// recycled capacity suffices), otherwise allocates fresh.
+    ///
+    /// A hit renormalises only the *length*: retirees arrive drained —
+    /// all-filler slots, all-zero tags, the [`drain_into`] contract every
+    /// table retire path runs — so truncating drops trailing fillers and
+    /// growing writes just the missing suffix. (An earlier version re-cleared
+    /// the whole pair defensively, which made every hit pay the same `memset`
+    /// a miss gets from `calloc` — pooling could only lose to the allocator's
+    /// own free-list. The invariant is debug-asserted instead.) Callers that
+    /// retire *dirty* buffers must pair with [`TablePool::acquire_raw`] on a
+    /// pool of their own, as the scan-segment arena does.
+    ///
+    /// [`drain_into`]: crate::scht::CuckooTable::drain_into
     pub fn acquire(&mut self, total: usize) -> (Vec<T>, Vec<u8>) {
-        if let Some((mut slots, mut tags)) = self.entries.pop() {
+        let (slots, tags) = self.acquire_raw(total);
+        debug_assert!(
+            tags.iter().all(|&t| t == 0),
+            "pooled buffers must be retired drained (all-zero tags)"
+        );
+        (slots, tags)
+    }
+
+    /// Like [`TablePool::acquire`], but entry contents are unspecified beyond
+    /// what the retiree left behind: only the length (`total`) and, for any
+    /// grown suffix, filler/zero initialisation are guaranteed. For callers
+    /// that track their own fill level and write every entry before reading
+    /// it — the scan segments — so their retirees skip draining entirely.
+    ///
+    /// Selection is best-fit, not LIFO: the pair with the smallest capacity
+    /// that still holds `total` without reallocating, falling back to the
+    /// largest pair when none suffices. A chain churns tables of several
+    /// sizes through one pool, and blindly popping the most recent retiree
+    /// made mismatches routine — an undersized pair pays a grow-`realloc`
+    /// (allocate + free, strictly worse than a pool miss) and an oversized
+    /// one trips the 4× capacity cap below into a shrink-`realloc`. Scanning
+    /// the at-most-[`MAX_POOLED`] entries costs a few compares.
+    pub fn acquire_raw(&mut self, total: usize) -> (Vec<T>, Vec<u8>) {
+        if let Some((mut slots, mut tags)) = self.take_best_fit(total) {
             self.hits += 1;
-            // Retired tables were drained first, so the buffers arrive
-            // all-filler / all-zero; clear-and-resize renormalises the length
-            // (and defends against a hand-retired dirty pair) without giving
-            // the capacity back to the allocator.
-            slots.clear();
-            slots.resize(total, T::filler());
-            tags.clear();
-            tags.resize(total, 0);
+            debug_assert_eq!(slots.len(), tags.len(), "pooled pair length skew");
+            if slots.len() > total {
+                slots.truncate(total);
+                tags.truncate(total);
+            } else {
+                slots.resize(total, T::filler());
+                tags.resize(total, 0);
+            }
             // A small table born from a much larger retired buffer would pin
             // that capacity for its whole lifetime (tables report capacity,
             // not length, to the memory experiments). Cap the ride-along at
@@ -210,6 +245,64 @@ impl<T: Payload> TablePool<T> {
             self.misses += 1;
             (vec![T::filler(); total], vec![0u8; total])
         }
+    }
+
+    /// Removes and returns the best-fitting pooled pair for a `total`-entry
+    /// request: the smallest capacity that already holds `total`, else the
+    /// largest available (which minimises the grow-`realloc`).
+    fn take_best_fit(&mut self, total: usize) -> Option<(Vec<T>, Vec<u8>)> {
+        let best = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (s, _))| {
+                let cap = s.capacity();
+                if cap >= total {
+                    (0, cap)
+                } else {
+                    (1, usize::MAX - cap)
+                }
+            })
+            .map(|(i, _)| i);
+        best.map(|i| self.entries.swap_remove(i))
+    }
+
+    /// Single-buffer variant of [`TablePool::acquire_raw`] for callers whose
+    /// storage is one `Vec<T>` (the scan segments pack ids and tombstone
+    /// bitmap into a single buffer). Pooled pairs acquired this way carry an
+    /// empty tags vector, so recycling through this entry point never touches
+    /// a byte of tag storage.
+    ///
+    /// The ride-along capacity cap is 2× here, tighter than `acquire_raw`'s
+    /// 4×: segments live for the whole life of a high-degree cell and their
+    /// *capacity* is what the memory experiments charge, so a small segment
+    /// born from a big retiree would carry the slack indefinitely — across a
+    /// population of segments that slack dominated the arena's footprint.
+    /// Tables are shorter-lived (every TRANSFORMATION replaces them), so the
+    /// looser bound is the better trade there.
+    pub fn acquire_ids(&mut self, total: usize) -> Vec<T> {
+        if let Some((mut slots, _tags)) = self.take_best_fit(total) {
+            self.hits += 1;
+            if slots.len() > total {
+                slots.truncate(total);
+            } else {
+                slots.resize(total, T::filler());
+            }
+            if slots.capacity() > 2 * total.max(1) {
+                slots.shrink_to(total);
+            }
+            slots
+        } else {
+            self.misses += 1;
+            vec![T::filler(); total]
+        }
+    }
+
+    /// Retires a single buffer (see [`TablePool::acquire_ids`]); stored as a
+    /// pair with an empty, allocation-free tags vector so the free list and
+    /// quarantine machinery are shared with the two-buffer path.
+    pub fn retire_ids(&mut self, ids: Vec<T>) {
+        self.retire(ids, Vec::new());
     }
 
     /// Takes ownership of a retiring table's buffers. Disabled or full pools
@@ -327,12 +420,54 @@ mod tests {
     }
 
     #[test]
-    fn acquire_rezeroes_dirty_buffers() {
+    fn acquire_reuses_drained_buffers_without_reclearing() {
         let mut pool: TablePool<NodeId> = TablePool::enabled();
-        pool.retire(vec![7; 16], vec![0xAA; 16]);
-        let (slots, tags) = pool.acquire(16);
-        assert!(slots.iter().all(|&s| s == 0));
+        // A drained retiree (all-filler / all-zero, the drain_into contract).
+        pool.retire(vec![NodeId::filler(); 16], vec![0; 16]);
+        // Shrinking reuse truncates; the survivors are still clean.
+        let (slots, tags) = pool.acquire(8);
+        assert_eq!((slots.len(), tags.len()), (8, 8));
+        assert!(slots.iter().all(|&s| s == NodeId::filler()));
         assert!(tags.iter().all(|&t| t == 0));
+        // Growing reuse writes just the missing suffix.
+        pool.retire(slots, tags);
+        let (slots, tags) = pool.acquire(12);
+        assert_eq!((slots.len(), tags.len()), (12, 12));
+        assert!(slots.iter().all(|&s| s == NodeId::filler()));
+        assert!(tags.iter().all(|&t| t == 0));
+    }
+
+    #[test]
+    fn raw_acquire_keeps_retiree_contents_but_normalises_length() {
+        let mut pool: TablePool<NodeId> = TablePool::enabled();
+        // Raw pools (the scan-segment arena) retire dirty buffers; the raw
+        // acquire only guarantees the length and initialised memory.
+        pool.retire(vec![7; 16], vec![0xAA; 16]);
+        let (slots, tags) = pool.acquire_raw(10);
+        assert_eq!((slots.len(), tags.len()), (10, 10));
+        pool.retire(slots, tags);
+        let (slots, tags) = pool.acquire_raw(14);
+        assert_eq!((slots.len(), tags.len()), (14, 14));
+        // The grown suffix past the retiree's length is filler/zero.
+        assert!(slots[10..].iter().all(|&s| s == NodeId::filler()));
+        assert!(tags[10..].iter().all(|&t| t == 0));
+    }
+
+    #[test]
+    fn ids_only_path_recycles_without_tag_storage() {
+        let mut pool: TablePool<NodeId> = TablePool::enabled();
+        let ids = pool.acquire_ids(32);
+        assert_eq!(ids.len(), 32);
+        assert_eq!(pool.stats().misses, 1);
+        pool.retire_ids(ids);
+        assert_eq!(pool.len(), 1);
+        // Only the id buffer's bytes are retained — no tag allocation rides
+        // along on this path.
+        assert_eq!(pool.retained_bytes(), 32 * std::mem::size_of::<NodeId>());
+        let ids = pool.acquire_ids(16);
+        assert_eq!(ids.len(), 16);
+        assert!(ids.capacity() >= 32, "recycled capacity was released");
+        assert_eq!(pool.stats().hits, 1);
     }
 
     #[test]

@@ -70,6 +70,14 @@ pub struct StructureStats {
     /// quarantined table buffers for reclamation); always 0 for a serial
     /// engine.
     pub epoch_advances: u64,
+    /// Threshold-triggered in-place compactions of scan segments (cumulative;
+    /// tombstone waste exceeded 1/4 of a segment's appended length).
+    pub segment_compactions: u64,
+    /// Tombstones punched into scan segments by edge deletions (cumulative).
+    pub segment_tombstones: u64,
+    /// Bytes currently held by the scan-segment arena: segment buffers,
+    /// bookkeeping, and buffers parked in its recycling pool.
+    pub segment_bytes: usize,
     /// Blocks carved out of the slot arena (live + freed).
     pub arena_blocks: usize,
     /// Arena blocks currently on the free list (reclaimable by
@@ -108,6 +116,9 @@ impl StructureStats {
         self.reader_retries += o.reader_retries;
         self.read_pins += o.read_pins;
         self.epoch_advances += o.epoch_advances;
+        self.segment_compactions += o.segment_compactions;
+        self.segment_tombstones += o.segment_tombstones;
+        self.segment_bytes += o.segment_bytes;
         self.arena_blocks += o.arena_blocks;
         self.arena_free_blocks += o.arena_free_blocks;
     }

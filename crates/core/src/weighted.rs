@@ -195,7 +195,11 @@ impl DynamicGraph for WeightedCuckooGraph {
     }
 
     fn for_each_successor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
-        self.engine.for_each_payload(u, |slot| f(slot.v));
+        // Successor ids are exactly what the scan segments mirror, so the
+        // weighted graph's unweighted scan surface rides the contiguous run
+        // too; the weighted scan keeps the table walk (weights live in the
+        // payload slots only).
+        self.engine.for_each_successor_id(u, f);
     }
 
     fn for_each_node(&self, f: &mut dyn FnMut(NodeId)) {

@@ -1,0 +1,386 @@
+//! Property tests for the PR-8 contiguous scan segments.
+//!
+//! A scan segment is a pure acceleration structure: a dense, append-ordered
+//! mirror of a transformed cell's successor ids, maintained incrementally
+//! alongside the S-CHT chain. It must never change *what* a successor scan
+//! returns — only the memory layout it reads. So the central property is
+//! equivalence with the table-walk iterator that `with_scan_segments(false)`
+//! keeps live as the oracle, under randomized insert/delete churn that
+//! drives TRANSFORMATIONs, expansions, contractions, collapses, tombstone
+//! punches, and threshold compactions:
+//!
+//! 1. **Serial equivalence**: a segment-on graph and a segment-off graph fed
+//!    the identical operation sequence agree on every return value, every
+//!    successor set, and every structural stat outside the segment block.
+//! 2. **Sharded and weighted equivalence**: the same holds through the
+//!    sharded fan-out and for the weighted graph's unweighted scan surface.
+//! 3. **Compaction round-trip**: punching tombstones past the waste
+//!    threshold compacts in place without losing survivors, and freed
+//!    segments are recycled for re-insertions.
+//! 4. **Safety under races**: readers pinned across a writer's segment
+//!    compactions see no phantom successors and lose no committed edges.
+
+use cuckoograph::{
+    CuckooGraph, CuckooGraphConfig, NodeId, ShardedCuckooGraph, WeightedCuckooGraph,
+};
+use graph_api::{DynamicGraph, MemoryFootprint, WeightedDynamicGraph};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+#[cfg(debug_assertions)]
+const CASES: u32 = 12;
+#[cfg(not(debug_assertions))]
+const CASES: u32 = 32;
+
+/// Small source band + degree-sized target band: most sources cross the
+/// TRANSFORMATION threshold (2R = 6), so the churn exercises segments, not
+/// just inline slots.
+const SOURCES: u64 = 10;
+const TARGETS: u64 = 400;
+
+/// One operation of the randomized churn workload, applied identically to
+/// the segment-on graph and the table-walk oracle.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Delete(u64, u64),
+    /// Append a contiguous run of successors — forces TRANSFORMATION and
+    /// S-CHT expansions (and segment growth) on one source.
+    Flood(u64),
+    /// Delete a stride of the target band — mass tombstones, contractions,
+    /// and collapses back to inline slots (which release segments).
+    Drain(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0..SOURCES, 0..TARGETS).prop_map(|(u, v)| Op::Insert(u, v)),
+        4 => (0..SOURCES, 0..TARGETS).prop_map(|(u, v)| Op::Delete(u, v)),
+        1 => (0..SOURCES).prop_map(Op::Flood),
+        1 => (0..SOURCES).prop_map(Op::Drain),
+    ]
+}
+
+fn successors_sorted(g: &dyn DynamicGraph, u: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    g.for_each_successor(u, &mut |v| out.push(v));
+    out.sort_unstable();
+    out
+}
+
+fn apply(g: &mut dyn DynamicGraph, op: &Op) -> usize {
+    match *op {
+        Op::Insert(u, v) => g.insert_edge(u, v) as usize,
+        Op::Delete(u, v) => g.delete_edge(u, v) as usize,
+        Op::Flood(u) => {
+            let batch: Vec<(NodeId, NodeId)> = (0..64).map(|i| (u, TARGETS + i)).collect();
+            g.insert_edges(&batch)
+        }
+        Op::Drain(u) => {
+            let batch: Vec<(NodeId, NodeId)> =
+                (0..TARGETS + 64).step_by(2).map(|v| (u, v)).collect();
+            g.remove_edges(&batch)
+        }
+    }
+}
+
+/// Asserts the two graphs are indistinguishable through the whole query
+/// surface.
+fn assert_equivalent(on: &dyn DynamicGraph, off: &dyn DynamicGraph) {
+    assert_eq!(on.edge_count(), off.edge_count());
+    assert_eq!(on.node_count(), off.node_count());
+    for u in 0..SOURCES {
+        assert_eq!(
+            successors_sorted(on, u),
+            successors_sorted(off, u),
+            "successor sets diverged at {u}"
+        );
+        assert_eq!(
+            on.out_degree(u),
+            off.out_degree(u),
+            "degree diverged at {u}"
+        );
+        for v in (0..TARGETS).step_by(41) {
+            assert_eq!(on.has_edge(u, v), off.has_edge(u, v));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    /// Serial graphs: segment-on ≡ segment-off through arbitrary churn, op
+    /// by op — every insert/delete return value agrees, and the scan surface
+    /// is checked at every step so a transiently corrupt segment (stale
+    /// tombstone, lost append, bad compaction slide) cannot hide behind a
+    /// later op that repairs the set.
+    #[test]
+    fn serial_segments_match_table_walk_oracle(
+        seed in 1u64..500,
+        ops in prop::collection::vec(op_strategy(), 1..120),
+    ) {
+        let mut on = CuckooGraph::with_config(CuckooGraphConfig::default().with_seed(seed));
+        let mut off = CuckooGraph::with_config(
+            CuckooGraphConfig::default().with_seed(seed).with_scan_segments(false),
+        );
+        for (i, op) in ops.iter().enumerate() {
+            let a = apply(&mut on, op);
+            let b = apply(&mut off, op);
+            prop_assert_eq!(a, b, "op {} returned differently: {:?}", i, op);
+            let (Op::Insert(u, _) | Op::Delete(u, _) | Op::Flood(u) | Op::Drain(u)) = *op;
+            prop_assert_eq!(
+                successors_sorted(&on, u),
+                successors_sorted(&off, u),
+                "scan diverged after op {} ({:?})",
+                i, op
+            );
+        }
+        assert_equivalent(&on, &off);
+
+        // Same structure underneath: everything outside the segment block is
+        // identical, and the oracle never touched the segment machinery.
+        let mut sa = on.stats();
+        let sb = off.stats();
+        prop_assert_eq!(sb.segment_tombstones, 0, "oracle punched tombstones");
+        prop_assert_eq!(sb.segment_compactions, 0, "oracle compacted segments");
+        prop_assert_eq!(sb.segment_bytes, 0, "oracle allocated segments");
+        sa.segment_tombstones = 0;
+        sa.segment_compactions = 0;
+        sa.segment_bytes = 0;
+        prop_assert_eq!(&sa, &sb, "non-segment stats diverged");
+    }
+
+    /// The sharded fan-out preserves the equivalence: per-shard engines own
+    /// independent scan arenas, and the shared ingest surface (mutation
+    /// windows, epoch-stamped retirement through the scan arena's private
+    /// pool) lands on the same graph as the oracle mode.
+    #[test]
+    fn sharded_segments_match_table_walk_oracle(
+        seed in 1u64..500,
+        shards in 1usize..5,
+        ops in prop::collection::vec(op_strategy(), 1..80),
+    ) {
+        let config = CuckooGraphConfig::default().with_seed(seed);
+        let mut on = ShardedCuckooGraph::with_config(shards, config.clone());
+        let mut off = ShardedCuckooGraph::with_config(
+            shards,
+            config.with_scan_segments(false),
+        );
+        for op in &ops {
+            prop_assert_eq!(apply(&mut on, op), apply(&mut off, op), "{:?}", op);
+        }
+        // Push one batch through the shared (epoch-windowed) surface too, so
+        // segment retirement under a concurrent write section is exercised.
+        let wave: Vec<(NodeId, NodeId)> = (0..900u64).map(|i| (i % SOURCES, i % TARGETS)).collect();
+        on.ingest_batch(&wave);
+        off.ingest_batch(&wave);
+        on.remove_batch(&wave[..600]);
+        off.remove_batch(&wave[..600]);
+        assert_equivalent(&on, &off);
+
+        let mut ours: Vec<(NodeId, NodeId)> = Vec::new();
+        on.for_each_edge(|u, v| ours.push((u, v)));
+        let mut theirs: Vec<(NodeId, NodeId)> = Vec::new();
+        off.for_each_edge(|u, v| theirs.push((u, v)));
+        ours.sort_unstable();
+        theirs.sort_unstable();
+        prop_assert_eq!(ours, theirs, "edge sets diverged");
+        prop_assert_eq!(off.stats().segment_bytes, 0);
+    }
+
+    /// The weighted graph's unweighted scan surface rides the segments while
+    /// the weighted scan keeps the table walk (weights live only in payload
+    /// slots) — both must agree with the oracle, including after in-place
+    /// weight mutations, which the id-only segments are immune to.
+    #[test]
+    fn weighted_segments_match_table_walk_oracle(
+        seed in 1u64..500,
+        ops in prop::collection::vec(
+            (0..SOURCES, 0u64..80, 0u64..4, 1u64..4),
+            1..200,
+        ),
+    ) {
+        let config = CuckooGraphConfig::default().with_seed(seed);
+        let mut on = WeightedCuckooGraph::with_config(config.clone());
+        let mut off = WeightedCuckooGraph::with_config(config.with_scan_segments(false));
+        for &(u, v, kind, delta) in &ops {
+            if kind == 0 {
+                prop_assert_eq!(
+                    on.delete_weighted(u, v, delta),
+                    off.delete_weighted(u, v, delta)
+                );
+            } else {
+                prop_assert_eq!(
+                    on.insert_weighted(u, v, delta),
+                    off.insert_weighted(u, v, delta)
+                );
+            }
+        }
+        assert_equivalent(&on, &off);
+        for u in 0..SOURCES {
+            let mut a = Vec::new();
+            on.for_each_weighted_successor(u, &mut |v, w| a.push((v, w)));
+            a.sort_unstable();
+            let mut b = Vec::new();
+            off.for_each_weighted_successor(u, &mut |v, w| b.push((v, w)));
+            b.sort_unstable();
+            prop_assert_eq!(a, b, "weighted scan diverged at {}", u);
+        }
+        prop_assert_eq!(off.stats().segment_bytes, 0);
+    }
+}
+
+/// Tombstone-compaction round-trip, pinned deterministically: punch waste
+/// past the 1/4 threshold, verify the in-place slide kept exactly the
+/// survivors (in append order — compaction is order-preserving), then refill
+/// and check the segment serves the full set again.
+#[test]
+fn tombstone_compaction_round_trips() {
+    let mut g = CuckooGraph::new();
+    for v in 0..600u64 {
+        g.insert_edge(7, v);
+    }
+    let grown = g.stats();
+    assert!(grown.segment_bytes > 0, "no segment was built");
+    assert_eq!(grown.segment_tombstones, 0);
+
+    // Delete two of every three successors: far past the waste threshold,
+    // so compactions must fire while deletions stream in.
+    for v in 0..600u64 {
+        if v % 3 != 0 {
+            assert!(g.delete_edge(7, v));
+        }
+    }
+    let punched = g.stats();
+    assert_eq!(punched.segment_tombstones, 400);
+    assert!(
+        punched.segment_compactions > 0,
+        "threshold compaction never fired"
+    );
+
+    let mut seen = Vec::new();
+    g.for_each_successor(7, &mut |v| seen.push(v));
+    let expected: BTreeSet<u64> = (0..600).filter(|v| v % 3 == 0).collect();
+    assert_eq!(seen.len(), expected.len(), "compaction lost or duplicated");
+    assert!(seen.iter().all(|v| expected.contains(v)));
+
+    // Refill: the segment grows back and serves the full range again.
+    for v in 0..600u64 {
+        g.insert_edge(7, v);
+    }
+    let mut refilled = Vec::new();
+    g.for_each_successor(7, &mut |v| refilled.push(v));
+    refilled.sort_unstable();
+    assert_eq!(refilled, (0..600u64).collect::<Vec<_>>());
+    assert!(g.memory_bytes() > 0);
+}
+
+/// Collapsing a node back to inline slots releases its segment, and mass
+/// deletion still shrinks overall memory with the scan arena in the sum.
+#[test]
+fn collapse_releases_segments_and_memory_shrinks() {
+    let mut g = CuckooGraph::new();
+    for u in 0..40u64 {
+        for v in 0..200u64 {
+            g.insert_edge(u, v);
+        }
+    }
+    let peak_bytes = g.memory_bytes();
+    let peak = g.stats();
+    assert!(peak.segment_bytes > 0);
+
+    // Delete everything except 3 successors per node: every cell collapses
+    // to inline slots, releasing its segment back to the arena.
+    for u in 0..40u64 {
+        for v in 3..200u64 {
+            assert!(g.delete_edge(u, v));
+        }
+    }
+    let shrunk = g.stats();
+    assert!(
+        shrunk.segment_bytes < peak.segment_bytes,
+        "segment bytes did not shrink: {} -> {}",
+        peak.segment_bytes,
+        shrunk.segment_bytes
+    );
+    assert!(g.memory_bytes() < peak_bytes);
+    for u in 0..40u64 {
+        assert_eq!(successors_sorted(&g, u), vec![0, 1, 2]);
+    }
+}
+
+/// Readers pinned across a writer's segment compactions observe only
+/// committed states: stable successors on every pass, no phantom values.
+/// The churn waves delete-and-reinsert past the waste threshold, so the
+/// writer compacts segments in place while readers are scanning.
+#[test]
+fn readers_race_segment_compactions_without_phantoms() {
+    let g = ShardedCuckooGraph::new(2);
+    let stable: Vec<(NodeId, NodeId)> = (0..50u64).flat_map(|v| [(1, v), (2, v)]).collect();
+    let churn: Vec<(NodeId, NodeId)> = (0..900u64).map(|i| (1_000 + i % 3, i % 300)).collect();
+    let churn_targets: BTreeSet<NodeId> = churn.iter().map(|&(_, v)| v).collect();
+    g.ingest_batch(&stable);
+
+    let writer_done = AtomicBool::new(false);
+    let scans = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for _ in 0..6 {
+                g.ingest_batch(&churn);
+                g.remove_batch(&churn);
+            }
+            g.ingest_batch(&churn);
+            writer_done.store(true, Ordering::SeqCst);
+        });
+        scope.spawn(|| {
+            let view = g.read_view();
+            let mut first_pass = true;
+            while first_pass || !writer_done.load(Ordering::SeqCst) {
+                first_pass = false;
+                for u in [1u64, 2] {
+                    let mut seen = BTreeSet::new();
+                    view.for_each_successor(u, &mut |v| {
+                        assert!(v < 50, "phantom successor {v} of stable source {u}");
+                        seen.insert(v);
+                    });
+                    assert_eq!(seen.len(), 50, "lost committed successors of {u}");
+                }
+                for u in 1_000..1_003u64 {
+                    view.for_each_successor(u, &mut |v| {
+                        assert!(
+                            churn_targets.contains(&v),
+                            "successor {v} of churn source {u} was never written"
+                        );
+                    });
+                    scans.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+    });
+    assert!(scans.load(Ordering::Relaxed) > 0);
+    let s = g.stats();
+    assert!(
+        s.segment_compactions > 0,
+        "churn waves never compacted a segment"
+    );
+    assert!(s.segment_tombstones > 0);
+
+    // Final state matches a serially driven oracle on the same batches.
+    let mut oracle =
+        ShardedCuckooGraph::with_config(2, CuckooGraphConfig::default().with_scan_segments(false));
+    oracle.insert_edges(&stable);
+    for _ in 0..6 {
+        oracle.insert_edges(&churn);
+        oracle.remove_edges(&churn);
+    }
+    oracle.insert_edges(&churn);
+    assert_eq!(g.edge_count(), oracle.edge_count());
+    let mut ours: Vec<(NodeId, NodeId)> = Vec::new();
+    g.for_each_edge(|u, v| ours.push((u, v)));
+    let mut theirs: Vec<(NodeId, NodeId)> = Vec::new();
+    oracle.for_each_edge(|u, v| theirs.push((u, v)));
+    ours.sort_unstable();
+    theirs.sort_unstable();
+    assert_eq!(ours, theirs);
+}
