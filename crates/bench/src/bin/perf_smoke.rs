@@ -30,14 +30,15 @@
 //! stream is identical across runs and machines; only the measured
 //! throughputs differ.
 
-use cuckoograph::{CuckooGraph, CuckooGraphConfig, ShardedCuckooGraph};
-use graph_api::DynamicGraph;
+use cuckoograph::{CuckooGraph, CuckooGraphConfig, ShardedCuckooGraph, WeightedCuckooGraph};
+use graph_api::{DynamicGraph, WeightedDynamicGraph};
 use graph_bench::{
     run_batched_inserts, run_churn_waves, run_deletes, run_inserts, run_queries,
     run_read_under_ingest, run_successor_scans, run_successor_scans_scalar,
     run_successor_scans_vec, ReadUnderIngestPoint, SchemeKind, HARNESS_SEED, SHARD_SWEEP,
 };
 use graph_datasets::{generate, DatasetKind};
+use graph_durability::{DurabilityConfig, DurableGraphStore, GraphOp, StdVfs, SyncPolicy};
 
 /// Repetitions of each scan measurement (best one is reported) so a stray
 /// scheduler hiccup does not dominate a seconds-scale run.
@@ -439,6 +440,125 @@ fn committed_ours_metrics(path: &str, keys: &[&str]) -> CommittedSnapshot {
     }
 }
 
+/// Throughputs and recovery numbers of the PR-9 durability guard: the same
+/// weighted op stream ingested through a [`DurableGraphStore`] under each AOF
+/// sync policy versus the in-memory AOF-off baseline, plus a kill-free reopen
+/// that times log replay.
+#[derive(Debug)]
+struct DurabilityGuard {
+    aof_off_ingest_mops: f64,
+    aof_never_ingest_mops: f64,
+    aof_everysec_ingest_mops: f64,
+    aof_always_ingest_mops: f64,
+    log_bytes: u64,
+    recovered_ops: u64,
+    recovery_secs: f64,
+}
+
+/// Ops per `apply` batch in the durability guard — one log frame (and, under
+/// `Always`, one fsync) per batch: the group-commit shape a server would use.
+const DURABILITY_BATCH: usize = 1024;
+
+/// Measures the PR-9 durability layer on the distinct CAIDA edges: the AOF-off
+/// baseline is the plain weighted engine (no log in the write path — the
+/// number the regression guard below pins against the committed snapshot),
+/// then the same stream runs through the durable store at every sync policy.
+/// After the `Always` run the store is dropped without a clean shutdown and a
+/// reopen measures full log replay, asserting the recovered edge count.
+fn run_durability_guard(sorted: &[(u64, u64)]) -> DurabilityGuard {
+    use std::time::Instant;
+    let ops: Vec<GraphOp> = sorted
+        .iter()
+        .map(|&(u, v)| GraphOp::Insert { u, v, w: 1 })
+        .collect();
+
+    let mut aof_off_ingest_mops = 0.0f64;
+    let mut live_edges = 0usize;
+    for _ in 0..MEASURE_ROUNDS {
+        let mut g = WeightedCuckooGraph::new();
+        let start = Instant::now();
+        for &(u, v) in sorted {
+            g.insert_weighted(u, v, 1);
+        }
+        aof_off_ingest_mops =
+            aof_off_ingest_mops.max(ops.len() as f64 / start.elapsed().as_secs_f64() / 1.0e6);
+        live_edges = g.edge_count();
+    }
+
+    let dir_for = |label: &str| {
+        std::env::temp_dir()
+            .join(format!(
+                "cuckoograph-perf-smoke-aof-{}-{label}",
+                std::process::id()
+            ))
+            .to_string_lossy()
+            .into_owned()
+    };
+    let measure = |label: &str, policy: SyncPolicy| -> (f64, u64, String) {
+        let dir = dir_for(label);
+        let mut best = 0.0f64;
+        let mut log_bytes = 0u64;
+        for _ in 0..MEASURE_ROUNDS {
+            let _ = std::fs::remove_dir_all(&dir);
+            let cfg = DurabilityConfig::new(&dir).with_sync_policy(policy);
+            let (mut store, _) =
+                DurableGraphStore::open(StdVfs, cfg, WeightedCuckooGraph::new).expect("fresh open");
+            let start = Instant::now();
+            for chunk in ops.chunks(DURABILITY_BATCH) {
+                store.apply(chunk).expect("append + apply");
+            }
+            best = best.max(ops.len() as f64 / start.elapsed().as_secs_f64() / 1.0e6);
+            assert_eq!(
+                store.graph().edge_count(),
+                live_edges,
+                "{label}: durable ingest diverged from the in-memory baseline"
+            );
+            assert_eq!(
+                store.stats().aof_sync_failures,
+                0,
+                "{label}: the real filesystem failed an fsync"
+            );
+            log_bytes = store.aof_offset();
+        }
+        (best, log_bytes, dir)
+    };
+
+    let (aof_never_ingest_mops, _, never_dir) = measure("never", SyncPolicy::Never);
+    let (aof_everysec_ingest_mops, _, everysec_dir) = measure("everysec", SyncPolicy::EverySecond);
+    let (aof_always_ingest_mops, log_bytes, always_dir) = measure("always", SyncPolicy::Always);
+    let _ = std::fs::remove_dir_all(&never_dir);
+    let _ = std::fs::remove_dir_all(&everysec_dir);
+
+    // Kill-free recovery: the last `Always` run's store was dropped without a
+    // clean shutdown, so this reopen replays the whole log.
+    let cfg = DurabilityConfig::new(&always_dir).with_sync_policy(SyncPolicy::Always);
+    let start = Instant::now();
+    let (recovered, report) =
+        DurableGraphStore::open(StdVfs, cfg, WeightedCuckooGraph::new).expect("recover");
+    let recovery_secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        recovered.graph().edge_count(),
+        live_edges,
+        "recovery lost edges"
+    );
+    assert_eq!(
+        report.ops_replayed,
+        ops.len() as u64,
+        "recovery skipped acknowledged ops"
+    );
+    let _ = std::fs::remove_dir_all(&always_dir);
+
+    DurabilityGuard {
+        aof_off_ingest_mops,
+        aof_never_ingest_mops,
+        aof_everysec_ingest_mops,
+        aof_always_ingest_mops,
+        log_bytes,
+        recovered_ops: report.ops_replayed,
+        recovery_secs,
+    }
+}
+
 /// Measures the PR-4 probe path against its live pre-change baseline.
 ///
 /// * **Query**: the same loaded CuckooGraph is point-queried through
@@ -587,7 +707,7 @@ fn main() {
         .unwrap_or(0.2);
     // Snapshot the committed headline numbers before overwriting, so the
     // delta report below can flag prose that quotes stale figures.
-    const DELTA_KEYS: [&str; 9] = [
+    const DELTA_KEYS: [&str; 10] = [
         "insert_mops",
         "batch_insert_mops",
         "query_mops",
@@ -597,6 +717,7 @@ fn main() {
         "segment_compactions",
         "segment_tombstones",
         "segment_bytes",
+        "aof_off_ingest_mops",
     ];
     let committed = committed_ours_metrics(&out_path, &DELTA_KEYS);
 
@@ -746,14 +867,21 @@ fn main() {
     eprintln!("# perf_smoke: read-under-ingest guard ({read_secs}s per point) ...");
     let read_guard = run_read_guard(&sorted, &reader_counts, read_secs);
 
+    // The PR-9 durability guard: the distinct CAIDA stream through the
+    // durable store at every AOF sync policy, against the in-memory AOF-off
+    // baseline, plus a kill-free reopen timing full log replay.
+    eprintln!("# perf_smoke: durability guard ({DURABILITY_BATCH}-op batches) ...");
+    let durability = run_durability_guard(&sorted);
+
     // Hand-rolled JSON (the workspace has no serde); one object per scheme,
     // throughput in ops/sec, memory in bytes. Schema v2 added shards/threads
     // metadata per entry plus the thread_sweep block, v3 the probe_path
     // block, v4 the scan_path and resize guard blocks, v5 the pool guard
-    // block, v6 the read_under_ingest block, v7 the scan_segments block, so
-    // the perf trajectory across PRs stays comparable.
+    // block, v6 the read_under_ingest block, v7 the scan_segments block, v8
+    // the durability block, so the perf trajectory across PRs stays
+    // comparable.
     let mut json = String::from("{\n");
-    json.push_str("  \"schema_version\": 7,\n");
+    json.push_str("  \"schema_version\": 8,\n");
     json.push_str(&format!(
         "  \"workload\": {{\"dataset\": \"CAIDA\", \"scale\": {scale}, \"seed\": {HARNESS_SEED}, \"raw_edges\": {}, \"distinct_edges\": {}}},\n",
         raw.len(),
@@ -822,6 +950,19 @@ fn main() {
         segment.segment_bytes,
     ));
     json.push_str(&format!(
+        "  \"durability\": {{\"aof_off_ingest_mops\": {}, \"aof_never_ingest_mops\": {}, \
+         \"aof_everysec_ingest_mops\": {}, \"aof_always_ingest_mops\": {}, \
+         \"batch_ops\": {DURABILITY_BATCH}, \"log_bytes\": {}, \"recovered_ops\": {}, \
+         \"recovery_secs\": {}}},\n",
+        json_f(durability.aof_off_ingest_mops),
+        json_f(durability.aof_never_ingest_mops),
+        json_f(durability.aof_everysec_ingest_mops),
+        json_f(durability.aof_always_ingest_mops),
+        durability.log_bytes,
+        durability.recovered_ops,
+        json_f(durability.recovery_secs),
+    ));
+    json.push_str(&format!(
         "  \"read_under_ingest\": {{\"scheme\": \"ShardedCuckooGraph\", \"shards\": {}, \
          \"read_secs\": {read_secs}, \"stable_edges\": {}, \"churn_batch\": {}, \
          \"epoch_advances\": {}, \"reader_retries\": {}, \"read_pins\": {}, \"points\": [\n",
@@ -888,6 +1029,7 @@ fn main() {
                 segment.segment_compactions as f64,
                 segment.segment_tombstones as f64,
                 segment.segment_bytes as f64,
+                durability.aof_off_ingest_mops,
             ];
             println!();
             println!("Ours vs committed {out_path}:");
@@ -1131,6 +1273,62 @@ fn main() {
             segment.segment_scan_mops, segment.table_walk_scan_mops
         );
         std::process::exit(1);
+    }
+
+    // The PR-9 durability claim: adding the AOF subsystem must leave the
+    // AOF-off write path untouched — the baseline above runs the plain
+    // weighted engine with no log anywhere near it, so a slowdown against the
+    // committed snapshot means durability plumbing leaked into the hot path.
+    // Cross-run throughput (unlike memory) is not deterministic, so the
+    // margin is wide; a real leak — a branch, a buffer, or an Arc on every
+    // insert — lands well below it. Scale-mismatched or pre-v8 snapshots skip
+    // the gate loudly, like the memory guard.
+    println!(
+        "durability: AOF off {:.3} Mops | never {:.3} | everysec {:.3} | always {:.3}; \
+         replayed {} ops in {:.1} ms ({} B log)",
+        durability.aof_off_ingest_mops,
+        durability.aof_never_ingest_mops,
+        durability.aof_everysec_ingest_mops,
+        durability.aof_always_ingest_mops,
+        durability.recovered_ops,
+        durability.recovery_secs * 1e3,
+        durability.log_bytes
+    );
+    const AOF_OFF_NOISE_MARGIN: f64 = 0.75;
+    if let CommittedSnapshot::Ours {
+        metrics,
+        scale: committed_scale,
+    } = &committed
+    {
+        let committed_off = metrics
+            .iter()
+            .find(|(k, _)| k == "aof_off_ingest_mops")
+            .map(|(_, v)| *v);
+        match (committed_off, committed_scale) {
+            (Some(old_off), Some(old_scale)) if *old_scale == scale => {
+                if durability.aof_off_ingest_mops < old_off * AOF_OFF_NOISE_MARGIN {
+                    eprintln!(
+                        "perf_smoke FAILED: AOF-off ingest {} Mops fell below committed \
+                         {} Mops (margin {AOF_OFF_NOISE_MARGIN}) — durability plumbing \
+                         leaked into the non-durable write path",
+                        durability.aof_off_ingest_mops, old_off
+                    );
+                    std::process::exit(1);
+                }
+            }
+            (Some(_), Some(old_scale)) => {
+                eprintln!(
+                    "# perf_smoke: AOF-off guard skipped (run scale {scale} != committed \
+                     scale {old_scale})"
+                );
+            }
+            _ => {
+                eprintln!(
+                    "# perf_smoke: AOF-off guard skipped (committed snapshot predates the \
+                     durability block)"
+                );
+            }
+        }
     }
 
     // The PR-7 read-under-ingest claim: readers on the lock-free path make

@@ -3,7 +3,9 @@
 use crate::config::CuckooGraphConfig;
 use crate::engine::Engine;
 use crate::stats::StructureStats;
-use graph_api::{DynamicGraph, GraphScheme, MemoryFootprint, NodeId};
+use graph_api::{
+    DynamicGraph, EdgeExport, EdgeImport, EdgeRecord, GraphScheme, MemoryFootprint, NodeId,
+};
 
 /// CuckooGraph, basic version: stores each directed edge `⟨u, v⟩` at most once.
 ///
@@ -109,6 +111,26 @@ impl crate::epoch::ConcurrentEngine for CuckooGraph {
 impl MemoryFootprint for CuckooGraph {
     fn memory_bytes(&self) -> usize {
         self.engine.memory_bytes()
+    }
+}
+
+impl EdgeExport for CuckooGraph {
+    fn for_each_edge_record(&self, f: &mut dyn FnMut(EdgeRecord)) {
+        self.engine
+            .for_each_edge(|u, &v| f(EdgeRecord::unweighted(u, v)));
+    }
+
+    fn edge_record_count(&self) -> usize {
+        self.engine.edge_count()
+    }
+}
+
+impl EdgeImport for CuckooGraph {
+    fn import_edge_records(&mut self, records: &[EdgeRecord]) {
+        // Weight and multiplicity collapse to edge existence here; the batch
+        // path keeps a restore as fast as a native bulk load.
+        self.engine
+            .insert_batch(records, |r| (r.source, r.target), |r| r.target, |_, _| {});
     }
 }
 

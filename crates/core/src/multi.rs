@@ -6,7 +6,9 @@
 use crate::config::CuckooGraphConfig;
 use crate::engine::Engine;
 use crate::payload::MultiSlot;
-use graph_api::{DynamicGraph, GraphScheme, MemoryFootprint, NodeId};
+use graph_api::{
+    DynamicGraph, EdgeExport, EdgeImport, EdgeRecord, GraphScheme, MemoryFootprint, NodeId,
+};
 
 /// Identifier of a concrete (parallel) edge, assigned by the caller — the
 /// graph database hands its relationship ids straight through.
@@ -206,6 +208,41 @@ impl crate::epoch::ConcurrentEngine for MultiEdgeCuckooGraph {
 impl MemoryFootprint for MultiEdgeCuckooGraph {
     fn memory_bytes(&self) -> usize {
         self.engine.memory_bytes()
+    }
+}
+
+impl EdgeExport for MultiEdgeCuckooGraph {
+    fn for_each_edge_record(&self, f: &mut dyn FnMut(EdgeRecord)) {
+        self.engine.for_each_edge(|u, slot| {
+            f(EdgeRecord {
+                source: u,
+                target: slot.v,
+                weight: 1,
+                multiplicity: slot.edges.len() as u32,
+            })
+        });
+    }
+
+    fn edge_record_count(&self) -> usize {
+        // One record per distinct pair; parallel edges fold into multiplicity.
+        self.engine.edge_count()
+    }
+}
+
+impl EdgeImport for MultiEdgeCuckooGraph {
+    fn import_edge_records(&mut self, records: &[EdgeRecord]) {
+        // Identifiers are not part of the stable record, so every parallel
+        // edge materialises under a fresh auto id.
+        let total: usize = records.iter().map(|r| r.multiplicity.max(1) as usize).sum();
+        let mut batch = Vec::with_capacity(total);
+        for r in records {
+            for _ in 0..r.multiplicity.max(1) {
+                let id = self.next_auto_id;
+                self.next_auto_id = self.next_auto_id.saturating_sub(1);
+                batch.push((r.source, r.target, id));
+            }
+        }
+        self.add_edges(&batch);
     }
 }
 

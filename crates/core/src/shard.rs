@@ -55,7 +55,8 @@ use crate::hash::splitmix64;
 use crate::stats::StructureStats;
 use crate::weighted::WeightedCuckooGraph;
 use graph_api::{
-    DynamicGraph, GraphScheme, MemoryFootprint, NodeId, ShardedGraph, WeightedDynamicGraph,
+    DynamicGraph, EdgeExport, EdgeImport, EdgeRecord, GraphScheme, MemoryFootprint, NodeId,
+    ShardedGraph, WeightedDynamicGraph,
 };
 
 /// Salt folded into the shard hash so shard routing is independent of the
@@ -449,6 +450,32 @@ impl<G: WeightedDynamicGraph + DynamicGraph + ConcurrentEngine + Send + Sync> Sh
             |&(u, _, _)| u,
             |g, chunk| g.insert_weighted_edges(chunk),
         )
+    }
+}
+
+impl<G: EdgeExport> EdgeExport for Sharded<G> {
+    fn for_each_edge_record(&self, f: &mut dyn FnMut(EdgeRecord)) {
+        for shard in 0..self.slots.len() {
+            self.with_shard(shard, |g| g.for_each_edge_record(f));
+        }
+    }
+
+    fn edge_record_count(&self) -> usize {
+        (0..self.slots.len())
+            .map(|shard| self.with_shard(shard, |g| g.edge_record_count()))
+            .sum()
+    }
+}
+
+impl<G: EdgeImport + Send> EdgeImport for Sharded<G> {
+    fn import_edge_records(&mut self, records: &[EdgeRecord]) {
+        // Same shape as the batched mutation paths: group per owning shard,
+        // fan each group out to its shard's thread.
+        let groups = self.group_by_shard(records, |r| r.source);
+        self.fan_out_mut(&groups, |g, group| {
+            g.import_edge_records(group);
+            group.len()
+        });
     }
 }
 

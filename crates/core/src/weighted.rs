@@ -7,7 +7,8 @@ use crate::engine::Engine;
 use crate::payload::WeightedSlot;
 use crate::stats::StructureStats;
 use graph_api::{
-    DynamicGraph, GraphScheme, MemoryFootprint, NodeId, WeightedDynamicGraph, WeightedEdge,
+    DynamicGraph, EdgeExport, EdgeImport, EdgeRecord, GraphScheme, MemoryFootprint, NodeId,
+    WeightedDynamicGraph, WeightedEdge,
 };
 
 /// CuckooGraph, extended (weighted) version.
@@ -112,6 +113,31 @@ impl crate::epoch::ConcurrentEngine for WeightedCuckooGraph {
 impl MemoryFootprint for WeightedCuckooGraph {
     fn memory_bytes(&self) -> usize {
         self.engine.memory_bytes()
+    }
+}
+
+impl EdgeExport for WeightedCuckooGraph {
+    fn for_each_edge_record(&self, f: &mut dyn FnMut(EdgeRecord)) {
+        self.engine
+            .for_each_edge(|u, slot| f(EdgeRecord::weighted(u, slot.v, slot.w)));
+    }
+
+    fn edge_record_count(&self) -> usize {
+        self.engine.edge_count()
+    }
+}
+
+impl EdgeImport for WeightedCuckooGraph {
+    fn import_edge_records(&mut self, records: &[EdgeRecord]) {
+        self.engine.insert_batch(
+            records,
+            |r| (r.source, r.target),
+            |r| WeightedSlot {
+                v: r.target,
+                w: r.weight,
+            },
+            |r, slot| slot.w += r.weight,
+        );
     }
 }
 

@@ -1,0 +1,179 @@
+//! The manifest ties snapshot generations to the AOF offset replay resumes
+//! from.
+//!
+//! A small, line-oriented text file, newest generation first, committed via
+//! temp-file + atomic rename and self-checksummed:
+//!
+//! ```text
+//! CKGRMAN1
+//! gen epoch=7 snapshot=snap-000007.ckg aof_offset=40962
+//! gen epoch=6 snapshot=snap-000006.ckg aof_offset=20481
+//! crc=3ac91f02
+//! ```
+//!
+//! Recovery trusts an offset only if the whole manifest checksums — a torn
+//! manifest write degrades to "no manifest", which is always safe: the AOF is
+//! complete on its own (it is only ever replaced wholesale by a rewrite, which
+//! clears the manifest first), so full replay from offset 8 rebuilds the same
+//! state snapshots merely accelerate.
+
+use crate::crc::crc32;
+use crate::io::{DurableFile, Result, Vfs};
+
+const HEADER: &str = "CKGRMAN1";
+
+/// One snapshot generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Generation {
+    /// Monotone snapshot counter (also names the snapshot file).
+    pub epoch: u64,
+    /// Snapshot file name, relative to the durability directory.
+    pub snapshot: String,
+    /// AOF offset the snapshot's state corresponds to: replay resumes here.
+    pub aof_offset: u64,
+}
+
+/// The parsed manifest: snapshot generations, newest first.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Generations, newest first.
+    pub generations: Vec<Generation>,
+}
+
+impl Manifest {
+    /// Serialises to the checksummed text format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = String::new();
+        body.push_str(HEADER);
+        body.push('\n');
+        for g in &self.generations {
+            body.push_str(&format!(
+                "gen epoch={} snapshot={} aof_offset={}\n",
+                g.epoch, g.snapshot, g.aof_offset
+            ));
+        }
+        let crc = crc32(body.as_bytes());
+        body.push_str(&format!("crc={crc:08x}\n"));
+        body.into_bytes()
+    }
+
+    /// Parses a manifest file image. `None` on any mismatch — header, field
+    /// syntax, or checksum — because recovery must not trust a questionable
+    /// offset (it falls back to full AOF replay instead).
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let text = std::str::from_utf8(bytes).ok()?;
+        let body_end = text.rfind("crc=")?;
+        let (body, crc_line) = text.split_at(body_end);
+        let stored = u32::from_str_radix(crc_line.trim().strip_prefix("crc=")?, 16).ok()?;
+        if crc32(body.as_bytes()) != stored {
+            return None;
+        }
+        let mut lines = body.lines();
+        if lines.next()? != HEADER {
+            return None;
+        }
+        let mut generations = Vec::new();
+        for line in lines {
+            let rest = line.strip_prefix("gen ")?;
+            let mut epoch = None;
+            let mut snapshot = None;
+            let mut aof_offset = None;
+            for field in rest.split_whitespace() {
+                let (key, value) = field.split_once('=')?;
+                match key {
+                    "epoch" => epoch = Some(value.parse().ok()?),
+                    "snapshot" => snapshot = Some(value.to_string()),
+                    "aof_offset" => aof_offset = Some(value.parse().ok()?),
+                    _ => return None,
+                }
+            }
+            generations.push(Generation {
+                epoch: epoch?,
+                snapshot: snapshot?,
+                aof_offset: aof_offset?,
+            });
+        }
+        Some(Self { generations })
+    }
+
+    /// Loads the manifest at `path`; `None` when missing or invalid (both
+    /// degrade to full-AOF recovery).
+    pub fn load<V: Vfs>(vfs: &V, path: &str) -> Option<Self> {
+        if !vfs.exists(path) {
+            return None;
+        }
+        Self::decode(&vfs.read(path).ok()?)
+    }
+
+    /// Commits the manifest at `path` via `tmp_path` + fsync + rename.
+    pub fn store<V: Vfs>(&self, vfs: &V, path: &str, tmp_path: &str) -> Result<()> {
+        let mut file = vfs.create(tmp_path)?;
+        file.write_all(&self.encode())?;
+        file.sync()?;
+        drop(file);
+        vfs.rename(tmp_path, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimVfs;
+
+    fn sample() -> Manifest {
+        Manifest {
+            generations: vec![
+                Generation {
+                    epoch: 7,
+                    snapshot: "snap-000007.ckg".into(),
+                    aof_offset: 40_962,
+                },
+                Generation {
+                    epoch: 6,
+                    snapshot: "snap-000006.ckg".into(),
+                    aof_offset: 20_481,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_the_vfs() {
+        let vfs = SimVfs::new();
+        let m = sample();
+        m.store(&vfs, "MANIFEST", "MANIFEST.tmp").unwrap();
+        assert!(!vfs.exists("MANIFEST.tmp"));
+        assert_eq!(Manifest::load(&vfs, "MANIFEST"), Some(m));
+    }
+
+    #[test]
+    fn empty_manifest_round_trips() {
+        let m = Manifest::default();
+        assert_eq!(Manifest::decode(&m.encode()), Some(m));
+    }
+
+    #[test]
+    fn missing_file_and_corruption_degrade_to_none() {
+        let vfs = SimVfs::new();
+        assert_eq!(Manifest::load(&vfs, "MANIFEST"), None);
+
+        let m = sample();
+        let bytes = m.encode();
+        // Every single-byte flip must invalidate the manifest. (0x40 keeps
+        // the mutant out of the whitespace range `trim` would forgive.)
+        for offset in 0..bytes.len() {
+            let mut mutant = bytes.clone();
+            mutant[offset] ^= 0x40;
+            assert_ne!(
+                Manifest::decode(&mutant),
+                Some(m.clone()),
+                "flip at {offset} preserved the parse"
+            );
+        }
+        // A torn write (any prefix) is rejected too. (Losing only the final
+        // newline keeps every checksummed byte, so that cut still decodes.)
+        for cut in 0..bytes.len() - 1 {
+            assert_eq!(Manifest::decode(&bytes[..cut]), None, "cut at {cut}");
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Deterministic fault injection: an in-memory [`Vfs`] whose failures are
+//! scheduled by the test, not hoped-for.
+//!
+//! [`SimVfs`] models the disk as shared byte buffers. Three fault families
+//! cover the crash paths the durability layer must survive:
+//!
+//! * **short writes** — the next write applies only a prefix and returns a
+//!   typed I/O error ([`SimVfs::short_write_next`]);
+//! * **fsync failures** — the next N syncs fail with
+//!   [`DurabilityError::SyncFailed`] ([`SimVfs::fail_next_syncs`]);
+//! * **kill at an arbitrary byte** — a global write budget; the write that
+//!   exhausts it applies exactly the budgeted prefix, then the whole VFS is
+//!   "dead" until [`SimVfs::revive`] ([`SimVfs::crash_after_bytes`]). The
+//!   surviving bytes are the disk image a restarted process recovers from.
+//!
+//! Clones share storage, so a "restart" is: catch the crash error, call
+//! `revive`, and open a fresh store over the same `SimVfs`.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::io::{DurabilityError, DurableFile, Result, Vfs};
+
+#[derive(Debug, Default)]
+struct SimState {
+    files: BTreeMap<String, Vec<u8>>,
+    /// Set once a write budget runs out; every subsequent operation fails
+    /// with [`DurabilityError::SimulatedCrash`] until `revive`.
+    crashed: bool,
+    /// Remaining bytes the "process" may write before the kill.
+    write_budget: Option<u64>,
+    /// Syncs left to fail.
+    fail_syncs: u32,
+    /// Bytes the next write applies before erroring (one-shot).
+    short_write: Option<usize>,
+    total_written: u64,
+    total_syncs: u64,
+}
+
+/// The fault-injection [`Vfs`]. Cheap to clone; clones share the same disk
+/// image and fault schedule.
+#[derive(Debug, Clone, Default)]
+pub struct SimVfs {
+    state: Arc<Mutex<SimState>>,
+}
+
+impl SimVfs {
+    /// A fresh, empty, fault-free in-memory filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SimState> {
+        self.state.lock().expect("sim vfs poisoned")
+    }
+
+    /// Kills the process after exactly `n` more written bytes: the write that
+    /// crosses the budget applies only the budgeted prefix and returns
+    /// [`DurabilityError::SimulatedCrash`].
+    pub fn crash_after_bytes(&self, n: u64) {
+        let mut s = self.lock();
+        s.write_budget = Some(n);
+        s.crashed = false;
+    }
+
+    /// Makes the next `n` syncs fail with [`DurabilityError::SyncFailed`].
+    pub fn fail_next_syncs(&self, n: u32) {
+        self.lock().fail_syncs = n;
+    }
+
+    /// Makes the next write apply only `applied` bytes and return an I/O
+    /// error (a short write; the file stays usable).
+    pub fn short_write_next(&self, applied: usize) {
+        self.lock().short_write = Some(applied);
+    }
+
+    /// Clears the crashed flag and any remaining fault schedule — the
+    /// "restart" after a kill. File contents (the surviving disk image) are
+    /// untouched.
+    pub fn revive(&self) {
+        let mut s = self.lock();
+        s.crashed = false;
+        s.write_budget = None;
+        s.fail_syncs = 0;
+        s.short_write = None;
+    }
+
+    /// Whether the simulated process is currently dead.
+    pub fn crashed(&self) -> bool {
+        self.lock().crashed
+    }
+
+    /// Total bytes written so far across all files (survives revive).
+    pub fn total_written(&self) -> u64 {
+        self.lock().total_written
+    }
+
+    /// Total successful syncs so far.
+    pub fn total_syncs(&self) -> u64 {
+        self.lock().total_syncs
+    }
+
+    /// Snapshot of a file's bytes, if it exists.
+    pub fn file_bytes(&self, path: &str) -> Option<Vec<u8>> {
+        self.lock().files.get(path).cloned()
+    }
+
+    /// Replaces a file's bytes wholesale (test helper for corruption setups).
+    pub fn set_file(&self, path: &str, bytes: Vec<u8>) {
+        self.lock().files.insert(path.to_string(), bytes);
+    }
+
+    /// Flips one bit of `path` at `offset` (test helper: checksum-detectable
+    /// corruption). Panics if the file or offset does not exist.
+    pub fn corrupt_byte(&self, path: &str, offset: usize) {
+        let mut s = self.lock();
+        let file = s.files.get_mut(path).expect("corrupt_byte: no such file");
+        file[offset] ^= 0x40;
+    }
+
+    /// All stored paths (deterministic order — useful for assertions).
+    pub fn paths(&self) -> Vec<String> {
+        self.lock().files.keys().cloned().collect()
+    }
+
+    fn check_alive(s: &SimState, path: &str) -> Result<()> {
+        if s.crashed {
+            Err(DurabilityError::SimulatedCrash {
+                path: path.to_string(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A file handle on the simulated disk. Append-only, like the real handles.
+#[derive(Debug)]
+pub struct SimFile {
+    vfs: SimVfs,
+    path: String,
+}
+
+impl DurableFile for SimFile {
+    fn write_all(&mut self, buf: &[u8]) -> Result<()> {
+        let mut s = self.vfs.lock();
+        SimVfs::check_alive(&s, &self.path)?;
+
+        // One-shot short write: apply the prefix, surface a typed I/O error.
+        if let Some(applied) = s.short_write.take() {
+            let applied = applied.min(buf.len());
+            s.total_written += applied as u64;
+            if let Some(budget) = s.write_budget.as_mut() {
+                *budget = budget.saturating_sub(applied as u64);
+            }
+            let path = self.path.clone();
+            s.files
+                .entry(path)
+                .or_default()
+                .extend_from_slice(&buf[..applied]);
+            return Err(DurabilityError::Io {
+                op: "write",
+                path: self.path.clone(),
+                message: format!("short write: {applied} of {} bytes", buf.len()),
+            });
+        }
+
+        // Kill-at-byte: the write that exhausts the budget applies exactly
+        // the surviving prefix, then the process is dead.
+        if let Some(budget) = s.write_budget {
+            if (buf.len() as u64) > budget {
+                let applied = budget as usize;
+                s.total_written += applied as u64;
+                s.crashed = true;
+                s.write_budget = None;
+                let path = self.path.clone();
+                s.files
+                    .entry(path)
+                    .or_default()
+                    .extend_from_slice(&buf[..applied]);
+                return Err(DurabilityError::SimulatedCrash {
+                    path: self.path.clone(),
+                });
+            }
+            s.write_budget = Some(budget - buf.len() as u64);
+        }
+
+        s.total_written += buf.len() as u64;
+        let path = self.path.clone();
+        s.files.entry(path).or_default().extend_from_slice(buf);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        let mut s = self.vfs.lock();
+        SimVfs::check_alive(&s, &self.path)?;
+        if s.fail_syncs > 0 {
+            s.fail_syncs -= 1;
+            return Err(DurabilityError::SyncFailed {
+                path: self.path.clone(),
+                message: "injected fsync failure".to_string(),
+            });
+        }
+        s.total_syncs += 1;
+        Ok(())
+    }
+}
+
+impl Vfs for SimVfs {
+    type File = SimFile;
+
+    fn open_append(&self, path: &str) -> Result<SimFile> {
+        let mut s = self.lock();
+        Self::check_alive(&s, path)?;
+        s.files.entry(path.to_string()).or_default();
+        Ok(SimFile {
+            vfs: self.clone(),
+            path: path.to_string(),
+        })
+    }
+
+    fn create(&self, path: &str) -> Result<SimFile> {
+        let mut s = self.lock();
+        Self::check_alive(&s, path)?;
+        s.files.insert(path.to_string(), Vec::new());
+        Ok(SimFile {
+            vfs: self.clone(),
+            path: path.to_string(),
+        })
+    }
+
+    fn read(&self, path: &str) -> Result<Vec<u8>> {
+        let s = self.lock();
+        Self::check_alive(&s, path)?;
+        s.files
+            .get(path)
+            .cloned()
+            .ok_or_else(|| DurabilityError::Io {
+                op: "read",
+                path: path.to_string(),
+                message: "no such file".to_string(),
+            })
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.lock().files.contains_key(path)
+    }
+
+    fn len(&self, path: &str) -> Result<u64> {
+        let s = self.lock();
+        Self::check_alive(&s, path)?;
+        s.files
+            .get(path)
+            .map(|f| f.len() as u64)
+            .ok_or_else(|| DurabilityError::Io {
+                op: "len",
+                path: path.to_string(),
+                message: "no such file".to_string(),
+            })
+    }
+
+    fn truncate(&self, path: &str, len: u64) -> Result<()> {
+        let mut s = self.lock();
+        Self::check_alive(&s, path)?;
+        match s.files.get_mut(path) {
+            Some(f) => {
+                f.truncate(len as usize);
+                Ok(())
+            }
+            None => Err(DurabilityError::Io {
+                op: "truncate",
+                path: path.to_string(),
+                message: "no such file".to_string(),
+            }),
+        }
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let mut s = self.lock();
+        Self::check_alive(&s, from)?;
+        match s.files.remove(from) {
+            Some(bytes) => {
+                s.files.insert(to.to_string(), bytes);
+                Ok(())
+            }
+            None => Err(DurabilityError::Io {
+                op: "rename",
+                path: from.to_string(),
+                message: "no such file".to_string(),
+            }),
+        }
+    }
+
+    fn remove(&self, path: &str) -> Result<()> {
+        let mut s = self.lock();
+        Self::check_alive(&s, path)?;
+        s.files.remove(path);
+        Ok(())
+    }
+
+    fn create_dir_all(&self, _path: &str) -> Result<()> {
+        // Directories are implicit in the flat path map.
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_reads_round_trip_and_clones_share_storage() {
+        let vfs = SimVfs::new();
+        let mut f = vfs.create("a").unwrap();
+        f.write_all(b"abc").unwrap();
+        let clone = vfs.clone();
+        assert_eq!(clone.read("a").unwrap(), b"abc");
+        let mut g = clone.open_append("a").unwrap();
+        g.write_all(b"def").unwrap();
+        assert_eq!(vfs.read("a").unwrap(), b"abcdef");
+        assert_eq!(vfs.len("a").unwrap(), 6);
+    }
+
+    #[test]
+    fn short_write_applies_prefix_and_surfaces_typed_error() {
+        let vfs = SimVfs::new();
+        let mut f = vfs.create("a").unwrap();
+        vfs.short_write_next(2);
+        let err = f.write_all(b"abcdef").unwrap_err();
+        assert!(matches!(err, DurabilityError::Io { op: "write", .. }));
+        assert_eq!(vfs.read("a").unwrap(), b"ab");
+        // One-shot: the next write succeeds.
+        f.write_all(b"xyz").unwrap();
+        assert_eq!(vfs.read("a").unwrap(), b"abxyz");
+    }
+
+    #[test]
+    fn write_budget_kills_mid_write_and_revive_keeps_surviving_bytes() {
+        let vfs = SimVfs::new();
+        let mut f = vfs.create("log").unwrap();
+        f.write_all(b"head").unwrap();
+        vfs.crash_after_bytes(3);
+        let err = f.write_all(b"TAILTAIL").unwrap_err();
+        assert!(err.is_simulated_crash());
+        assert!(vfs.crashed());
+        // Everything is dead until revive…
+        assert!(vfs.read("log").unwrap_err().is_simulated_crash());
+        assert!(f.write_all(b"x").unwrap_err().is_simulated_crash());
+        // …and the surviving image holds exactly the budgeted prefix.
+        vfs.revive();
+        assert_eq!(vfs.read("log").unwrap(), b"headTAI");
+    }
+
+    #[test]
+    fn sync_failures_follow_the_schedule() {
+        let vfs = SimVfs::new();
+        let mut f = vfs.create("a").unwrap();
+        vfs.fail_next_syncs(2);
+        assert!(matches!(
+            f.sync().unwrap_err(),
+            DurabilityError::SyncFailed { .. }
+        ));
+        assert!(f.sync().is_err());
+        f.sync().unwrap();
+        assert_eq!(vfs.total_syncs(), 1);
+    }
+
+    #[test]
+    fn rename_is_atomic_replace_and_corrupt_byte_flips_bits() {
+        let vfs = SimVfs::new();
+        let mut f = vfs.create("t.tmp").unwrap();
+        f.write_all(b"snapshot").unwrap();
+        vfs.set_file("t", b"old".to_vec());
+        vfs.rename("t.tmp", "t").unwrap();
+        assert!(!vfs.exists("t.tmp"));
+        assert_eq!(vfs.read("t").unwrap(), b"snapshot");
+        vfs.corrupt_byte("t", 0);
+        assert_ne!(vfs.read("t").unwrap()[0], b's');
+    }
+}

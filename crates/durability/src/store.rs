@@ -1,0 +1,798 @@
+//! [`DurableGraphStore`]: the orchestrator tying the op log, snapshots, and
+//! the manifest into one crash-recoverable graph.
+//!
+//! # Correctness invariant
+//!
+//! The AOF is **complete on its own**: it is only ever replaced wholesale by
+//! [`DurableGraphStore::rewrite_aof`] (which clears the manifest first), and
+//! its tail is only truncated at recovery to drop bytes no append ever
+//! acknowledged. Snapshots therefore merely *accelerate* recovery — losing
+//! every snapshot and the manifest degrades to a full AOF replay that
+//! rebuilds the same state. A snapshot generation is used only when its
+//! manifest checksums and its own checksums validate; anything questionable
+//! falls back to the next older generation, and finally to full replay.
+//! Nothing in recovery panics on bad bytes.
+//!
+//! Because weighted deltas are not idempotent, snapshot-based recovery always
+//! resumes replay at the manifest-recorded offset — never before it.
+
+use graph_api::{DynamicGraph, EdgeExport, EdgeImport, EdgeRecord, WeightedDynamicGraph};
+
+use cuckoograph::{CuckooGraph, Sharded, WeightedCuckooGraph};
+
+use crate::frame::{check_header, encode_frame, scan_frames, HeaderState, RecoveryMode, AOF_MAGIC};
+use crate::io::{DurabilityError, DurableFile, Result, Vfs};
+use crate::manifest::{Generation, Manifest};
+use crate::oplog::{decode_ops, encode_ops, AofWriter, GraphOp, SyncPolicy};
+use crate::snapshot::{encode_records, read_snapshot, write_snapshot};
+use crate::stats::DurabilityStats;
+
+/// AOF file name inside the durability directory.
+pub const AOF_FILE: &str = "graph.aof";
+const AOF_TMP: &str = "graph.aof.tmp";
+/// Manifest file name.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+const MANIFEST_TMP: &str = "MANIFEST.tmp";
+const SNAPSHOT_TMP: &str = "snapshot.tmp";
+/// Ops per frame when a rewrite serialises live state back into the log.
+const REWRITE_FRAME_OPS: usize = 4096;
+
+fn snapshot_file(epoch: u64) -> String {
+    format!("snap-{epoch:06}.ckg")
+}
+
+/// A graph the durability layer can log, snapshot, and recover.
+///
+/// Implementations exist for the serial and sharded basic/weighted engines.
+/// (The multi-edge graph exports/imports records but has no op-level durable
+/// form yet: parallel-edge identifiers are owned by the database layer above,
+/// which logs its own commands — see the kvstore command log.)
+pub trait DurableGraph: EdgeExport + EdgeImport {
+    /// Applies one logged op (the replay path).
+    fn apply_op(&mut self, op: &GraphOp);
+
+    /// Encoded snapshot sections. The default is one section of every record;
+    /// sharded graphs override to encode per-shard sections in parallel.
+    fn snapshot_sections(&self) -> Vec<Vec<u8>> {
+        vec![encode_records(&self.edge_records())]
+    }
+}
+
+fn apply_unweighted<G: DynamicGraph>(g: &mut G, op: &GraphOp) {
+    match *op {
+        GraphOp::Insert { u, v, .. } => {
+            g.insert_edge(u, v);
+        }
+        GraphOp::Delete { u, v, .. } => {
+            g.delete_edge(u, v);
+        }
+    }
+}
+
+fn apply_weighted<G: WeightedDynamicGraph + DynamicGraph>(g: &mut G, op: &GraphOp) {
+    match *op {
+        GraphOp::Insert { u, v, w } => {
+            g.insert_weighted(u, v, w.max(1));
+        }
+        GraphOp::Delete { u, v, w: 0 } => {
+            g.delete_edge(u, v);
+        }
+        GraphOp::Delete { u, v, w } => {
+            g.delete_weighted(u, v, w);
+        }
+    }
+}
+
+impl DurableGraph for CuckooGraph {
+    fn apply_op(&mut self, op: &GraphOp) {
+        apply_unweighted(self, op);
+    }
+}
+
+impl DurableGraph for WeightedCuckooGraph {
+    fn apply_op(&mut self, op: &GraphOp) {
+        apply_weighted(self, op);
+    }
+}
+
+impl DurableGraph for Sharded<CuckooGraph> {
+    fn apply_op(&mut self, op: &GraphOp) {
+        apply_unweighted(self, op);
+    }
+
+    fn snapshot_sections(&self) -> Vec<Vec<u8>> {
+        self.par_map_shards(|g| encode_records(&g.edge_records()))
+    }
+}
+
+impl DurableGraph for Sharded<WeightedCuckooGraph> {
+    fn apply_op(&mut self, op: &GraphOp) {
+        apply_weighted(self, op);
+    }
+
+    fn snapshot_sections(&self) -> Vec<Vec<u8>> {
+        self.par_map_shards(|g| encode_records(&g.edge_records()))
+    }
+}
+
+/// Tuning and placement knobs for a [`DurableGraphStore`].
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding the AOF, snapshots, and manifest.
+    pub dir: String,
+    /// When appended frames reach stable storage.
+    pub sync_policy: SyncPolicy,
+    /// How replay treats a torn or corrupt log tail.
+    pub recovery_mode: RecoveryMode,
+    /// Snapshot generations to retain (older ones are fallbacks when the
+    /// newest fails validation). Minimum 1.
+    pub snapshot_generations: usize,
+    /// [`DurableGraphStore::maybe_rewrite_aof`] triggers once the log is this
+    /// many times its size after the last rewrite/recovery…
+    pub rewrite_growth: u64,
+    /// …and at least this many bytes.
+    pub rewrite_min_bytes: u64,
+}
+
+impl DurabilityConfig {
+    /// Defaults: `EverySecond` sync, torn tails tolerated, 2 generations,
+    /// rewrite at 4× growth past 1 MiB.
+    pub fn new(dir: impl Into<String>) -> Self {
+        Self {
+            dir: dir.into(),
+            sync_policy: SyncPolicy::default(),
+            recovery_mode: RecoveryMode::default(),
+            snapshot_generations: 2,
+            rewrite_growth: 4,
+            rewrite_min_bytes: 1 << 20,
+        }
+    }
+
+    /// Builder-style sync policy override.
+    pub fn with_sync_policy(mut self, policy: SyncPolicy) -> Self {
+        self.sync_policy = policy;
+        self
+    }
+
+    /// Builder-style recovery mode override.
+    pub fn with_recovery_mode(mut self, mode: RecoveryMode) -> Self {
+        self.recovery_mode = mode;
+        self
+    }
+
+    /// Builder-style generation retention override.
+    pub fn with_snapshot_generations(mut self, n: usize) -> Self {
+        self.snapshot_generations = n.max(1);
+        self
+    }
+
+    /// Builder-style rewrite thresholds override.
+    pub fn with_rewrite_thresholds(mut self, growth: u64, min_bytes: u64) -> Self {
+        self.rewrite_growth = growth.max(2);
+        self.rewrite_min_bytes = min_bytes;
+        self
+    }
+
+    fn path(&self, name: &str) -> String {
+        format!("{}/{name}", self.dir.trim_end_matches('/'))
+    }
+}
+
+/// Where the recovered state came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoverySource {
+    /// No log existed: a brand-new store.
+    Fresh,
+    /// No usable snapshot: the whole log was replayed.
+    AofReplay,
+    /// This snapshot generation plus the log suffix past its offset.
+    Snapshot {
+        /// Epoch of the generation that validated.
+        epoch: u64,
+    },
+}
+
+/// What [`DurableGraphStore::open`] did to bring the graph back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Where the base state came from.
+    pub source: RecoverySource,
+    /// Newer snapshot generations that failed validation and were skipped.
+    pub generations_skipped: u32,
+    /// Valid frames replayed from the log.
+    pub frames_replayed: u64,
+    /// Ops inside those frames.
+    pub ops_replayed: u64,
+    /// Torn/corrupt tail bytes dropped (truncated) by recovery.
+    pub dropped_bytes: u64,
+    /// Log offset appends resume from.
+    pub resume_offset: u64,
+}
+
+/// A graph paired with its durability machinery: every mutation goes through
+/// the op log first, snapshots and rewrites compact recovery, and
+/// [`DurableGraphStore::open`] brings the pair back after any crash.
+#[derive(Debug)]
+pub struct DurableGraphStore<G, V: Vfs> {
+    graph: G,
+    vfs: V,
+    cfg: DurabilityConfig,
+    aof: AofWriter<V::File>,
+    manifest: Manifest,
+    next_epoch: u64,
+    /// Log size right after the last rewrite or recovery — the growth base
+    /// [`DurableGraphStore::maybe_rewrite_aof`] compares against.
+    rewrite_base: u64,
+}
+
+impl<G: DurableGraph, V: Vfs> DurableGraphStore<G, V> {
+    /// Opens (and if needed recovers) the store in `cfg.dir`. `make_graph`
+    /// builds the empty engine recovery fills.
+    pub fn open(
+        vfs: V,
+        cfg: DurabilityConfig,
+        make_graph: impl Fn() -> G,
+    ) -> Result<(Self, RecoveryReport)> {
+        vfs.create_dir_all(&cfg.dir)?;
+        // A crash can strand temp files mid-commit; they are dead weight.
+        for tmp in [AOF_TMP, MANIFEST_TMP, SNAPSHOT_TMP] {
+            let _ = vfs.remove(&cfg.path(tmp));
+        }
+
+        let aof_path = cfg.path(AOF_FILE);
+        let existed = vfs.exists(&aof_path);
+        let mut aof_bytes = if existed {
+            vfs.read(&aof_path)?
+        } else {
+            Vec::new()
+        };
+        let mut fresh = !existed;
+        match check_header(&aof_bytes, AOF_MAGIC, cfg.recovery_mode, &aof_path)? {
+            HeaderState::Valid => {}
+            HeaderState::Empty => fresh = true,
+            HeaderState::TornHeader => {
+                // The very first write tore: nothing was ever durable.
+                vfs.truncate(&aof_path, 0)?;
+                aof_bytes.clear();
+                fresh = true;
+            }
+        }
+
+        let mut graph = make_graph();
+        let manifest = Manifest::load(&vfs, &cfg.path(MANIFEST_FILE)).unwrap_or_default();
+        let next_epoch = manifest
+            .generations
+            .iter()
+            .map(|g| g.epoch + 1)
+            .max()
+            .unwrap_or(1);
+
+        // Newest usable snapshot generation, if any.
+        let mut generations_skipped = 0u32;
+        let mut base: Option<(u64, u64)> = None; // (epoch, resume offset)
+        if !fresh {
+            for gen in &manifest.generations {
+                let offset_plausible =
+                    gen.aof_offset >= 8 && gen.aof_offset <= aof_bytes.len() as u64;
+                if !offset_plausible {
+                    generations_skipped += 1;
+                    continue;
+                }
+                match read_snapshot(&vfs, &cfg.path(&gen.snapshot)) {
+                    Ok(sections) => {
+                        for records in &sections {
+                            graph.import_edge_records(records);
+                        }
+                        base = Some((gen.epoch, gen.aof_offset));
+                        break;
+                    }
+                    Err(_) => generations_skipped += 1,
+                }
+            }
+        }
+
+        // Replay the log (suffix) on top.
+        let start = base.map_or(8, |(_, offset)| offset);
+        let mut ops_replayed = 0u64;
+        let mut frames_replayed = 0u64;
+        let mut valid_len = start;
+        let mut dropped = 0u64;
+        if !fresh {
+            // A frame whose checksum passes but whose payload does not decode
+            // is corruption the CRC cannot see; everything from that frame on
+            // is untrusted.
+            let mut decode_bad_at = None;
+            let mut cursor = start;
+            let mut ops = Vec::new();
+            let outcome =
+                scan_frames(&aof_bytes, start, cfg.recovery_mode, &aof_path, |payload| {
+                    let frame_start = cursor;
+                    cursor += (crate::frame::FRAME_HEADER_LEN + payload.len()) as u64;
+                    if decode_bad_at.is_some() {
+                        return;
+                    }
+                    ops.clear();
+                    match decode_ops(payload, &mut ops) {
+                        Some(count) => {
+                            for op in &ops {
+                                graph.apply_op(op);
+                            }
+                            ops_replayed += count as u64;
+                            frames_replayed += 1;
+                        }
+                        None => decode_bad_at = Some(frame_start),
+                    }
+                })?;
+            valid_len = match decode_bad_at {
+                None => outcome.valid_len,
+                Some(bad_at) if cfg.recovery_mode == RecoveryMode::Strict => {
+                    return Err(DurabilityError::Corrupt {
+                        path: aof_path,
+                        offset: bad_at,
+                        detail: "undecodable op batch in checksummed frame".to_string(),
+                    });
+                }
+                Some(bad_at) => bad_at,
+            };
+            dropped = aof_bytes.len() as u64 - valid_len;
+            if dropped > 0 {
+                vfs.truncate(&aof_path, valid_len)?;
+            }
+        }
+
+        // Resume appending: a fresh log starts with the magic header.
+        let mut file = vfs.open_append(&aof_path)?;
+        let resume_offset = if fresh {
+            file.write_all(AOF_MAGIC)?;
+            8
+        } else {
+            valid_len
+        };
+        let aof = AofWriter::new(file, cfg.sync_policy, resume_offset);
+
+        let source = match (base, fresh) {
+            (Some((epoch, _)), _) => RecoverySource::Snapshot { epoch },
+            (None, true) => RecoverySource::Fresh,
+            (None, false) => RecoverySource::AofReplay,
+        };
+        let report = RecoveryReport {
+            source,
+            generations_skipped,
+            frames_replayed,
+            ops_replayed,
+            dropped_bytes: dropped,
+            resume_offset,
+        };
+        Ok((
+            Self {
+                graph,
+                vfs,
+                cfg,
+                aof,
+                manifest,
+                next_epoch,
+                rewrite_base: resume_offset,
+            },
+            report,
+        ))
+    }
+
+    /// The recovered/live graph.
+    pub fn graph(&self) -> &G {
+        &self.graph
+    }
+
+    /// Consumes the store, returning the graph (the log handle is dropped
+    /// unsynced — call [`DurableGraphStore::sync`] first if that matters).
+    pub fn into_graph(self) -> G {
+        self.graph
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &DurabilityConfig {
+        &self.cfg
+    }
+
+    /// Current log end offset.
+    pub fn aof_offset(&self) -> u64 {
+        self.aof.offset()
+    }
+
+    /// Instrumentation counters.
+    pub fn stats(&self) -> DurabilityStats {
+        *self.aof.stats()
+    }
+
+    /// Logs `ops`, then applies them to the graph (write-ahead order). The
+    /// returned error — e.g. a sync failure under [`SyncPolicy::Always`] —
+    /// does not roll the ops back: they are in the file image and in memory,
+    /// only their durability is in question.
+    pub fn apply(&mut self, ops: &[GraphOp]) -> Result<u64> {
+        let appended = self.aof.append_ops(ops);
+        for op in ops {
+            self.graph.apply_op(op);
+        }
+        appended
+    }
+
+    /// Explicitly fsyncs the log.
+    pub fn sync(&mut self) -> Result<()> {
+        self.aof.sync()
+    }
+
+    /// Writes a point-in-time snapshot (temp file + atomic rename), commits a
+    /// new manifest generation tying it to the current log offset, and prunes
+    /// generations beyond the retention limit. Returns the snapshot size.
+    pub fn save_snapshot(&mut self) -> Result<u64> {
+        // Make the recorded offset durable. A sync failure is survivable —
+        // if the tail below the offset is later lost, the generation's offset
+        // exceeds the valid log length and recovery skips it.
+        let _ = self.aof.sync();
+        let offset = self.aof.offset();
+        let sections = self.graph.snapshot_sections();
+        let epoch = self.next_epoch;
+        let name = snapshot_file(epoch);
+        let bytes = write_snapshot(
+            &self.vfs,
+            &self.cfg.path(&name),
+            &self.cfg.path(SNAPSHOT_TMP),
+            &sections,
+        )?;
+        self.next_epoch += 1;
+
+        self.manifest.generations.insert(
+            0,
+            Generation {
+                epoch,
+                snapshot: name,
+                aof_offset: offset,
+            },
+        );
+        let dropped = if self.manifest.generations.len() > self.cfg.snapshot_generations {
+            self.manifest
+                .generations
+                .split_off(self.cfg.snapshot_generations)
+        } else {
+            Vec::new()
+        };
+        self.manifest.store(
+            &self.vfs,
+            &self.cfg.path(MANIFEST_FILE),
+            &self.cfg.path(MANIFEST_TMP),
+        )?;
+        for gen in dropped {
+            let _ = self.vfs.remove(&self.cfg.path(&gen.snapshot));
+        }
+
+        let stats = self.aof.stats_mut();
+        stats.snapshots_written += 1;
+        stats.last_snapshot_bytes = bytes;
+        Ok(bytes)
+    }
+
+    /// Compacts the log by rewriting it from live state (the BGREWRITEAOF
+    /// dance): new log to a temp file, manifest cleared (its generations
+    /// reference offsets in the log being replaced), atomic rename, append
+    /// handle reopened. Every crash window leaves a recoverable pair — old
+    /// log + old manifest, old log + empty manifest, or new log + empty
+    /// manifest. Returns the new log size.
+    pub fn rewrite_aof(&mut self) -> Result<u64> {
+        let mut image = AOF_MAGIC.to_vec();
+        let records = self.graph.edge_records();
+        let mut ops = Vec::with_capacity(REWRITE_FRAME_OPS);
+        for chunk in records.chunks(REWRITE_FRAME_OPS.max(1)) {
+            ops.clear();
+            ops.extend(chunk.iter().map(|r: &EdgeRecord| GraphOp::Insert {
+                u: r.source,
+                v: r.target,
+                w: r.weight.max(1),
+            }));
+            encode_frame(&encode_ops(&ops), &mut image);
+        }
+
+        let tmp = self.cfg.path(AOF_TMP);
+        let mut file = self.vfs.create(&tmp)?;
+        file.write_all(&image)?;
+        file.sync()?;
+        drop(file);
+
+        // Clear the manifest before the log swap: its offsets would be
+        // meaningless (and dangerous) against the rewritten log.
+        let dropped = std::mem::take(&mut self.manifest.generations);
+        self.manifest.store(
+            &self.vfs,
+            &self.cfg.path(MANIFEST_FILE),
+            &self.cfg.path(MANIFEST_TMP),
+        )?;
+        for gen in dropped {
+            let _ = self.vfs.remove(&self.cfg.path(&gen.snapshot));
+        }
+
+        let aof_path = self.cfg.path(AOF_FILE);
+        self.vfs.rename(&tmp, &aof_path)?;
+
+        let file = self.vfs.open_append(&aof_path)?;
+        let mut stats = *self.aof.stats();
+        stats.aof_rewrites += 1;
+        self.aof = AofWriter::new(file, self.cfg.sync_policy, image.len() as u64);
+        *self.aof.stats_mut() = stats;
+        self.rewrite_base = image.len() as u64;
+        Ok(image.len() as u64)
+    }
+
+    /// Rewrites when the log has outgrown its post-rewrite base per the
+    /// configured thresholds. Returns whether a rewrite ran.
+    pub fn maybe_rewrite_aof(&mut self) -> Result<bool> {
+        let len = self.aof.offset();
+        let threshold = self
+            .rewrite_base
+            .saturating_mul(self.cfg.rewrite_growth)
+            .max(self.cfg.rewrite_min_bytes);
+        if len >= threshold {
+            self.rewrite_aof()?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimVfs;
+    use graph_api::DynamicGraph;
+
+    fn cfg() -> DurabilityConfig {
+        DurabilityConfig::new("db").with_sync_policy(SyncPolicy::Never)
+    }
+
+    fn insert(u: u64, v: u64) -> GraphOp {
+        GraphOp::Insert { u, v, w: 1 }
+    }
+
+    #[test]
+    fn fresh_store_reopens_with_full_state_from_aof_alone() {
+        let vfs = SimVfs::new();
+        let (mut store, report) =
+            DurableGraphStore::open(vfs.clone(), cfg(), CuckooGraph::new).unwrap();
+        assert_eq!(report.source, RecoverySource::Fresh);
+        store
+            .apply(&(0..50u64).map(|i| insert(i, i + 1)).collect::<Vec<_>>())
+            .unwrap();
+        store
+            .apply(&[GraphOp::Delete { u: 0, v: 1, w: 0 }])
+            .unwrap();
+        drop(store);
+
+        let (store, report) = DurableGraphStore::open(vfs, cfg(), CuckooGraph::new).unwrap();
+        assert_eq!(report.source, RecoverySource::AofReplay);
+        assert_eq!(report.ops_replayed, 51);
+        assert_eq!(report.dropped_bytes, 0);
+        assert_eq!(store.graph().edge_count(), 49);
+        assert!(!store.graph().has_edge(0, 1));
+        assert!(store.graph().has_edge(7, 8));
+    }
+
+    #[test]
+    fn snapshot_accelerates_recovery_and_replays_only_the_suffix() {
+        let vfs = SimVfs::new();
+        let (mut store, _) = DurableGraphStore::open(vfs.clone(), cfg(), CuckooGraph::new).unwrap();
+        store
+            .apply(&(0..40u64).map(|i| insert(i, 1)).collect::<Vec<_>>())
+            .unwrap();
+        store.save_snapshot().unwrap();
+        store
+            .apply(&(0..10u64).map(|i| insert(100 + i, 2)).collect::<Vec<_>>())
+            .unwrap();
+        drop(store);
+
+        let (store, report) = DurableGraphStore::open(vfs, cfg(), CuckooGraph::new).unwrap();
+        assert_eq!(report.source, RecoverySource::Snapshot { epoch: 1 });
+        assert_eq!(
+            report.ops_replayed, 10,
+            "only the post-snapshot suffix replays"
+        );
+        assert_eq!(store.graph().edge_count(), 50);
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_to_older_generation_then_full_replay() {
+        let vfs = SimVfs::new();
+        let (mut store, _) = DurableGraphStore::open(vfs.clone(), cfg(), CuckooGraph::new).unwrap();
+        store
+            .apply(&(0..20u64).map(|i| insert(i, 1)).collect::<Vec<_>>())
+            .unwrap();
+        store.save_snapshot().unwrap(); // epoch 1
+        store
+            .apply(&(0..20u64).map(|i| insert(i, 2)).collect::<Vec<_>>())
+            .unwrap();
+        store.save_snapshot().unwrap(); // epoch 2
+        store.apply(&[insert(999, 1)]).unwrap();
+        drop(store);
+
+        // Corrupt the newest snapshot: recovery degrades to epoch 1 and
+        // replays everything past its offset.
+        vfs.corrupt_byte("db/snap-000002.ckg", 20);
+        let (store, report) =
+            DurableGraphStore::open(vfs.clone(), cfg(), CuckooGraph::new).unwrap();
+        assert_eq!(report.source, RecoverySource::Snapshot { epoch: 1 });
+        assert_eq!(report.generations_skipped, 1);
+        assert_eq!(store.graph().edge_count(), 41);
+        drop(store);
+
+        // Corrupt the older one too: full replay, still no error.
+        vfs.corrupt_byte("db/snap-000001.ckg", 20);
+        let (store, report) = DurableGraphStore::open(vfs, cfg(), CuckooGraph::new).unwrap();
+        assert_eq!(report.source, RecoverySource::AofReplay);
+        assert_eq!(report.generations_skipped, 2);
+        assert_eq!(store.graph().edge_count(), 41);
+    }
+
+    #[test]
+    fn lost_manifest_degrades_to_full_replay() {
+        let vfs = SimVfs::new();
+        let (mut store, _) = DurableGraphStore::open(vfs.clone(), cfg(), CuckooGraph::new).unwrap();
+        store
+            .apply(&(0..30u64).map(|i| insert(i, 1)).collect::<Vec<_>>())
+            .unwrap();
+        store.save_snapshot().unwrap();
+        drop(store);
+        vfs.set_file("db/MANIFEST", b"garbage".to_vec());
+
+        let (store, report) = DurableGraphStore::open(vfs, cfg(), CuckooGraph::new).unwrap();
+        assert_eq!(report.source, RecoverySource::AofReplay);
+        assert_eq!(store.graph().edge_count(), 30);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appending_resumes() {
+        let vfs = SimVfs::new();
+        let (mut store, _) = DurableGraphStore::open(vfs.clone(), cfg(), CuckooGraph::new).unwrap();
+        store.apply(&[insert(1, 2)]).unwrap();
+        let keep = store.aof_offset();
+        store.apply(&[insert(3, 4)]).unwrap();
+        drop(store);
+
+        // Tear the last frame mid-body.
+        let full = vfs.file_bytes("db/graph.aof").unwrap();
+        vfs.set_file("db/graph.aof", full[..full.len() - 3].to_vec());
+
+        let (mut store, report) =
+            DurableGraphStore::open(vfs.clone(), cfg(), CuckooGraph::new).unwrap();
+        assert_eq!(report.resume_offset, keep);
+        assert!(report.dropped_bytes > 0);
+        assert!(store.graph().has_edge(1, 2));
+        assert!(!store.graph().has_edge(3, 4), "torn frame must not apply");
+        assert_eq!(vfs.len("db/graph.aof").unwrap(), keep, "tail truncated");
+
+        // Appends continue cleanly after the truncation point.
+        store.apply(&[insert(5, 6)]).unwrap();
+        drop(store);
+        let (store, _) = DurableGraphStore::open(vfs, cfg(), CuckooGraph::new).unwrap();
+        assert!(store.graph().has_edge(5, 6));
+    }
+
+    #[test]
+    fn strict_mode_refuses_a_torn_tail() {
+        let vfs = SimVfs::new();
+        let (mut store, _) = DurableGraphStore::open(vfs.clone(), cfg(), CuckooGraph::new).unwrap();
+        store.apply(&[insert(1, 2)]).unwrap();
+        drop(store);
+        let full = vfs.file_bytes("db/graph.aof").unwrap();
+        vfs.set_file("db/graph.aof", full[..full.len() - 1].to_vec());
+
+        let strict = cfg().with_recovery_mode(RecoveryMode::Strict);
+        let err = DurableGraphStore::open(vfs, strict, CuckooGraph::new).unwrap_err();
+        assert!(matches!(err, DurabilityError::Corrupt { .. }));
+    }
+
+    #[test]
+    fn rewrite_compacts_the_log_and_preserves_state() {
+        let vfs = SimVfs::new();
+        let (mut store, _) = DurableGraphStore::open(vfs.clone(), cfg(), CuckooGraph::new).unwrap();
+        // Lots of churn: inserts later deleted bloat the log.
+        for round in 0..20u64 {
+            store
+                .apply(
+                    &(0..20u64)
+                        .map(|i| insert(i, round * 100 + i))
+                        .collect::<Vec<_>>(),
+                )
+                .unwrap();
+        }
+        for round in 0..19u64 {
+            store
+                .apply(
+                    &(0..20u64)
+                        .map(|i| GraphOp::Delete {
+                            u: i,
+                            v: round * 100 + i,
+                            w: 0,
+                        })
+                        .collect::<Vec<_>>(),
+                )
+                .unwrap();
+        }
+        store.save_snapshot().unwrap();
+        let before = store.aof_offset();
+        let after = store.rewrite_aof().unwrap();
+        assert!(after < before, "rewrite must shrink a churned log");
+        assert_eq!(store.stats().aof_rewrites, 1);
+        let live = store.graph().edge_count();
+        drop(store);
+
+        let (store, report) = DurableGraphStore::open(vfs, cfg(), CuckooGraph::new).unwrap();
+        // The rewrite cleared the manifest, so this is a pure AOF replay of
+        // the compacted log.
+        assert_eq!(report.source, RecoverySource::AofReplay);
+        assert_eq!(store.graph().edge_count(), live);
+    }
+
+    #[test]
+    fn maybe_rewrite_respects_thresholds() {
+        let vfs = SimVfs::new();
+        let small = cfg().with_rewrite_thresholds(2, 256);
+        let (mut store, _) = DurableGraphStore::open(vfs, small, CuckooGraph::new).unwrap();
+        assert!(
+            !store.maybe_rewrite_aof().unwrap(),
+            "empty log must not rewrite"
+        );
+        store
+            .apply(&(0..200u64).map(|i| insert(i, i + 1)).collect::<Vec<_>>())
+            .unwrap();
+        assert!(store.maybe_rewrite_aof().unwrap());
+        let base = store.aof_offset();
+        assert!(!store.maybe_rewrite_aof().unwrap(), "just rewritten");
+        assert_eq!(store.aof_offset(), base);
+    }
+
+    #[test]
+    fn weighted_store_recovers_exact_weights_via_offset_resume() {
+        let vfs = SimVfs::new();
+        let (mut store, _) =
+            DurableGraphStore::open(vfs.clone(), cfg(), WeightedCuckooGraph::new).unwrap();
+        // Non-idempotent stream: the same edge keeps accumulating weight.
+        for _ in 0..5 {
+            store
+                .apply(&[GraphOp::Insert { u: 1, v: 2, w: 3 }])
+                .unwrap();
+        }
+        store.save_snapshot().unwrap();
+        store
+            .apply(&[GraphOp::Insert { u: 1, v: 2, w: 1 }])
+            .unwrap();
+        store
+            .apply(&[GraphOp::Delete { u: 1, v: 2, w: 4 }])
+            .unwrap();
+        drop(store);
+
+        let (store, report) =
+            DurableGraphStore::open(vfs, cfg(), WeightedCuckooGraph::new).unwrap();
+        assert_eq!(report.source, RecoverySource::Snapshot { epoch: 1 });
+        assert_eq!(report.ops_replayed, 2, "pre-snapshot ops must not re-apply");
+        assert_eq!(store.graph().weight(1, 2), 12);
+    }
+
+    #[test]
+    fn sharded_store_snapshots_per_shard_and_recovers() {
+        let vfs = SimVfs::new();
+        let make = || Sharded::from_fn(4, |_| CuckooGraph::new());
+        let (mut store, _) = DurableGraphStore::open(vfs.clone(), cfg(), make).unwrap();
+        store
+            .apply(&(0..500u64).map(|i| insert(i, i % 37)).collect::<Vec<_>>())
+            .unwrap();
+        assert!(store.graph().snapshot_sections().len() == 4);
+        store.save_snapshot().unwrap();
+        store.apply(&[insert(9_999, 1)]).unwrap();
+        let expect = store.graph().edge_count();
+        drop(store);
+
+        // Recover into a *different* shard count: sections route by source.
+        let make2 = || Sharded::from_fn(2, |_| CuckooGraph::new());
+        let (store, report) = DurableGraphStore::open(vfs, cfg(), make2).unwrap();
+        assert!(matches!(report.source, RecoverySource::Snapshot { .. }));
+        assert_eq!(store.graph().edge_count(), expect);
+        assert!(store.graph().has_edge(9_999, 1));
+    }
+}

@@ -9,10 +9,12 @@
 //! storage scheme, exactly like the paper's evaluation driver.
 
 pub mod edge;
+pub mod export;
 pub mod footprint;
 pub mod graph;
 
 pub use edge::{Edge, NodeId, WeightedEdge};
+pub use export::{EdgeExport, EdgeImport, EdgeRecord};
 pub use footprint::MemoryFootprint;
 pub use graph::{
     for_each_source_run, DynamicGraph, GraphScheme, ShardedGraph, WeightedDynamicGraph,

@@ -10,7 +10,10 @@
 use crate::keyspace::Keyspace;
 use crate::module::{Module, ModuleValue, Reply};
 use cuckoograph::WeightedCuckooGraph;
-use graph_api::{DynamicGraph, MemoryFootprint, NodeId, WeightedDynamicGraph};
+use graph_api::{
+    DynamicGraph, EdgeExport, EdgeImport, MemoryFootprint, NodeId, WeightedDynamicGraph,
+};
+use graph_durability::{decode_records, encode_records};
 
 /// The module value type: one CuckooGraph per key.
 #[derive(Debug)]
@@ -40,32 +43,25 @@ impl ModuleValue for GraphValue {
     }
 
     fn save_rdb(&self) -> Vec<u8> {
-        // Edge list serialisation: count, then (u, v, w) triples.
-        let edges = self.graph.weighted_edges();
-        let mut out = Vec::with_capacity(8 + edges.len() * 24);
-        out.extend_from_slice(&(edges.len() as u64).to_le_bytes());
-        let mut sorted = edges;
-        sorted.sort_by_key(|e| (e.src, e.dst));
-        for e in sorted {
-            out.extend_from_slice(&e.src.to_le_bytes());
-            out.extend_from_slice(&e.dst.to_le_bytes());
-            out.extend_from_slice(&e.weight.to_le_bytes());
-        }
-        out
+        // Varint edge-record section (the durability snapshot codec), sorted
+        // by (u, v) so reload bulk-inserts each adjacency run contiguously.
+        let mut records = self.graph.edge_records();
+        records.sort_unstable_by_key(|r| (r.source, r.target));
+        encode_records(&records)
     }
 
     fn aof_rewrite(&self, key: &str) -> Vec<Vec<String>> {
-        let mut edges = self.graph.weighted_edges();
-        edges.sort_by_key(|e| (e.src, e.dst));
-        edges
+        let mut records = self.graph.edge_records();
+        records.sort_unstable_by_key(|r| (r.source, r.target));
+        records
             .into_iter()
-            .map(|e| {
+            .map(|r| {
                 vec![
                     "graph.insert".to_string(),
                     key.to_string(),
-                    e.src.to_string(),
-                    e.dst.to_string(),
-                    e.weight.to_string(),
+                    r.source.to_string(),
+                    r.target.to_string(),
+                    r.weight.to_string(),
                 ]
             })
             .collect()
@@ -194,30 +190,10 @@ impl Module for CuckooGraphModule {
     }
 
     fn load_rdb(&self, bytes: &[u8]) -> Result<Box<dyn ModuleValue>, String> {
-        if bytes.len() < 8 {
-            return Err("truncated cuckoograph payload".into());
-        }
-        let count = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")) as usize;
-        let expected = 8 + count * 24;
-        if bytes.len() < expected {
-            return Err(format!(
-                "truncated cuckoograph payload: {} bytes for {count} edges",
-                bytes.len()
-            ));
-        }
-        // Decode the edge list, then bulk-load through the batched insert:
-        // snapshots are written sorted by (u, v), so the batch path resolves
-        // each source's cell once per adjacency run.
-        let mut edges = Vec::with_capacity(count);
-        for i in 0..count {
-            let at = 8 + i * 24;
-            let u = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
-            let v = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().expect("8 bytes"));
-            let w = u64::from_le_bytes(bytes[at + 16..at + 24].try_into().expect("8 bytes"));
-            edges.push((u, v, w));
-        }
+        let records =
+            decode_records(bytes).ok_or_else(|| "malformed cuckoograph payload".to_string())?;
         let mut value = GraphValue::new();
-        value.graph.insert_weighted_edges(&edges);
+        value.graph.import_edge_records(&records);
         Ok(Box::new(value))
     }
 }

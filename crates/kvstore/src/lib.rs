@@ -15,6 +15,11 @@
 //!   callbacks;
 //! * [`server`] — command dispatch, RDB-style snapshots and an append-only
 //!   file (AOF) with rewrite;
+//! * [`net`] — per-connection RESP sessions and the TCP accept loop (a
+//!   malformed frame or a mid-command EOF costs one connection, never the
+//!   server);
+//! * [`persist`] — [`DurableServer`]: a framed on-disk command log plus RDB
+//!   snapshots with crash recovery, built on the `graph-durability` crate;
 //! * [`graph_module`] — the CuckooGraph module itself (§ V-F).
 //!
 //! The performance phenomenon the paper reports — module throughput being
@@ -25,11 +30,15 @@
 pub mod graph_module;
 pub mod keyspace;
 pub mod module;
+pub mod net;
+pub mod persist;
 pub mod resp;
 pub mod server;
 
 pub use graph_module::CuckooGraphModule;
 pub use keyspace::{Keyspace, Value};
 pub use module::{Module, ModuleValue, Reply};
+pub use net::{serve, spawn_server, Session, SessionStatus};
+pub use persist::DurableServer;
 pub use resp::RespValue;
 pub use server::Server;

@@ -1,0 +1,263 @@
+//! Per-connection sessions and the TCP front door.
+//!
+//! The server core ([`crate::Server`]) is a pure command dispatcher; this
+//! module adds the connection handling around it. The robustness contract:
+//!
+//! * a malformed RESP frame (undecodable byte stream) gets a RESP error reply
+//!   and closes **only that connection** — framing is lost, so the session
+//!   cannot safely resynchronise;
+//! * a well-framed but non-command value (e.g. a bare integer) gets an error
+//!   reply and the session stays open — framing is intact;
+//! * EOF mid-command is a clean close, not an error;
+//! * the accept loop never exits because one connection misbehaved.
+
+use crate::module::Reply;
+use crate::resp::RespValue;
+use crate::server::Server;
+use bytes::BytesMut;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+
+/// What the session wants done with its connection after consuming input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// Keep reading from the connection.
+    Open,
+    /// Close this connection (after flushing the returned replies).
+    Close,
+}
+
+/// One client connection's incremental RESP state.
+///
+/// Bytes arrive in arbitrary chunks; the session buffers partial commands and
+/// executes every complete one, so pipelining works for free.
+#[derive(Debug, Default)]
+pub struct Session {
+    buf: BytesMut,
+}
+
+impl Session {
+    /// Creates a session with an empty receive buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds freshly received bytes, executing every complete command against
+    /// `server`. Returns the concatenated RESP replies to write back and
+    /// whether the connection must close.
+    pub fn feed(&mut self, server: &mut Server, data: &[u8]) -> (Vec<u8>, SessionStatus) {
+        self.buf.extend_from_slice(data);
+        let mut out = Vec::new();
+        loop {
+            match RespValue::decode(&mut self.buf) {
+                Ok(None) => return (out, SessionStatus::Open),
+                Ok(Some(value)) => {
+                    let reply = match value.into_command() {
+                        Ok(parts) => server.execute(&parts),
+                        Err(e) => Reply::Error(format!("ERR {e}")),
+                    };
+                    out.extend_from_slice(&Server::reply_to_resp(&reply).encode());
+                }
+                Err(e) => {
+                    // Byte-stream framing is lost: reply, then drop only this
+                    // session. The listener and every other session live on.
+                    let error = RespValue::Error(format!("ERR protocol error: {e}"));
+                    out.extend_from_slice(&error.encode());
+                    return (out, SessionStatus::Close);
+                }
+            }
+        }
+    }
+
+    /// Whether an EOF now would cut a command in half (bytes are buffered but
+    /// no complete value arrived). Either way the close is clean.
+    pub fn eof_mid_command(&self) -> bool {
+        !self.buf.is_empty()
+    }
+}
+
+/// A shared, lockable server — what each connection thread holds.
+pub type SharedServer = Arc<Mutex<Server>>;
+
+/// Wraps a server for use by [`serve`].
+pub fn shared(server: Server) -> SharedServer {
+    Arc::new(Mutex::new(server))
+}
+
+/// Accept loop: serves connections on `listener` until the process exits,
+/// spawning one thread per connection. Transient accept errors and
+/// misbehaving clients never bring the loop down.
+pub fn serve(listener: TcpListener, server: SharedServer) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    // I/O errors here mean the peer vanished — that
+                    // connection is done, nothing else is affected.
+                    let _ = handle_connection(stream, &server);
+                });
+            }
+            // Per-connection failures surfaced at accept time (e.g.
+            // ECONNABORTED) must not kill the listener.
+            Err(_) => continue,
+        }
+    }
+}
+
+/// Binds an ephemeral listener and serves it on a background thread.
+/// Returns the bound address (used by tests and examples).
+pub fn spawn_server(server: Server) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let shared = shared(server);
+    std::thread::spawn(move || serve(listener, shared));
+    Ok(addr)
+}
+
+fn handle_connection(mut stream: TcpStream, server: &Mutex<Server>) -> std::io::Result<()> {
+    let mut session = Session::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            // EOF — clean close even if a command was left half-sent.
+            return Ok(());
+        }
+        let (replies, status) = {
+            let mut guard = server.lock().unwrap_or_else(|p| p.into_inner());
+            session.feed(&mut guard, &chunk[..n])
+        };
+        stream.write_all(&replies)?;
+        if status == SessionStatus::Close {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+    use std::net::Shutdown;
+    use std::time::Duration;
+
+    fn wire(parts: &[&str]) -> Vec<u8> {
+        RespValue::command(parts).encode().to_vec()
+    }
+
+    #[test]
+    fn session_executes_pipelined_commands_from_split_chunks() {
+        let mut server = Server::new();
+        let mut session = Session::new();
+        let mut bytes = wire(&["SET", "k", "v"]);
+        bytes.extend_from_slice(&wire(&["GET", "k"]));
+        let (head, tail) = bytes.split_at(bytes.len() - 5);
+
+        let (replies, status) = session.feed(&mut server, head);
+        assert_eq!(status, SessionStatus::Open);
+        assert_eq!(&replies[..], b"+OK\r\n", "first command completes early");
+        assert!(session.eof_mid_command(), "second command is half-buffered");
+
+        let (replies, status) = session.feed(&mut server, tail);
+        assert_eq!(status, SessionStatus::Open);
+        assert_eq!(&replies[..], b"$1\r\nv\r\n");
+        assert!(!session.eof_mid_command());
+    }
+
+    #[test]
+    fn malformed_frame_gets_error_reply_and_closes_only_that_session() {
+        let mut server = Server::new();
+        let mut session = Session::new();
+        let (replies, status) = session.feed(&mut server, b"?garbage\r\n");
+        assert_eq!(status, SessionStatus::Close);
+        assert!(replies.starts_with(b"-ERR protocol error"));
+
+        // The server itself is unharmed: a fresh session still works.
+        let mut session2 = Session::new();
+        let (replies, status) = session2.feed(&mut server, &wire(&["PING"]));
+        assert_eq!(status, SessionStatus::Open);
+        assert_eq!(&replies[..], b"+PONG\r\n");
+    }
+
+    #[test]
+    fn well_framed_non_command_keeps_the_session_open() {
+        let mut server = Server::new();
+        let mut session = Session::new();
+        let (replies, status) = session.feed(&mut server, b":42\r\n");
+        assert_eq!(status, SessionStatus::Open, "framing intact: stay open");
+        assert!(replies.starts_with(b"-ERR"));
+        let (replies, _) = session.feed(&mut server, &wire(&["PING"]));
+        assert_eq!(&replies[..], b"+PONG\r\n");
+    }
+
+    #[test]
+    fn eof_mid_command_is_reported() {
+        let mut server = Server::new();
+        let mut session = Session::new();
+        let bytes = wire(&["SET", "k", "v"]);
+        let (replies, status) = session.feed(&mut server, &bytes[..bytes.len() - 3]);
+        assert_eq!(status, SessionStatus::Open);
+        assert!(replies.is_empty());
+        assert!(session.eof_mid_command());
+    }
+
+    fn read_reply(stream: &mut BufReader<TcpStream>) -> String {
+        let mut line = String::new();
+        stream.read_line(&mut line).unwrap();
+        line
+    }
+
+    #[test]
+    fn tcp_accept_loop_survives_malformed_frames_and_mid_command_eof() {
+        let addr = spawn_server(Server::new()).unwrap();
+        let timeout = Some(Duration::from_secs(5));
+
+        // Connection A: garbage bytes → error reply, then the server closes
+        // just this connection.
+        let a = TcpStream::connect(addr).unwrap();
+        a.set_read_timeout(timeout).unwrap();
+        let mut a_reader = BufReader::new(a.try_clone().unwrap());
+        (&a).write_all(b"?bogus\r\n").unwrap();
+        assert!(read_reply(&mut a_reader).starts_with("-ERR protocol error"));
+        let mut rest = Vec::new();
+        a_reader.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "server closed the bad connection");
+
+        // Connection B: hangs up mid-command — the server must shrug.
+        let b = TcpStream::connect(addr).unwrap();
+        let partial = wire(&["SET", "k", "v"]);
+        (&b).write_all(&partial[..partial.len() - 4]).unwrap();
+        b.shutdown(Shutdown::Both).unwrap();
+
+        // Connection C: the accept loop is still alive and serving.
+        let c = TcpStream::connect(addr).unwrap();
+        c.set_read_timeout(timeout).unwrap();
+        let mut c_reader = BufReader::new(c.try_clone().unwrap());
+        (&c).write_all(&wire(&["SET", "x", "1"])).unwrap();
+        assert_eq!(read_reply(&mut c_reader), "+OK\r\n");
+        (&c).write_all(&wire(&["GET", "x"])).unwrap();
+        assert_eq!(read_reply(&mut c_reader), "$1\r\n");
+        assert_eq!(read_reply(&mut c_reader), "1\r\n");
+    }
+
+    #[test]
+    fn tcp_sessions_share_one_keyspace() {
+        let addr = spawn_server(Server::new()).unwrap();
+        let timeout = Some(Duration::from_secs(5));
+
+        let a = TcpStream::connect(addr).unwrap();
+        a.set_read_timeout(timeout).unwrap();
+        let mut a_reader = BufReader::new(a.try_clone().unwrap());
+        (&a).write_all(&wire(&["SET", "shared", "yes"])).unwrap();
+        assert_eq!(read_reply(&mut a_reader), "+OK\r\n");
+
+        let b = TcpStream::connect(addr).unwrap();
+        b.set_read_timeout(timeout).unwrap();
+        let mut b_reader = BufReader::new(b.try_clone().unwrap());
+        (&b).write_all(&wire(&["GET", "shared"])).unwrap();
+        assert_eq!(read_reply(&mut b_reader), "$3\r\n");
+        assert_eq!(read_reply(&mut b_reader), "yes\r\n");
+    }
+}

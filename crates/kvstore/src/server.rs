@@ -111,7 +111,9 @@ impl Server {
         Self::reply_to_resp(&reply).encode()
     }
 
-    fn is_write_command(command: &str) -> bool {
+    /// Whether a (lowercased) command name mutates the keyspace — these are
+    /// the commands the AOF records.
+    pub fn is_write_command(command: &str) -> bool {
         matches!(command, "set" | "del" | "lpush" | "hset")
             || command.contains('.')
                 && !command.ends_with(".query")

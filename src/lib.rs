@@ -9,6 +9,8 @@
 //! * [`graph_baselines`] — the competitor storage schemes;
 //! * [`graph_analytics`] — BFS, SSSP, TC, CC, PageRank, BC, LCC;
 //! * [`graph_datasets`] — Table IV synthetic dataset generators and loaders;
+//! * [`graph_durability`] — the append-only op log, snapshots, and crash
+//!   recovery;
 //! * [`kvstore`] — the Redis-like substrate and the CuckooGraph module (§ V-F);
 //! * [`graphdb`] — the Neo4j-like substrate and the CuckooGraph edge index (§ V-G).
 //!
@@ -20,6 +22,7 @@ pub use graph_analytics;
 pub use graph_api;
 pub use graph_baselines;
 pub use graph_datasets;
+pub use graph_durability;
 pub use graphdb;
 pub use kvstore;
 
@@ -30,7 +33,11 @@ pub mod prelude {
         ShardedWeightedCuckooGraph, WeightedCuckooGraph,
     };
     pub use graph_api::{
-        DynamicGraph, Edge, MemoryFootprint, NodeId, ShardedGraph, WeightedDynamicGraph,
+        DynamicGraph, Edge, EdgeExport, EdgeImport, EdgeRecord, MemoryFootprint, NodeId,
+        ShardedGraph, WeightedDynamicGraph,
+    };
+    pub use graph_durability::{
+        DurabilityConfig, DurableGraphStore, GraphOp, RecoveryMode, StdVfs, SyncPolicy,
     };
 }
 
