@@ -12,18 +12,21 @@
 //! guard (1/2/4 lock-free reader threads scanning while a writer drives
 //! batched churn on the same shards), and the PR-8 scan-segment guard
 //! (contiguous-segment successor scan vs the table-walk oracle on a
-//! churned dense graph, with compactions verified live) — and writes
-//! `BENCH.json` (schema v7) with ops/sec and memory bytes per scheme so the bench
-//! trajectory of the repository is machine-readable and regressions fail
-//! loudly in CI. When a committed `BENCH.json` already exists at the output
-//! path, the re-record prints the delta of every Ours headline number
-//! against it, so prose quoting stale figures is caught at re-record time.
+//! churned dense graph, with compactions verified live), and the PR-10
+//! serving guard (pipelined reactor dispatch vs the serial-dispatch oracle
+//! over loopback TCP) — and writes `BENCH.json` (schema v9) with ops/sec and
+//! memory bytes per scheme so the bench trajectory of the repository is
+//! machine-readable and regressions fail loudly in CI. When a committed
+//! `BENCH.json` already exists at the output path, the re-record prints the
+//! delta of every Ours headline number against it, so prose quoting stale
+//! figures is caught at re-record time.
 //!
 //! ```text
 //! cargo run -p graph-bench --release --bin perf_smoke
 //! PERF_SMOKE_SCALE=0.01 PERF_SMOKE_OUT=out.json cargo run -p graph-bench --release --bin perf_smoke
 //! PERF_SMOKE_SWEEP_SCALE=0.1 PERF_SMOKE_CHURN_WAVES=2 cargo run -p graph-bench --release --bin perf_smoke
 //! PERF_SMOKE_READERS=1,2 PERF_SMOKE_READ_SECS=0.1 cargo run -p graph-bench --release --bin perf_smoke
+//! PERF_SMOKE_SERVE_OPS=1000 cargo run -p graph-bench --release --bin perf_smoke
 //! ```
 //!
 //! The workload is seeded with [`graph_bench::HARNESS_SEED`], so the operation
@@ -34,8 +37,9 @@ use cuckoograph::{CuckooGraph, CuckooGraphConfig, ShardedCuckooGraph, WeightedCu
 use graph_api::{DynamicGraph, WeightedDynamicGraph};
 use graph_bench::{
     run_batched_inserts, run_churn_waves, run_deletes, run_inserts, run_queries,
-    run_read_under_ingest, run_successor_scans, run_successor_scans_scalar,
-    run_successor_scans_vec, ReadUnderIngestPoint, SchemeKind, HARNESS_SEED, SHARD_SWEEP,
+    run_read_under_ingest, run_serve_point, run_successor_scans, run_successor_scans_scalar,
+    run_successor_scans_vec, ReadUnderIngestPoint, SchemeKind, ServeSweep, HARNESS_SEED,
+    SHARD_SWEEP,
 };
 use graph_datasets::{generate, DatasetKind};
 use graph_durability::{DurabilityConfig, DurableGraphStore, GraphOp, StdVfs, SyncPolicy};
@@ -440,6 +444,65 @@ fn committed_ours_metrics(path: &str, keys: &[&str]) -> CommittedSnapshot {
     }
 }
 
+/// Numbers of the PR-10 serving guard: the pipelined reactor (graph reads
+/// answered inline on the workers, writes group-committed in batches) versus
+/// the serial-dispatch oracle (every command through the single writer), on
+/// the same loopback workload at the same connections × depth point.
+#[derive(Debug)]
+struct ServeGuard {
+    connections: usize,
+    depth: usize,
+    ops_per_conn: usize,
+    write_pct: u64,
+    pipelined_kops: f64,
+    serial_kops: f64,
+    pipelined_p50_us: f64,
+    pipelined_p99_us: f64,
+    serial_p50_us: f64,
+    serial_p99_us: f64,
+}
+
+/// Measures both dispatch modes over loopback TCP, best of a few rounds each
+/// (fresh reactor + fresh simulated disk per round, like every other guard).
+fn run_serve_guard(serve_ops: usize) -> ServeGuard {
+    const SERVE_ROUNDS: usize = 3;
+    let sweep = ServeSweep {
+        preload_edges: (serve_ops / 4).max(500),
+        ops_per_conn: serve_ops,
+        connections: vec![2],
+        depths: vec![8],
+        write_pct: 10,
+        workers: 2,
+    };
+    let (connections, depth) = (sweep.connections[0], sweep.depths[0]);
+    let best = |concurrent: bool| {
+        let mut kops = 0.0f64;
+        let mut p50 = f64::INFINITY;
+        let mut p99 = f64::INFINITY;
+        for _ in 0..SERVE_ROUNDS {
+            let point = run_serve_point(&sweep, concurrent, connections, depth);
+            kops = kops.max(point.kops);
+            p50 = p50.min(point.p50_us);
+            p99 = p99.min(point.p99_us);
+        }
+        (kops, p50, p99)
+    };
+    let (pipelined_kops, pipelined_p50_us, pipelined_p99_us) = best(true);
+    let (serial_kops, serial_p50_us, serial_p99_us) = best(false);
+    ServeGuard {
+        connections,
+        depth,
+        ops_per_conn: sweep.ops_per_conn,
+        write_pct: sweep.write_pct,
+        pipelined_kops,
+        serial_kops,
+        pipelined_p50_us,
+        pipelined_p99_us,
+        serial_p50_us,
+        serial_p99_us,
+    }
+}
+
 /// Throughputs and recovery numbers of the PR-9 durability guard: the same
 /// weighted op stream ingested through a [`DurableGraphStore`] under each AOF
 /// sync policy versus the in-memory AOF-off baseline, plus a kill-free reopen
@@ -705,9 +768,15 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .filter(|s: &f64| *s > 0.0)
         .unwrap_or(0.2);
+    // Commands per connection of the serving guard; CI trims this for speed.
+    let serve_ops: usize = std::env::var("PERF_SMOKE_SERVE_OPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|n: &usize| *n > 0)
+        .unwrap_or(8_000);
     // Snapshot the committed headline numbers before overwriting, so the
     // delta report below can flag prose that quotes stale figures.
-    const DELTA_KEYS: [&str; 10] = [
+    const DELTA_KEYS: [&str; 11] = [
         "insert_mops",
         "batch_insert_mops",
         "query_mops",
@@ -718,6 +787,7 @@ fn main() {
         "segment_tombstones",
         "segment_bytes",
         "aof_off_ingest_mops",
+        "serve_pipelined_kops",
     ];
     let committed = committed_ours_metrics(&out_path, &DELTA_KEYS);
 
@@ -873,15 +943,20 @@ fn main() {
     eprintln!("# perf_smoke: durability guard ({DURABILITY_BATCH}-op batches) ...");
     let durability = run_durability_guard(&sorted);
 
+    // The PR-10 serving guard: pipelined reactor dispatch versus the
+    // serial-dispatch oracle on the same loopback workload.
+    eprintln!("# perf_smoke: serving guard ({serve_ops} ops/conn over loopback TCP) ...");
+    let serve = run_serve_guard(serve_ops);
+
     // Hand-rolled JSON (the workspace has no serde); one object per scheme,
     // throughput in ops/sec, memory in bytes. Schema v2 added shards/threads
     // metadata per entry plus the thread_sweep block, v3 the probe_path
     // block, v4 the scan_path and resize guard blocks, v5 the pool guard
     // block, v6 the read_under_ingest block, v7 the scan_segments block, v8
-    // the durability block, so the perf trajectory across PRs stays
-    // comparable.
+    // the durability block, v9 the serving block, so the perf trajectory
+    // across PRs stays comparable.
     let mut json = String::from("{\n");
-    json.push_str("  \"schema_version\": 8,\n");
+    json.push_str("  \"schema_version\": 9,\n");
     json.push_str(&format!(
         "  \"workload\": {{\"dataset\": \"CAIDA\", \"scale\": {scale}, \"seed\": {HARNESS_SEED}, \"raw_edges\": {}, \"distinct_edges\": {}}},\n",
         raw.len(),
@@ -963,6 +1038,22 @@ fn main() {
         json_f(durability.recovery_secs),
     ));
     json.push_str(&format!(
+        "  \"serving\": {{\"connections\": {}, \"depth\": {}, \"ops_per_conn\": {}, \
+         \"write_pct\": {}, \"serve_pipelined_kops\": {}, \"serve_serial_kops\": {}, \
+         \"pipelined_p50_us\": {}, \"pipelined_p99_us\": {}, \"serial_p50_us\": {}, \
+         \"serial_p99_us\": {}}},\n",
+        serve.connections,
+        serve.depth,
+        serve.ops_per_conn,
+        serve.write_pct,
+        json_f(serve.pipelined_kops),
+        json_f(serve.serial_kops),
+        json_f(serve.pipelined_p50_us),
+        json_f(serve.pipelined_p99_us),
+        json_f(serve.serial_p50_us),
+        json_f(serve.serial_p99_us),
+    ));
+    json.push_str(&format!(
         "  \"read_under_ingest\": {{\"scheme\": \"ShardedCuckooGraph\", \"shards\": {}, \
          \"read_secs\": {read_secs}, \"stable_edges\": {}, \"churn_batch\": {}, \
          \"epoch_advances\": {}, \"reader_retries\": {}, \"read_pins\": {}, \"points\": [\n",
@@ -1030,12 +1121,15 @@ fn main() {
                 segment.segment_tombstones as f64,
                 segment.segment_bytes as f64,
                 durability.aof_off_ingest_mops,
+                serve.pipelined_kops,
             ];
             println!();
             println!("Ours vs committed {out_path}:");
             for (key, new_value) in DELTA_KEYS.iter().zip(new_values) {
                 let unit = if key.ends_with("_mops") {
                     "Mops"
+                } else if key.ends_with("_kops") {
+                    "kops"
                 } else if key.ends_with("_bytes") {
                     "B   "
                 } else {
@@ -1329,6 +1423,39 @@ fn main() {
                 );
             }
         }
+    }
+
+    // The PR-10 serving claim: at pipeline depth 8, reactor dispatch with the
+    // concurrent read path must not fall behind the serial-dispatch oracle on
+    // the same loopback workload. The concurrent path answers ~90% of the mix
+    // inline on the workers while the oracle pays a worker→writer→worker
+    // round-trip per burst; a real regression (inline reads silently rerouted
+    // through the queue, or the flush path degenerating to per-reply writes)
+    // collapses the gap well below the margin. The margin is wide because on
+    // a single-core runner the workers, the writer and the client threads
+    // time-slice one CPU and the structural win shrinks toward parity.
+    println!();
+    println!(
+        "serving:    pipelined {:.1} kops vs serial oracle {:.1} kops \
+         ({} conns, depth {}, {}% writes; p50 {:.0}/{:.0} us, p99 {:.0}/{:.0} us)",
+        serve.pipelined_kops,
+        serve.serial_kops,
+        serve.connections,
+        serve.depth,
+        serve.write_pct,
+        serve.pipelined_p50_us,
+        serve.serial_p50_us,
+        serve.pipelined_p99_us,
+        serve.serial_p99_us,
+    );
+    const SERVE_NOISE_MARGIN: f64 = 0.85;
+    if serve.pipelined_kops < serve.serial_kops * SERVE_NOISE_MARGIN {
+        eprintln!(
+            "perf_smoke FAILED: pipelined serving {} kops fell behind the serial-dispatch \
+             oracle {} kops (margin {SERVE_NOISE_MARGIN})",
+            serve.pipelined_kops, serve.serial_kops
+        );
+        std::process::exit(1);
     }
 
     // The PR-7 read-under-ingest claim: readers on the lock-free path make

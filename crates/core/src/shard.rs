@@ -55,8 +55,8 @@ use crate::hash::splitmix64;
 use crate::stats::StructureStats;
 use crate::weighted::WeightedCuckooGraph;
 use graph_api::{
-    DynamicGraph, EdgeExport, EdgeImport, EdgeRecord, GraphScheme, MemoryFootprint, NodeId,
-    ShardedGraph, WeightedDynamicGraph,
+    DynamicGraph, EdgeExport, EdgeImport, EdgeRecord, GraphReadSnapshot, GraphScheme,
+    MemoryFootprint, NodeId, ShardedGraph, WeightedDynamicGraph,
 };
 
 /// Salt folded into the shard hash so shard routing is independent of the
@@ -398,6 +398,21 @@ impl<G> Sharded<G> {
         })
     }
 
+    /// A single gated write section on the shard owning source node `u`,
+    /// through `&self` — the per-command counterpart of the batched
+    /// [`Sharded::ingest_batch`] fan-out, safe to run while
+    /// [`Sharded::read_view`] guards query the same shards. No threads are
+    /// spawned: the caller pays one gate lock plus (in concurrent mode) one
+    /// drained mutation window, so a serving loop can apply individual
+    /// commands without batch-sized latency.
+    pub fn update_shard<R>(&self, u: NodeId, f: impl FnOnce(&mut G) -> R) -> R
+    where
+        G: ConcurrentEngine,
+    {
+        let idx = self.shard_index(u);
+        self.slots[idx].write(self.concurrent, f)
+    }
+
     /// Runs `f` on every shard concurrently (one scoped thread per shard,
     /// each under the configured read discipline) and returns the per-shard
     /// results in shard order — the building block for whole-graph parallel
@@ -541,6 +556,31 @@ impl<G: DynamicGraph> ShardReadView<'_, G> {
         (0..self.graph.shard_count())
             .map(|i| self.with_shard(i, DynamicGraph::node_count))
             .sum()
+    }
+}
+
+/// The serving layer's read-classification surface: every operation a RESP
+/// graph *read* command needs, answered through the view's registered reader
+/// slots — never through a writer gate in concurrent mode.
+impl<G: DynamicGraph> GraphReadSnapshot for ShardReadView<'_, G> {
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        ShardReadView::has_edge(self, u, v)
+    }
+
+    fn out_degree(&self, u: NodeId) -> usize {
+        ShardReadView::out_degree(self, u)
+    }
+
+    fn for_each_successor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
+        ShardReadView::for_each_successor(self, u, f);
+    }
+
+    fn edge_count(&self) -> usize {
+        ShardReadView::edge_count(self)
+    }
+
+    fn node_count(&self) -> usize {
+        ShardReadView::node_count(self)
     }
 }
 
@@ -877,6 +917,25 @@ mod tests {
         assert!(!g.has_edge(1, 2));
         assert_eq!(g.edge_count(), 0);
         assert_eq!(g.scheme(), GraphScheme::CuckooGraph);
+    }
+
+    #[test]
+    fn update_shard_applies_single_writes_visible_to_live_views() {
+        for concurrent in [true, false] {
+            let g = ShardedWeightedCuckooGraph::new(4).with_concurrent_reads(concurrent);
+            let view = g.read_view();
+            let w1 = g.update_shard(1, |shard| shard.insert_weighted(1, 2, 3));
+            let w2 = g.update_shard(1, |shard| shard.insert_weighted(1, 2, 2));
+            assert_eq!((w1, w2), (3, 5));
+            assert!(view.has_edge(1, 2), "concurrent={concurrent}");
+            assert_eq!(view.out_degree(1), 1);
+            // The trait-object surface answers the same questions.
+            let snap: &dyn GraphReadSnapshot = &view;
+            assert_eq!(snap.successors(1), vec![2]);
+            assert_eq!((snap.edge_count(), snap.node_count()), (1, 1));
+            g.update_shard(1, |shard| shard.delete_edge(1, 2));
+            assert!(!view.has_edge(1, 2));
+        }
     }
 
     #[test]

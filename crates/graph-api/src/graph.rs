@@ -255,6 +255,40 @@ pub trait ShardedGraph: DynamicGraph + Sync {
     fn with_shard_view(&self, shard: usize, f: &mut dyn FnMut(&(dyn DynamicGraph + Sync)));
 }
 
+/// The read-only operation set a serving layer may answer from a concurrent
+/// read snapshot — the classification surface behind read/write command
+/// routing: a command expressible against this trait is safe to dispatch on a
+/// reader handle while a writer mutates the same graph, everything else must
+/// serialize through the write path.
+///
+/// Implementors are snapshot *handles* (e.g. a registered read view over a
+/// sharded graph), not necessarily the graph type itself, so the methods take
+/// `&self` and promise internally consistent answers per call — concurrent
+/// writers may land between two calls.
+pub trait GraphReadSnapshot {
+    /// Whether edge `⟨u, v⟩` is currently stored.
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool;
+
+    /// Current out-degree of `u`.
+    fn out_degree(&self, u: NodeId) -> usize;
+
+    /// Calls `f` with every current successor of `u`.
+    fn for_each_successor(&self, u: NodeId, f: &mut dyn FnMut(NodeId));
+
+    /// Collects the current successors of `u` (order unspecified).
+    fn successors(&self, u: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.for_each_successor(u, &mut |v| out.push(v));
+        out
+    }
+
+    /// Total stored edges.
+    fn edge_count(&self) -> usize;
+
+    /// Total stored source nodes.
+    fn node_count(&self) -> usize;
+}
+
 /// A dynamic graph that also tracks edge multiplicities, matching the extended
 /// version of CuckooGraph (§ III-B) used for streaming datasets with duplicate
 /// edges (CAIDA, StackOverflow, WikiTalk).

@@ -17,5 +17,6 @@ pub use edge::{Edge, NodeId, WeightedEdge};
 pub use export::{EdgeExport, EdgeImport, EdgeRecord};
 pub use footprint::MemoryFootprint;
 pub use graph::{
-    for_each_source_run, DynamicGraph, GraphScheme, ShardedGraph, WeightedDynamicGraph,
+    for_each_source_run, DynamicGraph, GraphReadSnapshot, GraphScheme, ShardedGraph,
+    WeightedDynamicGraph,
 };

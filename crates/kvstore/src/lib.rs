@@ -18,6 +18,9 @@
 //! * [`net`] — per-connection RESP sessions and the TCP accept loop (a
 //!   malformed frame or a mid-command EOF costs one connection, never the
 //!   server);
+//! * [`reactor`] — the pipelined concurrent serving front end: acceptor +
+//!   worker pool + single durable writer, with graph reads dispatched off the
+//!   write path onto sharded read views;
 //! * [`persist`] — [`DurableServer`]: a framed on-disk command log plus RDB
 //!   snapshots with crash recovery, built on the `graph-durability` crate;
 //! * [`graph_module`] — the CuckooGraph module itself (§ V-F).
@@ -32,6 +35,7 @@ pub mod keyspace;
 pub mod module;
 pub mod net;
 pub mod persist;
+pub mod reactor;
 pub mod resp;
 pub mod server;
 
@@ -40,5 +44,6 @@ pub use keyspace::{Keyspace, Value};
 pub use module::{Module, ModuleValue, Reply};
 pub use net::{serve, spawn_server, Session, SessionStatus};
 pub use persist::DurableServer;
+pub use reactor::{Reactor, ServerConfig};
 pub use resp::RespValue;
-pub use server::Server;
+pub use server::{CommandClass, Server};

@@ -31,10 +31,14 @@ pub enum SessionStatus {
 /// One client connection's incremental RESP state.
 ///
 /// Bytes arrive in arbitrary chunks; the session buffers partial commands and
-/// executes every complete one, so pipelining works for free.
+/// executes every complete one, so pipelining works for free. Replies are
+/// encoded into a **reusable per-session output buffer** — one allocation's
+/// capacity amortized over the connection's lifetime instead of a fresh `Vec`
+/// per read plus a fresh `Bytes` per command.
 #[derive(Debug, Default)]
 pub struct Session {
     buf: BytesMut,
+    out: Vec<u8>,
 }
 
 impl Session {
@@ -44,30 +48,46 @@ impl Session {
     }
 
     /// Feeds freshly received bytes, executing every complete command against
-    /// `server`. Returns the concatenated RESP replies to write back and
+    /// `server`. Returns the concatenated RESP replies to write back (borrowed
+    /// from the session's reusable buffer — consumed before the next feed) and
     /// whether the connection must close.
-    pub fn feed(&mut self, server: &mut Server, data: &[u8]) -> (Vec<u8>, SessionStatus) {
+    pub fn feed(&mut self, server: &mut Server, data: &[u8]) -> (&[u8], SessionStatus) {
         self.buf.extend_from_slice(data);
-        let mut out = Vec::new();
+        self.out.clear();
         loop {
             match RespValue::decode(&mut self.buf) {
-                Ok(None) => return (out, SessionStatus::Open),
+                Ok(None) => return (&self.out, SessionStatus::Open),
                 Ok(Some(value)) => {
                     let reply = match value.into_command() {
                         Ok(parts) => server.execute(&parts),
                         Err(e) => Reply::Error(format!("ERR {e}")),
                     };
-                    out.extend_from_slice(&Server::reply_to_resp(&reply).encode());
+                    Server::encode_reply_into(&reply, &mut self.out);
                 }
                 Err(e) => {
                     // Byte-stream framing is lost: reply, then drop only this
                     // session. The listener and every other session live on.
-                    let error = RespValue::Error(format!("ERR protocol error: {e}"));
-                    out.extend_from_slice(&error.encode());
-                    return (out, SessionStatus::Close);
+                    let reply = Reply::Error(format!("ERR protocol error: {e}"));
+                    Server::encode_reply_into(&reply, &mut self.out);
+                    return (&self.out, SessionStatus::Close);
                 }
             }
         }
+    }
+
+    /// Appends freshly received bytes without executing anything — the
+    /// decode-only half of [`Session::feed`], for dispatchers (the reactor)
+    /// that route commands instead of executing them inline.
+    pub fn push_bytes(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Decodes the next complete RESP value buffered by
+    /// [`Session::push_bytes`]. `Ok(None)` means more bytes are needed;
+    /// `Err` means framing is lost and the connection must close after an
+    /// error reply.
+    pub fn next_value(&mut self) -> Result<Option<RespValue>, String> {
+        RespValue::decode(&mut self.buf)
     }
 
     /// Whether an EOF now would cut a command in half (bytes are buffered but
@@ -92,12 +112,24 @@ pub fn serve(listener: TcpListener, server: SharedServer) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
+                // Pipelined bursts of small replies must not sit out Nagle
+                // delays waiting for an ACK.
+                let _ = stream.set_nodelay(true);
                 let server = Arc::clone(&server);
                 std::thread::spawn(move || {
                     // I/O errors here mean the peer vanished — that
                     // connection is done, nothing else is affected.
                     let _ = handle_connection(stream, &server);
                 });
+            }
+            // Transient conditions: retry the accept itself.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue
             }
             // Per-connection failures surfaced at accept time (e.g.
             // ECONNABORTED) must not kill the listener.
@@ -129,7 +161,7 @@ fn handle_connection(mut stream: TcpStream, server: &Mutex<Server>) -> std::io::
             let mut guard = server.lock().unwrap_or_else(|p| p.into_inner());
             session.feed(&mut guard, &chunk[..n])
         };
-        stream.write_all(&replies)?;
+        stream.write_all(replies)?;
         if status == SessionStatus::Close {
             return Ok(());
         }
@@ -157,12 +189,12 @@ mod tests {
 
         let (replies, status) = session.feed(&mut server, head);
         assert_eq!(status, SessionStatus::Open);
-        assert_eq!(&replies[..], b"+OK\r\n", "first command completes early");
+        assert_eq!(replies, b"+OK\r\n", "first command completes early");
         assert!(session.eof_mid_command(), "second command is half-buffered");
 
         let (replies, status) = session.feed(&mut server, tail);
         assert_eq!(status, SessionStatus::Open);
-        assert_eq!(&replies[..], b"$1\r\nv\r\n");
+        assert_eq!(replies, b"$1\r\nv\r\n");
         assert!(!session.eof_mid_command());
     }
 
@@ -178,7 +210,7 @@ mod tests {
         let mut session2 = Session::new();
         let (replies, status) = session2.feed(&mut server, &wire(&["PING"]));
         assert_eq!(status, SessionStatus::Open);
-        assert_eq!(&replies[..], b"+PONG\r\n");
+        assert_eq!(replies, b"+PONG\r\n");
     }
 
     #[test]
@@ -189,7 +221,7 @@ mod tests {
         assert_eq!(status, SessionStatus::Open, "framing intact: stay open");
         assert!(replies.starts_with(b"-ERR"));
         let (replies, _) = session.feed(&mut server, &wire(&["PING"]));
-        assert_eq!(&replies[..], b"+PONG\r\n");
+        assert_eq!(replies, b"+PONG\r\n");
     }
 
     #[test]

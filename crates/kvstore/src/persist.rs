@@ -301,6 +301,116 @@ impl<V: Vfs> DurableServer<V> {
         }
     }
 
+    /// Executes a batch of commands with **one group-committed log append**:
+    /// every write in the batch is framed into a single buffered write and
+    /// the sync policy is applied once (under `Always`, N commands cost one
+    /// fsync instead of N) — the drain path of the serving layer's queued
+    /// writer. The write-ahead invariant is preserved batch-wide: all frames
+    /// reach the log before any command executes, and if the append fails
+    /// every logged command in the batch is refused unexecuted.
+    ///
+    /// Replies match per-command [`DurableServer::execute`]; runs of
+    /// consecutive valid `GRAPH.ADDEDGE` / `GRAPH.DELEDGE` commands apply
+    /// through the sharded batch-ingest path (identical final state, and the
+    /// reason those commands reply `+OK` rather than per-edge values).
+    pub fn execute_batch(&mut self, batch: &[Vec<String>]) -> Vec<Reply> {
+        enum Plan {
+            /// Pre-validated graph write: `(insert?, u, v, w)`.
+            Graph(bool, u64, u64, u64),
+            /// Logged non-graph write: execute on the inner server.
+            LoggedWrite,
+            /// Unlogged command (reads, SAVE/BGREWRITEAOF): route through
+            /// the per-command path, which never appends for these.
+            Unlogged,
+            /// Refused before logging (parse error) or by append failure.
+            Refused(Reply),
+        }
+
+        // Phase 1: classify + pre-validate, collecting the log payloads.
+        let mut plans: Vec<Plan> = Vec::with_capacity(batch.len());
+        let mut payloads: Vec<Vec<u8>> = Vec::new();
+        for parts in batch {
+            let command = parts.first().map(|p| p.to_ascii_lowercase());
+            let plan = match command.as_deref() {
+                Some(cmd @ ("graph.addedge" | "graph.deledge")) => {
+                    match Server::parse_graph_write(cmd, &parts[1..]) {
+                        Ok((u, v, w)) => {
+                            payloads.push(encode_command(parts));
+                            Plan::Graph(cmd == "graph.addedge", u, v, w)
+                        }
+                        // Malformed graph writes are refused *before* the
+                        // log sees them — replay never meets them.
+                        Err(reply) => Plan::Refused(reply),
+                    }
+                }
+                Some(cmd) if Server::is_write_command(cmd) => {
+                    payloads.push(encode_command(parts));
+                    Plan::LoggedWrite
+                }
+                _ => Plan::Unlogged,
+            };
+            plans.push(plan);
+        }
+
+        // Phase 2: group commit. Failure refuses every logged command.
+        if let Err(e) = self.aof.append_payloads(payloads.iter().map(Vec::as_slice)) {
+            let refusal = format!("ERR aof append failed: {e}");
+            for plan in &mut plans {
+                if matches!(plan, Plan::Graph(..) | Plan::LoggedWrite) {
+                    *plan = Plan::Refused(Reply::Error(refusal.clone()));
+                }
+            }
+        }
+
+        // Phase 3: apply in order, folding consecutive graph writes of the
+        // same kind into one sharded batch-ingest call.
+        let mut replies: Vec<Reply> = Vec::with_capacity(batch.len());
+        let mut run: Vec<(u64, u64, u64)> = Vec::new();
+        let mut run_insert = true;
+        let flush_run = |server: &mut Server, run: &mut Vec<(u64, u64, u64)>, insert: bool| {
+            if run.is_empty() {
+                return;
+            }
+            if insert {
+                server.apply_graph_insert_run(run);
+            } else {
+                server.apply_graph_delete_run(run);
+            }
+            run.clear();
+        };
+        for (parts, plan) in batch.iter().zip(plans) {
+            match plan {
+                Plan::Graph(insert, u, v, w) => {
+                    if insert != run_insert {
+                        flush_run(&mut self.server, &mut run, run_insert);
+                        run_insert = insert;
+                    }
+                    run.push((u, v, w));
+                    replies.push(Reply::Ok);
+                }
+                other => {
+                    flush_run(&mut self.server, &mut run, run_insert);
+                    replies.push(match other {
+                        Plan::LoggedWrite => self.server.execute(parts),
+                        Plan::Unlogged => self.execute(parts),
+                        Plan::Refused(reply) => reply,
+                        Plan::Graph(..) => unreachable!("handled above"),
+                    });
+                }
+            }
+        }
+        flush_run(&mut self.server, &mut run, run_insert);
+        replies
+    }
+
+    /// Clock-driven [`SyncPolicy`](graph_durability::SyncPolicy) flush: the
+    /// serving writer loop calls this on its own timer so an `EverySecond`
+    /// log still syncs within ~1 s of a burst even when no further command
+    /// arrives (see `AofWriter::tick`).
+    pub fn tick(&mut self) -> Result<()> {
+        self.aof.tick()
+    }
+
     /// The wrapped server (read-only: mutations must go through
     /// [`DurableServer::execute`] to hit the log).
     pub fn server(&self) -> &Server {
@@ -604,6 +714,98 @@ mod tests {
             back.execute(&cmd(&["DBSIZE"])),
             Reply::Integer(acked.len() as i64),
             "nothing beyond the acknowledged prefix may appear"
+        );
+    }
+
+    #[test]
+    fn execute_batch_group_commits_writes_and_replays_them() {
+        let vfs = SimVfs::new();
+        let always = cfg().with_sync_policy(SyncPolicy::Always);
+        let (mut store, _) = DurableServer::open(vfs.clone(), always.clone(), make_server).unwrap();
+        let syncs_before = vfs.total_syncs();
+        let batch: Vec<Vec<String>> = vec![
+            cmd(&["SET", "k", "v"]),
+            cmd(&["GRAPH.ADDEDGE", "1", "2"]),
+            cmd(&["GRAPH.ADDEDGE", "1", "3", "4"]),
+            cmd(&["GRAPH.DELEDGE", "1", "3"]),
+            cmd(&["GRAPH.ADDEDGE", "bad", "2"]),
+            cmd(&["GRAPH.SUCCESSORS", "1"]),
+            cmd(&["GET", "k"]),
+        ];
+        let replies = store.execute_batch(&batch);
+        assert_eq!(&replies[..4], &[Reply::Ok, Reply::Ok, Reply::Ok, Reply::Ok]);
+        assert!(matches!(replies[4], Reply::Error(_)), "bad id refused");
+        assert_eq!(
+            replies[5],
+            Reply::Array(vec![Reply::Bulk("2".into())]),
+            "reads see the batch's earlier writes, in order"
+        );
+        assert_eq!(replies[6], Reply::Bulk("v".into()));
+        assert_eq!(
+            vfs.total_syncs() - syncs_before,
+            1,
+            "four write frames, one group-committed fsync"
+        );
+
+        drop(store);
+        let (mut back, report) = DurableServer::open(vfs, always, make_server).unwrap();
+        assert_eq!(report.ops_replayed, 4, "refused + read commands not logged");
+        assert_eq!(
+            back.execute(&cmd(&["GRAPH.SUCCESSORS", "1"])),
+            Reply::Array(vec![Reply::Bulk("2".into())])
+        );
+        assert_eq!(back.execute(&cmd(&["GET", "k"])), Reply::Bulk("v".into()));
+    }
+
+    #[test]
+    fn execute_batch_matches_per_command_execution() {
+        let vfs_a = SimVfs::new();
+        let vfs_b = SimVfs::new();
+        let (mut batched, _) = DurableServer::open(vfs_a, cfg(), make_server).unwrap();
+        let (mut serial, _) = DurableServer::open(vfs_b, cfg(), make_server).unwrap();
+        let commands: Vec<Vec<String>> = (0..200)
+            .map(|i| match i % 5 {
+                0 => cmd(&["GRAPH.ADDEDGE", &(i % 7).to_string(), &i.to_string()]),
+                1 => cmd(&["GRAPH.ADDEDGE", &(i % 3).to_string(), "9", "2"]),
+                2 => cmd(&[
+                    "GRAPH.DELEDGE",
+                    &((i + 2) % 7).to_string(),
+                    &(i - 2).to_string(),
+                ]),
+                3 => cmd(&["SET", &format!("k{}", i % 10), &i.to_string()]),
+                _ => cmd(&["GRAPH.HASEDGE", &(i % 7).to_string(), "9"]),
+            })
+            .collect();
+        let batch_replies = batched.execute_batch(&commands);
+        let serial_replies: Vec<Reply> = commands.iter().map(|c| serial.execute(c)).collect();
+        assert_eq!(batch_replies, serial_replies);
+        for u in 0..10u64 {
+            assert_eq!(
+                batched.execute(&cmd(&["GRAPH.SUCCESSORS", &u.to_string()])),
+                serial.execute(&cmd(&["GRAPH.SUCCESSORS", &u.to_string()])),
+                "successors of {u} diverged"
+            );
+        }
+        assert_eq!(
+            batched.execute(&cmd(&["GRAPH.EDGECOUNT"])),
+            serial.execute(&cmd(&["GRAPH.EDGECOUNT"]))
+        );
+    }
+
+    #[test]
+    fn tick_drives_the_every_second_flush_from_the_loop_clock() {
+        let vfs = SimVfs::new();
+        let everysec = cfg().with_sync_policy(SyncPolicy::EverySecond);
+        let (mut store, _) = DurableServer::open(vfs.clone(), everysec, make_server).unwrap();
+        store.execute(&cmd(&["SET", "k", "v"]));
+        store.tick().unwrap();
+        assert_eq!(vfs.total_syncs(), 0, "interval not yet elapsed");
+        std::thread::sleep(std::time::Duration::from_millis(1100));
+        store.tick().unwrap();
+        assert_eq!(
+            vfs.total_syncs(),
+            1,
+            "idle-then-wait burst reached disk from the tick clock alone"
         );
     }
 

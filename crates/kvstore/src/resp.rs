@@ -41,7 +41,9 @@ impl RespValue {
         out.freeze()
     }
 
-    fn encode_into(&self, out: &mut BytesMut) {
+    /// Encodes this value onto the end of `out` — the allocation-free path a
+    /// session's reusable output buffer feeds.
+    pub fn encode_into(&self, out: &mut BytesMut) {
         match self {
             RespValue::Simple(s) => {
                 out.put_u8(b'+');

@@ -1,12 +1,45 @@
 //! The store front-end: command dispatch, module loading, RDB snapshots and
 //! the append-only file (AOF) with rewrite — the pieces of Redis the § V-F
 //! experiment exercises.
+//!
+//! Since PR 10 the server also owns a **shared served graph**: an
+//! [`Arc<ShardedWeightedCuckooGraph>`] behind the `GRAPH.*` command family.
+//! Unlike the keyspace-scoped `graph.insert` module values, this graph is
+//! reachable *outside* the server (via [`Server::shared_graph`]), which is
+//! what lets the serving reactor answer `GRAPH.SUCCESSORS` / `GRAPH.DEGREE` /
+//! `GRAPH.HASEDGE` from a lock-free [`read_view`](cuckoograph::Sharded::read_view)
+//! while writes serialize through the durable writer. Every command still has
+//! a serial path through [`Server::execute`], so AOF replay and the
+//! serial-dispatch oracle work unchanged.
 
 use crate::keyspace::{Keyspace, Value};
 use crate::module::{Module, Reply};
 use crate::resp::RespValue;
 use bytes::{Bytes, BytesMut};
+use cuckoograph::ShardedWeightedCuckooGraph;
+use graph_api::{DynamicGraph, EdgeExport, GraphReadSnapshot, NodeId, WeightedDynamicGraph};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default shard count of the served graph — small enough that a fresh
+/// `Server::new()` stays cheap, large enough that concurrent readers spread.
+pub const DEFAULT_GRAPH_SHARDS: usize = 4;
+
+/// How the dispatch layer must route a command — decided *before* execution,
+/// from the command name alone, so a pipelined front end can fan reads out
+/// without consulting the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandClass {
+    /// Answerable from a [`GraphReadSnapshot`] of the shared served graph:
+    /// safe to execute concurrently with the writer, never logged.
+    GraphRead,
+    /// Mutates state: serialized through the single writer and recorded in
+    /// the AOF before execution.
+    Write,
+    /// Reads server-held state (keyspace, modules, introspection):
+    /// serialized with writes for ordering, but never logged.
+    Read,
+}
 
 /// A single-threaded Redis-like server instance.
 pub struct Server {
@@ -16,6 +49,9 @@ pub struct Server {
     command_index: HashMap<String, usize>,
     /// The append-only log of write commands since start-up or last rewrite.
     aof: Vec<Vec<String>>,
+    /// The served graph behind `GRAPH.*` — shared so the reactor's readers
+    /// can hold it without holding the server.
+    graph: Arc<ShardedWeightedCuckooGraph>,
 }
 
 impl std::fmt::Debug for Server {
@@ -25,6 +61,7 @@ impl std::fmt::Debug for Server {
             .field("modules", &self.modules.len())
             .field("commands", &self.command_index.len())
             .field("aof_entries", &self.aof.len())
+            .field("graph_edges", &self.graph.edge_count())
             .finish()
     }
 }
@@ -38,12 +75,34 @@ impl Default for Server {
 impl Server {
     /// Creates a server with an empty keyspace and no modules.
     pub fn new() -> Self {
+        Self::with_graph_shards(DEFAULT_GRAPH_SHARDS)
+    }
+
+    /// Creates a server whose served graph has `shards` shards.
+    pub fn with_graph_shards(shards: usize) -> Self {
         Self {
             keyspace: Keyspace::new(),
             modules: Vec::new(),
             command_index: HashMap::new(),
             aof: Vec::new(),
+            graph: Arc::new(ShardedWeightedCuckooGraph::new(shards.max(1))),
         }
+    }
+
+    /// A shared handle on the served graph. Readers clone this once and then
+    /// answer `GRAPH.*` read commands through
+    /// [`read_view`](cuckoograph::Sharded::read_view) without ever touching
+    /// the server again. [`Server::load_rdb`] replaces the handle (snapshot
+    /// restore rebuilds the graph), so serving layers acquire it *after*
+    /// recovery completes.
+    pub fn shared_graph(&self) -> Arc<ShardedWeightedCuckooGraph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// Borrow of the served graph (the batched-apply path in `persist` goes
+    /// through this).
+    pub fn graph(&self) -> &ShardedWeightedCuckooGraph {
+        &self.graph
     }
 
     /// Loads a module (the `--loadmodule` moment): its commands become
@@ -86,6 +145,14 @@ impl Server {
             "hget" => self.cmd_hget(args),
             "memory" => self.cmd_memory(args),
             "module" => self.cmd_module(args),
+            "graph.addedge" => self.cmd_graph_addedge(args),
+            "graph.deledge" => self.cmd_graph_deledge(args),
+            "graph.successors" | "graph.degree" | "graph.hasedge" | "graph.edgecount"
+            | "graph.nodecount" => {
+                // The serial path to the same answers the reactor serves from
+                // its own read view — one-shot view per command.
+                Self::graph_read_reply(&self.graph.read_view(), &command, args)
+            }
             _ => match self.command_index.get(&command) {
                 Some(&idx) => self.modules[idx].dispatch(&mut self.keyspace, &command, args),
                 None => Reply::Error(format!("ERR unknown command '{command}'")),
@@ -111,13 +178,191 @@ impl Server {
         Self::reply_to_resp(&reply).encode()
     }
 
-    /// Whether a (lowercased) command name mutates the keyspace — these are
-    /// the commands the AOF records.
-    pub fn is_write_command(command: &str) -> bool {
-        matches!(command, "set" | "del" | "lpush" | "hset")
-            || command.contains('.')
+    /// Routes a (lowercased) command name: graph reads fan out to snapshot
+    /// readers, writes serialize through the logged writer, everything else
+    /// is a serialized-but-unlogged read. Commands a pipelined dispatcher has
+    /// never heard of classify as writes when they look like module mutations
+    /// (the historical dotted-name rule), otherwise as reads — misrouting an
+    /// unknown command to the writer is safe, the reverse is not.
+    pub fn classify_command(command: &str) -> CommandClass {
+        match command {
+            "graph.successors" | "graph.degree" | "graph.hasedge" | "graph.edgecount"
+            | "graph.nodecount" => CommandClass::GraphRead,
+            "graph.addedge" | "graph.deledge" | "set" | "del" | "lpush" | "hset" => {
+                CommandClass::Write
+            }
+            _ if command.contains('.')
                 && !command.ends_with(".query")
-                && !command.ends_with(".getneighbors")
+                && !command.ends_with(".getneighbors") =>
+            {
+                CommandClass::Write
+            }
+            _ => CommandClass::Read,
+        }
+    }
+
+    /// Whether a (lowercased) command name mutates state — these are the
+    /// commands the AOF records.
+    pub fn is_write_command(command: &str) -> bool {
+        Self::classify_command(command) == CommandClass::Write
+    }
+
+    /// Answers one of the `GRAPH.*` read commands from any
+    /// [`GraphReadSnapshot`] — the server's serial path and the reactor's
+    /// concurrent read fan-out share this single implementation, so the two
+    /// dispatch modes cannot drift apart.
+    pub fn graph_read_reply(snap: &dyn GraphReadSnapshot, command: &str, args: &[String]) -> Reply {
+        match command {
+            "graph.successors" => match parse_node_args::<1>(command, args) {
+                Ok([u]) => {
+                    let mut succ = snap.successors(u);
+                    succ.sort_unstable();
+                    Reply::Array(succ.iter().map(|v| Reply::Bulk(v.to_string())).collect())
+                }
+                Err(e) => e,
+            },
+            "graph.degree" => match parse_node_args::<1>(command, args) {
+                Ok([u]) => Reply::Integer(snap.out_degree(u) as i64),
+                Err(e) => e,
+            },
+            "graph.hasedge" => match parse_node_args::<2>(command, args) {
+                Ok([u, v]) => Reply::Integer(i64::from(snap.has_edge(u, v))),
+                Err(e) => e,
+            },
+            "graph.edgecount" => match parse_node_args::<0>(command, args) {
+                Ok([]) => Reply::Integer(snap.edge_count() as i64),
+                Err(e) => e,
+            },
+            "graph.nodecount" => match parse_node_args::<0>(command, args) {
+                Ok([]) => Reply::Integer(snap.node_count() as i64),
+                Err(e) => e,
+            },
+            other => Reply::Error(format!("ERR '{other}' is not a graph read command")),
+        }
+    }
+
+    /// Parses a `GRAPH.ADDEDGE` / `GRAPH.DELEDGE` argument list into the
+    /// `(u, v, weight)` triple the batched writer ingests. Both commands
+    /// reply `+OK`, which is what lets the writer fold a pipelined run of
+    /// them into one `ingest_weighted_batch` call without tracking per-edge
+    /// return values.
+    pub fn parse_graph_write(
+        command: &str,
+        args: &[String],
+    ) -> Result<(NodeId, NodeId, u64), Reply> {
+        let (lo, hi) = if command == "graph.addedge" {
+            (2, 3)
+        } else {
+            (2, 2)
+        };
+        if args.len() < lo || args.len() > hi {
+            return Err(Reply::Error(format!(
+                "ERR wrong number of arguments for '{command}'"
+            )));
+        }
+        let u = parse_node(&args[0])?;
+        let v = parse_node(&args[1])?;
+        let w = match args.get(2) {
+            Some(raw) => match raw.parse::<u64>() {
+                Ok(0) | Err(_) => {
+                    return Err(Reply::Error("ERR weight must be a positive integer".into()))
+                }
+                Ok(w) => w,
+            },
+            None => 1,
+        };
+        Ok((u, v, w))
+    }
+
+    fn cmd_graph_addedge(&mut self, args: &[String]) -> Reply {
+        match Self::parse_graph_write("graph.addedge", args) {
+            Ok((u, v, w)) => {
+                self.graph.update_shard(u, |g| g.insert_weighted(u, v, w));
+                Reply::Ok
+            }
+            Err(e) => e,
+        }
+    }
+
+    fn cmd_graph_deledge(&mut self, args: &[String]) -> Reply {
+        match Self::parse_graph_write("graph.deledge", args) {
+            Ok((u, v, _)) => {
+                self.graph.update_shard(u, |g| g.delete_edge(u, v));
+                Reply::Ok
+            }
+            Err(e) => e,
+        }
+    }
+
+    /// Applies a pre-validated run of `GRAPH.ADDEDGE` triples through the
+    /// sharded batch-ingest path and records the commands in the in-memory
+    /// AOF — the queued writer's grouped-apply entry point (the commands were
+    /// already written to the durable log).
+    pub(crate) fn apply_graph_insert_run(&mut self, run: &[(NodeId, NodeId, u64)]) {
+        self.graph.ingest_weighted_batch(run);
+        for &(u, v, w) in run {
+            self.aof.push(vec![
+                "graph.addedge".into(),
+                u.to_string(),
+                v.to_string(),
+                w.to_string(),
+            ]);
+        }
+    }
+
+    /// The `GRAPH.DELEDGE` counterpart of
+    /// [`Server::apply_graph_insert_run`].
+    pub(crate) fn apply_graph_delete_run(&mut self, run: &[(NodeId, NodeId, u64)]) {
+        let pairs: Vec<(NodeId, NodeId)> = run.iter().map(|&(u, v, _)| (u, v)).collect();
+        self.graph.remove_batch(&pairs);
+        for &(u, v) in &pairs {
+            self.aof
+                .push(vec!["graph.deledge".into(), u.to_string(), v.to_string()]);
+        }
+    }
+
+    /// Encodes a handler reply straight onto a reusable output buffer — the
+    /// serving path's replacement for `reply_to_resp(..).encode()`, which
+    /// built an intermediate [`RespValue`] (cloning every string) and then a
+    /// fresh [`Bytes`] per command.
+    pub fn encode_reply_into(reply: &Reply, out: &mut Vec<u8>) {
+        match reply {
+            Reply::Ok => out.extend_from_slice(b"+OK\r\n"),
+            Reply::Simple(s) => {
+                out.push(b'+');
+                out.extend_from_slice(s.as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            Reply::Error(e) => {
+                out.push(b'-');
+                out.extend_from_slice(e.as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            Reply::Integer(i) => {
+                let mut digits = [0u8; 20];
+                out.push(b':');
+                out.extend_from_slice(format_i64(*i, &mut digits));
+                out.extend_from_slice(b"\r\n");
+            }
+            Reply::Bulk(s) => {
+                let mut digits = [0u8; 20];
+                out.push(b'$');
+                out.extend_from_slice(format_i64(s.len() as i64, &mut digits));
+                out.extend_from_slice(b"\r\n");
+                out.extend_from_slice(s.as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            Reply::Nil => out.extend_from_slice(b"$-1\r\n"),
+            Reply::Array(items) => {
+                let mut digits = [0u8; 20];
+                out.push(b'*');
+                out.extend_from_slice(format_i64(items.len() as i64, &mut digits));
+                out.extend_from_slice(b"\r\n");
+                for item in items {
+                    Self::encode_reply_into(item, out);
+                }
+            }
+        }
     }
 
     /// Converts a handler reply into the wire representation.
@@ -307,7 +552,27 @@ impl Server {
                 }
             }
         }
+        // Served-graph section, appended only when non-empty so snapshots
+        // from before the GRAPH.* family stay byte-identical: record count,
+        // then sorted `(u, v, weight)` triples.
+        let records = self.graph_records_sorted();
+        if !records.is_empty() {
+            write_u64(&mut out, records.len() as u64);
+            for r in &records {
+                write_u64(&mut out, r.source);
+                write_u64(&mut out, r.target);
+                write_u64(&mut out, r.weight);
+            }
+        }
         out
+    }
+
+    /// Every served-graph edge record, sorted for deterministic output.
+    fn graph_records_sorted(&self) -> Vec<graph_api::EdgeRecord> {
+        let mut records = Vec::with_capacity(self.graph.edge_record_count());
+        self.graph.for_each_edge_record(&mut |r| records.push(r));
+        records.sort_unstable();
+        records
     }
 
     /// Restores the keyspace from an RDB-style snapshot. Module values require
@@ -364,7 +629,27 @@ impl Server {
             };
             keyspace.set(key, value);
         }
+        // Optional served-graph section (absent in pre-GRAPH.* snapshots and
+        // when the graph was empty at save time).
+        let mut graph = ShardedWeightedCuckooGraph::new(self.graph.shard_count());
+        if cursor < bytes.len() {
+            let n = read_u64(bytes, &mut cursor)?;
+            let mut triples = Vec::with_capacity((n as usize).min(bytes.len() / 3));
+            for _ in 0..n {
+                let u = read_u64(bytes, &mut cursor)?;
+                let v = read_u64(bytes, &mut cursor)?;
+                let w = read_u64(bytes, &mut cursor)?;
+                triples.push((u, v, w));
+            }
+            if cursor != bytes.len() {
+                return Err("trailing bytes after graph section".into());
+            }
+            graph.insert_weighted_edges(&triples);
+        }
         self.keyspace = keyspace;
+        // Replace the shared handle: a snapshot restore is a rebuild, and the
+        // serving layer (re)acquires the handle only after recovery.
+        self.graph = Arc::new(graph);
         Ok(())
     }
 
@@ -405,8 +690,55 @@ impl Server {
                 Value::Module(m) => rewritten.extend(m.aof_rewrite(key)),
             }
         }
+        // Rebuild commands for the served graph: one weighted GRAPH.ADDEDGE
+        // per stored edge, mirroring the module values' `aof_rewrite`.
+        for r in self.graph_records_sorted() {
+            rewritten.push(vec![
+                "graph.addedge".into(),
+                r.source.to_string(),
+                r.target.to_string(),
+                r.weight.to_string(),
+            ]);
+        }
         self.aof = rewritten;
     }
+}
+
+/// Formats `value` into `buf` without allocating, returning the used slice.
+fn format_i64(value: i64, buf: &mut [u8; 20]) -> &[u8] {
+    let mut n = value.unsigned_abs();
+    let mut pos = buf.len();
+    loop {
+        pos -= 1;
+        buf[pos] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    if value < 0 {
+        pos -= 1;
+        buf[pos] = b'-';
+    }
+    &buf[pos..]
+}
+
+fn parse_node(raw: &str) -> Result<NodeId, Reply> {
+    raw.parse::<NodeId>()
+        .map_err(|_| Reply::Error(format!("ERR node id '{raw}' is not an unsigned integer")))
+}
+
+fn parse_node_args<const N: usize>(command: &str, args: &[String]) -> Result<[NodeId; N], Reply> {
+    if args.len() != N {
+        return Err(Reply::Error(format!(
+            "ERR wrong number of arguments for '{command}'"
+        )));
+    }
+    let mut out = [0u64; N];
+    for (slot, raw) in out.iter_mut().zip(args) {
+        *slot = parse_node(raw)?;
+    }
+    Ok(out)
 }
 
 fn write_u64(out: &mut Vec<u8>, value: u64) {
@@ -540,6 +872,128 @@ mod tests {
             replayed.execute(&cmd(&["GET", "k"])),
             Reply::Bulk("2".into())
         );
+    }
+
+    #[test]
+    fn graph_commands_execute_against_the_shared_graph() {
+        let mut s = Server::new();
+        assert_eq!(s.execute(&cmd(&["GRAPH.ADDEDGE", "1", "2"])), Reply::Ok);
+        assert_eq!(
+            s.execute(&cmd(&["GRAPH.ADDEDGE", "1", "3", "5"])),
+            Reply::Ok
+        );
+        assert_eq!(s.execute(&cmd(&["GRAPH.DEGREE", "1"])), Reply::Integer(2));
+        assert_eq!(
+            s.execute(&cmd(&["GRAPH.HASEDGE", "1", "2"])),
+            Reply::Integer(1)
+        );
+        assert_eq!(
+            s.execute(&cmd(&["GRAPH.SUCCESSORS", "1"])),
+            Reply::Array(vec![Reply::Bulk("2".into()), Reply::Bulk("3".into())])
+        );
+        assert_eq!(s.execute(&cmd(&["GRAPH.EDGECOUNT"])), Reply::Integer(2));
+        assert_eq!(s.execute(&cmd(&["GRAPH.NODECOUNT"])), Reply::Integer(1));
+        assert_eq!(s.execute(&cmd(&["GRAPH.DELEDGE", "1", "2"])), Reply::Ok);
+        assert_eq!(
+            s.execute(&cmd(&["GRAPH.HASEDGE", "1", "2"])),
+            Reply::Integer(0)
+        );
+        // Bad arguments are refused before they reach the graph or the AOF.
+        let before = s.aof_len();
+        assert!(matches!(
+            s.execute(&cmd(&["GRAPH.ADDEDGE", "x", "2"])),
+            Reply::Error(_)
+        ));
+        assert!(matches!(
+            s.execute(&cmd(&["GRAPH.ADDEDGE", "1", "2", "0"])),
+            Reply::Error(_)
+        ));
+        assert_eq!(s.aof_len(), before);
+    }
+
+    #[test]
+    fn command_classification_routes_graph_reads_off_the_writer() {
+        assert_eq!(
+            Server::classify_command("graph.successors"),
+            CommandClass::GraphRead
+        );
+        assert_eq!(
+            Server::classify_command("graph.hasedge"),
+            CommandClass::GraphRead
+        );
+        assert_eq!(
+            Server::classify_command("graph.addedge"),
+            CommandClass::Write
+        );
+        assert_eq!(Server::classify_command("set"), CommandClass::Write);
+        assert_eq!(
+            Server::classify_command("graph.insert"),
+            CommandClass::Write
+        );
+        assert_eq!(Server::classify_command("graph.query"), CommandClass::Read);
+        assert_eq!(Server::classify_command("get"), CommandClass::Read);
+        assert_eq!(Server::classify_command("save"), CommandClass::Read);
+        // The AOF predicate must agree with the classification.
+        assert!(Server::is_write_command("graph.addedge"));
+        assert!(!Server::is_write_command("graph.successors"));
+    }
+
+    #[test]
+    fn shared_graph_survives_snapshot_and_rewrite() {
+        let mut s = Server::new();
+        s.execute(&cmd(&["GRAPH.ADDEDGE", "1", "2", "3"]));
+        s.execute(&cmd(&["GRAPH.ADDEDGE", "7", "8"]));
+        s.execute(&cmd(&["SET", "k", "v"]));
+        let snapshot = s.save_rdb();
+
+        let mut restored = Server::new();
+        restored.load_rdb(&snapshot).unwrap();
+        assert_eq!(
+            restored.execute(&cmd(&["GRAPH.HASEDGE", "1", "2"])),
+            Reply::Integer(1)
+        );
+        assert_eq!(
+            restored.execute(&cmd(&["GRAPH.EDGECOUNT"])),
+            Reply::Integer(2)
+        );
+        assert_eq!(
+            restored.execute(&cmd(&["GET", "k"])),
+            Reply::Bulk("v".into())
+        );
+
+        // AOF rewrite emits rebuild commands that replay to the same graph.
+        s.aof_rewrite();
+        let log = s.aof().to_vec();
+        let mut replayed = Server::new();
+        replayed.replay_aof(&log);
+        assert_eq!(
+            replayed.execute(&cmd(&["GRAPH.SUCCESSORS", "1"])),
+            Reply::Array(vec![Reply::Bulk("2".into())])
+        );
+        assert_eq!(
+            replayed.execute(&cmd(&["GRAPH.EDGECOUNT"])),
+            Reply::Integer(2)
+        );
+    }
+
+    #[test]
+    fn encode_reply_into_matches_the_resp_value_encoding() {
+        let replies = [
+            Reply::Ok,
+            Reply::Simple("PONG".into()),
+            Reply::Integer(-42),
+            Reply::Integer(i64::MIN),
+            Reply::Bulk("hello".into()),
+            Reply::Nil,
+            Reply::Error("ERR nope".into()),
+            Reply::Array(vec![Reply::Integer(0), Reply::Bulk("x".into())]),
+        ];
+        for reply in &replies {
+            let mut direct = Vec::new();
+            Server::encode_reply_into(reply, &mut direct);
+            let via_value = Server::reply_to_resp(reply).encode();
+            assert_eq!(direct, via_value.to_vec(), "{reply:?}");
+        }
     }
 
     #[test]
